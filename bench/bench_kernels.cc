@@ -1,0 +1,171 @@
+// google-benchmark microbenchmarks of the library's hot kernels: dense
+// matmul, attention/encoder forward, WordPiece tokenization, table
+// serialization, Sherlock feature extraction, and k-means.
+
+#include <benchmark/benchmark.h>
+
+#include "doduo/baselines/sherlock_features.h"
+#include "doduo/cluster/kmeans.h"
+#include "doduo/nn/ops.h"
+#include "doduo/table/serializer.h"
+#include "doduo/text/wordpiece_trainer.h"
+#include "doduo/transformer/bert.h"
+
+namespace {
+
+using doduo::nn::Tensor;
+
+void BM_MatMul(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  doduo::util::Rng rng(1);
+  Tensor a({n, n});
+  Tensor b({n, n});
+  a.FillNormal(&rng, 1.0f);
+  b.FillNormal(&rng, 1.0f);
+  Tensor c;
+  for (auto _ : state) {
+    doduo::nn::MatMul(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+}
+BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_SoftmaxRows(benchmark::State& state) {
+  doduo::util::Rng rng(2);
+  Tensor logits({128, 128});
+  logits.FillNormal(&rng, 1.0f);
+  Tensor probs;
+  for (auto _ : state) {
+    doduo::nn::SoftmaxRows(logits, &probs);
+    benchmark::DoNotOptimize(probs.data());
+  }
+}
+BENCHMARK(BM_SoftmaxRows);
+
+doduo::transformer::TransformerConfig BenchEncoderConfig() {
+  doduo::transformer::TransformerConfig config;
+  config.vocab_size = 2000;
+  config.max_positions = 192;
+  config.hidden_dim = 64;
+  config.num_layers = 2;
+  config.num_heads = 4;
+  config.ffn_dim = 256;
+  config.dropout = 0.0f;
+  return config;
+}
+
+void BM_BertForward(benchmark::State& state) {
+  const int seq = static_cast<int>(state.range(0));
+  doduo::util::Rng rng(3);
+  doduo::transformer::BertModel model("bench", BenchEncoderConfig(), &rng);
+  model.set_training(false);
+  std::vector<int> ids(static_cast<size_t>(seq));
+  for (int i = 0; i < seq; ++i) {
+    ids[static_cast<size_t>(i)] = 5 + static_cast<int>(rng.NextUint64(1900));
+  }
+  for (auto _ : state) {
+    const Tensor& hidden = model.Forward(ids);
+    benchmark::DoNotOptimize(hidden.data());
+  }
+  state.SetItemsProcessed(state.iterations() * seq);
+}
+BENCHMARK(BM_BertForward)->Arg(32)->Arg(96)->Arg(160);
+
+void BM_BertForwardBackward(benchmark::State& state) {
+  const int seq = 96;
+  doduo::util::Rng rng(4);
+  doduo::transformer::BertModel model("bench", BenchEncoderConfig(), &rng);
+  std::vector<int> ids(static_cast<size_t>(seq));
+  for (int i = 0; i < seq; ++i) {
+    ids[static_cast<size_t>(i)] = 5 + static_cast<int>(rng.NextUint64(1900));
+  }
+  Tensor grad({seq, 64});
+  grad.FillNormal(&rng, 0.1f);
+  for (auto _ : state) {
+    model.Forward(ids);
+    model.Backward(grad);
+  }
+  state.SetItemsProcessed(state.iterations() * seq);
+}
+BENCHMARK(BM_BertForwardBackward);
+
+struct TokenizerFixture {
+  TokenizerFixture() {
+    std::vector<std::string> lines;
+    for (int i = 0; i < 200; ++i) {
+      lines.push_back("george miller directed happy feet in nineteen " +
+                      std::to_string(i));
+    }
+    doduo::text::WordPieceTrainer trainer({.vocab_size = 500,
+                                           .min_pair_frequency = 2});
+    vocab = trainer.TrainFromLines(lines);
+  }
+  doduo::text::Vocab vocab;
+};
+
+void BM_WordPieceEncode(benchmark::State& state) {
+  static TokenizerFixture fixture;
+  doduo::text::WordPieceTokenizer tokenizer(&fixture.vocab);
+  const std::string text =
+      "george miller directed happy feet and produced mad max in 1979";
+  for (auto _ : state) {
+    auto ids = tokenizer.Encode(text);
+    benchmark::DoNotOptimize(ids.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(text.size()));
+}
+BENCHMARK(BM_WordPieceEncode);
+
+void BM_SerializeTable(benchmark::State& state) {
+  static TokenizerFixture fixture;
+  doduo::text::WordPieceTokenizer tokenizer(&fixture.vocab);
+  doduo::table::TableSerializer serializer(&tokenizer, {});
+  doduo::table::Table table("bench");
+  for (int c = 0; c < 5; ++c) {
+    doduo::table::Column column;
+    column.name = "col" + std::to_string(c);
+    for (int r = 0; r < 6; ++r) {
+      column.values.push_back("george miller " + std::to_string(r));
+    }
+    table.AddColumn(std::move(column));
+  }
+  for (auto _ : state) {
+    auto serialized = serializer.SerializeTable(table);
+    benchmark::DoNotOptimize(serialized.token_ids.data());
+  }
+}
+BENCHMARK(BM_SerializeTable);
+
+void BM_SherlockFeatures(benchmark::State& state) {
+  doduo::table::Column column;
+  doduo::util::Rng rng(5);
+  for (int r = 0; r < 20; ++r) {
+    column.values.push_back("value " + std::to_string(rng.NextUint64(1000)));
+  }
+  for (auto _ : state) {
+    auto features = doduo::baselines::ExtractSherlockFeatures(column);
+    benchmark::DoNotOptimize(features.data());
+  }
+}
+BENCHMARK(BM_SherlockFeatures);
+
+void BM_KMeans(benchmark::State& state) {
+  doduo::util::Rng rng(6);
+  Tensor points({200, 64});
+  points.FillNormal(&rng, 1.0f);
+  doduo::cluster::KMeans::Options options;
+  options.k = 15;
+  options.restarts = 1;
+  doduo::cluster::KMeans kmeans(options);
+  for (auto _ : state) {
+    auto assignment = kmeans.Cluster(points);
+    benchmark::DoNotOptimize(assignment.data());
+  }
+}
+BENCHMARK(BM_KMeans);
+
+}  // namespace
+
+BENCHMARK_MAIN();

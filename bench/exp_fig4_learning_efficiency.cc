@@ -1,0 +1,70 @@
+// Reproduces Figure 4 of the paper: micro F1 as a function of the
+// training-set fraction (10/25/50/100%) for the multi-task DODUO and the
+// single-task DOSOLO, with the TURL baseline's full-data score as the
+// reference line.
+//
+// Expected shape (paper): DODUO ≥ DOSOLO at every fraction (multi-task
+// helps most when data is scarce); DODUO crosses the TURL line at ≤ 50%
+// of the training data on the type task.
+
+#include <cstdio>
+
+#include "doduo/eval/report.h"
+#include "doduo/experiments/runners.h"
+#include "doduo/util/env.h"
+#include "doduo/util/string_util.h"
+#include "doduo/util/table_printer.h"
+
+int main() {
+  using namespace doduo::experiments;
+  using doduo::core::TaskSet;
+  using doduo::eval::Pct;
+
+  EnvOptions options;
+  options.mode = BenchmarkMode::kWikiTable;
+  options.num_tables = Scaled(1000);
+  options.seed = doduo::util::ExperimentSeed();
+  Env env(options);
+
+  std::printf("== Figure 4: F1 vs training-set fraction (WikiTable) ==\n");
+
+  // Reference line: TURL trained on the full data.
+  DoduoVariant turl;
+  turl.turl_visibility_mask = true;
+  const DoduoRun turl_run = RunDoduo(&env, turl);
+
+  doduo::util::TablePrinter type_printer(
+      {"Train fraction", "Doduo type F1", "Dosolo type F1"});
+  doduo::util::TablePrinter rel_printer(
+      {"Train fraction", "Doduo rel F1", "Dosolo rel F1"});
+
+  for (double fraction : {0.10, 0.25, 0.50, 1.00}) {
+    DoduoVariant multi;
+    multi.train_fraction = fraction;
+    const DoduoRun doduo = RunDoduo(&env, multi);
+
+    DoduoVariant solo_types;
+    solo_types.train_fraction = fraction;
+    solo_types.tasks = static_cast<int>(TaskSet::kTypesOnly);
+    const DoduoRun dosolo_types = RunDoduo(&env, solo_types);
+
+    DoduoVariant solo_rels;
+    solo_rels.train_fraction = fraction;
+    solo_rels.tasks = static_cast<int>(TaskSet::kRelationsOnly);
+    const DoduoRun dosolo_rels = RunDoduo(&env, solo_rels);
+
+    const std::string label =
+        doduo::util::FormatDouble(100.0 * fraction, 0) + "%";
+    type_printer.AddRow({label, Pct(doduo.types.micro.f1),
+                         Pct(dosolo_types.types.micro.f1)});
+    rel_printer.AddRow({label, Pct(doduo.relations.micro.f1),
+                        Pct(dosolo_rels.relations.micro.f1)});
+  }
+  std::printf("%s", type_printer.ToString().c_str());
+  std::printf("TURL reference (100%% data): type F1 %s\n\n",
+              Pct(turl_run.types.micro.f1).c_str());
+  std::printf("%s", rel_printer.ToString().c_str());
+  std::printf("TURL reference (100%% data): rel F1 %s\n",
+              Pct(turl_run.relations.micro.f1).c_str());
+  return 0;
+}

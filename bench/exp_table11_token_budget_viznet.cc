@@ -1,0 +1,49 @@
+// Reproduces Table 11 of the paper (Appendix A.2): MaxToken/col sweep on
+// the VizNet benchmark for the multi-column DODUO and the single-column
+// DOSOLO_SCol.
+//
+// Expected shape (paper): DODUO above DOSOLO_SCol at every budget; the
+// paper's trend is "more tokens → better". At our miniature encoder scale
+// the multi-column model validates best at the smallest budget (long
+// numeric sequences are an optimization burden) — recorded as a deviation
+// in EXPERIMENTS.md.
+
+#include <cstdio>
+
+#include "doduo/eval/report.h"
+#include "doduo/experiments/runners.h"
+#include "doduo/util/env.h"
+#include "doduo/util/table_printer.h"
+
+int main() {
+  using namespace doduo::experiments;
+  using doduo::eval::Pct;
+
+  EnvOptions options;
+  options.mode = BenchmarkMode::kVizNet;
+  options.num_tables = Scaled(1000);
+  options.single_column_fraction = 0.25;
+  options.seed = doduo::util::ExperimentSeed();
+  Env env(options);
+
+  std::printf("== Table 11: MaxToken/col on VizNet (Full) ==\n");
+  doduo::util::TablePrinter printer(
+      {"Method", "MaxToken/col", "Macro F1", "Micro F1"});
+  for (int budget : {8, 16, 32}) {
+    DoduoVariant variant;
+    variant.max_tokens_per_column = budget;
+    const DoduoRun run = RunDoduo(&env, variant);
+    printer.AddRow({"Doduo", std::to_string(budget),
+                    Pct(run.types.macro.f1), Pct(run.types.micro.f1)});
+  }
+  for (int budget : {8, 16, 32}) {
+    DoduoVariant variant;
+    variant.max_tokens_per_column = budget;
+    variant.input_mode = doduo::core::InputMode::kSingleColumn;
+    const DoduoRun run = RunDoduo(&env, variant);
+    printer.AddRow({"Dosolo_SCol", std::to_string(budget),
+                    Pct(run.types.macro.f1), Pct(run.types.micro.f1)});
+  }
+  std::printf("%s", printer.ToString().c_str());
+  return 0;
+}

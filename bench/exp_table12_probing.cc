@@ -1,0 +1,80 @@
+// Reproduces Tables 12/13 of the paper (Appendix A.5): template-based
+// probing of the *pre-trained, not fine-tuned* language model. For every
+// column type (and relation), the true label's completion is ranked among
+// all candidates by masked pseudo-perplexity.
+//
+// Expected shape (paper): the LM clearly stores factual knowledge — many
+// types rank far above chance; rare/awkward types sit at the bottom; the
+// spread for relations is narrower than for types.
+
+#include <cstdio>
+
+#include "doduo/experiments/env.h"
+#include "doduo/probe/prober.h"
+#include "doduo/util/env.h"
+#include "doduo/util/string_util.h"
+#include "doduo/util/table_printer.h"
+
+namespace {
+
+void PrintTopBottom(const char* title,
+                    const std::vector<doduo::probe::ProbeRow>& rows,
+                    int num_candidates) {
+  std::printf("%s (%d candidates; chance avg rank %.1f)\n", title,
+              num_candidates, (num_candidates + 1) / 2.0);
+  doduo::util::TablePrinter printer(
+      {"", "Label", "Avg. rank (v)", "PPL / Avg.PPL (v)"});
+  const size_t show = std::min<size_t>(5, rows.size());
+  for (size_t i = 0; i < show; ++i) {
+    printer.AddRow({i == 0 ? "Top" : "", rows[i].label,
+                    doduo::util::FormatDouble(rows[i].avg_rank, 2),
+                    doduo::util::FormatDouble(rows[i].ppl_ratio, 3)});
+  }
+  for (size_t i = rows.size() >= show ? rows.size() - show : 0;
+       i < rows.size(); ++i) {
+    printer.AddRow({i + show == rows.size() ? "Bottom" : "",
+                    rows[i].label,
+                    doduo::util::FormatDouble(rows[i].avg_rank, 2),
+                    doduo::util::FormatDouble(rows[i].ppl_ratio, 3)});
+  }
+  std::printf("%s", printer.ToString().c_str());
+}
+
+}  // namespace
+
+int main() {
+  using namespace doduo::experiments;
+
+  const int samples = Scaled(8);
+  doduo::util::Rng rng(doduo::util::ExperimentSeed() + 21);
+
+  {
+    EnvOptions options;
+    options.mode = BenchmarkMode::kWikiTable;
+    options.num_tables = 50;  // probing does not use the tables
+    options.seed = doduo::util::ExperimentSeed();
+    Env env(options);
+    doduo::probe::LmProber prober(env.PretrainedLm(), &env.tokenizer());
+
+    std::printf("== Table 12: LM probing on the WikiTable KB ==\n");
+    const auto type_rows = prober.ProbeTypes(env.kb(), samples, &rng);
+    PrintTopBottom("column types", type_rows, env.kb().num_types());
+    const auto relation_rows =
+        prober.ProbeRelations(env.kb(), samples, &rng);
+    PrintTopBottom("column relations", relation_rows,
+                   env.kb().num_relations());
+  }
+  {
+    EnvOptions options;
+    options.mode = BenchmarkMode::kVizNet;
+    options.num_tables = 50;
+    options.seed = doduo::util::ExperimentSeed();
+    Env env(options);
+    doduo::probe::LmProber prober(env.PretrainedLm(), &env.tokenizer());
+
+    std::printf("== Table 13: LM probing on the VizNet KB ==\n");
+    const auto type_rows = prober.ProbeTypes(env.kb(), samples, &rng);
+    PrintTopBottom("column types", type_rows, env.kb().num_types());
+  }
+  return 0;
+}

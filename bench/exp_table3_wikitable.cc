@@ -1,0 +1,79 @@
+// Reproduces Table 3 of the paper: micro precision/recall/F1 for column
+// type and column relation prediction on the WikiTable-style benchmark,
+// comparing Sherlock, the TURL-style visibility-matrix model, DODUO, and
+// the +metadata variants of the latter two.
+//
+// Expected shape (paper): Sherlock << TURL < DODUO on types; TURL ≤ DODUO
+// on relations; +metadata closes most of the TURL-DODUO gap.
+
+#include <cstdio>
+
+#include "doduo/eval/report.h"
+#include "doduo/experiments/runners.h"
+#include "doduo/util/env.h"
+#include "doduo/util/table_printer.h"
+
+namespace {
+
+using doduo::core::EvalResult;
+using doduo::eval::Pct;
+
+std::vector<std::string> Row(const std::string& method,
+                             const EvalResult& types,
+                             const EvalResult* relations) {
+  return {method,
+          Pct(types.micro.precision),
+          Pct(types.micro.recall),
+          Pct(types.micro.f1),
+          relations != nullptr ? Pct(relations->micro.precision) : "-",
+          relations != nullptr ? Pct(relations->micro.recall) : "-",
+          relations != nullptr ? Pct(relations->micro.f1) : "-"};
+}
+
+}  // namespace
+
+int main() {
+  using namespace doduo::experiments;
+
+  EnvOptions options;
+  options.mode = BenchmarkMode::kWikiTable;
+  options.num_tables = Scaled(1000);
+  options.seed = doduo::util::ExperimentSeed();
+  Env env(options);
+
+  std::printf("== Table 3: WikiTable column type & relation prediction "
+              "(micro P/R/F1) ==\n");
+  std::printf("dataset: %d tables, %d types, %d relations\n",
+              static_cast<int>(env.dataset().tables.size()),
+              env.dataset().type_vocab.size(),
+              env.dataset().relation_vocab.size());
+
+  const EvalResult sherlock = RunSherlock(&env);
+
+  DoduoVariant turl_variant;
+  turl_variant.turl_visibility_mask = true;
+  const DoduoRun turl = RunDoduo(&env, turl_variant);
+
+  const DoduoRun doduo = RunDoduo(&env, DoduoVariant{});
+
+  DoduoVariant turl_meta_variant = turl_variant;
+  turl_meta_variant.include_metadata = true;
+  const DoduoRun turl_meta = RunDoduo(&env, turl_meta_variant);
+
+  DoduoVariant doduo_meta_variant;
+  doduo_meta_variant.include_metadata = true;
+  const DoduoRun doduo_meta = RunDoduo(&env, doduo_meta_variant);
+
+  doduo::util::TablePrinter printer({"Method", "Type P", "Type R",
+                                     "Type F1", "Rel P", "Rel R",
+                                     "Rel F1"});
+  printer.AddRow(Row("Sherlock", sherlock, nullptr));
+  printer.AddRow(Row("TURL", turl.types, &turl.relations));
+  printer.AddRow(Row("Doduo", doduo.types, &doduo.relations));
+  printer.AddRow(Row("TURL+metadata", turl_meta.types,
+                     &turl_meta.relations));
+  printer.AddRow(Row("Doduo+metadata", doduo_meta.types,
+                     &doduo_meta.relations));
+  std::printf("%s", printer.ToString().c_str());
+  return 0;
+}

@@ -1,0 +1,52 @@
+// Reproduces Table 4 of the paper: macro/micro F1 on the VizNet-style
+// benchmark for Sherlock, Sato, and DODUO, on both the Full population
+// (with single-column tables) and the Multi-column-only population.
+//
+// Expected shape (paper): Sherlock < Sato < DODUO on both populations;
+// macro-F1 gaps larger than micro.
+
+#include <cstdio>
+
+#include "doduo/eval/report.h"
+#include "doduo/experiments/runners.h"
+#include "doduo/util/env.h"
+#include "doduo/util/table_printer.h"
+
+namespace {
+
+using doduo::eval::Pct;
+
+void RunPopulation(const char* label, double single_column_fraction,
+                   doduo::util::TablePrinter* printer) {
+  using namespace doduo::experiments;
+  EnvOptions options;
+  options.mode = BenchmarkMode::kVizNet;
+  options.num_tables = Scaled(1000);
+  options.single_column_fraction = single_column_fraction;
+  options.seed = doduo::util::ExperimentSeed();
+  Env env(options);
+
+  const auto sherlock = RunSherlock(&env);
+  const auto sato = RunSato(&env);
+  const DoduoRun doduo = RunDoduo(&env, DoduoVariant{});
+
+  printer->AddRow({std::string("Sherlock (") + label + ")",
+                   Pct(sherlock.macro.f1), Pct(sherlock.micro.f1)});
+  printer->AddRow({std::string("Sato (") + label + ")", Pct(sato.macro.f1),
+                   Pct(sato.micro.f1)});
+  printer->AddRow({std::string("Doduo (") + label + ")",
+                   Pct(doduo.types.macro.f1), Pct(doduo.types.micro.f1)});
+}
+
+}  // namespace
+
+int main() {
+  std::printf("== Table 4: VizNet column type prediction (macro/micro F1) "
+              "==\n");
+  doduo::util::TablePrinter printer({"Method", "Macro F1", "Micro F1"});
+  RunPopulation("Full", /*single_column_fraction=*/0.25, &printer);
+  RunPopulation("Multi-column only", /*single_column_fraction=*/0.0,
+                &printer);
+  std::printf("%s", printer.ToString().c_str());
+  return 0;
+}

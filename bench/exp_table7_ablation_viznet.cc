@@ -1,0 +1,50 @@
+// Reproduces Table 7 of the paper: the VizNet (Full) ablation — DODUO vs
+// the single-column DOSOLO_SCol.
+//
+// Expected shape (paper): the multi-column model wins on both metrics,
+// with a larger relative gap on macro F1 (context types are the rare/hard
+// ones).
+
+#include <cstdio>
+
+#include "doduo/eval/report.h"
+#include "doduo/experiments/runners.h"
+#include "doduo/util/env.h"
+#include "doduo/util/string_util.h"
+#include "doduo/util/table_printer.h"
+
+int main() {
+  using namespace doduo::experiments;
+  using doduo::eval::Pct;
+
+  EnvOptions options;
+  options.mode = BenchmarkMode::kVizNet;
+  options.num_tables = Scaled(1000);
+  options.single_column_fraction = 0.25;  // the "Full" population
+  options.seed = doduo::util::ExperimentSeed();
+  Env env(options);
+
+  std::printf("== Table 7: VizNet (Full) ablation ==\n");
+
+  const DoduoRun doduo = RunDoduo(&env, DoduoVariant{});
+  DoduoVariant scol;
+  scol.input_mode = doduo::core::InputMode::kSingleColumn;
+  const DoduoRun scol_run = RunDoduo(&env, scol);
+
+  auto drop = [](double value, double reference) {
+    return doduo::util::FormatDouble(
+               100.0 * (reference - value) / reference, 1) +
+           "% v";
+  };
+
+  doduo::util::TablePrinter printer(
+      {"Method", "Macro F1", "(drop)", "Micro F1", "(drop)"});
+  printer.AddRow({"Doduo", Pct(doduo.types.macro.f1), "-",
+                  Pct(doduo.types.micro.f1), "-"});
+  printer.AddRow({"Dosolo_SCol", Pct(scol_run.types.macro.f1),
+                  drop(scol_run.types.macro.f1, doduo.types.macro.f1),
+                  Pct(scol_run.types.micro.f1),
+                  drop(scol_run.types.micro.f1, doduo.types.micro.f1)});
+  std::printf("%s", printer.ToString().c_str());
+  return 0;
+}

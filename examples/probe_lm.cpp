@@ -1,0 +1,47 @@
+// Ask the pre-trained (NOT fine-tuned) language model what it knows:
+// fill-in-the-blank probing over the knowledge base, as in Appendix A.5
+// of the paper.
+//
+//   ./build/examples/probe_lm
+
+#include <cstdio>
+
+#include "doduo/experiments/env.h"
+#include "doduo/probe/prober.h"
+#include "doduo/util/env.h"
+
+int main() {
+  using namespace doduo::experiments;
+
+  EnvOptions options;
+  options.mode = BenchmarkMode::kWikiTable;
+  options.num_tables = 50;  // probing uses the KB, not the tables
+  options.seed = doduo::util::ExperimentSeed();
+  Env env(options);
+
+  doduo::probe::LmProber prober(env.PretrainedLm(), &env.tokenizer());
+
+  // A concrete example first: does the LM prefer "director" for a person
+  // that the KB says directs films?
+  const auto& directors =
+      env.kb().type(env.kb().TypeId("film.director")).entities;
+  const doduo::probe::Template tmpl =
+      doduo::probe::MakeTypeTemplate(directors[0]);
+  std::printf("template: \"%s ____ %s\"\n", tmpl.prefix.c_str(),
+              tmpl.suffix.c_str());
+  for (const char* candidate : {"director", "producer", "country", "river"}) {
+    std::printf("  PPL(%-9s) = %.2f\n", candidate,
+                prober.ScoreCompletion(tmpl, candidate));
+  }
+
+  // Then the aggregate ranking over all types.
+  doduo::util::Rng rng(options.seed + 1);
+  std::printf("\naverage rank of the true type among %d candidates "
+              "(1 = LM always right, %.1f = chance):\n",
+              env.kb().num_types(), (env.kb().num_types() + 1) / 2.0);
+  for (const auto& row : prober.ProbeTypes(env.kb(), /*samples=*/5, &rng)) {
+    std::printf("  %-28s avg rank %5.2f   PPL/avgPPL %.3f\n",
+                row.label.c_str(), row.avg_rank, row.ppl_ratio);
+  }
+  return 0;
+}

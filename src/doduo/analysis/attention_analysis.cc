@@ -1,0 +1,115 @@
+#include "doduo/analysis/attention_analysis.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "doduo/util/check.h"
+
+namespace doduo::analysis {
+
+InterColumnDependency AnalyzeInterColumnDependency(
+    core::DoduoModel* model, const table::TableSerializer& serializer,
+    const table::ColumnAnnotationDataset& dataset,
+    const std::vector<size_t>& table_indices) {
+  DODUO_CHECK(model != nullptr);
+  model->set_training(false);
+  const int num_types = dataset.type_vocab.size();
+
+  std::vector<std::vector<double>> sums(
+      static_cast<size_t>(num_types),
+      std::vector<double>(static_cast<size_t>(num_types), 0.0));
+  std::vector<std::vector<int64_t>> counts(
+      static_cast<size_t>(num_types),
+      std::vector<int64_t>(static_cast<size_t>(num_types), 0));
+
+  for (size_t index : table_indices) {
+    const table::AnnotatedTable& annotated = dataset.tables[index];
+    const int n = annotated.table.num_columns();
+    if (n < 2) continue;  // a single column has no inter-column context
+    const nn::Tensor attention = model->ColumnAttention(
+        serializer.SerializeTable(annotated.table));
+    DODUO_CHECK_EQ(attention.rows(), n);
+    const double uniform = 1.0 / static_cast<double>(n);
+    for (int i = 0; i < n; ++i) {
+      const int type_i = annotated.column_types[static_cast<size_t>(i)][0];
+      for (int j = 0; j < n; ++j) {
+        if (i == j) continue;
+        const int type_j =
+            annotated.column_types[static_cast<size_t>(j)][0];
+        sums[static_cast<size_t>(type_i)][static_cast<size_t>(type_j)] +=
+            attention.at(i, j) - uniform;
+        ++counts[static_cast<size_t>(type_i)][static_cast<size_t>(type_j)];
+      }
+    }
+  }
+
+  // Keep only types observed in some pair.
+  std::vector<int> kept;
+  for (int t = 0; t < num_types; ++t) {
+    int64_t support = 0;
+    for (int u = 0; u < num_types; ++u) {
+      support += counts[static_cast<size_t>(t)][static_cast<size_t>(u)] +
+                 counts[static_cast<size_t>(u)][static_cast<size_t>(t)];
+    }
+    if (support > 0) kept.push_back(t);
+  }
+
+  InterColumnDependency result;
+  for (int t : kept) result.type_names.push_back(dataset.type_vocab.Name(t));
+  result.matrix.assign(kept.size(), std::vector<double>(kept.size(), 0.0));
+  result.cooccurrence.assign(kept.size(),
+                             std::vector<int64_t>(kept.size(), 0));
+  for (size_t a = 0; a < kept.size(); ++a) {
+    for (size_t b = 0; b < kept.size(); ++b) {
+      const int64_t count = counts[static_cast<size_t>(kept[a])]
+                                  [static_cast<size_t>(kept[b])];
+      result.cooccurrence[a][b] = count;
+      if (count > 0) {
+        result.matrix[a][b] = sums[static_cast<size_t>(kept[a])]
+                                  [static_cast<size_t>(kept[b])] /
+                              static_cast<double>(count);
+      }
+    }
+  }
+  return result;
+}
+
+std::string RenderDependencyMatrix(
+    const InterColumnDependency& dependency) {
+  // Short axis labels: last path segment, clipped to 10 chars.
+  auto short_name = [](const std::string& name) {
+    const auto dot = name.rfind('.');
+    std::string leaf = dot == std::string::npos ? name : name.substr(dot + 1);
+    if (leaf.size() > 10) leaf.resize(10);
+    return leaf;
+  };
+
+  std::string out = "rows rely on columns; values are 100x (attention - "
+                    "co-occurrence share)\n";
+  char buffer[32];
+  out += std::string(11, ' ');
+  for (const std::string& name : dependency.type_names) {
+    std::snprintf(buffer, sizeof(buffer), " %10s",
+                  short_name(name).c_str());
+    out += buffer;
+  }
+  out += "\n";
+  for (size_t i = 0; i < dependency.type_names.size(); ++i) {
+    std::snprintf(buffer, sizeof(buffer), "%-11s",
+                  short_name(dependency.type_names[i]).c_str());
+    out += buffer;
+    for (size_t j = 0; j < dependency.type_names.size(); ++j) {
+      if (dependency.cooccurrence[i][j] == 0) {
+        std::snprintf(buffer, sizeof(buffer), " %10s", ".");
+      } else {
+        std::snprintf(buffer, sizeof(buffer), " %10.2f",
+                      100.0 * dependency.matrix[i][j]);
+      }
+      out += buffer;
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace doduo::analysis

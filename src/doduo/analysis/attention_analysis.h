@@ -1,0 +1,39 @@
+#ifndef DODUO_ANALYSIS_ATTENTION_ANALYSIS_H_
+#define DODUO_ANALYSIS_ATTENTION_ANALYSIS_H_
+
+#include <string>
+#include <vector>
+
+#include "doduo/core/model.h"
+#include "doduo/table/dataset.h"
+#include "doduo/table/serializer.h"
+
+namespace doduo::analysis {
+
+/// The Figure 6 artifact: for every pair of column types (i, j), how much
+/// the contextualized representation of an i-column relies on j-columns,
+/// measured from the last encoder layer's [CLS]→[CLS] attention,
+/// head-averaged, and normalized so that uniform attention (pure
+/// co-occurrence) maps to zero. The matrix is asymmetric by construction.
+struct InterColumnDependency {
+  std::vector<std::string> type_names;  // axis labels (types with support)
+  std::vector<std::vector<double>> matrix;  // [types][types], 0 = neutral
+  std::vector<std::vector<int64_t>> cooccurrence;  // pair sample counts
+};
+
+/// Aggregates [CLS]→[CLS] attention over the given tables. Each table
+/// contributes attn(i→j) − 1/num_columns for its (type_i, type_j) pairs, so
+/// positive entries mean "type_i's embedding draws more than its
+/// co-occurrence share from type_j columns". Types never observed in a
+/// multi-column table are dropped from the axes.
+InterColumnDependency AnalyzeInterColumnDependency(
+    core::DoduoModel* model, const table::TableSerializer& serializer,
+    const table::ColumnAnnotationDataset& dataset,
+    const std::vector<size_t>& table_indices);
+
+/// Renders the dependency matrix as an aligned text heatmap (values ×100).
+std::string RenderDependencyMatrix(const InterColumnDependency& dependency);
+
+}  // namespace doduo::analysis
+
+#endif  // DODUO_ANALYSIS_ATTENTION_ANALYSIS_H_

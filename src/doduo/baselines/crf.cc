@@ -1,0 +1,123 @@
+#include "doduo/baselines/crf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "doduo/util/check.h"
+
+namespace doduo::baselines {
+
+PairwiseCrf::PairwiseCrf(int num_labels, Options options)
+    : num_labels_(num_labels),
+      options_(options),
+      pairwise_({num_labels, num_labels}) {
+  DODUO_CHECK_GT(num_labels, 0);
+}
+
+float PairwiseCrf::PairwiseWeight(int a, int b) const {
+  DODUO_DCHECK(a >= 0 && a < num_labels_);
+  DODUO_DCHECK(b >= 0 && b < num_labels_);
+  // Symmetric: stored once, read both ways.
+  return pairwise_.at(std::min(a, b), std::max(a, b));
+}
+
+void PairwiseCrf::ConditionalScores(const nn::Tensor& unaries,
+                                    const std::vector<int>& labels,
+                                    size_t i,
+                                    std::vector<double>* scores) const {
+  scores->assign(static_cast<size_t>(num_labels_), 0.0);
+  for (int y = 0; y < num_labels_; ++y) {
+    double score = unaries.at(static_cast<int64_t>(i), y);
+    for (size_t j = 0; j < labels.size(); ++j) {
+      if (j == i) continue;
+      score += PairwiseWeight(y, labels[j]);
+    }
+    (*scores)[static_cast<size_t>(y)] = score;
+  }
+}
+
+void PairwiseCrf::Train(const std::vector<Instance>& instances) {
+  DODUO_CHECK(!instances.empty());
+  util::Rng rng(options_.seed);
+  std::vector<size_t> order(instances.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  auto bump = [&](int a, int b, float delta) {
+    pairwise_.at(std::min(a, b), std::max(a, b)) += delta;
+  };
+
+  std::vector<double> scores;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    const float lr = static_cast<float>(
+        options_.learning_rate / (1.0 + 0.5 * epoch));
+    for (size_t idx : order) {
+      const Instance& instance = instances[idx];
+      const size_t n = instance.labels.size();
+      if (n < 2) continue;  // no pairwise structure to learn from
+      DODUO_CHECK_EQ(instance.unaries.rows(), static_cast<int64_t>(n));
+      // Pseudo-likelihood gradient: for each column, push up the gold
+      // label's pairwise links and push down the expected ones.
+      for (size_t i = 0; i < n; ++i) {
+        ConditionalScores(instance.unaries, instance.labels, i, &scores);
+        // Softmax over scores.
+        double max_score = scores[0];
+        for (double s : scores) max_score = std::max(max_score, s);
+        double z = 0.0;
+        for (double s : scores) z += std::exp(s - max_score);
+        const int gold = instance.labels[i];
+        for (int y = 0; y < num_labels_; ++y) {
+          const double p =
+              std::exp(scores[static_cast<size_t>(y)] - max_score) / z;
+          const double target = (y == gold) ? 1.0 : 0.0;
+          const float delta = lr * static_cast<float>(target - p);
+          if (delta == 0.0f) continue;
+          for (size_t j = 0; j < n; ++j) {
+            if (j == i) continue;
+            bump(y, instance.labels[j], delta);
+          }
+        }
+      }
+    }
+    // L2 shrinkage keeps the pairwise matrix from dominating unaries.
+    if (options_.l2 > 0.0) {
+      const float shrink = static_cast<float>(1.0 - options_.l2);
+      for (int64_t i = 0; i < pairwise_.size(); ++i) {
+        pairwise_.data()[i] *= shrink;
+      }
+    }
+  }
+}
+
+std::vector<int> PairwiseCrf::Decode(const nn::Tensor& unaries) const {
+  const int64_t n = unaries.rows();
+  DODUO_CHECK_EQ(unaries.cols(), num_labels_);
+  // Initialize at the unary argmax.
+  std::vector<int> labels(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    const float* row = unaries.row(i);
+    labels[static_cast<size_t>(i)] = static_cast<int>(
+        std::max_element(row, row + num_labels_) - row);
+  }
+  if (n < 2) return labels;
+
+  // Iterated conditional modes.
+  std::vector<double> scores;
+  constexpr int kMaxSweeps = 10;
+  for (int sweep = 0; sweep < kMaxSweeps; ++sweep) {
+    bool changed = false;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      ConditionalScores(unaries, labels, i, &scores);
+      const int best = static_cast<int>(
+          std::max_element(scores.begin(), scores.end()) - scores.begin());
+      if (best != labels[i]) {
+        labels[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+  }
+  return labels;
+}
+
+}  // namespace doduo::baselines

@@ -1,0 +1,59 @@
+#ifndef DODUO_BASELINES_CRF_H_
+#define DODUO_BASELINES_CRF_H_
+
+#include <vector>
+
+#include "doduo/nn/tensor.h"
+#include "doduo/util/rng.h"
+
+namespace doduo::baselines {
+
+/// Fully-connected pairwise CRF over the columns of one table, the
+/// structured-output layer of Sato: unary scores come from the feature
+/// model, a learned label-pair compatibility matrix couples every pair of
+/// columns in the same table.
+///
+/// Training maximizes the pseudo-likelihood by SGD; decoding is iterated
+/// conditional modes from the unary argmax (tables are small, ICM
+/// converges in a couple of sweeps).
+class PairwiseCrf {
+ public:
+  struct Options {
+    int epochs = 10;
+    double learning_rate = 0.1;
+    double l2 = 1e-4;
+    uint64_t seed = 42;
+  };
+
+  PairwiseCrf(int num_labels, Options options);
+
+  /// One training table: per-column unary log-scores [n, num_labels] and
+  /// the gold labels.
+  struct Instance {
+    nn::Tensor unaries;
+    std::vector<int> labels;
+  };
+
+  /// Fits the pairwise matrix on the given instances.
+  void Train(const std::vector<Instance>& instances);
+
+  /// MAP-ish decoding: ICM from the unary argmax.
+  std::vector<int> Decode(const nn::Tensor& unaries) const;
+
+  /// Pairwise compatibility weight between two labels.
+  float PairwiseWeight(int a, int b) const;
+
+ private:
+  /// Conditional distribution of column i's label given the rest.
+  void ConditionalScores(const nn::Tensor& unaries,
+                         const std::vector<int>& labels, size_t i,
+                         std::vector<double>* scores) const;
+
+  int num_labels_;
+  Options options_;
+  nn::Tensor pairwise_;  // [num_labels, num_labels], symmetric use
+};
+
+}  // namespace doduo::baselines
+
+#endif  // DODUO_BASELINES_CRF_H_

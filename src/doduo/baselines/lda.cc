@@ -1,0 +1,162 @@
+#include "doduo/baselines/lda.h"
+
+#include "doduo/util/check.h"
+
+namespace doduo::baselines {
+
+Lda::Lda(Options options) : options_(options) {
+  DODUO_CHECK_GT(options.num_topics, 0);
+  DODUO_CHECK_GT(options.iterations, 0);
+}
+
+int Lda::WordId(const std::string& word) const {
+  auto it = word_ids_.find(word);
+  return it != word_ids_.end() ? it->second : -1;
+}
+
+void Lda::Fit(const std::vector<std::vector<std::string>>& documents) {
+  DODUO_CHECK(!documents.empty());
+  util::Rng rng(options_.seed);
+  const int k = options_.num_topics;
+
+  // Word index.
+  std::vector<std::vector<int>> docs;
+  docs.reserve(documents.size());
+  for (const auto& document : documents) {
+    std::vector<int> ids;
+    ids.reserve(document.size());
+    for (const std::string& word : document) {
+      auto [it, inserted] =
+          word_ids_.emplace(word, static_cast<int>(word_ids_.size()));
+      ids.push_back(it->second);
+    }
+    docs.push_back(std::move(ids));
+  }
+  const int v = vocab_size();
+  DODUO_CHECK_GT(v, 0);
+
+  // Count tables and random topic initialization.
+  doc_topic_counts_.assign(docs.size(), std::vector<int>(k, 0));
+  topic_word_counts_.assign(static_cast<size_t>(k),
+                            std::vector<int>(v, 0));
+  topic_totals_.assign(static_cast<size_t>(k), 0);
+  doc_lengths_.assign(docs.size(), 0);
+  std::vector<std::vector<int>> assignments(docs.size());
+  for (size_t d = 0; d < docs.size(); ++d) {
+    assignments[d].resize(docs[d].size());
+    doc_lengths_[d] = static_cast<int>(docs[d].size());
+    for (size_t i = 0; i < docs[d].size(); ++i) {
+      const int topic = static_cast<int>(rng.NextUint64(k));
+      assignments[d][i] = topic;
+      ++doc_topic_counts_[d][static_cast<size_t>(topic)];
+      ++topic_word_counts_[static_cast<size_t>(topic)]
+                          [static_cast<size_t>(docs[d][i])];
+      ++topic_totals_[static_cast<size_t>(topic)];
+    }
+  }
+
+  // Collapsed Gibbs sweeps.
+  std::vector<double> weights(static_cast<size_t>(k));
+  const double vbeta = static_cast<double>(v) * options_.beta;
+  for (int iter = 0; iter < options_.iterations; ++iter) {
+    for (size_t d = 0; d < docs.size(); ++d) {
+      for (size_t i = 0; i < docs[d].size(); ++i) {
+        const int word = docs[d][i];
+        const int old_topic = assignments[d][i];
+        --doc_topic_counts_[d][static_cast<size_t>(old_topic)];
+        --topic_word_counts_[static_cast<size_t>(old_topic)]
+                            [static_cast<size_t>(word)];
+        --topic_totals_[static_cast<size_t>(old_topic)];
+
+        for (int t = 0; t < k; ++t) {
+          const double doc_part =
+              doc_topic_counts_[d][static_cast<size_t>(t)] + options_.alpha;
+          const double word_part =
+              (topic_word_counts_[static_cast<size_t>(t)]
+                                 [static_cast<size_t>(word)] +
+               options_.beta) /
+              (topic_totals_[static_cast<size_t>(t)] + vbeta);
+          weights[static_cast<size_t>(t)] = doc_part * word_part;
+        }
+        const int new_topic = static_cast<int>(rng.Categorical(weights));
+        assignments[d][i] = new_topic;
+        ++doc_topic_counts_[d][static_cast<size_t>(new_topic)];
+        ++topic_word_counts_[static_cast<size_t>(new_topic)]
+                            [static_cast<size_t>(word)];
+        ++topic_totals_[static_cast<size_t>(new_topic)];
+      }
+    }
+  }
+}
+
+std::vector<float> Lda::DocumentTopics(size_t document_index) const {
+  DODUO_CHECK_LT(document_index, doc_topic_counts_.size());
+  const int k = options_.num_topics;
+  std::vector<float> theta(static_cast<size_t>(k));
+  const double denom =
+      doc_lengths_[document_index] + k * options_.alpha;
+  for (int t = 0; t < k; ++t) {
+    theta[static_cast<size_t>(t)] = static_cast<float>(
+        (doc_topic_counts_[document_index][static_cast<size_t>(t)] +
+         options_.alpha) /
+        denom);
+  }
+  return theta;
+}
+
+std::vector<float> Lda::InferTopics(
+    const std::vector<std::string>& document) const {
+  const int k = options_.num_topics;
+  const int v = vocab_size();
+  DODUO_CHECK_GT(v, 0) << "InferTopics before Fit";
+  util::Rng rng(options_.seed ^ 0x9e3779b97f4a7c15ULL);
+
+  // Known words only.
+  std::vector<int> words;
+  for (const std::string& word : document) {
+    const int id = WordId(word);
+    if (id >= 0) words.push_back(id);
+  }
+  std::vector<int> counts(static_cast<size_t>(k), 0);
+  if (words.empty()) {
+    // Uniform distribution for fully unseen documents.
+    return std::vector<float>(static_cast<size_t>(k),
+                              1.0f / static_cast<float>(k));
+  }
+
+  std::vector<int> assignments(words.size());
+  for (size_t i = 0; i < words.size(); ++i) {
+    assignments[i] = static_cast<int>(rng.NextUint64(k));
+    ++counts[static_cast<size_t>(assignments[i])];
+  }
+  std::vector<double> weights(static_cast<size_t>(k));
+  const double vbeta = static_cast<double>(v) * options_.beta;
+  constexpr int kInferenceSweeps = 20;
+  for (int iter = 0; iter < kInferenceSweeps; ++iter) {
+    for (size_t i = 0; i < words.size(); ++i) {
+      --counts[static_cast<size_t>(assignments[i])];
+      for (int t = 0; t < k; ++t) {
+        const double doc_part =
+            counts[static_cast<size_t>(t)] + options_.alpha;
+        const double word_part =
+            (topic_word_counts_[static_cast<size_t>(t)]
+                               [static_cast<size_t>(words[i])] +
+             options_.beta) /
+            (topic_totals_[static_cast<size_t>(t)] + vbeta);
+        weights[static_cast<size_t>(t)] = doc_part * word_part;
+      }
+      assignments[i] = static_cast<int>(rng.Categorical(weights));
+      ++counts[static_cast<size_t>(assignments[i])];
+    }
+  }
+  std::vector<float> theta(static_cast<size_t>(k));
+  const double denom =
+      static_cast<double>(words.size()) + k * options_.alpha;
+  for (int t = 0; t < k; ++t) {
+    theta[static_cast<size_t>(t)] = static_cast<float>(
+        (counts[static_cast<size_t>(t)] + options_.alpha) / denom);
+  }
+  return theta;
+}
+
+}  // namespace doduo::baselines

@@ -1,0 +1,56 @@
+#ifndef DODUO_BASELINES_LDA_H_
+#define DODUO_BASELINES_LDA_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "doduo/util/rng.h"
+
+namespace doduo::baselines {
+
+/// Latent Dirichlet Allocation trained with collapsed Gibbs sampling. Sato
+/// uses an LDA topic vector per table as its "table context" features; this
+/// is that substrate, built from scratch.
+class Lda {
+ public:
+  struct Options {
+    int num_topics = 16;
+    double alpha = 0.5;  // document-topic prior
+    double beta = 0.1;   // topic-word prior
+    int iterations = 100;
+    uint64_t seed = 42;
+  };
+
+  explicit Lda(Options options);
+
+  /// Fits the model on documents (each a bag of tokens). Builds the word
+  /// index from the training documents.
+  void Fit(const std::vector<std::vector<std::string>>& documents);
+
+  /// Topic distribution of a fitted training document.
+  std::vector<float> DocumentTopics(size_t document_index) const;
+
+  /// Infers the topic distribution of an unseen document by a few Gibbs
+  /// sweeps with the learned topic-word counts held fixed.
+  std::vector<float> InferTopics(
+      const std::vector<std::string>& document) const;
+
+  int num_topics() const { return options_.num_topics; }
+  int vocab_size() const { return static_cast<int>(word_ids_.size()); }
+
+ private:
+  int WordId(const std::string& word) const;  // -1 when unseen
+
+  Options options_;
+  std::unordered_map<std::string, int> word_ids_;
+  // Counts from the fitted corpus.
+  std::vector<std::vector<int>> doc_topic_counts_;   // [docs][topics]
+  std::vector<std::vector<int>> topic_word_counts_;  // [topics][words]
+  std::vector<int> topic_totals_;                    // [topics]
+  std::vector<int> doc_lengths_;                     // [docs]
+};
+
+}  // namespace doduo::baselines
+
+#endif  // DODUO_BASELINES_LDA_H_

@@ -1,0 +1,136 @@
+#include "doduo/baselines/sherlock_features.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdint>
+#include <unordered_set>
+
+#include "doduo/util/string_util.h"
+
+namespace doduo::baselines {
+
+namespace {
+
+// Feature layout.
+constexpr int kCharDistDim = 40;   // a-z, 0-9, space, punct buckets
+constexpr int kStatsDim = 12;      // global statistics
+constexpr int kHashedBowDim = 64;  // hashed bag of words
+constexpr int kTotalDim = kCharDistDim + kStatsDim + kHashedBowDim;
+
+// a-z → 0..25, 0-9 → 26..35, space → 36, '.'/','/'-' → 37, other punct →
+// 38, everything else → 39.
+int CharBucket(unsigned char c) {
+  if (c >= 'a' && c <= 'z') return c - 'a';
+  if (c >= 'A' && c <= 'Z') return c - 'A';
+  if (c >= '0' && c <= '9') return 26 + (c - '0');
+  if (c == ' ') return 36;
+  if (c == '.' || c == ',' || c == '-') return 37;
+  if (std::ispunct(c)) return 38;
+  return 39;
+}
+
+uint64_t Fnv1a(const std::string& text) {
+  uint64_t hash = 1469598103934665603ULL;
+  for (char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ULL;
+  }
+  return hash;
+}
+
+}  // namespace
+
+int SherlockFeatureDim() { return kTotalDim; }
+
+std::vector<float> ExtractSherlockFeatures(const table::Column& column) {
+  std::vector<float> features(kTotalDim, 0.0f);
+  float* char_dist = features.data();
+  float* stats = features.data() + kCharDistDim;
+  float* bow = features.data() + kCharDistDim + kStatsDim;
+
+  const auto& values = column.values;
+  if (values.empty()) return features;
+
+  int64_t total_chars = 0;
+  int64_t digit_chars = 0;
+  int64_t alpha_chars = 0;
+  int64_t punct_chars = 0;
+  int64_t numeric_values = 0;
+  int64_t empty_values = 0;
+  int64_t total_tokens = 0;
+  double length_sum = 0.0;
+  double length_sq_sum = 0.0;
+  std::unordered_set<std::string> unique(values.begin(), values.end());
+
+  for (const std::string& value : values) {
+    if (value.empty()) ++empty_values;
+    if (util::LooksNumeric(value)) ++numeric_values;
+    length_sum += static_cast<double>(value.size());
+    length_sq_sum += static_cast<double>(value.size()) * value.size();
+    for (char raw : value) {
+      const unsigned char c = static_cast<unsigned char>(raw);
+      ++total_chars;
+      ++char_dist[CharBucket(c)];
+      if (std::isdigit(c)) ++digit_chars;
+      if (std::isalpha(c)) ++alpha_chars;
+      if (std::ispunct(c)) ++punct_chars;
+    }
+    const auto tokens = util::SplitWhitespace(value);
+    total_tokens += static_cast<int64_t>(tokens.size());
+    for (const std::string& token : tokens) {
+      bow[Fnv1a(util::ToLower(token)) % kHashedBowDim] += 1.0f;
+    }
+  }
+
+  // Normalize the character distribution and the bag of words.
+  if (total_chars > 0) {
+    for (int i = 0; i < kCharDistDim; ++i) {
+      char_dist[i] /= static_cast<float>(total_chars);
+    }
+  }
+  if (total_tokens > 0) {
+    for (int i = 0; i < kHashedBowDim; ++i) {
+      bow[i] /= static_cast<float>(total_tokens);
+    }
+  }
+
+  const double n = static_cast<double>(values.size());
+  const double mean_length = length_sum / n;
+  const double var_length =
+      std::max(0.0, length_sq_sum / n - mean_length * mean_length);
+  stats[0] = static_cast<float>(std::log1p(n));
+  stats[1] = static_cast<float>(mean_length / 32.0);
+  stats[2] = static_cast<float>(std::sqrt(var_length) / 16.0);
+  stats[3] = static_cast<float>(static_cast<double>(numeric_values) / n);
+  stats[4] = static_cast<float>(static_cast<double>(unique.size()) / n);
+  stats[5] = static_cast<float>(static_cast<double>(empty_values) / n);
+  stats[6] = total_chars > 0 ? static_cast<float>(
+                                   static_cast<double>(digit_chars) /
+                                   static_cast<double>(total_chars))
+                             : 0.0f;
+  stats[7] = total_chars > 0 ? static_cast<float>(
+                                   static_cast<double>(alpha_chars) /
+                                   static_cast<double>(total_chars))
+                             : 0.0f;
+  stats[8] = total_chars > 0 ? static_cast<float>(
+                                   static_cast<double>(punct_chars) /
+                                   static_cast<double>(total_chars))
+                             : 0.0f;
+  stats[9] = static_cast<float>(static_cast<double>(total_tokens) / n / 8.0);
+  // Fraction of values starting with a digit; fraction all-lowercase.
+  int64_t starts_digit = 0;
+  int64_t has_space = 0;
+  for (const std::string& value : values) {
+    if (!value.empty() &&
+        std::isdigit(static_cast<unsigned char>(value[0]))) {
+      ++starts_digit;
+    }
+    if (value.find(' ') != std::string::npos) ++has_space;
+  }
+  stats[10] = static_cast<float>(static_cast<double>(starts_digit) / n);
+  stats[11] = static_cast<float>(static_cast<double>(has_space) / n);
+
+  return features;
+}
+
+}  // namespace doduo::baselines

@@ -1,0 +1,26 @@
+#ifndef DODUO_BASELINES_SHERLOCK_FEATURES_H_
+#define DODUO_BASELINES_SHERLOCK_FEATURES_H_
+
+#include <vector>
+
+#include "doduo/table/table.h"
+
+namespace doduo::baselines {
+
+/// Dimensionality of the Sherlock-style feature vector (see .cc for the
+/// layout: character distribution + global statistics + hashed
+/// bag-of-words block standing in for aggregated word embeddings).
+int SherlockFeatureDim();
+
+/// Extracts the per-column feature vector of the Sherlock baseline
+/// (Hulsebos et al., KDD'19): character-distribution features, global
+/// statistics (lengths, uniqueness, numeric fraction, ...), and an
+/// aggregated-token-embedding block. The original's pre-trained GloVe /
+/// paragraph vectors are substituted with a hashed bag-of-words block,
+/// which plays the same role (a fixed-length lexical summary) without an
+/// external embedding file.
+std::vector<float> ExtractSherlockFeatures(const table::Column& column);
+
+}  // namespace doduo::baselines
+
+#endif  // DODUO_BASELINES_SHERLOCK_FEATURES_H_

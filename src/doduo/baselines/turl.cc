@@ -1,0 +1,66 @@
+#include "doduo/baselines/turl.h"
+
+#include <unordered_set>
+
+namespace doduo::baselines {
+
+std::vector<int> ColumnOfPosition(const table::SerializedTable& input) {
+  std::vector<int> column_of(input.token_ids.size(), -1);
+  for (size_t c = 0; c < input.cls_positions.size(); ++c) {
+    const size_t begin = static_cast<size_t>(input.cls_positions[c]);
+    const size_t end = c + 1 < input.cls_positions.size()
+                           ? static_cast<size_t>(input.cls_positions[c + 1])
+                           : input.token_ids.size();
+    for (size_t p = begin; p < end; ++p) {
+      // Separators stay global (-1).
+      if (input.token_ids[p] == text::Vocab::kSepId) continue;
+      column_of[p] = static_cast<int>(c);
+    }
+  }
+  return column_of;
+}
+
+namespace {
+
+core::AttentionMaskBuilder MakeMaskBuilder(bool row_edges, bool cls_edges) {
+  return [row_edges, cls_edges](const table::SerializedTable& input) {
+    const int64_t s = static_cast<int64_t>(input.token_ids.size());
+    const std::vector<int> column_of = ColumnOfPosition(input);
+    DODUO_CHECK_EQ(input.row_ids.size(), input.token_ids.size())
+        << "serializer did not fill row ids";
+    std::unordered_set<int64_t> cls_set(input.cls_positions.begin(),
+                                        input.cls_positions.end());
+
+    transformer::AttentionMask mask({s, s});
+    for (int64_t i = 0; i < s; ++i) {
+      const int col_i = column_of[static_cast<size_t>(i)];
+      const int row_i = input.row_ids[static_cast<size_t>(i)];
+      const bool i_is_cls = cls_set.count(i) > 0;
+      for (int64_t j = 0; j < s; ++j) {
+        const int col_j = column_of[static_cast<size_t>(j)];
+        const int row_j = input.row_ids[static_cast<size_t>(j)];
+        const bool same_column = col_i == col_j;
+        const bool same_row = row_edges && row_i >= 0 && row_i == row_j;
+        const bool global = col_i == -1 || col_j == -1;
+        const bool cls_to_cls =
+            cls_edges && i_is_cls && cls_set.count(j) > 0;
+        if (!(same_column || same_row || global || cls_to_cls)) {
+          mask.at(i, j) = transformer::kAttentionMaskValue;
+        }
+      }
+    }
+    return mask;
+  };
+}
+
+}  // namespace
+
+core::AttentionMaskBuilder MakeTurlVisibilityMaskBuilder() {
+  return MakeMaskBuilder(/*row_edges=*/false, /*cls_edges=*/true);
+}
+
+core::AttentionMaskBuilder MakeRowVisibilityMaskBuilder() {
+  return MakeMaskBuilder(/*row_edges=*/true, /*cls_edges=*/false);
+}
+
+}  // namespace doduo::baselines

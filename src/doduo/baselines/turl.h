@@ -1,0 +1,30 @@
+#ifndef DODUO_BASELINES_TURL_H_
+#define DODUO_BASELINES_TURL_H_
+
+#include "doduo/core/model.h"
+
+namespace doduo::baselines {
+
+/// Builds the TURL-style visibility matrix as the DODUO paper describes it
+/// (Section 5.4): all cross-column token edges are removed — a cell token
+/// attends only within its own column (cells + that column's [CLS]) — and
+/// the per-column [CLS] markers remain mutually visible as the only
+/// cross-column channel. Plugging this builder into a DoduoModel turns it
+/// into the TURL baseline: identical parameters and training procedure,
+/// restricted attention. The paper attributes DODUO's advantage over TURL
+/// exactly to this architectural delta.
+core::AttentionMaskBuilder MakeTurlVisibilityMaskBuilder();
+
+/// Ablation variant closer to TURL's original entity visibility: same
+/// column plus same ROW across columns, without the [CLS]↔[CLS] channel.
+/// Used by the design-choice ablation bench to separate the structured
+/// cross-column channels (row-wise vs [CLS]-mediated vs full attention).
+core::AttentionMaskBuilder MakeRowVisibilityMaskBuilder();
+
+/// Exposed for testing: the column index owning each sequence position
+/// (-1 for the trailing/inter-column [SEP]s, which stay globally visible).
+std::vector<int> ColumnOfPosition(const table::SerializedTable& input);
+
+}  // namespace doduo::baselines
+
+#endif  // DODUO_BASELINES_TURL_H_

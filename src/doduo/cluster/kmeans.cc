@@ -1,0 +1,150 @@
+#include "doduo/cluster/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "doduo/util/check.h"
+
+namespace doduo::cluster {
+
+namespace {
+
+double SquaredDistance(const float* a, const float* b, int64_t d) {
+  double total = 0.0;
+  for (int64_t j = 0; j < d; ++j) {
+    const double diff = static_cast<double>(a[j]) - b[j];
+    total += diff * diff;
+  }
+  return total;
+}
+
+}  // namespace
+
+void NormalizeRows(nn::Tensor* points) {
+  DODUO_CHECK_EQ(points->ndim(), 2);
+  const int64_t d = points->cols();
+  for (int64_t i = 0; i < points->rows(); ++i) {
+    float* row = points->row(i);
+    double norm = 0.0;
+    for (int64_t j = 0; j < d; ++j) {
+      norm += static_cast<double>(row[j]) * row[j];
+    }
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) continue;
+    const float inv = static_cast<float>(1.0 / norm);
+    for (int64_t j = 0; j < d; ++j) row[j] *= inv;
+  }
+}
+
+KMeans::KMeans(Options options) : options_(options) {
+  DODUO_CHECK_GT(options.k, 0);
+  DODUO_CHECK_GT(options.restarts, 0);
+}
+
+KMeans::RunResult KMeans::RunOnce(const nn::Tensor& points,
+                                  util::Rng* rng) const {
+  const int64_t n = points.rows();
+  const int64_t d = points.cols();
+  const int k = options_.k;
+
+  // k-means++ seeding.
+  std::vector<int64_t> center_ids;
+  center_ids.push_back(static_cast<int64_t>(rng->NextUint64(
+      static_cast<uint64_t>(n))));
+  std::vector<double> min_dist(static_cast<size_t>(n),
+                               std::numeric_limits<double>::max());
+  while (static_cast<int>(center_ids.size()) < k) {
+    const float* last = points.row(center_ids.back());
+    std::vector<double> weights(static_cast<size_t>(n));
+    double total = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      min_dist[static_cast<size_t>(i)] =
+          std::min(min_dist[static_cast<size_t>(i)],
+                   SquaredDistance(points.row(i), last, d));
+      weights[static_cast<size_t>(i)] = min_dist[static_cast<size_t>(i)];
+      total += weights[static_cast<size_t>(i)];
+    }
+    if (total <= 0.0) {
+      // All remaining points coincide with a center; pick uniformly.
+      center_ids.push_back(static_cast<int64_t>(
+          rng->NextUint64(static_cast<uint64_t>(n))));
+    } else {
+      center_ids.push_back(
+          static_cast<int64_t>(rng->Categorical(weights)));
+    }
+  }
+
+  nn::Tensor centers({k, d});
+  for (int c = 0; c < k; ++c) {
+    const float* src = points.row(center_ids[static_cast<size_t>(c)]);
+    std::copy(src, src + d, centers.row(c));
+  }
+
+  RunResult result;
+  result.assignment.assign(static_cast<size_t>(n), 0);
+  std::vector<int64_t> cluster_sizes(static_cast<size_t>(k), 0);
+  for (int iter = 0; iter < options_.max_iterations; ++iter) {
+    bool changed = false;
+    result.inertia = 0.0;
+    for (int64_t i = 0; i < n; ++i) {
+      double best_dist = std::numeric_limits<double>::max();
+      int best = 0;
+      for (int c = 0; c < k; ++c) {
+        const double dist =
+            SquaredDistance(points.row(i), centers.row(c), d);
+        if (dist < best_dist) {
+          best_dist = dist;
+          best = c;
+        }
+      }
+      if (result.assignment[static_cast<size_t>(i)] != best) {
+        result.assignment[static_cast<size_t>(i)] = best;
+        changed = true;
+      }
+      result.inertia += best_dist;
+    }
+    if (!changed && iter > 0) break;
+
+    // Recompute centers; empty clusters keep their previous position.
+    centers.Zero();
+    cluster_sizes.assign(static_cast<size_t>(k), 0);
+    for (int64_t i = 0; i < n; ++i) {
+      const int c = result.assignment[static_cast<size_t>(i)];
+      ++cluster_sizes[static_cast<size_t>(c)];
+      const float* src = points.row(i);
+      float* dst = centers.row(c);
+      for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+    }
+    for (int c = 0; c < k; ++c) {
+      const int64_t size = cluster_sizes[static_cast<size_t>(c)];
+      if (size == 0) {
+        // Re-seed an empty cluster at a random point.
+        const float* src = points.row(static_cast<int64_t>(
+            rng->NextUint64(static_cast<uint64_t>(n))));
+        std::copy(src, src + d, centers.row(c));
+        continue;
+      }
+      float* dst = centers.row(c);
+      const float inv = 1.0f / static_cast<float>(size);
+      for (int64_t j = 0; j < d; ++j) dst[j] *= inv;
+    }
+  }
+  return result;
+}
+
+std::vector<int> KMeans::Cluster(const nn::Tensor& points) const {
+  DODUO_CHECK_EQ(points.ndim(), 2);
+  DODUO_CHECK_GE(points.rows(), options_.k)
+      << "fewer points than clusters";
+  util::Rng rng(options_.seed);
+  RunResult best;
+  best.inertia = std::numeric_limits<double>::max();
+  for (int restart = 0; restart < options_.restarts; ++restart) {
+    RunResult run = RunOnce(points, &rng);
+    if (run.inertia < best.inertia) best = std::move(run);
+  }
+  last_inertia_ = best.inertia;
+  return best.assignment;
+}
+
+}  // namespace doduo::cluster

@@ -1,0 +1,47 @@
+#ifndef DODUO_CLUSTER_KMEANS_H_
+#define DODUO_CLUSTER_KMEANS_H_
+
+#include <vector>
+
+#include "doduo/nn/tensor.h"
+#include "doduo/util/rng.h"
+
+namespace doduo::cluster {
+
+/// Lloyd's k-means with k-means++ initialization, used to cluster column
+/// embeddings in the Section 7 case study. The same algorithm is applied to
+/// every embedding method so the comparison isolates embedding quality.
+class KMeans {
+ public:
+  struct Options {
+    int k = 15;
+    int max_iterations = 100;
+    int restarts = 4;  // keep the best-inertia run
+    uint64_t seed = 42;
+  };
+
+  explicit KMeans(Options options);
+
+  /// points: [n, d]. Returns a cluster id in [0, k) per point.
+  std::vector<int> Cluster(const nn::Tensor& points) const;
+
+  /// Sum of squared distances of the last Cluster() call's best run.
+  double last_inertia() const { return last_inertia_; }
+
+ private:
+  struct RunResult {
+    std::vector<int> assignment;
+    double inertia = 0.0;
+  };
+  RunResult RunOnce(const nn::Tensor& points, util::Rng* rng) const;
+
+  Options options_;
+  mutable double last_inertia_ = 0.0;
+};
+
+/// L2-normalizes every row in place (cosine k-means); zero rows stay zero.
+void NormalizeRows(nn::Tensor* points);
+
+}  // namespace doduo::cluster
+
+#endif  // DODUO_CLUSTER_KMEANS_H_

@@ -1,0 +1,177 @@
+#include "doduo/cluster/matchers.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "doduo/cluster/union_find.h"
+#include "doduo/util/string_util.h"
+
+namespace doduo::cluster {
+
+namespace {
+
+// Flattened (table, column) → global index enumeration.
+struct FlatColumn {
+  int table;
+  int column;
+};
+
+std::vector<FlatColumn> Flatten(const std::vector<table::Table>& tables) {
+  std::vector<FlatColumn> flat;
+  for (size_t t = 0; t < tables.size(); ++t) {
+    for (int c = 0; c < tables[t].num_columns(); ++c) {
+      flat.push_back({static_cast<int>(t), c});
+    }
+  }
+  return flat;
+}
+
+double TrigramJaccard(const std::string& a, const std::string& b) {
+  const auto grams_a = util::CharNgrams(a, 3, /*pad=*/true);
+  const auto grams_b = util::CharNgrams(b, 3, /*pad=*/true);
+  if (grams_a.empty() && grams_b.empty()) return a == b ? 1.0 : 0.0;
+  std::unordered_set<std::string> set_a(grams_a.begin(), grams_a.end());
+  std::unordered_set<std::string> set_b(grams_b.begin(), grams_b.end());
+  int intersection = 0;
+  for (const std::string& gram : set_a) {
+    if (set_b.count(gram) > 0) ++intersection;
+  }
+  const int uni =
+      static_cast<int>(set_a.size() + set_b.size()) - intersection;
+  return uni > 0 ? static_cast<double>(intersection) / uni : 0.0;
+}
+
+double EditSimilarity(const std::string& a, const std::string& b) {
+  const size_t longest = std::max(a.size(), b.size());
+  if (longest == 0) return 1.0;
+  return 1.0 - static_cast<double>(util::EditDistance(a, b)) /
+                   static_cast<double>(longest);
+}
+
+double AffixSimilarity(const std::string& a, const std::string& b) {
+  const size_t shortest = std::min(a.size(), b.size());
+  if (shortest == 0) return 0.0;
+  size_t prefix = 0;
+  while (prefix < shortest && a[prefix] == b[prefix]) ++prefix;
+  size_t suffix = 0;
+  while (suffix < shortest &&
+         a[a.size() - 1 - suffix] == b[b.size() - 1 - suffix]) {
+    ++suffix;
+  }
+  return static_cast<double>(std::max(prefix, suffix)) /
+         static_cast<double>(std::max(a.size(), b.size()));
+}
+
+}  // namespace
+
+double ComaMatcher::NameSimilarity(const std::string& a,
+                                   const std::string& b) {
+  const std::string la = util::ToLower(a);
+  const std::string lb = util::ToLower(b);
+  if (la == lb) return 1.0;
+  // COMA's essence: combine several independent name matchers.
+  return 0.4 * TrigramJaccard(la, lb) + 0.4 * EditSimilarity(la, lb) +
+         0.2 * AffixSimilarity(la, lb);
+}
+
+MatchedPairs ComaMatcher::Match(
+    const std::vector<table::Table>& tables) const {
+  const std::vector<FlatColumn> flat = Flatten(tables);
+  MatchedPairs matches;
+  for (size_t i = 0; i < flat.size(); ++i) {
+    for (size_t j = i + 1; j < flat.size(); ++j) {
+      if (flat[i].table == flat[j].table) continue;  // cross-table only
+      const std::string& name_a = tables[static_cast<size_t>(flat[i].table)]
+                                      .column(flat[i].column)
+                                      .name;
+      const std::string& name_b = tables[static_cast<size_t>(flat[j].table)]
+                                      .column(flat[j].column)
+                                      .name;
+      if (NameSimilarity(name_a, name_b) >= threshold_) {
+        matches.emplace_back(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return matches;
+}
+
+double DistributionBasedMatcher::ValueOverlap(const table::Column& a,
+                                              const table::Column& b) {
+  std::unordered_set<std::string> set_a(a.values.begin(), a.values.end());
+  std::unordered_set<std::string> set_b(b.values.begin(), b.values.end());
+  if (set_a.empty() || set_b.empty()) return 0.0;
+
+  int intersection = 0;
+  for (const std::string& value : set_a) {
+    if (set_b.count(value) > 0) ++intersection;
+  }
+  if (intersection > 0) {
+    // Jaccard containment (EMD-like overlap of the supports).
+    return static_cast<double>(intersection) /
+           static_cast<double>(std::min(set_a.size(), set_b.size()));
+  }
+
+  // Numeric fallback: range overlap of numeric columns.
+  auto numeric_range = [](const table::Column& column, double* lo,
+                          double* hi) {
+    bool any = false;
+    for (const std::string& value : column.values) {
+      if (!util::LooksNumeric(value)) return false;
+      std::string digits;
+      for (char c : value) {
+        if (c != ',') digits.push_back(c);
+      }
+      const double v = std::strtod(digits.c_str(), nullptr);
+      if (!any) {
+        *lo = *hi = v;
+        any = true;
+      } else {
+        *lo = std::min(*lo, v);
+        *hi = std::max(*hi, v);
+      }
+    }
+    return any;
+  };
+  double lo_a = 0.0, hi_a = 0.0, lo_b = 0.0, hi_b = 0.0;
+  if (numeric_range(a, &lo_a, &hi_a) && numeric_range(b, &lo_b, &hi_b)) {
+    const double overlap = std::min(hi_a, hi_b) - std::max(lo_a, lo_b);
+    const double span = std::max(hi_a, hi_b) - std::min(lo_a, lo_b);
+    if (span <= 0.0) return 1.0;  // identical degenerate ranges
+    return std::max(0.0, overlap / span);
+  }
+  return 0.0;
+}
+
+MatchedPairs DistributionBasedMatcher::Match(
+    const std::vector<table::Table>& tables) const {
+  const std::vector<FlatColumn> flat = Flatten(tables);
+  MatchedPairs matches;
+  for (size_t i = 0; i < flat.size(); ++i) {
+    for (size_t j = i + 1; j < flat.size(); ++j) {
+      if (flat[i].table == flat[j].table) continue;
+      const table::Column& col_a =
+          tables[static_cast<size_t>(flat[i].table)].column(flat[i].column);
+      const table::Column& col_b =
+          tables[static_cast<size_t>(flat[j].table)].column(flat[j].column);
+      if (ValueOverlap(col_a, col_b) >= threshold_) {
+        matches.emplace_back(static_cast<int>(i), static_cast<int>(j));
+      }
+    }
+  }
+  return matches;
+}
+
+std::vector<int> ClustersFromMatches(int num_columns,
+                                     const MatchedPairs& matches) {
+  UnionFind components(num_columns);
+  for (const auto& [a, b] : matches) components.Union(a, b);
+  return components.ComponentIds();
+}
+
+int TotalColumns(const std::vector<table::Table>& tables) {
+  int total = 0;
+  for (const table::Table& table : tables) total += table.num_columns();
+  return total;
+}
+
+}  // namespace doduo::cluster

@@ -1,0 +1,61 @@
+#ifndef DODUO_CLUSTER_MATCHERS_H_
+#define DODUO_CLUSTER_MATCHERS_H_
+
+#include <utility>
+#include <vector>
+
+#include "doduo/table/table.h"
+
+namespace doduo::cluster {
+
+/// A matched pair of columns identified by their flattened indices over a
+/// list of tables (columns enumerated table by table).
+using MatchedPairs = std::vector<std::pair<int, int>>;
+
+/// COMA-style schema matcher (Do & Rahm, VLDB'02 — the strongest classical
+/// matcher in the Valentine study the paper compares with): column-NAME
+/// similarity from a combination of character-trigram Jaccard, normalized
+/// edit distance, and common prefix/suffix length. Matches every
+/// cross-table column pair whose combined similarity clears the threshold.
+class ComaMatcher {
+ public:
+  explicit ComaMatcher(double threshold = 0.55) : threshold_(threshold) {}
+
+  MatchedPairs Match(const std::vector<table::Table>& tables) const;
+
+  /// The combined name-similarity score in [0, 1]; exposed for testing.
+  static double NameSimilarity(const std::string& a, const std::string& b);
+
+ private:
+  double threshold_;
+};
+
+/// DistributionBased matcher (Zhang et al., SIGMOD'11 in the Valentine
+/// suite): clusters columns by the overlap of their VALUE distributions —
+/// Jaccard containment of the value sets, with a numeric-quantile overlap
+/// fallback for numeric columns.
+class DistributionBasedMatcher {
+ public:
+  explicit DistributionBasedMatcher(double threshold = 0.25)
+      : threshold_(threshold) {}
+
+  MatchedPairs Match(const std::vector<table::Table>& tables) const;
+
+  /// Value-overlap score in [0, 1]; exposed for testing.
+  static double ValueOverlap(const table::Column& a, const table::Column& b);
+
+ private:
+  double threshold_;
+};
+
+/// Connected components of the matched pairs = cluster assignment per
+/// flattened column (how the paper converts matcher output to clusters).
+std::vector<int> ClustersFromMatches(int num_columns,
+                                     const MatchedPairs& matches);
+
+/// Flattened column count of a table list.
+int TotalColumns(const std::vector<table::Table>& tables);
+
+}  // namespace doduo::cluster
+
+#endif  // DODUO_CLUSTER_MATCHERS_H_

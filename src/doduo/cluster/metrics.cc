@@ -1,0 +1,69 @@
+#include "doduo/cluster/metrics.h"
+
+#include <cmath>
+#include <map>
+#include <unordered_map>
+
+#include "doduo/util/check.h"
+
+namespace doduo::cluster {
+
+namespace {
+
+// Entropy of a marginal count distribution (natural log).
+double Entropy(const std::unordered_map<int, int>& counts, double n) {
+  double h = 0.0;
+  for (const auto& [label, count] : counts) {
+    if (count == 0) continue;
+    const double p = static_cast<double>(count) / n;
+    h -= p * std::log(p);
+  }
+  return h;
+}
+
+}  // namespace
+
+ClusteringScores ScoreClustering(const std::vector<int>& predicted,
+                                 const std::vector<int>& actual) {
+  DODUO_CHECK_EQ(predicted.size(), actual.size());
+  DODUO_CHECK(!predicted.empty());
+  const double n = static_cast<double>(predicted.size());
+
+  std::unordered_map<int, int> cluster_counts;
+  std::unordered_map<int, int> class_counts;
+  std::map<std::pair<int, int>, int> joint_counts;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    ++cluster_counts[predicted[i]];
+    ++class_counts[actual[i]];
+    ++joint_counts[{predicted[i], actual[i]}];
+  }
+
+  const double h_class = Entropy(class_counts, n);
+  const double h_cluster = Entropy(cluster_counts, n);
+
+  // Conditional entropies from the joint distribution.
+  double h_class_given_cluster = 0.0;
+  double h_cluster_given_class = 0.0;
+  for (const auto& [pair, count] : joint_counts) {
+    const auto& [cluster, klass] = pair;
+    const double joint = static_cast<double>(count) / n;
+    h_class_given_cluster -=
+        joint * std::log(static_cast<double>(count) /
+                         cluster_counts[cluster]);
+    h_cluster_given_class -=
+        joint *
+        std::log(static_cast<double>(count) / class_counts[klass]);
+  }
+
+  ClusteringScores scores;
+  scores.homogeneity =
+      h_class > 0.0 ? 1.0 - h_class_given_cluster / h_class : 1.0;
+  scores.completeness =
+      h_cluster > 0.0 ? 1.0 - h_cluster_given_class / h_cluster : 1.0;
+  const double sum = scores.homogeneity + scores.completeness;
+  scores.v_measure =
+      sum > 0.0 ? 2.0 * scores.homogeneity * scores.completeness / sum : 0.0;
+  return scores;
+}
+
+}  // namespace doduo::cluster

@@ -1,0 +1,25 @@
+#ifndef DODUO_CLUSTER_METRICS_H_
+#define DODUO_CLUSTER_METRICS_H_
+
+#include <vector>
+
+namespace doduo::cluster {
+
+/// Entropy-based external clustering metrics (Rosenberg & Hirschberg,
+/// 2007), the case study's scoring: Homogeneity plays the role of
+/// Precision, Completeness of Recall, and V-Measure (their harmonic mean)
+/// of F1.
+struct ClusteringScores {
+  double homogeneity = 0.0;
+  double completeness = 0.0;
+  double v_measure = 0.0;
+};
+
+/// `predicted` and `actual` assign a cluster id to every item. Ids need not
+/// be aligned or contiguous.
+ClusteringScores ScoreClustering(const std::vector<int>& predicted,
+                                 const std::vector<int>& actual);
+
+}  // namespace doduo::cluster
+
+#endif  // DODUO_CLUSTER_METRICS_H_

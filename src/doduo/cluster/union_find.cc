@@ -1,0 +1,58 @@
+#include "doduo/cluster/union_find.h"
+
+#include "doduo/util/check.h"
+
+namespace doduo::cluster {
+
+UnionFind::UnionFind(int n)
+    : parent_(static_cast<size_t>(n)),
+      size_(static_cast<size_t>(n), 1),
+      num_components_(n) {
+  DODUO_CHECK_GT(n, 0);
+  for (int i = 0; i < n; ++i) parent_[static_cast<size_t>(i)] = i;
+}
+
+int UnionFind::Find(int x) {
+  DODUO_CHECK(x >= 0 && x < static_cast<int>(parent_.size()));
+  int root = x;
+  while (parent_[static_cast<size_t>(root)] != root) {
+    root = parent_[static_cast<size_t>(root)];
+  }
+  while (parent_[static_cast<size_t>(x)] != root) {
+    const int next = parent_[static_cast<size_t>(x)];
+    parent_[static_cast<size_t>(x)] = root;
+    x = next;
+  }
+  return root;
+}
+
+bool UnionFind::Union(int a, int b) {
+  int root_a = Find(a);
+  int root_b = Find(b);
+  if (root_a == root_b) return false;
+  if (size_[static_cast<size_t>(root_a)] <
+      size_[static_cast<size_t>(root_b)]) {
+    std::swap(root_a, root_b);
+  }
+  parent_[static_cast<size_t>(root_b)] = root_a;
+  size_[static_cast<size_t>(root_a)] +=
+      size_[static_cast<size_t>(root_b)];
+  --num_components_;
+  return true;
+}
+
+std::vector<int> UnionFind::ComponentIds() {
+  std::vector<int> ids(parent_.size(), -1);
+  std::vector<int> root_to_id(parent_.size(), -1);
+  int next = 0;
+  for (size_t i = 0; i < parent_.size(); ++i) {
+    const int root = Find(static_cast<int>(i));
+    if (root_to_id[static_cast<size_t>(root)] < 0) {
+      root_to_id[static_cast<size_t>(root)] = next++;
+    }
+    ids[i] = root_to_id[static_cast<size_t>(root)];
+  }
+  return ids;
+}
+
+}  // namespace doduo::cluster

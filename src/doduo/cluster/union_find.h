@@ -1,0 +1,36 @@
+#ifndef DODUO_CLUSTER_UNION_FIND_H_
+#define DODUO_CLUSTER_UNION_FIND_H_
+
+#include <vector>
+
+namespace doduo::cluster {
+
+/// Disjoint-set forest with path compression and union by size. The
+/// schema-matching baselines return matched column pairs; connected
+/// components of those pairs become the cluster assignment (as in the
+/// paper's Valentine comparison).
+class UnionFind {
+ public:
+  explicit UnionFind(int n);
+
+  /// Representative of x's set.
+  int Find(int x);
+
+  /// Merges the sets of a and b; returns true if they were separate.
+  bool Union(int a, int b);
+
+  /// Dense component ids in [0, num_components), stable by first
+  /// appearance.
+  std::vector<int> ComponentIds();
+
+  int num_components() const { return num_components_; }
+
+ private:
+  std::vector<int> parent_;
+  std::vector<int> size_;
+  int num_components_;
+};
+
+}  // namespace doduo::cluster
+
+#endif  // DODUO_CLUSTER_UNION_FIND_H_

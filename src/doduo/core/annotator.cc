@@ -1,0 +1,92 @@
+#include "doduo/core/annotator.h"
+
+#include <cmath>
+
+namespace doduo::core {
+
+Annotator::Annotator(DoduoModel* model,
+                     const table::TableSerializer* serializer,
+                     const table::LabelVocab* type_vocab,
+                     const table::LabelVocab* relation_vocab)
+    : model_(model),
+      serializer_(serializer),
+      type_vocab_(type_vocab),
+      relation_vocab_(relation_vocab) {
+  DODUO_CHECK(model != nullptr);
+  DODUO_CHECK(serializer != nullptr);
+  DODUO_CHECK(type_vocab != nullptr);
+}
+
+std::vector<std::vector<std::string>> Annotator::AnnotateTypes(
+    const table::Table& table) const {
+  model_->set_training(false);
+  const table::SerializedTable input = serializer_->SerializeTable(table);
+  const nn::Tensor& logits = model_->ForwardTypes(input);
+  const DoduoConfig& config = model_->config();
+
+  std::vector<std::vector<std::string>> annotations;
+  annotations.reserve(static_cast<size_t>(logits.rows()));
+  for (int64_t row = 0; row < logits.rows(); ++row) {
+    const float* z = logits.row(row);
+    std::vector<std::string> names;
+    if (config.multi_label) {
+      const float threshold = config.multi_label_threshold;
+      const float z_threshold =
+          std::log(threshold) - std::log(1.0f - threshold);
+      int64_t best = 0;
+      for (int64_t j = 0; j < logits.cols(); ++j) {
+        if (z[j] > z_threshold) {
+          names.push_back(type_vocab_->Name(static_cast<int>(j)));
+        }
+        if (z[j] > z[best]) best = j;
+      }
+      if (names.empty()) {
+        names.push_back(type_vocab_->Name(static_cast<int>(best)));
+      }
+    } else {
+      int64_t best = 0;
+      for (int64_t j = 1; j < logits.cols(); ++j) {
+        if (z[j] > z[best]) best = j;
+      }
+      names.push_back(type_vocab_->Name(static_cast<int>(best)));
+    }
+    annotations.push_back(std::move(names));
+  }
+  return annotations;
+}
+
+std::vector<std::string> Annotator::AnnotateRelations(
+    const table::Table& table,
+    const std::vector<std::pair<int, int>>& pairs) const {
+  DODUO_CHECK(relation_vocab_ != nullptr)
+      << "model was built without a relation head";
+  model_->set_training(false);
+  const table::SerializedTable input = serializer_->SerializeTable(table);
+  const nn::Tensor& logits = model_->ForwardRelations(input, pairs);
+  std::vector<std::string> annotations;
+  annotations.reserve(static_cast<size_t>(logits.rows()));
+  for (int64_t row = 0; row < logits.rows(); ++row) {
+    const float* z = logits.row(row);
+    int64_t best = 0;
+    for (int64_t j = 1; j < logits.cols(); ++j) {
+      if (z[j] > z[best]) best = j;
+    }
+    annotations.push_back(relation_vocab_->Name(static_cast<int>(best)));
+  }
+  return annotations;
+}
+
+std::vector<std::string> Annotator::AnnotateKeyRelations(
+    const table::Table& table) const {
+  std::vector<std::pair<int, int>> pairs;
+  for (int c = 1; c < table.num_columns(); ++c) pairs.emplace_back(0, c);
+  if (pairs.empty()) return {};
+  return AnnotateRelations(table, pairs);
+}
+
+nn::Tensor Annotator::ColumnEmbeddings(const table::Table& table) const {
+  model_->set_training(false);
+  return model_->ColumnEmbeddings(serializer_->SerializeTable(table));
+}
+
+}  // namespace doduo::core

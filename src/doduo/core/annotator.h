@@ -1,0 +1,55 @@
+#ifndef DODUO_CORE_ANNOTATOR_H_
+#define DODUO_CORE_ANNOTATOR_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "doduo/core/model.h"
+#include "doduo/table/dataset.h"
+#include "doduo/table/serializer.h"
+
+namespace doduo::core {
+
+/// The toolbox-style public API (the "few lines of Python" interface the
+/// paper releases, in C++): hand it a table, get column types, column
+/// relations, or contextualized column embeddings back.
+///
+///   Annotator annotator(&model, &serializer, &types, &relations);
+///   auto types = annotator.AnnotateTypes(my_table);
+///   auto embeddings = annotator.ColumnEmbeddings(my_table);
+class Annotator {
+ public:
+  /// All pointers must outlive the annotator. `relation_vocab` may be
+  /// nullptr when the model has no relation head.
+  Annotator(DoduoModel* model, const table::TableSerializer* serializer,
+            const table::LabelVocab* type_vocab,
+            const table::LabelVocab* relation_vocab);
+
+  /// Predicted semantic type names per column (one or more per column for
+  /// multi-label models).
+  std::vector<std::vector<std::string>> AnnotateTypes(
+      const table::Table& table) const;
+
+  /// Predicted relation names between the given column pairs.
+  std::vector<std::string> AnnotateRelations(
+      const table::Table& table,
+      const std::vector<std::pair<int, int>>& pairs) const;
+
+  /// Relations between the key column (0) and every other column.
+  std::vector<std::string> AnnotateKeyRelations(
+      const table::Table& table) const;
+
+  /// Contextualized column embeddings [num_columns, hidden_dim].
+  nn::Tensor ColumnEmbeddings(const table::Table& table) const;
+
+ private:
+  DoduoModel* model_;
+  const table::TableSerializer* serializer_;
+  const table::LabelVocab* type_vocab_;
+  const table::LabelVocab* relation_vocab_;
+};
+
+}  // namespace doduo::core
+
+#endif  // DODUO_CORE_ANNOTATOR_H_

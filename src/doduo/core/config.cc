@@ -1,0 +1,21 @@
+#include "doduo/core/config.h"
+
+#include "doduo/util/check.h"
+
+namespace doduo::core {
+
+void DoduoConfig::Validate() const {
+  encoder.Validate();
+  DODUO_CHECK_GT(num_types, 0) << "set num_types from the dataset";
+  if (tasks != TaskSet::kTypesOnly) {
+    DODUO_CHECK_GT(num_relations, 0)
+        << "relation task enabled but num_relations == 0";
+  }
+  DODUO_CHECK_GT(epochs, 0);
+  DODUO_CHECK_GT(batch_size, 0);
+  DODUO_CHECK_GT(learning_rate, 0.0);
+  DODUO_CHECK_LE(serializer.max_total_tokens, encoder.max_positions)
+      << "serializer may emit sequences longer than the encoder accepts";
+}
+
+}  // namespace doduo::core

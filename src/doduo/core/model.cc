@@ -1,0 +1,180 @@
+#include "doduo/core/model.h"
+
+#include <algorithm>
+
+#include "doduo/nn/ops.h"
+
+namespace doduo::core {
+
+MlpHead::MlpHead(const std::string& name, int64_t in_dim, int64_t hidden_dim,
+                 int64_t out_dim, util::Rng* rng)
+    : dense_(name + ".dense", in_dim, hidden_dim, rng),
+      output_(name + ".out", hidden_dim, out_dim, rng) {}
+
+const nn::Tensor& MlpHead::Forward(const nn::Tensor& x) {
+  return output_.Forward(activation_.Forward(dense_.Forward(x)));
+}
+
+const nn::Tensor& MlpHead::Backward(const nn::Tensor& grad_out) {
+  return dense_.Backward(activation_.Backward(output_.Backward(grad_out)));
+}
+
+nn::ParameterList MlpHead::Parameters() {
+  nn::ParameterList params;
+  nn::AppendParameters(dense_.Parameters(), &params);
+  nn::AppendParameters(output_.Parameters(), &params);
+  return params;
+}
+
+DoduoModel::DoduoModel(const DoduoConfig& config, util::Rng* rng)
+    : config_(config),
+      encoder_("doduo.encoder", config.encoder, rng),
+      type_head_("doduo.type_head", config.encoder.hidden_dim,
+                 config.encoder.hidden_dim, config.num_types, rng) {
+  config_.Validate();
+  if (config.num_relations > 0) {
+    relation_head_ = std::make_unique<MlpHead>(
+        "doduo.rel_head", 2 * config.encoder.hidden_dim,
+        config.encoder.hidden_dim, config.num_relations, rng);
+  }
+}
+
+const nn::Tensor& DoduoModel::Encode(const table::SerializedTable& input) {
+  DODUO_CHECK(!input.cls_positions.empty());
+  cls_positions_ = input.cls_positions;
+  sequence_length_ = static_cast<int64_t>(input.token_ids.size());
+  if (mask_builder_) {
+    const transformer::AttentionMask mask = mask_builder_(input);
+    return encoder_.Forward(input.token_ids, &mask);
+  }
+  return encoder_.Forward(input.token_ids, nullptr);
+}
+
+const nn::Tensor& DoduoModel::ForwardTypes(
+    const table::SerializedTable& input) {
+  const nn::Tensor& hidden = Encode(input);
+  const int64_t n = static_cast<int64_t>(cls_positions_.size());
+  const int64_t d = hidden.cols();
+  cls_embeddings_.ResizeUninitialized({n, d});
+  for (int64_t i = 0; i < n; ++i) {
+    const float* src = hidden.row(cls_positions_[static_cast<size_t>(i)]);
+    std::copy(src, src + d, cls_embeddings_.row(i));
+  }
+  return type_head_.Forward(cls_embeddings_);
+}
+
+const nn::Tensor& DoduoModel::ForwardRelations(
+    const table::SerializedTable& input,
+    const std::vector<std::pair<int, int>>& pairs) {
+  DODUO_CHECK(relation_head_ != nullptr) << "model has no relation head";
+  DODUO_CHECK(!pairs.empty());
+  const nn::Tensor& hidden = Encode(input);
+  pairs_ = pairs;
+  const int64_t d = hidden.cols();
+  pair_embeddings_.ResizeUninitialized(
+      {static_cast<int64_t>(pairs.size()), 2 * d});
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const auto [a, b] = pairs[p];
+    DODUO_CHECK(a >= 0 && a < static_cast<int>(cls_positions_.size()));
+    DODUO_CHECK(b >= 0 && b < static_cast<int>(cls_positions_.size()));
+    float* dst = pair_embeddings_.row(static_cast<int64_t>(p));
+    const float* src_a = hidden.row(cls_positions_[static_cast<size_t>(a)]);
+    const float* src_b = hidden.row(cls_positions_[static_cast<size_t>(b)]);
+    std::copy(src_a, src_a + d, dst);
+    std::copy(src_b, src_b + d, dst + d);
+  }
+  return relation_head_->Forward(pair_embeddings_);
+}
+
+void DoduoModel::BackwardTypes(const nn::Tensor& grad_logits) {
+  const nn::Tensor& grad_cls = type_head_.Backward(grad_logits);
+  const int64_t d = grad_cls.cols();
+  grad_hidden_.ResizeUninitialized({sequence_length_, d});
+  grad_hidden_.Zero();
+  for (size_t i = 0; i < cls_positions_.size(); ++i) {
+    const float* src = grad_cls.row(static_cast<int64_t>(i));
+    float* dst = grad_hidden_.row(cls_positions_[i]);
+    for (int64_t j = 0; j < d; ++j) dst[j] += src[j];
+  }
+  encoder_.Backward(grad_hidden_);
+}
+
+void DoduoModel::BackwardRelations(const nn::Tensor& grad_logits) {
+  DODUO_CHECK(relation_head_ != nullptr);
+  const nn::Tensor& grad_pairs = relation_head_->Backward(grad_logits);
+  const int64_t d = grad_pairs.cols() / 2;
+  grad_hidden_.ResizeUninitialized({sequence_length_, d});
+  grad_hidden_.Zero();
+  // A column (notably the key column) can participate in several pairs;
+  // gradients accumulate.
+  for (size_t p = 0; p < pairs_.size(); ++p) {
+    const auto [a, b] = pairs_[p];
+    const float* src = grad_pairs.row(static_cast<int64_t>(p));
+    float* dst_a = grad_hidden_.row(cls_positions_[static_cast<size_t>(a)]);
+    float* dst_b = grad_hidden_.row(cls_positions_[static_cast<size_t>(b)]);
+    for (int64_t j = 0; j < d; ++j) {
+      dst_a[j] += src[j];
+      dst_b[j] += src[d + j];
+    }
+  }
+  encoder_.Backward(grad_hidden_);
+}
+
+nn::Tensor DoduoModel::ColumnEmbeddings(const table::SerializedTable& input) {
+  const nn::Tensor& hidden = Encode(input);
+  const int64_t n = static_cast<int64_t>(cls_positions_.size());
+  const int64_t d = hidden.cols();
+  nn::Tensor embeddings({n, d});
+  for (int64_t i = 0; i < n; ++i) {
+    const float* src = hidden.row(cls_positions_[static_cast<size_t>(i)]);
+    std::copy(src, src + d, embeddings.row(i));
+  }
+  return embeddings;
+}
+
+nn::Tensor DoduoModel::ColumnAttention(const table::SerializedTable& input) {
+  Encode(input);
+  const int last_layer = encoder_.num_layers() - 1;
+  const std::vector<nn::Tensor>& head_probs =
+      encoder_.attention_probs(last_layer);
+  DODUO_CHECK(!head_probs.empty());
+  const int64_t n = static_cast<int64_t>(cls_positions_.size());
+  nn::Tensor attention({n, n});
+  for (const nn::Tensor& probs : head_probs) {
+    for (int64_t i = 0; i < n; ++i) {
+      for (int64_t j = 0; j < n; ++j) {
+        attention.at(i, j) +=
+            probs.at(cls_positions_[static_cast<size_t>(i)],
+                     cls_positions_[static_cast<size_t>(j)]);
+      }
+    }
+  }
+  nn::Scale(&attention, 1.0f / static_cast<float>(head_probs.size()));
+  return attention;
+}
+
+nn::ParameterList DoduoModel::Parameters() {
+  nn::ParameterList params = encoder_.Parameters();
+  nn::AppendParameters(type_head_.Parameters(), &params);
+  if (relation_head_ != nullptr) {
+    nn::AppendParameters(relation_head_->Parameters(), &params);
+  }
+  return params;
+}
+
+std::vector<nn::Tensor> DoduoModel::SnapshotWeights() {
+  std::vector<nn::Tensor> snapshot;
+  for (nn::Parameter* p : Parameters()) snapshot.push_back(p->value);
+  return snapshot;
+}
+
+void DoduoModel::RestoreWeights(const std::vector<nn::Tensor>& snapshot) {
+  nn::ParameterList params = Parameters();
+  DODUO_CHECK_EQ(snapshot.size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    DODUO_CHECK(nn::SameShape(params[i]->value, snapshot[i]));
+    params[i]->value = snapshot[i];
+  }
+}
+
+}  // namespace doduo::core

@@ -1,0 +1,73 @@
+#include "doduo/eval/confusion.h"
+
+#include <algorithm>
+
+#include "doduo/util/check.h"
+
+namespace doduo::eval {
+
+ConfusionMatrix::ConfusionMatrix(int num_classes)
+    : num_classes_(num_classes),
+      counts_(static_cast<size_t>(num_classes) * num_classes, 0) {
+  DODUO_CHECK_GT(num_classes, 0);
+}
+
+void ConfusionMatrix::Add(int actual, int predicted) {
+  DODUO_CHECK(actual >= 0 && actual < num_classes_);
+  DODUO_CHECK(predicted >= 0 && predicted < num_classes_);
+  ++counts_[static_cast<size_t>(actual) * num_classes_ + predicted];
+  ++total_;
+}
+
+void ConfusionMatrix::AddAll(const std::vector<int>& actual,
+                             const std::vector<int>& predicted) {
+  DODUO_CHECK_EQ(actual.size(), predicted.size());
+  for (size_t i = 0; i < actual.size(); ++i) Add(actual[i], predicted[i]);
+}
+
+long ConfusionMatrix::count(int actual, int predicted) const {
+  DODUO_CHECK(actual >= 0 && actual < num_classes_);
+  DODUO_CHECK(predicted >= 0 && predicted < num_classes_);
+  return counts_[static_cast<size_t>(actual) * num_classes_ + predicted];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  if (total_ == 0) return 0.0;
+  long correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+std::vector<ConfusionMatrix::ConfusionPair>
+ConfusionMatrix::TopConfusions(int k) const {
+  std::vector<ConfusionPair> pairs;
+  for (int a = 0; a < num_classes_; ++a) {
+    for (int p = 0; p < num_classes_; ++p) {
+      if (a == p) continue;
+      const long n = count(a, p);
+      if (n > 0) pairs.push_back({a, p, n});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(),
+            [](const ConfusionPair& x, const ConfusionPair& y) {
+              if (x.count != y.count) return x.count > y.count;
+              if (x.actual != y.actual) return x.actual < y.actual;
+              return x.predicted < y.predicted;
+            });
+  if (static_cast<int>(pairs.size()) > k) {
+    pairs.resize(static_cast<size_t>(k));
+  }
+  return pairs;
+}
+
+std::string ConfusionMatrix::RenderTopConfusions(
+    const table::LabelVocab& vocab, int k) const {
+  std::string out;
+  for (const ConfusionPair& pair : TopConfusions(k)) {
+    out += vocab.Name(pair.actual) + " -> " + vocab.Name(pair.predicted) +
+           ": " + std::to_string(pair.count) + "\n";
+  }
+  return out;
+}
+
+}  // namespace doduo::eval

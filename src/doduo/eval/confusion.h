@@ -1,0 +1,56 @@
+#ifndef DODUO_EVAL_CONFUSION_H_
+#define DODUO_EVAL_CONFUSION_H_
+
+#include <string>
+#include <vector>
+
+#include "doduo/table/dataset.h"
+
+namespace doduo::eval {
+
+/// A dense confusion matrix over single-label predictions:
+/// counts(actual, predicted). Error analysis for the VizNet-style tasks —
+/// e.g. which types "ranking" columns get mistaken for.
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(int num_classes);
+
+  /// Records one decision.
+  void Add(int actual, int predicted);
+
+  /// Records all decisions of single-label prediction vectors.
+  void AddAll(const std::vector<int>& actual,
+              const std::vector<int>& predicted);
+
+  long count(int actual, int predicted) const;
+
+  /// Total decisions recorded.
+  long total() const { return total_; }
+
+  /// Fraction of decisions on the diagonal.
+  double Accuracy() const;
+
+  /// The `k` most frequent off-diagonal (actual, predicted) pairs,
+  /// most frequent first.
+  struct ConfusionPair {
+    int actual = 0;
+    int predicted = 0;
+    long count = 0;
+  };
+  std::vector<ConfusionPair> TopConfusions(int k) const;
+
+  /// Renders the top confusions with label names, one per line.
+  std::string RenderTopConfusions(const table::LabelVocab& vocab,
+                                  int k) const;
+
+  int num_classes() const { return num_classes_; }
+
+ private:
+  int num_classes_;
+  long total_ = 0;
+  std::vector<long> counts_;  // row-major [actual][predicted]
+};
+
+}  // namespace doduo::eval
+
+#endif  // DODUO_EVAL_CONFUSION_H_

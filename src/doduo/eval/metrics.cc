@@ -1,0 +1,100 @@
+#include "doduo/eval/metrics.h"
+
+#include <unordered_set>
+
+#include "doduo/util/check.h"
+
+namespace doduo::eval {
+
+namespace {
+
+Prf FromCounts(double tp, double fp, double fn) {
+  Prf prf;
+  prf.precision = tp + fp > 0 ? tp / (tp + fp) : 0.0;
+  prf.recall = tp + fn > 0 ? tp / (tp + fn) : 0.0;
+  prf.f1 = prf.precision + prf.recall > 0
+               ? 2.0 * prf.precision * prf.recall /
+                     (prf.precision + prf.recall)
+               : 0.0;
+  return prf;
+}
+
+}  // namespace
+
+std::vector<ClassCounts> CountPerClass(const LabeledSets& sets,
+                                       int num_classes) {
+  DODUO_CHECK_EQ(sets.predicted.size(), sets.actual.size());
+  std::vector<ClassCounts> counts(static_cast<size_t>(num_classes));
+  for (size_t i = 0; i < sets.predicted.size(); ++i) {
+    std::unordered_set<int> predicted(sets.predicted[i].begin(),
+                                      sets.predicted[i].end());
+    std::unordered_set<int> actual(sets.actual[i].begin(),
+                                   sets.actual[i].end());
+    for (int label : predicted) {
+      DODUO_CHECK(label >= 0 && label < num_classes);
+      if (actual.count(label) > 0) {
+        ++counts[static_cast<size_t>(label)].tp;
+      } else {
+        ++counts[static_cast<size_t>(label)].fp;
+      }
+    }
+    for (int label : actual) {
+      DODUO_CHECK(label >= 0 && label < num_classes);
+      if (predicted.count(label) == 0) {
+        ++counts[static_cast<size_t>(label)].fn;
+      }
+    }
+  }
+  return counts;
+}
+
+Prf MicroPrf(const std::vector<ClassCounts>& counts) {
+  double tp = 0;
+  double fp = 0;
+  double fn = 0;
+  for (const ClassCounts& c : counts) {
+    tp += static_cast<double>(c.tp);
+    fp += static_cast<double>(c.fp);
+    fn += static_cast<double>(c.fn);
+  }
+  return FromCounts(tp, fp, fn);
+}
+
+Prf MacroPrf(const std::vector<ClassCounts>& counts) {
+  Prf total;
+  int supported = 0;
+  for (const ClassCounts& c : counts) {
+    if (c.tp + c.fn == 0) continue;  // class absent from the test set
+    const Prf prf = ClassPrf(c);
+    total.precision += prf.precision;
+    total.recall += prf.recall;
+    total.f1 += prf.f1;
+    ++supported;
+  }
+  if (supported == 0) return total;
+  total.precision /= supported;
+  total.recall /= supported;
+  total.f1 /= supported;
+  return total;
+}
+
+Prf ClassPrf(const ClassCounts& counts) {
+  return FromCounts(static_cast<double>(counts.tp),
+                    static_cast<double>(counts.fp),
+                    static_cast<double>(counts.fn));
+}
+
+LabeledSets FromSingleLabels(const std::vector<int>& predicted,
+                             const std::vector<int>& actual) {
+  DODUO_CHECK_EQ(predicted.size(), actual.size());
+  LabeledSets sets;
+  sets.predicted.reserve(predicted.size());
+  sets.actual.reserve(actual.size());
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    sets.predicted.push_back({predicted[i]});
+    sets.actual.push_back({actual[i]});
+  }
+  return sets;
+}
+
+}  // namespace doduo::eval

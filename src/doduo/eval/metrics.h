@@ -1,0 +1,51 @@
+#ifndef DODUO_EVAL_METRICS_H_
+#define DODUO_EVAL_METRICS_H_
+
+#include <vector>
+
+namespace doduo::eval {
+
+/// Precision / recall / F1 triple.
+struct Prf {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f1 = 0.0;
+};
+
+/// Per-class true/false positive/negative tallies.
+struct ClassCounts {
+  long tp = 0;
+  long fp = 0;
+  long fn = 0;
+};
+
+/// A multi-label prediction problem instance: for each example, the set of
+/// predicted label ids and the set of true label ids. Single-label problems
+/// use singleton sets.
+struct LabeledSets {
+  std::vector<std::vector<int>> predicted;
+  std::vector<std::vector<int>> actual;
+};
+
+/// Per-class counts over `num_classes` classes.
+std::vector<ClassCounts> CountPerClass(const LabeledSets& sets,
+                                       int num_classes);
+
+/// Micro-averaged P/R/F1: pool all decisions, then compute once. This is
+/// the paper's headline metric on both benchmarks.
+Prf MicroPrf(const std::vector<ClassCounts>& counts);
+
+/// Macro-averaged F1: unweighted mean of per-class F1 over classes with
+/// support (tp + fn > 0). The paper's secondary VizNet metric.
+Prf MacroPrf(const std::vector<ClassCounts>& counts);
+
+/// F1 of one class.
+Prf ClassPrf(const ClassCounts& counts);
+
+/// Convenience for single-label problems.
+LabeledSets FromSingleLabels(const std::vector<int>& predicted,
+                             const std::vector<int>& actual);
+
+}  // namespace doduo::eval
+
+#endif  // DODUO_EVAL_METRICS_H_

@@ -1,0 +1,35 @@
+#include "doduo/eval/report.h"
+
+#include <algorithm>
+
+#include "doduo/util/string_util.h"
+
+namespace doduo::eval {
+
+std::vector<ClassReportRow> PerClassReport(const LabeledSets& sets,
+                                           const table::LabelVocab& vocab) {
+  const std::vector<ClassCounts> counts = CountPerClass(sets, vocab.size());
+  std::vector<ClassReportRow> rows;
+  rows.reserve(counts.size());
+  for (int label = 0; label < vocab.size(); ++label) {
+    const ClassCounts& c = counts[static_cast<size_t>(label)];
+    if (c.tp + c.fn == 0) continue;
+    rows.push_back({vocab.Name(label), c.tp + c.fn, ClassPrf(c)});
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ClassReportRow& a, const ClassReportRow& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.label < b.label;
+            });
+  return rows;
+}
+
+std::string FormatPrf(const Prf& prf) {
+  return Pct(prf.precision) + " / " + Pct(prf.recall) + " / " + Pct(prf.f1);
+}
+
+std::string Pct(double fraction) {
+  return util::FormatPercent(fraction, 2);
+}
+
+}  // namespace doduo::eval

@@ -1,0 +1,31 @@
+#ifndef DODUO_EVAL_REPORT_H_
+#define DODUO_EVAL_REPORT_H_
+
+#include <string>
+#include <vector>
+
+#include "doduo/eval/metrics.h"
+#include "doduo/table/dataset.h"
+
+namespace doduo::eval {
+
+/// One row of a per-class report (Figure 5 / Table 10 style output).
+struct ClassReportRow {
+  std::string label;
+  long support = 0;  // tp + fn in the test set
+  Prf prf;
+};
+
+/// Per-class P/R/F1 rows, sorted by descending support.
+std::vector<ClassReportRow> PerClassReport(
+    const LabeledSets& sets, const table::LabelVocab& vocab);
+
+/// Formats a P/R/F1 as percentages, e.g. "92.69 / 92.21 / 92.45".
+std::string FormatPrf(const Prf& prf);
+
+/// Formats a fraction as a two-decimal percentage, e.g. "92.45".
+std::string Pct(double fraction);
+
+}  // namespace doduo::eval
+
+#endif  // DODUO_EVAL_REPORT_H_

@@ -1,0 +1,112 @@
+#ifndef DODUO_EXPERIMENTS_ENV_H_
+#define DODUO_EXPERIMENTS_ENV_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "doduo/core/annotator.h"
+#include "doduo/core/trainer.h"
+#include "doduo/synth/corpus_generator.h"
+#include "doduo/synth/table_generator.h"
+#include "doduo/transformer/mlm.h"
+
+namespace doduo::experiments {
+
+/// Which benchmark the environment reproduces.
+enum class BenchmarkMode { kWikiTable, kVizNet };
+
+/// Knobs of a benchmark environment. Defaults are the standard experiment
+/// scale; bench binaries multiply table counts and epochs by DODUO_SCALE.
+struct EnvOptions {
+  BenchmarkMode mode = BenchmarkMode::kWikiTable;
+  int num_tables = 1000;
+  int min_rows = 3;
+  int max_rows = 6;
+  double single_column_fraction = 0.0;  // VizNet "Full" population
+  double distractor_prob = 0.35;  // off-topic columns (VizNet mode only)
+  uint64_t seed = 42;
+
+  // Tokenizer.
+  int vocab_size = 3000;
+
+  // Encoder scale (the miniature BERT substitute).
+  int hidden_dim = 64;
+  int num_layers = 2;
+  int num_heads = 4;
+  int ffn_dim = 256;
+  int max_positions = 192;
+  float dropout = 0.1f;
+
+  // MLM pre-training. Zeros mean "auto": mode-calibrated defaults
+  // (WikiTable: 5 epochs / 40 list mentions; VizNet: 10 / 120 — the
+  // VizNet corpus is smaller and its tables are numeric-heavy, so it
+  // needs the stronger schedule).
+  int pretrain_epochs = 0;
+  int pretrain_batch_size = 16;
+  double pretrain_learning_rate = 1e-3;
+  int corpus_fact_mentions = 2;
+  int corpus_type_mentions = 1;
+  int corpus_list_mentions = 0;
+
+  /// Reuse a cached pre-trained checkpoint when the cache key matches
+  /// (DODUO_CACHE_DIR, default "doduo_cache/").
+  bool use_cache = true;
+};
+
+/// A fully materialized benchmark: knowledge base, labeled dataset with
+/// splits, WordPiece vocabulary, and an MLM-pre-trained encoder (lazily
+/// trained, cached on disk). Bench binaries construct one Env per dataset
+/// variant and fine-tune models from it.
+class Env {
+ public:
+  explicit Env(EnvOptions options);
+  Env(const Env&) = delete;
+  Env& operator=(const Env&) = delete;
+
+  const EnvOptions& options() const { return options_; }
+  const synth::KnowledgeBase& kb() const { return kb_; }
+  table::ColumnAnnotationDataset& dataset() { return dataset_; }
+  const table::ColumnAnnotationDataset& dataset() const { return dataset_; }
+  const table::DatasetSplits& splits() const { return splits_; }
+  const text::Vocab& vocab() const { return vocab_; }
+  const text::WordPieceTokenizer& tokenizer() const { return *tokenizer_; }
+
+  /// Encoder configuration with the vocabulary size filled in.
+  transformer::TransformerConfig EncoderConfig() const;
+
+  /// A DODUO configuration for this benchmark with the standard
+  /// fine-tuning hyperparameters; callers adjust variant knobs
+  /// (input_mode, tasks, serializer) before building the model.
+  core::DoduoConfig MakeDoduoConfig() const;
+
+  /// Copies the MLM-pre-trained weights into `model`'s encoder,
+  /// pre-training (or loading from cache) on first use.
+  void InitializeFromPretrained(core::DoduoModel* model);
+
+  /// The standalone pre-trained LM scorer (not fine-tuned), for probing.
+  transformer::MlmPretrainer* PretrainedLm();
+
+ private:
+  void EnsurePretrained();
+  std::string CacheKey() const;
+
+  EnvOptions options_;
+  synth::KnowledgeBase kb_;
+  table::ColumnAnnotationDataset dataset_;
+  table::DatasetSplits splits_;
+  text::Vocab vocab_;
+  std::unique_ptr<text::WordPieceTokenizer> tokenizer_;
+
+  // Pre-trained LM, materialized lazily.
+  std::unique_ptr<transformer::BertModel> pretrained_encoder_;
+  std::unique_ptr<transformer::MlmHead> mlm_head_;
+  std::unique_ptr<transformer::MlmPretrainer> pretrainer_;
+};
+
+/// Scales a count by the DODUO_SCALE environment variable (min 1).
+int Scaled(int count);
+
+}  // namespace doduo::experiments
+
+#endif  // DODUO_EXPERIMENTS_ENV_H_

@@ -1,0 +1,66 @@
+#ifndef DODUO_EXPERIMENTS_RUNNERS_H_
+#define DODUO_EXPERIMENTS_RUNNERS_H_
+
+#include <memory>
+
+#include "doduo/baselines/sato.h"
+#include "doduo/baselines/sherlock.h"
+#include "doduo/experiments/env.h"
+
+namespace doduo::experiments {
+
+/// Knobs distinguishing the DODUO variants of the paper's experiments.
+struct DoduoVariant {
+  /// DODUO / DOSOLO vs DOSOLO_SCol.
+  core::InputMode input_mode = core::InputMode::kTableWise;
+  /// kTypesAndRelations = DODUO (multi-task); single-task = DOSOLO. Unset
+  /// (-1) uses the environment default.
+  int tasks = -1;  // casts to core::TaskSet when >= 0
+  /// MaxToken/col of Tables 8/11.
+  int max_tokens_per_column = 32;
+  /// +metadata variants of Table 3.
+  bool include_metadata = false;
+  /// TURL baseline: restrict attention with the visibility matrix.
+  bool turl_visibility_mask = false;
+  /// Initialize the encoder from the MLM-pre-trained weights (the paper's
+  /// "pre-trained LM"; false = the random-init ablation of Appendix A.5).
+  bool from_pretrained = true;
+  /// Fraction of the training split used (Figure 4).
+  double train_fraction = 1.0;
+  /// Override the default epoch count (0 = keep).
+  int epochs = 0;
+  /// Varies the fine-tuning seed.
+  uint64_t seed_offset = 0;
+};
+
+/// A fine-tuned model with its evaluation results; the model, serializer,
+/// and trainer stay alive for follow-up analyses (embeddings, attention).
+struct DoduoRun {
+  core::EvalResult types;
+  core::EvalResult relations;  // empty unless the relation task trained
+  core::TrainHistory history;
+  std::unique_ptr<core::DoduoModel> model;
+  std::unique_ptr<table::TableSerializer> serializer;
+  std::unique_ptr<core::Trainer> trainer;
+  bool has_relations = false;
+};
+
+/// Fine-tunes and evaluates one DODUO variant on the environment's dataset.
+DoduoRun RunDoduo(Env* env, const DoduoVariant& variant);
+
+/// Same, on an alternative dataset/splits (the Table 6 shuffled-rows /
+/// shuffled-columns ablations pre-transform the dataset).
+DoduoRun RunDoduoOn(Env* env,
+                    const table::ColumnAnnotationDataset& dataset,
+                    const table::DatasetSplits& splits,
+                    const DoduoVariant& variant);
+
+/// Trains and evaluates the Sherlock baseline on the environment.
+core::EvalResult RunSherlock(Env* env);
+
+/// Trains and evaluates the Sato baseline (single-label datasets only).
+core::EvalResult RunSato(Env* env);
+
+}  // namespace doduo::experiments
+
+#endif  // DODUO_EXPERIMENTS_RUNNERS_H_

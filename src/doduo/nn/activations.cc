@@ -1,0 +1,87 @@
+#include "doduo/nn/activations.h"
+
+#include <cmath>
+
+namespace doduo::nn {
+
+namespace {
+// Constants of the GELU tanh approximation:
+// gelu(x) = 0.5 x (1 + tanh(sqrt(2/pi) (x + 0.044715 x³))).
+constexpr float kSqrt2OverPi = 0.7978845608028654f;
+constexpr float kGeluCubic = 0.044715f;
+}  // namespace
+
+float GeluScalar(float x) {
+  const float inner = kSqrt2OverPi * (x + kGeluCubic * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(inner));
+}
+
+float GeluGradScalar(float x) {
+  const float x3 = x * x * x;
+  const float inner = kSqrt2OverPi * (x + kGeluCubic * x3);
+  const float t = std::tanh(inner);
+  const float sech2 = 1.0f - t * t;
+  const float d_inner = kSqrt2OverPi * (1.0f + 3.0f * kGeluCubic * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * sech2 * d_inner;
+}
+
+const Tensor& Gelu::Forward(const Tensor& x) {
+  cached_input_ = x;
+  output_.ResizeUninitialized(x.shape());
+  const float* in = x.data();
+  float* out = output_.data();
+  for (int64_t i = 0; i < x.size(); ++i) out[i] = GeluScalar(in[i]);
+  return output_;
+}
+
+const Tensor& Gelu::Backward(const Tensor& grad_out) {
+  DODUO_CHECK(SameShape(grad_out, cached_input_));
+  grad_input_.ResizeUninitialized(grad_out.shape());
+  const float* dy = grad_out.data();
+  const float* in = cached_input_.data();
+  float* dx = grad_input_.data();
+  for (int64_t i = 0; i < grad_out.size(); ++i)
+    dx[i] = dy[i] * GeluGradScalar(in[i]);
+  return grad_input_;
+}
+
+const Tensor& Relu::Forward(const Tensor& x) {
+  cached_input_ = x;
+  output_.ResizeUninitialized(x.shape());
+  const float* in = x.data();
+  float* out = output_.data();
+  for (int64_t i = 0; i < x.size(); ++i) out[i] = in[i] > 0.0f ? in[i] : 0.0f;
+  return output_;
+}
+
+const Tensor& Relu::Backward(const Tensor& grad_out) {
+  DODUO_CHECK(SameShape(grad_out, cached_input_));
+  grad_input_.ResizeUninitialized(grad_out.shape());
+  const float* dy = grad_out.data();
+  const float* in = cached_input_.data();
+  float* dx = grad_input_.data();
+  for (int64_t i = 0; i < grad_out.size(); ++i)
+    dx[i] = in[i] > 0.0f ? dy[i] : 0.0f;
+  return grad_input_;
+}
+
+const Tensor& TanhLayer::Forward(const Tensor& x) {
+  output_.ResizeUninitialized(x.shape());
+  const float* in = x.data();
+  float* out = output_.data();
+  for (int64_t i = 0; i < x.size(); ++i) out[i] = std::tanh(in[i]);
+  return output_;
+}
+
+const Tensor& TanhLayer::Backward(const Tensor& grad_out) {
+  DODUO_CHECK(SameShape(grad_out, output_));
+  grad_input_.ResizeUninitialized(grad_out.shape());
+  const float* dy = grad_out.data();
+  const float* y = output_.data();
+  float* dx = grad_input_.data();
+  for (int64_t i = 0; i < grad_out.size(); ++i)
+    dx[i] = dy[i] * (1.0f - y[i] * y[i]);
+  return grad_input_;
+}
+
+}  // namespace doduo::nn

@@ -1,0 +1,49 @@
+#ifndef DODUO_NN_ACTIVATIONS_H_
+#define DODUO_NN_ACTIVATIONS_H_
+
+#include "doduo/nn/tensor.h"
+
+namespace doduo::nn {
+
+/// Scalar GELU (tanh approximation, as in BERT) and its derivative.
+float GeluScalar(float x);
+float GeluGradScalar(float x);
+
+/// Elementwise GELU layer with cached input for backward.
+class Gelu {
+ public:
+  const Tensor& Forward(const Tensor& x);
+  const Tensor& Backward(const Tensor& grad_out);
+
+ private:
+  Tensor cached_input_;
+  Tensor output_;
+  Tensor grad_input_;
+};
+
+/// Elementwise ReLU layer with cached input for backward.
+class Relu {
+ public:
+  const Tensor& Forward(const Tensor& x);
+  const Tensor& Backward(const Tensor& grad_out);
+
+ private:
+  Tensor cached_input_;
+  Tensor output_;
+  Tensor grad_input_;
+};
+
+/// Elementwise tanh layer; caches the output (tanh' = 1 - tanh²).
+class TanhLayer {
+ public:
+  const Tensor& Forward(const Tensor& x);
+  const Tensor& Backward(const Tensor& grad_out);
+
+ private:
+  Tensor output_;
+  Tensor grad_input_;
+};
+
+}  // namespace doduo::nn
+
+#endif  // DODUO_NN_ACTIVATIONS_H_

@@ -1,0 +1,36 @@
+#ifndef DODUO_NN_DROPOUT_H_
+#define DODUO_NN_DROPOUT_H_
+
+#include "doduo/nn/tensor.h"
+#include "doduo/util/rng.h"
+
+namespace doduo::nn {
+
+/// Inverted dropout: during training, zeroes each activation with
+/// probability `rate` and scales survivors by 1/(1-rate); identity during
+/// evaluation.
+class Dropout {
+ public:
+  /// `rng` must outlive the layer. `rate` in [0, 1).
+  Dropout(float rate, util::Rng* rng);
+
+  /// Switches between training (masking) and evaluation (identity) mode.
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  const Tensor& Forward(const Tensor& x);
+  const Tensor& Backward(const Tensor& grad_out);
+
+ private:
+  float rate_;
+  util::Rng* rng_;
+  bool training_ = true;
+  Tensor mask_;  // survivor scale per element (0 or 1/(1-rate))
+  Tensor output_;
+  Tensor grad_input_;
+  bool identity_last_forward_ = true;
+};
+
+}  // namespace doduo::nn
+
+#endif  // DODUO_NN_DROPOUT_H_

@@ -1,0 +1,45 @@
+#ifndef DODUO_NN_EMBEDDING_H_
+#define DODUO_NN_EMBEDDING_H_
+
+#include <string>
+#include <vector>
+
+#include "doduo/nn/parameter.h"
+#include "doduo/nn/tensor.h"
+#include "doduo/util/rng.h"
+
+namespace doduo::nn {
+
+/// Lookup-table embedding: ids → rows of a trainable [vocab, dim] matrix.
+class Embedding {
+ public:
+  /// Table initialized Normal(0, 0.02), matching BERT's initializer.
+  Embedding(std::string name, int64_t vocab_size, int64_t dim,
+            util::Rng* rng);
+
+  /// ids (each in [0, vocab)) → [ids.size(), dim].
+  const Tensor& Forward(const std::vector<int>& ids);
+
+  /// Accumulates grad_out [len, dim] into the rows selected by the cached
+  /// ids of the last Forward call.
+  void Backward(const Tensor& grad_out);
+
+  /// Read-only row view for id, without caching (inference helpers).
+  const float* Row(int id) const;
+
+  ParameterList Parameters() { return {&table_}; }
+
+  int64_t vocab_size() const { return table_.value.rows(); }
+  int64_t dim() const { return table_.value.cols(); }
+
+  Parameter& table() { return table_; }
+
+ private:
+  Parameter table_;  // [vocab, dim]
+  std::vector<int> cached_ids_;
+  Tensor output_;
+};
+
+}  // namespace doduo::nn
+
+#endif  // DODUO_NN_EMBEDDING_H_

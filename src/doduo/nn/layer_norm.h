@@ -1,0 +1,39 @@
+#ifndef DODUO_NN_LAYER_NORM_H_
+#define DODUO_NN_LAYER_NORM_H_
+
+#include <string>
+
+#include "doduo/nn/parameter.h"
+#include "doduo/nn/tensor.h"
+
+namespace doduo::nn {
+
+/// Row-wise layer normalization with learned gain/bias, as used after every
+/// Transformer sub-layer: y = γ * (x - μ) / sqrt(σ² + ε) + β.
+class LayerNorm {
+ public:
+  LayerNorm(std::string name, int64_t dim, float epsilon = 1e-5f);
+
+  /// x: [m, dim] → [m, dim]; caches normalized activations for backward.
+  const Tensor& Forward(const Tensor& x);
+
+  /// grad_out: [m, dim] → d(loss)/dx [m, dim]; accumulates γ/β gradients.
+  const Tensor& Backward(const Tensor& grad_out);
+
+  ParameterList Parameters() { return {&gamma_, &beta_}; }
+
+  int64_t dim() const { return gamma_.value.dim(0); }
+
+ private:
+  Parameter gamma_;  // [dim], initialized to 1
+  Parameter beta_;   // [dim], initialized to 0
+  float epsilon_;
+  Tensor normalized_;  // cached (x - μ)/σ, shape [m, dim]
+  Tensor rstd_;        // cached 1/σ per row, shape [m]
+  Tensor output_;
+  Tensor grad_input_;
+};
+
+}  // namespace doduo::nn
+
+#endif  // DODUO_NN_LAYER_NORM_H_

@@ -1,0 +1,54 @@
+#ifndef DODUO_NN_LINEAR_H_
+#define DODUO_NN_LINEAR_H_
+
+#include <string>
+
+#include "doduo/nn/parameter.h"
+#include "doduo/nn/tensor.h"
+#include "doduo/util/rng.h"
+
+namespace doduo::nn {
+
+/// Fully connected layer y = x·W + b with explicit backward.
+///
+/// Layers cache the most recent forward input, so a given instance must be
+/// used at most once per forward pass (the Transformer allocates one
+/// instance per call site). Gradients accumulate across Backward calls until
+/// the optimizer zeroes them, which implements mini-batching by gradient
+/// accumulation.
+class Linear {
+ public:
+  /// Xavier-uniform initialized weight [in, out] and zero bias [out].
+  Linear(std::string name, int64_t in_features, int64_t out_features,
+         util::Rng* rng);
+
+  /// x: [m, in] → returns [m, out]. The returned reference is owned by the
+  /// layer and valid until the next Forward call.
+  const Tensor& Forward(const Tensor& x);
+
+  /// Forward without caching, for inference-only paths.
+  void ForwardInto(const Tensor& x, Tensor* out) const;
+
+  /// grad_out: [m, out] → returns d(loss)/d(x) [m, in]; accumulates the
+  /// weight/bias gradients.
+  const Tensor& Backward(const Tensor& grad_out);
+
+  ParameterList Parameters() { return {&w_, &b_}; }
+
+  int64_t in_features() const { return w_.value.rows(); }
+  int64_t out_features() const { return w_.value.cols(); }
+
+  Parameter& weight() { return w_; }
+  Parameter& bias() { return b_; }
+
+ private:
+  Parameter w_;  // [in, out]
+  Parameter b_;  // [out]
+  Tensor cached_input_;
+  Tensor output_;
+  Tensor grad_input_;
+};
+
+}  // namespace doduo::nn
+
+#endif  // DODUO_NN_LINEAR_H_

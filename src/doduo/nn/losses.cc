@@ -1,0 +1,96 @@
+#include "doduo/nn/losses.h"
+
+#include <cmath>
+
+#include "doduo/nn/ops.h"
+
+namespace doduo::nn {
+
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<int>& labels) {
+  DODUO_CHECK_EQ(logits.ndim(), 2);
+  DODUO_CHECK_EQ(logits.rows(), static_cast<int64_t>(labels.size()));
+  const int64_t m = logits.rows();
+  const int64_t c = logits.cols();
+
+  LossResult result;
+  result.grad_logits = Tensor({m, c});
+
+  Tensor probs;
+  SoftmaxRows(logits, &probs);
+
+  int64_t valid = 0;
+  double total_loss = 0.0;
+  for (int64_t i = 0; i < m; ++i) {
+    const int label = labels[static_cast<size_t>(i)];
+    if (label < 0) continue;  // ignored row
+    DODUO_CHECK_LT(label, c);
+    ++valid;
+    const float p = probs.at(i, label);
+    total_loss += -std::log(std::max(p, 1e-12f));
+  }
+  if (valid == 0) return result;
+
+  const float inv_valid = 1.0f / static_cast<float>(valid);
+  for (int64_t i = 0; i < m; ++i) {
+    const int label = labels[static_cast<size_t>(i)];
+    if (label < 0) continue;
+    const float* p = probs.row(i);
+    float* g = result.grad_logits.row(i);
+    for (int64_t j = 0; j < c; ++j) g[j] = p[j] * inv_valid;
+    g[label] -= inv_valid;
+  }
+  result.loss = total_loss / static_cast<double>(valid);
+  result.num_examples = valid;
+  return result;
+}
+
+LossResult BinaryCrossEntropyWithLogits(const Tensor& logits,
+                                        const Tensor& targets,
+                                        const std::vector<bool>& row_mask) {
+  DODUO_CHECK_EQ(logits.ndim(), 2);
+  DODUO_CHECK(SameShape(logits, targets));
+  DODUO_CHECK(row_mask.empty() ||
+              row_mask.size() == static_cast<size_t>(logits.rows()));
+  const int64_t m = logits.rows();
+  const int64_t c = logits.cols();
+
+  LossResult result;
+  result.grad_logits = Tensor({m, c});
+
+  int64_t valid_rows = 0;
+  double total_loss = 0.0;
+  for (int64_t i = 0; i < m; ++i) {
+    if (!row_mask.empty() && !row_mask[static_cast<size_t>(i)]) continue;
+    ++valid_rows;
+    const float* z = logits.row(i);
+    const float* t = targets.row(i);
+    for (int64_t j = 0; j < c; ++j) {
+      // Stable BCE-with-logits: max(z,0) - z*t + log(1 + exp(-|z|)).
+      const float zj = z[j];
+      const float tj = t[j];
+      total_loss += std::max(zj, 0.0f) - zj * tj +
+                    std::log1p(std::exp(-std::fabs(zj)));
+    }
+  }
+  if (valid_rows == 0) return result;
+
+  const float denom =
+      static_cast<float>(valid_rows) * static_cast<float>(c);
+  const float inv = 1.0f / denom;
+  for (int64_t i = 0; i < m; ++i) {
+    if (!row_mask.empty() && !row_mask[static_cast<size_t>(i)]) continue;
+    const float* z = logits.row(i);
+    const float* t = targets.row(i);
+    float* g = result.grad_logits.row(i);
+    for (int64_t j = 0; j < c; ++j) {
+      const float sigmoid = 1.0f / (1.0f + std::exp(-z[j]));
+      g[j] = (sigmoid - t[j]) * inv;
+    }
+  }
+  result.loss = total_loss / static_cast<double>(denom);
+  result.num_examples = valid_rows;
+  return result;
+}
+
+}  // namespace doduo::nn

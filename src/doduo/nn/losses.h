@@ -1,0 +1,38 @@
+#ifndef DODUO_NN_LOSSES_H_
+#define DODUO_NN_LOSSES_H_
+
+#include <vector>
+
+#include "doduo/nn/tensor.h"
+
+namespace doduo::nn {
+
+/// Loss value plus the gradient with respect to the logits.
+struct LossResult {
+  double loss = 0.0;         // mean loss over the contributing rows
+  Tensor grad_logits;        // same shape as the logits
+  int64_t num_examples = 0;  // rows that contributed (label != ignore)
+};
+
+/// Multi-class softmax cross entropy.
+///
+/// logits: [m, C]; labels: length m with values in [0, C) or -1 to ignore a
+/// row (used for the [CLS]-only rows of the serialized table and for MLM
+/// positions that were not masked). The gradient is averaged over the
+/// non-ignored rows.
+LossResult SoftmaxCrossEntropy(const Tensor& logits,
+                               const std::vector<int>& labels);
+
+/// Multi-label binary cross entropy with logits (the WikiTable objective).
+///
+/// logits/targets: [m, C] with targets in {0, 1}; row_mask selects which
+/// rows contribute (empty mask = all rows). The loss is the mean of the
+/// per-element BCE over contributing rows and all classes, matching
+/// BCEWithLogitsLoss(reduction="mean").
+LossResult BinaryCrossEntropyWithLogits(const Tensor& logits,
+                                        const Tensor& targets,
+                                        const std::vector<bool>& row_mask);
+
+}  // namespace doduo::nn
+
+#endif  // DODUO_NN_LOSSES_H_

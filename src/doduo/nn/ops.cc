@@ -1,0 +1,234 @@
+#include "doduo/nn/ops.h"
+
+#include <cmath>
+
+namespace doduo::nn {
+
+namespace {
+
+void CheckMatrix(const Tensor& t, const char* name) {
+  DODUO_CHECK_EQ(t.ndim(), 2) << name << " must be 2-D, got "
+                              << t.ShapeString();
+}
+
+// C[m,n] (+)= A[m,k] · B[k,n]. The i-k-j loop order streams through B and C
+// rows, which is the cache-friendly order for row-major data.
+void MatMulImpl(const Tensor& a, const Tensor& b, Tensor* out,
+                bool accumulate) {
+  CheckMatrix(a, "a");
+  CheckMatrix(b, "b");
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.cols();
+  DODUO_CHECK_EQ(k, b.rows()) << "inner dimensions differ: "
+                              << a.ShapeString() << " vs " << b.ShapeString();
+  if (accumulate) {
+    DODUO_CHECK(out->ndim() == 2 && out->rows() == m && out->cols() == n);
+  } else {
+    out->ResizeUninitialized({m, n});
+    out->Zero();
+  }
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out->data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    float* crow = pc + i * n;
+    for (int64_t l = 0; l < k; ++l) {
+      const float av = arow[l];
+      if (av == 0.0f) continue;
+      const float* brow = pb + l * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out) {
+  MatMulImpl(a, b, out, /*accumulate=*/false);
+}
+
+void MatMulAccum(const Tensor& a, const Tensor& b, Tensor* out) {
+  MatMulImpl(a, b, out, /*accumulate=*/true);
+}
+
+void MatMulTransposedB(const Tensor& a, const Tensor& b, Tensor* out) {
+  CheckMatrix(a, "a");
+  CheckMatrix(b, "b");
+  const int64_t m = a.rows();
+  const int64_t k = a.cols();
+  const int64_t n = b.rows();
+  DODUO_CHECK_EQ(k, b.cols()) << "inner dimensions differ: "
+                              << a.ShapeString() << " vs " << b.ShapeString();
+  out->ResizeUninitialized({m, n});
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out->data();
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = pa + i * k;
+    for (int64_t j = 0; j < n; ++j) {
+      pc[i * n + j] = Dot(arow, pb + j * k, k);
+    }
+  }
+}
+
+void MatMulTransposedAAccum(const Tensor& a, const Tensor& b, Tensor* out) {
+  CheckMatrix(a, "a");
+  CheckMatrix(b, "b");
+  const int64_t k = a.rows();
+  const int64_t m = a.cols();
+  const int64_t n = b.cols();
+  DODUO_CHECK_EQ(k, b.rows()) << "leading dimensions differ: "
+                              << a.ShapeString() << " vs " << b.ShapeString();
+  DODUO_CHECK(out->ndim() == 2 && out->rows() == m && out->cols() == n)
+      << "accumulator must be preallocated to [" << m << ", " << n << "]";
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* pc = out->data();
+  // Rank-1 update per row l of a/b; all three operands are streamed.
+  for (int64_t l = 0; l < k; ++l) {
+    const float* arow = pa + l * m;
+    const float* brow = pb + l * n;
+    for (int64_t i = 0; i < m; ++i) {
+      const float av = arow[i];
+      if (av == 0.0f) continue;
+      float* crow = pc + i * n;
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+void MatMulTransposedA(const Tensor& a, const Tensor& b, Tensor* out) {
+  CheckMatrix(a, "a");
+  CheckMatrix(b, "b");
+  out->ResizeUninitialized({a.cols(), b.cols()});
+  out->Zero();
+  MatMulTransposedAAccum(a, b, out);
+}
+
+void Add(const Tensor& a, const Tensor& b, Tensor* out) {
+  DODUO_CHECK(SameShape(a, b));
+  out->ResizeUninitialized(a.shape());
+  const float* pa = a.data();
+  const float* pb = b.data();
+  float* po = out->data();
+  for (int64_t i = 0; i < a.size(); ++i) po[i] = pa[i] + pb[i];
+}
+
+void AddInPlace(Tensor* a, const Tensor& b) {
+  DODUO_CHECK(SameShape(*a, b));
+  float* pa = a->data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a->size(); ++i) pa[i] += pb[i];
+}
+
+void AddScaled(Tensor* a, const Tensor& b, float scale) {
+  DODUO_CHECK(SameShape(*a, b));
+  float* pa = a->data();
+  const float* pb = b.data();
+  for (int64_t i = 0; i < a->size(); ++i) pa[i] += scale * pb[i];
+}
+
+void Scale(Tensor* a, float scale) {
+  float* pa = a->data();
+  for (int64_t i = 0; i < a->size(); ++i) pa[i] *= scale;
+}
+
+void AddRowBroadcast(Tensor* a, const Tensor& bias) {
+  CheckMatrix(*a, "a");
+  DODUO_CHECK_EQ(bias.ndim(), 1);
+  DODUO_CHECK_EQ(a->cols(), bias.dim(0));
+  const int64_t n = a->cols();
+  const float* pb = bias.data();
+  for (int64_t i = 0; i < a->rows(); ++i) {
+    float* row = a->row(i);
+    for (int64_t j = 0; j < n; ++j) row[j] += pb[j];
+  }
+}
+
+void ColumnSumAccum(const Tensor& a, Tensor* out) {
+  CheckMatrix(a, "a");
+  DODUO_CHECK_EQ(out->ndim(), 1);
+  DODUO_CHECK_EQ(out->dim(0), a.cols());
+  const int64_t n = a.cols();
+  float* po = out->data();
+  for (int64_t i = 0; i < a.rows(); ++i) {
+    const float* row = a.row(i);
+    for (int64_t j = 0; j < n; ++j) po[j] += row[j];
+  }
+}
+
+void SoftmaxRows(const Tensor& logits, Tensor* probs) {
+  CheckMatrix(logits, "logits");
+  probs->ResizeUninitialized(logits.shape());
+  const int64_t n = logits.cols();
+  for (int64_t i = 0; i < logits.rows(); ++i) {
+    const float* in = logits.row(i);
+    float* out = probs->row(i);
+    float max_logit = in[0];
+    for (int64_t j = 1; j < n; ++j) max_logit = std::max(max_logit, in[j]);
+    double total = 0.0;
+    for (int64_t j = 0; j < n; ++j) {
+      out[j] = std::exp(in[j] - max_logit);
+      total += out[j];
+    }
+    const float inv = static_cast<float>(1.0 / total);
+    for (int64_t j = 0; j < n; ++j) out[j] *= inv;
+  }
+}
+
+void SoftmaxRowsBackward(const Tensor& probs, const Tensor& grad_out,
+                         Tensor* grad_in) {
+  DODUO_CHECK(SameShape(probs, grad_out));
+  grad_in->ResizeUninitialized(probs.shape());
+  const int64_t n = probs.cols();
+  for (int64_t i = 0; i < probs.rows(); ++i) {
+    const float* p = probs.row(i);
+    const float* dy = grad_out.row(i);
+    float* dx = grad_in->row(i);
+    double inner = 0.0;
+    for (int64_t j = 0; j < n; ++j) inner += static_cast<double>(dy[j]) * p[j];
+    const float inner_f = static_cast<float>(inner);
+    for (int64_t j = 0; j < n; ++j) dx[j] = p[j] * (dy[j] - inner_f);
+  }
+}
+
+void LogSoftmaxRows(const Tensor& logits, Tensor* log_probs) {
+  CheckMatrix(logits, "logits");
+  log_probs->ResizeUninitialized(logits.shape());
+  const int64_t n = logits.cols();
+  for (int64_t i = 0; i < logits.rows(); ++i) {
+    const float* in = logits.row(i);
+    float* out = log_probs->row(i);
+    float max_logit = in[0];
+    for (int64_t j = 1; j < n; ++j) max_logit = std::max(max_logit, in[j]);
+    double total = 0.0;
+    for (int64_t j = 0; j < n; ++j) total += std::exp(in[j] - max_logit);
+    const float log_z = max_logit + static_cast<float>(std::log(total));
+    for (int64_t j = 0; j < n; ++j) out[j] = in[j] - log_z;
+  }
+}
+
+float Dot(const float* a, const float* b, int64_t n) {
+  float acc0 = 0.0f, acc1 = 0.0f, acc2 = 0.0f, acc3 = 0.0f;
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc0 += a[i] * b[i];
+    acc1 += a[i + 1] * b[i + 1];
+    acc2 += a[i + 2] * b[i + 2];
+    acc3 += a[i + 3] * b[i + 3];
+  }
+  for (; i < n; ++i) acc0 += a[i] * b[i];
+  return acc0 + acc1 + acc2 + acc3;
+}
+
+float CosineSimilarity(const float* a, const float* b, int64_t n) {
+  const float dot = Dot(a, b, n);
+  const float na = Dot(a, a, n);
+  const float nb = Dot(b, b, n);
+  if (na <= 0.0f || nb <= 0.0f) return 0.0f;
+  return dot / (std::sqrt(na) * std::sqrt(nb));
+}
+
+}  // namespace doduo::nn

@@ -1,0 +1,65 @@
+#ifndef DODUO_NN_OPS_H_
+#define DODUO_NN_OPS_H_
+
+#include "doduo/nn/tensor.h"
+
+namespace doduo::nn {
+
+// Dense linear-algebra kernels used by the layers. All functions write into
+// caller-provided outputs (resized as needed) and die on shape mismatches.
+// Accumulating variants add into the output instead of overwriting, which
+// the backward passes use to sum gradients.
+
+/// out = a · b for a[m,k], b[k,n]; out resized to [m,n].
+void MatMul(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out += a · b.
+void MatMulAccum(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out = a · bᵀ for a[m,k], b[n,k]; out resized to [m,n].
+void MatMulTransposedB(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out += aᵀ · b for a[k,m], b[k,n]; out must already be [m,n].
+void MatMulTransposedAAccum(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out = aᵀ · b for a[k,m], b[k,n]; out resized to [m,n].
+void MatMulTransposedA(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// out = a + b, elementwise; shapes must match.
+void Add(const Tensor& a, const Tensor& b, Tensor* out);
+
+/// a += b, elementwise.
+void AddInPlace(Tensor* a, const Tensor& b);
+
+/// a += scale * b, elementwise.
+void AddScaled(Tensor* a, const Tensor& b, float scale);
+
+/// a *= scale.
+void Scale(Tensor* a, float scale);
+
+/// Adds the 1-D `bias` (length n) to every row of the 2-D `a` [m,n].
+void AddRowBroadcast(Tensor* a, const Tensor& bias);
+
+/// out[j] += sum over rows i of a[i,j], for a[m,n] and 1-D out[n].
+void ColumnSumAccum(const Tensor& a, Tensor* out);
+
+/// Row-wise softmax of a 2-D tensor, numerically stabilized.
+void SoftmaxRows(const Tensor& logits, Tensor* probs);
+
+/// Backward of row-wise softmax: given probs p and upstream grad dy,
+/// dx_i = p_i * (dy_i - sum_j dy_j p_j), computed per row.
+void SoftmaxRowsBackward(const Tensor& probs, const Tensor& grad_out,
+                         Tensor* grad_in);
+
+/// Row-wise log-softmax of a 2-D tensor.
+void LogSoftmaxRows(const Tensor& logits, Tensor* log_probs);
+
+/// Dot product of two equal-length 1-D float spans.
+float Dot(const float* a, const float* b, int64_t n);
+
+/// Cosine similarity between 1-D vectors of length n (0 when either is 0).
+float CosineSimilarity(const float* a, const float* b, int64_t n);
+
+}  // namespace doduo::nn
+
+#endif  // DODUO_NN_OPS_H_

@@ -1,0 +1,67 @@
+#ifndef DODUO_NN_OPTIMIZER_H_
+#define DODUO_NN_OPTIMIZER_H_
+
+#include "doduo/nn/parameter.h"
+
+namespace doduo::nn {
+
+/// Learning-rate schedule: linear decay from `initial_lr` to zero over
+/// `total_steps`, with optional linear warmup. The paper fine-tunes with
+/// lr=5e-5, linear decay, no warmup.
+class LinearDecaySchedule {
+ public:
+  LinearDecaySchedule(double initial_lr, int64_t total_steps,
+                      int64_t warmup_steps = 0);
+
+  /// Learning rate at optimizer step `step` (0-based).
+  double LearningRate(int64_t step) const;
+
+ private:
+  double initial_lr_;
+  int64_t total_steps_;
+  int64_t warmup_steps_;
+};
+
+/// Adam settings; defaults match the paper (eps=1e-8).
+struct AdamOptions {
+  double learning_rate = 5e-4;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  double weight_decay = 0.0;
+  double clip_norm = 1.0;  // global gradient-norm clip; <=0 disables
+};
+
+/// Adam optimizer over a fixed parameter list. Each Step() consumes the
+/// accumulated gradients and zeroes them. The caller owns averaging over a
+/// mini-batch (gradients here are sums; divide by batch size before Step or
+/// scale the loss accordingly — the trainers average in the loss).
+///
+/// Moment state lives in the optimizer, not the parameters, so multiple
+/// optimizers can drive the same parameter list (the paper's multi-task
+/// Algorithm 1 uses one optimizer per task).
+class Adam {
+ public:
+  Adam(ParameterList params, AdamOptions options);
+
+  /// Applies one update using `learning_rate` (use the schedule), then
+  /// zeroes all gradients.
+  void Step(double learning_rate);
+
+  /// Applies one update with options.learning_rate.
+  void Step() { Step(options_.learning_rate); }
+
+  int64_t step_count() const { return step_count_; }
+  const AdamOptions& options() const { return options_; }
+
+ private:
+  ParameterList params_;
+  AdamOptions options_;
+  std::vector<Tensor> moment1_;
+  std::vector<Tensor> moment2_;
+  int64_t step_count_ = 0;
+};
+
+}  // namespace doduo::nn
+
+#endif  // DODUO_NN_OPTIMIZER_H_

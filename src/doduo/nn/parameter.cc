@@ -1,0 +1,37 @@
+#include "doduo/nn/parameter.h"
+
+#include <cmath>
+
+#include "doduo/nn/ops.h"
+
+namespace doduo::nn {
+
+int64_t ParameterCount(const ParameterList& params) {
+  int64_t total = 0;
+  for (const Parameter* p : params) total += p->value.size();
+  return total;
+}
+
+void ZeroAllGrads(const ParameterList& params) {
+  for (Parameter* p : params) p->ZeroGrad();
+}
+
+double GradientNorm(const ParameterList& params) {
+  double total = 0.0;
+  for (const Parameter* p : params) {
+    const double norm = p->grad.L2Norm();
+    total += norm * norm;
+  }
+  return std::sqrt(total);
+}
+
+double ClipGradientNorm(const ParameterList& params, double clip_norm) {
+  const double norm = GradientNorm(params);
+  if (norm > clip_norm && norm > 0.0) {
+    const float scale = static_cast<float>(clip_norm / norm);
+    for (Parameter* p : params) Scale(&p->grad, scale);
+  }
+  return norm;
+}
+
+}  // namespace doduo::nn

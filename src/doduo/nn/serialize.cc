@@ -1,0 +1,102 @@
+#include "doduo/nn/serialize.h"
+
+#include <cstdint>
+#include <fstream>
+
+namespace doduo::nn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x444F4455;  // "DODU"
+constexpr uint32_t kVersion = 1;
+
+void WriteU32(std::ofstream& out, uint32_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void WriteU64(std::ofstream& out, uint64_t value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+bool ReadU32(std::ifstream& in, uint32_t* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+
+bool ReadU64(std::ifstream& in, uint64_t* value) {
+  in.read(reinterpret_cast<char*>(value), sizeof(*value));
+  return static_cast<bool>(in);
+}
+
+}  // namespace
+
+util::Status SaveParameters(const std::string& path,
+                            const ParameterList& params) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return util::Status::IoError("cannot open " + path);
+  WriteU32(out, kMagic);
+  WriteU32(out, kVersion);
+  WriteU64(out, static_cast<uint64_t>(params.size()));
+  for (const Parameter* p : params) {
+    WriteU64(out, static_cast<uint64_t>(p->name.size()));
+    out.write(p->name.data(), static_cast<std::streamsize>(p->name.size()));
+    WriteU32(out, static_cast<uint32_t>(p->value.ndim()));
+    for (int i = 0; i < p->value.ndim(); ++i) {
+      WriteU64(out, static_cast<uint64_t>(p->value.dim(i)));
+    }
+    out.write(reinterpret_cast<const char*>(p->value.data()),
+              static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+  }
+  if (!out) return util::Status::IoError("failed writing " + path);
+  return util::Status::Ok();
+}
+
+util::Status LoadParameters(const std::string& path,
+                            const ParameterList& params) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::IoError("cannot open " + path);
+  uint32_t magic = 0;
+  uint32_t version = 0;
+  uint64_t count = 0;
+  if (!ReadU32(in, &magic) || magic != kMagic) {
+    return util::Status::InvalidArgument(path + " is not a doduo checkpoint");
+  }
+  if (!ReadU32(in, &version) || version != kVersion) {
+    return util::Status::InvalidArgument("unsupported checkpoint version");
+  }
+  if (!ReadU64(in, &count) || count != params.size()) {
+    return util::Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " parameters, model has " +
+        std::to_string(params.size()));
+  }
+  for (Parameter* p : params) {
+    uint64_t name_len = 0;
+    if (!ReadU64(in, &name_len)) {
+      return util::Status::IoError("truncated checkpoint");
+    }
+    std::string name(name_len, '\0');
+    in.read(name.data(), static_cast<std::streamsize>(name_len));
+    if (!in || name != p->name) {
+      return util::Status::InvalidArgument(
+          "parameter name mismatch: checkpoint '" + name + "' vs model '" +
+          p->name + "'");
+    }
+    uint32_t ndim = 0;
+    if (!ReadU32(in, &ndim) || static_cast<int>(ndim) != p->value.ndim()) {
+      return util::Status::InvalidArgument("rank mismatch for " + p->name);
+    }
+    for (int i = 0; i < p->value.ndim(); ++i) {
+      uint64_t extent = 0;
+      if (!ReadU64(in, &extent) ||
+          static_cast<int64_t>(extent) != p->value.dim(i)) {
+        return util::Status::InvalidArgument("shape mismatch for " + p->name);
+      }
+    }
+    in.read(reinterpret_cast<char*>(p->value.data()),
+            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
+    if (!in) return util::Status::IoError("truncated checkpoint data");
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace doduo::nn

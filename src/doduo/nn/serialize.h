@@ -1,0 +1,24 @@
+#ifndef DODUO_NN_SERIALIZE_H_
+#define DODUO_NN_SERIALIZE_H_
+
+#include <string>
+
+#include "doduo/nn/parameter.h"
+#include "doduo/util/status.h"
+
+namespace doduo::nn {
+
+/// Saves the parameters in list order to a binary checkpoint file. The
+/// format records each parameter's name and shape, so a load verifies that
+/// the target model has an identical structure.
+util::Status SaveParameters(const std::string& path,
+                            const ParameterList& params);
+
+/// Loads a checkpoint written by SaveParameters into `params`. Names,
+/// order, and shapes must match exactly.
+util::Status LoadParameters(const std::string& path,
+                            const ParameterList& params);
+
+}  // namespace doduo::nn
+
+#endif  // DODUO_NN_SERIALIZE_H_

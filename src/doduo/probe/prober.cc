@@ -1,0 +1,132 @@
+#include "doduo/probe/prober.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "doduo/util/check.h"
+
+namespace doduo::probe {
+
+LmProber::LmProber(transformer::MlmPretrainer* scorer,
+                   const text::WordPieceTokenizer* tokenizer)
+    : scorer_(scorer), tokenizer_(tokenizer) {
+  DODUO_CHECK(scorer != nullptr);
+  DODUO_CHECK(tokenizer != nullptr);
+}
+
+double LmProber::ScoreCompletion(const Template& tmpl,
+                                 const std::string& completion) const {
+  const std::vector<int> prefix = tokenizer_->Encode(tmpl.prefix);
+  const std::vector<int> span = tokenizer_->Encode(completion);
+  const std::vector<int> suffix = tokenizer_->Encode(tmpl.suffix);
+  DODUO_CHECK(!span.empty()) << "untokenizable completion: " << completion;
+
+  std::vector<int> ids;
+  ids.push_back(text::Vocab::kClsId);
+  ids.insert(ids.end(), prefix.begin(), prefix.end());
+  const size_t span_begin = ids.size();
+  ids.insert(ids.end(), span.begin(), span.end());
+  const size_t span_end = ids.size();
+  ids.insert(ids.end(), suffix.begin(), suffix.end());
+  ids.push_back(text::Vocab::kSepId);
+
+  double total_nll = 0.0;
+  for (size_t pos = span_begin; pos < span_end; ++pos) {
+    total_nll -= scorer_->MaskedLogProb(ids, pos, ids[pos]);
+  }
+  return std::exp(total_nll / static_cast<double>(span_end - span_begin));
+}
+
+void LmProber::RankCandidates(const Template& tmpl,
+                              const std::vector<Candidate>& candidates,
+                              size_t true_index, int* rank,
+                              double* ppl_ratio) const {
+  DODUO_CHECK_LT(true_index, candidates.size());
+  std::vector<double> scores(candidates.size());
+  double total = 0.0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    scores[i] = ScoreCompletion(tmpl, candidates[i].completion);
+    total += scores[i];
+  }
+  int better = 0;
+  for (size_t i = 0; i < candidates.size(); ++i) {
+    if (i != true_index && scores[i] < scores[true_index]) ++better;
+  }
+  *rank = better + 1;
+  const double mean = total / static_cast<double>(candidates.size());
+  *ppl_ratio = mean > 0.0 ? scores[true_index] / mean : 0.0;
+}
+
+std::vector<ProbeRow> LmProber::ProbeTypes(const synth::KnowledgeBase& kb,
+                                           int samples_per_label,
+                                           util::Rng* rng) const {
+  const std::vector<Candidate> candidates = TypeCandidates(kb);
+  std::vector<ProbeRow> rows;
+  for (int t = 0; t < kb.num_types(); ++t) {
+    const synth::EntityType& type = kb.type(t);
+    const size_t samples = std::min<size_t>(
+        static_cast<size_t>(samples_per_label), type.entities.size());
+    ProbeRow row;
+    row.label = type.name;
+    for (size_t index :
+         rng->SampleIndices(type.entities.size(), samples)) {
+      int rank = 0;
+      double ppl_ratio = 0.0;
+      RankCandidates(MakeTypeTemplate(type.entities[index]), candidates,
+                     static_cast<size_t>(t), &rank, &ppl_ratio);
+      row.avg_rank += rank;
+      row.ppl_ratio += ppl_ratio;
+      ++row.num_samples;
+    }
+    if (row.num_samples > 0) {
+      row.avg_rank /= row.num_samples;
+      row.ppl_ratio /= row.num_samples;
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ProbeRow& a, const ProbeRow& b) {
+              return a.avg_rank < b.avg_rank;
+            });
+  return rows;
+}
+
+std::vector<ProbeRow> LmProber::ProbeRelations(
+    const synth::KnowledgeBase& kb, int samples_per_label,
+    util::Rng* rng) const {
+  const std::vector<Candidate> candidates = RelationCandidates(kb);
+  std::vector<ProbeRow> rows;
+  for (int r = 0; r < kb.num_relations(); ++r) {
+    const synth::RelationType& relation = kb.relation(r);
+    const auto& subjects = kb.type(relation.subject_type).entities;
+    const auto& objects = kb.type(relation.object_type).entities;
+    const size_t samples = std::min<size_t>(
+        static_cast<size_t>(samples_per_label), subjects.size());
+    ProbeRow row;
+    row.label = relation.name;
+    for (size_t subject : rng->SampleIndices(subjects.size(), samples)) {
+      const int object = kb.FactObject(r, static_cast<int>(subject));
+      int rank = 0;
+      double ppl_ratio = 0.0;
+      RankCandidates(
+          MakeRelationTemplate(subjects[subject],
+                               objects[static_cast<size_t>(object)]),
+          candidates, static_cast<size_t>(r), &rank, &ppl_ratio);
+      row.avg_rank += rank;
+      row.ppl_ratio += ppl_ratio;
+      ++row.num_samples;
+    }
+    if (row.num_samples > 0) {
+      row.avg_rank /= row.num_samples;
+      row.ppl_ratio /= row.num_samples;
+    }
+    rows.push_back(std::move(row));
+  }
+  std::sort(rows.begin(), rows.end(),
+            [](const ProbeRow& a, const ProbeRow& b) {
+              return a.avg_rank < b.avg_rank;
+            });
+  return rows;
+}
+
+}  // namespace doduo::probe

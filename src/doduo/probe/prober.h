@@ -1,0 +1,63 @@
+#ifndef DODUO_PROBE_PROBER_H_
+#define DODUO_PROBE_PROBER_H_
+
+#include <string>
+#include <vector>
+
+#include "doduo/probe/templates.h"
+#include "doduo/text/wordpiece_tokenizer.h"
+#include "doduo/transformer/mlm.h"
+
+namespace doduo::probe {
+
+/// One row of Tables 12/13: how well the *pre-trained, not fine-tuned* LM
+/// ranks the true label among all candidates for that label's entities.
+struct ProbeRow {
+  std::string label;
+  double avg_rank = 0.0;       // 1 = always judged most natural
+  double ppl_ratio = 0.0;      // PPL(true) / mean PPL over candidates
+  int num_samples = 0;
+};
+
+/// Template-based LM probing (Appendix A.5): scores each candidate
+/// completion by the masked pseudo-perplexity of the candidate span —
+/// every candidate token is masked in turn and the mean NLL of the true
+/// tokens is exponentiated. Scoring only the candidate span (rather than
+/// the whole sentence) keeps candidates of different lengths comparable,
+/// which substitutes for the paper's equal-token-count filtering.
+class LmProber {
+ public:
+  /// All pointers must outlive the prober. The pretrainer supplies masked
+  /// log-probabilities from its (pre-trained) model.
+  LmProber(transformer::MlmPretrainer* scorer,
+           const text::WordPieceTokenizer* tokenizer);
+
+  /// Pseudo-perplexity of `completion` inside `tmpl`.
+  double ScoreCompletion(const Template& tmpl,
+                         const std::string& completion) const;
+
+  /// Rank (1-based) of candidate `true_index` under the scores, plus the
+  /// PPL ratio, written into the output parameters.
+  void RankCandidates(const Template& tmpl,
+                      const std::vector<Candidate>& candidates,
+                      size_t true_index, int* rank, double* ppl_ratio) const;
+
+  /// Probes every KB type over up to `samples_per_label` of its entities;
+  /// rows sorted by ascending avg_rank (best-known first).
+  std::vector<ProbeRow> ProbeTypes(const synth::KnowledgeBase& kb,
+                                   int samples_per_label,
+                                   util::Rng* rng) const;
+
+  /// Probes every KB relation over up to `samples_per_label` of its facts.
+  std::vector<ProbeRow> ProbeRelations(const synth::KnowledgeBase& kb,
+                                       int samples_per_label,
+                                       util::Rng* rng) const;
+
+ private:
+  transformer::MlmPretrainer* scorer_;
+  const text::WordPieceTokenizer* tokenizer_;
+};
+
+}  // namespace doduo::probe
+
+#endif  // DODUO_PROBE_PROBER_H_

@@ -1,0 +1,33 @@
+#include "doduo/probe/templates.h"
+
+namespace doduo::probe {
+
+Template MakeTypeTemplate(const std::string& entity) {
+  return {entity + " is", "."};
+}
+
+std::vector<Candidate> TypeCandidates(const synth::KnowledgeBase& kb) {
+  std::vector<Candidate> candidates;
+  candidates.reserve(static_cast<size_t>(kb.num_types()));
+  for (int t = 0; t < kb.num_types(); ++t) {
+    candidates.push_back(
+        {t, synth::KnowledgeBase::LeafWord(kb.type(t).name)});
+  }
+  return candidates;
+}
+
+Template MakeRelationTemplate(const std::string& subject,
+                              const std::string& object) {
+  return {subject, object + " ."};
+}
+
+std::vector<Candidate> RelationCandidates(const synth::KnowledgeBase& kb) {
+  std::vector<Candidate> candidates;
+  candidates.reserve(static_cast<size_t>(kb.num_relations()));
+  for (int r = 0; r < kb.num_relations(); ++r) {
+    candidates.push_back({r, kb.relation(r).phrase});
+  }
+  return candidates;
+}
+
+}  // namespace doduo::probe

@@ -1,0 +1,42 @@
+#ifndef DODUO_PROBE_TEMPLATES_H_
+#define DODUO_PROBE_TEMPLATES_H_
+
+#include <string>
+#include <vector>
+
+#include "doduo/synth/knowledge_base.h"
+
+namespace doduo::probe {
+
+/// A fill-in-the-blank probing template: the fixed prefix/suffix around the
+/// candidate span. Types use "<entity> is ____ ."; relations use
+/// "<subject> ____ <object> ." with the relation phrase as the candidate,
+/// mirroring Appendix A.5 of the paper.
+struct Template {
+  std::string prefix;  // e.g. "judy morris is"
+  std::string suffix;  // e.g. "."
+};
+
+/// The candidate completion for one label (type leaf word or relation
+/// phrase).
+struct Candidate {
+  int label_id = 0;        // type id or relation id in the KB
+  std::string completion;  // the words filling the blank
+};
+
+/// Type-probing template for one entity.
+Template MakeTypeTemplate(const std::string& entity);
+
+/// All type candidates of a KB (leaf word per type).
+std::vector<Candidate> TypeCandidates(const synth::KnowledgeBase& kb);
+
+/// Relation-probing template for a subject/object pair.
+Template MakeRelationTemplate(const std::string& subject,
+                              const std::string& object);
+
+/// All relation candidates of a KB (phrase per relation).
+std::vector<Candidate> RelationCandidates(const synth::KnowledgeBase& kb);
+
+}  // namespace doduo::probe
+
+#endif  // DODUO_PROBE_TEMPLATES_H_

@@ -1,0 +1,158 @@
+#include "doduo/synth/case_study.h"
+
+#include "doduo/util/check.h"
+#include "doduo/util/rng.h"
+#include "doduo/util/string_util.h"
+
+namespace doduo::synth {
+
+namespace {
+
+// Semantic groups with their column-name variants. Different tables use
+// different variants for the same group — the core difficulty of the case
+// study.
+struct Group {
+  const char* name;
+  std::vector<const char*> column_names;
+};
+
+const Group kGroups[] = {
+    {"date", {"date", "dt", "event_date", "day"}},
+    {"ip_address", {"ip", "ip_address", "client_ip", "remote_addr"}},
+    {"job_title", {"job_title", "title", "position", "role"}},
+    {"timestamp_unix", {"ts", "unixtime", "created_ts", "epoch"}},
+    {"timestamp_hhmm", {"time", "hhmm", "clock_time", "time_of_day"}},
+    {"counts", {"count", "num_events", "total", "n"}},
+    {"status", {"status", "state", "flag", "stage"}},
+    {"file_path", {"path", "file_path", "location_on_disk", "uri"}},
+    {"browser", {"browser", "user_agent", "client", "ua"}},
+    {"location", {"location", "city", "place", "geo"}},
+    {"search_term", {"search_term", "query", "keyword", "q"}},
+    {"rating", {"rating", "score", "stars", "grade"}},
+    {"company_id", {"company_id", "cid", "employer_id", "org_id"}},
+    {"review_id", {"review_id", "rid", "feedback_id", "post_id"}},
+    {"user_id", {"user_id", "uid", "member_id", "account_id"}},
+};
+
+constexpr int kNumGroups = static_cast<int>(std::size(kGroups));
+
+// Columns of the 10 tables (group indices). 50 columns total; every group
+// appears at least twice so clustering has something to join.
+const std::vector<std::vector<int>> kTableLayouts = {
+    {0, 14, 10, 1, 8},     // jobsearch events: date, user, query, ip, browser
+    {3, 14, 10, 5, 6},     // jobsearch counts: ts, user, query, counts, status
+    {13, 12, 11, 6, 0},    // reviews: review, company, rating, status, date
+    {13, 14, 11, 4, 0},    // review details: review, user, rating, hh:mm, date
+    {12, 2, 9, 6, 3},      // companies: company, job title, location, status, ts
+    {14, 2, 9, 0, 5},      // users: user, job title, location, date, counts
+    {7, 3, 5, 6, 8},       // logs: path, ts, counts, status, browser
+    {1, 8, 4, 7, 5},       // sessions: ip, browser, hh:mm, path, counts
+    {12, 11, 5, 0, 9},     // company stats: company, rating, counts, date, loc
+    {14, 13, 3, 1, 10},    // activity: user, review, ts, ip, query
+};
+
+std::string GenerateValue(int group, util::Rng* rng) {
+  switch (group) {
+    case 0: {  // date
+      return std::to_string(rng->UniformInt(2015, 2023)) + "-" +
+             std::to_string(rng->UniformInt(1, 12)) + "-" +
+             std::to_string(rng->UniformInt(1, 28));
+    }
+    case 1: {  // ip address
+      return std::to_string(rng->UniformInt(1, 255)) + "." +
+             std::to_string(rng->UniformInt(0, 255)) + "." +
+             std::to_string(rng->UniformInt(0, 255)) + "." +
+             std::to_string(rng->UniformInt(1, 254));
+    }
+    case 2: {  // job title
+      static const char* kTitles[] = {
+          "software engineer", "data scientist", "product manager",
+          "sales associate",   "nurse",          "accountant",
+          "designer",          "technician",     "analyst",
+          "recruiter"};
+      return kTitles[rng->NextUint64(std::size(kTitles))];
+    }
+    case 3:  // unix timestamp
+      return std::to_string(rng->UniformInt(1500000000, 1700000000));
+    case 4: {  // hh:mm
+      const int64_t h = rng->UniformInt(0, 23);
+      const int64_t m = rng->UniformInt(0, 59);
+      return (h < 10 ? "0" : "") + std::to_string(h) + ":" +
+             (m < 10 ? "0" : "") + std::to_string(m);
+    }
+    case 5:  // counts
+      return std::to_string(rng->UniformInt(0, 5000));
+    case 6: {  // status
+      static const char* kStatuses[] = {"active", "pending", "closed",
+                                        "approved", "rejected", "draft"};
+      return kStatuses[rng->NextUint64(std::size(kStatuses))];
+    }
+    case 7: {  // file path
+      static const char* kDirs[] = {"var", "home", "data", "srv", "tmp"};
+      static const char* kFiles[] = {"log", "report", "export", "cache",
+                                     "index"};
+      return std::string("/") + kDirs[rng->NextUint64(std::size(kDirs))] +
+             "/" + kFiles[rng->NextUint64(std::size(kFiles))] + "_" +
+             std::to_string(rng->UniformInt(1, 99)) + ".txt";
+    }
+    case 8: {  // browser
+      static const char* kBrowsers[] = {"chrome", "firefox", "safari",
+                                        "edge",   "opera",   "brave"};
+      return kBrowsers[rng->NextUint64(std::size(kBrowsers))];
+    }
+    case 9: {  // location
+      static const char* kPlaces[] = {"oakfield",  "brookton", "mapleview",
+                                      "stoneport", "fairdale", "riverhaven",
+                                      "eastburg",  "westford"};
+      return kPlaces[rng->NextUint64(std::size(kPlaces))];
+    }
+    case 10: {  // search term
+      static const char* kTerms[] = {
+          "remote jobs",     "salary report",  "software engineer",
+          "part time work",  "company reviews", "internships",
+          "hiring manager",  "career change"};
+      return kTerms[rng->NextUint64(std::size(kTerms))];
+    }
+    case 11:  // rating
+      return util::FormatDouble(rng->UniformDouble(1.0, 5.0), 1);
+    case 12:  // company id
+      return "c" + std::to_string(rng->UniformInt(1000, 9999));
+    case 13:  // review id
+      return "r" + std::to_string(rng->UniformInt(100000, 999999));
+    case 14:  // user id
+      return "u" + std::to_string(rng->UniformInt(10000, 99999));
+    default:
+      DODUO_CHECK(false) << "unknown group " << group;
+      return "";
+  }
+}
+
+}  // namespace
+
+CaseStudyData BuildCaseStudy(uint64_t seed) {
+  util::Rng rng(seed);
+  CaseStudyData data;
+  for (const Group& group : kGroups) data.group_names.push_back(group.name);
+
+  for (size_t t = 0; t < kTableLayouts.size(); ++t) {
+    table::Table tbl("case_study_" + std::to_string(t));
+    for (int group : kTableLayouts[t]) {
+      DODUO_CHECK(group >= 0 && group < kNumGroups);
+      table::Column column;
+      // Pick a name variant; different tables disagree on naming.
+      const auto& variants = kGroups[group].column_names;
+      column.name = variants[rng.NextUint64(variants.size())];
+      const int rows = static_cast<int>(rng.UniformInt(6, 10));
+      for (int r = 0; r < rows; ++r) {
+        column.values.push_back(GenerateValue(group, &rng));
+      }
+      tbl.AddColumn(std::move(column));
+      data.ground_truth.push_back(group);
+    }
+    data.tables.push_back(std::move(tbl));
+  }
+  DODUO_CHECK_EQ(data.num_columns(), 50);
+  return data;
+}
+
+}  // namespace doduo::synth

@@ -1,0 +1,77 @@
+#include "doduo/synth/corpus_generator.h"
+
+#include "doduo/util/check.h"
+
+namespace doduo::synth {
+
+CorpusGenerator::CorpusGenerator(const KnowledgeBase* kb) : kb_(kb) {
+  DODUO_CHECK(kb != nullptr);
+}
+
+std::string CorpusGenerator::TypeStatement(const std::string& entity,
+                                           const std::string& type_name) {
+  return entity + " is " + KnowledgeBase::LeafWord(type_name) + " .";
+}
+
+std::string CorpusGenerator::RelationStatement(const std::string& subject,
+                                               const std::string& phrase,
+                                               const std::string& object) {
+  return subject + " " + phrase + " " + object + " .";
+}
+
+std::vector<std::string> CorpusGenerator::Generate(
+    const CorpusOptions& options) const {
+  util::Rng rng(options.seed);
+  std::vector<std::string> corpus;
+
+  // Type statements: tie every surface form to its type word(s).
+  for (int t = 0; t < kb_->num_types(); ++t) {
+    const EntityType& type = kb_->type(t);
+    for (const std::string& entity : type.entities) {
+      for (int m = 0; m < options.type_mentions; ++m) {
+        corpus.push_back(TypeStatement(entity, type.name));
+      }
+      for (const std::string& extra : type.extra_labels) {
+        if (rng.Bernoulli(0.5)) {
+          corpus.push_back(TypeStatement(entity, extra));
+        }
+      }
+    }
+  }
+
+  // List statements: random same-type value runs, the column-shaped input.
+  for (int t = 0; t < kb_->num_types(); ++t) {
+    const EntityType& type = kb_->type(t);
+    const std::string leaf = KnowledgeBase::LeafWord(type.name);
+    for (int m = 0; m < options.list_mentions; ++m) {
+      const size_t count = 2 + rng.NextUint64(4);  // 2-5 values
+      std::string sentence;
+      for (size_t i = 0; i < count; ++i) {
+        if (i > 0) sentence += " ";
+        sentence += type.entities[rng.NextUint64(type.entities.size())];
+      }
+      sentence += " are " + leaf + " .";
+      corpus.push_back(std::move(sentence));
+    }
+  }
+
+  // Fact statements: one sentence (repeated) per KB fact.
+  for (int r = 0; r < kb_->num_relations(); ++r) {
+    const RelationType& relation = kb_->relation(r);
+    const EntityType& subjects = kb_->type(relation.subject_type);
+    const EntityType& objects = kb_->type(relation.object_type);
+    for (size_t s = 0; s < subjects.entities.size(); ++s) {
+      const int object = kb_->FactObject(r, static_cast<int>(s));
+      for (int m = 0; m < options.fact_mentions; ++m) {
+        corpus.push_back(RelationStatement(
+            subjects.entities[s], relation.phrase,
+            objects.entities[static_cast<size_t>(object)]));
+      }
+    }
+  }
+
+  rng.Shuffle(&corpus);
+  return corpus;
+}
+
+}  // namespace doduo::synth

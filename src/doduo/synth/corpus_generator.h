@@ -1,0 +1,52 @@
+#ifndef DODUO_SYNTH_CORPUS_GENERATOR_H_
+#define DODUO_SYNTH_CORPUS_GENERATOR_H_
+
+#include <string>
+#include <vector>
+
+#include "doduo/synth/knowledge_base.h"
+
+namespace doduo::synth {
+
+/// Knobs of the pre-training corpus.
+struct CorpusOptions {
+  /// Sentences emitted per relation fact ("<subject> <phrase> <object> .").
+  int fact_mentions = 2;
+  /// Sentences emitted per (entity, type) pair ("<entity> is <leaf> .").
+  int type_mentions = 1;
+  /// List statements emitted per type ("<e1> <e2> <e3> are <leaf> ."),
+  /// teaching the LM to map value sequences to a type — the shape a
+  /// serialized column presents at fine-tuning time.
+  int list_mentions = 40;
+  uint64_t seed = 42;
+};
+
+/// Verbalizes the knowledge base into a plain-text corpus for MLM
+/// pre-training. This substitutes for BERT's Wikipedia corpus: the facts
+/// that the annotation tasks depend on ("happy feet is directed by george
+/// miller") are stored in the LM's weights during pre-training, which the
+/// probing experiment (Tables 12/13) then measures directly.
+class CorpusGenerator {
+ public:
+  /// `kb` must outlive the generator.
+  explicit CorpusGenerator(const KnowledgeBase* kb);
+
+  std::vector<std::string> Generate(const CorpusOptions& options) const;
+
+  /// The type statement used both in the corpus and as the probing
+  /// template: "<entity> is <leaf-word-of-type> .".
+  static std::string TypeStatement(const std::string& entity,
+                                   const std::string& type_name);
+
+  /// The relation statement: "<subject> <phrase> <object> .".
+  static std::string RelationStatement(const std::string& subject,
+                                       const std::string& phrase,
+                                       const std::string& object);
+
+ private:
+  const KnowledgeBase* kb_;
+};
+
+}  // namespace doduo::synth
+
+#endif  // DODUO_SYNTH_CORPUS_GENERATOR_H_

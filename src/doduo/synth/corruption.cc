@@ -1,0 +1,69 @@
+#include "doduo/synth/corruption.h"
+
+#include "doduo/util/check.h"
+
+namespace doduo::synth {
+
+namespace {
+
+void ApplyTypo(std::string* value, util::Rng* rng) {
+  if (value->empty()) return;
+  const size_t pos = rng->NextUint64(value->size());
+  switch (rng->NextUint64(3)) {
+    case 0:  // delete one character
+      value->erase(pos, 1);
+      break;
+    case 1:  // duplicate one character
+      value->insert(pos, 1, (*value)[pos]);
+      break;
+    default:  // replace with a random lowercase letter
+      (*value)[pos] = static_cast<char>('a' + rng->NextUint64(26));
+      break;
+  }
+}
+
+}  // namespace
+
+void CorruptTable(table::Table* table, const CorruptionOptions& options,
+                  util::Rng* rng) {
+  DODUO_CHECK(table != nullptr);
+  const int n = table->num_columns();
+  for (int c = 0; c < n; ++c) {
+    auto& values = table->mutable_column(c).values;
+    for (size_t r = 0; r < values.size(); ++r) {
+      if (options.missing_prob > 0.0 &&
+          rng->Bernoulli(options.missing_prob)) {
+        values[r].clear();
+        continue;
+      }
+      if (options.typo_prob > 0.0 && rng->Bernoulli(options.typo_prob)) {
+        ApplyTypo(&values[r], rng);
+      }
+      if (options.misplace_prob > 0.0 && n > 1 &&
+          rng->Bernoulli(options.misplace_prob)) {
+        // Swap with a random cell of another column.
+        int other = c;
+        while (other == c) {
+          other = static_cast<int>(rng->NextUint64(n));
+        }
+        auto& other_values = table->mutable_column(other).values;
+        if (!other_values.empty()) {
+          const size_t other_row = rng->NextUint64(other_values.size());
+          std::swap(values[r], other_values[other_row]);
+        }
+      }
+    }
+  }
+}
+
+table::ColumnAnnotationDataset CorruptDataset(
+    const table::ColumnAnnotationDataset& dataset,
+    const CorruptionOptions& options, util::Rng* rng) {
+  table::ColumnAnnotationDataset corrupted = dataset;
+  for (auto& annotated : corrupted.tables) {
+    CorruptTable(&annotated.table, options, rng);
+  }
+  return corrupted;
+}
+
+}  // namespace doduo::synth

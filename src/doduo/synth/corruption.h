@@ -1,0 +1,36 @@
+#ifndef DODUO_SYNTH_CORRUPTION_H_
+#define DODUO_SYNTH_CORRUPTION_H_
+
+#include "doduo/table/dataset.h"
+#include "doduo/util/rng.h"
+
+namespace doduo::synth {
+
+/// Dirty-data injection, implementing the robustness scenario of the
+/// paper's "Clean data vs dirty data" future-work discussion (Appendix B):
+/// real tables have missing, corrupted, and misplaced values, and a column
+/// annotator should degrade gracefully under them.
+struct CorruptionOptions {
+  /// Probability that a cell is blanked out.
+  double missing_prob = 0.0;
+  /// Probability that a cell suffers a character-level typo (one character
+  /// deleted, duplicated, or replaced).
+  double typo_prob = 0.0;
+  /// Probability that a cell is swapped with a random cell of a *different*
+  /// column in the same table (a misplaced value).
+  double misplace_prob = 0.0;
+};
+
+/// Applies cell-level corruption to one table, in place. Labels are not
+/// touched: the ground truth of a corrupted column is still its type.
+void CorruptTable(table::Table* table, const CorruptionOptions& options,
+                  util::Rng* rng);
+
+/// Applies CorruptTable to every table of a dataset copy and returns it.
+table::ColumnAnnotationDataset CorruptDataset(
+    const table::ColumnAnnotationDataset& dataset,
+    const CorruptionOptions& options, util::Rng* rng);
+
+}  // namespace doduo::synth
+
+#endif  // DODUO_SYNTH_CORRUPTION_H_

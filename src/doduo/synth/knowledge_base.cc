@@ -1,0 +1,848 @@
+#include "doduo/synth/knowledge_base.h"
+
+#include <algorithm>
+
+#include "doduo/util/check.h"
+#include "doduo/util/string_util.h"
+
+namespace doduo::synth {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Surface-form pools. Person-like types sample overlapping windows of the
+// master name pool built from these lists; other types compose from their
+// own word pools. All generation is seeded and deterministic.
+// ---------------------------------------------------------------------------
+
+constexpr const char* kFirstNames[] = {
+    "george", "judy",    "warren", "david",  "john",   "bill",   "dick",
+    "ian",    "simon",   "max",    "thomas", "derrick", "sofia", "anna",
+    "maria",  "james",   "robert", "linda",  "susan",  "karen",  "peter",
+    "laura",  "kevin",   "brian",  "nancy",  "steven", "emily",  "rachel",
+    "daniel", "sarah",   "mark",   "paul",   "alice",  "helen",  "frank",
+    "walter", "arthur",  "clara",  "edith",  "hugo",   "oscar",  "felix",
+    "nora",   "iris",    "lucas",  "mona",   "ralph",  "vera",   "owen",
+    "ruth",   "cecil",   "doris",  "edgar",  "fiona",  "gavin",  "hazel",
+    "irving", "joan",    "keith",  "lydia",
+};
+
+constexpr const char* kLastNames[] = {
+    "miller",   "coleman",  "morris",   "lasseter", "ranft",   "anderson",
+    "bowers",   "fell",     "clement",  "frenais",  "nye",     "browne",
+    "tyner",    "henry",    "smith",    "johnson",  "williams", "brown",
+    "jones",    "garcia",   "davis",    "wilson",   "moore",   "taylor",
+    "thomas",   "jackson",  "white",    "harris",   "martin",  "thompson",
+    "robinson", "clark",    "lewis",    "lee",      "walker",  "hall",
+    "allen",    "young",    "king",     "wright",   "scott",   "green",
+    "baker",    "adams",    "nelson",   "hill",     "ramirez", "campbell",
+    "mitchell", "roberts",  "carter",   "phillips", "evans",   "turner",
+    "torres",   "parker",   "collins",  "edwards",  "stewart", "flores",
+};
+
+constexpr const char* kTitleAdjectives[] = {
+    "happy",  "silent", "golden", "hidden", "broken", "crimson", "eternal",
+    "frozen", "burning", "lost",  "secret", "wild",   "quiet",   "dark",
+    "bright", "distant", "final", "first",  "last",   "brave",
+};
+
+constexpr const char* kTitleNouns[] = {
+    "feet",    "cars",    "river",   "kingdom", "garden", "journey",
+    "shadow",  "empire",  "horizon", "valley",  "storm",  "dream",
+    "island",  "harvest", "voyage",  "legend",  "castle", "forest",
+    "ocean",   "mountain", "city",   "night",   "dawn",   "winter",
+};
+
+constexpr const char* kCityPrefixes[] = {
+    "brook", "east",  "west",  "north", "south", "lake",  "fair",
+    "green", "oak",   "maple", "river", "stone", "ash",   "clear",
+    "spring", "mill", "high",  "wood",  "bay",   "elm",
+};
+
+constexpr const char* kCitySuffixes[] = {
+    "field", "ton",   "ville", "burg",  "port", "dale",  "wood",
+    "view",  "ford",  "haven", "mont",  "side", "crest", "bury",
+    "shore", "gate",  "brook", "land",  "ridge", "vale",
+};
+
+constexpr const char* kCountries[] = {
+    "usa",      "uk",        "france",  "australia", "germany", "japan",
+    "canada",   "italy",     "spain",   "brazil",    "india",   "china",
+    "mexico",   "russia",    "sweden",  "norway",    "poland",  "egypt",
+    "kenya",    "argentina", "chile",   "peru",      "greece",  "turkey",
+    "ireland",  "portugal",  "austria", "belgium",   "denmark", "finland",
+};
+
+constexpr const char* kNationalities[] = {
+    "american", "british",   "french",  "australian", "german",  "japanese",
+    "canadian", "italian",   "spanish", "brazilian",  "indian",  "chinese",
+    "mexican",  "russian",   "swedish", "norwegian",  "polish",  "egyptian",
+    "kenyan",   "argentine", "chilean", "peruvian",   "greek",   "turkish",
+};
+
+constexpr const char* kMascots[] = {
+    "hawks",   "tigers",  "eagles",  "lions",   "bears",   "wolves",
+    "sharks",  "falcons", "panthers", "bulls",  "raiders", "rangers",
+    "pirates", "knights", "giants",  "titans",  "comets",  "rockets",
+    "storm",   "thunder",
+};
+
+constexpr const char* kMusicGenres[] = {
+    "rock", "pop", "jazz", "blues", "folk", "metal", "country", "soul",
+    "funk", "reggae", "classical", "electronic", "punk", "disco", "gospel",
+};
+
+constexpr const char* kFilmGenres[] = {
+    "drama",     "comedy",   "animation", "thriller", "horror",
+    "romance",   "western",  "musical",   "adventure", "documentary",
+    "fantasy",   "mystery",  "biography", "war",       "noir",
+};
+
+constexpr const char* kRivers[] = {
+    "amber", "willow", "falcon", "granite", "misty", "rapid", "serpent",
+    "silver", "copper", "jade",  "crystal", "echo",  "raven", "swift",
+    "thunder", "twin",  "upper", "lower",   "black", "white",
+};
+
+constexpr const char* kOrganisms[] = {
+    "red oak",      "grey wolf",    "sea otter",    "snow leopard",
+    "green turtle", "river trout",  "horned owl",   "black bear",
+    "giant fern",   "blue whale",   "desert fox",   "marsh heron",
+    "pine marten",  "rock lizard",  "field mouse",  "cave bat",
+    "reef coral",   "dune beetle",  "moss frog",    "cliff swallow",
+};
+
+constexpr const char* kConstellations[] = {
+    "orion",     "lyra",    "draco",   "cygnus",  "perseus", "auriga",
+    "cassiopeia", "cepheus", "corvus", "crater",  "lepus",   "pictor",
+    "volans",    "fornax",  "carina",  "vela",
+};
+
+constexpr const char* kRomanNumerals[] = {"i",  "ii", "iii", "iv", "v",
+                                          "vi", "vii", "viii", "ix", "x"};
+
+constexpr const char* kLanguages[] = {
+    "english", "french",  "german",   "spanish",  "italian",  "japanese",
+    "chinese", "russian", "arabic",   "hindi",    "portuguese", "dutch",
+    "swedish", "korean",  "turkish",  "greek",    "polish",   "danish",
+};
+
+constexpr const char* kReligions[] = {
+    "christian", "catholic", "protestant", "islam", "buddhist",
+    "hindu",     "jewish",   "sikh",       "taoist", "shinto",
+};
+
+constexpr const char* kStatuses[] = {
+    "active", "inactive", "pending", "closed", "open",
+    "completed", "cancelled", "archived", "draft", "approved",
+};
+
+constexpr const char* kDays[] = {
+    "monday", "tuesday", "wednesday", "thursday", "friday", "saturday",
+    "sunday", "mon",     "tue",       "wed",      "thu",    "fri",
+};
+
+constexpr const char* kClasses[] = {
+    "a", "b", "c", "d", "first", "second", "third",
+    "economy", "business", "premium", "standard", "deluxe",
+};
+
+constexpr const char* kDegrees[] = {
+    "high school diploma", "associate degree",   "bachelor of science",
+    "bachelor of arts",    "master of science",  "master of arts",
+    "doctor of philosophy", "vocational training", "certificate program",
+    "postgraduate diploma",
+};
+
+constexpr const char* kPositions[] = {
+    "guard", "forward", "center", "striker", "keeper", "defender",
+    "pitcher", "catcher", "captain", "midfielder",
+};
+
+constexpr const char* kProductNouns[] = {
+    "lamp",   "desk",   "chair",  "kettle", "blender", "router",
+    "camera", "speaker", "monitor", "keyboard", "charger", "backpack",
+    "bottle", "helmet", "tent",   "drill",   "sander",  "mixer",
+};
+
+constexpr const char* kCompanyWords[] = {
+    "apex",   "nova",   "vertex",  "summit", "orbit",  "pioneer",
+    "quantum", "stellar", "fusion", "vector", "zenith", "atlas",
+    "beacon", "cascade", "delta",  "ember",  "forge",  "harbor",
+};
+
+constexpr const char* kCompanySuffixes[] = {"inc", "corp", "ltd", "group",
+                                            "labs", "systems", "works",
+                                            "partners"};
+
+constexpr const char* kStreetSuffixes[] = {"st", "ave", "rd", "blvd", "ln",
+                                           "dr", "way", "ct"};
+
+constexpr const char* kDescriptionWords[] = {
+    "durable", "compact", "portable", "handmade", "vintage", "modern",
+    "classic", "premium", "budget",   "ergonomic", "wireless", "foldable",
+    "design",  "edition", "series",   "model",     "style",   "line",
+};
+
+template <size_t N>
+std::vector<std::string> ToVector(const char* const (&items)[N]) {
+  return std::vector<std::string>(items, items + N);
+}
+
+// Master person-name pool: first × last, deterministically shuffled.
+std::vector<std::string> BuildPersonPool(util::Rng* rng, size_t count) {
+  std::vector<std::string> pool;
+  for (const char* first : kFirstNames) {
+    for (const char* last : kLastNames) {
+      pool.push_back(std::string(first) + " " + last);
+    }
+  }
+  rng->Shuffle(&pool);
+  pool.resize(std::min(count, pool.size()));
+  return pool;
+}
+
+// A window [start, start+len) of the master pool; windows of different
+// types overlap, which is what makes person columns ambiguous.
+std::vector<std::string> Window(const std::vector<std::string>& master,
+                                size_t start, size_t len) {
+  DODUO_CHECK_LE(start + len, master.size());
+  return std::vector<std::string>(master.begin() + start,
+                                  master.begin() + start + len);
+}
+
+std::vector<std::string> BuildTitles(util::Rng* rng, size_t count,
+                                     const std::string& glue) {
+  std::vector<std::string> titles;
+  for (const char* adj : kTitleAdjectives) {
+    for (const char* noun : kTitleNouns) {
+      titles.push_back(std::string(adj) + glue + noun);
+    }
+  }
+  rng->Shuffle(&titles);
+  titles.resize(std::min(count, titles.size()));
+  return titles;
+}
+
+std::vector<std::string> BuildCities(util::Rng* rng, size_t count) {
+  std::vector<std::string> cities;
+  for (const char* prefix : kCityPrefixes) {
+    for (const char* suffix : kCitySuffixes) {
+      cities.push_back(std::string(prefix) + suffix);
+    }
+  }
+  rng->Shuffle(&cities);
+  cities.resize(std::min(count, cities.size()));
+  return cities;
+}
+
+std::vector<std::string> BuildTeams(util::Rng* rng,
+                                    const std::vector<std::string>& cities,
+                                    size_t count) {
+  std::vector<std::string> teams;
+  for (const std::string& city : cities) {
+    for (const char* mascot : kMascots) {
+      teams.push_back(city + " " + mascot);
+    }
+  }
+  rng->Shuffle(&teams);
+  teams.resize(std::min(count, teams.size()));
+  return teams;
+}
+
+std::vector<std::string> BuildYears(int from, int to) {
+  std::vector<std::string> years;
+  for (int y = from; y <= to; ++y) years.push_back(std::to_string(y));
+  return years;
+}
+
+std::vector<std::string> BuildNumericPool(util::Rng* rng, size_t count,
+                                          int64_t lo, int64_t hi) {
+  std::vector<std::string> pool;
+  pool.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    pool.push_back(std::to_string(rng->UniformInt(lo, hi)));
+  }
+  return pool;
+}
+
+std::string WithThousandsSeparators(int64_t value) {
+  std::string digits = std::to_string(value);
+  std::string out;
+  int count = 0;
+  for (auto it = digits.rbegin(); it != digits.rend(); ++it) {
+    if (count > 0 && count % 3 == 0) out.push_back(',');
+    out.push_back(*it);
+    ++count;
+  }
+  std::reverse(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// KnowledgeBase core.
+// ---------------------------------------------------------------------------
+
+const EntityType& KnowledgeBase::type(int id) const {
+  DODUO_CHECK(id >= 0 && id < num_types());
+  return types_[static_cast<size_t>(id)];
+}
+
+int KnowledgeBase::TypeId(const std::string& name) const {
+  auto it = type_ids_.find(name);
+  return it != type_ids_.end() ? it->second : -1;
+}
+
+const RelationType& KnowledgeBase::relation(int id) const {
+  DODUO_CHECK(id >= 0 && id < num_relations());
+  return relations_[static_cast<size_t>(id)];
+}
+
+int KnowledgeBase::RelationId(const std::string& name) const {
+  auto it = relation_ids_.find(name);
+  return it != relation_ids_.end() ? it->second : -1;
+}
+
+int KnowledgeBase::FactObject(int relation_id, int subject_index) const {
+  DODUO_CHECK(relation_id >= 0 && relation_id < num_relations());
+  const auto& facts = facts_[static_cast<size_t>(relation_id)];
+  DODUO_CHECK(subject_index >= 0 &&
+              subject_index < static_cast<int>(facts.size()));
+  return facts[static_cast<size_t>(subject_index)];
+}
+
+std::string KnowledgeBase::LeafWord(const std::string& type_name) {
+  const auto dot = type_name.rfind('.');
+  return dot == std::string::npos ? type_name : type_name.substr(dot + 1);
+}
+
+int KnowledgeBase::AddType(EntityType type) {
+  DODUO_CHECK(!type.entities.empty()) << "empty pool for " << type.name;
+  DODUO_CHECK(type_ids_.find(type.name) == type_ids_.end())
+      << "duplicate type " << type.name;
+  const int id = static_cast<int>(types_.size());
+  type_ids_.emplace(type.name, id);
+  types_.push_back(std::move(type));
+  return id;
+}
+
+int KnowledgeBase::AddRelation(const std::string& name,
+                               const std::string& phrase, int subject_type,
+                               int object_type, util::Rng* rng) {
+  DODUO_CHECK(relation_ids_.find(name) == relation_ids_.end())
+      << "duplicate relation " << name;
+  const int id = static_cast<int>(relations_.size());
+  relation_ids_.emplace(name, id);
+  relations_.push_back({name, phrase, subject_type, object_type});
+  // One object fact per subject entity, drawn uniformly from the object
+  // pool. These facts are the ground truth for table cells, the corpus
+  // sentences, and the probing targets.
+  const size_t num_subjects =
+      types_[static_cast<size_t>(subject_type)].entities.size();
+  const size_t num_objects =
+      types_[static_cast<size_t>(object_type)].entities.size();
+  std::vector<int> facts(num_subjects);
+  for (size_t s = 0; s < num_subjects; ++s) {
+    facts[s] = static_cast<int>(rng->NextUint64(num_objects));
+  }
+  facts_.push_back(std::move(facts));
+  return id;
+}
+
+// ---------------------------------------------------------------------------
+// WikiTable-style KB.
+// ---------------------------------------------------------------------------
+
+KnowledgeBase KnowledgeBase::BuildWikiTableKb(uint64_t seed) {
+  util::Rng rng(seed);
+  KnowledgeBase kb;
+
+  const std::vector<std::string> people = BuildPersonPool(&rng, 300);
+  const std::vector<std::string> cities = BuildCities(&rng, 80);
+
+  // Person-like types draw heavily overlapping windows of the master pool
+  // (~85% pairwise overlap for the film roles): the same surface form can
+  // be a director, a producer, and an author, so the value distribution
+  // alone barely separates the roles — only the facts stored during MLM
+  // pre-training (which film ↔ which person in which role) can, and
+  // reading them requires token-level cross-column attention. This is the
+  // paper's central "George Miller" ambiguity, dialed up.
+  const int person = kb.AddType({"people.person", {}, Window(people, 0, 300)});
+  const int director = kb.AddType(
+      {"film.director", {"people.person"}, Window(people, 0, 140)});
+  const int producer = kb.AddType(
+      {"film.producer", {"people.person"}, Window(people, 20, 140)});
+  const int writer = kb.AddType(
+      {"film.writer", {"people.person"}, Window(people, 40, 140)});
+  const int artist = kb.AddType(
+      {"music.artist", {"people.person"}, Window(people, 60, 140)});
+  const int author = kb.AddType(
+      {"book.author", {"people.person"}, Window(people, 80, 140)});
+  const int politician = kb.AddType(
+      {"government.politician", {"people.person"}, Window(people, 100, 140)});
+  const int coach = kb.AddType(
+      {"sports.coach", {"people.person"}, Window(people, 120, 140)});
+
+  // Monarch surface forms are distinctive ("king arthur ii"); the probing
+  // analysis expects royalty to behave differently from common types.
+  std::vector<std::string> monarchs;
+  for (int i = 0; i < 60; ++i) {
+    monarchs.push_back(
+        std::string(rng.Bernoulli(0.5) ? "king" : "queen") + " " +
+        kFirstNames[rng.NextUint64(std::size(kFirstNames))] + " " +
+        kRomanNumerals[rng.NextUint64(std::size(kRomanNumerals))]);
+  }
+  std::sort(monarchs.begin(), monarchs.end());
+  monarchs.erase(std::unique(monarchs.begin(), monarchs.end()),
+                 monarchs.end());
+  const int monarch =
+      kb.AddType({"royalty.monarch", {"people.person"}, monarchs});
+
+  const int film =
+      kb.AddType({"film.film", {}, BuildTitles(&rng, 200, " ")});
+  const int album =
+      kb.AddType({"music.album", {}, BuildTitles(&rng, 150, " ")});
+  const int book =
+      kb.AddType({"book.book", {}, BuildTitles(&rng, 150, " of the ")});
+  const int program =
+      kb.AddType({"tv.program", {}, BuildTitles(&rng, 100, " and the ")});
+
+  const int city = kb.AddType({"location.city", {}, cities});
+  const int country =
+      kb.AddType({"location.country", {}, ToVector(kCountries)});
+  const int team =
+      kb.AddType({"sports.team", {}, BuildTeams(&rng, cities, 60)});
+  const int film_genre =
+      kb.AddType({"film.genre", {}, ToVector(kFilmGenres)});
+  const int music_genre =
+      kb.AddType({"music.genre", {}, ToVector(kMusicGenres)});
+  const int year = kb.AddType({"time.year", {}, BuildYears(1950, 2020)});
+
+  std::vector<std::string> universities;
+  for (const std::string& c : Window(cities, 0, 60)) {
+    universities.push_back("university of " + c);
+  }
+  const int university =
+      kb.AddType({"education.university", {}, universities});
+
+  std::vector<std::string> elections;
+  for (int i = 0; i < 60; ++i) {
+    elections.push_back(
+        std::string(kCountries[rng.NextUint64(std::size(kCountries))]) +
+        " election " + BuildYears(1960, 2020)[rng.NextUint64(61)]);
+  }
+  std::sort(elections.begin(), elections.end());
+  elections.erase(std::unique(elections.begin(), elections.end()),
+                  elections.end());
+  const int election =
+      kb.AddType({"government.election", {}, elections});
+
+  std::vector<std::string> rivers;
+  for (const char* name : kRivers) rivers.push_back(std::string(name) + " river");
+  const int river = kb.AddType({"geography.river", {}, rivers});
+  const int organism =
+      kb.AddType({"biology.organism", {}, ToVector(kOrganisms)});
+  const int constellation =
+      kb.AddType({"astronomy.constellation", {}, ToVector(kConstellations)});
+
+  // Relations: subject → object, with the corpus/probing phrase.
+  const int directed_by = kb.AddRelation("film.directed_by", "is directed by",
+                                         film, director, &rng);
+  const int produced_by = kb.AddRelation("film.produced_by", "is produced by",
+                                         film, producer, &rng);
+  const int written_by = kb.AddRelation("film.written_by", "is written by",
+                                        film, writer, &rng);
+  const int film_country = kb.AddRelation("film.country", "was released in",
+                                          film, country, &rng);
+  const int film_genre_rel =
+      kb.AddRelation("film.genre", "is a film of genre", film, film_genre,
+                     &rng);
+  const int film_year = kb.AddRelation("film.release_year", "premiered in",
+                                       film, year, &rng);
+  const int place_of_birth = kb.AddRelation(
+      "person.place_of_birth", "was born in", person, city, &rng);
+  const int place_lived =
+      kb.AddRelation("person.place_lived", "lives in", person, city, &rng);
+  const int nationality = kb.AddRelation("person.nationality", "is a citizen of",
+                                         person, country, &rng);
+  const int team_roster = kb.AddRelation("person.team_roster", "plays for",
+                                         person, team, &rng);
+  const int album_by =
+      kb.AddRelation("music.album_by", "is an album by", album, artist, &rng);
+  const int album_genre = kb.AddRelation("music.album_genre",
+                                         "is an album of genre", album,
+                                         music_genre, &rng);
+  const int album_year = kb.AddRelation("music.album_year", "was recorded in",
+                                        album, year, &rng);
+  const int book_by = kb.AddRelation("book.written_by", "is a book by", book,
+                                     author, &rng);
+  const int book_year = kb.AddRelation("book.published_year",
+                                       "was published in", book, year, &rng);
+  const int book_country = kb.AddRelation(
+      "book.country", "was first printed in", book, country, &rng);
+  const int uni_city = kb.AddRelation("university.city", "is located in",
+                                      university, city, &rng);
+  const int uni_year = kb.AddRelation("university.founded", "was founded in",
+                                      university, year, &rng);
+  const int election_winner = kb.AddRelation(
+      "election.winner", "was won by", election, politician, &rng);
+  const int election_year = kb.AddRelation("election.year", "was held in",
+                                           election, year, &rng);
+  const int program_country = kb.AddRelation(
+      "tv.program_country", "is broadcast in", program, country, &rng);
+  const int program_genre =
+      kb.AddRelation("tv.program_genre", "is a show of genre", program,
+                     film_genre, &rng);
+  const int monarch_country = kb.AddRelation(
+      "royalty.reigned_in", "reigned in", monarch, country, &rng);
+  const int monarch_year = kb.AddRelation("royalty.crowned", "was crowned in",
+                                          monarch, year, &rng);
+  const int team_coach = kb.AddRelation("sports.coached_by", "is coached by",
+                                        team, coach, &rng);
+  const int team_city =
+      kb.AddRelation("sports.team_city", "is based in", team, city, &rng);
+  const int river_country = kb.AddRelation(
+      "geography.flows_through", "flows through", river, country, &rng);
+  const int organism_country = kb.AddRelation(
+      "biology.native_to", "is native to", organism, country, &rng);
+
+  // Topics: the table templates. Weights shape class frequency.
+  kb.topics_ = {
+      {"films",
+       film,
+       {director, producer, writer, country, film_genre, year},
+       {directed_by, produced_by, written_by, film_country, film_genre_rel,
+        film_year},
+       3.0},
+      {"athletes",
+       person,
+       {city, team, country},
+       {place_of_birth, team_roster, nationality},
+       2.0},
+      {"residents",
+       person,
+       {city, country},
+       {place_lived, nationality},
+       1.0},
+      {"albums",
+       album,
+       {artist, music_genre, year},
+       {album_by, album_genre, album_year},
+       2.0},
+      {"books",
+       book,
+       {author, year, country},
+       {book_by, book_year, book_country},
+       2.0},
+      {"universities",
+       university,
+       {city, year},
+       {uni_city, uni_year},
+       1.0},
+      {"elections",
+       election,
+       {politician, year},
+       {election_winner, election_year},
+       1.0},
+      {"programs",
+       program,
+       {country, film_genre},
+       {program_country, program_genre},
+       1.0},
+      {"royals",
+       monarch,
+       {country, year},
+       {monarch_country, monarch_year},
+       0.5},
+      {"teams",
+       team,
+       {coach, city},
+       {team_coach, team_city},
+       1.0},
+      {"rivers", river, {country}, {river_country}, 0.5},
+      {"wildlife", organism, {country}, {organism_country}, 0.5},
+      {"sky", constellation, {year}, {-1}, 0.3},
+  };
+  return kb;
+}
+
+// ---------------------------------------------------------------------------
+// VizNet-style KB.
+// ---------------------------------------------------------------------------
+
+KnowledgeBase KnowledgeBase::BuildVizNetKb(uint64_t seed) {
+  util::Rng rng(seed);
+  KnowledgeBase kb;
+
+  const std::vector<std::string> people = BuildPersonPool(&rng, 300);
+  const std::vector<std::string> cities = BuildCities(&rng, 80);
+
+  const int name = kb.AddType({"name", {}, Window(people, 0, 250)});
+  const int creator = kb.AddType({"creator", {}, Window(people, 60, 150)});
+  const int artist = kb.AddType({"artist", {}, Window(people, 130, 150)});
+  const int gender = kb.AddType(
+      {"gender", {}, {"male", "female", "m", "f", "man", "woman"}});
+  const int nationality =
+      kb.AddType({"nationality", {}, ToVector(kNationalities)});
+  // birthPlace and city share the same pool on purpose: only table context
+  // separates them (a hard pair in the paper's Figure 5 / probing).
+  const int birth_place = kb.AddType({"birthPlace", {}, cities});
+  const int city = kb.AddType({"city", {}, cities});
+
+  std::vector<std::string> states;
+  for (const std::string& c : Window(cities, 20, 40)) {
+    states.push_back(c + " state");
+  }
+  const int state = kb.AddType({"state", {}, states});
+  const int country = kb.AddType({"country", {}, ToVector(kCountries)});
+  // origin shares the country pool (another context-only pair).
+  const int origin = kb.AddType({"origin", {}, ToVector(kCountries)});
+
+  std::vector<std::string> addresses;
+  for (int i = 0; i < 150; ++i) {
+    addresses.push_back(
+        std::to_string(rng.UniformInt(1, 999)) + " " +
+        cities[rng.NextUint64(cities.size())] + " " +
+        kStreetSuffixes[rng.NextUint64(std::size(kStreetSuffixes))]);
+  }
+  const int address = kb.AddType({"address", {}, addresses});
+
+  std::vector<std::string> companies;
+  for (const char* word : kCompanyWords) {
+    for (const char* suffix : kCompanySuffixes) {
+      companies.push_back(std::string(word) + " " + suffix);
+    }
+  }
+  rng.Shuffle(&companies);
+  companies.resize(100);
+  const int company = kb.AddType({"company", {}, companies});
+  // manufacturer shares company surface forms.
+  const int manufacturer = kb.AddType(
+      {"manufacturer", {},
+       std::vector<std::string>(companies.begin(), companies.begin() + 60)});
+
+  std::vector<std::string> organisations;
+  for (const char* word : kCompanyWords) {
+    organisations.push_back(std::string(word) + " foundation");
+    organisations.push_back(std::string(word) + " society");
+  }
+  const int organisation = kb.AddType({"organisation", {}, organisations});
+
+  std::vector<std::string> affiliations;
+  for (const std::string& c : Window(cities, 0, 40)) {
+    affiliations.push_back("university of " + c);
+  }
+  const int affiliation = kb.AddType({"affiliation", {}, affiliations});
+  const int education = kb.AddType({"education", {}, ToVector(kDegrees)});
+
+  const int team =
+      kb.AddType({"team", {}, BuildTeams(&rng, cities, 60)});
+  const int language = kb.AddType({"language", {}, ToVector(kLanguages)});
+  const int religion = kb.AddType({"religion", {}, ToVector(kReligions)});
+  const int status = kb.AddType({"status", {}, ToVector(kStatuses)});
+  const int day = kb.AddType({"day", {}, ToVector(kDays)});
+  const int klass = kb.AddType({"class", {}, ToVector(kClasses)});
+  const int position = kb.AddType({"position", {}, ToVector(kPositions)});
+  const int family = kb.AddType(
+      {"family", {},
+       std::vector<std::string>(kLastNames, kLastNames + 40)});
+
+  std::vector<std::string> products;
+  for (const char* adj : kTitleAdjectives) {
+    for (const char* noun : kProductNouns) {
+      products.push_back(std::string(adj) + " " + noun);
+    }
+  }
+  rng.Shuffle(&products);
+  products.resize(120);
+  const int product = kb.AddType({"product", {}, products});
+
+  std::vector<std::string> descriptions;
+  for (int i = 0; i < 150; ++i) {
+    descriptions.push_back(
+        std::string(
+            kDescriptionWords[rng.NextUint64(std::size(kDescriptionWords))]) +
+        " " + kProductNouns[rng.NextUint64(std::size(kProductNouns))] + " " +
+        kDescriptionWords[rng.NextUint64(std::size(kDescriptionWords))]);
+  }
+  const int description = kb.AddType({"description", {}, descriptions});
+
+  std::vector<std::string> durations;
+  for (int i = 0; i < 100; ++i) {
+    switch (rng.NextUint64(3)) {
+      case 0:
+        durations.push_back(std::to_string(rng.UniformInt(1, 12)) + "h " +
+                            std::to_string(rng.UniformInt(0, 59)) + "m");
+        break;
+      case 1:
+        durations.push_back(std::to_string(rng.UniformInt(5, 180)) + " min");
+        break;
+      default:
+        durations.push_back("0" + std::to_string(rng.UniformInt(1, 9)) + ":" +
+                            std::to_string(rng.UniformInt(10, 59)) + ":00");
+    }
+  }
+  const int duration = kb.AddType({"duration", {}, durations});
+
+  std::vector<std::string> birth_dates;
+  for (int i = 0; i < 150; ++i) {
+    const int64_t y = rng.UniformInt(1930, 2010);
+    const int64_t m = rng.UniformInt(1, 12);
+    const int64_t d = rng.UniformInt(1, 28);
+    if (rng.Bernoulli(0.68)) {
+      birth_dates.push_back(std::to_string(y) + "-" +
+                            (m < 10 ? "0" : "") + std::to_string(m) + "-" +
+                            (d < 10 ? "0" : "") + std::to_string(d));
+    } else {
+      static const char* kMonths[] = {"jan", "feb", "mar", "apr",
+                                      "may", "jun", "jul", "aug",
+                                      "sep", "oct", "nov", "dec"};
+      birth_dates.push_back(std::to_string(d) + " " + kMonths[m - 1] + " " +
+                            std::to_string(y));
+    }
+  }
+  const int birth_date = kb.AddType({"birthDate", {}, birth_dates});
+
+  // Numeric types. Pool mixtures are tuned so the %num column of the
+  // paper's Table 5 is qualitatively reproduced (plays ≈ 100% numeric, code
+  // ≈ 36%, etc.).
+  std::vector<std::string> plays;
+  for (int i = 0; i < 150; ++i) {
+    plays.push_back(std::to_string(rng.UniformInt(0, 1000000)));
+  }
+  const int plays_type = kb.AddType({"plays", {}, plays});
+
+  const int rank =
+      kb.AddType({"rank", {}, BuildNumericPool(&rng, 100, 1, 100)});
+  // ranking duplicates rank's distribution — the paper's hardest numeric
+  // type (F1 33.2) precisely because it collides with the frequent "rank".
+  const int ranking =
+      kb.AddType({"ranking", {}, BuildNumericPool(&rng, 100, 1, 100)});
+
+  std::vector<std::string> depths;
+  for (int i = 0; i < 100; ++i) {
+    const int64_t v = rng.UniformInt(5, 4000);
+    depths.push_back(rng.Bernoulli(0.92) ? std::to_string(v)
+                                         : std::to_string(v) + " m");
+  }
+  const int depth = kb.AddType({"depth", {}, depths});
+
+  std::vector<std::string> sales;
+  for (int i = 0; i < 120; ++i) {
+    const int64_t v = rng.UniformInt(1000, 9000000);
+    sales.push_back(rng.Bernoulli(0.9) ? WithThousandsSeparators(v)
+                                       : "$" + WithThousandsSeparators(v));
+  }
+  const int sales_type = kb.AddType({"sales", {}, sales});
+
+  const int year = kb.AddType({"year", {}, BuildYears(1900, 2023)});
+
+  std::vector<std::string> file_sizes;
+  for (int i = 0; i < 100; ++i) {
+    if (rng.Bernoulli(0.85)) {
+      file_sizes.push_back(std::to_string(rng.UniformInt(100, 900000)));
+    } else {
+      file_sizes.push_back(util::FormatDouble(rng.UniformDouble(0.5, 900), 1) +
+                           " mb");
+    }
+  }
+  const int file_size = kb.AddType({"fileSize", {}, file_sizes});
+
+  std::vector<std::string> elevations;
+  for (int i = 0; i < 100; ++i) {
+    const int64_t v = rng.UniformInt(10, 8000);
+    elevations.push_back(rng.Bernoulli(0.87) ? std::to_string(v)
+                                             : std::to_string(v) + " ft");
+  }
+  const int elevation = kb.AddType({"elevation", {}, elevations});
+
+  std::vector<std::string> ages;
+  for (int i = 0; i < 99; ++i) {
+    const int64_t v = rng.UniformInt(1, 99);
+    ages.push_back(rng.Bernoulli(0.8) ? std::to_string(v)
+                                      : std::to_string(v) + " years");
+  }
+  const int age = kb.AddType({"age", {}, ages});
+
+  std::vector<std::string> grades;
+  for (int i = 0; i < 60; ++i) {
+    switch (rng.NextUint64(3)) {
+      case 0:
+        grades.push_back(std::to_string(rng.UniformInt(1, 8)) + "-" +
+                         std::to_string(rng.UniformInt(9, 12)));
+        break;
+      case 1:
+        grades.push_back("k-" + std::to_string(rng.UniformInt(5, 8)));
+        break;
+      default:
+        grades.push_back(std::to_string(rng.UniformInt(1, 12)));
+    }
+  }
+  const int grades_type = kb.AddType({"grades", {}, grades});
+
+  std::vector<std::string> weights;
+  for (int i = 0; i < 90; ++i) {
+    const int64_t v = rng.UniformInt(40, 140);
+    weights.push_back(rng.Bernoulli(0.6) ? std::to_string(v)
+                                         : std::to_string(v) + " kg");
+  }
+  const int weight = kb.AddType({"weight", {}, weights});
+
+  std::vector<std::string> isbns;
+  for (int i = 0; i < 120; ++i) {
+    std::string digits;
+    for (int d = 0; d < 10; ++d) {
+      digits += std::to_string(rng.UniformInt(0, 9));
+    }
+    isbns.push_back(rng.Bernoulli(0.56) ? "978-" + digits : digits);
+  }
+  const int isbn = kb.AddType({"isbn", {}, isbns});
+
+  std::vector<std::string> capacities;
+  for (int i = 0; i < 90; ++i) {
+    const int64_t v = rng.UniformInt(500, 110000);
+    capacities.push_back(rng.Bernoulli(0.42)
+                             ? WithThousandsSeparators(v)
+                             : WithThousandsSeparators(v) + " seats");
+  }
+  const int capacity = kb.AddType({"capacity", {}, capacities});
+
+  std::vector<std::string> codes;
+  for (int i = 0; i < 120; ++i) {
+    if (rng.Bernoulli(0.36)) {
+      codes.push_back(std::to_string(rng.UniformInt(100, 9999)));
+    } else {
+      std::string code(1, static_cast<char>('a' + rng.UniformInt(0, 25)));
+      code += std::to_string(rng.UniformInt(10, 999));
+      codes.push_back(code);
+    }
+  }
+  const int code = kb.AddType({"code", {}, codes});
+
+  // Topics (no relations): columns are drawn independently from the pools.
+  // Low-weight topics carry the rare classes (religion, education,
+  // organisation, ranking) that the Figure 5 analysis depends on.
+  kb.topics_ = {
+      {"people", -1,
+       {name, age, gender, birth_date, birth_place, nationality}, {}, 3.0},
+      {"places", -1, {city, state, country, elevation, capacity}, {}, 2.0},
+      {"products", -1, {product, manufacturer, sales_type, code, status}, {}, 2.0},
+      {"library", -1, {isbn, year, language, creator}, {}, 1.5},
+      {"roster", -1, {name, team, position, weight, age}, {}, 2.0},
+      {"geo", -1, {city, country, depth, elevation, origin}, {}, 1.0},
+      {"files", -1, {file_size, code, day, duration, description}, {}, 1.0},
+      {"music", -1, {artist, year, plays_type, klass}, {}, 1.0},
+      {"travel", -1, {address, city, duration, status, day}, {}, 1.0},
+      {"games", -1, {plays_type, ranking, rank, year}, {}, 0.6},
+      {"companies", -1, {company, country, sales_type, year}, {}, 1.0},
+      {"rankings", -1, {name, rank, plays_type, team}, {}, 1.5},
+      {"schools", -1, {affiliation, grades_type, rank, city}, {}, 0.8},
+      {"census", -1, {name, religion, family, origin, education}, {}, 0.35},
+      {"charity", -1, {organisation, country, year, status}, {}, 0.3},
+  };
+  return kb;
+}
+
+}  // namespace doduo::synth

@@ -1,0 +1,97 @@
+#ifndef DODUO_SYNTH_KNOWLEDGE_BASE_H_
+#define DODUO_SYNTH_KNOWLEDGE_BASE_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "doduo/util/rng.h"
+
+namespace doduo::synth {
+
+/// A semantic column type with its pool of entity surface forms.
+///
+/// The shared-pool construction is the key realism knob of the benchmark:
+/// person-like types (director, producer, writer, ...) draw their entities
+/// from overlapping windows of one master name pool, so a value alone does
+/// not determine its type — exactly the "George Miller problem" that
+/// motivates table-context models in the paper.
+struct EntityType {
+  std::string name;                       // e.g. "film.director"
+  std::vector<std::string> extra_labels;  // secondary labels, e.g.
+                                          // "people.person" (multi-label)
+  std::vector<std::string> entities;      // surface forms
+  double topic_weight = 1.0;              // rarity knob (Figure 5)
+};
+
+/// A binary relation between two entity types, with the natural-language
+/// phrase used in the pre-training corpus and the probing templates.
+struct RelationType {
+  std::string name;    // e.g. "film.directed_by"
+  std::string phrase;  // e.g. "is directed by"
+  int subject_type = -1;
+  int object_type = -1;
+};
+
+/// A table template: the key column's type plus candidate non-key columns
+/// and (for relational topics) the relation linking the key column to each.
+struct Topic {
+  std::string name;
+  int key_type = -1;               // -1: no key column (independent columns)
+  std::vector<int> other_types;    // candidate non-key column types
+  std::vector<int> relations;      // relation id per other_types entry, or -1
+  double weight = 1.0;             // topic sampling weight
+};
+
+/// The synthetic knowledge base behind both benchmarks and the MLM
+/// pre-training corpus. Substitutes for FreeBase/DBpedia + Wikipedia (see
+/// DESIGN.md): the same facts that define the tables' ground truth are
+/// verbalized into the corpus the LM is pre-trained on, reproducing the
+/// paper's "pre-trained LMs store factual knowledge" mechanism.
+class KnowledgeBase {
+ public:
+  /// WikiTable-style KB: 24 multi-label types, 16 relations, relational
+  /// topics (films, athletes, books, elections, ...).
+  static KnowledgeBase BuildWikiTableKb(uint64_t seed);
+
+  /// VizNet-style KB: 36 single-label types including the 15 most-numeric
+  /// types of the paper's Table 5, topics without relations, rare classes.
+  static KnowledgeBase BuildVizNetKb(uint64_t seed);
+
+  int num_types() const { return static_cast<int>(types_.size()); }
+  const EntityType& type(int id) const;
+  /// Id for a type name; -1 when absent.
+  int TypeId(const std::string& name) const;
+
+  int num_relations() const { return static_cast<int>(relations_.size()); }
+  const RelationType& relation(int id) const;
+  int RelationId(const std::string& name) const;
+
+  const std::vector<Topic>& topics() const { return topics_; }
+
+  /// Object entity index of (relation, subject entity index); every subject
+  /// of a relation's subject type has exactly one object.
+  int FactObject(int relation_id, int subject_index) const;
+
+  /// Leaf word of a dotted type name ("film.director" → "director"),
+  /// used by corpus sentences and probing templates.
+  static std::string LeafWord(const std::string& type_name);
+
+ private:
+  int AddType(EntityType type);
+  int AddRelation(const std::string& name, const std::string& phrase,
+                  int subject_type, int object_type, util::Rng* rng);
+
+  std::vector<EntityType> types_;
+  std::vector<RelationType> relations_;
+  std::vector<Topic> topics_;
+  std::unordered_map<std::string, int> type_ids_;
+  std::unordered_map<std::string, int> relation_ids_;
+  // facts_[relation][subject_index] = object_index.
+  std::vector<std::vector<int>> facts_;
+};
+
+}  // namespace doduo::synth
+
+#endif  // DODUO_SYNTH_KNOWLEDGE_BASE_H_

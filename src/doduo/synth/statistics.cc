@@ -1,0 +1,85 @@
+#include "doduo/synth/statistics.h"
+
+#include <algorithm>
+
+#include "doduo/util/string_util.h"
+
+namespace doduo::synth {
+
+DatasetStatistics ComputeStatistics(
+    const table::ColumnAnnotationDataset& dataset) {
+  DatasetStatistics stats;
+  stats.num_tables = static_cast<int>(dataset.tables.size());
+
+  std::vector<int> support(static_cast<size_t>(dataset.type_vocab.size()),
+                           0);
+  std::vector<long> numeric(static_cast<size_t>(dataset.type_vocab.size()),
+                            0);
+  std::vector<long> cells(static_cast<size_t>(dataset.type_vocab.size()),
+                          0);
+  long total_rows = 0;
+  for (const auto& annotated : dataset.tables) {
+    stats.num_columns += annotated.table.num_columns();
+    stats.num_relations += static_cast<int>(annotated.relations.size());
+    total_rows += annotated.table.num_rows();
+    for (int c = 0; c < annotated.table.num_columns(); ++c) {
+      const int type = annotated.column_types[static_cast<size_t>(c)][0];
+      ++support[static_cast<size_t>(type)];
+      for (const auto& value : annotated.table.column(c).values) {
+        ++cells[static_cast<size_t>(type)];
+        if (util::LooksNumeric(value)) ++numeric[static_cast<size_t>(type)];
+      }
+    }
+  }
+  if (stats.num_tables > 0) {
+    stats.avg_columns_per_table =
+        static_cast<double>(stats.num_columns) / stats.num_tables;
+    stats.avg_rows_per_table =
+        static_cast<double>(total_rows) / stats.num_tables;
+  }
+  for (int t = 0; t < dataset.type_vocab.size(); ++t) {
+    if (support[static_cast<size_t>(t)] == 0) continue;
+    ++stats.num_types_used;
+    DatasetStatistics::TypeRow row;
+    row.name = dataset.type_vocab.Name(t);
+    row.support = support[static_cast<size_t>(t)];
+    row.numeric_fraction =
+        cells[static_cast<size_t>(t)] > 0
+            ? static_cast<double>(numeric[static_cast<size_t>(t)]) /
+                  static_cast<double>(cells[static_cast<size_t>(t)])
+            : 0.0;
+    stats.types.push_back(std::move(row));
+  }
+  std::sort(stats.types.begin(), stats.types.end(),
+            [](const DatasetStatistics::TypeRow& a,
+               const DatasetStatistics::TypeRow& b) {
+              if (a.support != b.support) return a.support > b.support;
+              return a.name < b.name;
+            });
+  return stats;
+}
+
+std::string RenderStatistics(const DatasetStatistics& statistics,
+                             int top_k) {
+  std::string out;
+  out += "tables: " + std::to_string(statistics.num_tables) +
+         ", columns: " + std::to_string(statistics.num_columns) +
+         ", relations: " + std::to_string(statistics.num_relations) +
+         ", types in use: " + std::to_string(statistics.num_types_used) +
+         "\n";
+  out += "avg columns/table: " +
+         util::FormatDouble(statistics.avg_columns_per_table, 2) +
+         ", avg rows/table: " +
+         util::FormatDouble(statistics.avg_rows_per_table, 2) + "\n";
+  const int show =
+      std::min<int>(top_k, static_cast<int>(statistics.types.size()));
+  for (int i = 0; i < show; ++i) {
+    const auto& row = statistics.types[static_cast<size_t>(i)];
+    out += "  " + row.name + ": " + std::to_string(row.support) +
+           " columns, %num " +
+           util::FormatPercent(row.numeric_fraction, 1) + "\n";
+  }
+  return out;
+}
+
+}  // namespace doduo::synth

@@ -1,0 +1,41 @@
+#ifndef DODUO_SYNTH_STATISTICS_H_
+#define DODUO_SYNTH_STATISTICS_H_
+
+#include <string>
+#include <vector>
+
+#include "doduo/table/dataset.h"
+
+namespace doduo::synth {
+
+/// Aggregate statistics of a generated benchmark (the "Dataset
+/// description" numbers of the paper's Table 2, plus per-type support and
+/// numeric fractions used by the Table 5 analysis).
+struct DatasetStatistics {
+  int num_tables = 0;
+  int num_columns = 0;
+  int num_relations = 0;
+  int num_types_used = 0;
+  double avg_columns_per_table = 0.0;
+  double avg_rows_per_table = 0.0;
+
+  struct TypeRow {
+    std::string name;
+    int support = 0;          // labeled columns of this (primary) type
+    double numeric_fraction = 0.0;  // %num over its cell values
+  };
+  /// Per-type rows, sorted by descending support.
+  std::vector<TypeRow> types;
+};
+
+/// Computes statistics over the whole dataset.
+DatasetStatistics ComputeStatistics(
+    const table::ColumnAnnotationDataset& dataset);
+
+/// Renders the headline numbers plus the `top_k` most frequent types.
+std::string RenderStatistics(const DatasetStatistics& statistics,
+                             int top_k = 10);
+
+}  // namespace doduo::synth
+
+#endif  // DODUO_SYNTH_STATISTICS_H_

@@ -1,0 +1,238 @@
+#include "doduo/synth/table_generator.h"
+
+#include <algorithm>
+
+#include "doduo/util/check.h"
+
+namespace doduo::synth {
+
+TableGenerator::TableGenerator(const KnowledgeBase* kb,
+                               TableGeneratorOptions options)
+    : kb_(kb), options_(std::move(options)) {
+  DODUO_CHECK(kb != nullptr);
+  DODUO_CHECK_GT(options_.num_tables, 0);
+  DODUO_CHECK(options_.min_rows > 0 && options_.min_rows <= options_.max_rows);
+  DODUO_CHECK(options_.min_cols > 0 && options_.min_cols <= options_.max_cols);
+  DODUO_CHECK(!kb->topics().empty());
+}
+
+std::string TableGenerator::ColumnName(int type_id, util::Rng* rng) const {
+  const std::string leaf = KnowledgeBase::LeafWord(kb_->type(type_id).name);
+  switch (rng->NextUint64(4)) {
+    case 0:
+      return leaf;
+    case 1:
+      return leaf + " name";
+    case 2:
+      return leaf.size() > 4 ? leaf.substr(0, 4) : leaf;
+    default:
+      return "the " + leaf;
+  }
+}
+
+table::ColumnAnnotationDataset TableGenerator::Generate(
+    util::Rng* rng) const {
+  table::ColumnAnnotationDataset dataset;
+  dataset.name = options_.dataset_name;
+  dataset.multi_label = options_.multi_label;
+
+  // Register every label up front so ids are stable regardless of which
+  // tables happen to be generated.
+  for (int t = 0; t < kb_->num_types(); ++t) {
+    dataset.type_vocab.AddLabel(kb_->type(t).name);
+    if (options_.multi_label) {
+      for (const std::string& extra : kb_->type(t).extra_labels) {
+        dataset.type_vocab.AddLabel(extra);
+      }
+    }
+  }
+  if (options_.with_relations) {
+    for (int r = 0; r < kb_->num_relations(); ++r) {
+      dataset.relation_vocab.AddLabel(kb_->relation(r).name);
+    }
+  }
+
+  std::vector<double> topic_weights;
+  topic_weights.reserve(kb_->topics().size());
+  for (const Topic& topic : kb_->topics()) {
+    topic_weights.push_back(topic.weight);
+  }
+
+  dataset.tables.reserve(static_cast<size_t>(options_.num_tables));
+  for (int i = 0; i < options_.num_tables; ++i) {
+    const Topic& topic = kb_->topics()[rng->Categorical(topic_weights)];
+    GenerateTable(topic, i, rng, &dataset);
+  }
+  return dataset;
+}
+
+void TableGenerator::GenerateTable(
+    const Topic& topic, int table_index, util::Rng* rng,
+    table::ColumnAnnotationDataset* dataset) const {
+  const int rows =
+      static_cast<int>(rng->UniformInt(options_.min_rows, options_.max_rows));
+
+  table::AnnotatedTable annotated;
+  annotated.table.set_id(options_.dataset_name + "_" +
+                         std::to_string(table_index));
+
+  auto type_labels = [&](int type_id) {
+    std::vector<int> labels = {
+        dataset->type_vocab.Id(kb_->type(type_id).name)};
+    if (options_.multi_label) {
+      for (const std::string& extra : kb_->type(type_id).extra_labels) {
+        labels.push_back(dataset->type_vocab.Id(extra));
+      }
+    }
+    return labels;
+  };
+
+  auto maybe_drop = [&](std::string value) {
+    if (options_.cell_missing_prob > 0.0 &&
+        rng->Bernoulli(options_.cell_missing_prob)) {
+      return std::string();
+    }
+    return value;
+  };
+
+  const bool single_column =
+      options_.single_column_fraction > 0.0 &&
+      rng->Bernoulli(options_.single_column_fraction);
+
+  // Candidate non-key columns of this topic (relation id or -1 each).
+  struct Candidate {
+    int type_id;
+    int relation_id;
+  };
+  std::vector<Candidate> candidates;
+  for (size_t i = 0; i < topic.other_types.size(); ++i) {
+    const int relation_id =
+        i < topic.relations.size() ? topic.relations[i] : -1;
+    candidates.push_back({topic.other_types[i], relation_id});
+  }
+
+  if (single_column) {
+    // One column of one type drawn from the topic (key or non-key).
+    int type_id;
+    const size_t pick = rng->NextUint64(candidates.size() +
+                                        (topic.key_type >= 0 ? 1 : 0));
+    if (topic.key_type >= 0 && pick == candidates.size()) {
+      type_id = topic.key_type;
+    } else {
+      type_id = candidates[pick].type_id;
+    }
+    const auto& pool = kb_->type(type_id).entities;
+    table::Column column;
+    column.name = ColumnName(type_id, rng);
+    for (int r = 0; r < rows; ++r) {
+      column.values.push_back(
+          maybe_drop(pool[rng->NextUint64(pool.size())]));
+    }
+    annotated.table.AddColumn(std::move(column));
+    annotated.column_types.push_back(type_labels(type_id));
+    dataset->tables.push_back(std::move(annotated));
+    return;
+  }
+
+  const int max_other = static_cast<int>(candidates.size());
+  const bool has_key = topic.key_type >= 0;
+  const int min_total = std::min(options_.min_cols, max_other + (has_key ? 1 : 0));
+  const int max_total = std::min(options_.max_cols, max_other + (has_key ? 1 : 0));
+  const int total_cols =
+      static_cast<int>(rng->UniformInt(min_total, max_total));
+  const int other_cols = std::max(1, total_cols - (has_key ? 1 : 0));
+
+  std::vector<size_t> picked =
+      rng->SampleIndices(candidates.size(),
+                         std::min<size_t>(static_cast<size_t>(other_cols),
+                                          candidates.size()));
+
+  if (has_key) {
+    // Relational topic: anchor rows on distinct subject entities.
+    const auto& subjects = kb_->type(topic.key_type).entities;
+    std::vector<size_t> subject_rows = rng->SampleIndices(
+        subjects.size(),
+        std::min<size_t>(static_cast<size_t>(rows), subjects.size()));
+
+    table::Column key_column;
+    key_column.name = ColumnName(topic.key_type, rng);
+    for (size_t s : subject_rows) {
+      key_column.values.push_back(maybe_drop(subjects[s]));
+    }
+    annotated.table.AddColumn(std::move(key_column));
+    annotated.column_types.push_back(type_labels(topic.key_type));
+
+    for (size_t pick : picked) {
+      const Candidate& candidate = candidates[pick];
+      const auto& pool = kb_->type(candidate.type_id).entities;
+      table::Column column;
+      column.name = ColumnName(candidate.type_id, rng);
+      for (size_t s : subject_rows) {
+        std::string value;
+        if (candidate.relation_id >= 0) {
+          const int object =
+              kb_->FactObject(candidate.relation_id, static_cast<int>(s));
+          value = kb_->type(kb_->relation(candidate.relation_id).object_type)
+                      .entities[static_cast<size_t>(object)];
+        } else {
+          value = pool[rng->NextUint64(pool.size())];
+        }
+        column.values.push_back(maybe_drop(std::move(value)));
+      }
+      const int column_index = annotated.table.num_columns();
+      annotated.table.AddColumn(std::move(column));
+      annotated.column_types.push_back(type_labels(candidate.type_id));
+      if (options_.with_relations && candidate.relation_id >= 0) {
+        const int label = dataset->relation_vocab.Id(
+            kb_->relation(candidate.relation_id).name);
+        annotated.relations.push_back({0, column_index, {label}});
+      }
+    }
+  } else {
+    // Independent-column topic (VizNet style): each cell drawn from its
+    // type's pool.
+    for (size_t pick : picked) {
+      const Candidate& candidate = candidates[pick];
+      const auto& pool = kb_->type(candidate.type_id).entities;
+      table::Column column;
+      column.name = ColumnName(candidate.type_id, rng);
+      for (int r = 0; r < rows; ++r) {
+        column.values.push_back(
+            maybe_drop(pool[rng->NextUint64(pool.size())]));
+      }
+      annotated.table.AddColumn(std::move(column));
+      annotated.column_types.push_back(type_labels(candidate.type_id));
+    }
+  }
+
+  // Off-topic distractor column (independent draws, no relation).
+  if (options_.distractor_prob > 0.0 &&
+      rng->Bernoulli(options_.distractor_prob)) {
+    // `used` tracks KB type ids; primary labels were registered from KB
+    // names, so translate via the vocab.
+    std::vector<bool> used(static_cast<size_t>(kb_->num_types()), false);
+    for (const auto& labels : annotated.column_types) {
+      const int kb_type =
+          kb_->TypeId(dataset->type_vocab.Name(labels[0]));
+      if (kb_type >= 0) used[static_cast<size_t>(kb_type)] = true;
+    }
+    int type_id = static_cast<int>(rng->NextUint64(kb_->num_types()));
+    for (int attempts = 0;
+         used[static_cast<size_t>(type_id)] && attempts < 8; ++attempts) {
+      type_id = static_cast<int>(rng->NextUint64(kb_->num_types()));
+    }
+    const auto& pool = kb_->type(type_id).entities;
+    table::Column column;
+    column.name = ColumnName(type_id, rng);
+    const int drows = annotated.table.num_rows();
+    for (int r = 0; r < drows; ++r) {
+      column.values.push_back(
+          maybe_drop(pool[rng->NextUint64(pool.size())]));
+    }
+    annotated.table.AddColumn(std::move(column));
+    annotated.column_types.push_back(type_labels(type_id));
+  }
+  dataset->tables.push_back(std::move(annotated));
+}
+
+}  // namespace doduo::synth

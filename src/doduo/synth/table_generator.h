@@ -1,0 +1,70 @@
+#ifndef DODUO_SYNTH_TABLE_GENERATOR_H_
+#define DODUO_SYNTH_TABLE_GENERATOR_H_
+
+#include <string>
+
+#include "doduo/synth/knowledge_base.h"
+#include "doduo/table/dataset.h"
+
+namespace doduo::synth {
+
+/// Knobs of the benchmark generator.
+struct TableGeneratorOptions {
+  std::string dataset_name = "synthetic";
+  int num_tables = 400;
+  int min_rows = 3;
+  int max_rows = 6;
+  int min_cols = 2;  // including the key column
+  int max_cols = 5;
+  /// Fraction of tables that contain exactly one column (the VizNet "Full"
+  /// population includes single-column tables; "Multi-column only" sets
+  /// this to 0).
+  double single_column_fraction = 0.0;
+  /// Probability that a cell is dropped (simulates missing values).
+  double cell_missing_prob = 0.0;
+  /// Probability that a multi-column table gains one extra column of a
+  /// uniformly random type from outside its topic. Real web tables mix
+  /// concerns; this keeps topic-signature models (LDA/CRF) from acting as
+  /// oracles on the synthetic benchmark.
+  double distractor_prob = 0.0;
+  /// WikiTable-style multi-label (secondary labels + BCE) vs VizNet-style
+  /// single-label.
+  bool multi_label = true;
+  /// Emit relation annotations between the key column and related columns
+  /// (requires a KB with relations).
+  bool with_relations = true;
+};
+
+/// Samples annotated tables from a KnowledgeBase. Every cell of a
+/// relational topic is consistent with the KB's facts, so the same facts
+/// the LM saw during MLM pre-training discriminate the ambiguous columns —
+/// the mechanism the paper attributes DODUO's gains to.
+class TableGenerator {
+ public:
+  /// `kb` must outlive the generator.
+  TableGenerator(const KnowledgeBase* kb, TableGeneratorOptions options);
+
+  /// Generates the full labeled dataset. Label vocabularies are registered
+  /// from the KB up front, so ids are stable across generated datasets of
+  /// the same KB.
+  table::ColumnAnnotationDataset Generate(util::Rng* rng) const;
+
+  const TableGeneratorOptions& options() const { return options_; }
+
+ private:
+  /// Generates one annotated table from `topic` into `dataset`.
+  void GenerateTable(const Topic& topic, int table_index, util::Rng* rng,
+                     table::ColumnAnnotationDataset* dataset) const;
+
+  /// A header string for a column of `type_id` (used only by the
+  /// +metadata variants): the type's leaf word, occasionally abbreviated
+  /// or suffixed so headers are informative but not trivially the label.
+  std::string ColumnName(int type_id, util::Rng* rng) const;
+
+  const KnowledgeBase* kb_;
+  TableGeneratorOptions options_;
+};
+
+}  // namespace doduo::synth
+
+#endif  // DODUO_SYNTH_TABLE_GENERATOR_H_

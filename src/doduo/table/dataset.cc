@@ -1,0 +1,100 @@
+#include "doduo/table/dataset.h"
+
+#include <algorithm>
+
+#include "doduo/util/check.h"
+
+namespace doduo::table {
+
+int LabelVocab::AddLabel(const std::string& label) {
+  auto it = ids_.find(label);
+  if (it != ids_.end()) return it->second;
+  const int id = static_cast<int>(names_.size());
+  names_.push_back(label);
+  ids_.emplace(label, id);
+  return id;
+}
+
+int LabelVocab::Id(const std::string& label) const {
+  auto it = ids_.find(label);
+  return it != ids_.end() ? it->second : -1;
+}
+
+const std::string& LabelVocab::Name(int id) const {
+  DODUO_CHECK(id >= 0 && id < size()) << "label id out of range: " << id;
+  return names_[static_cast<size_t>(id)];
+}
+
+int ColumnAnnotationDataset::num_columns() const {
+  int total = 0;
+  for (const AnnotatedTable& t : tables) total += t.table.num_columns();
+  return total;
+}
+
+int ColumnAnnotationDataset::num_relations() const {
+  int total = 0;
+  for (const AnnotatedTable& t : tables) {
+    total += static_cast<int>(t.relations.size());
+  }
+  return total;
+}
+
+DatasetSplits SplitDataset(size_t num_tables, double train_fraction,
+                           double valid_fraction, util::Rng* rng) {
+  DODUO_CHECK(train_fraction > 0.0 && valid_fraction >= 0.0 &&
+              train_fraction + valid_fraction < 1.0);
+  std::vector<size_t> order(num_tables);
+  for (size_t i = 0; i < num_tables; ++i) order[i] = i;
+  rng->Shuffle(&order);
+  const size_t train_end =
+      static_cast<size_t>(static_cast<double>(num_tables) * train_fraction);
+  const size_t valid_end =
+      train_end + static_cast<size_t>(static_cast<double>(num_tables) *
+                                      valid_fraction);
+  DatasetSplits splits;
+  splits.train.assign(order.begin(), order.begin() + train_end);
+  splits.valid.assign(order.begin() + train_end, order.begin() + valid_end);
+  splits.test.assign(order.begin() + valid_end, order.end());
+  return splits;
+}
+
+std::vector<size_t> SubsampleIndices(const std::vector<size_t>& indices,
+                                     double fraction) {
+  DODUO_CHECK(fraction > 0.0 && fraction <= 1.0);
+  const size_t keep = std::max<size_t>(
+      1, static_cast<size_t>(static_cast<double>(indices.size()) * fraction));
+  return std::vector<size_t>(indices.begin(),
+                             indices.begin() + std::min(keep, indices.size()));
+}
+
+void ShuffleAllRows(std::vector<AnnotatedTable>* tables, util::Rng* rng) {
+  for (AnnotatedTable& t : *tables) t.table.ShuffleRows(rng);
+}
+
+void ShuffleAllColumns(std::vector<AnnotatedTable>* tables, util::Rng* rng) {
+  for (AnnotatedTable& t : *tables) {
+    const int n = t.table.num_columns();
+    if (n <= 1) continue;
+    // permutation[new_pos] = old_pos.
+    std::vector<int> permutation(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) permutation[static_cast<size_t>(i)] = i;
+    rng->Shuffle(&permutation);
+    t.table.PermuteColumns(permutation);
+
+    std::vector<std::vector<int>> types(static_cast<size_t>(n));
+    std::vector<int> old_to_new(static_cast<size_t>(n));
+    for (int new_pos = 0; new_pos < n; ++new_pos) {
+      const int old_pos = permutation[static_cast<size_t>(new_pos)];
+      types[static_cast<size_t>(new_pos)] =
+          std::move(t.column_types[static_cast<size_t>(old_pos)]);
+      old_to_new[static_cast<size_t>(old_pos)] = new_pos;
+    }
+    t.column_types = std::move(types);
+    for (RelationAnnotation& rel : t.relations) {
+      rel.column_a = old_to_new[static_cast<size_t>(rel.column_a)];
+      rel.column_b = old_to_new[static_cast<size_t>(rel.column_b)];
+    }
+  }
+}
+
+}  // namespace doduo::table

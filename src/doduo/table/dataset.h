@@ -1,0 +1,86 @@
+#ifndef DODUO_TABLE_DATASET_H_
+#define DODUO_TABLE_DATASET_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "doduo/table/table.h"
+#include "doduo/util/rng.h"
+
+namespace doduo::table {
+
+/// String-label ↔ id mapping for column types or column relations.
+class LabelVocab {
+ public:
+  /// Adds `label` if absent; returns its id either way.
+  int AddLabel(const std::string& label);
+
+  /// Id of `label`, or -1 when unknown.
+  int Id(const std::string& label) const;
+
+  const std::string& Name(int id) const;
+  int size() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::vector<std::string> names_;
+  std::unordered_map<std::string, int> ids_;
+};
+
+/// A relation annotation between two columns of one table. Following the
+/// paper's WikiTable setup, relations link the table's key column (column
+/// 0) to another column, but the representation is general.
+struct RelationAnnotation {
+  int column_a = 0;
+  int column_b = 0;
+  std::vector<int> labels;  // ≥1 relation ids (multi-label on WikiTable)
+};
+
+/// A table with its ground-truth column-type and column-relation labels.
+struct AnnotatedTable {
+  Table table;
+  /// Per column, ≥1 type ids (exactly 1 in single-label datasets).
+  std::vector<std::vector<int>> column_types;
+  std::vector<RelationAnnotation> relations;
+};
+
+/// Index sets of a train/valid/test partition.
+struct DatasetSplits {
+  std::vector<size_t> train;
+  std::vector<size_t> valid;
+  std::vector<size_t> test;
+};
+
+/// A column-annotation benchmark: labeled tables plus label vocabularies.
+/// `multi_label` distinguishes the WikiTable-style multi-label BCE setting
+/// from the VizNet-style single-label CE setting.
+struct ColumnAnnotationDataset {
+  std::string name;
+  bool multi_label = false;
+  LabelVocab type_vocab;
+  LabelVocab relation_vocab;
+  std::vector<AnnotatedTable> tables;
+
+  int num_columns() const;
+  int num_relations() const;
+};
+
+/// Random split by table with the given fractions (test gets the rest).
+DatasetSplits SplitDataset(size_t num_tables, double train_fraction,
+                           double valid_fraction, util::Rng* rng);
+
+/// Keeps only the first `fraction` of the (already shuffled) train indices
+/// — the Figure 4 learning-efficiency knob.
+std::vector<size_t> SubsampleIndices(const std::vector<size_t>& indices,
+                                     double fraction);
+
+/// Row-shuffles every table (labels are row-invariant). Table 6 ablation.
+void ShuffleAllRows(std::vector<AnnotatedTable>* tables, util::Rng* rng);
+
+/// Column-shuffles every table, permuting type labels and remapping
+/// relation endpoints consistently. Table 6 ablation.
+void ShuffleAllColumns(std::vector<AnnotatedTable>* tables, util::Rng* rng);
+
+}  // namespace doduo::table
+
+#endif  // DODUO_TABLE_DATASET_H_

@@ -1,0 +1,78 @@
+#include "doduo/table/render.h"
+
+#include <algorithm>
+
+#include "doduo/util/check.h"
+
+namespace doduo::table {
+
+namespace {
+
+std::string Clip(const std::string& text, int width) {
+  if (static_cast<int>(text.size()) <= width) return text;
+  if (width <= 3) return text.substr(0, static_cast<size_t>(width));
+  return text.substr(0, static_cast<size_t>(width - 3)) + "...";
+}
+
+}  // namespace
+
+std::string RenderTable(const Table& table, int max_rows,
+                        int max_cell_width) {
+  DODUO_CHECK_GT(max_rows, 0);
+  DODUO_CHECK_GT(max_cell_width, 0);
+  const int n = table.num_columns();
+  if (n == 0) return "(empty table)\n";
+  const int rows = std::min(table.num_rows(), max_rows);
+  const bool truncated = table.num_rows() > max_rows;
+
+  // Column widths from header + visible cells.
+  std::vector<size_t> widths(static_cast<size_t>(n), 1);
+  auto cell = [&](int c, int r) -> std::string {
+    const auto& values = table.column(c).values;
+    return r < static_cast<int>(values.size())
+               ? Clip(values[static_cast<size_t>(r)], max_cell_width)
+               : "";
+  };
+  for (int c = 0; c < n; ++c) {
+    widths[static_cast<size_t>(c)] =
+        Clip(table.column(c).name, max_cell_width).size();
+    for (int r = 0; r < rows; ++r) {
+      widths[static_cast<size_t>(c)] =
+          std::max(widths[static_cast<size_t>(c)], cell(c, r).size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (int c = 0; c < n; ++c) {
+      const std::string& value = row[static_cast<size_t>(c)];
+      const size_t width = widths[static_cast<size_t>(c)];
+      const size_t pad = value.size() < width ? width - value.size() : 0;
+      line += " " + value + std::string(pad, ' ') + " |";
+    }
+    return line + "\n";
+  };
+
+  std::vector<std::string> header;
+  for (int c = 0; c < n; ++c) {
+    header.push_back(Clip(table.column(c).name, max_cell_width));
+  }
+  std::string out = render_row(header);
+  out += "|";
+  for (int c = 0; c < n; ++c) {
+    out += std::string(widths[static_cast<size_t>(c)] + 2, '-') + "|";
+  }
+  out += "\n";
+  for (int r = 0; r < rows; ++r) {
+    std::vector<std::string> row;
+    for (int c = 0; c < n; ++c) row.push_back(cell(c, r));
+    out += render_row(row);
+  }
+  if (truncated) {
+    std::vector<std::string> ellipsis(static_cast<size_t>(n), "...");
+    out += render_row(ellipsis);
+  }
+  return out;
+}
+
+}  // namespace doduo::table

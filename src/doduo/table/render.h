@@ -1,0 +1,18 @@
+#ifndef DODUO_TABLE_RENDER_H_
+#define DODUO_TABLE_RENDER_H_
+
+#include <string>
+
+#include "doduo/table/table.h"
+
+namespace doduo::table {
+
+/// Renders a table as an aligned Markdown-style grid (header row from the
+/// column names, then values). `max_rows` truncates long tables with an
+/// ellipsis row; `max_cell_width` clips long cells.
+std::string RenderTable(const Table& table, int max_rows = 10,
+                        int max_cell_width = 24);
+
+}  // namespace doduo::table
+
+#endif  // DODUO_TABLE_RENDER_H_

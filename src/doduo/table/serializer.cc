@@ -1,0 +1,109 @@
+#include "doduo/table/serializer.h"
+
+#include <algorithm>
+
+#include "doduo/util/check.h"
+
+namespace doduo::table {
+
+using text::Vocab;
+
+namespace {
+
+void Push(SerializedTable* out, int token_id, int row_id) {
+  out->token_ids.push_back(token_id);
+  out->row_ids.push_back(row_id);
+}
+
+}  // namespace
+
+TableSerializer::TableSerializer(const text::WordPieceTokenizer* tokenizer,
+                                 SerializerOptions options)
+    : tokenizer_(tokenizer), options_(options) {
+  DODUO_CHECK(tokenizer != nullptr);
+  DODUO_CHECK_GT(options.max_tokens_per_column, 0);
+  DODUO_CHECK_GT(options.max_total_tokens, 2);
+}
+
+void TableSerializer::AppendColumnTokens(const Column& column, int budget,
+                                         SerializedTable* out) const {
+  int used = 0;
+  if (options_.include_metadata && !column.name.empty()) {
+    for (int id : tokenizer_->Encode(column.name)) {
+      if (used >= budget) return;
+      Push(out, id, -1);
+      ++used;
+    }
+  }
+  for (size_t row = 0; row < column.values.size(); ++row) {
+    if (used >= budget) break;
+    for (int id : tokenizer_->Encode(column.values[row])) {
+      if (used >= budget) break;
+      Push(out, id, static_cast<int>(row));
+      ++used;
+    }
+  }
+}
+
+SerializedTable TableSerializer::SerializeTable(const Table& table) const {
+  DODUO_CHECK_GT(table.num_columns(), 0);
+  const int n = table.num_columns();
+  // Budget per column under the total limit: n [CLS] markers + trailing
+  // [SEP] are always kept.
+  const int available = options_.max_total_tokens - n - 1;
+  DODUO_CHECK_GE(available, 0)
+      << "table has more columns than the token limit supports";
+  const int budget =
+      std::min(options_.max_tokens_per_column, std::max(0, available / n));
+
+  SerializedTable out;
+  out.token_ids.reserve(static_cast<size_t>(options_.max_total_tokens));
+  out.row_ids.reserve(static_cast<size_t>(options_.max_total_tokens));
+  for (int c = 0; c < n; ++c) {
+    out.cls_positions.push_back(
+        static_cast<int64_t>(out.token_ids.size()));
+    Push(&out, Vocab::kClsId, -1);
+    AppendColumnTokens(table.column(c), budget, &out);
+  }
+  Push(&out, Vocab::kSepId, -1);
+  return out;
+}
+
+SerializedTable TableSerializer::SerializeColumn(const Table& table,
+                                                 int column) const {
+  DODUO_CHECK(column >= 0 && column < table.num_columns());
+  const int budget = std::min(options_.max_tokens_per_column,
+                              options_.max_total_tokens - 2);
+  SerializedTable out;
+  out.cls_positions.push_back(0);
+  Push(&out, Vocab::kClsId, -1);
+  AppendColumnTokens(table.column(column), budget, &out);
+  Push(&out, Vocab::kSepId, -1);
+  return out;
+}
+
+SerializedTable TableSerializer::SerializeColumnPair(const Table& table,
+                                                     int column_a,
+                                                     int column_b) const {
+  DODUO_CHECK(column_a >= 0 && column_a < table.num_columns());
+  DODUO_CHECK(column_b >= 0 && column_b < table.num_columns());
+  const int budget = std::min(options_.max_tokens_per_column,
+                              std::max(1, (options_.max_total_tokens - 4) / 2));
+  SerializedTable out;
+  for (int column : {column_a, column_b}) {
+    out.cls_positions.push_back(
+        static_cast<int64_t>(out.token_ids.size()));
+    Push(&out, Vocab::kClsId, -1);
+    AppendColumnTokens(table.column(column), budget, &out);
+    Push(&out, Vocab::kSepId, -1);
+  }
+  return out;
+}
+
+int TableSerializer::MaxSupportedColumns() const {
+  // Each column costs [CLS] + max_tokens_per_column; plus the final [SEP].
+  return (options_.max_total_tokens - 1) /
+         (options_.max_tokens_per_column + 1);
+}
+
+}  // namespace doduo::table

@@ -1,0 +1,75 @@
+#ifndef DODUO_TABLE_SERIALIZER_H_
+#define DODUO_TABLE_SERIALIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "doduo/table/table.h"
+#include "doduo/text/wordpiece_tokenizer.h"
+
+namespace doduo::table {
+
+/// A table rendered as a token-id sequence plus the positions of the
+/// per-column [CLS] markers whose contextual embeddings become the column
+/// representations (Section 4.2/4.3 of the paper).
+struct SerializedTable {
+  std::vector<int> token_ids;
+  std::vector<int64_t> cls_positions;  // one entry per serialized column
+  /// Row index of the cell each token came from; -1 for structural tokens
+  /// ([CLS]/[SEP]) and column-name (metadata) tokens. Used by the TURL
+  /// baseline's row-wise visibility matrix.
+  std::vector<int> row_ids;
+};
+
+/// Serialization knobs. `max_tokens_per_column` is the paper's MaxToken/col
+/// (Tables 8/11); `max_total_tokens` models the LM's input limit (512 for
+/// BERT; smaller here). When the per-column budget does not fit, it is
+/// reduced evenly so every column keeps its [CLS].
+struct SerializerOptions {
+  int max_tokens_per_column = 32;
+  int max_total_tokens = 160;
+  bool include_metadata = false;  // prepend the column name to its values
+};
+
+/// Converts tables into model input sequences.
+///
+/// Table-wise (DODUO):    [CLS] col1-tokens [CLS] col2-tokens ... [SEP]
+/// Single-column:         [CLS] col-tokens [SEP]
+/// Column-pair:           [CLS] colA-tokens [SEP] [CLS] colB-tokens [SEP]
+class TableSerializer {
+ public:
+  /// `tokenizer` must outlive the serializer.
+  TableSerializer(const text::WordPieceTokenizer* tokenizer,
+                  SerializerOptions options);
+
+  /// DODUO's table-wise serialization: one [CLS] per column.
+  SerializedTable SerializeTable(const Table& table) const;
+
+  /// Single-column serialization (the DOSOLO_SCol type model).
+  SerializedTable SerializeColumn(const Table& table, int column) const;
+
+  /// Column-pair serialization (the DOSOLO_SCol relation model); yields two
+  /// [CLS] positions so the same relation head applies.
+  SerializedTable SerializeColumnPair(const Table& table, int column_a,
+                                      int column_b) const;
+
+  /// Largest column count a table may have so that every column keeps at
+  /// least one value token under `options` (the "Max # of cols" column of
+  /// Table 8).
+  int MaxSupportedColumns() const;
+
+  const SerializerOptions& options() const { return options_; }
+
+ private:
+  /// Appends one column's content tokens (truncated to `budget`) and their
+  /// row ids to the output sequence.
+  void AppendColumnTokens(const Column& column, int budget,
+                          SerializedTable* out) const;
+
+  const text::WordPieceTokenizer* tokenizer_;
+  SerializerOptions options_;
+};
+
+}  // namespace doduo::table
+
+#endif  // DODUO_TABLE_SERIALIZER_H_

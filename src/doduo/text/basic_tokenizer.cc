@@ -1,0 +1,38 @@
+#include "doduo/text/basic_tokenizer.h"
+
+#include <cctype>
+
+namespace doduo::text {
+
+namespace {
+
+bool IsPunct(unsigned char c) { return std::ispunct(c) != 0; }
+
+}  // namespace
+
+std::vector<std::string> BasicTokenizer::Tokenize(std::string_view text) const {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&]() {
+    if (!current.empty()) {
+      tokens.push_back(std::move(current));
+      current.clear();
+    }
+  };
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    if (lowercase_) c = static_cast<unsigned char>(std::tolower(c));
+    if (std::isspace(c)) {
+      flush();
+    } else if (IsPunct(c)) {
+      flush();
+      tokens.emplace_back(1, static_cast<char>(c));
+    } else {
+      current.push_back(static_cast<char>(c));
+    }
+  }
+  flush();
+  return tokens;
+}
+
+}  // namespace doduo::text

@@ -1,0 +1,25 @@
+#ifndef DODUO_TEXT_BASIC_TOKENIZER_H_
+#define DODUO_TEXT_BASIC_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace doduo::text {
+
+/// BERT-style pre-tokenization: lowercases (optionally), splits on
+/// whitespace, and splits ASCII punctuation characters into standalone
+/// tokens ("U.S." → "u", ".", "s", ".").
+class BasicTokenizer {
+ public:
+  explicit BasicTokenizer(bool lowercase = true) : lowercase_(lowercase) {}
+
+  std::vector<std::string> Tokenize(std::string_view text) const;
+
+ private:
+  bool lowercase_;
+};
+
+}  // namespace doduo::text
+
+#endif  // DODUO_TEXT_BASIC_TOKENIZER_H_

@@ -1,0 +1,60 @@
+#include "doduo/text/wordpiece_tokenizer.h"
+
+#include "doduo/util/check.h"
+
+namespace doduo::text {
+
+WordPieceTokenizer::WordPieceTokenizer(const Vocab* vocab,
+                                       int max_chars_per_word)
+    : vocab_(vocab), max_chars_per_word_(max_chars_per_word) {
+  DODUO_CHECK(vocab != nullptr);
+}
+
+std::vector<int> WordPieceTokenizer::TokenizeWord(
+    std::string_view word) const {
+  if (word.empty() ||
+      word.size() > static_cast<size_t>(max_chars_per_word_)) {
+    return {Vocab::kUnkId};
+  }
+  std::vector<int> pieces;
+  size_t start = 0;
+  while (start < word.size()) {
+    size_t end = word.size();
+    int match = -1;
+    // Longest match first, with the "##" continuation prefix after the
+    // first piece.
+    while (end > start) {
+      std::string candidate;
+      if (start > 0) candidate = "##";
+      candidate.append(word.substr(start, end - start));
+      if (vocab_->Contains(candidate)) {
+        match = vocab_->Id(candidate);
+        break;
+      }
+      --end;
+    }
+    if (match < 0) return {Vocab::kUnkId};
+    pieces.push_back(match);
+    start = end;
+  }
+  return pieces;
+}
+
+std::vector<int> WordPieceTokenizer::Encode(std::string_view text) const {
+  std::vector<int> ids;
+  for (const std::string& word : basic_.Tokenize(text)) {
+    const std::vector<int> pieces = TokenizeWord(word);
+    ids.insert(ids.end(), pieces.begin(), pieces.end());
+  }
+  return ids;
+}
+
+std::vector<std::string> WordPieceTokenizer::Decode(
+    const std::vector<int>& ids) const {
+  std::vector<std::string> tokens;
+  tokens.reserve(ids.size());
+  for (int id : ids) tokens.push_back(vocab_->Token(id));
+  return tokens;
+}
+
+}  // namespace doduo::text

@@ -1,0 +1,42 @@
+#ifndef DODUO_TEXT_WORDPIECE_TOKENIZER_H_
+#define DODUO_TEXT_WORDPIECE_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "doduo/text/basic_tokenizer.h"
+#include "doduo/text/vocab.h"
+
+namespace doduo::text {
+
+/// Greedy longest-match-first WordPiece tokenization (BERT's algorithm) on
+/// top of BasicTokenizer pre-tokenization.
+class WordPieceTokenizer {
+ public:
+  /// `vocab` must outlive the tokenizer.
+  explicit WordPieceTokenizer(const Vocab* vocab,
+                              int max_chars_per_word = 64);
+
+  /// Splits one pre-tokenized word into piece ids; emits [UNK] when the
+  /// word cannot be decomposed (or exceeds max_chars_per_word).
+  std::vector<int> TokenizeWord(std::string_view word) const;
+
+  /// Full pipeline: basic tokenize then WordPiece each word. No special
+  /// tokens are added; serializers do that.
+  std::vector<int> Encode(std::string_view text) const;
+
+  /// Converts ids back to piece strings (debugging and probing).
+  std::vector<std::string> Decode(const std::vector<int>& ids) const;
+
+  const Vocab& vocab() const { return *vocab_; }
+
+ private:
+  const Vocab* vocab_;
+  BasicTokenizer basic_;
+  int max_chars_per_word_;
+};
+
+}  // namespace doduo::text
+
+#endif  // DODUO_TEXT_WORDPIECE_TOKENIZER_H_

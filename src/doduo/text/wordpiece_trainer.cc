@@ -1,0 +1,103 @@
+#include "doduo/text/wordpiece_trainer.h"
+
+#include <algorithm>
+#include <map>
+
+#include "doduo/text/basic_tokenizer.h"
+#include "doduo/util/check.h"
+
+namespace doduo::text {
+
+namespace {
+
+// A word as its current piece decomposition plus its corpus count.
+struct Word {
+  std::vector<std::string> pieces;
+  int64_t count = 0;
+};
+
+std::string StripMarker(const std::string& piece) {
+  return piece.size() > 2 && piece[0] == '#' && piece[1] == '#'
+             ? piece.substr(2)
+             : piece;
+}
+
+// Merging "ab" + "##c" yields "abc"; "##b" + "##c" yields "##bc".
+std::string MergePieces(const std::string& left, const std::string& right) {
+  return left + StripMarker(right);
+}
+
+}  // namespace
+
+Vocab WordPieceTrainer::Train(
+    const std::unordered_map<std::string, int64_t>& word_counts) const {
+  Vocab vocab;
+
+  // Seed with every single character (word-initial and continuation forms)
+  // so any string can always be decomposed.
+  std::vector<Word> words;
+  words.reserve(word_counts.size());
+  // Deterministic iteration: sort words lexicographically.
+  std::vector<std::pair<std::string, int64_t>> sorted(word_counts.begin(),
+                                                      word_counts.end());
+  std::sort(sorted.begin(), sorted.end());
+  for (const auto& [word, count] : sorted) {
+    if (word.empty()) continue;
+    Word w;
+    w.count = count;
+    for (size_t i = 0; i < word.size(); ++i) {
+      std::string piece = (i == 0) ? std::string(1, word[i])
+                                   : "##" + std::string(1, word[i]);
+      w.pieces.push_back(piece);
+      vocab.AddToken(piece);
+    }
+    words.push_back(std::move(w));
+  }
+
+  // Iteratively merge the most frequent adjacent pair. std::map keeps tie
+  // breaking deterministic (lexicographically smallest pair wins ties).
+  while (vocab.size() < options_.vocab_size) {
+    std::map<std::pair<std::string, std::string>, int64_t> pair_counts;
+    for (const Word& w : words) {
+      for (size_t i = 0; i + 1 < w.pieces.size(); ++i) {
+        pair_counts[{w.pieces[i], w.pieces[i + 1]}] += w.count;
+      }
+    }
+    if (pair_counts.empty()) break;
+    auto best = pair_counts.begin();
+    for (auto it = pair_counts.begin(); it != pair_counts.end(); ++it) {
+      if (it->second > best->second) best = it;
+    }
+    if (best->second < options_.min_pair_frequency) break;
+
+    const std::string merged = MergePieces(best->first.first,
+                                           best->first.second);
+    vocab.AddToken(merged);
+    for (Word& w : words) {
+      for (size_t i = 0; i + 1 < w.pieces.size();) {
+        if (w.pieces[i] == best->first.first &&
+            w.pieces[i + 1] == best->first.second) {
+          w.pieces[i] = merged;
+          w.pieces.erase(w.pieces.begin() + static_cast<int64_t>(i) + 1);
+        } else {
+          ++i;
+        }
+      }
+    }
+  }
+  return vocab;
+}
+
+Vocab WordPieceTrainer::TrainFromLines(
+    const std::vector<std::string>& lines) const {
+  BasicTokenizer basic;
+  std::unordered_map<std::string, int64_t> counts;
+  for (const std::string& line : lines) {
+    for (std::string& token : basic.Tokenize(line)) {
+      ++counts[std::move(token)];
+    }
+  }
+  return Train(counts);
+}
+
+}  // namespace doduo::text

@@ -1,0 +1,39 @@
+#ifndef DODUO_TEXT_WORDPIECE_TRAINER_H_
+#define DODUO_TEXT_WORDPIECE_TRAINER_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "doduo/text/vocab.h"
+
+namespace doduo::text {
+
+/// Learns a WordPiece vocabulary from a corpus by BPE-style pair merging:
+/// every word starts as [c, ##c, ##c, ...]; the most frequent adjacent pair
+/// is merged repeatedly until the requested vocabulary size is reached.
+/// Merged pieces keep the "##" continuation marker, so the result is
+/// directly usable by WordPieceTokenizer's greedy longest-match.
+class WordPieceTrainer {
+ public:
+  struct Options {
+    int vocab_size = 2000;  // includes specials and single characters
+    int min_pair_frequency = 2;
+  };
+
+  explicit WordPieceTrainer(Options options) : options_(options) {}
+
+  /// Trains from pre-tokenized words (BasicTokenizer output) with counts.
+  Vocab Train(const std::unordered_map<std::string, int64_t>& word_counts)
+      const;
+
+  /// Convenience: basic-tokenizes each line, counts words, and trains.
+  Vocab TrainFromLines(const std::vector<std::string>& lines) const;
+
+ private:
+  Options options_;
+};
+
+}  // namespace doduo::text
+
+#endif  // DODUO_TEXT_WORDPIECE_TRAINER_H_

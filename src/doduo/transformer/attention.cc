@@ -1,0 +1,134 @@
+#include "doduo/transformer/attention.h"
+
+#include <cmath>
+
+#include "doduo/nn/ops.h"
+
+namespace doduo::transformer {
+
+namespace {
+
+// Copies the columns [head*hd, (head+1)*hd) of src [s, d] into dst [s, hd].
+void ExtractHead(const nn::Tensor& src, int head, int head_dim,
+                 nn::Tensor* dst) {
+  const int64_t s = src.rows();
+  dst->ResizeUninitialized({s, head_dim});
+  const int64_t offset = static_cast<int64_t>(head) * head_dim;
+  for (int64_t i = 0; i < s; ++i) {
+    const float* in = src.row(i) + offset;
+    float* out = dst->row(i);
+    for (int64_t j = 0; j < head_dim; ++j) out[j] = in[j];
+  }
+}
+
+// Writes src [s, hd] into the columns of dst [s, d] for the given head.
+void InsertHead(const nn::Tensor& src, int head, int head_dim,
+                nn::Tensor* dst) {
+  const int64_t s = src.rows();
+  const int64_t offset = static_cast<int64_t>(head) * head_dim;
+  for (int64_t i = 0; i < s; ++i) {
+    const float* in = src.row(i);
+    float* out = dst->row(i) + offset;
+    for (int64_t j = 0; j < head_dim; ++j) out[j] = in[j];
+  }
+}
+
+}  // namespace
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(
+    const std::string& name, const TransformerConfig& config, util::Rng* rng)
+    : num_heads_(config.num_heads),
+      head_dim_(config.head_dim()),
+      wq_(name + ".wq", config.hidden_dim, config.hidden_dim, rng),
+      wk_(name + ".wk", config.hidden_dim, config.hidden_dim, rng),
+      wv_(name + ".wv", config.hidden_dim, config.hidden_dim, rng),
+      wo_(name + ".wo", config.hidden_dim, config.hidden_dim, rng) {
+  q_heads_.resize(static_cast<size_t>(num_heads_));
+  k_heads_.resize(static_cast<size_t>(num_heads_));
+  v_heads_.resize(static_cast<size_t>(num_heads_));
+  probs_.resize(static_cast<size_t>(num_heads_));
+}
+
+const nn::Tensor& MultiHeadSelfAttention::Forward(const nn::Tensor& x,
+                                                  const AttentionMask* mask) {
+  DODUO_CHECK_EQ(x.ndim(), 2);
+  const int64_t s = x.rows();
+  if (mask != nullptr) {
+    DODUO_CHECK(mask->ndim() == 2 && mask->rows() == s && mask->cols() == s)
+        << "attention mask must be [seq, seq]";
+  }
+  const nn::Tensor& q = wq_.Forward(x);
+  const nn::Tensor& k = wk_.Forward(x);
+  const nn::Tensor& v = wv_.Forward(x);
+
+  context_.ResizeUninitialized(
+      {s, static_cast<int64_t>(num_heads_) * head_dim_});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  nn::Tensor scores;
+  nn::Tensor head_context;
+  for (int h = 0; h < num_heads_; ++h) {
+    const size_t hi = static_cast<size_t>(h);
+    ExtractHead(q, h, head_dim_, &q_heads_[hi]);
+    ExtractHead(k, h, head_dim_, &k_heads_[hi]);
+    ExtractHead(v, h, head_dim_, &v_heads_[hi]);
+
+    nn::MatMulTransposedB(q_heads_[hi], k_heads_[hi], &scores);
+    nn::Scale(&scores, scale);
+    if (mask != nullptr) nn::AddInPlace(&scores, *mask);
+    nn::SoftmaxRows(scores, &probs_[hi]);
+    nn::MatMul(probs_[hi], v_heads_[hi], &head_context);
+    InsertHead(head_context, h, head_dim_, &context_);
+  }
+  output_ = &wo_.Forward(context_);
+  return *output_;
+}
+
+const nn::Tensor& MultiHeadSelfAttention::Backward(
+    const nn::Tensor& grad_out) {
+  DODUO_CHECK(output_ != nullptr) << "Backward before Forward";
+  const nn::Tensor& grad_context = wo_.Backward(grad_out);
+  const int64_t s = grad_context.rows();
+  const int64_t d = static_cast<int64_t>(num_heads_) * head_dim_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  grad_q_.ResizeUninitialized({s, d});
+  grad_k_.ResizeUninitialized({s, d});
+  grad_v_.ResizeUninitialized({s, d});
+
+  nn::Tensor grad_head_ctx, grad_probs, grad_scores, grad_qh, grad_kh,
+      grad_vh;
+  for (int h = 0; h < num_heads_; ++h) {
+    const size_t hi = static_cast<size_t>(h);
+    ExtractHead(grad_context, h, head_dim_, &grad_head_ctx);
+    // ctx_h = P · V:  dP = dctx · Vᵀ, dV = Pᵀ · dctx.
+    nn::MatMulTransposedB(grad_head_ctx, v_heads_[hi], &grad_probs);
+    nn::MatMulTransposedA(probs_[hi], grad_head_ctx, &grad_vh);
+    // Through softmax, then scores = scale · Q Kᵀ (the additive mask is
+    // constant, so it drops out of the gradient).
+    nn::SoftmaxRowsBackward(probs_[hi], grad_probs, &grad_scores);
+    nn::Scale(&grad_scores, scale);
+    nn::MatMul(grad_scores, k_heads_[hi], &grad_qh);
+    nn::MatMulTransposedA(grad_scores, q_heads_[hi], &grad_kh);
+
+    InsertHead(grad_qh, h, head_dim_, &grad_q_);
+    InsertHead(grad_kh, h, head_dim_, &grad_k_);
+    InsertHead(grad_vh, h, head_dim_, &grad_v_);
+  }
+
+  // x feeds all three projections; sum their input gradients.
+  grad_input_ = wq_.Backward(grad_q_);
+  nn::AddInPlace(&grad_input_, wk_.Backward(grad_k_));
+  nn::AddInPlace(&grad_input_, wv_.Backward(grad_v_));
+  return grad_input_;
+}
+
+nn::ParameterList MultiHeadSelfAttention::Parameters() {
+  nn::ParameterList params;
+  for (nn::Linear* layer : {&wq_, &wk_, &wv_, &wo_}) {
+    nn::AppendParameters(layer->Parameters(), &params);
+  }
+  return params;
+}
+
+}  // namespace doduo::transformer

@@ -1,0 +1,68 @@
+#ifndef DODUO_TRANSFORMER_ATTENTION_H_
+#define DODUO_TRANSFORMER_ATTENTION_H_
+
+#include <string>
+#include <vector>
+
+#include "doduo/nn/linear.h"
+#include "doduo/nn/tensor.h"
+#include "doduo/transformer/config.h"
+#include "doduo/util/rng.h"
+
+namespace doduo::transformer {
+
+/// Additive attention mask: 0 where attention is allowed, a large negative
+/// value where it is forbidden. Shape [seq, seq]; element (i, j) applies to
+/// query position i attending to key position j.
+///
+/// DODUO uses full self-attention (no mask); the TURL baseline supplies a
+/// visibility matrix here (see baselines/turl.h).
+using AttentionMask = nn::Tensor;
+
+/// Value used for masked-out attention logits.
+inline constexpr float kAttentionMaskValue = -1e9f;
+
+/// Multi-head scaled-dot-product self-attention with explicit backward.
+class MultiHeadSelfAttention {
+ public:
+  MultiHeadSelfAttention(const std::string& name,
+                         const TransformerConfig& config, util::Rng* rng);
+
+  /// x: [seq, d] → [seq, d]. `mask` is nullptr for full attention, or a
+  /// [seq, seq] additive mask.
+  const nn::Tensor& Forward(const nn::Tensor& x, const AttentionMask* mask);
+
+  /// grad_out: [seq, d] → d(loss)/dx [seq, d]; accumulates projection
+  /// gradients.
+  const nn::Tensor& Backward(const nn::Tensor& grad_out);
+
+  nn::ParameterList Parameters();
+
+  /// Post-softmax attention probabilities of the last Forward, one [seq,
+  /// seq] tensor per head (used by the Figure 6 attention analysis).
+  const std::vector<nn::Tensor>& attention_probs() const { return probs_; }
+
+ private:
+  int num_heads_;
+  int head_dim_;
+  nn::Linear wq_;
+  nn::Linear wk_;
+  nn::Linear wv_;
+  nn::Linear wo_;
+
+  // Forward caches (per head where applicable).
+  std::vector<nn::Tensor> q_heads_;
+  std::vector<nn::Tensor> k_heads_;
+  std::vector<nn::Tensor> v_heads_;
+  std::vector<nn::Tensor> probs_;
+  nn::Tensor context_;  // concatenated head outputs [seq, d]
+  const nn::Tensor* output_ = nullptr;
+
+  // Backward scratch.
+  nn::Tensor grad_q_, grad_k_, grad_v_;
+  nn::Tensor grad_input_;
+};
+
+}  // namespace doduo::transformer
+
+#endif  // DODUO_TRANSFORMER_ATTENTION_H_

@@ -1,0 +1,65 @@
+#include "doduo/transformer/block.h"
+
+#include "doduo/nn/ops.h"
+
+namespace doduo::transformer {
+
+TransformerBlock::TransformerBlock(const std::string& name,
+                                   const TransformerConfig& config,
+                                   util::Rng* rng)
+    : attention_(name + ".attn", config, rng),
+      attention_dropout_(config.dropout, rng),
+      attention_norm_(name + ".attn_norm", config.hidden_dim),
+      ffn_in_(name + ".ffn_in", config.hidden_dim, config.ffn_dim, rng),
+      ffn_out_(name + ".ffn_out", config.ffn_dim, config.hidden_dim, rng),
+      ffn_dropout_(config.dropout, rng),
+      ffn_norm_(name + ".ffn_norm", config.hidden_dim) {}
+
+const nn::Tensor& TransformerBlock::Forward(const nn::Tensor& x,
+                                            const AttentionMask* mask) {
+  const nn::Tensor& attn = attention_.Forward(x, mask);
+  const nn::Tensor& attn_dropped = attention_dropout_.Forward(attn);
+  nn::Add(x, attn_dropped, &residual1_);
+  const nn::Tensor& hidden = attention_norm_.Forward(residual1_);
+
+  const nn::Tensor& ffn_hidden = ffn_in_.Forward(hidden);
+  const nn::Tensor& ffn_activated = ffn_act_.Forward(ffn_hidden);
+  const nn::Tensor& ffn_projected = ffn_out_.Forward(ffn_activated);
+  const nn::Tensor& ffn_dropped = ffn_dropout_.Forward(ffn_projected);
+  nn::Add(hidden, ffn_dropped, &residual2_);
+  return ffn_norm_.Forward(residual2_);
+}
+
+const nn::Tensor& TransformerBlock::Backward(const nn::Tensor& grad_out) {
+  // Through the second LayerNorm; the residual splits the gradient into the
+  // FFN branch and the skip connection.
+  const nn::Tensor& d_residual2 = ffn_norm_.Backward(grad_out);
+  const nn::Tensor& d_ffn_dropped = ffn_dropout_.Backward(d_residual2);
+  const nn::Tensor& d_ffn_activated = ffn_out_.Backward(d_ffn_dropped);
+  const nn::Tensor& d_ffn_hidden = ffn_act_.Backward(d_ffn_activated);
+  grad_hidden_ = ffn_in_.Backward(d_ffn_hidden);
+  nn::AddInPlace(&grad_hidden_, d_residual2);  // skip path
+
+  const nn::Tensor& d_residual1 = attention_norm_.Backward(grad_hidden_);
+  const nn::Tensor& d_attn_dropped = attention_dropout_.Backward(d_residual1);
+  grad_input_ = attention_.Backward(d_attn_dropped);
+  nn::AddInPlace(&grad_input_, d_residual1);  // skip path
+  return grad_input_;
+}
+
+nn::ParameterList TransformerBlock::Parameters() {
+  nn::ParameterList params;
+  nn::AppendParameters(attention_.Parameters(), &params);
+  nn::AppendParameters(attention_norm_.Parameters(), &params);
+  nn::AppendParameters(ffn_in_.Parameters(), &params);
+  nn::AppendParameters(ffn_out_.Parameters(), &params);
+  nn::AppendParameters(ffn_norm_.Parameters(), &params);
+  return params;
+}
+
+void TransformerBlock::set_training(bool training) {
+  attention_dropout_.set_training(training);
+  ffn_dropout_.set_training(training);
+}
+
+}  // namespace doduo::transformer

@@ -1,0 +1,56 @@
+#ifndef DODUO_TRANSFORMER_BLOCK_H_
+#define DODUO_TRANSFORMER_BLOCK_H_
+
+#include <string>
+
+#include "doduo/nn/activations.h"
+#include "doduo/nn/dropout.h"
+#include "doduo/nn/layer_norm.h"
+#include "doduo/nn/linear.h"
+#include "doduo/transformer/attention.h"
+#include "doduo/transformer/config.h"
+
+namespace doduo::transformer {
+
+/// One post-LN Transformer block (BERT layout):
+///   h  = LayerNorm(x + Dropout(SelfAttention(x)))
+///   y  = LayerNorm(h + Dropout(W2·GELU(W1·h)))
+class TransformerBlock {
+ public:
+  TransformerBlock(const std::string& name, const TransformerConfig& config,
+                   util::Rng* rng);
+
+  /// x: [seq, d] → [seq, d].
+  const nn::Tensor& Forward(const nn::Tensor& x, const AttentionMask* mask);
+
+  /// grad_out: [seq, d] → d(loss)/dx [seq, d].
+  const nn::Tensor& Backward(const nn::Tensor& grad_out);
+
+  nn::ParameterList Parameters();
+
+  void set_training(bool training);
+
+  /// Attention probabilities of the last Forward (per head).
+  const std::vector<nn::Tensor>& attention_probs() const {
+    return attention_.attention_probs();
+  }
+
+ private:
+  MultiHeadSelfAttention attention_;
+  nn::Dropout attention_dropout_;
+  nn::LayerNorm attention_norm_;
+  nn::Linear ffn_in_;
+  nn::Gelu ffn_act_;
+  nn::Linear ffn_out_;
+  nn::Dropout ffn_dropout_;
+  nn::LayerNorm ffn_norm_;
+
+  nn::Tensor residual1_;  // x + dropout(attn(x))
+  nn::Tensor residual2_;  // h + dropout(ffn(h))
+  nn::Tensor grad_hidden_;
+  nn::Tensor grad_input_;
+};
+
+}  // namespace doduo::transformer
+
+#endif  // DODUO_TRANSFORMER_BLOCK_H_

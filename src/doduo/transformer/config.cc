@@ -1,0 +1,19 @@
+#include "doduo/transformer/config.h"
+
+#include "doduo/util/check.h"
+
+namespace doduo::transformer {
+
+void TransformerConfig::Validate() const {
+  DODUO_CHECK_GT(vocab_size, 0) << "set vocab_size from the tokenizer";
+  DODUO_CHECK_GT(max_positions, 0);
+  DODUO_CHECK_GT(hidden_dim, 0);
+  DODUO_CHECK_GT(num_layers, 0);
+  DODUO_CHECK_GT(num_heads, 0);
+  DODUO_CHECK_EQ(hidden_dim % num_heads, 0)
+      << "hidden_dim must be divisible by num_heads";
+  DODUO_CHECK_GT(ffn_dim, 0);
+  DODUO_CHECK(dropout >= 0.0f && dropout < 1.0f);
+}
+
+}  // namespace doduo::transformer

@@ -1,0 +1,29 @@
+#ifndef DODUO_TRANSFORMER_CONFIG_H_
+#define DODUO_TRANSFORMER_CONFIG_H_
+
+#include <cstdint>
+
+namespace doduo::transformer {
+
+/// Hyperparameters of the Transformer encoder. The defaults are the
+/// miniature-BERT scale used throughout the reproduction (see DESIGN.md for
+/// why BERT Base is substituted): same architecture as BERT, far fewer
+/// parameters, sized to fine-tune on a single CPU core.
+struct TransformerConfig {
+  int vocab_size = 0;        // must be set from the tokenizer's vocab
+  int max_positions = 160;   // maximum input sequence length
+  int hidden_dim = 64;       // model width d
+  int num_layers = 2;        // Transformer blocks
+  int num_heads = 4;         // attention heads (hidden_dim % num_heads == 0)
+  int ffn_dim = 256;         // feed-forward inner width
+  float dropout = 0.1f;
+
+  int head_dim() const { return hidden_dim / num_heads; }
+
+  /// Dies if the configuration is inconsistent.
+  void Validate() const;
+};
+
+}  // namespace doduo::transformer
+
+#endif  // DODUO_TRANSFORMER_CONFIG_H_

@@ -1,0 +1,143 @@
+#include "doduo/transformer/mlm.h"
+
+#include <cmath>
+
+#include "doduo/nn/losses.h"
+#include "doduo/nn/ops.h"
+#include "doduo/nn/optimizer.h"
+#include "doduo/text/vocab.h"
+#include "doduo/util/logging.h"
+
+namespace doduo::transformer {
+
+MlmHead::MlmHead(const std::string& name, const TransformerConfig& config,
+                 util::Rng* rng)
+    : transform_(name + ".transform", config.hidden_dim, config.hidden_dim,
+                 rng),
+      norm_(name + ".norm", config.hidden_dim),
+      decoder_(name + ".decoder", config.hidden_dim, config.vocab_size,
+               rng) {}
+
+const nn::Tensor& MlmHead::Forward(const nn::Tensor& hidden) {
+  const nn::Tensor& transformed = transform_.Forward(hidden);
+  const nn::Tensor& activated = activation_.Forward(transformed);
+  const nn::Tensor& normalized = norm_.Forward(activated);
+  return decoder_.Forward(normalized);
+}
+
+const nn::Tensor& MlmHead::Backward(const nn::Tensor& grad_logits) {
+  const nn::Tensor& d_normalized = decoder_.Backward(grad_logits);
+  const nn::Tensor& d_activated = norm_.Backward(d_normalized);
+  const nn::Tensor& d_transformed = activation_.Backward(d_activated);
+  return transform_.Backward(d_transformed);
+}
+
+nn::ParameterList MlmHead::Parameters() {
+  nn::ParameterList params;
+  nn::AppendParameters(transform_.Parameters(), &params);
+  nn::AppendParameters(norm_.Parameters(), &params);
+  nn::AppendParameters(decoder_.Parameters(), &params);
+  return params;
+}
+
+MlmPretrainer::MlmPretrainer(BertModel* model, MlmHead* head,
+                             Options options)
+    : model_(model), head_(head), options_(options) {
+  DODUO_CHECK(model != nullptr);
+  DODUO_CHECK(head != nullptr);
+}
+
+std::vector<int> MlmPretrainer::MaskSequence(std::vector<int>* ids,
+                                             util::Rng* rng) const {
+  std::vector<int> labels(ids->size(), -1);
+  const int vocab_size = model_->config().vocab_size;
+  for (size_t i = 0; i < ids->size(); ++i) {
+    const int id = (*ids)[i];
+    if (text::Vocab::IsSpecial(id)) continue;
+    if (!rng->Bernoulli(options_.mask_prob)) continue;
+    labels[i] = id;
+    const double roll = rng->UniformDouble();
+    if (roll < 0.8) {
+      (*ids)[i] = text::Vocab::kMaskId;
+    } else if (roll < 0.9) {
+      (*ids)[i] = static_cast<int>(
+          rng->UniformInt(text::Vocab::kNumSpecialTokens, vocab_size - 1));
+    }
+    // else: keep the original token (but still predict it).
+  }
+  return labels;
+}
+
+double MlmPretrainer::Train(const std::vector<std::vector<int>>& corpus) {
+  DODUO_CHECK(!corpus.empty());
+  util::Rng rng(options_.seed);
+  nn::ParameterList params = model_->Parameters();
+  nn::AppendParameters(head_->Parameters(), &params);
+
+  nn::AdamOptions adam_options;
+  adam_options.learning_rate = options_.learning_rate;
+  nn::Adam adam(params, adam_options);
+  const int64_t steps_per_epoch =
+      (static_cast<int64_t>(corpus.size()) + options_.batch_size - 1) /
+      options_.batch_size;
+  nn::LinearDecaySchedule schedule(options_.learning_rate,
+                                   steps_per_epoch * options_.epochs);
+
+  model_->set_training(true);
+  double epoch_loss = 0.0;
+  std::vector<size_t> order(corpus.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.Shuffle(&order);
+    epoch_loss = 0.0;
+    int64_t loss_count = 0;
+    int in_batch = 0;
+    for (size_t idx : order) {
+      std::vector<int> ids = corpus[idx];
+      if (ids.empty()) continue;
+      const std::vector<int> labels = MaskSequence(&ids, &rng);
+      bool any_masked = false;
+      for (int label : labels) any_masked |= (label >= 0);
+      if (!any_masked) continue;
+
+      const nn::Tensor& hidden = model_->Forward(ids);
+      const nn::Tensor& logits = head_->Forward(hidden);
+      nn::LossResult loss = nn::SoftmaxCrossEntropy(logits, labels);
+      epoch_loss += loss.loss;
+      ++loss_count;
+      // Average the gradient over the batch.
+      nn::Scale(&loss.grad_logits,
+                1.0f / static_cast<float>(options_.batch_size));
+      model_->Backward(head_->Backward(loss.grad_logits));
+
+      if (++in_batch == options_.batch_size) {
+        adam.Step(schedule.LearningRate(adam.step_count()));
+        in_batch = 0;
+      }
+    }
+    if (in_batch > 0) adam.Step(schedule.LearningRate(adam.step_count()));
+    if (loss_count > 0) epoch_loss /= static_cast<double>(loss_count);
+    if (options_.verbose) {
+      DODUO_LOG(Info) << "MLM epoch " << epoch + 1 << "/" << options_.epochs
+                      << " loss=" << epoch_loss;
+    }
+  }
+  model_->set_training(false);
+  return epoch_loss;
+}
+
+double MlmPretrainer::MaskedLogProb(const std::vector<int>& ids, size_t pos,
+                                    int original_id) {
+  DODUO_CHECK_LT(pos, ids.size());
+  model_->set_training(false);
+  std::vector<int> masked = ids;
+  masked[pos] = text::Vocab::kMaskId;
+  const nn::Tensor& hidden = model_->Forward(masked);
+  const nn::Tensor& logits = head_->Forward(hidden);
+  nn::Tensor log_probs;
+  nn::LogSoftmaxRows(logits, &log_probs);
+  return log_probs.at(static_cast<int64_t>(pos), original_id);
+}
+
+}  // namespace doduo::transformer

@@ -1,0 +1,73 @@
+#ifndef DODUO_TRANSFORMER_MLM_H_
+#define DODUO_TRANSFORMER_MLM_H_
+
+#include <string>
+#include <vector>
+
+#include "doduo/nn/activations.h"
+#include "doduo/nn/linear.h"
+#include "doduo/transformer/bert.h"
+
+namespace doduo::transformer {
+
+/// BERT's masked-language-model head: dense + GELU + LayerNorm + decoder to
+/// vocabulary logits.
+class MlmHead {
+ public:
+  MlmHead(const std::string& name, const TransformerConfig& config,
+          util::Rng* rng);
+
+  /// hidden: [seq, d] → vocabulary logits [seq, vocab].
+  const nn::Tensor& Forward(const nn::Tensor& hidden);
+
+  /// grad_logits: [seq, vocab] → d(loss)/d(hidden) [seq, d].
+  const nn::Tensor& Backward(const nn::Tensor& grad_logits);
+
+  nn::ParameterList Parameters();
+
+ private:
+  nn::Linear transform_;
+  nn::Gelu activation_;
+  nn::LayerNorm norm_;
+  nn::Linear decoder_;
+};
+
+/// Masked-language-model pre-training (BERT's objective) on a corpus of
+/// token-id sequences. This stands in for BERT's Wikipedia pre-training:
+/// the corpus is generated from the synthetic knowledge base, so the
+/// encoder absorbs the same facts the annotation tasks later need.
+class MlmPretrainer {
+ public:
+  struct Options {
+    int epochs = 3;
+    int batch_size = 8;       // sequences per optimizer step
+    double learning_rate = 1e-3;
+    float mask_prob = 0.15f;  // fraction of tokens selected for prediction
+    uint64_t seed = 42;
+    bool verbose = false;
+  };
+
+  MlmPretrainer(BertModel* model, MlmHead* head, Options options);
+
+  /// Runs MLM training over `corpus`; returns the mean loss of the final
+  /// epoch.
+  double Train(const std::vector<std::vector<int>>& corpus);
+
+  /// Applies BERT's 80/10/10 corruption to `ids` in place and returns the
+  /// MLM labels (-1 for unselected positions). Exposed for testing.
+  std::vector<int> MaskSequence(std::vector<int>* ids, util::Rng* rng) const;
+
+  /// Log-probability of `original_id` at position `pos` when that position
+  /// is replaced by [MASK] (the probing primitive). Runs in eval mode.
+  double MaskedLogProb(const std::vector<int>& ids, size_t pos,
+                       int original_id);
+
+ private:
+  BertModel* model_;
+  MlmHead* head_;
+  Options options_;
+};
+
+}  // namespace doduo::transformer
+
+#endif  // DODUO_TRANSFORMER_MLM_H_

@@ -1,0 +1,96 @@
+#ifndef DODUO_UTIL_CHECK_H_
+#define DODUO_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+// Fatal assertion macros for programmer errors. The project does not use
+// exceptions (see DESIGN.md); invariant violations abort with a message that
+// names the failing expression and source location.
+//
+//   DODUO_CHECK(cond) << "extra context " << value;
+//   DODUO_CHECK_EQ(a, b);
+//
+// DODUO_DCHECK* short-circuit to no-ops in NDEBUG builds (operands are not
+// evaluated).
+
+namespace doduo::util {
+
+namespace internal_check {
+
+// Accumulates the streamed message and aborts in the destructor. Used only
+// via the macros below.
+class CheckFailureStream {
+ public:
+  CheckFailureStream(const char* expr, const char* file, int line) {
+    stream_ << "CHECK failed: " << expr << " at " << file << ":" << line;
+  }
+
+  CheckFailureStream(const CheckFailureStream&) = delete;
+  CheckFailureStream& operator=(const CheckFailureStream&) = delete;
+
+  [[noreturn]] ~CheckFailureStream() {
+    stream_ << "\n";
+    std::fputs(stream_.str().c_str(), stderr);
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  template <typename T>
+  CheckFailureStream& operator<<(const T& value) {
+    stream_ << " " << value;
+    return *this;
+  }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Turns the stream expression into void so the ternary in the macros type
+// checks (glog's "voidify" trick). operator& binds looser than <<, so the
+// whole message chain is built first.
+struct Voidify {
+  void operator&(const CheckFailureStream&) {}
+};
+
+}  // namespace internal_check
+
+}  // namespace doduo::util
+
+#define DODUO_CHECK(cond)                                         \
+  (cond) ? (void)0                                                \
+         : ::doduo::util::internal_check::Voidify() &             \
+               ::doduo::util::internal_check::CheckFailureStream( \
+                   #cond, __FILE__, __LINE__)
+
+#define DODUO_CHECK_OP(op, a, b)                                  \
+  ((a)op(b)) ? (void)0                                            \
+             : ::doduo::util::internal_check::Voidify() &         \
+                   ::doduo::util::internal_check::CheckFailureStream( \
+                       #a " " #op " " #b, __FILE__, __LINE__)     \
+                       << "(" << (a) << " vs " << (b) << ")"
+
+#define DODUO_CHECK_EQ(a, b) DODUO_CHECK_OP(==, a, b)
+#define DODUO_CHECK_NE(a, b) DODUO_CHECK_OP(!=, a, b)
+#define DODUO_CHECK_LT(a, b) DODUO_CHECK_OP(<, a, b)
+#define DODUO_CHECK_LE(a, b) DODUO_CHECK_OP(<=, a, b)
+#define DODUO_CHECK_GT(a, b) DODUO_CHECK_OP(>, a, b)
+#define DODUO_CHECK_GE(a, b) DODUO_CHECK_OP(>=, a, b)
+
+#ifdef NDEBUG
+// `true || (x)` keeps the operands syntactically alive (no unused-variable
+// warnings in templates) without evaluating them.
+#define DODUO_DCHECK(cond) DODUO_CHECK(true || (cond))
+#define DODUO_DCHECK_EQ(a, b) DODUO_DCHECK((a) == (b))
+#define DODUO_DCHECK_LT(a, b) DODUO_DCHECK((a) < (b))
+#define DODUO_DCHECK_LE(a, b) DODUO_DCHECK((a) <= (b))
+#else
+#define DODUO_DCHECK(cond) DODUO_CHECK(cond)
+#define DODUO_DCHECK_EQ(a, b) DODUO_CHECK_EQ(a, b)
+#define DODUO_DCHECK_LT(a, b) DODUO_CHECK_LT(a, b)
+#define DODUO_DCHECK_LE(a, b) DODUO_CHECK_LE(a, b)
+#endif
+
+#endif  // DODUO_UTIL_CHECK_H_

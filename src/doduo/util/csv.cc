@@ -1,0 +1,126 @@
+#include "doduo/util/csv.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace doduo::util {
+
+Result<CsvRows> ParseCsv(std::string_view text) {
+  CsvRows rows;
+  std::vector<std::string> row;
+  std::string cell;
+  bool in_quotes = false;
+  bool cell_started = false;  // True once the current row has any content.
+
+  auto end_cell = [&]() {
+    row.push_back(std::move(cell));
+    cell.clear();
+  };
+  auto end_row = [&]() {
+    end_cell();
+    rows.push_back(std::move(row));
+    row.clear();
+    cell_started = false;
+  };
+
+  for (size_t i = 0; i < text.size(); ++i) {
+    const char c = text[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < text.size() && text[i + 1] == '"') {
+          cell.push_back('"');
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cell.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (!cell.empty()) {
+          return Status::InvalidArgument(
+              "quote in the middle of an unquoted CSV cell at offset " +
+              std::to_string(i));
+        }
+        in_quotes = true;
+        cell_started = true;
+        break;
+      case ',':
+        end_cell();
+        cell_started = true;
+        break;
+      case '\r':
+        // Consumed as part of CRLF; a bare CR is treated as a newline too.
+        if (i + 1 < text.size() && text[i + 1] == '\n') ++i;
+        end_row();
+        break;
+      case '\n':
+        end_row();
+        break;
+      default:
+        cell.push_back(c);
+        cell_started = true;
+        break;
+    }
+  }
+  if (in_quotes) {
+    return Status::InvalidArgument("unterminated quoted CSV cell");
+  }
+  if (cell_started || !cell.empty() || !row.empty()) end_row();
+  return rows;
+}
+
+Result<CsvRows> ReadCsvFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParseCsv(buffer.str());
+}
+
+namespace {
+
+bool NeedsQuoting(std::string_view cell) {
+  return cell.find_first_of(",\"\n\r") != std::string_view::npos;
+}
+
+void AppendCell(std::string* out, std::string_view cell) {
+  if (!NeedsQuoting(cell)) {
+    out->append(cell);
+    return;
+  }
+  out->push_back('"');
+  for (char c : cell) {
+    if (c == '"') out->push_back('"');
+    out->push_back(c);
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string WriteCsvString(const CsvRows& rows) {
+  std::string out;
+  for (const auto& row : rows) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (i > 0) out.push_back(',');
+      AppendCell(&out, row[i]);
+    }
+    out.push_back('\n');
+  }
+  return out;
+}
+
+Status WriteCsvFile(const std::string& path, const CsvRows& rows) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) return Status::IoError("cannot open " + path + " for writing");
+  const std::string text = WriteCsvString(rows);
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  if (!out) return Status::IoError("failed writing " + path);
+  return Status::Ok();
+}
+
+}  // namespace doduo::util

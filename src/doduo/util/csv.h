@@ -1,0 +1,33 @@
+#ifndef DODUO_UTIL_CSV_H_
+#define DODUO_UTIL_CSV_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "doduo/util/status.h"
+
+namespace doduo::util {
+
+/// A parsed CSV file: rows of string cells. Row 0 is the header when the
+/// file has one; this type does not interpret headers itself.
+using CsvRows = std::vector<std::vector<std::string>>;
+
+/// Parses RFC-4180-style CSV text: comma separated, double-quote quoting,
+/// doubled quotes inside quoted fields, LF or CRLF line endings. A trailing
+/// newline does not produce an empty final row.
+Result<CsvRows> ParseCsv(std::string_view text);
+
+/// Reads and parses a CSV file from disk.
+Result<CsvRows> ReadCsvFile(const std::string& path);
+
+/// Serializes rows to CSV text, quoting cells that contain commas, quotes,
+/// or newlines.
+std::string WriteCsvString(const CsvRows& rows);
+
+/// Writes rows to a CSV file on disk.
+Status WriteCsvFile(const std::string& path, const CsvRows& rows);
+
+}  // namespace doduo::util
+
+#endif  // DODUO_UTIL_CSV_H_

@@ -1,0 +1,37 @@
+#include "doduo/util/env.h"
+
+#include <cstdint>
+#include <cstdlib>
+
+namespace doduo::util {
+
+std::string GetEnvString(const char* name, const std::string& fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::string(value) : fallback;
+}
+
+double GetEnvDouble(const char* name, double fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  double parsed = std::strtod(value, &end);
+  if (end == value) return fallback;
+  return parsed;
+}
+
+int64_t GetEnvInt(const char* name, int64_t fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr) return fallback;
+  char* end = nullptr;
+  long long parsed = std::strtoll(value, &end, 10);
+  if (end == value) return fallback;
+  return static_cast<int64_t>(parsed);
+}
+
+double ExperimentScale() { return GetEnvDouble("DODUO_SCALE", 1.0); }
+
+uint64_t ExperimentSeed() {
+  return static_cast<uint64_t>(GetEnvInt("DODUO_SEED", 42));
+}
+
+}  // namespace doduo::util

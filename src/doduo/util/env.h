@@ -1,0 +1,24 @@
+#ifndef DODUO_UTIL_ENV_H_
+#define DODUO_UTIL_ENV_H_
+
+#include <string>
+
+namespace doduo::util {
+
+/// Reads an environment variable, falling back to `fallback` when unset or
+/// unparsable. Used by the experiment binaries for knobs such as
+/// DODUO_SCALE and DODUO_SEED.
+std::string GetEnvString(const char* name, const std::string& fallback);
+double GetEnvDouble(const char* name, double fallback);
+int64_t GetEnvInt(const char* name, int64_t fallback);
+
+/// Global experiment scale factor from DODUO_SCALE (default 1.0). Dataset
+/// sizes and epoch counts in bench/ multiply by this.
+double ExperimentScale();
+
+/// Global experiment seed from DODUO_SEED (default 42).
+uint64_t ExperimentSeed();
+
+}  // namespace doduo::util
+
+#endif  // DODUO_UTIL_ENV_H_

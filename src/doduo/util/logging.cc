@@ -1,0 +1,76 @@
+#include "doduo/util/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+namespace doduo::util {
+
+namespace {
+
+LogLevel InitialLevel() {
+  const char* env = std::getenv("DODUO_LOG_LEVEL");
+  if (env == nullptr) return LogLevel::kInfo;
+  if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(env, "warning") == 0) return LogLevel::kWarning;
+  if (std::strcmp(env, "error") == 0) return LogLevel::kError;
+  return LogLevel::kInfo;
+}
+
+std::atomic<int>& LevelStore() {
+  static std::atomic<int> level{static_cast<int>(InitialLevel())};
+  return level;
+}
+
+char LevelTag(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return 'D';
+    case LogLevel::kInfo:
+      return 'I';
+    case LogLevel::kWarning:
+      return 'W';
+    case LogLevel::kError:
+      return 'E';
+  }
+  return '?';
+}
+
+// Last path component, to keep log lines short.
+const char* Basename(const char* path) {
+  const char* slash = std::strrchr(path, '/');
+  return slash != nullptr ? slash + 1 : path;
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  LevelStore().store(static_cast<int>(level));
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(LevelStore().load());
+}
+
+namespace internal_logging {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >= LevelStore().load()), level_(level) {
+  if (enabled_) {
+    stream_ << LevelTag(level) << " [" << Basename(file) << ":" << line
+            << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (!enabled_) return;
+  stream_ << "\n";
+  std::fputs(stream_.str().c_str(), stderr);
+  if (level_ >= LogLevel::kWarning) std::fflush(stderr);
+}
+
+}  // namespace internal_logging
+
+}  // namespace doduo::util

@@ -1,0 +1,49 @@
+#ifndef DODUO_UTIL_LOGGING_H_
+#define DODUO_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace doduo::util {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that is emitted; messages below it are dropped.
+/// The initial level is kInfo, or the value of the DODUO_LOG_LEVEL
+/// environment variable ("debug", "info", "warning", "error") if set.
+void SetLogLevel(LogLevel level);
+
+/// Returns the current minimum emitted level.
+LogLevel GetLogLevel();
+
+namespace internal_logging {
+
+// One log statement; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& value) {
+    if (enabled_) stream_ << value;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+
+}  // namespace doduo::util
+
+#define DODUO_LOG(level)                                   \
+  ::doduo::util::internal_logging::LogMessage(             \
+      ::doduo::util::LogLevel::k##level, __FILE__, __LINE__)
+
+#endif  // DODUO_UTIL_LOGGING_H_

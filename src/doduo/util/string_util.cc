@@ -1,0 +1,155 @@
+#include "doduo/util/string_util.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+
+namespace doduo::util {
+
+std::vector<std::string> Split(std::string_view text, char delimiter) {
+  std::vector<std::string> pieces;
+  size_t start = 0;
+  for (size_t i = 0; i <= text.size(); ++i) {
+    if (i == text.size() || text[i] == delimiter) {
+      pieces.emplace_back(text.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return pieces;
+}
+
+std::vector<std::string> SplitWhitespace(std::string_view text) {
+  std::vector<std::string> pieces;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    size_t start = i;
+    while (i < text.size() &&
+           !std::isspace(static_cast<unsigned char>(text[i])))
+      ++i;
+    if (i > start) pieces.emplace_back(text.substr(start, i - start));
+  }
+  return pieces;
+}
+
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator) {
+  std::string out;
+  for (size_t i = 0; i < pieces.size(); ++i) {
+    if (i > 0) out.append(separator);
+    out.append(pieces[i]);
+  }
+  return out;
+}
+
+std::string ToLower(std::string_view text) {
+  std::string out(text);
+  std::transform(out.begin(), out.end(), out.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return out;
+}
+
+std::string Trim(std::string_view text) {
+  size_t begin = 0;
+  size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin])))
+    ++begin;
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1])))
+    --end;
+  return std::string(text.substr(begin, end - begin));
+}
+
+bool StartsWith(std::string_view text, std::string_view prefix) {
+  return text.size() >= prefix.size() &&
+         text.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view text, std::string_view suffix) {
+  return text.size() >= suffix.size() &&
+         text.substr(text.size() - suffix.size()) == suffix;
+}
+
+bool IsAsciiDigits(std::string_view text) {
+  if (text.empty()) return false;
+  return std::all_of(text.begin(), text.end(), [](unsigned char c) {
+    return std::isdigit(c) != 0;
+  });
+}
+
+bool LooksNumeric(std::string_view text) {
+  std::string t = Trim(text);
+  if (t.empty()) return false;
+  size_t i = 0;
+  if (t[0] == '+' || t[0] == '-') i = 1;
+  bool saw_digit = false;
+  bool saw_point = false;
+  for (; i < t.size(); ++i) {
+    unsigned char c = static_cast<unsigned char>(t[i]);
+    if (std::isdigit(c)) {
+      saw_digit = true;
+    } else if (c == '.' && !saw_point) {
+      saw_point = true;
+    } else if (c == ',') {
+      // Thousands separator; accepted anywhere between digits.
+      if (!saw_digit) return false;
+    } else {
+      return false;
+    }
+  }
+  return saw_digit;
+}
+
+std::string FormatDouble(double value, int digits) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.*f", digits, value);
+  return std::string(buf);
+}
+
+std::string FormatPercent(double fraction, int digits) {
+  return FormatDouble(100.0 * fraction, digits);
+}
+
+size_t EditDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size();
+  const size_t m = b.size();
+  if (n == 0) return m;
+  if (m == 0) return n;
+  std::vector<size_t> prev(m + 1);
+  std::vector<size_t> curr(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = j;
+  for (size_t i = 1; i <= n; ++i) {
+    curr[0] = i;
+    for (size_t j = 1; j <= m; ++j) {
+      const size_t substitution = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      curr[j] = std::min({prev[j] + 1, curr[j - 1] + 1, substitution});
+    }
+    std::swap(prev, curr);
+  }
+  return prev[m];
+}
+
+std::vector<std::string> CharNgrams(std::string_view text, size_t n,
+                                    bool pad) {
+  std::string padded;
+  if (pad) {
+    padded.reserve(text.size() + 2);
+    padded.push_back('^');
+    padded.append(text);
+    padded.push_back('$');
+  } else {
+    padded.assign(text);
+  }
+  std::vector<std::string> grams;
+  if (padded.size() < n) return grams;
+  grams.reserve(padded.size() - n + 1);
+  for (size_t i = 0; i + n <= padded.size(); ++i) {
+    grams.emplace_back(padded.substr(i, n));
+  }
+  return grams;
+}
+
+}  // namespace doduo::util

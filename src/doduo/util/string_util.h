@@ -1,0 +1,52 @@
+#ifndef DODUO_UTIL_STRING_UTIL_H_
+#define DODUO_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace doduo::util {
+
+/// Splits `text` on `delimiter`; consecutive delimiters yield empty pieces.
+std::vector<std::string> Split(std::string_view text, char delimiter);
+
+/// Splits on any run of ASCII whitespace; never yields empty pieces.
+std::vector<std::string> SplitWhitespace(std::string_view text);
+
+/// Joins `pieces` with `separator`.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view separator);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view text);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string Trim(std::string_view text);
+
+bool StartsWith(std::string_view text, std::string_view prefix);
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// True if every character is an ASCII digit (and the string is non-empty).
+bool IsAsciiDigits(std::string_view text);
+
+/// True if the whole string parses as an integer or decimal number,
+/// tolerating one sign, one decimal point, and thousands separators.
+bool LooksNumeric(std::string_view text);
+
+/// Formats `value` with `digits` decimal places ("%.*f").
+std::string FormatDouble(double value, int digits);
+
+/// Formats a fraction as a percentage with `digits` decimals, e.g. "92.45".
+std::string FormatPercent(double fraction, int digits);
+
+/// Levenshtein edit distance between two strings.
+size_t EditDistance(std::string_view a, std::string_view b);
+
+/// Character n-grams of length `n` (with padding markers '^' and '$' when
+/// `pad` is true); returns an empty vector for strings shorter than `n`
+/// after padding.
+std::vector<std::string> CharNgrams(std::string_view text, size_t n, bool pad);
+
+}  // namespace doduo::util
+
+#endif  // DODUO_UTIL_STRING_UTIL_H_

@@ -1,0 +1,46 @@
+#include "doduo/util/table_printer.h"
+
+#include <algorithm>
+
+#include "doduo/util/check.h"
+
+namespace doduo::util {
+
+TablePrinter::TablePrinter(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  DODUO_CHECK(!header_.empty());
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  DODUO_CHECK_EQ(row.size(), header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t i = 0; i < header_.size(); ++i) widths[i] = header_[i].size();
+  for (const auto& row : rows_) {
+    for (size_t i = 0; i < row.size(); ++i) {
+      widths[i] = std::max(widths[i], row[i].size());
+    }
+  }
+
+  auto render_row = [&](const std::vector<std::string>& row) {
+    std::string line = "|";
+    for (size_t i = 0; i < row.size(); ++i) {
+      line += " " + row[i] + std::string(widths[i] - row[i].size(), ' ') +
+              " |";
+    }
+    line += "\n";
+    return line;
+  };
+
+  std::string out = render_row(header_);
+  out += "|";
+  for (size_t width : widths) out += std::string(width + 2, '-') + "|";
+  out += "\n";
+  for (const auto& row : rows_) out += render_row(row);
+  return out;
+}
+
+}  // namespace doduo::util

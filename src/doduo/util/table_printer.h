@@ -1,0 +1,32 @@
+#ifndef DODUO_UTIL_TABLE_PRINTER_H_
+#define DODUO_UTIL_TABLE_PRINTER_H_
+
+#include <string>
+#include <vector>
+
+namespace doduo::util {
+
+/// Renders aligned, Markdown-style console tables for the experiment
+/// binaries (the "paper table" output).
+///
+///   TablePrinter printer({"Method", "P", "R", "F1"});
+///   printer.AddRow({"Doduo", "92.69", "92.21", "92.45"});
+///   std::cout << printer.ToString();
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  /// Adds one body row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> row);
+
+  /// Renders the table with a header separator and column alignment.
+  std::string ToString() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace doduo::util
+
+#endif  // DODUO_UTIL_TABLE_PRINTER_H_

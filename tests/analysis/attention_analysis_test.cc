@@ -1,0 +1,112 @@
+#include "doduo/analysis/attention_analysis.h"
+
+#include "doduo/text/wordpiece_trainer.h"
+#include "gtest/gtest.h"
+
+namespace doduo::analysis {
+namespace {
+
+class AttentionAnalysisTest : public ::testing::Test {
+ protected:
+  AttentionAnalysisTest() {
+    for (const char* token : {"aa", "bb", "cc", "dd"}) {
+      vocab_.AddToken(token);
+    }
+    tokenizer_ = std::make_unique<text::WordPieceTokenizer>(&vocab_);
+
+    config_.encoder.vocab_size = vocab_.size();
+    config_.encoder.max_positions = 32;
+    config_.encoder.hidden_dim = 16;
+    config_.encoder.num_heads = 2;
+    config_.encoder.ffn_dim = 32;
+    config_.encoder.num_layers = 1;
+    config_.encoder.dropout = 0.0f;
+    config_.serializer.max_total_tokens = 32;
+    config_.num_types = 3;
+    config_.num_relations = 0;
+    config_.tasks = core::TaskSet::kTypesOnly;
+    util::Rng rng(1);
+    model_ = std::make_unique<core::DoduoModel>(config_, &rng);
+    model_->set_training(false);
+    serializer_ = std::make_unique<table::TableSerializer>(
+        tokenizer_.get(), config_.serializer);
+
+    dataset_.multi_label = false;
+    dataset_.type_vocab.AddLabel("t0");
+    dataset_.type_vocab.AddLabel("t1");
+    dataset_.type_vocab.AddLabel("t2");
+    for (int i = 0; i < 4; ++i) {
+      table::AnnotatedTable annotated;
+      annotated.table.AddColumn({"", {"aa", "bb"}});
+      annotated.table.AddColumn({"", {"cc", "dd"}});
+      annotated.column_types = {{0}, {1}};
+      dataset_.tables.push_back(std::move(annotated));
+    }
+    // One single-column table: must be skipped by the analysis.
+    table::AnnotatedTable single;
+    single.table.AddColumn({"", {"aa"}});
+    single.column_types = {{2}};
+    dataset_.tables.push_back(std::move(single));
+  }
+
+  text::Vocab vocab_;
+  std::unique_ptr<text::WordPieceTokenizer> tokenizer_;
+  core::DoduoConfig config_;
+  std::unique_ptr<core::DoduoModel> model_;
+  std::unique_ptr<table::TableSerializer> serializer_;
+  table::ColumnAnnotationDataset dataset_;
+};
+
+TEST_F(AttentionAnalysisTest, MatrixCoversObservedTypesOnly) {
+  const auto dependency = AnalyzeInterColumnDependency(
+      model_.get(), *serializer_, dataset_, {0, 1, 2, 3, 4});
+  // Type t2 only appears in a single-column table → excluded.
+  ASSERT_EQ(dependency.type_names.size(), 2u);
+  EXPECT_EQ(dependency.type_names[0], "t0");
+  EXPECT_EQ(dependency.type_names[1], "t1");
+  // Off-diagonal co-occurrence counted for all 4 two-column tables.
+  EXPECT_EQ(dependency.cooccurrence[0][1], 4);
+  EXPECT_EQ(dependency.cooccurrence[1][0], 4);
+  EXPECT_EQ(dependency.cooccurrence[0][0], 0);
+}
+
+TEST_F(AttentionAnalysisTest, ValuesAreCooccurrenceNormalized) {
+  const auto dependency = AnalyzeInterColumnDependency(
+      model_.get(), *serializer_, dataset_, {0, 1, 2, 3});
+  // attention(i→j) − 1/2 is bounded by the attention simplex.
+  for (const auto& row : dependency.matrix) {
+    for (double value : row) {
+      EXPECT_GE(value, -0.5);
+      EXPECT_LE(value, 0.5);
+    }
+  }
+}
+
+TEST_F(AttentionAnalysisTest, RenderProducesMatrixText) {
+  const auto dependency = AnalyzeInterColumnDependency(
+      model_.get(), *serializer_, dataset_, {0, 1});
+  const std::string rendered = RenderDependencyMatrix(dependency);
+  EXPECT_NE(rendered.find("t0"), std::string::npos);
+  EXPECT_NE(rendered.find("t1"), std::string::npos);
+  EXPECT_NE(rendered.find("rely"), std::string::npos);
+}
+
+TEST_F(AttentionAnalysisTest, ColumnAttentionRowsAreSubStochastic) {
+  // [CLS]→[CLS] attention is a sub-block of a stochastic matrix: entries
+  // in [0,1], row sums ≤ 1.
+  const auto serialized =
+      serializer_->SerializeTable(dataset_.tables[0].table);
+  const nn::Tensor attention = model_->ColumnAttention(serialized);
+  for (int64_t i = 0; i < attention.rows(); ++i) {
+    double row_sum = 0.0;
+    for (int64_t j = 0; j < attention.cols(); ++j) {
+      EXPECT_GE(attention.at(i, j), 0.0f);
+      EXPECT_LE(attention.at(i, j), 1.0f);
+      row_sum += attention.at(i, j);
+    }
+    EXPECT_LE(row_sum, 1.0 + 1e-5);
+  }
+}
+
+}  // namespace
+}  // namespace doduo::analysis

@@ -1,0 +1,107 @@
+#include <string>
+#include <vector>
+
+#include "doduo/baselines/crf.h"
+#include "doduo/baselines/lda.h"
+#include "gtest/gtest.h"
+
+namespace doduo::baselines {
+namespace {
+
+TEST(LdaTest, SeparatesTwoCleanTopics) {
+  // Topic A vocabulary: fruit; topic B: vehicles. Documents are pure.
+  std::vector<std::vector<std::string>> documents;
+  for (int i = 0; i < 20; ++i) {
+    documents.push_back({"apple", "banana", "pear", "apple", "grape"});
+    documents.push_back({"car", "truck", "bus", "train", "car"});
+  }
+  Lda::Options options;
+  options.num_topics = 2;
+  options.iterations = 60;
+  Lda lda(options);
+  lda.Fit(documents);
+
+  // Each fitted document must be dominated by one topic, and documents of
+  // the same kind must agree on which.
+  const auto fruit0 = lda.DocumentTopics(0);
+  const auto fruit2 = lda.DocumentTopics(2);
+  const auto vehicle1 = lda.DocumentTopics(1);
+  const int fruit_topic = fruit0[0] > fruit0[1] ? 0 : 1;
+  EXPECT_GT(fruit0[static_cast<size_t>(fruit_topic)], 0.8f);
+  EXPECT_GT(fruit2[static_cast<size_t>(fruit_topic)], 0.8f);
+  EXPECT_GT(vehicle1[static_cast<size_t>(1 - fruit_topic)], 0.8f);
+
+  // Inference on an unseen fruit document lands in the fruit topic.
+  const auto inferred = lda.InferTopics({"apple", "pear", "banana"});
+  EXPECT_GT(inferred[static_cast<size_t>(fruit_topic)], 0.7f);
+}
+
+TEST(LdaTest, UnknownDocumentIsUniform) {
+  std::vector<std::vector<std::string>> documents = {{"a", "b"}, {"c", "d"}};
+  Lda::Options options;
+  options.num_topics = 4;
+  options.iterations = 10;
+  Lda lda(options);
+  lda.Fit(documents);
+  const auto inferred = lda.InferTopics({"zzz", "yyy"});
+  for (float p : inferred) EXPECT_FLOAT_EQ(p, 0.25f);
+}
+
+TEST(LdaTest, TopicDistributionSumsToOne) {
+  std::vector<std::vector<std::string>> documents = {
+      {"x", "y", "z"}, {"x", "x"}, {"y", "z", "z", "z"}};
+  Lda::Options options;
+  options.num_topics = 3;
+  options.iterations = 20;
+  Lda lda(options);
+  lda.Fit(documents);
+  for (size_t d = 0; d < documents.size(); ++d) {
+    double sum = 0.0;
+    for (float p : lda.DocumentTopics(d)) sum += p;
+    EXPECT_NEAR(sum, 1.0, 1e-5);
+  }
+}
+
+TEST(CrfTest, DecodeWithoutTrainingIsUnaryArgmax) {
+  PairwiseCrf crf(3, {});
+  nn::Tensor unaries = nn::Tensor::FromVector(
+      {2, 3}, {0.1f, 0.9f, 0.0f, 0.7f, 0.1f, 0.2f});
+  EXPECT_EQ(crf.Decode(unaries), (std::vector<int>{1, 0}));
+}
+
+TEST(CrfTest, LearnsPairwiseCompatibility) {
+  // Labels 0 and 1 always co-occur in a table; label 2 appears alone.
+  // After training, an ambiguous column next to a confident label-0 column
+  // should resolve to label 1 rather than 2.
+  PairwiseCrf::Options options;
+  options.epochs = 30;
+  options.learning_rate = 0.2;
+  PairwiseCrf crf(3, options);
+
+  std::vector<PairwiseCrf::Instance> instances;
+  for (int i = 0; i < 40; ++i) {
+    PairwiseCrf::Instance instance;
+    instance.unaries = nn::Tensor::FromVector(
+        {2, 3}, {2.0f, -1.0f, -1.0f, -1.0f, 2.0f, -1.0f});
+    instance.labels = {0, 1};
+    instances.push_back(instance);
+  }
+  crf.Train(instances);
+  EXPECT_GT(crf.PairwiseWeight(0, 1), crf.PairwiseWeight(0, 2));
+
+  // Ambiguous second column: unary slightly prefers 2, context flips to 1.
+  nn::Tensor unaries = nn::Tensor::FromVector(
+      {2, 3}, {4.0f, -2.0f, -2.0f, -1.0f, 0.50f, 0.55f});
+  const auto decoded = crf.Decode(unaries);
+  EXPECT_EQ(decoded[0], 0);
+  EXPECT_EQ(decoded[1], 1);
+}
+
+TEST(CrfTest, SingleColumnTableUnaffected) {
+  PairwiseCrf crf(2, {});
+  nn::Tensor unaries = nn::Tensor::FromVector({1, 2}, {0.2f, 0.8f});
+  EXPECT_EQ(crf.Decode(unaries), (std::vector<int>{1}));
+}
+
+}  // namespace
+}  // namespace doduo::baselines

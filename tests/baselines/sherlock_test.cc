@@ -1,0 +1,99 @@
+#include "doduo/baselines/sherlock.h"
+
+#include "doduo/synth/table_generator.h"
+#include "gtest/gtest.h"
+
+namespace doduo::baselines {
+namespace {
+
+TEST(SherlockFeaturesTest, DimensionIsStable) {
+  table::Column column{"c", {"a", "b"}};
+  EXPECT_EQ(static_cast<int>(ExtractSherlockFeatures(column).size()),
+            SherlockFeatureDim());
+}
+
+TEST(SherlockFeaturesTest, EmptyColumnIsZeroVector) {
+  table::Column column{"c", {}};
+  for (float v : ExtractSherlockFeatures(column)) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(SherlockFeaturesTest, CharDistributionNormalized) {
+  table::Column column{"c", {"abc", "abd"}};
+  const auto features = ExtractSherlockFeatures(column);
+  double sum = 0.0;
+  for (int i = 0; i < 40; ++i) sum += features[static_cast<size_t>(i)];
+  EXPECT_NEAR(sum, 1.0, 1e-5);
+}
+
+TEST(SherlockFeaturesTest, NumericFractionCaptured) {
+  table::Column numeric{"c", {"1", "2", "3", "4"}};
+  table::Column textual{"c", {"a", "b", "c", "d"}};
+  const auto numeric_features = ExtractSherlockFeatures(numeric);
+  const auto textual_features = ExtractSherlockFeatures(textual);
+  // stats[3] (offset 40+3) is the numeric-value fraction.
+  EXPECT_FLOAT_EQ(numeric_features[43], 1.0f);
+  EXPECT_FLOAT_EQ(textual_features[43], 0.0f);
+}
+
+TEST(SherlockFeaturesTest, DistinguishesTypes) {
+  table::Column years{"c", {"1984", "2001", "1999"}};
+  table::Column names{"c", {"george miller", "judy morris"}};
+  const auto a = ExtractSherlockFeatures(years);
+  const auto b = ExtractSherlockFeatures(names);
+  double diff = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  EXPECT_GT(diff, 0.5);
+}
+
+TEST(SherlockModelTest, LearnsEasySingleLabelTask) {
+  // Tiny 2-type problem: years vs person names.
+  table::ColumnAnnotationDataset dataset;
+  dataset.multi_label = false;
+  const int year_type = dataset.type_vocab.AddLabel("year");
+  const int name_type = dataset.type_vocab.AddLabel("name");
+  util::Rng rng(1);
+  for (int i = 0; i < 60; ++i) {
+    table::AnnotatedTable annotated;
+    table::Column years;
+    table::Column names;
+    for (int r = 0; r < 4; ++r) {
+      years.values.push_back(std::to_string(rng.UniformInt(1900, 2020)));
+      names.values.push_back(
+          std::string("person") + static_cast<char>('a' + rng.UniformInt(0, 25)));
+    }
+    annotated.table.AddColumn(std::move(years));
+    annotated.table.AddColumn(std::move(names));
+    annotated.column_types = {{year_type}, {name_type}};
+    dataset.tables.push_back(std::move(annotated));
+  }
+  table::DatasetSplits splits = table::SplitDataset(60, 0.7, 0.1, &rng);
+
+  SherlockOptions options;
+  options.epochs = 20;
+  SherlockModel model(dataset.type_vocab.size(), options);
+  model.Train(dataset, splits);
+  const auto result = model.EvaluateTypes(dataset, splits.test);
+  EXPECT_GT(result.micro.f1, 0.95);
+}
+
+TEST(SherlockModelTest, MultiLabelModeOnSynthetic) {
+  synth::KnowledgeBase kb = synth::KnowledgeBase::BuildWikiTableKb(3);
+  synth::TableGeneratorOptions generator_options;
+  generator_options.num_tables = 120;
+  synth::TableGenerator generator(&kb, generator_options);
+  util::Rng rng(4);
+  auto dataset = generator.Generate(&rng);
+  auto splits = table::SplitDataset(dataset.tables.size(), 0.7, 0.1, &rng);
+
+  SherlockOptions options;
+  options.multi_label = true;
+  options.epochs = 15;
+  SherlockModel model(dataset.type_vocab.size(), options);
+  model.Train(dataset, splits);
+  const auto result = model.EvaluateTypes(dataset, splits.test);
+  // Well above chance on 20+ classes.
+  EXPECT_GT(result.micro.f1, 0.4);
+}
+
+}  // namespace
+}  // namespace doduo::baselines

@@ -1,0 +1,72 @@
+#include "doduo/baselines/turl.h"
+
+#include "gtest/gtest.h"
+
+namespace doduo::baselines {
+namespace {
+
+// Sequence: [CLS] a a [CLS] b [SEP]  (two columns, trailing separator).
+table::SerializedTable MakeInput() {
+  table::SerializedTable input;
+  input.token_ids = {text::Vocab::kClsId, 10, 11, text::Vocab::kClsId, 12,
+                     text::Vocab::kSepId};
+  input.cls_positions = {0, 3};
+  input.row_ids = {-1, 0, 1, -1, 0, -1};
+  return input;
+}
+
+TEST(ColumnOfPositionTest, AssignsColumnsAndGlobals) {
+  const auto column_of = ColumnOfPosition(MakeInput());
+  EXPECT_EQ(column_of, (std::vector<int>{0, 0, 0, 1, 1, -1}));
+}
+
+TEST(TurlMaskTest, CrossColumnCellEdgesRemoved) {
+  const auto builder = MakeTurlVisibilityMaskBuilder();
+  const auto mask = builder(MakeInput());
+  // Cell of column 0 (pos 1) ↔ cell of column 1 (pos 4): blocked.
+  EXPECT_LT(mask.at(1, 4), -1e8f);
+  EXPECT_LT(mask.at(4, 1), -1e8f);
+  // Cell → other column's CLS: blocked (the paper's description).
+  EXPECT_LT(mask.at(1, 3), -1e8f);
+  EXPECT_LT(mask.at(4, 0), -1e8f);
+}
+
+TEST(TurlMaskTest, SameColumnAndClsChannelOpen) {
+  const auto builder = MakeTurlVisibilityMaskBuilder();
+  const auto mask = builder(MakeInput());
+  // Within column 0.
+  EXPECT_EQ(mask.at(1, 2), 0.0f);
+  EXPECT_EQ(mask.at(0, 1), 0.0f);
+  // CLS ↔ CLS cross-column channel stays open.
+  EXPECT_EQ(mask.at(0, 3), 0.0f);
+  EXPECT_EQ(mask.at(3, 0), 0.0f);
+  // Everything sees the global [SEP].
+  EXPECT_EQ(mask.at(1, 5), 0.0f);
+  EXPECT_EQ(mask.at(5, 1), 0.0f);
+}
+
+TEST(RowMaskTest, SameRowCrossColumnOpenButClsChannelClosed) {
+  const auto builder = MakeRowVisibilityMaskBuilder();
+  const auto mask = builder(MakeInput());
+  // Row 0 of column 0 (pos 1) ↔ row 0 of column 1 (pos 4): open.
+  EXPECT_EQ(mask.at(1, 4), 0.0f);
+  EXPECT_EQ(mask.at(4, 1), 0.0f);
+  // Row 1 of column 0 (pos 2) ↔ row 0 of column 1 (pos 4): blocked.
+  EXPECT_LT(mask.at(2, 4), -1e8f);
+  // CLS ↔ CLS: blocked in this variant.
+  EXPECT_LT(mask.at(0, 3), -1e8f);
+  EXPECT_LT(mask.at(3, 0), -1e8f);
+}
+
+TEST(TurlMaskTest, DiagonalAlwaysOpen) {
+  for (const auto& builder :
+       {MakeTurlVisibilityMaskBuilder(), MakeRowVisibilityMaskBuilder()}) {
+    const auto mask = builder(MakeInput());
+    for (int64_t i = 0; i < mask.rows(); ++i) {
+      EXPECT_EQ(mask.at(i, i), 0.0f) << i;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace doduo::baselines

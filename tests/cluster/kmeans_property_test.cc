@@ -1,0 +1,78 @@
+// Property sweeps for k-means: valid assignments, non-increasing inertia
+// in k, determinism — across point distributions and cluster counts.
+
+#include <set>
+#include <tuple>
+
+#include "doduo/cluster/kmeans.h"
+#include "gtest/gtest.h"
+
+namespace doduo::cluster {
+namespace {
+
+// Parameter: (num_points, dims, k, seed).
+class KMeansPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int, int>> {};
+
+TEST_P(KMeansPropertyTest, AssignmentsValidAndAllowedRange) {
+  const auto [n, d, k, seed] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(seed));
+  nn::Tensor points({n, d});
+  points.FillNormal(&rng, 1.0f);
+  KMeans::Options options;
+  options.k = k;
+  options.seed = static_cast<uint64_t>(seed) + 1;
+  KMeans kmeans(options);
+  const auto assignment = kmeans.Cluster(points);
+  ASSERT_EQ(assignment.size(), static_cast<size_t>(n));
+  for (int label : assignment) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, k);
+  }
+  EXPECT_GE(kmeans.last_inertia(), 0.0);
+}
+
+TEST_P(KMeansPropertyTest, MoreClustersNeverIncreaseInertia) {
+  const auto [n, d, k, seed] = GetParam();
+  if (k + 2 > n) GTEST_SKIP() << "not enough points for k+2";
+  util::Rng rng(static_cast<uint64_t>(seed) + 7);
+  nn::Tensor points({n, d});
+  points.FillNormal(&rng, 1.0f);
+
+  KMeans::Options small_options;
+  small_options.k = k;
+  small_options.restarts = 6;
+  small_options.seed = 3;
+  KMeans small(small_options);
+  small.Cluster(points);
+  const double small_inertia = small.last_inertia();
+
+  KMeans::Options big_options = small_options;
+  big_options.k = k + 2;
+  KMeans big(big_options);
+  big.Cluster(points);
+  // Lloyd's with restarts is a heuristic; allow a small tolerance.
+  EXPECT_LE(big.last_inertia(), small_inertia * 1.05 + 1e-9);
+}
+
+TEST_P(KMeansPropertyTest, DeterministicAcrossCalls) {
+  const auto [n, d, k, seed] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(seed) + 11);
+  nn::Tensor points({n, d});
+  points.FillNormal(&rng, 1.0f);
+  KMeans::Options options;
+  options.k = k;
+  options.seed = 5;
+  KMeans kmeans(options);
+  EXPECT_EQ(kmeans.Cluster(points), kmeans.Cluster(points));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, KMeansPropertyTest,
+    ::testing::Combine(::testing::Values(30, 100),
+                       ::testing::Values(2, 16),
+                       ::testing::Values(2, 5, 10),
+                       ::testing::Values(1, 2)));
+
+}  // namespace
+}  // namespace doduo::cluster

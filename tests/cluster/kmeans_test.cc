@@ -1,0 +1,84 @@
+#include "doduo/cluster/kmeans.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace doduo::cluster {
+namespace {
+
+TEST(KMeansTest, SeparatesWellSeparatedBlobs) {
+  util::Rng rng(1);
+  const int per_cluster = 30;
+  nn::Tensor points({3 * per_cluster, 2});
+  for (int c = 0; c < 3; ++c) {
+    const double cx = c * 20.0;
+    for (int i = 0; i < per_cluster; ++i) {
+      const int row = c * per_cluster + i;
+      points.at(row, 0) = static_cast<float>(rng.Normal(cx, 0.5));
+      points.at(row, 1) = static_cast<float>(rng.Normal(0.0, 0.5));
+    }
+  }
+  KMeans::Options options;
+  options.k = 3;
+  KMeans kmeans(options);
+  const std::vector<int> assignment = kmeans.Cluster(points);
+
+  // Every blob maps to exactly one cluster id, and ids differ per blob.
+  std::set<int> blob_ids;
+  for (int c = 0; c < 3; ++c) {
+    const int first = assignment[static_cast<size_t>(c * per_cluster)];
+    for (int i = 0; i < per_cluster; ++i) {
+      EXPECT_EQ(assignment[static_cast<size_t>(c * per_cluster + i)], first);
+    }
+    blob_ids.insert(first);
+  }
+  EXPECT_EQ(blob_ids.size(), 3u);
+}
+
+TEST(KMeansTest, AssignmentsInRange) {
+  util::Rng rng(2);
+  nn::Tensor points({50, 4});
+  points.FillNormal(&rng, 1.0f);
+  KMeans::Options options;
+  options.k = 7;
+  KMeans kmeans(options);
+  for (int label : kmeans.Cluster(points)) {
+    EXPECT_GE(label, 0);
+    EXPECT_LT(label, 7);
+  }
+  EXPECT_GT(kmeans.last_inertia(), 0.0);
+}
+
+TEST(KMeansTest, DeterministicGivenSeed) {
+  util::Rng rng(3);
+  nn::Tensor points({40, 3});
+  points.FillNormal(&rng, 1.0f);
+  KMeans::Options options;
+  options.k = 4;
+  options.seed = 9;
+  KMeans a(options);
+  KMeans b(options);
+  EXPECT_EQ(a.Cluster(points), b.Cluster(points));
+}
+
+TEST(KMeansTest, DuplicatePointsHandled) {
+  nn::Tensor points = nn::Tensor::Full({10, 2}, 1.0f);
+  KMeans::Options options;
+  options.k = 2;
+  KMeans kmeans(options);
+  const auto assignment = kmeans.Cluster(points);
+  EXPECT_EQ(assignment.size(), 10u);
+  EXPECT_NEAR(kmeans.last_inertia(), 0.0, 1e-9);
+}
+
+TEST(NormalizeRowsTest, UnitNormsAndZeroRowsStay) {
+  nn::Tensor points = nn::Tensor::FromVector({2, 2}, {3, 4, 0, 0});
+  NormalizeRows(&points);
+  EXPECT_FLOAT_EQ(points.at(0, 0), 0.6f);
+  EXPECT_FLOAT_EQ(points.at(0, 1), 0.8f);
+  EXPECT_FLOAT_EQ(points.at(1, 0), 0.0f);
+}
+
+}  // namespace
+}  // namespace doduo::cluster

@@ -1,0 +1,107 @@
+#include "doduo/cluster/matchers.h"
+
+#include "doduo/cluster/union_find.h"
+#include "gtest/gtest.h"
+
+namespace doduo::cluster {
+namespace {
+
+std::vector<table::Table> MakeTables() {
+  table::Table a("a");
+  a.AddColumn({"user_id", {"u1", "u2", "u3"}});
+  a.AddColumn({"rating", {"4.5", "3.0", "5.0"}});
+  table::Table b("b");
+  b.AddColumn({"uid", {"u2", "u4"}});
+  b.AddColumn({"score", {"2.0", "4.0"}});
+  b.AddColumn({"user_identifier", {"u9", "u8"}});
+  return {a, b};
+}
+
+TEST(UnionFindTest, Basics) {
+  UnionFind uf(5);
+  EXPECT_EQ(uf.num_components(), 5);
+  EXPECT_TRUE(uf.Union(0, 1));
+  EXPECT_FALSE(uf.Union(1, 0));
+  EXPECT_TRUE(uf.Union(3, 4));
+  EXPECT_EQ(uf.num_components(), 3);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  EXPECT_NE(uf.Find(0), uf.Find(3));
+  const auto ids = uf.ComponentIds();
+  EXPECT_EQ(ids[0], ids[1]);
+  EXPECT_EQ(ids[3], ids[4]);
+  EXPECT_NE(ids[0], ids[2]);
+}
+
+TEST(ComaNameSimilarityTest, OrderingMakesSense) {
+  EXPECT_DOUBLE_EQ(ComaMatcher::NameSimilarity("user_id", "USER_ID"), 1.0);
+  const double close =
+      ComaMatcher::NameSimilarity("user_id", "user_identifier");
+  const double far = ComaMatcher::NameSimilarity("user_id", "rating");
+  EXPECT_GT(close, far);
+  EXPECT_GT(close, 0.4);
+  EXPECT_LT(far, 0.3);
+}
+
+TEST(ComaMatcherTest, MatchesSimilarNamesAcrossTables) {
+  ComaMatcher matcher(0.4);
+  const auto matches = matcher.Match(MakeTables());
+  // Flat indices: a.user_id=0, a.rating=1, b.uid=2, b.score=3,
+  // b.user_identifier=4. Expect (0, 4) matched.
+  bool found = false;
+  for (const auto& [i, j] : matches) {
+    if (i == 0 && j == 4) found = true;
+    // Cross-table only: flat indices 0-1 are table a, 2-4 are table b.
+    EXPECT_TRUE((i < 2) != (j < 2)) << i << "," << j;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ComaMatcherTest, NoWithinTableMatches) {
+  table::Table t("t");
+  t.AddColumn({"same", {"x"}});
+  t.AddColumn({"same", {"y"}});
+  ComaMatcher matcher(0.5);
+  EXPECT_TRUE(matcher.Match({t}).empty());
+}
+
+TEST(ValueOverlapTest, SetOverlapAndNumericRanges) {
+  table::Column a{"a", {"red", "green", "blue"}};
+  table::Column b{"b", {"green", "blue", "yellow"}};
+  EXPECT_GT(DistributionBasedMatcher::ValueOverlap(a, b), 0.6);
+
+  table::Column c{"c", {"cat", "dog"}};
+  EXPECT_EQ(DistributionBasedMatcher::ValueOverlap(a, c), 0.0);
+
+  table::Column n1{"n", {"10", "20", "30"}};
+  table::Column n2{"n", {"15", "25"}};
+  table::Column n3{"n", {"1000", "2000"}};
+  EXPECT_GT(DistributionBasedMatcher::ValueOverlap(n1, n2), 0.4);
+  EXPECT_LT(DistributionBasedMatcher::ValueOverlap(n1, n3), 0.05);
+}
+
+TEST(DistributionBasedMatcherTest, MatchesOverlappingValueColumns) {
+  DistributionBasedMatcher matcher(0.3);
+  const auto matches = matcher.Match(MakeTables());
+  // a.user_id ({u1,u2,u3}) overlaps b.uid ({u2,u4}) → indices (0, 2).
+  bool found = false;
+  for (const auto& [i, j] : matches) {
+    if (i == 0 && j == 2) found = true;
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(ClustersFromMatchesTest, ComponentsBecomeClusters) {
+  const auto clusters = ClustersFromMatches(5, {{0, 2}, {2, 4}});
+  EXPECT_EQ(clusters[0], clusters[2]);
+  EXPECT_EQ(clusters[2], clusters[4]);
+  EXPECT_NE(clusters[0], clusters[1]);
+  EXPECT_NE(clusters[1], clusters[3]);
+}
+
+TEST(TotalColumnsTest, Counts) {
+  EXPECT_EQ(TotalColumns(MakeTables()), 5);
+  EXPECT_EQ(TotalColumns({}), 0);
+}
+
+}  // namespace
+}  // namespace doduo::cluster

@@ -1,0 +1,61 @@
+#include "doduo/cluster/metrics.h"
+
+#include "gtest/gtest.h"
+
+namespace doduo::cluster {
+namespace {
+
+TEST(ClusteringScoresTest, PerfectClusteringScoresOne) {
+  const auto scores = ScoreClustering({0, 0, 1, 1, 2}, {5, 5, 7, 7, 9});
+  EXPECT_NEAR(scores.homogeneity, 1.0, 1e-9);
+  EXPECT_NEAR(scores.completeness, 1.0, 1e-9);
+  EXPECT_NEAR(scores.v_measure, 1.0, 1e-9);
+}
+
+TEST(ClusteringScoresTest, LabelPermutationInvariant) {
+  const auto a = ScoreClustering({0, 0, 1, 1}, {0, 0, 1, 1});
+  const auto b = ScoreClustering({9, 9, 3, 3}, {0, 0, 1, 1});
+  EXPECT_DOUBLE_EQ(a.v_measure, b.v_measure);
+}
+
+TEST(ClusteringScoresTest, SingleClusterIsCompleteButNotHomogeneous) {
+  const auto scores = ScoreClustering({0, 0, 0, 0}, {0, 0, 1, 1});
+  EXPECT_NEAR(scores.completeness, 1.0, 1e-9);
+  EXPECT_NEAR(scores.homogeneity, 0.0, 1e-9);
+  EXPECT_NEAR(scores.v_measure, 0.0, 1e-9);
+}
+
+TEST(ClusteringScoresTest, SingletonsAreHomogeneousButIncomplete) {
+  // Each class of size 2 splits into two singletons: H(K|C) = ln 2 and
+  // H(K) = ln 4, so completeness = 1 - ln2/ln4 = 0.5 exactly.
+  const auto scores = ScoreClustering({0, 1, 2, 3}, {0, 0, 1, 1});
+  EXPECT_NEAR(scores.homogeneity, 1.0, 1e-9);
+  EXPECT_NEAR(scores.completeness, 0.5, 1e-9);
+}
+
+TEST(ClusteringScoresTest, SplittingOneClassHurtsCompletenessOnly) {
+  // Classes {0,0,1,1}; prediction splits class 0 into two clusters.
+  const auto scores = ScoreClustering({0, 2, 1, 1}, {0, 0, 1, 1});
+  EXPECT_NEAR(scores.homogeneity, 1.0, 1e-9);
+  EXPECT_LT(scores.completeness, 1.0);
+  EXPECT_GT(scores.completeness, 0.3);
+}
+
+TEST(ClusteringScoresTest, MergingTwoClassesHurtsHomogeneityOnly) {
+  const auto scores = ScoreClustering({0, 0, 0, 0, 1, 1},
+                                      {0, 0, 1, 1, 2, 2});
+  EXPECT_LT(scores.homogeneity, 1.0);
+  EXPECT_NEAR(scores.completeness, 1.0, 1e-9);
+}
+
+TEST(ClusteringScoresTest, VMeasureIsHarmonicMean) {
+  const auto scores = ScoreClustering({0, 0, 0, 1, 2, 2},
+                                      {0, 0, 1, 1, 2, 2});
+  const double expected =
+      2.0 * scores.homogeneity * scores.completeness /
+      (scores.homogeneity + scores.completeness);
+  EXPECT_NEAR(scores.v_measure, expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace doduo::cluster

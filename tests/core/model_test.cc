@@ -1,0 +1,200 @@
+#include "doduo/core/model.h"
+
+#include "doduo/nn/losses.h"
+#include "doduo/nn/optimizer.h"
+#include "gtest/gtest.h"
+
+namespace doduo::core {
+namespace {
+
+DoduoConfig SmallConfig() {
+  DoduoConfig config;
+  config.encoder.vocab_size = 60;
+  config.encoder.max_positions = 64;
+  config.encoder.hidden_dim = 16;
+  config.encoder.num_heads = 2;
+  config.encoder.ffn_dim = 32;
+  config.encoder.num_layers = 1;
+  config.encoder.dropout = 0.0f;
+  config.serializer.max_total_tokens = 64;
+  config.num_types = 5;
+  config.num_relations = 4;
+  return config;
+}
+
+table::SerializedTable MakeInput() {
+  table::SerializedTable input;
+  input.token_ids = {2, 10, 11, 2, 12, 13, 2, 14, 15, 3};
+  input.cls_positions = {0, 3, 6};
+  return input;
+}
+
+TEST(DoduoModelTest, TypeLogitsShape) {
+  DoduoConfig config = SmallConfig();
+  util::Rng rng(1);
+  DoduoModel model(config, &rng);
+  const nn::Tensor& logits = model.ForwardTypes(MakeInput());
+  EXPECT_EQ(logits.rows(), 3);  // one row per column
+  EXPECT_EQ(logits.cols(), 5);
+}
+
+TEST(DoduoModelTest, RelationLogitsShape) {
+  DoduoConfig config = SmallConfig();
+  util::Rng rng(2);
+  DoduoModel model(config, &rng);
+  const nn::Tensor& logits =
+      model.ForwardRelations(MakeInput(), {{0, 1}, {0, 2}});
+  EXPECT_EQ(logits.rows(), 2);
+  EXPECT_EQ(logits.cols(), 4);
+}
+
+TEST(DoduoModelTest, NoRelationHeadWhenZeroRelations) {
+  DoduoConfig config = SmallConfig();
+  config.num_relations = 0;
+  config.tasks = TaskSet::kTypesOnly;
+  util::Rng rng(3);
+  DoduoModel model(config, &rng);
+  // Type path still works.
+  EXPECT_EQ(model.ForwardTypes(MakeInput()).rows(), 3);
+}
+
+TEST(DoduoModelTest, TypeTrainingStepReducesLoss) {
+  DoduoConfig config = SmallConfig();
+  config.multi_label = false;
+  util::Rng rng(4);
+  DoduoModel model(config, &rng);
+  model.set_training(false);
+  nn::AdamOptions adam_options;
+  adam_options.learning_rate = 1e-2;
+  nn::Adam adam(model.Parameters(), adam_options);
+
+  const table::SerializedTable input = MakeInput();
+  const std::vector<int> labels = {0, 3, 1};
+  double first_loss = 0.0;
+  double last_loss = 0.0;
+  for (int step = 0; step < 40; ++step) {
+    const nn::Tensor& logits = model.ForwardTypes(input);
+    nn::LossResult loss = nn::SoftmaxCrossEntropy(logits, labels);
+    if (step == 0) first_loss = loss.loss;
+    last_loss = loss.loss;
+    model.BackwardTypes(loss.grad_logits);
+    adam.Step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.3);
+}
+
+TEST(DoduoModelTest, RelationTrainingStepReducesLoss) {
+  DoduoConfig config = SmallConfig();
+  config.multi_label = false;
+  util::Rng rng(5);
+  DoduoModel model(config, &rng);
+  model.set_training(false);
+  nn::AdamOptions adam_options;
+  adam_options.learning_rate = 1e-2;
+  nn::Adam adam(model.Parameters(), adam_options);
+
+  const table::SerializedTable input = MakeInput();
+  const std::vector<std::pair<int, int>> pairs = {{0, 1}, {0, 2}};
+  const std::vector<int> labels = {2, 0};
+  double first_loss = 0.0;
+  double last_loss = 0.0;
+  for (int step = 0; step < 40; ++step) {
+    const nn::Tensor& logits = model.ForwardRelations(input, pairs);
+    nn::LossResult loss = nn::SoftmaxCrossEntropy(logits, labels);
+    if (step == 0) first_loss = loss.loss;
+    last_loss = loss.loss;
+    model.BackwardRelations(loss.grad_logits);
+    adam.Step();
+  }
+  EXPECT_LT(last_loss, first_loss * 0.3);
+}
+
+TEST(DoduoModelTest, ColumnEmbeddingsShapeAndDeterminism) {
+  DoduoConfig config = SmallConfig();
+  util::Rng rng(6);
+  DoduoModel model(config, &rng);
+  model.set_training(false);
+  nn::Tensor a = model.ColumnEmbeddings(MakeInput());
+  nn::Tensor b = model.ColumnEmbeddings(MakeInput());
+  EXPECT_EQ(a.rows(), 3);
+  EXPECT_EQ(a.cols(), 16);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    EXPECT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST(DoduoModelTest, ColumnAttentionIsColumnSquare) {
+  DoduoConfig config = SmallConfig();
+  util::Rng rng(7);
+  DoduoModel model(config, &rng);
+  model.set_training(false);
+  nn::Tensor attention = model.ColumnAttention(MakeInput());
+  EXPECT_EQ(attention.rows(), 3);
+  EXPECT_EQ(attention.cols(), 3);
+  for (int64_t i = 0; i < attention.size(); ++i) {
+    EXPECT_GE(attention.data()[i], 0.0f);
+  }
+}
+
+TEST(DoduoModelTest, MaskBuilderIsApplied) {
+  DoduoConfig config = SmallConfig();
+  util::Rng rng(8);
+  DoduoModel model(config, &rng);
+  model.set_training(false);
+  const table::SerializedTable input = MakeInput();
+  const nn::Tensor unmasked = model.ForwardTypes(input);
+
+  // A mask that isolates every position: output must change.
+  model.set_mask_builder([](const table::SerializedTable& serialized) {
+    const int64_t s = static_cast<int64_t>(serialized.token_ids.size());
+    transformer::AttentionMask mask({s, s});
+    for (int64_t i = 0; i < s; ++i) {
+      for (int64_t j = 0; j < s; ++j) {
+        if (i != j) mask.at(i, j) = transformer::kAttentionMaskValue;
+      }
+    }
+    return mask;
+  });
+  const nn::Tensor masked = model.ForwardTypes(input);
+  double diff = 0.0;
+  for (int64_t i = 0; i < masked.size(); ++i) {
+    diff += std::abs(masked.data()[i] - unmasked.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-3);
+
+  model.set_mask_builder(nullptr);
+  const nn::Tensor restored = model.ForwardTypes(input);
+  for (int64_t i = 0; i < restored.size(); ++i) {
+    EXPECT_FLOAT_EQ(restored.data()[i], unmasked.data()[i]);
+  }
+}
+
+TEST(DoduoModelTest, SnapshotRestoreRoundTrip) {
+  DoduoConfig config = SmallConfig();
+  util::Rng rng(9);
+  DoduoModel model(config, &rng);
+  model.set_training(false);
+  const table::SerializedTable input = MakeInput();
+  const nn::Tensor before = model.ForwardTypes(input);
+  auto snapshot = model.SnapshotWeights();
+
+  // Perturb all parameters.
+  for (nn::Parameter* p : model.Parameters()) {
+    for (int64_t i = 0; i < p->value.size(); ++i) p->value.data()[i] += 0.1f;
+  }
+  const nn::Tensor perturbed = model.ForwardTypes(input);
+  double diff = 0.0;
+  for (int64_t i = 0; i < perturbed.size(); ++i) {
+    diff += std::abs(perturbed.data()[i] - before.data()[i]);
+  }
+  EXPECT_GT(diff, 1e-3);
+
+  model.RestoreWeights(snapshot);
+  const nn::Tensor restored = model.ForwardTypes(input);
+  for (int64_t i = 0; i < restored.size(); ++i) {
+    EXPECT_FLOAT_EQ(restored.data()[i], before.data()[i]);
+  }
+}
+
+}  // namespace
+}  // namespace doduo::core

@@ -1,0 +1,187 @@
+#include "doduo/core/trainer.h"
+
+#include "doduo/core/annotator.h"
+#include "doduo/synth/table_generator.h"
+#include "doduo/text/wordpiece_trainer.h"
+#include "gtest/gtest.h"
+
+namespace doduo::core {
+namespace {
+
+// End-to-end fixture: a tiny WikiTable-style benchmark, a WordPiece vocab
+// trained on its cell text, and a small DODUO model.
+class TrainerEndToEndTest : public ::testing::Test {
+ protected:
+  TrainerEndToEndTest()
+      : kb_(synth::KnowledgeBase::BuildWikiTableKb(11)) {
+    synth::TableGeneratorOptions gen_options;
+    gen_options.num_tables = 300;
+    gen_options.dataset_name = "mini_wikitable";
+    synth::TableGenerator generator(&kb_, gen_options);
+    util::Rng rng(12);
+    dataset_ = generator.Generate(&rng);
+    splits_ = table::SplitDataset(dataset_.tables.size(), 0.7, 0.15, &rng);
+
+    // Vocab from all cell text.
+    std::vector<std::string> lines;
+    for (const auto& annotated : dataset_.tables) {
+      for (const auto& column : annotated.table.columns()) {
+        for (const auto& value : column.values) lines.push_back(value);
+      }
+    }
+    text::WordPieceTrainer trainer({.vocab_size = 800,
+                                    .min_pair_frequency = 2});
+    vocab_ = trainer.TrainFromLines(lines);
+  }
+
+  DoduoConfig MakeConfig() const {
+    DoduoConfig config;
+    config.encoder.vocab_size = vocab_.size();
+    config.encoder.max_positions = 96;
+    config.encoder.hidden_dim = 32;
+    config.encoder.num_heads = 2;
+    config.encoder.ffn_dim = 64;
+    config.encoder.num_layers = 1;
+    config.encoder.dropout = 0.0f;
+    config.serializer.max_total_tokens = 96;
+    config.serializer.max_tokens_per_column = 12;
+    config.num_types = dataset_.type_vocab.size();
+    config.num_relations = dataset_.relation_vocab.size();
+    config.multi_label = true;
+    config.epochs = 30;
+    config.learning_rate = 2e-3;
+    return config;
+  }
+
+  synth::KnowledgeBase kb_;
+  table::ColumnAnnotationDataset dataset_;
+  table::DatasetSplits splits_;
+  text::Vocab vocab_;
+};
+
+TEST_F(TrainerEndToEndTest, ExampleBuilderTableWise) {
+  DoduoConfig config = MakeConfig();
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  table::TableSerializer serializer(&tokenizer, config.serializer);
+  ExampleBuilder builder(&serializer, &config);
+
+  auto examples = builder.BuildTypeExamples(dataset_, splits_.train);
+  EXPECT_EQ(examples.size(), splits_.train.size());
+  for (const TypeExample& example : examples) {
+    EXPECT_EQ(example.input.cls_positions.size(), example.labels.size());
+  }
+
+  auto rel_examples = builder.BuildRelationExamples(dataset_, splits_.train);
+  EXPECT_GT(rel_examples.size(), 0u);
+  for (const RelationExample& example : rel_examples) {
+    EXPECT_EQ(example.pairs.size(), example.labels.size());
+    for (const auto& [a, b] : example.pairs) {
+      EXPECT_EQ(a, 0);  // key-column relations
+      EXPECT_LT(b, static_cast<int>(example.input.cls_positions.size()));
+    }
+  }
+}
+
+TEST_F(TrainerEndToEndTest, ExampleBuilderSingleColumn) {
+  DoduoConfig config = MakeConfig();
+  config.input_mode = InputMode::kSingleColumn;
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  table::TableSerializer serializer(&tokenizer, config.serializer);
+  ExampleBuilder builder(&serializer, &config);
+
+  auto examples = builder.BuildTypeExamples(dataset_, splits_.train);
+  // One example per column, so strictly more than per table.
+  EXPECT_GT(examples.size(), splits_.train.size());
+  for (const TypeExample& example : examples) {
+    EXPECT_EQ(example.input.cls_positions.size(), 1u);
+    EXPECT_EQ(example.labels.size(), 1u);
+  }
+
+  auto rel_examples = builder.BuildRelationExamples(dataset_, splits_.train);
+  for (const RelationExample& example : rel_examples) {
+    EXPECT_EQ(example.input.cls_positions.size(), 2u);
+    EXPECT_EQ(example.pairs.size(), 1u);
+  }
+}
+
+TEST_F(TrainerEndToEndTest, MultiTaskTrainingLearnsBothTasks) {
+  DoduoConfig config = MakeConfig();
+  util::Rng rng(13);
+  DoduoModel model(config, &rng);
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  table::TableSerializer serializer(&tokenizer, config.serializer);
+  Trainer trainer(&model, &serializer);
+
+  TrainHistory history = trainer.Train(dataset_, splits_);
+  EXPECT_EQ(history.valid_type_f1.size(),
+            static_cast<size_t>(config.epochs));
+  EXPECT_GE(history.best_epoch, 0);
+
+  EvalResult types = trainer.EvaluateTypes(dataset_, splits_.test);
+  EvalResult relations = trainer.EvaluateRelations(dataset_, splits_.test);
+  // Well above chance (~1/num_types and ~1/num_relations).
+  EXPECT_GT(types.micro.f1, 0.4);
+  EXPECT_GT(relations.micro.f1, 0.4);
+}
+
+TEST_F(TrainerEndToEndTest, TypesOnlyTrainingSkipsRelations) {
+  DoduoConfig config = MakeConfig();
+  config.tasks = TaskSet::kTypesOnly;
+  config.epochs = 2;
+  util::Rng rng(14);
+  DoduoModel model(config, &rng);
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  table::TableSerializer serializer(&tokenizer, config.serializer);
+  Trainer trainer(&model, &serializer);
+  TrainHistory history = trainer.Train(dataset_, splits_);
+  EXPECT_EQ(history.valid_type_f1.size(), 2u);
+  EXPECT_TRUE(history.valid_relation_f1.empty());
+}
+
+TEST_F(TrainerEndToEndTest, AnnotatorProducesLabelNames) {
+  DoduoConfig config = MakeConfig();
+  config.epochs = 2;
+  util::Rng rng(15);
+  DoduoModel model(config, &rng);
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  table::TableSerializer serializer(&tokenizer, config.serializer);
+  Trainer trainer(&model, &serializer);
+  trainer.Train(dataset_, splits_);
+
+  Annotator annotator(&model, &serializer, &dataset_.type_vocab,
+                      &dataset_.relation_vocab);
+  const table::Table& sample = dataset_.tables[splits_.test[0]].table;
+  auto types = annotator.AnnotateTypes(sample);
+  EXPECT_EQ(types.size(), static_cast<size_t>(sample.num_columns()));
+  for (const auto& names : types) {
+    EXPECT_FALSE(names.empty());
+    for (const std::string& name : names) {
+      EXPECT_GE(dataset_.type_vocab.Id(name), 0) << name;
+    }
+  }
+  if (sample.num_columns() > 1) {
+    auto relations = annotator.AnnotateKeyRelations(sample);
+    EXPECT_EQ(relations.size(),
+              static_cast<size_t>(sample.num_columns() - 1));
+  }
+  nn::Tensor embeddings = annotator.ColumnEmbeddings(sample);
+  EXPECT_EQ(embeddings.rows(), sample.num_columns());
+  EXPECT_EQ(embeddings.cols(), config.encoder.hidden_dim);
+}
+
+TEST_F(TrainerEndToEndTest, SingleLabelModeTrains) {
+  DoduoConfig config = MakeConfig();
+  config.multi_label = false;
+  config.tasks = TaskSet::kTypesOnly;
+  config.epochs = 2;
+  util::Rng rng(16);
+  DoduoModel model(config, &rng);
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  table::TableSerializer serializer(&tokenizer, config.serializer);
+  Trainer trainer(&model, &serializer);
+  TrainHistory history = trainer.Train(dataset_, splits_);
+  EXPECT_GT(history.best_score, 0.1);
+}
+
+}  // namespace
+}  // namespace doduo::core

@@ -1,0 +1,60 @@
+#include "doduo/eval/confusion.h"
+
+#include "gtest/gtest.h"
+
+namespace doduo::eval {
+namespace {
+
+TEST(ConfusionMatrixTest, CountsAndAccuracy) {
+  ConfusionMatrix matrix(3);
+  matrix.AddAll({0, 0, 1, 2, 2}, {0, 1, 1, 2, 0});
+  EXPECT_EQ(matrix.total(), 5);
+  EXPECT_EQ(matrix.count(0, 0), 1);
+  EXPECT_EQ(matrix.count(0, 1), 1);
+  EXPECT_EQ(matrix.count(1, 1), 1);
+  EXPECT_EQ(matrix.count(2, 2), 1);
+  EXPECT_EQ(matrix.count(2, 0), 1);
+  EXPECT_EQ(matrix.count(1, 0), 0);
+  EXPECT_DOUBLE_EQ(matrix.Accuracy(), 3.0 / 5.0);
+}
+
+TEST(ConfusionMatrixTest, EmptyMatrix) {
+  ConfusionMatrix matrix(2);
+  EXPECT_EQ(matrix.total(), 0);
+  EXPECT_DOUBLE_EQ(matrix.Accuracy(), 0.0);
+  EXPECT_TRUE(matrix.TopConfusions(5).empty());
+}
+
+TEST(ConfusionMatrixTest, TopConfusionsSortedAndTruncated) {
+  ConfusionMatrix matrix(3);
+  // (0→1) ×3, (2→1) ×2, (1→0) ×1.
+  for (int i = 0; i < 3; ++i) matrix.Add(0, 1);
+  for (int i = 0; i < 2; ++i) matrix.Add(2, 1);
+  matrix.Add(1, 0);
+  matrix.Add(0, 0);  // diagonal ignored
+
+  const auto top2 = matrix.TopConfusions(2);
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].actual, 0);
+  EXPECT_EQ(top2[0].predicted, 1);
+  EXPECT_EQ(top2[0].count, 3);
+  EXPECT_EQ(top2[1].actual, 2);
+  EXPECT_EQ(top2[1].count, 2);
+
+  const auto all = matrix.TopConfusions(10);
+  EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(ConfusionMatrixTest, RenderUsesLabelNames) {
+  table::LabelVocab vocab;
+  vocab.AddLabel("rank");
+  vocab.AddLabel("ranking");
+  ConfusionMatrix matrix(2);
+  matrix.Add(1, 0);
+  matrix.Add(1, 0);
+  const std::string rendered = matrix.RenderTopConfusions(vocab, 5);
+  EXPECT_EQ(rendered, "ranking -> rank: 2\n");
+}
+
+}  // namespace
+}  // namespace doduo::eval

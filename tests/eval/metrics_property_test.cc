@@ -1,0 +1,108 @@
+// Property sweeps for the evaluation metrics: bounds, symmetry-breaking,
+// and consistency identities that must hold for random prediction sets.
+
+#include <set>
+#include <tuple>
+
+#include "doduo/eval/metrics.h"
+#include "doduo/util/rng.h"
+#include "gtest/gtest.h"
+
+namespace doduo::eval {
+namespace {
+
+// Parameter: (seed, num_classes).
+class MetricsPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  LabeledSets RandomSets(util::Rng* rng, int num_classes,
+                         int num_examples) const {
+    LabeledSets sets;
+    for (int i = 0; i < num_examples; ++i) {
+      std::vector<int> predicted;
+      std::vector<int> actual;
+      const int predicted_size = 1 + static_cast<int>(rng->NextUint64(3));
+      const int actual_size = 1 + static_cast<int>(rng->NextUint64(2));
+      for (int p = 0; p < predicted_size; ++p) {
+        predicted.push_back(
+            static_cast<int>(rng->NextUint64(num_classes)));
+      }
+      for (int a = 0; a < actual_size; ++a) {
+        actual.push_back(static_cast<int>(rng->NextUint64(num_classes)));
+      }
+      sets.predicted.push_back(std::move(predicted));
+      sets.actual.push_back(std::move(actual));
+    }
+    return sets;
+  }
+};
+
+TEST_P(MetricsPropertyTest, ScoresAreBoundedAndF1IsHarmonic) {
+  const auto [seed, num_classes] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(seed));
+  const LabeledSets sets = RandomSets(&rng, num_classes, 100);
+  const auto counts = CountPerClass(sets, num_classes);
+
+  for (const Prf& prf : {MicroPrf(counts), MacroPrf(counts)}) {
+    EXPECT_GE(prf.precision, 0.0);
+    EXPECT_LE(prf.precision, 1.0);
+    EXPECT_GE(prf.recall, 0.0);
+    EXPECT_LE(prf.recall, 1.0);
+    EXPECT_GE(prf.f1, 0.0);
+    EXPECT_LE(prf.f1, 1.0);
+  }
+  const Prf micro = MicroPrf(counts);
+  if (micro.precision + micro.recall > 0) {
+    EXPECT_NEAR(micro.f1,
+                2 * micro.precision * micro.recall /
+                    (micro.precision + micro.recall),
+                1e-12);
+  }
+}
+
+TEST_P(MetricsPropertyTest, CountsConserveDecisions) {
+  const auto [seed, num_classes] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(seed) + 7);
+  const LabeledSets sets = RandomSets(&rng, num_classes, 80);
+  const auto counts = CountPerClass(sets, num_classes);
+
+  // tp+fp = total distinct predicted labels; tp+fn = total distinct
+  // actual labels (sets deduplicate).
+  long predicted_total = 0;
+  long actual_total = 0;
+  for (const auto& c : counts) {
+    predicted_total += c.tp + c.fp;
+    actual_total += c.tp + c.fn;
+  }
+  long expected_predicted = 0;
+  long expected_actual = 0;
+  for (size_t i = 0; i < sets.predicted.size(); ++i) {
+    std::set<int> p(sets.predicted[i].begin(), sets.predicted[i].end());
+    std::set<int> a(sets.actual[i].begin(), sets.actual[i].end());
+    expected_predicted += static_cast<long>(p.size());
+    expected_actual += static_cast<long>(a.size());
+  }
+  EXPECT_EQ(predicted_total, expected_predicted);
+  EXPECT_EQ(actual_total, expected_actual);
+}
+
+TEST_P(MetricsPropertyTest, PerfectingPredictionsNeverHurts) {
+  const auto [seed, num_classes] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(seed) + 13);
+  LabeledSets sets = RandomSets(&rng, num_classes, 60);
+  const double before = MicroPrf(CountPerClass(sets, num_classes)).f1;
+  // Fix half of the predictions to the truth.
+  for (size_t i = 0; i < sets.predicted.size(); i += 2) {
+    sets.predicted[i] = sets.actual[i];
+  }
+  const double after = MicroPrf(CountPerClass(sets, num_classes)).f1;
+  EXPECT_GE(after + 1e-12, before);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, MetricsPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(2, 5, 30)));
+
+}  // namespace
+}  // namespace doduo::eval

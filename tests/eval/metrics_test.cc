@@ -1,0 +1,107 @@
+#include "doduo/eval/metrics.h"
+
+#include "doduo/eval/report.h"
+#include "gtest/gtest.h"
+
+namespace doduo::eval {
+namespace {
+
+TEST(MetricsTest, PerfectPredictionsScoreOne) {
+  LabeledSets sets = FromSingleLabels({0, 1, 2, 1}, {0, 1, 2, 1});
+  auto counts = CountPerClass(sets, 3);
+  EXPECT_DOUBLE_EQ(MicroPrf(counts).f1, 1.0);
+  EXPECT_DOUBLE_EQ(MacroPrf(counts).f1, 1.0);
+}
+
+TEST(MetricsTest, AllWrongScoresZero) {
+  LabeledSets sets = FromSingleLabels({1, 0}, {0, 1});
+  auto counts = CountPerClass(sets, 2);
+  EXPECT_DOUBLE_EQ(MicroPrf(counts).f1, 0.0);
+  EXPECT_DOUBLE_EQ(MacroPrf(counts).f1, 0.0);
+}
+
+TEST(MetricsTest, MicroSingleLabelEqualsAccuracy) {
+  // For single-label problems micro P = R = F1 = accuracy.
+  LabeledSets sets = FromSingleLabels({0, 1, 1, 0}, {0, 1, 0, 0});
+  auto counts = CountPerClass(sets, 2);
+  Prf micro = MicroPrf(counts);
+  EXPECT_DOUBLE_EQ(micro.precision, 0.75);
+  EXPECT_DOUBLE_EQ(micro.recall, 0.75);
+  EXPECT_DOUBLE_EQ(micro.f1, 0.75);
+}
+
+TEST(MetricsTest, MacroWeighsRareClassesEqually) {
+  // Class 0: 98 correct of 98; class 1: 0 correct of 2 (predicted as 0).
+  std::vector<int> predicted(100, 0);
+  std::vector<int> actual(100, 0);
+  actual[98] = 1;
+  actual[99] = 1;
+  LabeledSets sets = FromSingleLabels(predicted, actual);
+  auto counts = CountPerClass(sets, 2);
+  EXPECT_GT(MicroPrf(counts).f1, 0.95);
+  EXPECT_LT(MacroPrf(counts).f1, 0.55);  // rare class drags macro down
+}
+
+TEST(MetricsTest, MultiLabelCounts) {
+  LabeledSets sets;
+  sets.predicted = {{0, 1}, {2}};
+  sets.actual = {{0}, {1, 2}};
+  auto counts = CountPerClass(sets, 3);
+  // tp: 0 (ex0), 2 (ex1). fp: 1 (ex0). fn: 1 (ex1).
+  EXPECT_EQ(counts[0].tp, 1);
+  EXPECT_EQ(counts[1].fp, 1);
+  EXPECT_EQ(counts[1].fn, 1);
+  EXPECT_EQ(counts[2].tp, 1);
+  Prf micro = MicroPrf(counts);
+  EXPECT_DOUBLE_EQ(micro.precision, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(micro.recall, 2.0 / 3.0);
+}
+
+TEST(MetricsTest, MacroSkipsAbsentClasses) {
+  LabeledSets sets = FromSingleLabels({0, 0}, {0, 0});
+  auto counts = CountPerClass(sets, 5);  // classes 1-4 have no support
+  EXPECT_DOUBLE_EQ(MacroPrf(counts).f1, 1.0);
+}
+
+TEST(MetricsTest, ClassPrfKnownValues) {
+  ClassCounts counts;
+  counts.tp = 6;
+  counts.fp = 2;
+  counts.fn = 4;
+  Prf prf = ClassPrf(counts);
+  EXPECT_DOUBLE_EQ(prf.precision, 0.75);
+  EXPECT_DOUBLE_EQ(prf.recall, 0.6);
+  EXPECT_NEAR(prf.f1, 2 * 0.75 * 0.6 / 1.35, 1e-9);
+}
+
+TEST(MetricsTest, EmptyInputsGiveZeros) {
+  LabeledSets sets;
+  auto counts = CountPerClass(sets, 3);
+  EXPECT_DOUBLE_EQ(MicroPrf(counts).f1, 0.0);
+  EXPECT_DOUBLE_EQ(MacroPrf(counts).f1, 0.0);
+}
+
+TEST(ReportTest, PerClassRowsSortedBySupport) {
+  table::LabelVocab vocab;
+  vocab.AddLabel("common");
+  vocab.AddLabel("rare");
+  LabeledSets sets = FromSingleLabels({0, 0, 0, 1}, {0, 0, 0, 1});
+  auto rows = PerClassReport(sets, vocab);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0].label, "common");
+  EXPECT_EQ(rows[0].support, 3);
+  EXPECT_EQ(rows[1].label, "rare");
+  EXPECT_DOUBLE_EQ(rows[1].prf.f1, 1.0);
+}
+
+TEST(ReportTest, Formatting) {
+  Prf prf;
+  prf.precision = 0.9269;
+  prf.recall = 0.9221;
+  prf.f1 = 0.9245;
+  EXPECT_EQ(FormatPrf(prf), "92.69 / 92.21 / 92.45");
+  EXPECT_EQ(Pct(0.5), "50.00");
+}
+
+}  // namespace
+}  // namespace doduo::eval

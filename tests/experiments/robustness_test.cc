@@ -1,0 +1,89 @@
+// Failure-injection integration test (the paper's "clean vs dirty data"
+// future-work scenario): a model trained on clean tables must degrade
+// gracefully — not collapse — when evaluated on corrupted tables.
+
+#include "doduo/experiments/runners.h"
+#include "doduo/synth/corruption.h"
+#include "gtest/gtest.h"
+
+namespace doduo::experiments {
+namespace {
+
+TEST(RobustnessTest, DirtyEvaluationDegradesGracefully) {
+  EnvOptions options;
+  options.mode = BenchmarkMode::kWikiTable;
+  options.num_tables = 250;
+  options.vocab_size = 900;
+  options.hidden_dim = 32;
+  options.num_layers = 1;
+  options.num_heads = 2;
+  options.ffn_dim = 64;
+  options.max_positions = 96;
+  options.pretrain_epochs = 3;
+  options.corpus_fact_mentions = 1;
+  options.corpus_list_mentions = 10;
+  options.use_cache = false;
+  options.seed = 17;
+  Env env(options);
+
+  DoduoVariant variant;
+  variant.epochs = 15;
+  DoduoRun run = RunDoduo(&env, variant);
+  const double clean_f1 = run.types.micro.f1;
+  ASSERT_GT(clean_f1, 0.30) << "model failed to train at all";
+
+  // Corrupt the test tables: 15% missing cells + 10% typos.
+  util::Rng rng(18);
+  synth::CorruptionOptions corruption;
+  corruption.missing_prob = 0.15;
+  corruption.typo_prob = 0.10;
+  const auto dirty =
+      synth::CorruptDataset(env.dataset(), corruption, &rng);
+  const auto dirty_result =
+      run.trainer->EvaluateTypes(dirty, env.splits().test);
+
+  // Graceful degradation: dirty F1 may drop but must stay well above
+  // chance (~1/25) and within a bounded fraction of the clean score.
+  EXPECT_GT(dirty_result.micro.f1, 0.25);
+  EXPECT_GT(dirty_result.micro.f1, clean_f1 * 0.5);
+  EXPECT_LE(dirty_result.micro.f1, clean_f1 + 0.05);
+}
+
+TEST(RobustnessTest, HeavyCorruptionHurtsMoreThanLight) {
+  EnvOptions options;
+  options.mode = BenchmarkMode::kWikiTable;
+  options.num_tables = 250;
+  options.vocab_size = 900;
+  options.hidden_dim = 32;
+  options.num_layers = 1;
+  options.num_heads = 2;
+  options.ffn_dim = 64;
+  options.max_positions = 96;
+  options.pretrain_epochs = 3;
+  options.corpus_fact_mentions = 1;
+  options.corpus_list_mentions = 10;
+  options.use_cache = false;
+  options.seed = 19;
+  Env env(options);
+
+  DoduoVariant variant;
+  variant.epochs = 15;
+  DoduoRun run = RunDoduo(&env, variant);
+
+  util::Rng rng(20);
+  synth::CorruptionOptions light;
+  light.missing_prob = 0.05;
+  synth::CorruptionOptions heavy;
+  heavy.missing_prob = 0.6;
+  heavy.misplace_prob = 0.3;
+  const auto light_dirty = synth::CorruptDataset(env.dataset(), light, &rng);
+  const auto heavy_dirty = synth::CorruptDataset(env.dataset(), heavy, &rng);
+  const double light_f1 =
+      run.trainer->EvaluateTypes(light_dirty, env.splits().test).micro.f1;
+  const double heavy_f1 =
+      run.trainer->EvaluateTypes(heavy_dirty, env.splits().test).micro.f1;
+  EXPECT_GT(light_f1, heavy_f1);
+}
+
+}  // namespace
+}  // namespace doduo::experiments

@@ -1,0 +1,108 @@
+// Property sweeps for the loss functions across widths and batch shapes:
+// gradient-vs-finite-difference agreement, reduction invariants, and
+// degenerate-input behavior.
+
+#include <cmath>
+#include <tuple>
+
+#include "doduo/nn/losses.h"
+#include "gtest/gtest.h"
+#include "testing/gradcheck.h"
+
+namespace doduo::nn {
+namespace {
+
+// Parameter: (rows, classes, seed).
+class LossPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(LossPropertyTest, SoftmaxCrossEntropyGradcheck) {
+  const auto [rows, classes, seed] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(seed));
+  Tensor logits({rows, classes});
+  logits.FillNormal(&rng, 1.0f);
+  std::vector<int> labels(static_cast<size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    // Sprinkle ignored rows.
+    labels[static_cast<size_t>(i)] =
+        (i % 3 == 2) ? -1 : static_cast<int>(rng.NextUint64(classes));
+  }
+  bool any_valid = false;
+  for (int label : labels) any_valid |= label >= 0;
+  if (!any_valid) labels[0] = 0;
+
+  const LossResult result = SoftmaxCrossEntropy(logits, labels);
+  auto loss = [&]() { return SoftmaxCrossEntropy(logits, labels).loss; };
+  testing::ExpectInputGradientsClose(&logits, loss, result.grad_logits,
+                                     1e-3, 2e-3, 2e-3);
+}
+
+TEST_P(LossPropertyTest, BceGradcheck) {
+  const auto [rows, classes, seed] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(seed) + 50);
+  Tensor logits({rows, classes});
+  logits.FillNormal(&rng, 1.0f);
+  Tensor targets({rows, classes});
+  for (int64_t i = 0; i < targets.size(); ++i) {
+    targets.data()[i] = rng.Bernoulli(0.3) ? 1.0f : 0.0f;
+  }
+  const LossResult result =
+      BinaryCrossEntropyWithLogits(logits, targets, {});
+  auto loss = [&]() {
+    return BinaryCrossEntropyWithLogits(logits, targets, {}).loss;
+  };
+  testing::ExpectInputGradientsClose(&logits, loss, result.grad_logits,
+                                     1e-3, 2e-3, 2e-3);
+}
+
+TEST_P(LossPropertyTest, LossesAreNonNegativeAndFinite) {
+  const auto [rows, classes, seed] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(seed) + 99);
+  Tensor logits({rows, classes});
+  logits.FillNormal(&rng, 5.0f);  // large logits stress stability
+  std::vector<int> labels(static_cast<size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    labels[static_cast<size_t>(i)] =
+        static_cast<int>(rng.NextUint64(classes));
+  }
+  const LossResult ce = SoftmaxCrossEntropy(logits, labels);
+  EXPECT_GE(ce.loss, 0.0);
+  EXPECT_TRUE(std::isfinite(ce.loss));
+
+  Tensor targets({rows, classes});
+  const LossResult bce =
+      BinaryCrossEntropyWithLogits(logits, targets, {});
+  EXPECT_GE(bce.loss, 0.0);
+  EXPECT_TRUE(std::isfinite(bce.loss));
+  for (int64_t i = 0; i < bce.grad_logits.size(); ++i) {
+    EXPECT_TRUE(std::isfinite(bce.grad_logits.data()[i]));
+  }
+}
+
+TEST_P(LossPropertyTest, GradientStepReducesLoss) {
+  const auto [rows, classes, seed] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(seed) + 7);
+  Tensor logits({rows, classes});
+  logits.FillNormal(&rng, 1.0f);
+  std::vector<int> labels(static_cast<size_t>(rows));
+  for (int i = 0; i < rows; ++i) {
+    labels[static_cast<size_t>(i)] =
+        static_cast<int>(rng.NextUint64(classes));
+  }
+  const LossResult before = SoftmaxCrossEntropy(logits, labels);
+  // One plain gradient-descent step directly on the logits.
+  for (int64_t i = 0; i < logits.size(); ++i) {
+    logits.data()[i] -= 1.0f * before.grad_logits.data()[i];
+  }
+  const LossResult after = SoftmaxCrossEntropy(logits, labels);
+  EXPECT_LT(after.loss, before.loss + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, LossPropertyTest,
+    ::testing::Values(std::make_tuple(1, 2, 1), std::make_tuple(3, 5, 2),
+                      std::make_tuple(6, 3, 3),
+                      std::make_tuple(4, 30, 4)));
+
+}  // namespace
+}  // namespace doduo::nn

@@ -1,0 +1,120 @@
+#include "doduo/nn/losses.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "testing/gradcheck.h"
+
+namespace doduo::nn {
+namespace {
+
+TEST(SoftmaxCrossEntropyTest, UniformLogitsGiveLogC) {
+  Tensor logits({2, 4});
+  LossResult r = SoftmaxCrossEntropy(logits, {0, 3});
+  EXPECT_NEAR(r.loss, std::log(4.0), 1e-5);
+  EXPECT_EQ(r.num_examples, 2);
+}
+
+TEST(SoftmaxCrossEntropyTest, PerfectPredictionLowLoss) {
+  Tensor logits = Tensor::FromVector({1, 3}, {100.0f, 0.0f, 0.0f});
+  LossResult r = SoftmaxCrossEntropy(logits, {0});
+  EXPECT_LT(r.loss, 1e-4);
+}
+
+TEST(SoftmaxCrossEntropyTest, IgnoredRowsDoNotContribute) {
+  Tensor logits = Tensor::FromVector({2, 2}, {3.0f, -3.0f, 0.0f, 0.0f});
+  LossResult with_ignore = SoftmaxCrossEntropy(logits, {0, -1});
+  Tensor single = Tensor::FromVector({1, 2}, {3.0f, -3.0f});
+  LossResult alone = SoftmaxCrossEntropy(single, {0});
+  EXPECT_NEAR(with_ignore.loss, alone.loss, 1e-6);
+  EXPECT_EQ(with_ignore.num_examples, 1);
+  // Gradient of the ignored row is zero.
+  EXPECT_FLOAT_EQ(with_ignore.grad_logits.at(1, 0), 0.0f);
+  EXPECT_FLOAT_EQ(with_ignore.grad_logits.at(1, 1), 0.0f);
+}
+
+TEST(SoftmaxCrossEntropyTest, AllIgnoredGivesZero) {
+  Tensor logits({2, 3});
+  LossResult r = SoftmaxCrossEntropy(logits, {-1, -1});
+  EXPECT_EQ(r.loss, 0.0);
+  EXPECT_EQ(r.num_examples, 0);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientCheck) {
+  util::Rng rng(1);
+  Tensor logits({3, 4});
+  logits.FillNormal(&rng, 1.0f);
+  std::vector<int> labels = {2, -1, 0};
+  LossResult r = SoftmaxCrossEntropy(logits, labels);
+  auto loss = [&]() { return SoftmaxCrossEntropy(logits, labels).loss; };
+  testing::ExpectInputGradientsClose(&logits, loss, r.grad_logits, 1e-3,
+                                     1e-3, 1e-3);
+}
+
+TEST(SoftmaxCrossEntropyTest, GradientRowsSumToZero) {
+  util::Rng rng(2);
+  Tensor logits({2, 5});
+  logits.FillNormal(&rng, 1.0f);
+  LossResult r = SoftmaxCrossEntropy(logits, {1, 4});
+  for (int64_t i = 0; i < 2; ++i) {
+    double sum = 0.0;
+    for (int64_t j = 0; j < 5; ++j) sum += r.grad_logits.at(i, j);
+    EXPECT_NEAR(sum, 0.0, 1e-6);
+  }
+}
+
+TEST(BceTest, UniformLogitsGiveLog2) {
+  Tensor logits({2, 3});
+  Tensor targets({2, 3});
+  targets.at(0, 0) = 1.0f;
+  LossResult r = BinaryCrossEntropyWithLogits(logits, targets, {});
+  EXPECT_NEAR(r.loss, std::log(2.0), 1e-5);
+}
+
+TEST(BceTest, ConfidentCorrectIsLowLoss) {
+  Tensor logits = Tensor::FromVector({1, 2}, {20.0f, -20.0f});
+  Tensor targets = Tensor::FromVector({1, 2}, {1.0f, 0.0f});
+  LossResult r = BinaryCrossEntropyWithLogits(logits, targets, {});
+  EXPECT_LT(r.loss, 1e-6);
+}
+
+TEST(BceTest, RowMaskExcludesRows) {
+  Tensor logits = Tensor::FromVector({2, 2}, {5.0f, -5.0f, 0.0f, 0.0f});
+  Tensor targets = Tensor::FromVector({2, 2}, {1.0f, 0.0f, 1.0f, 1.0f});
+  LossResult masked =
+      BinaryCrossEntropyWithLogits(logits, targets, {true, false});
+  Tensor l1 = Tensor::FromVector({1, 2}, {5.0f, -5.0f});
+  Tensor t1 = Tensor::FromVector({1, 2}, {1.0f, 0.0f});
+  LossResult alone = BinaryCrossEntropyWithLogits(l1, t1, {});
+  EXPECT_NEAR(masked.loss, alone.loss, 1e-6);
+  EXPECT_FLOAT_EQ(masked.grad_logits.at(1, 0), 0.0f);
+}
+
+TEST(BceTest, GradientCheck) {
+  util::Rng rng(3);
+  Tensor logits({2, 3});
+  logits.FillNormal(&rng, 1.0f);
+  Tensor targets({2, 3});
+  targets.at(0, 1) = 1.0f;
+  targets.at(1, 0) = 1.0f;
+  targets.at(1, 2) = 1.0f;
+  std::vector<bool> mask = {true, true};
+  LossResult r = BinaryCrossEntropyWithLogits(logits, targets, mask);
+  auto loss = [&]() {
+    return BinaryCrossEntropyWithLogits(logits, targets, mask).loss;
+  };
+  testing::ExpectInputGradientsClose(&logits, loss, r.grad_logits, 1e-3,
+                                     1e-3, 1e-3);
+}
+
+TEST(BceTest, ExtremeLogitsStable) {
+  Tensor logits = Tensor::FromVector({1, 2}, {500.0f, -500.0f});
+  Tensor targets = Tensor::FromVector({1, 2}, {0.0f, 1.0f});
+  LossResult r = BinaryCrossEntropyWithLogits(logits, targets, {});
+  EXPECT_FALSE(std::isnan(r.loss));
+  EXPECT_FALSE(std::isinf(r.loss));
+  EXPECT_NEAR(r.loss, 500.0, 1.0);
+}
+
+}  // namespace
+}  // namespace doduo::nn

@@ -1,0 +1,78 @@
+// Property sweeps for Adam and the LR schedule: convergence on random
+// convex problems across dimensions and learning rates, and schedule
+// invariants.
+
+#include <cmath>
+#include <tuple>
+
+#include "doduo/nn/optimizer.h"
+#include "gtest/gtest.h"
+
+namespace doduo::nn {
+namespace {
+
+// Parameter: (dimension, learning rate scaled by 1e-3, seed).
+class AdamPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {};
+
+TEST_P(AdamPropertyTest, ConvergesOnRandomQuadratic) {
+  const auto [dim, lr_milli, seed] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(seed));
+  // Minimize sum_i a_i (w_i - t_i)^2 with random positive curvatures.
+  Parameter w("w", {dim});
+  w.value.FillNormal(&rng, 2.0f);
+  std::vector<float> curvature(static_cast<size_t>(dim));
+  std::vector<float> target(static_cast<size_t>(dim));
+  for (int i = 0; i < dim; ++i) {
+    curvature[static_cast<size_t>(i)] = rng.UniformFloat(0.5f, 3.0f);
+    target[static_cast<size_t>(i)] = rng.UniformFloat(-2.0f, 2.0f);
+  }
+  AdamOptions options;
+  options.learning_rate = lr_milli * 1e-3;
+  options.clip_norm = 0.0;
+  Adam adam({&w}, options);
+  for (int step = 0; step < 5000; ++step) {
+    for (int i = 0; i < dim; ++i) {
+      w.grad.at(i) = 2.0f * curvature[static_cast<size_t>(i)] *
+                     (w.value.at(i) - target[static_cast<size_t>(i)]);
+    }
+    adam.Step();
+  }
+  for (int i = 0; i < dim; ++i) {
+    EXPECT_NEAR(w.value.at(i), target[static_cast<size_t>(i)], 0.15f)
+        << "dim " << i;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AdamPropertyTest,
+    ::testing::Combine(::testing::Values(1, 8, 64),
+                       ::testing::Values(5, 20),  // 5e-3, 2e-2
+                       ::testing::Values(1, 2)));
+
+class SchedulePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SchedulePropertyTest, MonotoneAfterWarmupAndBounded) {
+  const int total = GetParam();
+  const int warmup = total / 10;
+  LinearDecaySchedule schedule(1.0, total, warmup);
+  double previous = 0.0;
+  for (int step = 0; step <= total + 5; ++step) {
+    const double lr = schedule.LearningRate(step);
+    EXPECT_GE(lr, 0.0);
+    EXPECT_LE(lr, 1.0 + 1e-12);
+    if (step > warmup) {
+      EXPECT_LE(lr, previous + 1e-12) << "not decaying at step " << step;
+    } else if (step > 0 && step < warmup) {
+      EXPECT_GE(lr, previous - 1e-12) << "not warming at step " << step;
+    }
+    previous = lr;
+  }
+  EXPECT_DOUBLE_EQ(schedule.LearningRate(total + 100), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, SchedulePropertyTest,
+                         ::testing::Values(10, 100, 997));
+
+}  // namespace
+}  // namespace doduo::nn

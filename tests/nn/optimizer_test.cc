@@ -1,0 +1,151 @@
+#include "doduo/nn/optimizer.h"
+
+#include <cmath>
+
+#include "doduo/nn/losses.h"
+#include "gtest/gtest.h"
+
+namespace doduo::nn {
+namespace {
+
+TEST(LinearDecayScheduleTest, DecaysToZero) {
+  LinearDecaySchedule schedule(1.0, 10);
+  EXPECT_DOUBLE_EQ(schedule.LearningRate(0), 1.0);
+  EXPECT_DOUBLE_EQ(schedule.LearningRate(5), 0.5);
+  EXPECT_DOUBLE_EQ(schedule.LearningRate(10), 0.0);
+  EXPECT_DOUBLE_EQ(schedule.LearningRate(20), 0.0);  // clamped
+}
+
+TEST(LinearDecayScheduleTest, WarmupRampsUp) {
+  LinearDecaySchedule schedule(1.0, 100, 10);
+  EXPECT_LT(schedule.LearningRate(0), 0.2);
+  EXPECT_DOUBLE_EQ(schedule.LearningRate(9), 1.0);
+  EXPECT_GT(schedule.LearningRate(10), 0.9);
+}
+
+TEST(AdamTest, StepReducesSimpleQuadratic) {
+  // Minimize f(w) = (w - 3)^2 elementwise.
+  Parameter w("w", {4});
+  w.value.Fill(0.0f);
+  AdamOptions options;
+  options.learning_rate = 0.1;
+  options.clip_norm = 0.0;
+  Adam adam({&w}, options);
+  for (int step = 0; step < 500; ++step) {
+    for (int64_t i = 0; i < 4; ++i) {
+      w.grad.at(i) = 2.0f * (w.value.at(i) - 3.0f);
+    }
+    adam.Step();
+  }
+  for (int64_t i = 0; i < 4; ++i) EXPECT_NEAR(w.value.at(i), 3.0f, 0.05f);
+}
+
+TEST(AdamTest, StepZeroesGradients) {
+  Parameter w("w", {2});
+  w.grad.Fill(1.0f);
+  Adam adam({&w}, AdamOptions{});
+  adam.Step();
+  EXPECT_FLOAT_EQ(w.grad.at(0), 0.0f);
+  EXPECT_FLOAT_EQ(w.grad.at(1), 0.0f);
+}
+
+TEST(AdamTest, ClipNormBoundsUpdate) {
+  Parameter w("w", {1});
+  w.grad.at(0) = 1e6f;
+  AdamOptions options;
+  options.learning_rate = 0.001;
+  options.clip_norm = 1.0;
+  Adam adam({&w}, options);
+  adam.Step();
+  // After clipping, |grad| = 1 so the Adam update is ~lr.
+  EXPECT_NEAR(std::fabs(w.value.at(0)), 0.001f, 5e-4f);
+}
+
+TEST(AdamTest, WeightDecayShrinksWeights) {
+  Parameter w("w", {1});
+  w.value.at(0) = 10.0f;
+  AdamOptions options;
+  options.learning_rate = 0.1;
+  options.weight_decay = 0.1;
+  options.clip_norm = 0.0;
+  Adam adam({&w}, options);
+  for (int i = 0; i < 100; ++i) {
+    // Zero task gradient; only decay acts.
+    adam.Step();
+  }
+  EXPECT_LT(std::fabs(w.value.at(0)), 10.0f);
+}
+
+TEST(AdamTest, TrainsLogisticRegressionToSeparateData) {
+  // Two separable 2-D classes; one Linear-equivalent parameter pair trained
+  // with softmax CE must reach near-zero loss.
+  util::Rng rng(7);
+  Parameter w("w", {2, 2});
+  Parameter b("b", {2});
+  w.value.FillNormal(&rng, 0.1f);
+  AdamOptions options;
+  options.learning_rate = 0.05;
+  Adam adam({&w, &b}, options);
+
+  const int n = 40;
+  Tensor x({n, 2});
+  std::vector<int> labels(n);
+  for (int i = 0; i < n; ++i) {
+    const int label = i % 2;
+    labels[static_cast<size_t>(i)] = label;
+    x.at(i, 0) = static_cast<float>(rng.Normal(label == 0 ? -2.0 : 2.0, 0.5));
+    x.at(i, 1) = static_cast<float>(rng.Normal(label == 0 ? 1.0 : -1.0, 0.5));
+  }
+
+  double final_loss = 1e9;
+  for (int epoch = 0; epoch < 200; ++epoch) {
+    Tensor logits({n, 2});
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < 2; ++j) {
+        logits.at(i, j) = x.at(i, 0) * w.value.at(0, j) +
+                          x.at(i, 1) * w.value.at(1, j) + b.value.at(j);
+      }
+    }
+    LossResult r = SoftmaxCrossEntropy(logits, labels);
+    final_loss = r.loss;
+    for (int i = 0; i < n; ++i) {
+      for (int j = 0; j < 2; ++j) {
+        w.grad.at(0, j) += x.at(i, 0) * r.grad_logits.at(i, j);
+        w.grad.at(1, j) += x.at(i, 1) * r.grad_logits.at(i, j);
+        b.grad.at(j) += r.grad_logits.at(i, j);
+      }
+    }
+    adam.Step();
+  }
+  EXPECT_LT(final_loss, 0.05);
+}
+
+TEST(ParameterTest, CountAndZero) {
+  Parameter a("a", {2, 3});
+  Parameter b("b", {4});
+  ParameterList params = {&a, &b};
+  EXPECT_EQ(ParameterCount(params), 10);
+  a.grad.Fill(1.0f);
+  b.grad.Fill(2.0f);
+  ZeroAllGrads(params);
+  EXPECT_EQ(a.grad.Sum(), 0.0);
+  EXPECT_EQ(b.grad.Sum(), 0.0);
+}
+
+TEST(ParameterTest, GradientNormAndClip) {
+  Parameter a("a", {2});
+  a.grad.at(0) = 3.0f;
+  a.grad.at(1) = 4.0f;
+  ParameterList params = {&a};
+  EXPECT_DOUBLE_EQ(GradientNorm(params), 5.0);
+  const double pre = ClipGradientNorm(params, 1.0);
+  EXPECT_DOUBLE_EQ(pre, 5.0);
+  EXPECT_NEAR(GradientNorm(params), 1.0, 1e-5);
+  // Below the clip threshold nothing changes.
+  const double pre2 = ClipGradientNorm(params, 10.0);
+  EXPECT_NEAR(pre2, 1.0, 1e-5);
+  EXPECT_NEAR(GradientNorm(params), 1.0, 1e-5);
+}
+
+}  // namespace
+}  // namespace doduo::nn

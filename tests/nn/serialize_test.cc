@@ -1,0 +1,81 @@
+#include "doduo/nn/serialize.h"
+
+#include <cstdio>
+
+#include "gtest/gtest.h"
+
+namespace doduo::nn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(SerializeTest, RoundTrip) {
+  util::Rng rng(1);
+  Parameter a("layer.w", {2, 3});
+  Parameter b("layer.b", {3});
+  a.value.FillNormal(&rng, 1.0f);
+  b.value.FillNormal(&rng, 1.0f);
+  const std::string path = TempPath("ckpt_roundtrip.bin");
+  ASSERT_TRUE(SaveParameters(path, {&a, &b}).ok());
+
+  Parameter a2("layer.w", {2, 3});
+  Parameter b2("layer.b", {3});
+  ASSERT_TRUE(LoadParameters(path, {&a2, &b2}).ok());
+  for (int64_t i = 0; i < a.value.size(); ++i) {
+    EXPECT_FLOAT_EQ(a2.value.data()[i], a.value.data()[i]);
+  }
+  for (int64_t i = 0; i < b.value.size(); ++i) {
+    EXPECT_FLOAT_EQ(b2.value.data()[i], b.value.data()[i]);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, NameMismatchFails) {
+  Parameter a("correct", {2});
+  const std::string path = TempPath("ckpt_name.bin");
+  ASSERT_TRUE(SaveParameters(path, {&a}).ok());
+  Parameter wrong("wrong", {2});
+  EXPECT_FALSE(LoadParameters(path, {&wrong}).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ShapeMismatchFails) {
+  Parameter a("p", {2, 2});
+  const std::string path = TempPath("ckpt_shape.bin");
+  ASSERT_TRUE(SaveParameters(path, {&a}).ok());
+  Parameter wrong("p", {4});
+  EXPECT_FALSE(LoadParameters(path, {&wrong}).ok());
+  Parameter wrong2("p", {2, 3});
+  EXPECT_FALSE(LoadParameters(path, {&wrong2}).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, CountMismatchFails) {
+  Parameter a("p", {2});
+  const std::string path = TempPath("ckpt_count.bin");
+  ASSERT_TRUE(SaveParameters(path, {&a}).ok());
+  Parameter b("q", {2});
+  EXPECT_FALSE(LoadParameters(path, {&a, &b}).ok());
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, MissingFileFails) {
+  Parameter a("p", {2});
+  EXPECT_FALSE(LoadParameters("/nonexistent/ckpt.bin", {&a}).ok());
+}
+
+TEST(SerializeTest, GarbageFileFails) {
+  const std::string path = TempPath("ckpt_garbage.bin");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("this is not a checkpoint", f);
+  std::fclose(f);
+  Parameter a("p", {2});
+  EXPECT_FALSE(LoadParameters(path, {&a}).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace doduo::nn

@@ -1,0 +1,121 @@
+#include "doduo/nn/tensor.h"
+
+#include "gtest/gtest.h"
+
+namespace doduo::nn {
+namespace {
+
+TEST(TensorTest, ZeroInitialized) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.ndim(), 2);
+  EXPECT_EQ(t.rows(), 2);
+  EXPECT_EQ(t.cols(), 3);
+  EXPECT_EQ(t.size(), 6);
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.data()[i], 0.0f);
+}
+
+TEST(TensorTest, EmptyDefault) {
+  Tensor t;
+  EXPECT_TRUE(t.empty());
+  EXPECT_EQ(t.ndim(), 0);
+  EXPECT_EQ(t.size(), 0);
+}
+
+TEST(TensorTest, ElementAccessRowMajor) {
+  Tensor t({2, 3});
+  t.at(0, 0) = 1.0f;
+  t.at(0, 2) = 2.0f;
+  t.at(1, 1) = 3.0f;
+  EXPECT_EQ(t.data()[0], 1.0f);
+  EXPECT_EQ(t.data()[2], 2.0f);
+  EXPECT_EQ(t.data()[4], 3.0f);
+}
+
+TEST(TensorTest, ThreeDimensionalAccess) {
+  Tensor t({2, 3, 4});
+  t.at(1, 2, 3) = 9.0f;
+  EXPECT_EQ(t.data()[1 * 12 + 2 * 4 + 3], 9.0f);
+}
+
+TEST(TensorTest, FromVector) {
+  Tensor t = Tensor::FromVector({2, 2}, {1.0f, 2.0f, 3.0f, 4.0f});
+  EXPECT_EQ(t.at(1, 0), 3.0f);
+}
+
+TEST(TensorTest, FullAndFill) {
+  Tensor t = Tensor::Full({3}, 2.5f);
+  EXPECT_EQ(t.at(2), 2.5f);
+  t.Fill(-1.0f);
+  EXPECT_EQ(t.at(0), -1.0f);
+  t.Zero();
+  EXPECT_EQ(t.at(1), 0.0f);
+}
+
+TEST(TensorTest, ReshapePreservesData) {
+  Tensor t = Tensor::FromVector({2, 3}, {1, 2, 3, 4, 5, 6});
+  t.Reshape({3, 2});
+  EXPECT_EQ(t.at(2, 1), 6.0f);
+}
+
+TEST(TensorTest, SliceRowsCopies) {
+  Tensor t = Tensor::FromVector({3, 2}, {1, 2, 3, 4, 5, 6});
+  Tensor s = t.SliceRows(1, 3);
+  EXPECT_EQ(s.rows(), 2);
+  EXPECT_EQ(s.at(0, 0), 3.0f);
+  EXPECT_EQ(s.at(1, 1), 6.0f);
+  s.at(0, 0) = 100.0f;
+  EXPECT_EQ(t.at(1, 0), 3.0f);  // original untouched
+}
+
+TEST(TensorTest, SumAndNorm) {
+  Tensor t = Tensor::FromVector({2, 2}, {3, 4, 0, 0});
+  EXPECT_DOUBLE_EQ(t.Sum(), 7.0);
+  EXPECT_DOUBLE_EQ(t.L2Norm(), 5.0);
+}
+
+TEST(TensorTest, FillUniformWithinLimit) {
+  util::Rng rng(5);
+  Tensor t({100});
+  t.FillUniform(&rng, 0.5f);
+  for (int64_t i = 0; i < t.size(); ++i) {
+    EXPECT_GE(t.at(i), -0.5f);
+    EXPECT_LE(t.at(i), 0.5f);
+  }
+}
+
+TEST(TensorTest, FillNormalRoughStddev) {
+  util::Rng rng(5);
+  Tensor t({10000});
+  t.FillNormal(&rng, 0.02f);
+  double sum_sq = 0.0;
+  for (int64_t i = 0; i < t.size(); ++i) sum_sq += t.at(i) * t.at(i);
+  EXPECT_NEAR(sum_sq / static_cast<double>(t.size()), 0.02 * 0.02,
+              0.02 * 0.02 * 0.2);
+}
+
+TEST(TensorTest, ShapeString) {
+  Tensor t({2, 3});
+  EXPECT_EQ(t.ShapeString(), "f32[2, 3]");
+}
+
+TEST(TensorTest, CopyIsDeep) {
+  Tensor a({2});
+  a.at(0) = 1.0f;
+  Tensor b = a;
+  b.at(0) = 2.0f;
+  EXPECT_EQ(a.at(0), 1.0f);
+}
+
+TEST(ShapeVolumeTest, Basic) {
+  EXPECT_EQ(ShapeVolume({2, 3, 4}), 24);
+  EXPECT_EQ(ShapeVolume({}), 1);
+}
+
+TEST(SameShapeTest, Basic) {
+  EXPECT_TRUE(SameShape(Tensor({2, 3}), Tensor({2, 3})));
+  EXPECT_FALSE(SameShape(Tensor({2, 3}), Tensor({3, 2})));
+  EXPECT_FALSE(SameShape(Tensor({6}), Tensor({2, 3})));
+}
+
+}  // namespace
+}  // namespace doduo::nn

@@ -1,0 +1,106 @@
+#include "doduo/probe/prober.h"
+
+#include "gtest/gtest.h"
+
+namespace doduo::probe {
+namespace {
+
+TEST(TemplatesTest, TypeAndRelationShapes) {
+  const Template type_tmpl = MakeTypeTemplate("judy morris");
+  EXPECT_EQ(type_tmpl.prefix, "judy morris is");
+  EXPECT_EQ(type_tmpl.suffix, ".");
+  const Template rel_tmpl = MakeRelationTemplate("happy feet", "usa");
+  EXPECT_EQ(rel_tmpl.prefix, "happy feet");
+  EXPECT_EQ(rel_tmpl.suffix, "usa .");
+}
+
+TEST(TemplatesTest, CandidatesCoverTheKb) {
+  synth::KnowledgeBase kb = synth::KnowledgeBase::BuildWikiTableKb(1);
+  const auto types = TypeCandidates(kb);
+  ASSERT_EQ(static_cast<int>(types.size()), kb.num_types());
+  EXPECT_EQ(types[0].label_id, 0);
+  // Leaf words, not dotted names.
+  for (const auto& candidate : types) {
+    EXPECT_EQ(candidate.completion.find('.'), std::string::npos);
+  }
+  const auto relations = RelationCandidates(kb);
+  ASSERT_EQ(static_cast<int>(relations.size()), kb.num_relations());
+  EXPECT_EQ(relations[0].completion, kb.relation(0).phrase);
+}
+
+// Fixture with a deliberately trained toy LM: "alpha is red ." and
+// "beta is blue ." are drilled in, so probing must rank the right color
+// first.
+class ProberTest : public ::testing::Test {
+ protected:
+  ProberTest() {
+    for (const char* token : {"alpha", "beta", "is", "red", "blue", "."}) {
+      vocab_.AddToken(token);
+    }
+    config_.vocab_size = vocab_.size();
+    config_.max_positions = 12;
+    config_.hidden_dim = 16;
+    config_.num_heads = 2;
+    config_.ffn_dim = 32;
+    config_.num_layers = 1;
+    config_.dropout = 0.0f;
+    rng_ = std::make_unique<util::Rng>(7);
+    model_ = std::make_unique<transformer::BertModel>("m", config_,
+                                                      rng_.get());
+    head_ = std::make_unique<transformer::MlmHead>("h", config_, rng_.get());
+    transformer::MlmPretrainer::Options options;
+    options.epochs = 40;
+    options.batch_size = 4;
+    options.learning_rate = 2e-3;
+    scorer_ = std::make_unique<transformer::MlmPretrainer>(
+        model_.get(), head_.get(), options);
+    tokenizer_ = std::make_unique<text::WordPieceTokenizer>(&vocab_);
+
+    std::vector<std::vector<int>> corpus;
+    for (int i = 0; i < 20; ++i) {
+      corpus.push_back(Encode("alpha is red ."));
+      corpus.push_back(Encode("beta is blue ."));
+    }
+    scorer_->Train(corpus);
+  }
+
+  std::vector<int> Encode(const std::string& sentence) const {
+    std::vector<int> ids = {text::Vocab::kClsId};
+    for (int id : tokenizer_->Encode(sentence)) ids.push_back(id);
+    ids.push_back(text::Vocab::kSepId);
+    return ids;
+  }
+
+  text::Vocab vocab_;
+  transformer::TransformerConfig config_;
+  std::unique_ptr<util::Rng> rng_;
+  std::unique_ptr<transformer::BertModel> model_;
+  std::unique_ptr<transformer::MlmHead> head_;
+  std::unique_ptr<transformer::MlmPretrainer> scorer_;
+  std::unique_ptr<text::WordPieceTokenizer> tokenizer_;
+};
+
+TEST_F(ProberTest, TrueCompletionHasLowerPerplexity) {
+  LmProber prober(scorer_.get(), tokenizer_.get());
+  const Template tmpl = MakeTypeTemplate("alpha");
+  const double ppl_red = prober.ScoreCompletion(tmpl, "red");
+  const double ppl_blue = prober.ScoreCompletion(tmpl, "blue");
+  EXPECT_LT(ppl_red, ppl_blue);
+}
+
+TEST_F(ProberTest, RankCandidatesIdentifiesTruth) {
+  LmProber prober(scorer_.get(), tokenizer_.get());
+  const std::vector<Candidate> candidates = {{0, "red"}, {1, "blue"}};
+  int rank = 0;
+  double ppl_ratio = 0.0;
+  prober.RankCandidates(MakeTypeTemplate("alpha"), candidates, 0, &rank,
+                        &ppl_ratio);
+  EXPECT_EQ(rank, 1);
+  EXPECT_LT(ppl_ratio, 1.0);  // better than the candidate average
+  prober.RankCandidates(MakeTypeTemplate("beta"), candidates, 1, &rank,
+                        &ppl_ratio);
+  EXPECT_EQ(rank, 1);
+}
+
+}  // namespace
+}  // namespace doduo::probe

@@ -1,0 +1,98 @@
+#include "doduo/synth/case_study.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace doduo::synth {
+namespace {
+
+TEST(CaseStudyTest, MatchesPublishedScenarioStatistics) {
+  CaseStudyData data = BuildCaseStudy(42);
+  EXPECT_EQ(data.tables.size(), 10u);     // 10 tables
+  EXPECT_EQ(data.num_columns(), 50);      // 50 columns
+  EXPECT_EQ(data.group_names.size(), 15u);  // 15 ground-truth clusters
+}
+
+TEST(CaseStudyTest, EveryGroupAppearsAtLeastTwice) {
+  CaseStudyData data = BuildCaseStudy(42);
+  std::vector<int> counts(15, 0);
+  for (int group : data.ground_truth) {
+    ASSERT_GE(group, 0);
+    ASSERT_LT(group, 15);
+    ++counts[static_cast<size_t>(group)];
+  }
+  for (size_t g = 0; g < counts.size(); ++g) {
+    EXPECT_GE(counts[g], 2) << data.group_names[g];
+  }
+}
+
+TEST(CaseStudyTest, GroundTruthAlignsWithColumns) {
+  CaseStudyData data = BuildCaseStudy(42);
+  int total_columns = 0;
+  for (const table::Table& table : data.tables) {
+    total_columns += table.num_columns();
+    for (int c = 0; c < table.num_columns(); ++c) {
+      EXPECT_FALSE(table.column(c).name.empty());
+      EXPECT_FALSE(table.column(c).values.empty());
+    }
+  }
+  EXPECT_EQ(total_columns, data.num_columns());
+}
+
+TEST(CaseStudyTest, SameGroupUsesDivergentNames) {
+  CaseStudyData data = BuildCaseStudy(42);
+  // Collect names per group; at least one group must have ≥2 distinct
+  // names across tables (the premise of the case study).
+  std::vector<std::set<std::string>> names(15);
+  int flat = 0;
+  for (const table::Table& table : data.tables) {
+    for (int c = 0; c < table.num_columns(); ++c, ++flat) {
+      names[static_cast<size_t>(data.ground_truth[static_cast<size_t>(flat)])]
+          .insert(table.column(c).name);
+    }
+  }
+  int divergent = 0;
+  for (const auto& group_names : names) {
+    if (group_names.size() >= 2) ++divergent;
+  }
+  EXPECT_GE(divergent, 5);
+}
+
+TEST(CaseStudyTest, ValuesLookLikeTheirGroup) {
+  CaseStudyData data = BuildCaseStudy(42);
+  int flat = 0;
+  for (const table::Table& table : data.tables) {
+    for (int c = 0; c < table.num_columns(); ++c, ++flat) {
+      const int group = data.ground_truth[static_cast<size_t>(flat)];
+      const std::string& name = data.group_names[static_cast<size_t>(group)];
+      for (const std::string& value : table.column(c).values) {
+        if (name == "ip_address") {
+          EXPECT_EQ(std::count(value.begin(), value.end(), '.'), 3) << value;
+        } else if (name == "timestamp_hhmm") {
+          EXPECT_EQ(value.size(), 5u) << value;
+          EXPECT_EQ(value[2], ':') << value;
+        } else if (name == "user_id") {
+          EXPECT_EQ(value[0], 'u') << value;
+        } else if (name == "file_path") {
+          EXPECT_EQ(value[0], '/') << value;
+        }
+      }
+    }
+  }
+}
+
+TEST(CaseStudyTest, Deterministic) {
+  CaseStudyData a = BuildCaseStudy(7);
+  CaseStudyData b = BuildCaseStudy(7);
+  ASSERT_EQ(a.tables.size(), b.tables.size());
+  for (size_t t = 0; t < a.tables.size(); ++t) {
+    for (int c = 0; c < a.tables[t].num_columns(); ++c) {
+      EXPECT_EQ(a.tables[t].column(c).values, b.tables[t].column(c).values);
+      EXPECT_EQ(a.tables[t].column(c).name, b.tables[t].column(c).name);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace doduo::synth

@@ -1,0 +1,127 @@
+#include "doduo/synth/corruption.h"
+
+#include "doduo/synth/table_generator.h"
+#include "gtest/gtest.h"
+
+namespace doduo::synth {
+namespace {
+
+table::Table MakeTable() {
+  table::Table t("t");
+  t.AddColumn({"a", {"alpha", "bravo", "charlie", "delta"}});
+  t.AddColumn({"b", {"one", "two", "three", "four"}});
+  return t;
+}
+
+TEST(CorruptionTest, ZeroRatesAreIdentity) {
+  table::Table t = MakeTable();
+  util::Rng rng(1);
+  CorruptTable(&t, {}, &rng);
+  EXPECT_EQ(t.column(0).values[0], "alpha");
+  EXPECT_EQ(t.column(1).values[3], "four");
+}
+
+TEST(CorruptionTest, MissingProbBlanksCells) {
+  util::Rng rng(2);
+  int blanked = 0;
+  int total = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    table::Table t = MakeTable();
+    CorruptionOptions options;
+    options.missing_prob = 0.4;
+    CorruptTable(&t, options, &rng);
+    for (const auto& column : t.columns()) {
+      for (const auto& value : column.values) {
+        ++total;
+        if (value.empty()) ++blanked;
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(blanked) / total, 0.4, 0.08);
+}
+
+TEST(CorruptionTest, TyposChangeButKeepRoughLength) {
+  util::Rng rng(3);
+  table::Table t = MakeTable();
+  CorruptionOptions options;
+  options.typo_prob = 1.0;
+  CorruptTable(&t, options, &rng);
+  int changed = 0;
+  for (int c = 0; c < 2; ++c) {
+    const table::Table original = MakeTable();
+    for (size_t r = 0; r < 4; ++r) {
+      const std::string& corrupted = t.column(c).values[r];
+      const std::string& clean = original.column(c).values[r];
+      EXPECT_GE(corrupted.size() + 1, clean.size());
+      EXPECT_LE(corrupted.size(), clean.size() + 1);
+      if (corrupted != clean) ++changed;
+    }
+  }
+  EXPECT_GT(changed, 4);  // replace-with-same-letter can no-op rarely
+}
+
+TEST(CorruptionTest, MisplacePreservesCellMultiset) {
+  util::Rng rng(4);
+  table::Table t = MakeTable();
+  CorruptionOptions options;
+  options.misplace_prob = 0.8;
+  CorruptTable(&t, options, &rng);
+  std::multiset<std::string> cells;
+  for (const auto& column : t.columns()) {
+    for (const auto& value : column.values) cells.insert(value);
+  }
+  const std::multiset<std::string> expected = {
+      "alpha", "bravo", "charlie", "delta", "one", "two", "three", "four"};
+  EXPECT_EQ(cells, expected);
+  // With rate 0.8 over 8 cells, at least one swap crossed columns.
+  bool any_moved = false;
+  const table::Table original = MakeTable();
+  for (int c = 0; c < 2; ++c) {
+    for (size_t r = 0; r < 4; ++r) {
+      if (t.column(c).values[r] != original.column(c).values[r]) {
+        any_moved = true;
+      }
+    }
+  }
+  EXPECT_TRUE(any_moved);
+}
+
+TEST(CorruptionTest, DatasetCopyLeavesOriginalUntouched) {
+  KnowledgeBase kb = KnowledgeBase::BuildVizNetKb(5);
+  TableGeneratorOptions generator_options;
+  generator_options.num_tables = 10;
+  generator_options.multi_label = false;
+  generator_options.with_relations = false;
+  TableGenerator generator(&kb, generator_options);
+  util::Rng rng(6);
+  const auto dataset = generator.Generate(&rng);
+
+  CorruptionOptions options;
+  options.missing_prob = 0.5;
+  const auto corrupted = CorruptDataset(dataset, options, &rng);
+
+  ASSERT_EQ(corrupted.tables.size(), dataset.tables.size());
+  // Labels preserved; originals untouched; corruption applied.
+  int original_blank = 0;
+  int corrupted_blank = 0;
+  for (size_t t = 0; t < dataset.tables.size(); ++t) {
+    EXPECT_EQ(corrupted.tables[t].column_types,
+              dataset.tables[t].column_types);
+    for (int c = 0; c < dataset.tables[t].table.num_columns(); ++c) {
+      for (size_t r = 0;
+           r < dataset.tables[t].table.column(c).values.size(); ++r) {
+        if (dataset.tables[t].table.column(c).values[r].empty()) {
+          ++original_blank;
+        }
+        if (corrupted.tables[t].table.column(c).values[r].empty()) {
+          ++corrupted_blank;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(original_blank, 0);
+  EXPECT_GT(corrupted_blank, 10);
+}
+
+}  // namespace
+}  // namespace doduo::synth

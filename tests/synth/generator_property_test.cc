@@ -1,0 +1,137 @@
+// Property sweeps for the knowledge base and table generator across seeds
+// and generator settings: structural invariants every generated benchmark
+// must satisfy.
+
+#include <tuple>
+#include <unordered_set>
+
+#include "doduo/synth/table_generator.h"
+#include "gtest/gtest.h"
+
+namespace doduo::synth {
+namespace {
+
+class KbPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(KbPropertyTest, WikiTableKbInvariants) {
+  const KnowledgeBase kb = KnowledgeBase::BuildWikiTableKb(GetParam());
+  for (int t = 0; t < kb.num_types(); ++t) {
+    const EntityType& type = kb.type(t);
+    ASSERT_FALSE(type.entities.empty()) << type.name;
+    // No duplicate surface forms inside a pool.
+    std::unordered_set<std::string> unique(type.entities.begin(),
+                                           type.entities.end());
+    ASSERT_EQ(unique.size(), type.entities.size()) << type.name;
+    // Round-trip through the name index.
+    ASSERT_EQ(kb.TypeId(type.name), t);
+  }
+  for (int r = 0; r < kb.num_relations(); ++r) {
+    const RelationType& relation = kb.relation(r);
+    ASSERT_GE(relation.subject_type, 0);
+    ASSERT_LT(relation.subject_type, kb.num_types());
+    ASSERT_GE(relation.object_type, 0);
+    ASSERT_LT(relation.object_type, kb.num_types());
+    ASSERT_FALSE(relation.phrase.empty());
+    const int subjects = static_cast<int>(
+        kb.type(relation.subject_type).entities.size());
+    const int objects = static_cast<int>(
+        kb.type(relation.object_type).entities.size());
+    for (int s = 0; s < subjects; ++s) {
+      const int object = kb.FactObject(r, s);
+      ASSERT_GE(object, 0);
+      ASSERT_LT(object, objects);
+    }
+  }
+}
+
+TEST_P(KbPropertyTest, VizNetKbInvariants) {
+  const KnowledgeBase kb = KnowledgeBase::BuildVizNetKb(GetParam());
+  ASSERT_GE(kb.num_types(), 30);
+  for (const Topic& topic : kb.topics()) {
+    for (int type : topic.other_types) {
+      ASSERT_GE(type, 0);
+      ASSERT_LT(type, kb.num_types());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KbPropertyTest,
+                         ::testing::Values(1u, 42u, 777u));
+
+// Parameter: (seed, single_column_fraction, distractor_prob).
+class GeneratorPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, double, double>> {};
+
+TEST_P(GeneratorPropertyTest, DatasetInvariantsAcrossSettings) {
+  const auto [seed, single_fraction, distractor] = GetParam();
+  KnowledgeBase kb = KnowledgeBase::BuildVizNetKb(11);
+  TableGeneratorOptions options;
+  options.num_tables = 60;
+  options.multi_label = false;
+  options.with_relations = false;
+  options.single_column_fraction = single_fraction;
+  options.distractor_prob = distractor;
+  TableGenerator generator(&kb, options);
+  util::Rng rng(static_cast<uint64_t>(seed));
+  const table::ColumnAnnotationDataset dataset = generator.Generate(&rng);
+
+  ASSERT_EQ(dataset.tables.size(), 60u);
+  for (const auto& annotated : dataset.tables) {
+    // Labels aligned with columns, all valid single labels.
+    ASSERT_EQ(annotated.column_types.size(),
+              static_cast<size_t>(annotated.table.num_columns()));
+    for (const auto& labels : annotated.column_types) {
+      ASSERT_EQ(labels.size(), 1u);
+      ASSERT_GE(labels[0], 0);
+      ASSERT_LT(labels[0], dataset.type_vocab.size());
+    }
+    // Column values come from the labeled type's pool.
+    for (int c = 0; c < annotated.table.num_columns(); ++c) {
+      const int kb_type = kb.TypeId(dataset.type_vocab.Name(
+          annotated.column_types[static_cast<size_t>(c)][0]));
+      ASSERT_GE(kb_type, 0);
+      const auto& pool = kb.type(kb_type).entities;
+      std::unordered_set<std::string> pool_set(pool.begin(), pool.end());
+      for (const auto& value : annotated.table.column(c).values) {
+        ASSERT_TRUE(pool_set.count(value) > 0)
+            << value << " not in pool of "
+            << dataset.type_vocab.Name(
+                   annotated.column_types[static_cast<size_t>(c)][0]);
+      }
+    }
+    // Rows are rectangular within a table.
+    const size_t rows = annotated.table.column(0).values.size();
+    for (const auto& column : annotated.table.columns()) {
+      ASSERT_EQ(column.values.size(), rows);
+    }
+  }
+}
+
+TEST_P(GeneratorPropertyTest, SingleColumnFractionMatches) {
+  const auto [seed, single_fraction, distractor] = GetParam();
+  KnowledgeBase kb = KnowledgeBase::BuildVizNetKb(11);
+  TableGeneratorOptions options;
+  options.num_tables = 300;
+  options.multi_label = false;
+  options.with_relations = false;
+  options.single_column_fraction = single_fraction;
+  options.distractor_prob = distractor;
+  TableGenerator generator(&kb, options);
+  util::Rng rng(static_cast<uint64_t>(seed) + 5);
+  const auto dataset = generator.Generate(&rng);
+  int singles = 0;
+  for (const auto& annotated : dataset.tables) {
+    if (annotated.table.num_columns() == 1) ++singles;
+  }
+  const double fraction = static_cast<double>(singles) / 300.0;
+  EXPECT_NEAR(fraction, single_fraction, 0.08);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Settings, GeneratorPropertyTest,
+    ::testing::Combine(::testing::Values(1, 2),
+                       ::testing::Values(0.0, 0.25),
+                       ::testing::Values(0.0, 0.5)));
+
+}  // namespace
+}  // namespace doduo::synth

@@ -1,0 +1,149 @@
+#include "doduo/synth/knowledge_base.h"
+
+#include <set>
+#include <unordered_set>
+
+#include "gtest/gtest.h"
+
+namespace doduo::synth {
+namespace {
+
+TEST(WikiTableKbTest, HasExpectedStructure) {
+  KnowledgeBase kb = KnowledgeBase::BuildWikiTableKb(42);
+  EXPECT_GE(kb.num_types(), 20);
+  EXPECT_GE(kb.num_relations(), 20);
+  EXPECT_GE(kb.topics().size(), 10u);
+  EXPECT_GE(kb.TypeId("film.film"), 0);
+  EXPECT_GE(kb.TypeId("film.director"), 0);
+  EXPECT_GE(kb.RelationId("film.directed_by"), 0);
+  EXPECT_EQ(kb.TypeId("no.such.type"), -1);
+  EXPECT_EQ(kb.RelationId("no.such.relation"), -1);
+}
+
+TEST(WikiTableKbTest, PersonTypesShareSurfaceForms) {
+  KnowledgeBase kb = KnowledgeBase::BuildWikiTableKb(42);
+  const auto& directors = kb.type(kb.TypeId("film.director")).entities;
+  const auto& producers = kb.type(kb.TypeId("film.producer")).entities;
+  std::unordered_set<std::string> director_set(directors.begin(),
+                                               directors.end());
+  int shared = 0;
+  for (const std::string& producer : producers) {
+    if (director_set.count(producer) > 0) ++shared;
+  }
+  // The George Miller problem: substantial but partial overlap.
+  EXPECT_GT(shared, 20);
+  EXPECT_LT(shared, static_cast<int>(producers.size()));
+}
+
+TEST(WikiTableKbTest, PersonTypesCarrySecondaryLabel) {
+  KnowledgeBase kb = KnowledgeBase::BuildWikiTableKb(42);
+  const EntityType& director = kb.type(kb.TypeId("film.director"));
+  ASSERT_EQ(director.extra_labels.size(), 1u);
+  EXPECT_EQ(director.extra_labels[0], "people.person");
+  EXPECT_TRUE(kb.type(kb.TypeId("film.film")).extra_labels.empty());
+}
+
+TEST(WikiTableKbTest, FactsAreConsistentAndInRange) {
+  KnowledgeBase kb = KnowledgeBase::BuildWikiTableKb(42);
+  const int directed_by = kb.RelationId("film.directed_by");
+  const RelationType& rel = kb.relation(directed_by);
+  EXPECT_EQ(rel.subject_type, kb.TypeId("film.film"));
+  EXPECT_EQ(rel.object_type, kb.TypeId("film.director"));
+  const int num_films =
+      static_cast<int>(kb.type(rel.subject_type).entities.size());
+  const int num_directors =
+      static_cast<int>(kb.type(rel.object_type).entities.size());
+  for (int film = 0; film < num_films; ++film) {
+    const int director = kb.FactObject(directed_by, film);
+    EXPECT_GE(director, 0);
+    EXPECT_LT(director, num_directors);
+    // Deterministic: same query, same answer.
+    EXPECT_EQ(kb.FactObject(directed_by, film), director);
+  }
+}
+
+TEST(WikiTableKbTest, DeterministicAcrossBuilds) {
+  KnowledgeBase a = KnowledgeBase::BuildWikiTableKb(7);
+  KnowledgeBase b = KnowledgeBase::BuildWikiTableKb(7);
+  ASSERT_EQ(a.num_types(), b.num_types());
+  for (int t = 0; t < a.num_types(); ++t) {
+    EXPECT_EQ(a.type(t).name, b.type(t).name);
+    EXPECT_EQ(a.type(t).entities, b.type(t).entities);
+  }
+  for (int r = 0; r < a.num_relations(); ++r) {
+    EXPECT_EQ(a.FactObject(r, 0), b.FactObject(r, 0));
+  }
+}
+
+TEST(WikiTableKbTest, TopicsReferenceValidIds) {
+  KnowledgeBase kb = KnowledgeBase::BuildWikiTableKb(42);
+  for (const Topic& topic : kb.topics()) {
+    if (topic.key_type >= 0) EXPECT_LT(topic.key_type, kb.num_types());
+    ASSERT_EQ(topic.other_types.size(), topic.relations.size())
+        << topic.name;
+    for (size_t i = 0; i < topic.other_types.size(); ++i) {
+      EXPECT_LT(topic.other_types[i], kb.num_types());
+      const int rel = topic.relations[i];
+      if (rel >= 0) {
+        EXPECT_LT(rel, kb.num_relations());
+        // Relation endpoints must match the topic's column types.
+        EXPECT_EQ(kb.relation(rel).subject_type, topic.key_type);
+        EXPECT_EQ(kb.relation(rel).object_type, topic.other_types[i]);
+      }
+    }
+    EXPECT_GT(topic.weight, 0.0);
+  }
+}
+
+TEST(VizNetKbTest, HasNumericTypesOfTable5) {
+  KnowledgeBase kb = KnowledgeBase::BuildVizNetKb(42);
+  for (const char* type : {"plays", "rank", "depth", "sales", "year",
+                           "fileSize", "elevation", "ranking", "age",
+                           "birthDate", "grades", "weight", "isbn",
+                           "capacity", "code"}) {
+    EXPECT_GE(kb.TypeId(type), 0) << type;
+  }
+  EXPECT_GE(kb.num_types(), 30);
+  EXPECT_EQ(kb.num_relations(), 0);
+}
+
+TEST(VizNetKbTest, AmbiguousPoolsShared) {
+  KnowledgeBase kb = KnowledgeBase::BuildVizNetKb(42);
+  // birthPlace and city draw from the identical pool; so do origin and
+  // country.
+  EXPECT_EQ(kb.type(kb.TypeId("birthPlace")).entities,
+            kb.type(kb.TypeId("city")).entities);
+  EXPECT_EQ(kb.type(kb.TypeId("origin")).entities,
+            kb.type(kb.TypeId("country")).entities);
+}
+
+TEST(VizNetKbTest, TopicsHaveNoRelations) {
+  KnowledgeBase kb = KnowledgeBase::BuildVizNetKb(42);
+  for (const Topic& topic : kb.topics()) {
+    EXPECT_EQ(topic.key_type, -1) << topic.name;
+    EXPECT_TRUE(topic.relations.empty()) << topic.name;
+    EXPECT_FALSE(topic.other_types.empty()) << topic.name;
+  }
+}
+
+TEST(VizNetKbTest, RareTopicsHaveLowWeight) {
+  KnowledgeBase kb = KnowledgeBase::BuildVizNetKb(42);
+  double census_weight = -1.0;
+  double people_weight = -1.0;
+  for (const Topic& topic : kb.topics()) {
+    if (topic.name == "census") census_weight = topic.weight;
+    if (topic.name == "people") people_weight = topic.weight;
+  }
+  ASSERT_GT(census_weight, 0.0);
+  ASSERT_GT(people_weight, 0.0);
+  EXPECT_LT(census_weight, people_weight / 4.0);
+}
+
+TEST(LeafWordTest, StripsDottedPrefix) {
+  EXPECT_EQ(KnowledgeBase::LeafWord("film.director"), "director");
+  EXPECT_EQ(KnowledgeBase::LeafWord("a.b.c"), "c");
+  EXPECT_EQ(KnowledgeBase::LeafWord("year"), "year");
+}
+
+}  // namespace
+}  // namespace doduo::synth

@@ -1,0 +1,70 @@
+#include "doduo/synth/statistics.h"
+
+#include "doduo/synth/table_generator.h"
+#include "gtest/gtest.h"
+
+namespace doduo::synth {
+namespace {
+
+TEST(StatisticsTest, CountsMatchHandBuiltDataset) {
+  table::ColumnAnnotationDataset dataset;
+  dataset.type_vocab.AddLabel("year");
+  dataset.type_vocab.AddLabel("name");
+  dataset.type_vocab.AddLabel("unused");
+
+  table::AnnotatedTable t1;
+  t1.table.AddColumn({"y", {"1999", "2004"}});
+  t1.table.AddColumn({"n", {"ada", "grace"}});
+  t1.column_types = {{0}, {1}};
+  t1.relations.push_back({0, 1, {0}});
+  dataset.tables.push_back(std::move(t1));
+
+  table::AnnotatedTable t2;
+  t2.table.AddColumn({"y", {"1984", "2020", "7"}});
+  t2.column_types = {{0}};
+  dataset.tables.push_back(std::move(t2));
+
+  const DatasetStatistics stats = ComputeStatistics(dataset);
+  EXPECT_EQ(stats.num_tables, 2);
+  EXPECT_EQ(stats.num_columns, 3);
+  EXPECT_EQ(stats.num_relations, 1);
+  EXPECT_EQ(stats.num_types_used, 2);  // "unused" has no support
+  EXPECT_DOUBLE_EQ(stats.avg_columns_per_table, 1.5);
+  EXPECT_DOUBLE_EQ(stats.avg_rows_per_table, 2.5);
+
+  ASSERT_EQ(stats.types.size(), 2u);
+  EXPECT_EQ(stats.types[0].name, "year");  // support 2 > 1
+  EXPECT_EQ(stats.types[0].support, 2);
+  EXPECT_DOUBLE_EQ(stats.types[0].numeric_fraction, 1.0);
+  EXPECT_EQ(stats.types[1].name, "name");
+  EXPECT_DOUBLE_EQ(stats.types[1].numeric_fraction, 0.0);
+}
+
+TEST(StatisticsTest, RenderListsHeadlineAndTypes) {
+  KnowledgeBase kb = KnowledgeBase::BuildVizNetKb(3);
+  TableGeneratorOptions options;
+  options.num_tables = 40;
+  options.multi_label = false;
+  options.with_relations = false;
+  TableGenerator generator(&kb, options);
+  util::Rng rng(4);
+  const auto dataset = generator.Generate(&rng);
+  const auto stats = ComputeStatistics(dataset);
+  EXPECT_EQ(stats.num_tables, 40);
+  EXPECT_GT(stats.num_types_used, 5);
+
+  const std::string rendered = RenderStatistics(stats, 5);
+  EXPECT_NE(rendered.find("tables: 40"), std::string::npos);
+  EXPECT_NE(rendered.find("%num"), std::string::npos);
+}
+
+TEST(StatisticsTest, EmptyDataset) {
+  table::ColumnAnnotationDataset dataset;
+  const auto stats = ComputeStatistics(dataset);
+  EXPECT_EQ(stats.num_tables, 0);
+  EXPECT_EQ(stats.num_columns, 0);
+  EXPECT_TRUE(stats.types.empty());
+}
+
+}  // namespace
+}  // namespace doduo::synth

@@ -1,0 +1,219 @@
+#include "doduo/synth/table_generator.h"
+
+#include <unordered_set>
+
+#include "doduo/synth/corpus_generator.h"
+#include "gtest/gtest.h"
+
+namespace doduo::synth {
+namespace {
+
+TEST(TableGeneratorTest, GeneratesRequestedTableCount) {
+  KnowledgeBase kb = KnowledgeBase::BuildWikiTableKb(1);
+  TableGeneratorOptions options;
+  options.num_tables = 50;
+  TableGenerator generator(&kb, options);
+  util::Rng rng(2);
+  table::ColumnAnnotationDataset dataset = generator.Generate(&rng);
+  EXPECT_EQ(dataset.tables.size(), 50u);
+  EXPECT_TRUE(dataset.multi_label);
+  EXPECT_GT(dataset.type_vocab.size(), 20);
+  EXPECT_GT(dataset.relation_vocab.size(), 20);
+}
+
+TEST(TableGeneratorTest, EveryColumnHasLabelsAndValues) {
+  KnowledgeBase kb = KnowledgeBase::BuildWikiTableKb(1);
+  TableGeneratorOptions options;
+  options.num_tables = 40;
+  TableGenerator generator(&kb, options);
+  util::Rng rng(3);
+  table::ColumnAnnotationDataset dataset = generator.Generate(&rng);
+  for (const table::AnnotatedTable& annotated : dataset.tables) {
+    ASSERT_EQ(annotated.column_types.size(),
+              static_cast<size_t>(annotated.table.num_columns()));
+    EXPECT_GE(annotated.table.num_columns(), 2);
+    for (int c = 0; c < annotated.table.num_columns(); ++c) {
+      EXPECT_FALSE(annotated.column_types[static_cast<size_t>(c)].empty());
+      EXPECT_FALSE(annotated.table.column(c).values.empty());
+      for (int label : annotated.column_types[static_cast<size_t>(c)]) {
+        EXPECT_GE(label, 0);
+        EXPECT_LT(label, dataset.type_vocab.size());
+      }
+    }
+  }
+}
+
+TEST(TableGeneratorTest, RelationalCellsMatchKbFacts) {
+  KnowledgeBase kb = KnowledgeBase::BuildWikiTableKb(1);
+  TableGeneratorOptions options;
+  options.num_tables = 60;
+  TableGenerator generator(&kb, options);
+  util::Rng rng(4);
+  table::ColumnAnnotationDataset dataset = generator.Generate(&rng);
+
+  int checked = 0;
+  for (const table::AnnotatedTable& annotated : dataset.tables) {
+    for (const table::RelationAnnotation& rel : annotated.relations) {
+      ASSERT_EQ(rel.labels.size(), 1u);
+      const int kb_rel = kb.RelationId(
+          dataset.relation_vocab.Name(rel.labels[0]));
+      ASSERT_GE(kb_rel, 0);
+      const auto& subjects = kb.type(kb.relation(kb_rel).subject_type);
+      const auto& objects = kb.type(kb.relation(kb_rel).object_type);
+      const auto& key_values =
+          annotated.table.column(rel.column_a).values;
+      const auto& other_values =
+          annotated.table.column(rel.column_b).values;
+      ASSERT_EQ(key_values.size(), other_values.size());
+      for (size_t r = 0; r < key_values.size(); ++r) {
+        // Find the subject index and check the object matches the fact.
+        int subject = -1;
+        for (size_t s = 0; s < subjects.entities.size(); ++s) {
+          if (subjects.entities[s] == key_values[r]) {
+            subject = static_cast<int>(s);
+            break;
+          }
+        }
+        ASSERT_GE(subject, 0) << key_values[r];
+        const int object = kb.FactObject(kb_rel, subject);
+        EXPECT_EQ(other_values[r],
+                  objects.entities[static_cast<size_t>(object)]);
+        ++checked;
+      }
+    }
+  }
+  EXPECT_GT(checked, 100);  // facts actually exercised
+}
+
+TEST(TableGeneratorTest, MultiLabelColumnsExist) {
+  KnowledgeBase kb = KnowledgeBase::BuildWikiTableKb(1);
+  TableGeneratorOptions options;
+  options.num_tables = 80;
+  TableGenerator generator(&kb, options);
+  util::Rng rng(5);
+  table::ColumnAnnotationDataset dataset = generator.Generate(&rng);
+  bool found_multi = false;
+  for (const table::AnnotatedTable& annotated : dataset.tables) {
+    for (const auto& labels : annotated.column_types) {
+      if (labels.size() > 1) found_multi = true;
+    }
+  }
+  EXPECT_TRUE(found_multi);
+}
+
+TEST(TableGeneratorTest, VizNetModeSingleLabelNoRelations) {
+  KnowledgeBase kb = KnowledgeBase::BuildVizNetKb(1);
+  TableGeneratorOptions options;
+  options.num_tables = 50;
+  options.multi_label = false;
+  options.with_relations = false;
+  TableGenerator generator(&kb, options);
+  util::Rng rng(6);
+  table::ColumnAnnotationDataset dataset = generator.Generate(&rng);
+  EXPECT_FALSE(dataset.multi_label);
+  EXPECT_EQ(dataset.num_relations(), 0);
+  for (const table::AnnotatedTable& annotated : dataset.tables) {
+    for (const auto& labels : annotated.column_types) {
+      EXPECT_EQ(labels.size(), 1u);
+    }
+  }
+}
+
+TEST(TableGeneratorTest, SingleColumnFractionProducesSingles) {
+  KnowledgeBase kb = KnowledgeBase::BuildVizNetKb(1);
+  TableGeneratorOptions options;
+  options.num_tables = 100;
+  options.multi_label = false;
+  options.with_relations = false;
+  options.single_column_fraction = 0.4;
+  TableGenerator generator(&kb, options);
+  util::Rng rng(7);
+  table::ColumnAnnotationDataset dataset = generator.Generate(&rng);
+  int singles = 0;
+  for (const table::AnnotatedTable& annotated : dataset.tables) {
+    if (annotated.table.num_columns() == 1) ++singles;
+  }
+  EXPECT_GT(singles, 20);
+  EXPECT_LT(singles, 60);
+}
+
+TEST(TableGeneratorTest, DeterministicGivenSeed) {
+  KnowledgeBase kb = KnowledgeBase::BuildWikiTableKb(1);
+  TableGeneratorOptions options;
+  options.num_tables = 20;
+  TableGenerator generator(&kb, options);
+  util::Rng rng1(9);
+  util::Rng rng2(9);
+  auto a = generator.Generate(&rng1);
+  auto b = generator.Generate(&rng2);
+  ASSERT_EQ(a.tables.size(), b.tables.size());
+  for (size_t i = 0; i < a.tables.size(); ++i) {
+    ASSERT_EQ(a.tables[i].table.num_columns(),
+              b.tables[i].table.num_columns());
+    for (int c = 0; c < a.tables[i].table.num_columns(); ++c) {
+      EXPECT_EQ(a.tables[i].table.column(c).values,
+                b.tables[i].table.column(c).values);
+    }
+  }
+}
+
+TEST(TableGeneratorTest, CellMissingProbDropsCells) {
+  KnowledgeBase kb = KnowledgeBase::BuildWikiTableKb(1);
+  TableGeneratorOptions options;
+  options.num_tables = 40;
+  options.cell_missing_prob = 0.3;
+  TableGenerator generator(&kb, options);
+  util::Rng rng(10);
+  auto dataset = generator.Generate(&rng);
+  int empty = 0;
+  int total = 0;
+  for (const auto& annotated : dataset.tables) {
+    for (const auto& column : annotated.table.columns()) {
+      for (const auto& value : column.values) {
+        ++total;
+        if (value.empty()) ++empty;
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(empty) / total, 0.3, 0.08);
+}
+
+TEST(CorpusGeneratorTest, ContainsTypeAndFactStatements) {
+  KnowledgeBase kb = KnowledgeBase::BuildWikiTableKb(1);
+  CorpusGenerator generator(&kb);
+  CorpusOptions options;
+  options.fact_mentions = 1;
+  options.type_mentions = 1;
+  std::vector<std::string> corpus = generator.Generate(options);
+  EXPECT_GT(corpus.size(), 2000u);
+
+  // A known fact sentence must appear: film 0's director.
+  const int directed_by = kb.RelationId("film.directed_by");
+  const auto& films = kb.type(kb.TypeId("film.film")).entities;
+  const auto& directors = kb.type(kb.TypeId("film.director")).entities;
+  const std::string expected = CorpusGenerator::RelationStatement(
+      films[0], "is directed by",
+      directors[static_cast<size_t>(kb.FactObject(directed_by, 0))]);
+  std::unordered_set<std::string> sentences(corpus.begin(), corpus.end());
+  EXPECT_TRUE(sentences.count(expected) > 0) << expected;
+
+  // And a type statement for the same film.
+  EXPECT_TRUE(sentences.count(
+                  CorpusGenerator::TypeStatement(films[0], "film.film")) > 0);
+}
+
+TEST(CorpusGeneratorTest, MentionCountsScaleCorpus) {
+  KnowledgeBase kb = KnowledgeBase::BuildWikiTableKb(1);
+  CorpusGenerator generator(&kb);
+  CorpusOptions small;
+  small.fact_mentions = 1;
+  small.type_mentions = 1;
+  CorpusOptions large;
+  large.fact_mentions = 2;
+  large.type_mentions = 2;
+  EXPECT_GT(generator.Generate(large).size(),
+            generator.Generate(small).size());
+}
+
+}  // namespace
+}  // namespace doduo::synth

@@ -1,0 +1,112 @@
+#include "doduo/table/dataset.h"
+
+#include <set>
+
+#include "gtest/gtest.h"
+
+namespace doduo::table {
+namespace {
+
+AnnotatedTable MakeAnnotated() {
+  AnnotatedTable at;
+  at.table.AddColumn({"film", {"Happy Feet", "Cars"}});
+  at.table.AddColumn({"director", {"George Miller", "John Lasseter"}});
+  at.table.AddColumn({"country", {"USA", "UK"}});
+  at.column_types = {{0}, {1, 2}, {3}};
+  at.relations = {{0, 1, {0}}, {0, 2, {1}}};
+  return at;
+}
+
+TEST(LabelVocabTest, AddAndLookup) {
+  LabelVocab vocab;
+  EXPECT_EQ(vocab.AddLabel("film"), 0);
+  EXPECT_EQ(vocab.AddLabel("person"), 1);
+  EXPECT_EQ(vocab.AddLabel("film"), 0);  // idempotent
+  EXPECT_EQ(vocab.Id("person"), 1);
+  EXPECT_EQ(vocab.Id("missing"), -1);
+  EXPECT_EQ(vocab.Name(1), "person");
+  EXPECT_EQ(vocab.size(), 2);
+}
+
+TEST(SplitDatasetTest, PartitionIsDisjointAndComplete) {
+  util::Rng rng(1);
+  DatasetSplits splits = SplitDataset(100, 0.7, 0.1, &rng);
+  EXPECT_EQ(splits.train.size(), 70u);
+  EXPECT_EQ(splits.valid.size(), 10u);
+  EXPECT_EQ(splits.test.size(), 20u);
+  std::set<size_t> all;
+  for (const auto* part : {&splits.train, &splits.valid, &splits.test}) {
+    for (size_t idx : *part) {
+      EXPECT_TRUE(all.insert(idx).second) << "duplicate index " << idx;
+      EXPECT_LT(idx, 100u);
+    }
+  }
+  EXPECT_EQ(all.size(), 100u);
+}
+
+TEST(SplitDatasetTest, DeterministicGivenSeed) {
+  util::Rng rng1(5);
+  util::Rng rng2(5);
+  DatasetSplits a = SplitDataset(50, 0.8, 0.1, &rng1);
+  DatasetSplits b = SplitDataset(50, 0.8, 0.1, &rng2);
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+}
+
+TEST(SubsampleIndicesTest, TakesPrefix) {
+  std::vector<size_t> indices = {5, 3, 9, 1};
+  EXPECT_EQ(SubsampleIndices(indices, 0.5),
+            (std::vector<size_t>{5, 3}));
+  EXPECT_EQ(SubsampleIndices(indices, 1.0), indices);
+  // Never empty.
+  EXPECT_EQ(SubsampleIndices(indices, 0.01).size(), 1u);
+}
+
+TEST(ShuffleAllRowsTest, LabelsUntouched) {
+  std::vector<AnnotatedTable> tables = {MakeAnnotated()};
+  util::Rng rng(2);
+  ShuffleAllRows(&tables, &rng);
+  EXPECT_EQ(tables[0].column_types[1], (std::vector<int>{1, 2}));
+  // Row alignment preserved.
+  for (size_t r = 0; r < 2; ++r) {
+    const std::string& film = tables[0].table.column(0).values[r];
+    const std::string& director = tables[0].table.column(1).values[r];
+    if (film == "Happy Feet") EXPECT_EQ(director, "George Miller");
+    if (film == "Cars") EXPECT_EQ(director, "John Lasseter");
+  }
+}
+
+TEST(ShuffleAllColumnsTest, LabelsFollowColumns) {
+  std::vector<AnnotatedTable> tables = {MakeAnnotated()};
+  util::Rng rng(3);
+  ShuffleAllColumns(&tables, &rng);
+  const AnnotatedTable& t = tables[0];
+  for (int c = 0; c < 3; ++c) {
+    const std::string& name = t.table.column(c).name;
+    const std::vector<int>& types =
+        t.column_types[static_cast<size_t>(c)];
+    if (name == "film") EXPECT_EQ(types, (std::vector<int>{0}));
+    if (name == "director") EXPECT_EQ(types, (std::vector<int>{1, 2}));
+    if (name == "country") EXPECT_EQ(types, (std::vector<int>{3}));
+  }
+  // Relations still connect film→director and film→country.
+  for (const RelationAnnotation& rel : t.relations) {
+    EXPECT_EQ(t.table.column(rel.column_a).name, "film");
+    if (rel.labels[0] == 0) {
+      EXPECT_EQ(t.table.column(rel.column_b).name, "director");
+    } else {
+      EXPECT_EQ(t.table.column(rel.column_b).name, "country");
+    }
+  }
+}
+
+TEST(DatasetCountsTest, ColumnsAndRelations) {
+  ColumnAnnotationDataset dataset;
+  dataset.tables.push_back(MakeAnnotated());
+  dataset.tables.push_back(MakeAnnotated());
+  EXPECT_EQ(dataset.num_columns(), 6);
+  EXPECT_EQ(dataset.num_relations(), 4);
+}
+
+}  // namespace
+}  // namespace doduo::table

@@ -1,0 +1,57 @@
+#include "doduo/table/render.h"
+
+#include "gtest/gtest.h"
+
+namespace doduo::table {
+namespace {
+
+Table MakeTable() {
+  Table t("t");
+  t.AddColumn({"film", {"happy feet", "cars"}});
+  t.AddColumn({"year", {"2006", "2006"}});
+  return t;
+}
+
+TEST(RenderTableTest, ContainsHeaderSeparatorAndValues) {
+  const std::string out = RenderTable(MakeTable());
+  EXPECT_NE(out.find("| film"), std::string::npos);
+  EXPECT_NE(out.find("| year"), std::string::npos);
+  EXPECT_NE(out.find("|------"), std::string::npos);
+  EXPECT_NE(out.find("happy feet"), std::string::npos);
+  EXPECT_NE(out.find("2006"), std::string::npos);
+}
+
+TEST(RenderTableTest, TruncatesLongTables) {
+  Table t("t");
+  Column column;
+  column.name = "n";
+  for (int i = 0; i < 50; ++i) column.values.push_back(std::to_string(i));
+  t.AddColumn(std::move(column));
+  const std::string out = RenderTable(t, /*max_rows=*/3);
+  EXPECT_NE(out.find("| 2"), std::string::npos);
+  EXPECT_EQ(out.find("| 3 "), std::string::npos);
+  EXPECT_NE(out.find("..."), std::string::npos);
+}
+
+TEST(RenderTableTest, ClipsWideCells) {
+  Table t("t");
+  t.AddColumn({"c", {"a very very very long cell value indeed"}});
+  const std::string out = RenderTable(t, 5, /*max_cell_width=*/10);
+  EXPECT_EQ(out.find("indeed"), std::string::npos);
+}
+
+TEST(RenderTableTest, RaggedColumnsPadWithEmpty) {
+  Table t("t");
+  t.AddColumn({"a", {"1", "2", "3"}});
+  t.AddColumn({"b", {"x"}});
+  const std::string out = RenderTable(t);
+  EXPECT_NE(out.find("| 3"), std::string::npos);  // no crash on ragged rows
+}
+
+TEST(RenderTableTest, EmptyTable) {
+  Table t("t");
+  EXPECT_EQ(RenderTable(t), "(empty table)\n");
+}
+
+}  // namespace
+}  // namespace doduo::table

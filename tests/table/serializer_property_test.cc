@@ -1,0 +1,137 @@
+// Property sweeps for the table serializer: for any table and any budget,
+// the output must respect the hard invariants the model depends on —
+// one [CLS] per column at the recorded positions, the total-token cap,
+// aligned row ids, and budget monotonicity.
+
+#include <tuple>
+
+#include "doduo/synth/table_generator.h"
+#include "doduo/table/serializer.h"
+#include "doduo/text/wordpiece_trainer.h"
+#include "gtest/gtest.h"
+
+namespace doduo::table {
+namespace {
+
+// Parameter: (max_tokens_per_column, max_total_tokens, include_metadata).
+class SerializerPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, bool>> {
+ protected:
+  SerializerPropertyTest()
+      : kb_(synth::KnowledgeBase::BuildWikiTableKb(5)) {
+    synth::TableGeneratorOptions options;
+    options.num_tables = 30;
+    synth::TableGenerator generator(&kb_, options);
+    util::Rng rng(6);
+    dataset_ = generator.Generate(&rng);
+
+    std::vector<std::string> lines;
+    for (const auto& annotated : dataset_.tables) {
+      for (const auto& column : annotated.table.columns()) {
+        for (const auto& value : column.values) lines.push_back(value);
+      }
+    }
+    text::WordPieceTrainer trainer({.vocab_size = 600,
+                                    .min_pair_frequency = 2});
+    vocab_ = trainer.TrainFromLines(lines);
+  }
+
+  synth::KnowledgeBase kb_;
+  ColumnAnnotationDataset dataset_;
+  text::Vocab vocab_;
+};
+
+TEST_P(SerializerPropertyTest, InvariantsHoldForEveryTable) {
+  const auto [per_column, total, metadata] = GetParam();
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  SerializerOptions options;
+  options.max_tokens_per_column = per_column;
+  options.max_total_tokens = total;
+  options.include_metadata = metadata;
+  TableSerializer serializer(&tokenizer, options);
+
+  for (const auto& annotated : dataset_.tables) {
+    const Table& table = annotated.table;
+    const SerializedTable s = serializer.SerializeTable(table);
+
+    // Hard cap respected.
+    ASSERT_LE(static_cast<int>(s.token_ids.size()), total);
+    // Aligned auxiliary arrays.
+    ASSERT_EQ(s.row_ids.size(), s.token_ids.size());
+    // One [CLS] per column, exactly at the recorded positions.
+    ASSERT_EQ(s.cls_positions.size(),
+              static_cast<size_t>(table.num_columns()));
+    int cls_count = 0;
+    for (int id : s.token_ids) {
+      if (id == text::Vocab::kClsId) ++cls_count;
+    }
+    ASSERT_EQ(cls_count, table.num_columns());
+    for (size_t c = 0; c < s.cls_positions.size(); ++c) {
+      ASSERT_EQ(s.token_ids[static_cast<size_t>(s.cls_positions[c])],
+                text::Vocab::kClsId);
+      if (c > 0) ASSERT_GT(s.cls_positions[c], s.cls_positions[c - 1]);
+    }
+    // Trailing separator, and structural tokens carry row -1.
+    ASSERT_EQ(s.token_ids.back(), text::Vocab::kSepId);
+    for (size_t p = 0; p < s.token_ids.size(); ++p) {
+      if (s.token_ids[p] == text::Vocab::kClsId ||
+          s.token_ids[p] == text::Vocab::kSepId) {
+        ASSERT_EQ(s.row_ids[p], -1);
+      }
+    }
+  }
+}
+
+TEST_P(SerializerPropertyTest, SingleColumnAndPairShareInvariants) {
+  const auto [per_column, total, metadata] = GetParam();
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  SerializerOptions options;
+  options.max_tokens_per_column = per_column;
+  options.max_total_tokens = total;
+  options.include_metadata = metadata;
+  TableSerializer serializer(&tokenizer, options);
+
+  for (const auto& annotated : dataset_.tables) {
+    const Table& table = annotated.table;
+    const SerializedTable single = serializer.SerializeColumn(table, 0);
+    ASSERT_EQ(single.cls_positions.size(), 1u);
+    ASSERT_LE(static_cast<int>(single.token_ids.size()), total);
+    if (table.num_columns() >= 2) {
+      const SerializedTable pair =
+          serializer.SerializeColumnPair(table, 0, 1);
+      ASSERT_EQ(pair.cls_positions.size(), 2u);
+      ASSERT_LE(static_cast<int>(pair.token_ids.size()), total);
+    }
+  }
+}
+
+TEST_P(SerializerPropertyTest, BudgetMonotonicity) {
+  const auto [per_column, total, metadata] = GetParam();
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  SerializerOptions small_options;
+  small_options.max_tokens_per_column = per_column;
+  small_options.max_total_tokens = total;
+  small_options.include_metadata = metadata;
+  SerializerOptions big_options = small_options;
+  big_options.max_tokens_per_column = per_column * 2;
+  TableSerializer small_serializer(&tokenizer, small_options);
+  TableSerializer big_serializer(&tokenizer, big_options);
+
+  for (const auto& annotated : dataset_.tables) {
+    ASSERT_GE(big_serializer.SerializeTable(annotated.table)
+                  .token_ids.size(),
+              small_serializer.SerializeTable(annotated.table)
+                  .token_ids.size());
+  }
+  EXPECT_LE(big_serializer.MaxSupportedColumns(),
+            small_serializer.MaxSupportedColumns());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Budgets, SerializerPropertyTest,
+    ::testing::Combine(::testing::Values(1, 4, 8, 32),
+                       ::testing::Values(48, 96, 192),
+                       ::testing::Bool()));
+
+}  // namespace
+}  // namespace doduo::table

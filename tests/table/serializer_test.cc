@@ -1,0 +1,157 @@
+#include "doduo/table/serializer.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+
+namespace doduo::table {
+namespace {
+
+using text::Vocab;
+
+class SerializerTest : public ::testing::Test {
+ protected:
+  SerializerTest() {
+    for (const char* token :
+         {"happy", "feet", "cars", "george", "miller", "john", "lasseter",
+          "usa", "uk", "film", "director", "country"}) {
+      vocab_.AddToken(token);
+    }
+  }
+
+  Table MakeTable() const {
+    Table t("t");
+    t.AddColumn({"film", {"Happy Feet", "Cars"}});
+    t.AddColumn({"director", {"George Miller", "John Lasseter"}});
+    t.AddColumn({"country", {"USA", "UK"}});
+    return t;
+  }
+
+  Vocab vocab_;
+};
+
+TEST_F(SerializerTest, TableWiseHasOneClsPerColumnAndTrailingSep) {
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  TableSerializer serializer(&tokenizer, {});
+  SerializedTable s = serializer.SerializeTable(MakeTable());
+  ASSERT_EQ(s.cls_positions.size(), 3u);
+  for (int64_t pos : s.cls_positions) {
+    EXPECT_EQ(s.token_ids[static_cast<size_t>(pos)], Vocab::kClsId);
+  }
+  EXPECT_EQ(s.token_ids.back(), Vocab::kSepId);
+  // Exactly 3 CLS markers and 1 SEP in the whole sequence.
+  EXPECT_EQ(std::count(s.token_ids.begin(), s.token_ids.end(),
+                       Vocab::kClsId),
+            3);
+  EXPECT_EQ(std::count(s.token_ids.begin(), s.token_ids.end(),
+                       Vocab::kSepId),
+            1);
+}
+
+TEST_F(SerializerTest, TableWiseContainsColumnValuesInOrder) {
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  TableSerializer serializer(&tokenizer, {});
+  SerializedTable s = serializer.SerializeTable(MakeTable());
+  // Column 0 tokens appear between cls_positions[0] and cls_positions[1].
+  std::vector<int> col0(s.token_ids.begin() + s.cls_positions[0] + 1,
+                        s.token_ids.begin() + s.cls_positions[1]);
+  EXPECT_EQ(col0, (std::vector<int>{vocab_.Id("happy"), vocab_.Id("feet"),
+                                    vocab_.Id("cars")}));
+}
+
+TEST_F(SerializerTest, MaxTokensPerColumnTruncates) {
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  SerializerOptions options;
+  options.max_tokens_per_column = 1;
+  TableSerializer serializer(&tokenizer, options);
+  SerializedTable s = serializer.SerializeTable(MakeTable());
+  // 3 × ([CLS] + 1 token) + [SEP].
+  EXPECT_EQ(s.token_ids.size(), 7u);
+}
+
+TEST_F(SerializerTest, TotalBudgetShrinksPerColumnShare) {
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  SerializerOptions options;
+  options.max_tokens_per_column = 100;
+  options.max_total_tokens = 10;  // 3 cols: (10 - 3 - 1)/3 = 2 tokens each
+  TableSerializer serializer(&tokenizer, options);
+  SerializedTable s = serializer.SerializeTable(MakeTable());
+  EXPECT_LE(s.token_ids.size(), 10u);
+  ASSERT_EQ(s.cls_positions.size(), 3u);
+  EXPECT_EQ(s.cls_positions[1] - s.cls_positions[0], 3);  // CLS + 2 tokens
+}
+
+TEST_F(SerializerTest, MetadataPrependsColumnName) {
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  SerializerOptions options;
+  options.include_metadata = true;
+  TableSerializer serializer(&tokenizer, options);
+  SerializedTable s = serializer.SerializeTable(MakeTable());
+  EXPECT_EQ(s.token_ids[static_cast<size_t>(s.cls_positions[0]) + 1],
+            vocab_.Id("film"));
+  EXPECT_EQ(s.token_ids[static_cast<size_t>(s.cls_positions[1]) + 1],
+            vocab_.Id("director"));
+}
+
+TEST_F(SerializerTest, SingleColumnSerialization) {
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  TableSerializer serializer(&tokenizer, {});
+  SerializedTable s = serializer.SerializeColumn(MakeTable(), 1);
+  ASSERT_EQ(s.cls_positions.size(), 1u);
+  EXPECT_EQ(s.token_ids.front(), Vocab::kClsId);
+  EXPECT_EQ(s.token_ids.back(), Vocab::kSepId);
+  EXPECT_EQ(s.token_ids[1], vocab_.Id("george"));
+}
+
+TEST_F(SerializerTest, ColumnPairSerialization) {
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  TableSerializer serializer(&tokenizer, {});
+  SerializedTable s = serializer.SerializeColumnPair(MakeTable(), 0, 2);
+  ASSERT_EQ(s.cls_positions.size(), 2u);
+  EXPECT_EQ(s.token_ids[static_cast<size_t>(s.cls_positions[0])],
+            Vocab::kClsId);
+  EXPECT_EQ(s.token_ids[static_cast<size_t>(s.cls_positions[1])],
+            Vocab::kClsId);
+  // Two [SEP]s: one after each column.
+  EXPECT_EQ(std::count(s.token_ids.begin(), s.token_ids.end(),
+                       Vocab::kSepId),
+            2);
+  EXPECT_EQ(s.token_ids.back(), Vocab::kSepId);
+}
+
+TEST_F(SerializerTest, MaxSupportedColumnsMatchesPaperFormula) {
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  // Paper Table 8 with 512-token BERT: 8 tokens/col → 56 cols,
+  // 16 → 30, 32 → 15.
+  for (const auto& [per_col, expected] :
+       std::vector<std::pair<int, int>>{{8, 56}, {16, 30}, {32, 15}}) {
+    SerializerOptions options;
+    options.max_tokens_per_column = per_col;
+    options.max_total_tokens = 512;
+    TableSerializer serializer(&tokenizer, options);
+    EXPECT_EQ(serializer.MaxSupportedColumns(), expected) << per_col;
+  }
+}
+
+TEST_F(SerializerTest, UnknownValuesBecomeUnk) {
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  TableSerializer serializer(&tokenizer, {});
+  Table t("t");
+  t.AddColumn({"x", {"zzzunknownzzz"}});
+  SerializedTable s = serializer.SerializeTable(t);
+  EXPECT_EQ(s.token_ids[1], Vocab::kUnkId);
+}
+
+TEST_F(SerializerTest, EmptyColumnStillGetsCls) {
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  TableSerializer serializer(&tokenizer, {});
+  Table t("t");
+  t.AddColumn({"empty", {}});
+  t.AddColumn({"film", {"Cars"}});
+  SerializedTable s = serializer.SerializeTable(t);
+  ASSERT_EQ(s.cls_positions.size(), 2u);
+  EXPECT_EQ(s.cls_positions[1] - s.cls_positions[0], 1);  // only the CLS
+}
+
+}  // namespace
+}  // namespace doduo::table

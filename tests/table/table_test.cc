@@ -1,0 +1,99 @@
+#include "doduo/table/table.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+
+namespace doduo::table {
+namespace {
+
+Table MakeTable() {
+  Table t("t1");
+  t.AddColumn({"film", {"Happy Feet", "Cars", "Flushed Away"}});
+  t.AddColumn({"director", {"George Miller", "John Lasseter", "David Bowers"}});
+  t.AddColumn({"country", {"USA", "UK", "France"}});
+  return t;
+}
+
+TEST(TableTest, BasicAccessors) {
+  Table t = MakeTable();
+  EXPECT_EQ(t.id(), "t1");
+  EXPECT_EQ(t.num_columns(), 3);
+  EXPECT_EQ(t.num_rows(), 3);
+  EXPECT_EQ(t.column(1).name, "director");
+  EXPECT_EQ(t.column(2).values[0], "USA");
+}
+
+TEST(TableTest, RaggedRowCount) {
+  Table t;
+  t.AddColumn({"a", {"1", "2"}});
+  t.AddColumn({"b", {"1", "2", "3", "4"}});
+  EXPECT_EQ(t.num_rows(), 4);
+}
+
+TEST(TableTest, ShuffleRowsKeepsRowsAligned) {
+  Table t = MakeTable();
+  util::Rng rng(1);
+  t.ShuffleRows(&rng);
+  // Each (film, director) pair must still co-occur on the same row.
+  for (int r = 0; r < 3; ++r) {
+    const std::string& film = t.column(0).values[static_cast<size_t>(r)];
+    const std::string& director =
+        t.column(1).values[static_cast<size_t>(r)];
+    if (film == "Happy Feet") EXPECT_EQ(director, "George Miller");
+    if (film == "Cars") EXPECT_EQ(director, "John Lasseter");
+    if (film == "Flushed Away") EXPECT_EQ(director, "David Bowers");
+  }
+}
+
+TEST(TableTest, ShuffleRowsPreservesMultiset) {
+  Table t = MakeTable();
+  util::Rng rng(2);
+  auto before = t.column(0).values;
+  t.ShuffleRows(&rng);
+  auto after = t.column(0).values;
+  std::sort(before.begin(), before.end());
+  std::sort(after.begin(), after.end());
+  EXPECT_EQ(before, after);
+}
+
+TEST(TableTest, PermuteColumns) {
+  Table t = MakeTable();
+  t.PermuteColumns({2, 0, 1});
+  EXPECT_EQ(t.column(0).name, "country");
+  EXPECT_EQ(t.column(1).name, "film");
+  EXPECT_EQ(t.column(2).name, "director");
+}
+
+TEST(TableFromCsvTest, WithHeader) {
+  auto result = TableFromCsvRows({{"name", "age"}, {"ada", "36"}},
+                                 /*has_header=*/true, "csv1");
+  ASSERT_TRUE(result.ok());
+  const Table& t = result.value();
+  EXPECT_EQ(t.num_columns(), 2);
+  EXPECT_EQ(t.column(0).name, "name");
+  EXPECT_EQ(t.column(1).values[0], "36");
+}
+
+TEST(TableFromCsvTest, WithoutHeader) {
+  auto result = TableFromCsvRows({{"ada", "36"}}, /*has_header=*/false, "c");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().column(0).name, "");
+  EXPECT_EQ(result.value().column(0).values[0], "ada");
+}
+
+TEST(TableFromCsvTest, EmptyFails) {
+  EXPECT_FALSE(TableFromCsvRows({}, true, "x").ok());
+  EXPECT_FALSE(TableFromCsvRows({{}}, false, "x").ok());
+}
+
+TEST(TableFromCsvTest, ShortRowsTolerated) {
+  auto result = TableFromCsvRows({{"a", "b"}, {"1"}}, /*has_header=*/true,
+                                 "x");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().column(0).values.size(), 1u);
+  EXPECT_TRUE(result.value().column(1).values.empty());
+}
+
+}  // namespace
+}  // namespace doduo::table

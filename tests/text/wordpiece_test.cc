@@ -1,0 +1,129 @@
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "doduo/text/wordpiece_tokenizer.h"
+#include "doduo/text/wordpiece_trainer.h"
+#include "gtest/gtest.h"
+
+namespace doduo::text {
+namespace {
+
+TEST(WordPieceTokenizerTest, GreedyLongestMatch) {
+  Vocab vocab;
+  vocab.AddToken("un");
+  vocab.AddToken("##aff");
+  vocab.AddToken("##able");
+  vocab.AddToken("unaff");
+  WordPieceTokenizer tokenizer(&vocab);
+  // "unaffable": longest first match is "unaff", then "##able".
+  auto ids = tokenizer.TokenizeWord("unaffable");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(vocab.Token(ids[0]), "unaff");
+  EXPECT_EQ(vocab.Token(ids[1]), "##able");
+}
+
+TEST(WordPieceTokenizerTest, UnknownWhenUndecomposable) {
+  Vocab vocab;
+  vocab.AddToken("a");
+  WordPieceTokenizer tokenizer(&vocab);
+  EXPECT_EQ(tokenizer.TokenizeWord("xyz"),
+            (std::vector<int>{Vocab::kUnkId}));
+  EXPECT_EQ(tokenizer.TokenizeWord(""), (std::vector<int>{Vocab::kUnkId}));
+}
+
+TEST(WordPieceTokenizerTest, OverlongWordIsUnk) {
+  Vocab vocab;
+  vocab.AddToken("a");
+  vocab.AddToken("##a");
+  WordPieceTokenizer tokenizer(&vocab, /*max_chars_per_word=*/4);
+  EXPECT_EQ(tokenizer.TokenizeWord("aaaaa"),
+            (std::vector<int>{Vocab::kUnkId}));
+  EXPECT_EQ(tokenizer.TokenizeWord("aaaa").size(), 4u);
+}
+
+TEST(WordPieceTokenizerTest, EncodeRunsFullPipeline) {
+  Vocab vocab;
+  vocab.AddToken("happy");
+  vocab.AddToken("feet");
+  WordPieceTokenizer tokenizer(&vocab);
+  auto ids = tokenizer.Encode("Happy Feet");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(tokenizer.Decode(ids),
+            (std::vector<std::string>{"happy", "feet"}));
+}
+
+TEST(WordPieceTrainerTest, SeedsAllCharacters) {
+  WordPieceTrainer trainer({.vocab_size = 10, .min_pair_frequency = 2});
+  std::unordered_map<std::string, int64_t> counts = {{"ab", 1}};
+  Vocab vocab = trainer.Train(counts);
+  EXPECT_TRUE(vocab.Contains("a"));
+  EXPECT_TRUE(vocab.Contains("##b"));
+}
+
+TEST(WordPieceTrainerTest, MergesFrequentPairs) {
+  WordPieceTrainer trainer({.vocab_size = 100, .min_pair_frequency = 2});
+  std::unordered_map<std::string, int64_t> counts = {{"abc", 50},
+                                                     {"abd", 50}};
+  Vocab vocab = trainer.Train(counts);
+  // "a"+"##b" is the most frequent pair and must have merged.
+  EXPECT_TRUE(vocab.Contains("ab"));
+}
+
+TEST(WordPieceTrainerTest, RespectsVocabSizeLimit) {
+  // Character seeding is unconditional (5 specials + 3 word-initial chars +
+  // 15 continuation chars = 23 here); with the limit already reached, no
+  // merges may be added on top.
+  WordPieceTrainer trainer({.vocab_size = 12, .min_pair_frequency = 1});
+  std::unordered_map<std::string, int64_t> counts = {
+      {"abcdef", 10}, {"ghijkl", 10}, {"mnopqr", 10}};
+  Vocab vocab = trainer.Train(counts);
+  EXPECT_EQ(vocab.size(), 23);
+  // With headroom, merges are added but stay within the limit (+1 for the
+  // merge that crosses the threshold).
+  WordPieceTrainer bigger({.vocab_size = 30, .min_pair_frequency = 1});
+  Vocab vocab2 = bigger.Train(counts);
+  EXPECT_GT(vocab2.size(), 23);
+  EXPECT_LE(vocab2.size(), 30);
+}
+
+TEST(WordPieceTrainerTest, TrainedVocabRoundTripsTrainingWords) {
+  WordPieceTrainer trainer({.vocab_size = 200, .min_pair_frequency = 1});
+  std::vector<std::string> lines = {
+      "george miller directed happy feet",
+      "george miller produced mad max",
+      "judy morris directed happy feet too",
+  };
+  Vocab vocab = trainer.TrainFromLines(lines);
+  WordPieceTokenizer tokenizer(&vocab);
+  // Every training word must tokenize without UNK.
+  for (const char* word : {"george", "miller", "directed", "happy", "feet"}) {
+    auto ids = tokenizer.TokenizeWord(word);
+    for (int id : ids) EXPECT_NE(id, Vocab::kUnkId) << word;
+  }
+  // A fully out-of-alphabet word degrades to UNK, not a crash.
+  auto unk = tokenizer.TokenizeWord("zzz999zzz");
+  EXPECT_FALSE(unk.empty());
+}
+
+TEST(WordPieceTrainerTest, FrequentWordBecomesSinglePiece) {
+  WordPieceTrainer trainer({.vocab_size = 500, .min_pair_frequency = 2});
+  std::vector<std::string> lines;
+  for (int i = 0; i < 50; ++i) lines.push_back("doduo annotates columns");
+  Vocab vocab = trainer.TrainFromLines(lines);
+  WordPieceTokenizer tokenizer(&vocab);
+  EXPECT_EQ(tokenizer.TokenizeWord("doduo").size(), 1u);
+  EXPECT_EQ(tokenizer.TokenizeWord("annotates").size(), 1u);
+}
+
+TEST(WordPieceTrainerTest, DeterministicAcrossRuns) {
+  WordPieceTrainer trainer({.vocab_size = 60, .min_pair_frequency = 1});
+  std::vector<std::string> lines = {"aa bb cc aa bb", "cc dd ee ff"};
+  Vocab v1 = trainer.TrainFromLines(lines);
+  Vocab v2 = trainer.TrainFromLines(lines);
+  ASSERT_EQ(v1.size(), v2.size());
+  for (int i = 0; i < v1.size(); ++i) EXPECT_EQ(v1.Token(i), v2.Token(i));
+}
+
+}  // namespace
+}  // namespace doduo::text

@@ -1,0 +1,133 @@
+#include "doduo/transformer/mlm.h"
+
+#include <cmath>
+
+#include "doduo/text/vocab.h"
+#include "gtest/gtest.h"
+
+namespace doduo::transformer {
+namespace {
+
+TransformerConfig SmallConfig() {
+  TransformerConfig config;
+  config.vocab_size = 40;
+  config.max_positions = 16;
+  config.hidden_dim = 16;
+  config.num_heads = 2;
+  config.ffn_dim = 32;
+  config.num_layers = 1;
+  config.dropout = 0.0f;
+  return config;
+}
+
+TEST(MlmHeadTest, LogitsShape) {
+  util::Rng rng(1);
+  TransformerConfig config = SmallConfig();
+  MlmHead head("mlm", config, &rng);
+  nn::Tensor hidden({5, 16});
+  hidden.FillNormal(&rng, 1.0f);
+  const nn::Tensor& logits = head.Forward(hidden);
+  EXPECT_EQ(logits.rows(), 5);
+  EXPECT_EQ(logits.cols(), 40);
+}
+
+TEST(MlmPretrainerTest, MaskingRespectsSpecialsAndRate) {
+  util::Rng rng(2);
+  TransformerConfig config = SmallConfig();
+  BertModel model("bert", config, &rng);
+  MlmHead head("mlm", config, &rng);
+  MlmPretrainer::Options options;
+  options.mask_prob = 0.5f;
+  MlmPretrainer pretrainer(&model, &head, options);
+
+  util::Rng mask_rng(3);
+  int masked_count = 0;
+  int total = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    std::vector<int> ids = {text::Vocab::kClsId, 10, 11, 12, 13,
+                            text::Vocab::kSepId};
+    std::vector<int> labels = pretrainer.MaskSequence(&ids, &mask_rng);
+    // Specials never selected.
+    EXPECT_EQ(labels[0], -1);
+    EXPECT_EQ(labels[5], -1);
+    EXPECT_EQ(ids[0], text::Vocab::kClsId);
+    EXPECT_EQ(ids[5], text::Vocab::kSepId);
+    for (size_t i = 1; i <= 4; ++i) {
+      ++total;
+      if (labels[i] >= 0) {
+        ++masked_count;
+        EXPECT_EQ(labels[i], static_cast<int>(10 + i - 1));
+      } else {
+        EXPECT_EQ(ids[i], static_cast<int>(10 + i - 1));  // untouched
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(masked_count) / total, 0.5, 0.08);
+}
+
+TEST(MlmPretrainerTest, SelectedTokensFollow801010) {
+  util::Rng rng(4);
+  TransformerConfig config = SmallConfig();
+  BertModel model("bert", config, &rng);
+  MlmHead head("mlm", config, &rng);
+  MlmPretrainer::Options options;
+  options.mask_prob = 1.0f - 1e-6f;  // select (nearly) everything
+  MlmPretrainer pretrainer(&model, &head, options);
+
+  util::Rng mask_rng(5);
+  int mask_token = 0;
+  int kept = 0;
+  int randomized = 0;
+  int total = 0;
+  for (int trial = 0; trial < 500; ++trial) {
+    std::vector<int> ids = {20, 21, 22, 23};
+    std::vector<int> labels = pretrainer.MaskSequence(&ids, &mask_rng);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      if (labels[i] < 0) continue;
+      ++total;
+      if (ids[i] == text::Vocab::kMaskId) {
+        ++mask_token;
+      } else if (ids[i] == labels[i]) {
+        ++kept;
+      } else {
+        ++randomized;
+        EXPECT_GE(ids[i], text::Vocab::kNumSpecialTokens);
+      }
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(mask_token) / total, 0.8, 0.05);
+  EXPECT_NEAR(static_cast<double>(kept) / total, 0.1, 0.04);
+  EXPECT_NEAR(static_cast<double>(randomized) / total, 0.1, 0.04);
+}
+
+TEST(MlmPretrainerTest, LearnsDeterministicCompletion) {
+  // Corpus where token 10 is always followed by 11, and 20 by 21. After
+  // pre-training, the masked log-prob of the true completion must beat the
+  // wrong one.
+  util::Rng rng(6);
+  TransformerConfig config = SmallConfig();
+  BertModel model("bert", config, &rng);
+  MlmHead head("mlm", config, &rng);
+  MlmPretrainer::Options options;
+  options.epochs = 30;
+  options.batch_size = 4;
+  options.learning_rate = 2e-3;
+  MlmPretrainer pretrainer(&model, &head, options);
+
+  std::vector<std::vector<int>> corpus;
+  for (int i = 0; i < 30; ++i) {
+    corpus.push_back({text::Vocab::kClsId, 10, 11, text::Vocab::kSepId});
+    corpus.push_back({text::Vocab::kClsId, 20, 21, text::Vocab::kSepId});
+  }
+  const double final_loss = pretrainer.Train(corpus);
+  EXPECT_LT(final_loss, 2.5);  // well below uniform log(35) ≈ 3.56
+
+  std::vector<int> probe = {text::Vocab::kClsId, 10, 11,
+                            text::Vocab::kSepId};
+  const double lp_true = pretrainer.MaskedLogProb(probe, 2, 11);
+  const double lp_false = pretrainer.MaskedLogProb(probe, 2, 21);
+  EXPECT_GT(lp_true, lp_false);
+}
+
+}  // namespace
+}  // namespace doduo::transformer

@@ -1,0 +1,108 @@
+// Property sweeps over encoder configurations: shape correctness, the
+// zero-mask identity, and eval-mode determinism must hold for every
+// (layers, heads, hidden) combination.
+
+#include <cmath>
+#include <tuple>
+
+#include "doduo/transformer/bert.h"
+#include "gtest/gtest.h"
+
+namespace doduo::transformer {
+namespace {
+
+// Parameter: (num_layers, num_heads, hidden_dim).
+class EncoderPropertyTest
+    : public ::testing::TestWithParam<std::tuple<int, int, int>> {
+ protected:
+  TransformerConfig MakeConfig() const {
+    const auto [layers, heads, hidden] = GetParam();
+    TransformerConfig config;
+    config.vocab_size = 50;
+    config.max_positions = 32;
+    config.hidden_dim = hidden;
+    config.num_heads = heads;
+    config.num_layers = layers;
+    config.ffn_dim = hidden * 2;
+    config.dropout = 0.0f;
+    return config;
+  }
+};
+
+TEST_P(EncoderPropertyTest, ForwardShapesAndFiniteness) {
+  const TransformerConfig config = MakeConfig();
+  util::Rng rng(1);
+  BertModel model("m", config, &rng);
+  model.set_training(false);
+  for (int seq : {1, 5, 17}) {
+    std::vector<int> ids(static_cast<size_t>(seq));
+    for (int i = 0; i < seq; ++i) {
+      ids[static_cast<size_t>(i)] = 5 + static_cast<int>(rng.NextUint64(45));
+    }
+    const nn::Tensor& hidden = model.Forward(ids);
+    ASSERT_EQ(hidden.rows(), seq);
+    ASSERT_EQ(hidden.cols(), config.hidden_dim);
+    for (int64_t i = 0; i < hidden.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(hidden.data()[i]));
+    }
+  }
+}
+
+TEST_P(EncoderPropertyTest, ZeroMaskEqualsNoMask) {
+  const TransformerConfig config = MakeConfig();
+  util::Rng rng(2);
+  BertModel model("m", config, &rng);
+  model.set_training(false);
+  const std::vector<int> ids = {2, 7, 8, 9, 10, 3};
+  const nn::Tensor unmasked = model.Forward(ids, nullptr);
+  const AttentionMask zero_mask(
+      {static_cast<int64_t>(ids.size()), static_cast<int64_t>(ids.size())});
+  const nn::Tensor masked = model.Forward(ids, &zero_mask);
+  for (int64_t i = 0; i < unmasked.size(); ++i) {
+    ASSERT_FLOAT_EQ(unmasked.data()[i], masked.data()[i]);
+  }
+}
+
+TEST_P(EncoderPropertyTest, EvalModeIsDeterministic) {
+  const TransformerConfig config = MakeConfig();
+  util::Rng rng(3);
+  BertModel model("m", config, &rng);
+  model.set_training(false);
+  const std::vector<int> ids = {2, 11, 12, 3};
+  const nn::Tensor a = model.Forward(ids);
+  const nn::Tensor b = model.Forward(ids);
+  for (int64_t i = 0; i < a.size(); ++i) {
+    ASSERT_FLOAT_EQ(a.data()[i], b.data()[i]);
+  }
+}
+
+TEST_P(EncoderPropertyTest, GradientsAreFiniteAndNonTrivial) {
+  const TransformerConfig config = MakeConfig();
+  util::Rng rng(4);
+  BertModel model("m", config, &rng);
+  model.set_training(false);
+  const std::vector<int> ids = {2, 6, 7, 8, 3};
+  nn::ParameterList params = model.Parameters();
+  nn::ZeroAllGrads(params);
+  const nn::Tensor& hidden = model.Forward(ids);
+  nn::Tensor grad(hidden.shape());
+  grad.FillNormal(&rng, 1.0f);
+  model.Backward(grad);
+  double total = 0.0;
+  for (const nn::Parameter* p : params) {
+    for (int64_t i = 0; i < p->grad.size(); ++i) {
+      ASSERT_TRUE(std::isfinite(p->grad.data()[i])) << p->name;
+      total += std::abs(p->grad.data()[i]);
+    }
+  }
+  EXPECT_GT(total, 1e-3);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, EncoderPropertyTest,
+    ::testing::Values(std::make_tuple(1, 1, 8), std::make_tuple(1, 4, 16),
+                      std::make_tuple(2, 2, 8), std::make_tuple(3, 2, 12),
+                      std::make_tuple(2, 4, 32)));
+
+}  // namespace
+}  // namespace doduo::transformer

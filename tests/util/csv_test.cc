@@ -1,0 +1,98 @@
+#include "doduo/util/csv.h"
+
+#include <cstdio>
+#include <fstream>
+
+#include "gtest/gtest.h"
+
+namespace doduo::util {
+namespace {
+
+TEST(CsvParseTest, SimpleRows) {
+  auto result = ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(result.ok());
+  const CsvRows& rows = result.value();
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvParseTest, NoTrailingNewline) {
+  auto result = ParseCsv("a,b\n1,2");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().size(), 2u);
+}
+
+TEST(CsvParseTest, QuotedCells) {
+  auto result = ParseCsv("\"hello, world\",\"say \"\"hi\"\"\"\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0][0], "hello, world");
+  EXPECT_EQ(result.value()[0][1], "say \"hi\"");
+}
+
+TEST(CsvParseTest, QuotedNewline) {
+  auto result = ParseCsv("\"line1\nline2\",x\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0][0], "line1\nline2");
+}
+
+TEST(CsvParseTest, CrLfLineEndings) {
+  auto result = ParseCsv("a,b\r\nc,d\r\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 2u);
+  EXPECT_EQ(result.value()[1][0], "c");
+}
+
+TEST(CsvParseTest, EmptyCells) {
+  auto result = ParseCsv(",\n");
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.value().size(), 1u);
+  EXPECT_EQ(result.value()[0], (std::vector<std::string>{"", ""}));
+}
+
+TEST(CsvParseTest, EmptyInputHasNoRows) {
+  auto result = ParseCsv("");
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.value().empty());
+}
+
+TEST(CsvParseTest, UnterminatedQuoteIsError) {
+  auto result = ParseCsv("\"unclosed\n");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CsvParseTest, MidCellQuoteIsError) {
+  auto result = ParseCsv("ab\"cd\n");
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(CsvWriteTest, RoundTrip) {
+  CsvRows rows = {{"plain", "with,comma", "with\"quote", "with\nnewline"},
+                  {"", "x", "", ""}};
+  const std::string text = WriteCsvString(rows);
+  auto parsed = ParseCsv(text);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed.value(), rows);
+}
+
+TEST(CsvFileTest, WriteThenRead) {
+  const std::string path = ::testing::TempDir() + "/doduo_csv_test.csv";
+  CsvRows rows = {{"h1", "h2"}, {"a", "b"}};
+  ASSERT_TRUE(WriteCsvFile(path, rows).ok());
+  auto read = ReadCsvFile(path);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read.value(), rows);
+  std::remove(path.c_str());
+}
+
+TEST(CsvFileTest, MissingFileIsIoError) {
+  auto read = ReadCsvFile("/nonexistent/path/data.csv");
+  EXPECT_FALSE(read.ok());
+  EXPECT_EQ(read.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace doduo::util

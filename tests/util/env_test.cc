@@ -1,0 +1,33 @@
+#include "doduo/util/env.h"
+
+#include <cstdlib>
+
+#include "gtest/gtest.h"
+
+namespace doduo::util {
+namespace {
+
+TEST(EnvTest, FallbackWhenUnset) {
+  unsetenv("DODUO_TEST_VAR");
+  EXPECT_EQ(GetEnvString("DODUO_TEST_VAR", "fb"), "fb");
+  EXPECT_EQ(GetEnvDouble("DODUO_TEST_VAR", 2.5), 2.5);
+  EXPECT_EQ(GetEnvInt("DODUO_TEST_VAR", 7), 7);
+}
+
+TEST(EnvTest, ReadsSetValues) {
+  setenv("DODUO_TEST_VAR", "3.5", 1);
+  EXPECT_EQ(GetEnvString("DODUO_TEST_VAR", "fb"), "3.5");
+  EXPECT_EQ(GetEnvDouble("DODUO_TEST_VAR", 1.0), 3.5);
+  EXPECT_EQ(GetEnvInt("DODUO_TEST_VAR", 1), 3);
+  unsetenv("DODUO_TEST_VAR");
+}
+
+TEST(EnvTest, UnparsableFallsBack) {
+  setenv("DODUO_TEST_VAR", "not_a_number", 1);
+  EXPECT_EQ(GetEnvDouble("DODUO_TEST_VAR", 9.0), 9.0);
+  EXPECT_EQ(GetEnvInt("DODUO_TEST_VAR", 9), 9);
+  unsetenv("DODUO_TEST_VAR");
+}
+
+}  // namespace
+}  // namespace doduo::util

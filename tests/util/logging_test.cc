@@ -1,0 +1,52 @@
+#include "doduo/util/logging.h"
+
+#include "doduo/util/stopwatch.h"
+#include "gtest/gtest.h"
+
+namespace doduo::util {
+namespace {
+
+TEST(LoggingTest, LevelRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  SetLogLevel(LogLevel::kDebug);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kDebug);
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, SuppressedMessagesDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  // These are filtered out; the statement must still be safe to evaluate.
+  DODUO_LOG(Debug) << "hidden " << 1;
+  DODUO_LOG(Info) << "hidden " << 2.5;
+  DODUO_LOG(Warning) << "hidden " << "three";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, EmittedMessagesDoNotCrash) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kDebug);
+  DODUO_LOG(Debug) << "visible debug";
+  DODUO_LOG(Error) << "visible error " << 42;
+  SetLogLevel(original);
+}
+
+TEST(StopwatchTest, MeasuresForwardProgress) {
+  Stopwatch stopwatch;
+  const double first = stopwatch.ElapsedSeconds();
+  EXPECT_GE(first, 0.0);
+  // Busy-wait a tiny amount.
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += i;
+  const double second = stopwatch.ElapsedSeconds();
+  EXPECT_GE(second, first);
+  EXPECT_NEAR(stopwatch.ElapsedMillis(), second * 1000.0,
+              second * 1000.0 * 0.5 + 5.0);
+  stopwatch.Restart();
+  EXPECT_LT(stopwatch.ElapsedSeconds(), second + 1.0);
+}
+
+}  // namespace
+}  // namespace doduo::util

@@ -1,0 +1,97 @@
+#include "doduo/util/string_util.h"
+
+#include "gtest/gtest.h"
+
+namespace doduo::util {
+namespace {
+
+TEST(SplitTest, BasicAndEmptyPieces) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(SplitWhitespaceTest, CollapsesRuns) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc  "),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_TRUE(SplitWhitespace("   ").empty());
+  EXPECT_TRUE(SplitWhitespace("").empty());
+}
+
+TEST(JoinTest, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(ToLowerTest, AsciiOnly) {
+  EXPECT_EQ(ToLower("HeLLo 123!"), "hello 123!");
+}
+
+TEST(TrimTest, Basic) {
+  EXPECT_EQ(Trim("  hi  "), "hi");
+  EXPECT_EQ(Trim("hi"), "hi");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim(""), "");
+}
+
+TEST(PrefixSuffixTest, Basic) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("foobar", "bar"));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_FALSE(StartsWith("", "x"));
+}
+
+TEST(IsAsciiDigitsTest, Basic) {
+  EXPECT_TRUE(IsAsciiDigits("0123456789"));
+  EXPECT_FALSE(IsAsciiDigits(""));
+  EXPECT_FALSE(IsAsciiDigits("12a"));
+  EXPECT_FALSE(IsAsciiDigits("-12"));
+}
+
+TEST(LooksNumericTest, AcceptsNumbers) {
+  EXPECT_TRUE(LooksNumeric("42"));
+  EXPECT_TRUE(LooksNumeric("-42"));
+  EXPECT_TRUE(LooksNumeric("+3.14"));
+  EXPECT_TRUE(LooksNumeric("1,234,567"));
+  EXPECT_TRUE(LooksNumeric("  19.99 "));
+}
+
+TEST(LooksNumericTest, RejectsNonNumbers) {
+  EXPECT_FALSE(LooksNumeric(""));
+  EXPECT_FALSE(LooksNumeric("abc"));
+  EXPECT_FALSE(LooksNumeric("1.2.3"));
+  EXPECT_FALSE(LooksNumeric(",5"));
+  EXPECT_FALSE(LooksNumeric("-"));
+  EXPECT_FALSE(LooksNumeric("12e4"));  // scientific notation not accepted
+}
+
+TEST(FormatTest, DoubleAndPercent) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+  EXPECT_EQ(FormatPercent(0.9245, 2), "92.45");
+  EXPECT_EQ(FormatPercent(1.0, 1), "100.0");
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0u);
+  EXPECT_EQ(EditDistance("abc", ""), 3u);
+  EXPECT_EQ(EditDistance("", "abc"), 3u);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3u);
+  EXPECT_EQ(EditDistance("same", "same"), 0u);
+  EXPECT_EQ(EditDistance("ab", "ba"), 2u);
+}
+
+TEST(CharNgramsTest, PaddedAndUnpadded) {
+  auto grams = CharNgrams("ab", 2, /*pad=*/true);  // "^ab$"
+  EXPECT_EQ(grams, (std::vector<std::string>{"^a", "ab", "b$"}));
+  auto unpadded = CharNgrams("abc", 2, /*pad=*/false);
+  EXPECT_EQ(unpadded, (std::vector<std::string>{"ab", "bc"}));
+  EXPECT_TRUE(CharNgrams("a", 4, /*pad=*/true).empty());
+}
+
+}  // namespace
+}  // namespace doduo::util

@@ -1,0 +1,35 @@
+#include "doduo/util/table_printer.h"
+
+#include "gtest/gtest.h"
+
+namespace doduo::util {
+namespace {
+
+TEST(TablePrinterTest, AlignsColumns) {
+  TablePrinter printer({"Method", "F1"});
+  printer.AddRow({"Doduo", "92.45"});
+  printer.AddRow({"X", "1"});
+  const std::string out = printer.ToString();
+  EXPECT_EQ(out,
+            "| Method | F1    |\n"
+            "|--------|-------|\n"
+            "| Doduo  | 92.45 |\n"
+            "| X      | 1     |\n");
+}
+
+TEST(TablePrinterTest, HeaderWiderThanBody) {
+  TablePrinter printer({"A wide header", "B"});
+  printer.AddRow({"x", "y"});
+  const std::string out = printer.ToString();
+  EXPECT_NE(out.find("| A wide header | B |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, EmptyBodyStillRendersHeader) {
+  TablePrinter printer({"Only", "Header"});
+  const std::string out = printer.ToString();
+  EXPECT_NE(out.find("Only"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace doduo::util

@@ -1,0 +1,88 @@
+// Development tool: trains one DODUO variant on one benchmark and prints
+// validation-curve + test scores. Used to calibrate fine-tuning
+// hyperparameters; not part of the experiment suite.
+//
+// Knobs via environment variables:
+//   DODUO_MODE=wikitable|viznet   DODUO_TABLES=600
+//   DODUO_FT_EPOCHS / DODUO_FT_LR / DODUO_FT_BATCH
+//   DODUO_VARIANT=doduo|turl|scol|meta|rand
+
+#include <cstdio>
+
+#include "doduo/eval/report.h"
+#include "doduo/experiments/runners.h"
+#include "doduo/util/env.h"
+
+int main() {
+  using namespace doduo::experiments;
+  using doduo::util::GetEnvInt;
+  using doduo::util::GetEnvString;
+
+  EnvOptions options;
+  options.mode = GetEnvString("DODUO_MODE", "wikitable") == "viznet"
+                     ? BenchmarkMode::kVizNet
+                     : BenchmarkMode::kWikiTable;
+  options.num_tables = static_cast<int>(GetEnvInt("DODUO_TABLES", 600));
+  options.num_layers =
+      static_cast<int>(GetEnvInt("DODUO_LAYERS", options.num_layers));
+  options.hidden_dim =
+      static_cast<int>(GetEnvInt("DODUO_DIM", options.hidden_dim));
+  options.ffn_dim = 4 * options.hidden_dim;
+  options.pretrain_epochs =
+      static_cast<int>(GetEnvInt("DODUO_PT_EPOCHS", options.pretrain_epochs));
+  options.corpus_list_mentions = static_cast<int>(
+      GetEnvInt("DODUO_LIST_MENTIONS", options.corpus_list_mentions));
+  options.seed = doduo::util::ExperimentSeed();
+  Env env(options);
+
+  DoduoVariant variant;
+  const std::string name = GetEnvString("DODUO_VARIANT", "doduo");
+  if (name == "sherlock" || name == "sato") {
+    const auto result = name == "sherlock" ? RunSherlock(&env) : RunSato(&env);
+    std::printf("test: %s micro F1 %.4f macro F1 %.4f\n", name.c_str(),
+                result.micro.f1, result.macro.f1);
+    return 0;
+  }
+  if (name == "turl") variant.turl_visibility_mask = true;
+  if (name == "scol") variant.input_mode = doduo::core::InputMode::kSingleColumn;
+  if (name == "meta") variant.include_metadata = true;
+  if (name == "rand") variant.from_pretrained = false;
+  if (name == "dosolo")
+    variant.tasks = static_cast<int>(doduo::core::TaskSet::kTypesOnly);
+  variant.max_tokens_per_column =
+      static_cast<int>(GetEnvInt("DODUO_MAXTOK", 32));
+  variant.seed_offset =
+      static_cast<uint64_t>(GetEnvInt("DODUO_SEED_OFFSET", 0));
+
+  const DoduoRun run = RunDoduo(&env, variant);
+  std::printf("variant=%s\n", name.c_str());
+  std::printf("valid type F1 curve:");
+  for (double f1 : run.history.valid_type_f1) std::printf(" %.3f", f1);
+  std::printf("\n");
+  if (!run.history.valid_relation_f1.empty()) {
+    std::printf("valid rel F1 curve:");
+    for (double f1 : run.history.valid_relation_f1) std::printf(" %.3f", f1);
+    std::printf("\n");
+  }
+  std::printf("test: type F1 %.4f", run.types.micro.f1);
+  if (run.has_relations) std::printf(" rel F1 %.4f", run.relations.micro.f1);
+  std::printf("\n");
+
+  if (GetEnvInt("DODUO_PER_CLASS", 0) != 0) {
+    std::printf("-- per-class type F1 --\n");
+    for (const auto& row : doduo::eval::PerClassReport(
+             run.types.sets, env.dataset().type_vocab)) {
+      std::printf("%-32s n=%-4ld F1=%.3f\n", row.label.c_str(), row.support,
+                  row.prf.f1);
+    }
+    if (run.has_relations) {
+      std::printf("-- per-class relation F1 --\n");
+      for (const auto& row : doduo::eval::PerClassReport(
+               run.relations.sets, env.dataset().relation_vocab)) {
+        std::printf("%-32s n=%-4ld F1=%.3f\n", row.label.c_str(),
+                    row.support, row.prf.f1);
+      }
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,287 @@
+// doduo_cli — train, persist, and apply column-annotation models.
+//
+//   doduo_cli train --out <dir> [--mode wikitable|viznet]
+//       Builds the synthetic benchmark, fine-tunes DODUO, and saves a
+//       self-contained model directory (weights, vocabulary, label
+//       inventories, configuration).
+//
+//   doduo_cli annotate --model <dir> <file.csv>
+//       Loads a saved model and prints per-column semantic types (and
+//       key-column relations when the model has a relation head).
+//
+//   doduo_cli embed --model <dir> <file.csv>
+//       Prints the contextualized column embeddings as CSV.
+
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "doduo/core/annotator.h"
+#include "doduo/experiments/runners.h"
+#include "doduo/nn/serialize.h"
+#include "doduo/util/csv.h"
+#include "doduo/util/env.h"
+#include "doduo/util/string_util.h"
+
+namespace {
+
+using doduo::util::Status;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "error: %s\n", message.c_str());
+  return 1;
+}
+
+// ---------------------------------------------------------------------------
+// Model directory format: model.ckpt + vocab.txt + types.txt +
+// relations.txt + config.txt (key=value).
+// ---------------------------------------------------------------------------
+
+Status SaveLabels(const std::string& path,
+                  const doduo::table::LabelVocab& vocab) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  for (int i = 0; i < vocab.size(); ++i) out << vocab.Name(i) << "\n";
+  return Status::Ok();
+}
+
+doduo::util::Result<doduo::table::LabelVocab> LoadLabels(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  doduo::table::LabelVocab vocab;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (!line.empty()) vocab.AddLabel(line);
+  }
+  return vocab;
+}
+
+Status SaveConfig(const std::string& path,
+                  const doduo::core::DoduoConfig& config) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open " + path);
+  out << "vocab_size=" << config.encoder.vocab_size << "\n"
+      << "max_positions=" << config.encoder.max_positions << "\n"
+      << "hidden_dim=" << config.encoder.hidden_dim << "\n"
+      << "num_layers=" << config.encoder.num_layers << "\n"
+      << "num_heads=" << config.encoder.num_heads << "\n"
+      << "ffn_dim=" << config.encoder.ffn_dim << "\n"
+      << "num_types=" << config.num_types << "\n"
+      << "num_relations=" << config.num_relations << "\n"
+      << "multi_label=" << (config.multi_label ? 1 : 0) << "\n"
+      << "max_tokens_per_column=" << config.serializer.max_tokens_per_column
+      << "\n"
+      << "max_total_tokens=" << config.serializer.max_total_tokens << "\n";
+  return Status::Ok();
+}
+
+doduo::util::Result<doduo::core::DoduoConfig> LoadConfig(
+    const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open " + path);
+  doduo::core::DoduoConfig config;
+  config.encoder.dropout = 0.0f;  // inference only
+  std::string line;
+  while (std::getline(in, line)) {
+    const auto eq = line.find('=');
+    if (eq == std::string::npos) continue;
+    const std::string key = line.substr(0, eq);
+    const long value = std::strtol(line.c_str() + eq + 1, nullptr, 10);
+    if (key == "vocab_size") config.encoder.vocab_size = value;
+    else if (key == "max_positions") config.encoder.max_positions = value;
+    else if (key == "hidden_dim") config.encoder.hidden_dim = value;
+    else if (key == "num_layers") config.encoder.num_layers = value;
+    else if (key == "num_heads") config.encoder.num_heads = value;
+    else if (key == "ffn_dim") config.encoder.ffn_dim = value;
+    else if (key == "num_types") config.num_types = value;
+    else if (key == "num_relations") config.num_relations = value;
+    else if (key == "multi_label") config.multi_label = value != 0;
+    else if (key == "max_tokens_per_column")
+      config.serializer.max_tokens_per_column = value;
+    else if (key == "max_total_tokens")
+      config.serializer.max_total_tokens = value;
+  }
+  if (config.num_relations == 0) {
+    config.tasks = doduo::core::TaskSet::kTypesOnly;
+  }
+  return config;
+}
+
+// Everything a loaded model needs, with stable addresses.
+struct LoadedModel {
+  doduo::core::DoduoConfig config;
+  doduo::text::Vocab vocab;
+  doduo::table::LabelVocab types;
+  doduo::table::LabelVocab relations;
+  std::unique_ptr<doduo::text::WordPieceTokenizer> tokenizer;
+  std::unique_ptr<doduo::core::DoduoModel> model;
+  std::unique_ptr<doduo::table::TableSerializer> serializer;
+};
+
+doduo::util::Result<std::unique_ptr<LoadedModel>> LoadModelDir(
+    const std::string& dir) {
+  auto loaded = std::make_unique<LoadedModel>();
+  auto config = LoadConfig(dir + "/config.txt");
+  if (!config.ok()) return config.status();
+  loaded->config = config.value();
+
+  auto vocab = doduo::text::Vocab::Load(dir + "/vocab.txt");
+  if (!vocab.ok()) return vocab.status();
+  loaded->vocab = std::move(vocab).value();
+
+  auto types = LoadLabels(dir + "/types.txt");
+  if (!types.ok()) return types.status();
+  loaded->types = std::move(types).value();
+  if (loaded->config.num_relations > 0) {
+    auto relations = LoadLabels(dir + "/relations.txt");
+    if (!relations.ok()) return relations.status();
+    loaded->relations = std::move(relations).value();
+  }
+
+  doduo::util::Rng rng(1);
+  loaded->model = std::make_unique<doduo::core::DoduoModel>(loaded->config,
+                                                            &rng);
+  const Status status =
+      doduo::nn::LoadParameters(dir + "/model.ckpt",
+                                loaded->model->Parameters());
+  if (!status.ok()) return status;
+  loaded->model->set_training(false);
+  loaded->tokenizer = std::make_unique<doduo::text::WordPieceTokenizer>(
+      &loaded->vocab);
+  loaded->serializer = std::make_unique<doduo::table::TableSerializer>(
+      loaded->tokenizer.get(), loaded->config.serializer);
+  return loaded;
+}
+
+doduo::util::Result<doduo::table::Table> LoadCsvTable(
+    const std::string& path) {
+  auto rows = doduo::util::ReadCsvFile(path);
+  if (!rows.ok()) return rows.status();
+  return doduo::table::TableFromCsvRows(rows.value(), /*has_header=*/true,
+                                        path);
+}
+
+// ---------------------------------------------------------------------------
+// Subcommands.
+// ---------------------------------------------------------------------------
+
+int Train(const std::string& out_dir, const std::string& mode) {
+  using namespace doduo::experiments;
+  EnvOptions options;
+  options.mode = mode == "viznet" ? BenchmarkMode::kVizNet
+                                  : BenchmarkMode::kWikiTable;
+  options.num_tables = Scaled(600);
+  options.seed = doduo::util::ExperimentSeed();
+  Env env(options);
+  std::printf("training DODUO on the %s benchmark (%zu tables)...\n",
+              mode.c_str(), env.dataset().tables.size());
+  DoduoRun run = RunDoduo(&env, DoduoVariant{});
+  std::printf("type micro F1 %.1f%%", 100.0 * run.types.micro.f1);
+  if (run.has_relations) {
+    std::printf(", relation micro F1 %.1f%%", 100.0 * run.relations.micro.f1);
+  }
+  std::printf("\n");
+
+  std::filesystem::create_directories(out_dir);
+  for (const Status& status :
+       {doduo::nn::SaveParameters(out_dir + "/model.ckpt",
+                                  run.model->Parameters()),
+        env.vocab().Save(out_dir + "/vocab.txt"),
+        SaveLabels(out_dir + "/types.txt", env.dataset().type_vocab),
+        SaveLabels(out_dir + "/relations.txt",
+                   env.dataset().relation_vocab),
+        SaveConfig(out_dir + "/config.txt", run.model->config())}) {
+    if (!status.ok()) return Fail(status.ToString());
+  }
+  std::printf("saved model directory: %s\n", out_dir.c_str());
+  return 0;
+}
+
+int Annotate(const std::string& model_dir, const std::string& csv_path) {
+  auto loaded = LoadModelDir(model_dir);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  auto table = LoadCsvTable(csv_path);
+  if (!table.ok()) return Fail(table.status().ToString());
+
+  LoadedModel& m = *loaded.value();
+  doduo::core::Annotator annotator(
+      m.model.get(), m.serializer.get(), &m.types,
+      m.config.num_relations > 0 ? &m.relations : nullptr);
+  const auto types = annotator.AnnotateTypes(table.value());
+  for (int c = 0; c < table.value().num_columns(); ++c) {
+    std::printf("%s: %s\n", table.value().column(c).name.c_str(),
+                doduo::util::Join(types[static_cast<size_t>(c)], ", ")
+                    .c_str());
+  }
+  if (m.config.num_relations > 0 && table.value().num_columns() > 1) {
+    const auto relations = annotator.AnnotateKeyRelations(table.value());
+    for (size_t c = 0; c < relations.size(); ++c) {
+      std::printf("(%s, %s): %s\n", table.value().column(0).name.c_str(),
+                  table.value().column(static_cast<int>(c) + 1).name.c_str(),
+                  relations[c].c_str());
+    }
+  }
+  return 0;
+}
+
+int Embed(const std::string& model_dir, const std::string& csv_path) {
+  auto loaded = LoadModelDir(model_dir);
+  if (!loaded.ok()) return Fail(loaded.status().ToString());
+  auto table = LoadCsvTable(csv_path);
+  if (!table.ok()) return Fail(table.status().ToString());
+
+  LoadedModel& m = *loaded.value();
+  doduo::core::Annotator annotator(
+      m.model.get(), m.serializer.get(), &m.types,
+      m.config.num_relations > 0 ? &m.relations : nullptr);
+  const doduo::nn::Tensor embeddings =
+      annotator.ColumnEmbeddings(table.value());
+  for (int64_t c = 0; c < embeddings.rows(); ++c) {
+    std::printf("%s", table.value().column(static_cast<int>(c)).name.c_str());
+    for (int64_t j = 0; j < embeddings.cols(); ++j) {
+      std::printf(",%.5f", embeddings.at(c, j));
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
+
+const char* kUsage =
+    "usage:\n"
+    "  doduo_cli train --out <dir> [--mode wikitable|viznet]\n"
+    "  doduo_cli annotate --model <dir> <file.csv>\n"
+    "  doduo_cli embed --model <dir> <file.csv>\n";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string command = argc > 1 ? argv[1] : "";
+  std::string out_dir;
+  std::string model_dir;
+  std::string mode = "wikitable";
+  std::string csv_path;
+  for (int i = 2; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
+      model_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
+      mode = argv[++i];
+    } else {
+      csv_path = argv[i];
+    }
+  }
+
+  if (command == "train" && !out_dir.empty()) return Train(out_dir, mode);
+  if (command == "annotate" && !model_dir.empty() && !csv_path.empty()) {
+    return Annotate(model_dir, csv_path);
+  }
+  if (command == "embed" && !model_dir.empty() && !csv_path.empty()) {
+    return Embed(model_dir, csv_path);
+  }
+  std::fputs(kUsage, stderr);
+  return 2;
+}
