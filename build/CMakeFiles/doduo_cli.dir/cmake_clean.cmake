@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doduo_cli.dir/tools/doduo_cli.cc.o"
+  "CMakeFiles/doduo_cli.dir/tools/doduo_cli.cc.o.d"
+  "tools/doduo_cli"
+  "tools/doduo_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doduo_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

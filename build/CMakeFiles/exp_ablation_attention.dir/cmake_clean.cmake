@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_ablation_attention.dir/bench/exp_ablation_attention.cc.o"
+  "CMakeFiles/exp_ablation_attention.dir/bench/exp_ablation_attention.cc.o.d"
+  "bench/exp_ablation_attention"
+  "bench/exp_ablation_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_ablation_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig4_learning_efficiency.dir/bench/exp_fig4_learning_efficiency.cc.o"
+  "CMakeFiles/exp_fig4_learning_efficiency.dir/bench/exp_fig4_learning_efficiency.cc.o.d"
+  "bench/exp_fig4_learning_efficiency"
+  "bench/exp_fig4_learning_efficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig4_learning_efficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig5_per_class.dir/bench/exp_fig5_per_class.cc.o"
+  "CMakeFiles/exp_fig5_per_class.dir/bench/exp_fig5_per_class.cc.o.d"
+  "bench/exp_fig5_per_class"
+  "bench/exp_fig5_per_class.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig5_per_class.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_fig6_attention.dir/bench/exp_fig6_attention.cc.o"
+  "CMakeFiles/exp_fig6_attention.dir/bench/exp_fig6_attention.cc.o.d"
+  "bench/exp_fig6_attention"
+  "bench/exp_fig6_attention.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_fig6_attention.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

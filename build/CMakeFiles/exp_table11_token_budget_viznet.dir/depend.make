@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_table11_token_budget_viznet.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table12_probing.dir/bench/exp_table12_probing.cc.o"
+  "CMakeFiles/exp_table12_probing.dir/bench/exp_table12_probing.cc.o.d"
+  "bench/exp_table12_probing"
+  "bench/exp_table12_probing.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table12_probing.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

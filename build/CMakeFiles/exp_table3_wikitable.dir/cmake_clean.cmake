@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table3_wikitable.dir/bench/exp_table3_wikitable.cc.o"
+  "CMakeFiles/exp_table3_wikitable.dir/bench/exp_table3_wikitable.cc.o.d"
+  "bench/exp_table3_wikitable"
+  "bench/exp_table3_wikitable.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table3_wikitable.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

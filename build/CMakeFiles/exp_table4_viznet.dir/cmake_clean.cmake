@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table4_viznet.dir/bench/exp_table4_viznet.cc.o"
+  "CMakeFiles/exp_table4_viznet.dir/bench/exp_table4_viznet.cc.o.d"
+  "bench/exp_table4_viznet"
+  "bench/exp_table4_viznet.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table4_viznet.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

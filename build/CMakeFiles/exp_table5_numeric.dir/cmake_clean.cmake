@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table5_numeric.dir/bench/exp_table5_numeric.cc.o"
+  "CMakeFiles/exp_table5_numeric.dir/bench/exp_table5_numeric.cc.o.d"
+  "bench/exp_table5_numeric"
+  "bench/exp_table5_numeric.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table5_numeric.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table8_token_budget_wiki.dir/bench/exp_table8_token_budget_wiki.cc.o"
+  "CMakeFiles/exp_table8_token_budget_wiki.dir/bench/exp_table8_token_budget_wiki.cc.o.d"
+  "bench/exp_table8_token_budget_wiki"
+  "bench/exp_table8_token_budget_wiki.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table8_token_budget_wiki.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

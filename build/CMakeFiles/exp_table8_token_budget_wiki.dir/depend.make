@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_table8_token_budget_wiki.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/exp_table9_case_study.dir/bench/exp_table9_case_study.cc.o"
+  "CMakeFiles/exp_table9_case_study.dir/bench/exp_table9_case_study.cc.o.d"
+  "bench/exp_table9_case_study"
+  "bench/exp_table9_case_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/exp_table9_case_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

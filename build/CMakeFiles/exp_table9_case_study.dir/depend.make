@@ -1,0 +1,2 @@
+# Empty dependencies file for exp_table9_case_study.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/annotate_csv.dir/annotate_csv.cpp.o"
+  "CMakeFiles/annotate_csv.dir/annotate_csv.cpp.o.d"
+  "annotate_csv"
+  "annotate_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/annotate_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

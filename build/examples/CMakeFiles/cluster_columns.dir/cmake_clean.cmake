@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cluster_columns.dir/cluster_columns.cpp.o"
+  "CMakeFiles/cluster_columns.dir/cluster_columns.cpp.o.d"
+  "cluster_columns"
+  "cluster_columns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cluster_columns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dirty_data.dir/dirty_data.cpp.o"
+  "CMakeFiles/dirty_data.dir/dirty_data.cpp.o.d"
+  "dirty_data"
+  "dirty_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dirty_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

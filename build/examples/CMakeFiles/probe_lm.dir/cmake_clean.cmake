@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/probe_lm.dir/probe_lm.cpp.o"
+  "CMakeFiles/probe_lm.dir/probe_lm.cpp.o.d"
+  "probe_lm"
+  "probe_lm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/probe_lm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/doduo_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_probe.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_analysis.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_experiments.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_transformer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

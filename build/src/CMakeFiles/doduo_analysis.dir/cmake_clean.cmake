@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doduo_analysis.dir/doduo/analysis/attention_analysis.cc.o"
+  "CMakeFiles/doduo_analysis.dir/doduo/analysis/attention_analysis.cc.o.d"
+  "libdoduo_analysis.a"
+  "libdoduo_analysis.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doduo_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doduo_baselines.dir/doduo/baselines/crf.cc.o"
+  "CMakeFiles/doduo_baselines.dir/doduo/baselines/crf.cc.o.d"
+  "CMakeFiles/doduo_baselines.dir/doduo/baselines/lda.cc.o"
+  "CMakeFiles/doduo_baselines.dir/doduo/baselines/lda.cc.o.d"
+  "CMakeFiles/doduo_baselines.dir/doduo/baselines/sato.cc.o"
+  "CMakeFiles/doduo_baselines.dir/doduo/baselines/sato.cc.o.d"
+  "CMakeFiles/doduo_baselines.dir/doduo/baselines/sherlock.cc.o"
+  "CMakeFiles/doduo_baselines.dir/doduo/baselines/sherlock.cc.o.d"
+  "CMakeFiles/doduo_baselines.dir/doduo/baselines/sherlock_features.cc.o"
+  "CMakeFiles/doduo_baselines.dir/doduo/baselines/sherlock_features.cc.o.d"
+  "CMakeFiles/doduo_baselines.dir/doduo/baselines/turl.cc.o"
+  "CMakeFiles/doduo_baselines.dir/doduo/baselines/turl.cc.o.d"
+  "libdoduo_baselines.a"
+  "libdoduo_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doduo_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doduo/cluster/kmeans.cc" "src/CMakeFiles/doduo_cluster.dir/doduo/cluster/kmeans.cc.o" "gcc" "src/CMakeFiles/doduo_cluster.dir/doduo/cluster/kmeans.cc.o.d"
+  "/root/repo/src/doduo/cluster/matchers.cc" "src/CMakeFiles/doduo_cluster.dir/doduo/cluster/matchers.cc.o" "gcc" "src/CMakeFiles/doduo_cluster.dir/doduo/cluster/matchers.cc.o.d"
+  "/root/repo/src/doduo/cluster/metrics.cc" "src/CMakeFiles/doduo_cluster.dir/doduo/cluster/metrics.cc.o" "gcc" "src/CMakeFiles/doduo_cluster.dir/doduo/cluster/metrics.cc.o.d"
+  "/root/repo/src/doduo/cluster/union_find.cc" "src/CMakeFiles/doduo_cluster.dir/doduo/cluster/union_find.cc.o" "gcc" "src/CMakeFiles/doduo_cluster.dir/doduo/cluster/union_find.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/doduo_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

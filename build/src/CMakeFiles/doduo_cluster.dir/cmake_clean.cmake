@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doduo_cluster.dir/doduo/cluster/kmeans.cc.o"
+  "CMakeFiles/doduo_cluster.dir/doduo/cluster/kmeans.cc.o.d"
+  "CMakeFiles/doduo_cluster.dir/doduo/cluster/matchers.cc.o"
+  "CMakeFiles/doduo_cluster.dir/doduo/cluster/matchers.cc.o.d"
+  "CMakeFiles/doduo_cluster.dir/doduo/cluster/metrics.cc.o"
+  "CMakeFiles/doduo_cluster.dir/doduo/cluster/metrics.cc.o.d"
+  "CMakeFiles/doduo_cluster.dir/doduo/cluster/union_find.cc.o"
+  "CMakeFiles/doduo_cluster.dir/doduo/cluster/union_find.cc.o.d"
+  "libdoduo_cluster.a"
+  "libdoduo_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doduo_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

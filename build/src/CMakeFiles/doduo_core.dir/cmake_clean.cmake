@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doduo_core.dir/doduo/core/annotator.cc.o"
+  "CMakeFiles/doduo_core.dir/doduo/core/annotator.cc.o.d"
+  "CMakeFiles/doduo_core.dir/doduo/core/config.cc.o"
+  "CMakeFiles/doduo_core.dir/doduo/core/config.cc.o.d"
+  "CMakeFiles/doduo_core.dir/doduo/core/model.cc.o"
+  "CMakeFiles/doduo_core.dir/doduo/core/model.cc.o.d"
+  "CMakeFiles/doduo_core.dir/doduo/core/trainer.cc.o"
+  "CMakeFiles/doduo_core.dir/doduo/core/trainer.cc.o.d"
+  "libdoduo_core.a"
+  "libdoduo_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doduo_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

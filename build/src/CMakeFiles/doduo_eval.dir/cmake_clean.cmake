@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doduo_eval.dir/doduo/eval/confusion.cc.o"
+  "CMakeFiles/doduo_eval.dir/doduo/eval/confusion.cc.o.d"
+  "CMakeFiles/doduo_eval.dir/doduo/eval/metrics.cc.o"
+  "CMakeFiles/doduo_eval.dir/doduo/eval/metrics.cc.o.d"
+  "CMakeFiles/doduo_eval.dir/doduo/eval/report.cc.o"
+  "CMakeFiles/doduo_eval.dir/doduo/eval/report.cc.o.d"
+  "libdoduo_eval.a"
+  "libdoduo_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doduo_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

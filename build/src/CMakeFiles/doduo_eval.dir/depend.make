@@ -1,0 +1,2 @@
+# Empty dependencies file for doduo_eval.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doduo_experiments.dir/doduo/experiments/env.cc.o"
+  "CMakeFiles/doduo_experiments.dir/doduo/experiments/env.cc.o.d"
+  "CMakeFiles/doduo_experiments.dir/doduo/experiments/runners.cc.o"
+  "CMakeFiles/doduo_experiments.dir/doduo/experiments/runners.cc.o.d"
+  "libdoduo_experiments.a"
+  "libdoduo_experiments.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doduo_experiments.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doduo/nn/activations.cc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/activations.cc.o" "gcc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/activations.cc.o.d"
+  "/root/repo/src/doduo/nn/dropout.cc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/dropout.cc.o" "gcc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/dropout.cc.o.d"
+  "/root/repo/src/doduo/nn/embedding.cc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/embedding.cc.o" "gcc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/embedding.cc.o.d"
+  "/root/repo/src/doduo/nn/layer_norm.cc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/layer_norm.cc.o" "gcc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/layer_norm.cc.o.d"
+  "/root/repo/src/doduo/nn/linear.cc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/linear.cc.o" "gcc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/linear.cc.o.d"
+  "/root/repo/src/doduo/nn/losses.cc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/losses.cc.o" "gcc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/losses.cc.o.d"
+  "/root/repo/src/doduo/nn/ops.cc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/ops.cc.o" "gcc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/ops.cc.o.d"
+  "/root/repo/src/doduo/nn/optimizer.cc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/optimizer.cc.o.d"
+  "/root/repo/src/doduo/nn/parameter.cc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/parameter.cc.o" "gcc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/parameter.cc.o.d"
+  "/root/repo/src/doduo/nn/serialize.cc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/serialize.cc.o" "gcc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/serialize.cc.o.d"
+  "/root/repo/src/doduo/nn/tensor.cc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/tensor.cc.o" "gcc" "src/CMakeFiles/doduo_nn.dir/doduo/nn/tensor.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/doduo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doduo_nn.dir/doduo/nn/activations.cc.o"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/activations.cc.o.d"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/dropout.cc.o"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/dropout.cc.o.d"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/embedding.cc.o"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/embedding.cc.o.d"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/layer_norm.cc.o"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/layer_norm.cc.o.d"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/linear.cc.o"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/linear.cc.o.d"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/losses.cc.o"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/losses.cc.o.d"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/ops.cc.o"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/ops.cc.o.d"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/optimizer.cc.o"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/optimizer.cc.o.d"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/parameter.cc.o"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/parameter.cc.o.d"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/serialize.cc.o"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/serialize.cc.o.d"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/tensor.cc.o"
+  "CMakeFiles/doduo_nn.dir/doduo/nn/tensor.cc.o.d"
+  "libdoduo_nn.a"
+  "libdoduo_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doduo_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doduo_probe.dir/doduo/probe/prober.cc.o"
+  "CMakeFiles/doduo_probe.dir/doduo/probe/prober.cc.o.d"
+  "CMakeFiles/doduo_probe.dir/doduo/probe/templates.cc.o"
+  "CMakeFiles/doduo_probe.dir/doduo/probe/templates.cc.o.d"
+  "libdoduo_probe.a"
+  "libdoduo_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doduo_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doduo/synth/case_study.cc" "src/CMakeFiles/doduo_synth.dir/doduo/synth/case_study.cc.o" "gcc" "src/CMakeFiles/doduo_synth.dir/doduo/synth/case_study.cc.o.d"
+  "/root/repo/src/doduo/synth/corpus_generator.cc" "src/CMakeFiles/doduo_synth.dir/doduo/synth/corpus_generator.cc.o" "gcc" "src/CMakeFiles/doduo_synth.dir/doduo/synth/corpus_generator.cc.o.d"
+  "/root/repo/src/doduo/synth/corruption.cc" "src/CMakeFiles/doduo_synth.dir/doduo/synth/corruption.cc.o" "gcc" "src/CMakeFiles/doduo_synth.dir/doduo/synth/corruption.cc.o.d"
+  "/root/repo/src/doduo/synth/knowledge_base.cc" "src/CMakeFiles/doduo_synth.dir/doduo/synth/knowledge_base.cc.o" "gcc" "src/CMakeFiles/doduo_synth.dir/doduo/synth/knowledge_base.cc.o.d"
+  "/root/repo/src/doduo/synth/statistics.cc" "src/CMakeFiles/doduo_synth.dir/doduo/synth/statistics.cc.o" "gcc" "src/CMakeFiles/doduo_synth.dir/doduo/synth/statistics.cc.o.d"
+  "/root/repo/src/doduo/synth/table_generator.cc" "src/CMakeFiles/doduo_synth.dir/doduo/synth/table_generator.cc.o" "gcc" "src/CMakeFiles/doduo_synth.dir/doduo/synth/table_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/doduo_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_text.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

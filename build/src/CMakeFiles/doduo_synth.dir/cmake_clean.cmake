@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doduo_synth.dir/doduo/synth/case_study.cc.o"
+  "CMakeFiles/doduo_synth.dir/doduo/synth/case_study.cc.o.d"
+  "CMakeFiles/doduo_synth.dir/doduo/synth/corpus_generator.cc.o"
+  "CMakeFiles/doduo_synth.dir/doduo/synth/corpus_generator.cc.o.d"
+  "CMakeFiles/doduo_synth.dir/doduo/synth/corruption.cc.o"
+  "CMakeFiles/doduo_synth.dir/doduo/synth/corruption.cc.o.d"
+  "CMakeFiles/doduo_synth.dir/doduo/synth/knowledge_base.cc.o"
+  "CMakeFiles/doduo_synth.dir/doduo/synth/knowledge_base.cc.o.d"
+  "CMakeFiles/doduo_synth.dir/doduo/synth/statistics.cc.o"
+  "CMakeFiles/doduo_synth.dir/doduo/synth/statistics.cc.o.d"
+  "CMakeFiles/doduo_synth.dir/doduo/synth/table_generator.cc.o"
+  "CMakeFiles/doduo_synth.dir/doduo/synth/table_generator.cc.o.d"
+  "libdoduo_synth.a"
+  "libdoduo_synth.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doduo_synth.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

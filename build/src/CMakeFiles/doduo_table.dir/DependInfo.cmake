@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doduo/table/dataset.cc" "src/CMakeFiles/doduo_table.dir/doduo/table/dataset.cc.o" "gcc" "src/CMakeFiles/doduo_table.dir/doduo/table/dataset.cc.o.d"
+  "/root/repo/src/doduo/table/render.cc" "src/CMakeFiles/doduo_table.dir/doduo/table/render.cc.o" "gcc" "src/CMakeFiles/doduo_table.dir/doduo/table/render.cc.o.d"
+  "/root/repo/src/doduo/table/serializer.cc" "src/CMakeFiles/doduo_table.dir/doduo/table/serializer.cc.o" "gcc" "src/CMakeFiles/doduo_table.dir/doduo/table/serializer.cc.o.d"
+  "/root/repo/src/doduo/table/table.cc" "src/CMakeFiles/doduo_table.dir/doduo/table/table.cc.o" "gcc" "src/CMakeFiles/doduo_table.dir/doduo/table/table.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/doduo_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

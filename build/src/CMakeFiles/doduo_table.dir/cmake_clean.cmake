@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doduo_table.dir/doduo/table/dataset.cc.o"
+  "CMakeFiles/doduo_table.dir/doduo/table/dataset.cc.o.d"
+  "CMakeFiles/doduo_table.dir/doduo/table/render.cc.o"
+  "CMakeFiles/doduo_table.dir/doduo/table/render.cc.o.d"
+  "CMakeFiles/doduo_table.dir/doduo/table/serializer.cc.o"
+  "CMakeFiles/doduo_table.dir/doduo/table/serializer.cc.o.d"
+  "CMakeFiles/doduo_table.dir/doduo/table/table.cc.o"
+  "CMakeFiles/doduo_table.dir/doduo/table/table.cc.o.d"
+  "libdoduo_table.a"
+  "libdoduo_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doduo_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doduo/text/basic_tokenizer.cc" "src/CMakeFiles/doduo_text.dir/doduo/text/basic_tokenizer.cc.o" "gcc" "src/CMakeFiles/doduo_text.dir/doduo/text/basic_tokenizer.cc.o.d"
+  "/root/repo/src/doduo/text/vocab.cc" "src/CMakeFiles/doduo_text.dir/doduo/text/vocab.cc.o" "gcc" "src/CMakeFiles/doduo_text.dir/doduo/text/vocab.cc.o.d"
+  "/root/repo/src/doduo/text/wordpiece_tokenizer.cc" "src/CMakeFiles/doduo_text.dir/doduo/text/wordpiece_tokenizer.cc.o" "gcc" "src/CMakeFiles/doduo_text.dir/doduo/text/wordpiece_tokenizer.cc.o.d"
+  "/root/repo/src/doduo/text/wordpiece_trainer.cc" "src/CMakeFiles/doduo_text.dir/doduo/text/wordpiece_trainer.cc.o" "gcc" "src/CMakeFiles/doduo_text.dir/doduo/text/wordpiece_trainer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/doduo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

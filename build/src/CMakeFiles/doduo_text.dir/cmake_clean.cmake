@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doduo_text.dir/doduo/text/basic_tokenizer.cc.o"
+  "CMakeFiles/doduo_text.dir/doduo/text/basic_tokenizer.cc.o.d"
+  "CMakeFiles/doduo_text.dir/doduo/text/vocab.cc.o"
+  "CMakeFiles/doduo_text.dir/doduo/text/vocab.cc.o.d"
+  "CMakeFiles/doduo_text.dir/doduo/text/wordpiece_tokenizer.cc.o"
+  "CMakeFiles/doduo_text.dir/doduo/text/wordpiece_tokenizer.cc.o.d"
+  "CMakeFiles/doduo_text.dir/doduo/text/wordpiece_trainer.cc.o"
+  "CMakeFiles/doduo_text.dir/doduo/text/wordpiece_trainer.cc.o.d"
+  "libdoduo_text.a"
+  "libdoduo_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doduo_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

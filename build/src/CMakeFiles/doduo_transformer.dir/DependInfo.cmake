@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doduo/transformer/attention.cc" "src/CMakeFiles/doduo_transformer.dir/doduo/transformer/attention.cc.o" "gcc" "src/CMakeFiles/doduo_transformer.dir/doduo/transformer/attention.cc.o.d"
+  "/root/repo/src/doduo/transformer/bert.cc" "src/CMakeFiles/doduo_transformer.dir/doduo/transformer/bert.cc.o" "gcc" "src/CMakeFiles/doduo_transformer.dir/doduo/transformer/bert.cc.o.d"
+  "/root/repo/src/doduo/transformer/block.cc" "src/CMakeFiles/doduo_transformer.dir/doduo/transformer/block.cc.o" "gcc" "src/CMakeFiles/doduo_transformer.dir/doduo/transformer/block.cc.o.d"
+  "/root/repo/src/doduo/transformer/config.cc" "src/CMakeFiles/doduo_transformer.dir/doduo/transformer/config.cc.o" "gcc" "src/CMakeFiles/doduo_transformer.dir/doduo/transformer/config.cc.o.d"
+  "/root/repo/src/doduo/transformer/encoder.cc" "src/CMakeFiles/doduo_transformer.dir/doduo/transformer/encoder.cc.o" "gcc" "src/CMakeFiles/doduo_transformer.dir/doduo/transformer/encoder.cc.o.d"
+  "/root/repo/src/doduo/transformer/mlm.cc" "src/CMakeFiles/doduo_transformer.dir/doduo/transformer/mlm.cc.o" "gcc" "src/CMakeFiles/doduo_transformer.dir/doduo/transformer/mlm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/doduo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doduo_transformer.dir/doduo/transformer/attention.cc.o"
+  "CMakeFiles/doduo_transformer.dir/doduo/transformer/attention.cc.o.d"
+  "CMakeFiles/doduo_transformer.dir/doduo/transformer/bert.cc.o"
+  "CMakeFiles/doduo_transformer.dir/doduo/transformer/bert.cc.o.d"
+  "CMakeFiles/doduo_transformer.dir/doduo/transformer/block.cc.o"
+  "CMakeFiles/doduo_transformer.dir/doduo/transformer/block.cc.o.d"
+  "CMakeFiles/doduo_transformer.dir/doduo/transformer/config.cc.o"
+  "CMakeFiles/doduo_transformer.dir/doduo/transformer/config.cc.o.d"
+  "CMakeFiles/doduo_transformer.dir/doduo/transformer/encoder.cc.o"
+  "CMakeFiles/doduo_transformer.dir/doduo/transformer/encoder.cc.o.d"
+  "CMakeFiles/doduo_transformer.dir/doduo/transformer/mlm.cc.o"
+  "CMakeFiles/doduo_transformer.dir/doduo/transformer/mlm.cc.o.d"
+  "libdoduo_transformer.a"
+  "libdoduo_transformer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doduo_transformer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/doduo/util/csv.cc" "src/CMakeFiles/doduo_util.dir/doduo/util/csv.cc.o" "gcc" "src/CMakeFiles/doduo_util.dir/doduo/util/csv.cc.o.d"
+  "/root/repo/src/doduo/util/env.cc" "src/CMakeFiles/doduo_util.dir/doduo/util/env.cc.o" "gcc" "src/CMakeFiles/doduo_util.dir/doduo/util/env.cc.o.d"
+  "/root/repo/src/doduo/util/logging.cc" "src/CMakeFiles/doduo_util.dir/doduo/util/logging.cc.o" "gcc" "src/CMakeFiles/doduo_util.dir/doduo/util/logging.cc.o.d"
+  "/root/repo/src/doduo/util/rng.cc" "src/CMakeFiles/doduo_util.dir/doduo/util/rng.cc.o" "gcc" "src/CMakeFiles/doduo_util.dir/doduo/util/rng.cc.o.d"
+  "/root/repo/src/doduo/util/status.cc" "src/CMakeFiles/doduo_util.dir/doduo/util/status.cc.o" "gcc" "src/CMakeFiles/doduo_util.dir/doduo/util/status.cc.o.d"
+  "/root/repo/src/doduo/util/string_util.cc" "src/CMakeFiles/doduo_util.dir/doduo/util/string_util.cc.o" "gcc" "src/CMakeFiles/doduo_util.dir/doduo/util/string_util.cc.o.d"
+  "/root/repo/src/doduo/util/table_printer.cc" "src/CMakeFiles/doduo_util.dir/doduo/util/table_printer.cc.o" "gcc" "src/CMakeFiles/doduo_util.dir/doduo/util/table_printer.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doduo_util.dir/doduo/util/csv.cc.o"
+  "CMakeFiles/doduo_util.dir/doduo/util/csv.cc.o.d"
+  "CMakeFiles/doduo_util.dir/doduo/util/env.cc.o"
+  "CMakeFiles/doduo_util.dir/doduo/util/env.cc.o.d"
+  "CMakeFiles/doduo_util.dir/doduo/util/logging.cc.o"
+  "CMakeFiles/doduo_util.dir/doduo/util/logging.cc.o.d"
+  "CMakeFiles/doduo_util.dir/doduo/util/rng.cc.o"
+  "CMakeFiles/doduo_util.dir/doduo/util/rng.cc.o.d"
+  "CMakeFiles/doduo_util.dir/doduo/util/status.cc.o"
+  "CMakeFiles/doduo_util.dir/doduo/util/status.cc.o.d"
+  "CMakeFiles/doduo_util.dir/doduo/util/string_util.cc.o"
+  "CMakeFiles/doduo_util.dir/doduo/util/string_util.cc.o.d"
+  "CMakeFiles/doduo_util.dir/doduo/util/table_printer.cc.o"
+  "CMakeFiles/doduo_util.dir/doduo/util/table_printer.cc.o.d"
+  "libdoduo_util.a"
+  "libdoduo_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doduo_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdoduo_util.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/nn/layers_test.cc" "tests/CMakeFiles/nn_test.dir/nn/layers_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/layers_test.cc.o.d"
+  "/root/repo/tests/nn/losses_property_test.cc" "tests/CMakeFiles/nn_test.dir/nn/losses_property_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/losses_property_test.cc.o.d"
+  "/root/repo/tests/nn/losses_test.cc" "tests/CMakeFiles/nn_test.dir/nn/losses_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/losses_test.cc.o.d"
+  "/root/repo/tests/nn/ops_property_test.cc" "tests/CMakeFiles/nn_test.dir/nn/ops_property_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/ops_property_test.cc.o.d"
+  "/root/repo/tests/nn/ops_test.cc" "tests/CMakeFiles/nn_test.dir/nn/ops_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/ops_test.cc.o.d"
+  "/root/repo/tests/nn/optimizer_property_test.cc" "tests/CMakeFiles/nn_test.dir/nn/optimizer_property_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/optimizer_property_test.cc.o.d"
+  "/root/repo/tests/nn/optimizer_test.cc" "tests/CMakeFiles/nn_test.dir/nn/optimizer_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/optimizer_test.cc.o.d"
+  "/root/repo/tests/nn/serialize_test.cc" "tests/CMakeFiles/nn_test.dir/nn/serialize_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/serialize_test.cc.o.d"
+  "/root/repo/tests/nn/tensor_test.cc" "tests/CMakeFiles/nn_test.dir/nn/tensor_test.cc.o" "gcc" "tests/CMakeFiles/nn_test.dir/nn/tensor_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/doduo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

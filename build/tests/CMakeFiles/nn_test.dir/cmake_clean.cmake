@@ -1,0 +1,28 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nn_test.dir/nn/layers_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/layers_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/losses_property_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/losses_property_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/losses_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/losses_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/ops_property_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/ops_property_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/ops_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/ops_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/optimizer_property_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/optimizer_property_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/optimizer_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/optimizer_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/serialize_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/serialize_test.cc.o.d"
+  "CMakeFiles/nn_test.dir/nn/tensor_test.cc.o"
+  "CMakeFiles/nn_test.dir/nn/tensor_test.cc.o.d"
+  "nn_test"
+  "nn_test.pdb"
+  "nn_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nn_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

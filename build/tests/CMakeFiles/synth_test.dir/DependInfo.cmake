@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/synth/case_study_test.cc" "tests/CMakeFiles/synth_test.dir/synth/case_study_test.cc.o" "gcc" "tests/CMakeFiles/synth_test.dir/synth/case_study_test.cc.o.d"
+  "/root/repo/tests/synth/corruption_test.cc" "tests/CMakeFiles/synth_test.dir/synth/corruption_test.cc.o" "gcc" "tests/CMakeFiles/synth_test.dir/synth/corruption_test.cc.o.d"
+  "/root/repo/tests/synth/generator_property_test.cc" "tests/CMakeFiles/synth_test.dir/synth/generator_property_test.cc.o" "gcc" "tests/CMakeFiles/synth_test.dir/synth/generator_property_test.cc.o.d"
+  "/root/repo/tests/synth/knowledge_base_test.cc" "tests/CMakeFiles/synth_test.dir/synth/knowledge_base_test.cc.o" "gcc" "tests/CMakeFiles/synth_test.dir/synth/knowledge_base_test.cc.o.d"
+  "/root/repo/tests/synth/statistics_test.cc" "tests/CMakeFiles/synth_test.dir/synth/statistics_test.cc.o" "gcc" "tests/CMakeFiles/synth_test.dir/synth/statistics_test.cc.o.d"
+  "/root/repo/tests/synth/table_generator_test.cc" "tests/CMakeFiles/synth_test.dir/synth/table_generator_test.cc.o" "gcc" "tests/CMakeFiles/synth_test.dir/synth/table_generator_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/doduo_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

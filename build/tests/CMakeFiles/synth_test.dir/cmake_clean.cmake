@@ -1,0 +1,22 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synth_test.dir/synth/case_study_test.cc.o"
+  "CMakeFiles/synth_test.dir/synth/case_study_test.cc.o.d"
+  "CMakeFiles/synth_test.dir/synth/corruption_test.cc.o"
+  "CMakeFiles/synth_test.dir/synth/corruption_test.cc.o.d"
+  "CMakeFiles/synth_test.dir/synth/generator_property_test.cc.o"
+  "CMakeFiles/synth_test.dir/synth/generator_property_test.cc.o.d"
+  "CMakeFiles/synth_test.dir/synth/knowledge_base_test.cc.o"
+  "CMakeFiles/synth_test.dir/synth/knowledge_base_test.cc.o.d"
+  "CMakeFiles/synth_test.dir/synth/statistics_test.cc.o"
+  "CMakeFiles/synth_test.dir/synth/statistics_test.cc.o.d"
+  "CMakeFiles/synth_test.dir/synth/table_generator_test.cc.o"
+  "CMakeFiles/synth_test.dir/synth/table_generator_test.cc.o.d"
+  "synth_test"
+  "synth_test.pdb"
+  "synth_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synth_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

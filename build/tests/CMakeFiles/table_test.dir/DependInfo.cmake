@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/table/dataset_test.cc" "tests/CMakeFiles/table_test.dir/table/dataset_test.cc.o" "gcc" "tests/CMakeFiles/table_test.dir/table/dataset_test.cc.o.d"
+  "/root/repo/tests/table/render_test.cc" "tests/CMakeFiles/table_test.dir/table/render_test.cc.o" "gcc" "tests/CMakeFiles/table_test.dir/table/render_test.cc.o.d"
+  "/root/repo/tests/table/serializer_property_test.cc" "tests/CMakeFiles/table_test.dir/table/serializer_property_test.cc.o" "gcc" "tests/CMakeFiles/table_test.dir/table/serializer_property_test.cc.o.d"
+  "/root/repo/tests/table/serializer_test.cc" "tests/CMakeFiles/table_test.dir/table/serializer_test.cc.o" "gcc" "tests/CMakeFiles/table_test.dir/table/serializer_test.cc.o.d"
+  "/root/repo/tests/table/table_test.cc" "tests/CMakeFiles/table_test.dir/table/table_test.cc.o" "gcc" "tests/CMakeFiles/table_test.dir/table/table_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/doduo_table.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_synth.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

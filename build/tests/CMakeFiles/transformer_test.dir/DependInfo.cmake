@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/transformer/attention_test.cc" "tests/CMakeFiles/transformer_test.dir/transformer/attention_test.cc.o" "gcc" "tests/CMakeFiles/transformer_test.dir/transformer/attention_test.cc.o.d"
+  "/root/repo/tests/transformer/bert_test.cc" "tests/CMakeFiles/transformer_test.dir/transformer/bert_test.cc.o" "gcc" "tests/CMakeFiles/transformer_test.dir/transformer/bert_test.cc.o.d"
+  "/root/repo/tests/transformer/mlm_test.cc" "tests/CMakeFiles/transformer_test.dir/transformer/mlm_test.cc.o" "gcc" "tests/CMakeFiles/transformer_test.dir/transformer/mlm_test.cc.o.d"
+  "/root/repo/tests/transformer/transformer_property_test.cc" "tests/CMakeFiles/transformer_test.dir/transformer/transformer_property_test.cc.o" "gcc" "tests/CMakeFiles/transformer_test.dir/transformer/transformer_property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/doduo_transformer.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/doduo_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

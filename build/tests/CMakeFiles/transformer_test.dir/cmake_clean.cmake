@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/transformer_test.dir/transformer/attention_test.cc.o"
+  "CMakeFiles/transformer_test.dir/transformer/attention_test.cc.o.d"
+  "CMakeFiles/transformer_test.dir/transformer/bert_test.cc.o"
+  "CMakeFiles/transformer_test.dir/transformer/bert_test.cc.o.d"
+  "CMakeFiles/transformer_test.dir/transformer/mlm_test.cc.o"
+  "CMakeFiles/transformer_test.dir/transformer/mlm_test.cc.o.d"
+  "CMakeFiles/transformer_test.dir/transformer/transformer_property_test.cc.o"
+  "CMakeFiles/transformer_test.dir/transformer/transformer_property_test.cc.o.d"
+  "transformer_test"
+  "transformer_test.pdb"
+  "transformer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/transformer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
