@@ -6,17 +6,24 @@
 
 #include "doduo/baselines/sherlock_features.h"
 #include "doduo/cluster/kmeans.h"
+#include "doduo/core/annotator.h"
 #include "doduo/nn/ops.h"
 #include "doduo/table/serializer.h"
 #include "doduo/text/wordpiece_trainer.h"
 #include "doduo/transformer/bert.h"
+#include "doduo/util/thread_pool.h"
 
 namespace {
 
 using doduo::nn::Tensor;
 
+// GEMM at a fixed thread-pool size; Args are (matrix size, threads).
+// threads=1 is the serial path (the parallel dispatch gate sees a
+// single-thread pool and runs inline), so BM_MatMul/256/1 vs /256/4 is the
+// serial-vs-parallel comparison the scaling PRs track.
 void BM_MatMul(benchmark::State& state) {
   const int64_t n = state.range(0);
+  doduo::util::SetComputeThreads(static_cast<int>(state.range(1)));
   doduo::util::Rng rng(1);
   Tensor a({n, n});
   Tensor b({n, n});
@@ -28,8 +35,33 @@ void BM_MatMul(benchmark::State& state) {
     benchmark::DoNotOptimize(c.data());
   }
   state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  doduo::util::SetComputeThreads(1);
 }
-BENCHMARK(BM_MatMul)->Arg(64)->Arg(128)->Arg(256);
+BENCHMARK(BM_MatMul)
+    ->ArgPair(64, 1)
+    ->ArgPair(128, 1)
+    ->ArgPair(256, 1)
+    ->ArgPair(256, 2)
+    ->ArgPair(256, 4)
+    ->ArgPair(256, 8);
+
+void BM_MatMulTransposedB(benchmark::State& state) {
+  const int64_t n = state.range(0);
+  doduo::util::SetComputeThreads(static_cast<int>(state.range(1)));
+  doduo::util::Rng rng(1);
+  Tensor a({n, n});
+  Tensor b({n, n});
+  a.FillNormal(&rng, 1.0f);
+  b.FillNormal(&rng, 1.0f);
+  Tensor c;
+  for (auto _ : state) {
+    doduo::nn::MatMulTransposedB(a, b, &c);
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() * 2 * n * n * n);
+  doduo::util::SetComputeThreads(1);
+}
+BENCHMARK(BM_MatMulTransposedB)->ArgPair(256, 1)->ArgPair(256, 4);
 
 void BM_SoftmaxRows(benchmark::State& state) {
   doduo::util::Rng rng(2);
@@ -150,6 +182,73 @@ void BM_SherlockFeatures(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SherlockFeatures);
+
+// Batched annotation throughput (tables/sec): AnnotateTypesBatch over a
+// fleet of tables at a given pool size, vs. the threads=1 row which is the
+// sequential-loop equivalent.
+struct BatchAnnotateFixture {
+  BatchAnnotateFixture() : tokenizer(&shared().vocab) {
+    config.encoder.vocab_size = shared().vocab.size();
+    config.encoder.max_positions = 128;
+    config.encoder.hidden_dim = 64;
+    config.encoder.num_layers = 2;
+    config.encoder.num_heads = 4;
+    config.encoder.ffn_dim = 256;
+    config.encoder.dropout = 0.0f;
+    config.serializer.max_total_tokens = 128;
+    config.num_types = 8;
+    config.num_relations = 0;
+    config.tasks = doduo::core::TaskSet::kTypesOnly;
+    for (int t = 0; t < config.num_types; ++t) {
+      types.AddLabel("type" + std::to_string(t));
+    }
+    doduo::util::Rng rng(7);
+    model = std::make_unique<doduo::core::DoduoModel>(config, &rng);
+    model->set_training(false);
+    serializer = std::make_unique<doduo::table::TableSerializer>(
+        &tokenizer, config.serializer);
+    for (int t = 0; t < 16; ++t) {
+      doduo::table::Table table("bench" + std::to_string(t));
+      for (int c = 0; c < 4; ++c) {
+        doduo::table::Column column;
+        column.name = "col" + std::to_string(c);
+        for (int r = 0; r < 6; ++r) {
+          column.values.push_back("george miller " + std::to_string(t + r));
+        }
+        table.AddColumn(std::move(column));
+      }
+      tables.push_back(std::move(table));
+    }
+  }
+
+  static TokenizerFixture& shared() {
+    static TokenizerFixture fixture;
+    return fixture;
+  }
+
+  doduo::text::WordPieceTokenizer tokenizer;
+  doduo::core::DoduoConfig config;
+  doduo::table::LabelVocab types;
+  std::unique_ptr<doduo::core::DoduoModel> model;
+  std::unique_ptr<doduo::table::TableSerializer> serializer;
+  std::vector<doduo::table::Table> tables;
+};
+
+void BM_AnnotateTypesBatch(benchmark::State& state) {
+  static BatchAnnotateFixture fixture;
+  doduo::util::SetComputeThreads(static_cast<int>(state.range(0)));
+  doduo::core::Annotator annotator(fixture.model.get(),
+                                   fixture.serializer.get(), &fixture.types,
+                                   nullptr);
+  for (auto _ : state) {
+    auto results = annotator.AnnotateTypesBatch(fixture.tables);
+    benchmark::DoNotOptimize(results.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(fixture.tables.size()));
+  doduo::util::SetComputeThreads(1);
+}
+BENCHMARK(BM_AnnotateTypesBatch)->Arg(1)->Arg(2)->Arg(4)->Arg(8);
 
 void BM_KMeans(benchmark::State& state) {
   doduo::util::Rng rng(6);

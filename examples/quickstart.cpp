@@ -11,6 +11,7 @@
 // halve it).
 
 #include <cstdio>
+#include <vector>
 
 #include "doduo/core/annotator.h"
 #include "doduo/experiments/runners.h"
@@ -57,6 +58,17 @@ int main() {
   std::printf("relations from the key column:\n");
   for (size_t c = 0; c < relations.size(); ++c) {
     std::printf("  (col 0, col %zu): %s\n", c + 1, relations[c].c_str());
+  }
+
+  // 4. Bulk annotation: hand the annotator many tables at once and the
+  //    forward passes fan out across the compute pool (DODUO_NUM_THREADS).
+  //    Results are identical to looping AnnotateTypes table by table.
+  std::vector<doduo::table::Table> fleet(4, table);
+  const auto batch_types = annotator.AnnotateTypesBatch(fleet);
+  std::printf("batch of %zu tables annotated; first column of each:\n",
+              fleet.size());
+  for (size_t t = 0; t < batch_types.size(); ++t) {
+    std::printf("  table %zu: %s\n", t, batch_types[t][0][0].c_str());
   }
   return 0;
 }

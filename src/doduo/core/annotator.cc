@@ -1,8 +1,52 @@
 #include "doduo/core/annotator.h"
 
+#include <algorithm>
 #include <cmath>
+#include <memory>
+
+#include "doduo/util/thread_pool.h"
 
 namespace doduo::core {
+
+namespace {
+
+// Shared by the scalar and batched type paths so both decode logits
+// identically.
+std::vector<std::vector<std::string>> DecodeTypeLogits(
+    const nn::Tensor& logits, const DoduoConfig& config,
+    const table::LabelVocab& type_vocab) {
+  std::vector<std::vector<std::string>> annotations;
+  annotations.reserve(static_cast<size_t>(logits.rows()));
+  for (int64_t row = 0; row < logits.rows(); ++row) {
+    const float* z = logits.row(row);
+    std::vector<std::string> names;
+    if (config.multi_label) {
+      const float threshold = config.multi_label_threshold;
+      const float z_threshold =
+          std::log(threshold) - std::log(1.0f - threshold);
+      int64_t best = 0;
+      for (int64_t j = 0; j < logits.cols(); ++j) {
+        if (z[j] > z_threshold) {
+          names.push_back(type_vocab.Name(static_cast<int>(j)));
+        }
+        if (z[j] > z[best]) best = j;
+      }
+      if (names.empty()) {
+        names.push_back(type_vocab.Name(static_cast<int>(best)));
+      }
+    } else {
+      int64_t best = 0;
+      for (int64_t j = 1; j < logits.cols(); ++j) {
+        if (z[j] > z[best]) best = j;
+      }
+      names.push_back(type_vocab.Name(static_cast<int>(best)));
+    }
+    annotations.push_back(std::move(names));
+  }
+  return annotations;
+}
+
+}  // namespace
 
 Annotator::Annotator(DoduoModel* model,
                      const table::TableSerializer* serializer,
@@ -22,37 +66,83 @@ std::vector<std::vector<std::string>> Annotator::AnnotateTypes(
   model_->set_training(false);
   const table::SerializedTable input = serializer_->SerializeTable(table);
   const nn::Tensor& logits = model_->ForwardTypes(input);
-  const DoduoConfig& config = model_->config();
+  return DecodeTypeLogits(logits, model_->config(), *type_vocab_);
+}
 
-  std::vector<std::vector<std::string>> annotations;
-  annotations.reserve(static_cast<size_t>(logits.rows()));
-  for (int64_t row = 0; row < logits.rows(); ++row) {
-    const float* z = logits.row(row);
-    std::vector<std::string> names;
-    if (config.multi_label) {
-      const float threshold = config.multi_label_threshold;
-      const float z_threshold =
-          std::log(threshold) - std::log(1.0f - threshold);
-      int64_t best = 0;
-      for (int64_t j = 0; j < logits.cols(); ++j) {
-        if (z[j] > z_threshold) {
-          names.push_back(type_vocab_->Name(static_cast<int>(j)));
-        }
-        if (z[j] > z[best]) best = j;
-      }
-      if (names.empty()) {
-        names.push_back(type_vocab_->Name(static_cast<int>(best)));
-      }
-    } else {
-      int64_t best = 0;
-      for (int64_t j = 1; j < logits.cols(); ++j) {
-        if (z[j] > z[best]) best = j;
-      }
-      names.push_back(type_vocab_->Name(static_cast<int>(best)));
-    }
-    annotations.push_back(std::move(names));
+void Annotator::ForEachTable(
+    std::span<const table::Table> tables,
+    const std::function<void(DoduoModel*, size_t,
+                             const table::SerializedTable&)>& fn) const {
+  model_->set_training(false);
+
+  // Serialization is cheap relative to the encoder and shares the tokenizer,
+  // so it happens up front on the calling thread.
+  std::vector<table::SerializedTable> serialized;
+  serialized.reserve(tables.size());
+  for (const table::Table& table : tables) {
+    serialized.push_back(serializer_->SerializeTable(table));
   }
-  return annotations;
+
+  util::ThreadPool* pool = util::ComputePool();
+  const size_t replicas_wanted = std::min<size_t>(
+      static_cast<size_t>(pool->num_threads()), tables.size());
+  if (replicas_wanted <= 1 || util::ThreadPool::InWorker()) {
+    for (size_t t = 0; t < tables.size(); ++t) {
+      fn(model_, t, serialized[t]);
+    }
+    return;
+  }
+
+  // The forward pass caches state in the model, so concurrent tables need
+  // separate replicas: same config, weights copied in, shared mask builder.
+  // Replica 0 is the primary model itself (the caller's ParallelFor chunk).
+  const std::vector<nn::Tensor> weights = model_->SnapshotWeights();
+  std::vector<std::unique_ptr<DoduoModel>> replicas;
+  replicas.reserve(replicas_wanted - 1);
+  for (size_t r = 1; r < replicas_wanted; ++r) {
+    util::Rng rng(1);  // initializer values are immediately overwritten
+    auto replica = std::make_unique<DoduoModel>(model_->config(), &rng);
+    replica->RestoreWeights(weights);
+    replica->set_mask_builder(model_->mask_builder());
+    replica->set_training(false);
+    replicas.push_back(std::move(replica));
+  }
+
+  const size_t stride = replicas_wanted;
+  pool->ParallelFor(
+      0, static_cast<int64_t>(replicas_wanted), /*grain=*/1,
+      [&](int64_t replica_begin, int64_t replica_end) {
+        for (int64_t r = replica_begin; r < replica_end; ++r) {
+          DoduoModel* model =
+              r == 0 ? model_ : replicas[static_cast<size_t>(r - 1)].get();
+          for (size_t t = static_cast<size_t>(r); t < tables.size();
+               t += stride) {
+            fn(model, t, serialized[t]);
+          }
+        }
+      });
+}
+
+std::vector<std::vector<std::vector<std::string>>>
+Annotator::AnnotateTypesBatch(std::span<const table::Table> tables) const {
+  std::vector<std::vector<std::vector<std::string>>> results(tables.size());
+  const DoduoConfig& config = model_->config();
+  ForEachTable(tables, [&](DoduoModel* model, size_t index,
+                           const table::SerializedTable& input) {
+    results[index] =
+        DecodeTypeLogits(model->ForwardTypes(input), config, *type_vocab_);
+  });
+  return results;
+}
+
+std::vector<nn::Tensor> Annotator::ColumnEmbeddingsBatch(
+    std::span<const table::Table> tables) const {
+  std::vector<nn::Tensor> results(tables.size());
+  ForEachTable(tables, [&](DoduoModel* model, size_t index,
+                           const table::SerializedTable& input) {
+    results[index] = model->ColumnEmbeddings(input);
+  });
+  return results;
 }
 
 std::vector<std::string> Annotator::AnnotateRelations(

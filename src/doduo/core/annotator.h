@@ -1,6 +1,8 @@
 #ifndef DODUO_CORE_ANNOTATOR_H_
 #define DODUO_CORE_ANNOTATOR_H_
 
+#include <functional>
+#include <span>
 #include <string>
 #include <utility>
 #include <vector>
@@ -43,7 +45,33 @@ class Annotator {
   /// Contextualized column embeddings [num_columns, hidden_dim].
   nn::Tensor ColumnEmbeddings(const table::Table& table) const;
 
+  // -- Batched inference ----------------------------------------------------
+  //
+  // The bulk path: tables are serialized up front, then encoder forward
+  // passes for independent tables run concurrently on the global compute
+  // pool (util::ComputePool), one model replica per worker. Results are
+  // index-aligned with the input and identical to looping the scalar calls
+  // (replicas share the same weights and the kernels are bit-deterministic
+  // across thread counts). Falls back to a sequential loop when the pool
+  // has one thread or fewer than two tables are given.
+
+  /// AnnotateTypes for every table: result[t][column] = type names.
+  std::vector<std::vector<std::vector<std::string>>> AnnotateTypesBatch(
+      std::span<const table::Table> tables) const;
+
+  /// ColumnEmbeddings for every table: result[t] = [num_columns, hidden].
+  std::vector<nn::Tensor> ColumnEmbeddingsBatch(
+      std::span<const table::Table> tables) const;
+
  private:
+  /// Serializes `tables` and invokes `fn(model, table_index, serialized)`
+  /// once per table, fanning out across model replicas when profitable.
+  /// `fn` must only touch per-index output slots.
+  void ForEachTable(
+      std::span<const table::Table> tables,
+      const std::function<void(DoduoModel*, size_t,
+                               const table::SerializedTable&)>& fn) const;
+
   DoduoModel* model_;
   const table::TableSerializer* serializer_;
   const table::LabelVocab* type_vocab_;

@@ -89,6 +89,7 @@ class DoduoModel {
   void set_mask_builder(AttentionMaskBuilder builder) {
     mask_builder_ = std::move(builder);
   }
+  const AttentionMaskBuilder& mask_builder() const { return mask_builder_; }
 
   /// Snapshots / restores all parameter values (best-checkpoint selection).
   std::vector<nn::Tensor> SnapshotWeights();

@@ -1,6 +1,10 @@
 #include "doduo/nn/ops.h"
 
+#include <algorithm>
 #include <cmath>
+
+#include "doduo/util/env.h"
+#include "doduo/util/thread_pool.h"
 
 namespace doduo::nn {
 
@@ -11,8 +15,52 @@ void CheckMatrix(const Tensor& t, const char* name) {
                               << t.ShapeString();
 }
 
-// C[m,n] (+)= A[m,k] · B[k,n]. The i-k-j loop order streams through B and C
-// rows, which is the cache-friendly order for row-major data.
+// The GEMM family shards *output rows* across the compute pool. Each output
+// element is written by exactly one chunk, and every kernel accumulates its
+// k-dimension in ascending order for each element regardless of chunk
+// boundaries, so results are bit-identical at any thread count (the
+// determinism contract the training/annotation stack relies on).
+
+// k-tile height for the blocked kernels: a kBlockK × n panel of B stays hot
+// in cache while a shard of output rows streams over it.
+constexpr int64_t kBlockK = 64;
+
+// Kernels go parallel only above this m·k·n volume; below it the fork/join
+// cost dominates and the serial path wins. DODUO_PARALLEL_THRESHOLD
+// overrides the default (the parity/determinism tests set it to 1 so even
+// miniature models exercise the sharded path).
+int64_t ParallelVolumeThreshold() {
+  static const int64_t threshold =
+      util::GetEnvInt("DODUO_PARALLEL_THRESHOLD", 64 * 64 * 64);
+  return threshold;
+}
+
+bool ShouldParallelize(int64_t m, int64_t k, int64_t n) {
+  return m > 1 && m * k * n >= ParallelVolumeThreshold() &&
+         util::ComputeThreads() > 1;
+}
+
+// C[i,:] (+)= A[i,:] · B for i in [row_begin, row_end). Processes B in
+// kBlockK-row panels shared by all rows of the shard; for each element the
+// k-loop still runs 0..k-1 ascending.
+void MatMulRows(const float* pa, const float* pb, float* pc, int64_t k,
+                int64_t n, int64_t row_begin, int64_t row_end) {
+  for (int64_t kb = 0; kb < k; kb += kBlockK) {
+    const int64_t k_end = std::min<int64_t>(k, kb + kBlockK);
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = pa + i * k;
+      float* crow = pc + i * n;
+      for (int64_t l = kb; l < k_end; ++l) {
+        const float av = arow[l];
+        if (av == 0.0f) continue;
+        const float* brow = pb + l * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
+    }
+  }
+}
+
+// C[m,n] (+)= A[m,k] · B[k,n].
 void MatMulImpl(const Tensor& a, const Tensor& b, Tensor* out,
                 bool accumulate) {
   CheckMatrix(a, "a");
@@ -31,15 +79,13 @@ void MatMulImpl(const Tensor& a, const Tensor& b, Tensor* out,
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out->data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    float* crow = pc + i * n;
-    for (int64_t l = 0; l < k; ++l) {
-      const float av = arow[l];
-      if (av == 0.0f) continue;
-      const float* brow = pb + l * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
+  if (ShouldParallelize(m, k, n)) {
+    util::ComputePool()->ParallelFor(
+        0, m, /*grain=*/1, [&](int64_t row_begin, int64_t row_end) {
+          MatMulRows(pa, pb, pc, k, n, row_begin, row_end);
+        });
+  } else {
+    MatMulRows(pa, pb, pc, k, n, 0, m);
   }
 }
 
@@ -65,13 +111,46 @@ void MatMulTransposedB(const Tensor& a, const Tensor& b, Tensor* out) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out->data();
-  for (int64_t i = 0; i < m; ++i) {
-    const float* arow = pa + i * k;
-    for (int64_t j = 0; j < n; ++j) {
-      pc[i * n + j] = Dot(arow, pb + j * k, k);
+  auto rows = [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = pa + i * k;
+      for (int64_t j = 0; j < n; ++j) {
+        pc[i * n + j] = Dot(arow, pb + j * k, k);
+      }
+    }
+  };
+  if (ShouldParallelize(m, k, n)) {
+    util::ComputePool()->ParallelFor(0, m, /*grain=*/1, rows);
+  } else {
+    rows(0, m);
+  }
+}
+
+namespace {
+
+// C[:, i..] shard for i in [col_begin, col_end), where C[i,j] accumulates
+// sum_l a[l,i]·b[l,j] with l ascending — the same per-element order the
+// serial rank-1 loop below produces, so serial and parallel paths match
+// bit-for-bit. B is walked in kBlockK-row panels for reuse across the
+// shard's output rows.
+void MatMulTransposedARows(const float* pa, const float* pb, float* pc,
+                           int64_t k, int64_t m, int64_t n, int64_t col_begin,
+                           int64_t col_end) {
+  for (int64_t kb = 0; kb < k; kb += kBlockK) {
+    const int64_t k_end = std::min<int64_t>(k, kb + kBlockK);
+    for (int64_t i = col_begin; i < col_end; ++i) {
+      float* crow = pc + i * n;
+      for (int64_t l = kb; l < k_end; ++l) {
+        const float av = pa[l * m + i];
+        if (av == 0.0f) continue;
+        const float* brow = pb + l * n;
+        for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+      }
     }
   }
 }
+
+}  // namespace
 
 void MatMulTransposedAAccum(const Tensor& a, const Tensor& b, Tensor* out) {
   CheckMatrix(a, "a");
@@ -86,7 +165,16 @@ void MatMulTransposedAAccum(const Tensor& a, const Tensor& b, Tensor* out) {
   const float* pa = a.data();
   const float* pb = b.data();
   float* pc = out->data();
-  // Rank-1 update per row l of a/b; all three operands are streamed.
+  if (ShouldParallelize(m, k, n)) {
+    util::ComputePool()->ParallelFor(
+        0, m, /*grain=*/1, [&](int64_t col_begin, int64_t col_end) {
+          MatMulTransposedARows(pa, pb, pc, k, m, n, col_begin, col_end);
+        });
+    return;
+  }
+  // Serial path: rank-1 update per row l of a/b; all three operands are
+  // streamed. Per element (i,j) the updates still land in ascending-l
+  // order, matching the sharded path above.
   for (int64_t l = 0; l < k; ++l) {
     const float* arow = pa + l * m;
     const float* brow = pb + l * n;

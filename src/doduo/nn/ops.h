@@ -9,6 +9,11 @@ namespace doduo::nn {
 // caller-provided outputs (resized as needed) and die on shape mismatches.
 // Accumulating variants add into the output instead of overwriting, which
 // the backward passes use to sum gradients.
+//
+// The MatMul family is cache-blocked and, above a volume threshold, shards
+// output rows across util::ComputePool(). Per-element FP operation order is
+// fixed regardless of thread count, so results are bit-identical whether
+// DODUO_NUM_THREADS is 1 or N (see DESIGN.md §7).
 
 /// out = a · b for a[m,k], b[k,n]; out resized to [m,n].
 void MatMul(const Tensor& a, const Tensor& b, Tensor* out);

@@ -7,7 +7,9 @@ namespace doduo::util {
 
 /// Reads an environment variable, falling back to `fallback` when unset or
 /// unparsable. Used by the experiment binaries for knobs such as
-/// DODUO_SCALE and DODUO_SEED.
+/// DODUO_SCALE and DODUO_SEED, and by the threading stack for
+/// DODUO_NUM_THREADS (compute-pool size, see util/thread_pool.h) and
+/// DODUO_PARALLEL_THRESHOLD (kernel parallel-dispatch gate, see nn/ops.cc).
 std::string GetEnvString(const char* name, const std::string& fallback);
 double GetEnvDouble(const char* name, double fallback);
 int64_t GetEnvInt(const char* name, int64_t fallback);

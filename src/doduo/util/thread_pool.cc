@@ -1,0 +1,166 @@
+#include "doduo/util/thread_pool.h"
+
+#include <algorithm>
+#include <exception>
+#include <memory>
+
+#include "doduo/util/check.h"
+#include "doduo/util/env.h"
+
+namespace doduo::util {
+
+namespace {
+
+// Set for the lifetime of every worker thread; ParallelFor consults it so a
+// nested call from inside a task runs inline instead of blocking on the
+// queue it is supposed to drain.
+thread_local bool t_in_worker = false;
+
+}  // namespace
+
+ThreadPool::ThreadPool(int num_threads) {
+  const int n = std::max(1, num_threads);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_available_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+bool ThreadPool::InWorker() { return t_in_worker; }
+
+void ThreadPool::Submit(std::function<void()> fn) {
+  DODUO_CHECK(fn != nullptr);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // No shutdown check: tasks may legally submit follow-up work while the
+    // destructor drains, and the submitting worker's own loop (still alive
+    // by definition) picks it up before exiting.
+    queue_.push_back(std::move(fn));
+  }
+  work_available_.notify_one();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_in_worker = true;
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_available_.wait(lock,
+                           [this] { return shutdown_ || !queue_.empty(); });
+      // Drain everything that was submitted before shutdown; exit only once
+      // the queue is empty, so no accepted task is ever dropped.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                             const std::function<void(int64_t, int64_t)>& fn) {
+  if (begin >= end) return;
+  const int64_t range = end - begin;
+  const int64_t min_chunk = std::max<int64_t>(1, grain);
+  if (num_threads() <= 1 || range <= min_chunk || InWorker()) {
+    fn(begin, end);
+    return;
+  }
+
+  const int64_t num_chunks = std::min<int64_t>(
+      num_threads(), (range + min_chunk - 1) / min_chunk);
+  // Near-equal contiguous chunks: the first `remainder` chunks get one extra
+  // iteration. Chunk boundaries depend only on (range, num_chunks), never on
+  // scheduling, and fn's internal iteration order is untouched.
+  const int64_t base = range / num_chunks;
+  const int64_t remainder = range % num_chunks;
+
+  struct Sync {
+    std::mutex mutex;
+    std::condition_variable all_done;
+    int64_t pending;
+    std::exception_ptr first_error;
+  } sync;
+  sync.pending = num_chunks - 1;
+
+  auto run_chunk = [&fn, &sync](int64_t chunk_begin, int64_t chunk_end) {
+    try {
+      fn(chunk_begin, chunk_end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(sync.mutex);
+      if (!sync.first_error) sync.first_error = std::current_exception();
+    }
+  };
+
+  int64_t cursor = begin;
+  int64_t caller_begin = 0;
+  int64_t caller_end = 0;
+  for (int64_t c = 0; c < num_chunks; ++c) {
+    const int64_t chunk = base + (c < remainder ? 1 : 0);
+    const int64_t chunk_begin = cursor;
+    const int64_t chunk_end = cursor + chunk;
+    cursor = chunk_end;
+    if (c == 0) {
+      // The caller works too instead of idling while it waits.
+      caller_begin = chunk_begin;
+      caller_end = chunk_end;
+      continue;
+    }
+    Submit([&sync, &run_chunk, chunk_begin, chunk_end] {
+      run_chunk(chunk_begin, chunk_end);
+      std::lock_guard<std::mutex> lock(sync.mutex);
+      if (--sync.pending == 0) sync.all_done.notify_one();
+    });
+  }
+  DODUO_CHECK_EQ(cursor, end);
+  run_chunk(caller_begin, caller_end);
+
+  std::unique_lock<std::mutex> lock(sync.mutex);
+  sync.all_done.wait(lock, [&sync] { return sync.pending == 0; });
+  if (sync.first_error) std::rethrow_exception(sync.first_error);
+}
+
+namespace {
+
+std::mutex g_pool_mutex;
+std::unique_ptr<ThreadPool> g_pool;
+
+int DefaultComputeThreads() {
+  int64_t n = GetEnvInt("DODUO_NUM_THREADS", 0);
+  if (n <= 0) {
+    const unsigned hardware = std::thread::hardware_concurrency();
+    n = hardware == 0 ? 1 : static_cast<int64_t>(hardware);
+  }
+  return static_cast<int>(std::clamp<int64_t>(n, 1, 16));
+}
+
+}  // namespace
+
+ThreadPool* ComputePool() {
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  if (g_pool == nullptr) {
+    g_pool = std::make_unique<ThreadPool>(DefaultComputeThreads());
+  }
+  return g_pool.get();
+}
+
+int ComputeThreads() { return ComputePool()->num_threads(); }
+
+void SetComputeThreads(int num_threads) {
+  std::unique_ptr<ThreadPool> replacement =
+      std::make_unique<ThreadPool>(std::max(1, num_threads));
+  std::lock_guard<std::mutex> lock(g_pool_mutex);
+  g_pool = std::move(replacement);
+}
+
+}  // namespace doduo::util

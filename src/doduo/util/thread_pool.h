@@ -1,0 +1,81 @@
+#ifndef DODUO_UTIL_THREAD_POOL_H_
+#define DODUO_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace doduo::util {
+
+/// A fixed-size thread pool with a single FIFO queue (no work stealing).
+/// Workers drain the queue until shutdown; the destructor completes all
+/// pending work before joining, so submitted tasks are never dropped.
+///
+/// The pool is the substrate for data-parallel kernels (see nn/ops.cc) and
+/// batched annotation (core/annotator.cc). Determinism contract: ParallelFor
+/// only decides *which thread* runs a chunk, never the iteration order
+/// inside a chunk, so callers that keep per-element work order fixed get
+/// bit-identical results at any thread count.
+class ThreadPool {
+ public:
+  /// Spawns `num_threads` workers (clamped to >= 1).
+  explicit ThreadPool(int num_threads);
+
+  /// Completes all pending and running tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return static_cast<int>(workers_.size()); }
+
+  /// Enqueues a task. Safe to call from worker threads (nested submits do
+  /// not deadlock: workers never block on the queue while holding work).
+  void Submit(std::function<void()> fn);
+
+  /// Splits [begin, end) into at most num_threads() contiguous chunks of at
+  /// least `grain` iterations and runs `fn(chunk_begin, chunk_end)` on the
+  /// pool; the calling thread executes the first chunk itself and then
+  /// waits. Rethrows the first exception thrown by any chunk (all chunks
+  /// still run to completion).
+  ///
+  /// Runs inline — sequentially on the calling thread — when the range is
+  /// empty or fits one grain, when the pool has a single thread, and when
+  /// called from inside a pool worker (so nested ParallelFor calls are safe
+  /// and can never deadlock).
+  void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<void(int64_t, int64_t)>& fn);
+
+  /// True when the calling thread is one of this pool's workers.
+  static bool InWorker();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mutex_;
+  std::condition_variable work_available_;
+  std::deque<std::function<void()>> queue_;
+  bool shutdown_ = false;
+  std::vector<std::thread> workers_;
+};
+
+/// The process-wide compute pool used by the parallel kernels and the
+/// batched Annotator API. Lazily constructed on first use with
+/// DODUO_NUM_THREADS workers (default: hardware concurrency, capped at 16).
+ThreadPool* ComputePool();
+
+/// Current size of the global compute pool (>= 1).
+int ComputeThreads();
+
+/// Rebuilds the global compute pool with `num_threads` workers. A control
+/// knob for tests, benchmarks, and the CLI `--threads` flag; must not be
+/// called while kernels are executing on the pool.
+void SetComputeThreads(int num_threads);
+
+}  // namespace doduo::util
+
+#endif  // DODUO_UTIL_THREAD_POOL_H_

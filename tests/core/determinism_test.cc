@@ -1,10 +1,15 @@
 // Reproducibility guarantee: identical seeds produce bit-identical
 // datasets, training runs, and predictions — the property every
-// experiment binary relies on.
+// experiment binary relies on — including across compute-pool sizes
+// (the row-sharded kernels keep per-element FP operation order fixed).
 
+#include <cstdlib>
+
+#include "doduo/core/annotator.h"
 #include "doduo/core/trainer.h"
 #include "doduo/synth/table_generator.h"
 #include "doduo/text/wordpiece_trainer.h"
+#include "doduo/util/thread_pool.h"
 #include "gtest/gtest.h"
 
 namespace doduo::core {
@@ -14,6 +19,7 @@ struct PipelineResult {
   std::vector<double> valid_curve;
   double test_f1 = 0.0;
   std::vector<float> first_weights;
+  std::vector<std::vector<std::string>> annotations;
 };
 
 PipelineResult RunPipeline(uint64_t seed) {
@@ -62,12 +68,15 @@ PipelineResult RunPipeline(uint64_t seed) {
   const nn::Tensor& weights = model.Parameters()[0]->value;
   result.first_weights.assign(weights.data(),
                               weights.data() + weights.size());
+  const Annotator annotator(&model, &serializer, &dataset.type_vocab,
+                            &dataset.relation_vocab);
+  result.annotations =
+      annotator.AnnotateTypes(dataset.tables[splits.test[0]].table);
   return result;
 }
 
-TEST(DeterminismTest, IdenticalSeedsIdenticalRuns) {
-  const PipelineResult a = RunPipeline(101);
-  const PipelineResult b = RunPipeline(101);
+void ExpectIdenticalResults(const PipelineResult& a,
+                            const PipelineResult& b) {
   ASSERT_EQ(a.valid_curve.size(), b.valid_curve.size());
   for (size_t i = 0; i < a.valid_curve.size(); ++i) {
     EXPECT_DOUBLE_EQ(a.valid_curve[i], b.valid_curve[i]);
@@ -77,6 +86,27 @@ TEST(DeterminismTest, IdenticalSeedsIdenticalRuns) {
   for (size_t i = 0; i < a.first_weights.size(); ++i) {
     ASSERT_EQ(a.first_weights[i], b.first_weights[i]) << i;
   }
+  EXPECT_EQ(a.annotations, b.annotations);
+}
+
+TEST(DeterminismTest, IdenticalSeedsIdenticalRuns) {
+  const PipelineResult a = RunPipeline(101);
+  const PipelineResult b = RunPipeline(101);
+  ExpectIdenticalResults(a, b);
+}
+
+TEST(DeterminismTest, ThreadCountDoesNotChangeResults) {
+  // Training and annotation must be bit-identical at 1 vs 4 threads. The
+  // threshold override forces even this miniature model's GEMMs through
+  // the sharded parallel path (cached at first kernel use, which happens
+  // inside RunPipeline below).
+  setenv("DODUO_PARALLEL_THRESHOLD", "1", 1);
+  util::SetComputeThreads(1);
+  const PipelineResult serial = RunPipeline(101);
+  util::SetComputeThreads(4);
+  const PipelineResult parallel = RunPipeline(101);
+  util::SetComputeThreads(1);
+  ExpectIdenticalResults(serial, parallel);
 }
 
 TEST(DeterminismTest, DifferentSeedsDifferentRuns) {

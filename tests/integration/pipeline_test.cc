@@ -10,6 +10,7 @@
 #include "doduo/experiments/runners.h"
 #include "doduo/probe/prober.h"
 #include "doduo/synth/case_study.h"
+#include "doduo/util/thread_pool.h"
 #include "gtest/gtest.h"
 
 namespace doduo {
@@ -110,6 +111,38 @@ TEST_F(PipelineTest, PretrainedLmKnowsMoreThanChanceInProbing) {
   mean_rank /= static_cast<double>(rows.size());
   EXPECT_LT(mean_rank, chance);
   EXPECT_LT(rows.front().avg_rank, chance * 0.5);
+}
+
+TEST_F(PipelineTest, BatchAnnotationMatchesSequentialLoop) {
+  // The batched API fans tables out across model replicas on the compute
+  // pool; its results must equal five sequential scalar calls exactly.
+  core::Annotator annotator(run_->model.get(), run_->serializer.get(),
+                            &env_->dataset().type_vocab,
+                            &env_->dataset().relation_vocab);
+  std::vector<table::Table> tables;
+  for (int t = 0; t < 5; ++t) {
+    tables.push_back(
+        env_->dataset().tables[env_->splits().test[static_cast<size_t>(t)]]
+            .table);
+  }
+
+  util::SetComputeThreads(4);
+  const auto batch_types = annotator.AnnotateTypesBatch(tables);
+  const auto batch_embeddings = annotator.ColumnEmbeddingsBatch(tables);
+  util::SetComputeThreads(1);
+
+  ASSERT_EQ(batch_types.size(), tables.size());
+  ASSERT_EQ(batch_embeddings.size(), tables.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    EXPECT_EQ(batch_types[t], annotator.AnnotateTypes(tables[t]))
+        << "table " << t;
+    const nn::Tensor loop_embedding = annotator.ColumnEmbeddings(tables[t]);
+    ASSERT_TRUE(nn::SameShape(batch_embeddings[t], loop_embedding));
+    for (int64_t i = 0; i < loop_embedding.size(); ++i) {
+      ASSERT_EQ(batch_embeddings[t].data()[i], loop_embedding.data()[i])
+          << "table " << t << " element " << i;
+    }
+  }
 }
 
 TEST_F(PipelineTest, ColumnAttentionMatchesColumnCount) {

@@ -5,12 +5,17 @@
 //       self-contained model directory (weights, vocabulary, label
 //       inventories, configuration).
 //
-//   doduo_cli annotate --model <dir> <file.csv>
+//   doduo_cli annotate --model <dir> [--batch] <file.csv>...
 //       Loads a saved model and prints per-column semantic types (and
-//       key-column relations when the model has a relation head).
+//       key-column relations when the model has a relation head). With
+//       --batch, all given CSVs are annotated in one AnnotateTypesBatch
+//       call that fans out across the compute pool.
 //
 //   doduo_cli embed --model <dir> <file.csv>
 //       Prints the contextualized column embeddings as CSV.
+//
+// Every command accepts --threads N to size the compute pool (equivalent
+// to DODUO_NUM_THREADS=N; 1 disables parallelism).
 
 #include <cstdio>
 #include <cstring>
@@ -18,12 +23,15 @@
 #include <fstream>
 #include <string>
 
+#include <vector>
+
 #include "doduo/core/annotator.h"
 #include "doduo/experiments/runners.h"
 #include "doduo/nn/serialize.h"
 #include "doduo/util/csv.h"
 #include "doduo/util/env.h"
 #include "doduo/util/string_util.h"
+#include "doduo/util/thread_pool.h"
 
 namespace {
 
@@ -200,28 +208,49 @@ int Train(const std::string& out_dir, const std::string& mode) {
   return 0;
 }
 
-int Annotate(const std::string& model_dir, const std::string& csv_path) {
+void PrintTypes(const doduo::table::Table& table,
+                const std::vector<std::vector<std::string>>& types) {
+  for (int c = 0; c < table.num_columns(); ++c) {
+    std::printf("%s: %s\n", table.column(c).name.c_str(),
+                doduo::util::Join(types[static_cast<size_t>(c)], ", ")
+                    .c_str());
+  }
+}
+
+int Annotate(const std::string& model_dir,
+             const std::vector<std::string>& csv_paths, bool batch) {
   auto loaded = LoadModelDir(model_dir);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
-  auto table = LoadCsvTable(csv_path);
-  if (!table.ok()) return Fail(table.status().ToString());
+  std::vector<doduo::table::Table> tables;
+  for (const std::string& path : csv_paths) {
+    auto table = LoadCsvTable(path);
+    if (!table.ok()) return Fail(table.status().ToString());
+    tables.push_back(std::move(table).value());
+  }
 
   LoadedModel& m = *loaded.value();
   doduo::core::Annotator annotator(
       m.model.get(), m.serializer.get(), &m.types,
       m.config.num_relations > 0 ? &m.relations : nullptr);
-  const auto types = annotator.AnnotateTypes(table.value());
-  for (int c = 0; c < table.value().num_columns(); ++c) {
-    std::printf("%s: %s\n", table.value().column(c).name.c_str(),
-                doduo::util::Join(types[static_cast<size_t>(c)], ", ")
-                    .c_str());
+
+  std::vector<std::vector<std::vector<std::string>>> types;
+  if (batch) {
+    types = annotator.AnnotateTypesBatch(tables);
+  } else {
+    for (const auto& table : tables) {
+      types.push_back(annotator.AnnotateTypes(table));
+    }
   }
-  if (m.config.num_relations > 0 && table.value().num_columns() > 1) {
-    const auto relations = annotator.AnnotateKeyRelations(table.value());
-    for (size_t c = 0; c < relations.size(); ++c) {
-      std::printf("(%s, %s): %s\n", table.value().column(0).name.c_str(),
-                  table.value().column(static_cast<int>(c) + 1).name.c_str(),
-                  relations[c].c_str());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    if (tables.size() > 1) std::printf("== %s ==\n", csv_paths[t].c_str());
+    PrintTypes(tables[t], types[t]);
+    if (m.config.num_relations > 0 && tables[t].num_columns() > 1) {
+      const auto relations = annotator.AnnotateKeyRelations(tables[t]);
+      for (size_t c = 0; c < relations.size(); ++c) {
+        std::printf("(%s, %s): %s\n", tables[t].column(0).name.c_str(),
+                    tables[t].column(static_cast<int>(c) + 1).name.c_str(),
+                    relations[c].c_str());
+      }
     }
   }
   return 0;
@@ -251,9 +280,10 @@ int Embed(const std::string& model_dir, const std::string& csv_path) {
 
 const char* kUsage =
     "usage:\n"
-    "  doduo_cli train --out <dir> [--mode wikitable|viznet]\n"
-    "  doduo_cli annotate --model <dir> <file.csv>\n"
-    "  doduo_cli embed --model <dir> <file.csv>\n";
+    "  doduo_cli train --out <dir> [--mode wikitable|viznet] [--threads N]\n"
+    "  doduo_cli annotate --model <dir> [--batch] [--threads N]"
+    " <file.csv>...\n"
+    "  doduo_cli embed --model <dir> [--threads N] <file.csv>\n";
 
 }  // namespace
 
@@ -262,7 +292,8 @@ int main(int argc, char** argv) {
   std::string out_dir;
   std::string model_dir;
   std::string mode = "wikitable";
-  std::string csv_path;
+  std::vector<std::string> csv_paths;
+  bool batch = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
@@ -270,17 +301,22 @@ int main(int argc, char** argv) {
       model_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
       mode = argv[++i];
+    } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
+      doduo::util::SetComputeThreads(
+          static_cast<int>(std::strtol(argv[++i], nullptr, 10)));
+    } else if (std::strcmp(argv[i], "--batch") == 0) {
+      batch = true;
     } else {
-      csv_path = argv[i];
+      csv_paths.emplace_back(argv[i]);
     }
   }
 
   if (command == "train" && !out_dir.empty()) return Train(out_dir, mode);
-  if (command == "annotate" && !model_dir.empty() && !csv_path.empty()) {
-    return Annotate(model_dir, csv_path);
+  if (command == "annotate" && !model_dir.empty() && !csv_paths.empty()) {
+    return Annotate(model_dir, csv_paths, batch);
   }
-  if (command == "embed" && !model_dir.empty() && !csv_path.empty()) {
-    return Embed(model_dir, csv_path);
+  if (command == "embed" && !model_dir.empty() && !csv_paths.empty()) {
+    return Embed(model_dir, csv_paths.front());
   }
   std::fputs(kUsage, stderr);
   return 2;
