@@ -75,6 +75,44 @@ void BM_SoftmaxRows(benchmark::State& state) {
 }
 BENCHMARK(BM_SoftmaxRows);
 
+// Attention forward at (seq, fused): fused=1 is the strided-view packed-QKV
+// path, fused=0 the retained copy-based reference (the pre-fusion kernel
+// sequence). Reports allocs_per_iter — Tensor heap allocations per forward —
+// which must be 0 at steady state in DODUO_COUNT_ALLOCS builds.
+void BM_AttentionForward(benchmark::State& state) {
+  const int seq = static_cast<int>(state.range(0));
+  const bool fused = state.range(1) != 0;
+  doduo::util::Rng rng(11);
+  doduo::transformer::TransformerConfig config;
+  config.max_positions = seq;
+  config.hidden_dim = 64;
+  config.num_heads = 4;
+  config.ffn_dim = 256;
+  config.num_layers = 1;
+  config.dropout = 0.0f;
+  doduo::transformer::MultiHeadSelfAttention attn("bench", config, &rng);
+  attn.set_use_fused(fused);
+  Tensor x({seq, config.hidden_dim});
+  x.FillNormal(&rng, 1.0f);
+  attn.Forward(x, nullptr);  // warm up buffers
+  doduo::nn::ResetTensorAllocCount();
+  for (auto _ : state) {
+    const Tensor& y = attn.Forward(x, nullptr);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(doduo::nn::TensorAllocCount()),
+      benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations() * seq);
+}
+BENCHMARK(BM_AttentionForward)
+    ->ArgPair(64, 1)
+    ->ArgPair(64, 0)
+    ->ArgPair(128, 1)
+    ->ArgPair(128, 0)
+    ->ArgPair(512, 1)
+    ->ArgPair(512, 0);
+
 doduo::transformer::TransformerConfig BenchEncoderConfig() {
   doduo::transformer::TransformerConfig config;
   config.vocab_size = 2000;
@@ -86,6 +124,38 @@ doduo::transformer::TransformerConfig BenchEncoderConfig() {
   config.dropout = 0.0f;
   return config;
 }
+
+// Full encoder stack (attention + fused bias/GELU FFN) at (seq, fused),
+// with the allocations-per-forward report.
+void BM_EncoderForward(benchmark::State& state) {
+  const int seq = static_cast<int>(state.range(0));
+  const bool fused = state.range(1) != 0;
+  doduo::util::Rng rng(12);
+  doduo::transformer::TransformerConfig config = BenchEncoderConfig();
+  config.max_positions = seq;
+  doduo::transformer::Encoder encoder("bench", config, &rng);
+  encoder.set_use_fused(fused);
+  encoder.set_training(false);
+  Tensor x({seq, config.hidden_dim});
+  x.FillNormal(&rng, 1.0f);
+  encoder.Forward(x, nullptr);  // warm up buffers
+  doduo::nn::ResetTensorAllocCount();
+  for (auto _ : state) {
+    const Tensor& y = encoder.Forward(x, nullptr);
+    benchmark::DoNotOptimize(y.data());
+  }
+  state.counters["allocs_per_iter"] = benchmark::Counter(
+      static_cast<double>(doduo::nn::TensorAllocCount()),
+      benchmark::Counter::kAvgIterations);
+  state.SetItemsProcessed(state.iterations() * seq);
+}
+BENCHMARK(BM_EncoderForward)
+    ->ArgPair(64, 1)
+    ->ArgPair(64, 0)
+    ->ArgPair(128, 1)
+    ->ArgPair(128, 0)
+    ->ArgPair(512, 1)
+    ->ArgPair(512, 0);
 
 void BM_BertForward(benchmark::State& state) {
   const int seq = static_cast<int>(state.range(0));

@@ -25,6 +25,34 @@ float GeluGradScalar(float x) {
   return 0.5f * (1.0f + t) + 0.5f * x * sech2 * d_inner;
 }
 
+void BiasGeluForward(Tensor* pre_act, const Tensor& bias, Tensor* act) {
+  DODUO_CHECK_EQ(pre_act->ndim(), 2);
+  DODUO_CHECK_EQ(bias.ndim(), 1);
+  DODUO_CHECK_EQ(pre_act->cols(), bias.dim(0));
+  act->ResizeUninitialized(pre_act->shape());
+  const int64_t n = pre_act->cols();
+  const float* b = bias.data();
+  for (int64_t i = 0; i < pre_act->rows(); ++i) {
+    float* u = pre_act->row(i);
+    float* out = act->row(i);
+    for (int64_t j = 0; j < n; ++j) {
+      u[j] += b[j];
+      out[j] = GeluScalar(u[j]);
+    }
+  }
+}
+
+void GeluBackward(const Tensor& pre_act, const Tensor& grad_act,
+                  Tensor* grad_pre) {
+  DODUO_CHECK(SameShape(grad_act, pre_act));
+  grad_pre->ResizeUninitialized(grad_act.shape());
+  const float* dy = grad_act.data();
+  const float* in = pre_act.data();
+  float* dx = grad_pre->data();
+  for (int64_t i = 0; i < grad_act.size(); ++i)
+    dx[i] = dy[i] * GeluGradScalar(in[i]);
+}
+
 const Tensor& Gelu::Forward(const Tensor& x) {
   cached_input_ = x;
   output_.ResizeUninitialized(x.shape());

@@ -9,6 +9,18 @@ namespace doduo::nn {
 float GeluScalar(float x);
 float GeluGradScalar(float x);
 
+/// Fused FFN epilogue: adds the 1-D `bias` to every row of `pre_act` [m, n]
+/// in place, then writes act = gelu(pre_act) — one pass instead of
+/// AddRowBroadcast + a Gelu layer that copies its input for backward. The
+/// biased pre-activation stays in `pre_act` for GeluBackward.
+void BiasGeluForward(Tensor* pre_act, const Tensor& bias, Tensor* act);
+
+/// grad_pre = grad_act ⊙ gelu'(pre_act), the backward of BiasGeluForward
+/// with respect to its (biased) pre-activation. Identical math to
+/// Gelu::Backward, minus the cached input copy.
+void GeluBackward(const Tensor& pre_act, const Tensor& grad_act,
+                  Tensor* grad_pre);
+
 /// Elementwise GELU layer with cached input for backward.
 class Gelu {
  public:

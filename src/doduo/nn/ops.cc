@@ -6,6 +6,11 @@
 #include "doduo/util/env.h"
 #include "doduo/util/thread_pool.h"
 
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define DODUO_X86_SIMD 1
+#endif
+
 namespace doduo::nn {
 
 namespace {
@@ -40,24 +45,187 @@ bool ShouldParallelize(int64_t m, int64_t k, int64_t n) {
          util::ComputeThreads() > 1;
 }
 
+// --- SIMD fast paths ------------------------------------------------------
+//
+// The vector kernels below are drop-in replacements for the scalar loops
+// with the SAME per-element FP operation order, so they are bit-identical to
+// the scalar code (and therefore to pre-SIMD checkpoints and goldens):
+//  * axpy-style updates (c[j] += a·b[j]) are independent per j, so any
+//    vector width is exact; we only unroll the k-loop by 4, which keeps the
+//    per-element accumulation in ascending-k order.
+//  * Dot's four scalar accumulators map one-to-one onto the four lanes of an
+//    SSE register (acc_m sums a[4i+m]·b[4i+m] sequentially), and the final
+//    reduction extracts lanes and adds them left-associatively exactly like
+//    the scalar `acc0 + acc1 + acc2 + acc3`.
+// No FMA: mulps/addps round each op separately, like the scalar code. The
+// AVX paths are compiled per-function via target attributes (FMA is *not*
+// enabled, so the compiler cannot contract mul+add) and selected at runtime
+// with __builtin_cpu_supports; DODUO_SIMD=0 forces the scalar paths.
+
+#if defined(DODUO_X86_SIMD)
+
+bool UseAvx() {
+  static const bool avx = __builtin_cpu_supports("avx") != 0 &&
+                          util::GetEnvInt("DODUO_SIMD", 1) != 0;
+  return avx;
+}
+
+// c[j] += av * b[j] for j in [0, n); exact per-j scalar semantics.
+__attribute__((target("avx"))) inline void Axpy8(float* c, const float* b,
+                                                 float av, int64_t n) {
+  const __m256 va = _mm256_set1_ps(av);
+  int64_t j = 0;
+  for (; j + 8 <= n; j += 8) {
+    __m256 vc = _mm256_loadu_ps(c + j);
+    vc = _mm256_add_ps(vc, _mm256_mul_ps(va, _mm256_loadu_ps(b + j)));
+    _mm256_storeu_ps(c + j, vc);
+  }
+  for (; j < n; ++j) c[j] += av * b[j];
+}
+
+// Shared body of the two panel kernels: accumulates four consecutive k-rows
+// b0..b3 of B (weighted a0..a3) into crow. The all-nonzero fast path chains
+// the four updates per element in ascending-k order — the same order the
+// scalar kernel produces — and amortizes the load/store of crow 4×; any
+// zero weight falls back to per-row updates to preserve the zero-skip
+// semantics exactly (0·inf/NaN would otherwise change bits).
+__attribute__((target("avx"))) inline void AccumPanel4Avx(
+    float* crow, const float* b0, const float* b1, const float* b2,
+    const float* b3, float a0, float a1, float a2, float a3, int64_t n) {
+  if (a0 != 0.0f && a1 != 0.0f && a2 != 0.0f && a3 != 0.0f) {
+    const __m256 va0 = _mm256_set1_ps(a0);
+    const __m256 va1 = _mm256_set1_ps(a1);
+    const __m256 va2 = _mm256_set1_ps(a2);
+    const __m256 va3 = _mm256_set1_ps(a3);
+    int64_t j = 0;
+    for (; j + 8 <= n; j += 8) {
+      __m256 vc = _mm256_loadu_ps(crow + j);
+      vc = _mm256_add_ps(vc, _mm256_mul_ps(va0, _mm256_loadu_ps(b0 + j)));
+      vc = _mm256_add_ps(vc, _mm256_mul_ps(va1, _mm256_loadu_ps(b1 + j)));
+      vc = _mm256_add_ps(vc, _mm256_mul_ps(va2, _mm256_loadu_ps(b2 + j)));
+      vc = _mm256_add_ps(vc, _mm256_mul_ps(va3, _mm256_loadu_ps(b3 + j)));
+      _mm256_storeu_ps(crow + j, vc);
+    }
+    for (; j < n; ++j) {
+      float c = crow[j];
+      c += a0 * b0[j];
+      c += a1 * b1[j];
+      c += a2 * b2[j];
+      c += a3 * b3[j];
+      crow[j] = c;
+    }
+  } else {
+    if (a0 != 0.0f) Axpy8(crow, b0, a0, n);
+    if (a1 != 0.0f) Axpy8(crow, b1, a1, n);
+    if (a2 != 0.0f) Axpy8(crow, b2, a2, n);
+    if (a3 != 0.0f) Axpy8(crow, b3, a3, n);
+  }
+}
+
+// Computes four dot products sharing the same left operand. Lane m of each
+// accumulator sums a[4i+m]·b[4i+m] in ascending-i order and the reduction
+// is left-associative, replicating Dot() bit-for-bit while giving the CPU
+// four independent dependency chains (Dot's single chain is latency-bound).
+inline void Dot4Sse(const float* a, const float* b0, const float* b1,
+                    const float* b2, const float* b3, int64_t n, float* out) {
+  __m128 acc0 = _mm_setzero_ps();
+  __m128 acc1 = _mm_setzero_ps();
+  __m128 acc2 = _mm_setzero_ps();
+  __m128 acc3 = _mm_setzero_ps();
+  int64_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128 va = _mm_loadu_ps(a + i);
+    acc0 = _mm_add_ps(acc0, _mm_mul_ps(va, _mm_loadu_ps(b0 + i)));
+    acc1 = _mm_add_ps(acc1, _mm_mul_ps(va, _mm_loadu_ps(b1 + i)));
+    acc2 = _mm_add_ps(acc2, _mm_mul_ps(va, _mm_loadu_ps(b2 + i)));
+    acc3 = _mm_add_ps(acc3, _mm_mul_ps(va, _mm_loadu_ps(b3 + i)));
+  }
+  alignas(16) float l0[4], l1[4], l2[4], l3[4];
+  _mm_store_ps(l0, acc0);
+  _mm_store_ps(l1, acc1);
+  _mm_store_ps(l2, acc2);
+  _mm_store_ps(l3, acc3);
+  for (; i < n; ++i) {
+    const float av = a[i];
+    l0[0] += av * b0[i];
+    l1[0] += av * b1[i];
+    l2[0] += av * b2[i];
+    l3[0] += av * b3[i];
+  }
+  out[0] = l0[0] + l0[1] + l0[2] + l0[3];
+  out[1] = l1[0] + l1[1] + l1[2] + l1[3];
+  out[2] = l2[0] + l2[1] + l2[2] + l2[3];
+  out[3] = l3[0] + l3[1] + l3[2] + l3[3];
+}
+
+#endif  // DODUO_X86_SIMD
+
 // C[i,:] (+)= A[i,:] · B for i in [row_begin, row_end). Processes B in
 // kBlockK-row panels shared by all rows of the shard; for each element the
-// k-loop still runs 0..k-1 ascending.
-void MatMulRows(const float* pa, const float* pb, float* pc, int64_t k,
-                int64_t n, int64_t row_begin, int64_t row_end) {
+// k-loop still runs 0..k-1 ascending. Row strides are passed explicitly so
+// the same kernel (and therefore the same per-element FP order) serves both
+// contiguous tensors and strided column-band views.
+void MatMulRowsScalar(const float* pa, const float* pb, float* pc, int64_t k,
+                      int64_t n, int64_t row_begin, int64_t row_end,
+                      int64_t a_stride, int64_t b_stride, int64_t c_stride) {
   for (int64_t kb = 0; kb < k; kb += kBlockK) {
     const int64_t k_end = std::min<int64_t>(k, kb + kBlockK);
     for (int64_t i = row_begin; i < row_end; ++i) {
-      const float* arow = pa + i * k;
-      float* crow = pc + i * n;
+      const float* arow = pa + i * a_stride;
+      float* crow = pc + i * c_stride;
       for (int64_t l = kb; l < k_end; ++l) {
         const float av = arow[l];
         if (av == 0.0f) continue;
-        const float* brow = pb + l * n;
+        const float* brow = pb + l * b_stride;
         for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
       }
     }
   }
+}
+
+#if defined(DODUO_X86_SIMD)
+
+// AVX variant of MatMulRowsScalar: k-loop unrolled by 4 with the panel
+// helper; per-element accumulation order is unchanged.
+__attribute__((target("avx"))) void MatMulRowsAvx(
+    const float* pa, const float* pb, float* pc, int64_t k, int64_t n,
+    int64_t row_begin, int64_t row_end, int64_t a_stride, int64_t b_stride,
+    int64_t c_stride) {
+  for (int64_t kb = 0; kb < k; kb += kBlockK) {
+    const int64_t k_end = std::min<int64_t>(k, kb + kBlockK);
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = pa + i * a_stride;
+      float* crow = pc + i * c_stride;
+      int64_t l = kb;
+      for (; l + 4 <= k_end; l += 4) {
+        const float* b0 = pb + l * b_stride;
+        AccumPanel4Avx(crow, b0, b0 + b_stride, b0 + 2 * b_stride,
+                       b0 + 3 * b_stride, arow[l], arow[l + 1], arow[l + 2],
+                       arow[l + 3], n);
+      }
+      for (; l < k_end; ++l) {
+        const float av = arow[l];
+        if (av == 0.0f) continue;
+        Axpy8(crow, pb + l * b_stride, av, n);
+      }
+    }
+  }
+}
+
+#endif  // DODUO_X86_SIMD
+
+void MatMulRows(const float* pa, const float* pb, float* pc, int64_t k,
+                int64_t n, int64_t row_begin, int64_t row_end,
+                int64_t a_stride, int64_t b_stride, int64_t c_stride) {
+#if defined(DODUO_X86_SIMD)
+  if (UseAvx()) {
+    MatMulRowsAvx(pa, pb, pc, k, n, row_begin, row_end, a_stride, b_stride,
+                  c_stride);
+    return;
+  }
+#endif
+  MatMulRowsScalar(pa, pb, pc, k, n, row_begin, row_end, a_stride, b_stride,
+                   c_stride);
 }
 
 // C[m,n] (+)= A[m,k] · B[k,n].
@@ -82,11 +250,17 @@ void MatMulImpl(const Tensor& a, const Tensor& b, Tensor* out,
   if (ShouldParallelize(m, k, n)) {
     util::ComputePool()->ParallelFor(
         0, m, /*grain=*/1, [&](int64_t row_begin, int64_t row_end) {
-          MatMulRows(pa, pb, pc, k, n, row_begin, row_end);
+          MatMulRows(pa, pb, pc, k, n, row_begin, row_end, k, n, n);
         });
   } else {
-    MatMulRows(pa, pb, pc, k, n, 0, m);
+    MatMulRows(pa, pb, pc, k, n, 0, m, k, n, n);
   }
+}
+
+void CheckView(const ConstMatView& v, const char* name) {
+  DODUO_CHECK(v.data != nullptr && v.rows > 0 && v.cols > 0 &&
+              v.stride >= v.cols)
+      << "invalid view " << name;
 }
 
 }  // namespace
@@ -114,7 +288,17 @@ void MatMulTransposedB(const Tensor& a, const Tensor& b, Tensor* out) {
   auto rows = [&](int64_t row_begin, int64_t row_end) {
     for (int64_t i = row_begin; i < row_end; ++i) {
       const float* arow = pa + i * k;
-      for (int64_t j = 0; j < n; ++j) {
+      int64_t j = 0;
+#if defined(DODUO_X86_SIMD)
+      // Four dots per step share arow and run four independent accumulator
+      // chains; each dot's bit pattern matches Dot() exactly.
+      for (; j + 4 <= n; j += 4) {
+        const float* brow = pb + j * k;
+        Dot4Sse(arow, brow, brow + k, brow + 2 * k, brow + 3 * k, k,
+                pc + i * n + j);
+      }
+#endif
+      for (; j < n; ++j) {
         pc[i * n + j] = Dot(arow, pb + j * k, k);
       }
     }
@@ -132,22 +316,69 @@ namespace {
 // sum_l a[l,i]·b[l,j] with l ascending — the same per-element order the
 // serial rank-1 loop below produces, so serial and parallel paths match
 // bit-for-bit. B is walked in kBlockK-row panels for reuse across the
-// shard's output rows.
-void MatMulTransposedARows(const float* pa, const float* pb, float* pc,
-                           int64_t k, int64_t m, int64_t n, int64_t col_begin,
-                           int64_t col_end) {
+// shard's output rows. Strided like MatMulRows so views share the kernel.
+void MatMulTransposedARowsScalar(const float* pa, const float* pb, float* pc,
+                                 int64_t k, int64_t n, int64_t col_begin,
+                                 int64_t col_end, int64_t a_stride,
+                                 int64_t b_stride, int64_t c_stride) {
   for (int64_t kb = 0; kb < k; kb += kBlockK) {
     const int64_t k_end = std::min<int64_t>(k, kb + kBlockK);
     for (int64_t i = col_begin; i < col_end; ++i) {
-      float* crow = pc + i * n;
+      float* crow = pc + i * c_stride;
       for (int64_t l = kb; l < k_end; ++l) {
-        const float av = pa[l * m + i];
+        const float av = pa[l * a_stride + i];
         if (av == 0.0f) continue;
-        const float* brow = pb + l * n;
+        const float* brow = pb + l * b_stride;
         for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
       }
     }
   }
+}
+
+#if defined(DODUO_X86_SIMD)
+
+// AVX variant: identical structure, k-loop unrolled by 4 via the panel
+// helper (A's weights come from a strided column walk instead of a row).
+__attribute__((target("avx"))) void MatMulTransposedARowsAvx(
+    const float* pa, const float* pb, float* pc, int64_t k, int64_t n,
+    int64_t col_begin, int64_t col_end, int64_t a_stride, int64_t b_stride,
+    int64_t c_stride) {
+  for (int64_t kb = 0; kb < k; kb += kBlockK) {
+    const int64_t k_end = std::min<int64_t>(k, kb + kBlockK);
+    for (int64_t i = col_begin; i < col_end; ++i) {
+      float* crow = pc + i * c_stride;
+      int64_t l = kb;
+      for (; l + 4 <= k_end; l += 4) {
+        const float* acol = pa + l * a_stride + i;
+        const float* b0 = pb + l * b_stride;
+        AccumPanel4Avx(crow, b0, b0 + b_stride, b0 + 2 * b_stride,
+                       b0 + 3 * b_stride, acol[0], acol[a_stride],
+                       acol[2 * a_stride], acol[3 * a_stride], n);
+      }
+      for (; l < k_end; ++l) {
+        const float av = pa[l * a_stride + i];
+        if (av == 0.0f) continue;
+        Axpy8(crow, pb + l * b_stride, av, n);
+      }
+    }
+  }
+}
+
+#endif  // DODUO_X86_SIMD
+
+void MatMulTransposedARows(const float* pa, const float* pb, float* pc,
+                           int64_t k, int64_t n, int64_t col_begin,
+                           int64_t col_end, int64_t a_stride, int64_t b_stride,
+                           int64_t c_stride) {
+#if defined(DODUO_X86_SIMD)
+  if (UseAvx()) {
+    MatMulTransposedARowsAvx(pa, pb, pc, k, n, col_begin, col_end, a_stride,
+                             b_stride, c_stride);
+    return;
+  }
+#endif
+  MatMulTransposedARowsScalar(pa, pb, pc, k, n, col_begin, col_end, a_stride,
+                              b_stride, c_stride);
 }
 
 }  // namespace
@@ -168,10 +399,18 @@ void MatMulTransposedAAccum(const Tensor& a, const Tensor& b, Tensor* out) {
   if (ShouldParallelize(m, k, n)) {
     util::ComputePool()->ParallelFor(
         0, m, /*grain=*/1, [&](int64_t col_begin, int64_t col_end) {
-          MatMulTransposedARows(pa, pb, pc, k, m, n, col_begin, col_end);
+          MatMulTransposedARows(pa, pb, pc, k, n, col_begin, col_end, m, n, n);
         });
     return;
   }
+#if defined(DODUO_X86_SIMD)
+  // The panel kernel produces the same bits as the rank-1 loop below (per
+  // element, ascending-l accumulation); its AVX form is faster serially too.
+  if (UseAvx()) {
+    MatMulTransposedARows(pa, pb, pc, k, n, 0, m, m, n, n);
+    return;
+  }
+#endif
   // Serial path: rank-1 update per row l of a/b; all three operands are
   // streamed. Per element (i,j) the updates still land in ascending-l
   // order, matching the sharded path above.
@@ -193,6 +432,117 @@ void MatMulTransposedA(const Tensor& a, const Tensor& b, Tensor* out) {
   out->ResizeUninitialized({a.cols(), b.cols()});
   out->Zero();
   MatMulTransposedAAccum(a, b, out);
+}
+
+ConstMatView FullView(const Tensor& t) {
+  DODUO_CHECK_EQ(t.ndim(), 2);
+  return {t.data(), t.rows(), t.cols(), t.cols()};
+}
+
+ConstMatView ColumnsView(const Tensor& t, int64_t col_begin, int64_t cols) {
+  DODUO_CHECK_EQ(t.ndim(), 2);
+  DODUO_CHECK(col_begin >= 0 && cols > 0 && col_begin + cols <= t.cols());
+  return {t.data() + col_begin, t.rows(), cols, t.cols()};
+}
+
+MutMatView MutColumnsView(Tensor* t, int64_t col_begin, int64_t cols) {
+  DODUO_CHECK_EQ(t->ndim(), 2);
+  DODUO_CHECK(col_begin >= 0 && cols > 0 && col_begin + cols <= t->cols());
+  return {t->data() + col_begin, t->rows(), cols, t->cols()};
+}
+
+namespace {
+
+ConstMatView AsConst(const MutMatView& v) {
+  return {v.data, v.rows, v.cols, v.stride};
+}
+
+// Overwrites the [rows, cols] region addressed by the view with zeros (rows
+// may be interleaved with live data of the enclosing buffer).
+void ZeroView(const MutMatView& v) {
+  for (int64_t i = 0; i < v.rows; ++i) {
+    std::fill(v.data + i * v.stride, v.data + i * v.stride + v.cols, 0.0f);
+  }
+}
+
+}  // namespace
+
+void MatMulView(ConstMatView a, ConstMatView b, MutMatView out) {
+  CheckView(a, "a");
+  CheckView(b, "b");
+  CheckView(AsConst(out), "out");
+  const int64_t m = a.rows;
+  const int64_t k = a.cols;
+  const int64_t n = b.cols;
+  DODUO_CHECK_EQ(k, b.rows) << "inner dimensions differ";
+  DODUO_CHECK(out.rows == m && out.cols == n);
+  ZeroView(out);
+  if (ShouldParallelize(m, k, n)) {
+    util::ComputePool()->ParallelFor(
+        0, m, /*grain=*/1, [&](int64_t row_begin, int64_t row_end) {
+          MatMulRows(a.data, b.data, out.data, k, n, row_begin, row_end,
+                     a.stride, b.stride, out.stride);
+        });
+  } else {
+    MatMulRows(a.data, b.data, out.data, k, n, 0, m, a.stride, b.stride,
+               out.stride);
+  }
+}
+
+void MatMulTransposedBView(ConstMatView a, ConstMatView b, Tensor* out) {
+  CheckView(a, "a");
+  CheckView(b, "b");
+  const int64_t m = a.rows;
+  const int64_t k = a.cols;
+  const int64_t n = b.rows;
+  DODUO_CHECK_EQ(k, b.cols) << "inner dimensions differ";
+  out->ResizeUninitialized({m, n});
+  float* pc = out->data();
+  auto rows = [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const float* arow = a.data + i * a.stride;
+      int64_t j = 0;
+#if defined(DODUO_X86_SIMD)
+      for (; j + 4 <= n; j += 4) {
+        const float* brow = b.data + j * b.stride;
+        Dot4Sse(arow, brow, brow + b.stride, brow + 2 * b.stride,
+                brow + 3 * b.stride, k, pc + i * n + j);
+      }
+#endif
+      for (; j < n; ++j) {
+        pc[i * n + j] = Dot(arow, b.data + j * b.stride, k);
+      }
+    }
+  };
+  if (ShouldParallelize(m, k, n)) {
+    util::ComputePool()->ParallelFor(0, m, /*grain=*/1, rows);
+  } else {
+    rows(0, m);
+  }
+}
+
+void MatMulTransposedAView(ConstMatView a, ConstMatView b, MutMatView out) {
+  CheckView(a, "a");
+  CheckView(b, "b");
+  CheckView(AsConst(out), "out");
+  const int64_t k = a.rows;
+  const int64_t m = a.cols;
+  const int64_t n = b.cols;
+  DODUO_CHECK_EQ(k, b.rows) << "leading dimensions differ";
+  DODUO_CHECK(out.rows == m && out.cols == n);
+  ZeroView(out);
+  // Panel kernel on both paths: per element (i,j) the l-loop is ascending,
+  // matching the contiguous MatMulTransposedA bit-for-bit.
+  if (ShouldParallelize(m, k, n)) {
+    util::ComputePool()->ParallelFor(
+        0, m, /*grain=*/1, [&](int64_t col_begin, int64_t col_end) {
+          MatMulTransposedARows(a.data, b.data, out.data, k, n, col_begin,
+                                col_end, a.stride, b.stride, out.stride);
+        });
+  } else {
+    MatMulTransposedARows(a.data, b.data, out.data, k, n, 0, m, a.stride,
+                          b.stride, out.stride);
+  }
 }
 
 void Add(const Tensor& a, const Tensor& b, Tensor* out) {
@@ -247,22 +597,73 @@ void ColumnSumAccum(const Tensor& a, Tensor* out) {
   }
 }
 
+namespace {
+
+// One softmax row of the fused kernel: t_j = in_j * scale + mask_j, then
+// max-subtract, exp, normalize. t is recomputed per pass instead of stored;
+// the float ops match the unfused Scale → AddInPlace → SoftmaxRows sequence
+// exactly, so results are bit-identical to it. A row whose shifted logits
+// are all non-finite (fully masked with -inf, or NaN input) falls back to a
+// uniform distribution instead of producing NaN.
+void ScaleMaskSoftmaxRow(const float* in, const float* mask_row, float scale,
+                         int64_t n, float* out) {
+  float t0 = in[0] * scale;
+  if (mask_row != nullptr) t0 += mask_row[0];
+  float max_logit = t0;
+  for (int64_t j = 1; j < n; ++j) {
+    float t = in[j] * scale;
+    if (mask_row != nullptr) t += mask_row[j];
+    max_logit = std::max(max_logit, t);
+  }
+  if (!std::isfinite(max_logit)) {
+    const float uniform = 1.0f / static_cast<float>(n);
+    for (int64_t j = 0; j < n; ++j) out[j] = uniform;
+    return;
+  }
+  double total = 0.0;
+  for (int64_t j = 0; j < n; ++j) {
+    float t = in[j] * scale;
+    if (mask_row != nullptr) t += mask_row[j];
+    out[j] = std::exp(t - max_logit);
+    total += out[j];
+  }
+  const float inv = static_cast<float>(1.0 / total);
+  for (int64_t j = 0; j < n; ++j) out[j] *= inv;
+}
+
+}  // namespace
+
 void SoftmaxRows(const Tensor& logits, Tensor* probs) {
+  ScaleMaskSoftmaxRows(logits, 1.0f, nullptr, probs);
+}
+
+void ScaleMaskSoftmaxRows(const Tensor& logits, float scale,
+                          const Tensor* mask, Tensor* probs) {
   CheckMatrix(logits, "logits");
-  probs->ResizeUninitialized(logits.shape());
+  if (mask != nullptr) {
+    DODUO_CHECK(SameShape(logits, *mask))
+        << "mask must match logits: " << logits.ShapeString() << " vs "
+        << mask->ShapeString();
+  }
+  const int64_t m = logits.rows();
   const int64_t n = logits.cols();
-  for (int64_t i = 0; i < logits.rows(); ++i) {
-    const float* in = logits.row(i);
-    float* out = probs->row(i);
-    float max_logit = in[0];
-    for (int64_t j = 1; j < n; ++j) max_logit = std::max(max_logit, in[j]);
-    double total = 0.0;
-    for (int64_t j = 0; j < n; ++j) {
-      out[j] = std::exp(in[j] - max_logit);
-      total += out[j];
+  if (probs != &logits) probs->ResizeUninitialized(logits.shape());
+  const float* pin = logits.data();
+  const float* pmask = mask != nullptr ? mask->data() : nullptr;
+  float* pout = probs->data();
+  auto rows = [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      ScaleMaskSoftmaxRow(pin + i * n,
+                          pmask != nullptr ? pmask + i * n : nullptr, scale, n,
+                          pout + i * n);
     }
-    const float inv = static_cast<float>(1.0 / total);
-    for (int64_t j = 0; j < n; ++j) out[j] *= inv;
+  };
+  // Rows are independent and each row's FP order is fixed, so sharding
+  // preserves the bit-determinism contract.
+  if (ShouldParallelize(m, 1, n)) {
+    util::ComputePool()->ParallelFor(0, m, /*grain=*/1, rows);
+  } else {
+    rows(0, m);
   }
 }
 

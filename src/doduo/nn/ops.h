@@ -48,8 +48,65 @@ void AddRowBroadcast(Tensor* a, const Tensor& bias);
 /// out[j] += sum over rows i of a[i,j], for a[m,n] and 1-D out[n].
 void ColumnSumAccum(const Tensor& a, Tensor* out);
 
-/// Row-wise softmax of a 2-D tensor, numerically stabilized.
+// --- Strided matrix views -------------------------------------------------
+//
+// A view describes an [rows, cols] matrix embedded in a larger row-major
+// buffer: rows are contiguous runs of `cols` floats, `stride` floats apart.
+// The attention hot path uses them to address per-head column bands of the
+// packed QKV buffer directly, replacing the ExtractHead/InsertHead copies.
+// The view kernels replicate the per-element FP operation order of their
+// contiguous counterparts exactly, so a fused (view-based) attention pass is
+// bit-identical to the copy-based reference path and across thread counts.
+
+struct ConstMatView {
+  const float* data;
+  int64_t rows;
+  int64_t cols;
+  int64_t stride;  // floats between consecutive row starts; >= cols
+};
+
+struct MutMatView {
+  float* data;
+  int64_t rows;
+  int64_t cols;
+  int64_t stride;
+};
+
+/// View of the whole 2-D tensor (stride == cols).
+ConstMatView FullView(const Tensor& t);
+
+/// View of the column band [col_begin, col_begin + cols) of a 2-D tensor.
+ConstMatView ColumnsView(const Tensor& t, int64_t col_begin, int64_t cols);
+MutMatView MutColumnsView(Tensor* t, int64_t col_begin, int64_t cols);
+
+/// out = a · b for a[m,k], b[k,n]; the out view region is overwritten.
+/// Same blocked kernel (and bit pattern) as MatMul.
+void MatMulView(ConstMatView a, ConstMatView b, MutMatView out);
+
+/// out = a · bᵀ for a[m,k], b[n,k]; out resized to [m,n] (contiguous).
+/// Same dot-product kernel (and bit pattern) as MatMulTransposedB.
+void MatMulTransposedBView(ConstMatView a, ConstMatView b, Tensor* out);
+
+/// out = aᵀ · b for a[k,m], b[k,n]; the out view region is overwritten.
+/// Same accumulation order (and bit pattern) as MatMulTransposedA.
+void MatMulTransposedAView(ConstMatView a, ConstMatView b, MutMatView out);
+
+// --------------------------------------------------------------------------
+
+/// Row-wise softmax of a 2-D tensor, numerically stabilized. Rows whose
+/// logits are all non-finite (e.g. fully masked with -inf) produce a uniform
+/// distribution instead of NaN.
 void SoftmaxRows(const Tensor& logits, Tensor* probs);
+
+/// Fused scale→additive-mask→softmax over rows: probs = softmax(logits *
+/// scale + mask), computed in a single kernel (max, exp, normalize) instead
+/// of three passes over the score matrix. `mask` may be nullptr; `probs` may
+/// alias `logits` (the attention path runs it in place on the score buffer).
+/// Bit-identical to Scale + AddInPlace + SoftmaxRows at any thread count;
+/// rows are sharded across the compute pool above the parallel threshold.
+/// Fully-masked rows produce a uniform distribution (see SoftmaxRows).
+void ScaleMaskSoftmaxRows(const Tensor& logits, float scale,
+                          const Tensor* mask, Tensor* probs);
 
 /// Backward of row-wise softmax: given probs p and upstream grad dy,
 /// dx_i = p_i * (dy_i - sum_j dy_j p_j), computed per row.

@@ -2,6 +2,8 @@
 
 #include <cstdint>
 #include <fstream>
+#include <map>
+#include <vector>
 
 namespace doduo::nn {
 
@@ -51,6 +53,79 @@ util::Status SaveParameters(const std::string& path,
   return util::Status::Ok();
 }
 
+namespace {
+
+// One checkpoint entry held in memory while LoadParameters matches it
+// against the model. Entries are indexed by name so loading tolerates order
+// changes and can re-pack legacy layouts (see the QKV shim below).
+struct RawEntry {
+  std::vector<int64_t> shape;
+  std::vector<float> data;
+  bool used = false;
+};
+
+bool SameExtents(const std::vector<int64_t>& shape, const Tensor& value) {
+  if (static_cast<int>(shape.size()) != value.ndim()) return false;
+  for (int i = 0; i < value.ndim(); ++i) {
+    if (shape[static_cast<size_t>(i)] != value.dim(i)) return false;
+  }
+  return true;
+}
+
+// Weight-layout shim: checkpoints written before the packed-QKV attention
+// store three [d, d] projections "<attn>.wq.w" / ".wk.w" / ".wv.w" (and
+// three [d] biases) where the current model has one "<attn>.wqkv.w" of
+// shape [d, 3d] (bias [3d]) with Q/K/V side by side in the columns. When the
+// packed name is absent from the checkpoint, gather the three legacy parts
+// into the packed layout so pre-refactor checkpoints keep loading.
+util::Status LoadPackedQkv(const std::string& packed_name, Parameter* p,
+                           std::map<std::string, RawEntry>* entries,
+                           bool is_weight) {
+  const std::string suffix = is_weight ? ".wqkv.w" : ".wqkv.b";
+  const std::string base =
+      packed_name.substr(0, packed_name.size() - suffix.size());
+  const int64_t d3 = is_weight ? p->value.cols() : p->value.dim(0);
+  if (d3 % 3 != 0) {
+    return util::Status::InvalidArgument("bad packed shape for " + packed_name);
+  }
+  const int64_t d = d3 / 3;
+  const char* parts[] = {".wq", ".wk", ".wv"};
+  for (int part = 0; part < 3; ++part) {
+    const std::string legacy =
+        base + parts[part] + (is_weight ? ".w" : ".b");
+    auto it = entries->find(legacy);
+    if (it == entries->end()) {
+      return util::Status::InvalidArgument(
+          "checkpoint is missing parameter '" + packed_name +
+          "' and legacy part '" + legacy + "'");
+    }
+    RawEntry& entry = it->second;
+    const bool shape_ok =
+        is_weight ? (entry.shape.size() == 2 && entry.shape[0] == p->value.rows() &&
+                     entry.shape[1] == d)
+                  : (entry.shape.size() == 1 && entry.shape[0] == d);
+    if (!shape_ok) {
+      return util::Status::InvalidArgument("shape mismatch for " + legacy);
+    }
+    if (is_weight) {
+      // Scatter the legacy [rows, d] block into columns [part·d, (part+1)·d).
+      const int64_t rows = p->value.rows();
+      for (int64_t r = 0; r < rows; ++r) {
+        float* dst = p->value.row(r) + part * d;
+        const float* src = entry.data.data() + r * d;
+        for (int64_t c = 0; c < d; ++c) dst[c] = src[c];
+      }
+    } else {
+      float* dst = p->value.data() + part * d;
+      for (int64_t c = 0; c < d; ++c) dst[c] = entry.data[static_cast<size_t>(c)];
+    }
+    entry.used = true;
+  }
+  return util::Status::Ok();
+}
+
+}  // namespace
+
 util::Status LoadParameters(const std::string& path,
                             const ParameterList& params) {
   std::ifstream in(path, std::ios::binary);
@@ -64,37 +139,68 @@ util::Status LoadParameters(const std::string& path,
   if (!ReadU32(in, &version) || version != kVersion) {
     return util::Status::InvalidArgument("unsupported checkpoint version");
   }
-  if (!ReadU64(in, &count) || count != params.size()) {
-    return util::Status::InvalidArgument(
-        "checkpoint has " + std::to_string(count) + " parameters, model has " +
-        std::to_string(params.size()));
+  if (!ReadU64(in, &count)) {
+    return util::Status::IoError("truncated checkpoint");
   }
-  for (Parameter* p : params) {
+  // Read every entry up front, indexed by name: loading is then insensitive
+  // to parameter order and can re-pack legacy layouts.
+  std::map<std::string, RawEntry> entries;
+  for (uint64_t e = 0; e < count; ++e) {
     uint64_t name_len = 0;
     if (!ReadU64(in, &name_len)) {
       return util::Status::IoError("truncated checkpoint");
     }
     std::string name(name_len, '\0');
     in.read(name.data(), static_cast<std::streamsize>(name_len));
-    if (!in || name != p->name) {
-      return util::Status::InvalidArgument(
-          "parameter name mismatch: checkpoint '" + name + "' vs model '" +
-          p->name + "'");
-    }
     uint32_t ndim = 0;
-    if (!ReadU32(in, &ndim) || static_cast<int>(ndim) != p->value.ndim()) {
-      return util::Status::InvalidArgument("rank mismatch for " + p->name);
+    if (!in || !ReadU32(in, &ndim)) {
+      return util::Status::IoError("truncated checkpoint");
     }
-    for (int i = 0; i < p->value.ndim(); ++i) {
+    RawEntry entry;
+    int64_t volume = 1;
+    for (uint32_t i = 0; i < ndim; ++i) {
       uint64_t extent = 0;
-      if (!ReadU64(in, &extent) ||
-          static_cast<int64_t>(extent) != p->value.dim(i)) {
+      if (!ReadU64(in, &extent) || extent == 0) {
+        return util::Status::InvalidArgument("bad shape for " + name);
+      }
+      entry.shape.push_back(static_cast<int64_t>(extent));
+      volume *= static_cast<int64_t>(extent);
+    }
+    entry.data.resize(static_cast<size_t>(volume));
+    in.read(reinterpret_cast<char*>(entry.data.data()),
+            static_cast<std::streamsize>(volume * sizeof(float)));
+    if (!in) return util::Status::IoError("truncated checkpoint data");
+    if (!entries.emplace(std::move(name), std::move(entry)).second) {
+      return util::Status::InvalidArgument("duplicate checkpoint parameter");
+    }
+  }
+  for (Parameter* p : params) {
+    auto it = entries.find(p->name);
+    if (it != entries.end()) {
+      RawEntry& entry = it->second;
+      if (!SameExtents(entry.shape, p->value)) {
         return util::Status::InvalidArgument("shape mismatch for " + p->name);
       }
+      std::copy(entry.data.begin(), entry.data.end(), p->value.data());
+      entry.used = true;
+      continue;
     }
-    in.read(reinterpret_cast<char*>(p->value.data()),
-            static_cast<std::streamsize>(p->value.size() * sizeof(float)));
-    if (!in) return util::Status::IoError("truncated checkpoint data");
+    const bool packed_w = p->name.ends_with(".wqkv.w") && p->value.ndim() == 2;
+    const bool packed_b = p->name.ends_with(".wqkv.b") && p->value.ndim() == 1;
+    if (packed_w || packed_b) {
+      util::Status status = LoadPackedQkv(p->name, p, &entries, packed_w);
+      if (!status.ok()) return status;
+      continue;
+    }
+    return util::Status::InvalidArgument(
+        "parameter name mismatch: model '" + p->name +
+        "' not found in checkpoint");
+  }
+  for (const auto& [name, entry] : entries) {
+    if (!entry.used) {
+      return util::Status::InvalidArgument(
+          "checkpoint parameter '" + name + "' has no matching model parameter");
+    }
   }
   return util::Status::Ok();
 }

@@ -14,8 +14,12 @@ namespace doduo::nn {
 util::Status SaveParameters(const std::string& path,
                             const ParameterList& params);
 
-/// Loads a checkpoint written by SaveParameters into `params`. Names,
-/// order, and shapes must match exactly.
+/// Loads a checkpoint written by SaveParameters into `params`. Entries are
+/// matched by name (order-insensitive); shapes must match exactly, every
+/// model parameter must be found, and every checkpoint entry must be
+/// consumed. One legacy-layout shim applies: checkpoints from before the
+/// packed-QKV attention, which store separate "<attn>.wq/.wk/.wv"
+/// projections, are re-packed into the model's "<attn>.wqkv" parameter.
 util::Status LoadParameters(const std::string& path,
                             const ParameterList& params);
 

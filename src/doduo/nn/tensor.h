@@ -2,6 +2,7 @@
 #define DODUO_NN_TENSOR_H_
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -9,6 +10,43 @@
 #include "doduo/util/rng.h"
 
 namespace doduo::nn {
+
+/// Number of heap buffer allocations performed by Tensor storage since the
+/// last ResetTensorAllocCount(). Always 0 when the library is compiled
+/// without DODUO_COUNT_ALLOCS (a CMake option, on by default); with it, the
+/// zero-allocation tests assert that steady-state encoder Forward/Backward
+/// never touches the heap (see DESIGN.md §9).
+uint64_t TensorAllocCount();
+void ResetTensorAllocCount();
+
+#ifdef DODUO_COUNT_ALLOCS
+namespace internal {
+/// std::allocator shim that bumps the global Tensor-allocation counter on
+/// every allocate(). Stateless, so all instances compare equal and vector
+/// moves still steal buffers without counting.
+template <typename T>
+struct CountingAllocator {
+  using value_type = T;
+  CountingAllocator() = default;
+  template <typename U>
+  CountingAllocator(const CountingAllocator<U>&) {}
+  T* allocate(size_t n);
+  void deallocate(T* p, size_t n) { std::allocator<T>().deallocate(p, n); }
+  friend bool operator==(const CountingAllocator&, const CountingAllocator&) {
+    return true;
+  }
+};
+void CountOneTensorAlloc();
+template <typename T>
+T* CountingAllocator<T>::allocate(size_t n) {
+  CountOneTensorAlloc();
+  return std::allocator<T>().allocate(n);
+}
+}  // namespace internal
+using FloatBuffer = std::vector<float, internal::CountingAllocator<float>>;
+#else
+using FloatBuffer = std::vector<float>;
+#endif
 
 /// Dense row-major float32 tensor. This is the only numeric container used
 /// by the neural-network stack; it supports 1-D through 3-D shapes, which is
@@ -137,7 +175,7 @@ class Tensor {
 
  private:
   std::vector<int64_t> shape_;
-  std::vector<float> data_;
+  FloatBuffer data_;
 };
 
 /// Volume of a shape. Dies on non-positive extents.

@@ -3,35 +3,81 @@
 #include <cmath>
 
 #include "doduo/nn/ops.h"
+#include "doduo/util/env.h"
 
 namespace doduo::transformer {
 
 namespace {
 
-// Copies the columns [head*hd, (head+1)*hd) of src [s, d] into dst [s, hd].
-void ExtractHead(const nn::Tensor& src, int head, int head_dim,
+// Initial kernel path: fused strided-view kernels unless DODUO_FUSED=0
+// (the reference path is the pre-fusion copy-based implementation).
+bool DefaultUseFused() {
+  static const bool fused = util::GetEnvInt("DODUO_FUSED", 1) != 0;
+  return fused;
+}
+
+// Copies the columns [col_begin, col_begin + ncols) of src into dst
+// [s, ncols] (reference path only; the fused path uses strided views).
+void ExtractBand(const nn::Tensor& src, int64_t col_begin, int64_t ncols,
                  nn::Tensor* dst) {
   const int64_t s = src.rows();
-  dst->ResizeUninitialized({s, head_dim});
-  const int64_t offset = static_cast<int64_t>(head) * head_dim;
+  dst->ResizeUninitialized({s, ncols});
   for (int64_t i = 0; i < s; ++i) {
-    const float* in = src.row(i) + offset;
+    const float* in = src.row(i) + col_begin;
     float* out = dst->row(i);
-    for (int64_t j = 0; j < head_dim; ++j) out[j] = in[j];
+    for (int64_t j = 0; j < ncols; ++j) out[j] = in[j];
   }
 }
 
-// Writes src [s, hd] into the columns of dst [s, d] for the given head.
-void InsertHead(const nn::Tensor& src, int head, int head_dim,
-                nn::Tensor* dst) {
+// Writes src [s, ncols] into the columns of dst starting at col_begin.
+void InsertBand(const nn::Tensor& src, int64_t col_begin, nn::Tensor* dst) {
   const int64_t s = src.rows();
-  const int64_t offset = static_cast<int64_t>(head) * head_dim;
+  const int64_t ncols = src.cols();
   for (int64_t i = 0; i < s; ++i) {
     const float* in = src.row(i);
-    float* out = dst->row(i) + offset;
-    for (int64_t j = 0; j < head_dim; ++j) out[j] = in[j];
+    float* out = dst->row(i) + col_begin;
+    for (int64_t j = 0; j < ncols; ++j) out[j] = in[j];
   }
 }
+
+// Builds the packed [d, 3d] QKV projection with weights drawn in the same
+// order as the three separate [d, d] projections it replaces: d² Xavier
+// draws (fan in = out = d) into the Q column block row-major, then K, then
+// V. A fixed seed therefore yields weights — and downstream RNG state —
+// bit-identical to the pre-packing implementation.
+nn::Linear MakePackedQkvProjection(const std::string& name, int64_t d,
+                                   util::Rng* rng) {
+  nn::Linear packed(name, d, 3 * d, nullptr);
+  const float limit = std::sqrt(6.0f / static_cast<float>(2 * d));
+  nn::Tensor& w = packed.weight().value;
+  for (int part = 0; part < 3; ++part) {
+    const int64_t col0 = static_cast<int64_t>(part) * d;
+    for (int64_t i = 0; i < d; ++i) {
+      float* row = w.row(i) + col0;
+      for (int64_t j = 0; j < d; ++j) {
+        row[j] = rng->UniformFloat(-limit, limit);
+      }
+    }
+  }
+  return packed;
+}
+
+// Workspace slot ids. Forward and backward scratch use disjoint slots so a
+// Forward's leftovers never alias a Backward buffer mid-iteration.
+enum WsSlot : size_t {
+  kScores = 0,    // reference forward [s, s]
+  kQHead,         // reference paths [s, hd]
+  kKHead,
+  kVHead,
+  kHeadCtx,       // reference forward [s, hd]
+  kGradProbs,     // both backward paths [s, s]
+  kGradScores,    // both backward paths [s, s]
+  kGradHeadCtx,   // reference backward [s, hd]
+  kGradQHead,     // reference backward [s, hd]
+  kGradKHead,
+  kGradVHead,
+  kGradInputPart,  // both backward paths [s, d]
+};
 
 }  // namespace
 
@@ -39,13 +85,9 @@ MultiHeadSelfAttention::MultiHeadSelfAttention(
     const std::string& name, const TransformerConfig& config, util::Rng* rng)
     : num_heads_(config.num_heads),
       head_dim_(config.head_dim()),
-      wq_(name + ".wq", config.hidden_dim, config.hidden_dim, rng),
-      wk_(name + ".wk", config.hidden_dim, config.hidden_dim, rng),
-      wv_(name + ".wv", config.hidden_dim, config.hidden_dim, rng),
+      use_fused_(DefaultUseFused()),
+      wqkv_(MakePackedQkvProjection(name + ".wqkv", config.hidden_dim, rng)),
       wo_(name + ".wo", config.hidden_dim, config.hidden_dim, rng) {
-  q_heads_.resize(static_cast<size_t>(num_heads_));
-  k_heads_.resize(static_cast<size_t>(num_heads_));
-  v_heads_.resize(static_cast<size_t>(num_heads_));
   probs_.resize(static_cast<size_t>(num_heads_));
 }
 
@@ -57,75 +99,175 @@ const nn::Tensor& MultiHeadSelfAttention::Forward(const nn::Tensor& x,
     DODUO_CHECK(mask->ndim() == 2 && mask->rows() == s && mask->cols() == s)
         << "attention mask must be [seq, seq]";
   }
-  const nn::Tensor& q = wq_.Forward(x);
-  const nn::Tensor& k = wk_.Forward(x);
-  const nn::Tensor& v = wv_.Forward(x);
-
-  context_.ResizeUninitialized(
-      {s, static_cast<int64_t>(num_heads_) * head_dim_});
-  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-
-  nn::Tensor scores;
-  nn::Tensor head_context;
-  for (int h = 0; h < num_heads_; ++h) {
-    const size_t hi = static_cast<size_t>(h);
-    ExtractHead(q, h, head_dim_, &q_heads_[hi]);
-    ExtractHead(k, h, head_dim_, &k_heads_[hi]);
-    ExtractHead(v, h, head_dim_, &v_heads_[hi]);
-
-    nn::MatMulTransposedB(q_heads_[hi], k_heads_[hi], &scores);
-    nn::Scale(&scores, scale);
-    if (mask != nullptr) nn::AddInPlace(&scores, *mask);
-    nn::SoftmaxRows(scores, &probs_[hi]);
-    nn::MatMul(probs_[hi], v_heads_[hi], &head_context);
-    InsertHead(head_context, h, head_dim_, &context_);
+  // One GEMM projects Q, K and V: qkv [s, 3d] with head h of Q in columns
+  // [h·hd, (h+1)·hd), K offset by d, V by 2d.
+  const nn::Tensor& qkv = wqkv_.Forward(x);
+  qkv_ = &qkv;
+  forward_was_fused_ = use_fused_;
+  if (use_fused_) {
+    ForwardFused(qkv, mask, s);
+  } else {
+    ForwardReference(qkv, mask, s);
   }
   output_ = &wo_.Forward(context_);
   return *output_;
 }
 
+void MultiHeadSelfAttention::ForwardFused(const nn::Tensor& qkv,
+                                          const AttentionMask* mask,
+                                          int64_t s) {
+  const int64_t d = static_cast<int64_t>(num_heads_) * head_dim_;
+  context_.ResizeUninitialized({s, d});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  for (int h = 0; h < num_heads_; ++h) {
+    const size_t hi = static_cast<size_t>(h);
+    const int64_t off = static_cast<int64_t>(h) * head_dim_;
+    const nn::ConstMatView qh = nn::ColumnsView(qkv, off, head_dim_);
+    const nn::ConstMatView kh = nn::ColumnsView(qkv, d + off, head_dim_);
+    const nn::ConstMatView vh = nn::ColumnsView(qkv, 2 * d + off, head_dim_);
+    // Scores straight into the probs buffer, then scale+mask+softmax as one
+    // in-place kernel — no separate score matrix, no extra passes.
+    nn::MatMulTransposedBView(qh, kh, &probs_[hi]);
+    nn::ScaleMaskSoftmaxRows(probs_[hi], scale, mask, &probs_[hi]);
+    nn::MatMulView(nn::FullView(probs_[hi]), vh,
+                   nn::MutColumnsView(&context_, off, head_dim_));
+  }
+}
+
+void MultiHeadSelfAttention::ForwardReference(const nn::Tensor& qkv,
+                                              const AttentionMask* mask,
+                                              int64_t s) {
+  const int64_t d = static_cast<int64_t>(num_heads_) * head_dim_;
+  context_.ResizeUninitialized({s, d});
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  for (int h = 0; h < num_heads_; ++h) {
+    const size_t hi = static_cast<size_t>(h);
+    const int64_t off = static_cast<int64_t>(h) * head_dim_;
+    nn::Tensor& q_head = ws_.Get(kQHead, {s, head_dim_});
+    nn::Tensor& k_head = ws_.Get(kKHead, {s, head_dim_});
+    nn::Tensor& v_head = ws_.Get(kVHead, {s, head_dim_});
+    ExtractBand(qkv, off, head_dim_, &q_head);
+    ExtractBand(qkv, d + off, head_dim_, &k_head);
+    ExtractBand(qkv, 2 * d + off, head_dim_, &v_head);
+
+    nn::Tensor& scores = ws_.Get(kScores, {s, s});
+    nn::MatMulTransposedB(q_head, k_head, &scores);
+    nn::Scale(&scores, scale);
+    if (mask != nullptr) nn::AddInPlace(&scores, *mask);
+    nn::SoftmaxRows(scores, &probs_[hi]);
+
+    nn::Tensor& head_context = ws_.Get(kHeadCtx, {s, head_dim_});
+    nn::MatMul(probs_[hi], v_head, &head_context);
+    InsertBand(head_context, off, &context_);
+  }
+}
+
 const nn::Tensor& MultiHeadSelfAttention::Backward(
     const nn::Tensor& grad_out) {
-  DODUO_CHECK(output_ != nullptr) << "Backward before Forward";
+  DODUO_CHECK(output_ != nullptr && qkv_ != nullptr)
+      << "Backward before Forward";
   const nn::Tensor& grad_context = wo_.Backward(grad_out);
   const int64_t s = grad_context.rows();
   const int64_t d = static_cast<int64_t>(num_heads_) * head_dim_;
+  grad_qkv_.ResizeUninitialized({s, 3 * d});
+  if (forward_was_fused_) {
+    BackwardFused(grad_context, s);
+  } else {
+    BackwardReference(grad_context, s);
+  }
+  // Packed weight/bias gradients accumulate per element exactly as the
+  // split projections' did. The input gradient is summed band by band —
+  // (dQ·Wqᵀ + dK·Wkᵀ) + dV·Wvᵀ — instead of one dot over 3d columns, so
+  // its FP order (and therefore every training trajectory) matches the
+  // split-projection implementation bit-for-bit.
+  wqkv_.AccumulateParameterGradients(grad_qkv_);
+  const nn::Tensor& w = wqkv_.weight().value;
+  nn::MatMulTransposedBView(nn::ColumnsView(grad_qkv_, 0, d),
+                            nn::ColumnsView(w, 0, d), &grad_input_);
+  nn::Tensor& part = ws_.Get(kGradInputPart, {s, d});
+  nn::MatMulTransposedBView(nn::ColumnsView(grad_qkv_, d, d),
+                            nn::ColumnsView(w, d, d), &part);
+  nn::AddInPlace(&grad_input_, part);
+  nn::MatMulTransposedBView(nn::ColumnsView(grad_qkv_, 2 * d, d),
+                            nn::ColumnsView(w, 2 * d, d), &part);
+  nn::AddInPlace(&grad_input_, part);
+  return grad_input_;
+}
+
+void MultiHeadSelfAttention::BackwardFused(const nn::Tensor& grad_context,
+                                           int64_t s) {
+  const int64_t d = static_cast<int64_t>(num_heads_) * head_dim_;
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
-
-  grad_q_.ResizeUninitialized({s, d});
-  grad_k_.ResizeUninitialized({s, d});
-  grad_v_.ResizeUninitialized({s, d});
-
-  nn::Tensor grad_head_ctx, grad_probs, grad_scores, grad_qh, grad_kh,
-      grad_vh;
+  const nn::Tensor& qkv = *qkv_;
   for (int h = 0; h < num_heads_; ++h) {
     const size_t hi = static_cast<size_t>(h);
-    ExtractHead(grad_context, h, head_dim_, &grad_head_ctx);
+    const int64_t off = static_cast<int64_t>(h) * head_dim_;
+    const nn::ConstMatView qh = nn::ColumnsView(qkv, off, head_dim_);
+    const nn::ConstMatView kh = nn::ColumnsView(qkv, d + off, head_dim_);
+    const nn::ConstMatView vh = nn::ColumnsView(qkv, 2 * d + off, head_dim_);
+    const nn::ConstMatView dctx =
+        nn::ColumnsView(grad_context, off, head_dim_);
+    const nn::MutMatView dqh =
+        nn::MutColumnsView(&grad_qkv_, off, head_dim_);
+    const nn::MutMatView dkh =
+        nn::MutColumnsView(&grad_qkv_, d + off, head_dim_);
+    const nn::MutMatView dvh =
+        nn::MutColumnsView(&grad_qkv_, 2 * d + off, head_dim_);
+
     // ctx_h = P · V:  dP = dctx · Vᵀ, dV = Pᵀ · dctx.
-    nn::MatMulTransposedB(grad_head_ctx, v_heads_[hi], &grad_probs);
+    nn::Tensor& grad_probs = ws_.Get(kGradProbs, {s, s});
+    nn::MatMulTransposedBView(dctx, vh, &grad_probs);
+    nn::MatMulTransposedAView(nn::FullView(probs_[hi]), dctx, dvh);
+    // Through softmax, then scores = scale · Q Kᵀ (the additive mask is
+    // constant, so it drops out of the gradient).
+    nn::Tensor& grad_scores = ws_.Get(kGradScores, {s, s});
+    nn::SoftmaxRowsBackward(probs_[hi], grad_probs, &grad_scores);
+    nn::Scale(&grad_scores, scale);
+    nn::MatMulView(nn::FullView(grad_scores), kh, dqh);
+    nn::MatMulTransposedAView(nn::FullView(grad_scores), qh, dkh);
+  }
+}
+
+void MultiHeadSelfAttention::BackwardReference(const nn::Tensor& grad_context,
+                                               int64_t s) {
+  const int64_t d = static_cast<int64_t>(num_heads_) * head_dim_;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  const nn::Tensor& qkv = *qkv_;
+  for (int h = 0; h < num_heads_; ++h) {
+    const size_t hi = static_cast<size_t>(h);
+    const int64_t off = static_cast<int64_t>(h) * head_dim_;
+    nn::Tensor& grad_head_ctx = ws_.Get(kGradHeadCtx, {s, head_dim_});
+    nn::Tensor& v_head = ws_.Get(kVHead, {s, head_dim_});
+    ExtractBand(grad_context, off, head_dim_, &grad_head_ctx);
+    ExtractBand(qkv, 2 * d + off, head_dim_, &v_head);
+    // ctx_h = P · V:  dP = dctx · Vᵀ, dV = Pᵀ · dctx.
+    nn::Tensor& grad_probs = ws_.Get(kGradProbs, {s, s});
+    nn::Tensor& grad_vh = ws_.Get(kGradVHead, {s, head_dim_});
+    nn::MatMulTransposedB(grad_head_ctx, v_head, &grad_probs);
     nn::MatMulTransposedA(probs_[hi], grad_head_ctx, &grad_vh);
     // Through softmax, then scores = scale · Q Kᵀ (the additive mask is
     // constant, so it drops out of the gradient).
+    nn::Tensor& grad_scores = ws_.Get(kGradScores, {s, s});
     nn::SoftmaxRowsBackward(probs_[hi], grad_probs, &grad_scores);
     nn::Scale(&grad_scores, scale);
-    nn::MatMul(grad_scores, k_heads_[hi], &grad_qh);
-    nn::MatMulTransposedA(grad_scores, q_heads_[hi], &grad_kh);
+    nn::Tensor& k_head = ws_.Get(kKHead, {s, head_dim_});
+    nn::Tensor& q_head = ws_.Get(kQHead, {s, head_dim_});
+    ExtractBand(qkv, d + off, head_dim_, &k_head);
+    ExtractBand(qkv, off, head_dim_, &q_head);
+    nn::Tensor& grad_qh = ws_.Get(kGradQHead, {s, head_dim_});
+    nn::Tensor& grad_kh = ws_.Get(kGradKHead, {s, head_dim_});
+    nn::MatMul(grad_scores, k_head, &grad_qh);
+    nn::MatMulTransposedA(grad_scores, q_head, &grad_kh);
 
-    InsertHead(grad_qh, h, head_dim_, &grad_q_);
-    InsertHead(grad_kh, h, head_dim_, &grad_k_);
-    InsertHead(grad_vh, h, head_dim_, &grad_v_);
+    InsertBand(grad_qh, off, &grad_qkv_);
+    InsertBand(grad_kh, d + off, &grad_qkv_);
+    InsertBand(grad_vh, 2 * d + off, &grad_qkv_);
   }
-
-  // x feeds all three projections; sum their input gradients.
-  grad_input_ = wq_.Backward(grad_q_);
-  nn::AddInPlace(&grad_input_, wk_.Backward(grad_k_));
-  nn::AddInPlace(&grad_input_, wv_.Backward(grad_v_));
-  return grad_input_;
 }
 
 nn::ParameterList MultiHeadSelfAttention::Parameters() {
   nn::ParameterList params;
-  for (nn::Linear* layer : {&wq_, &wk_, &wv_, &wo_}) {
+  for (nn::Linear* layer : {&wqkv_, &wo_}) {
     nn::AppendParameters(layer->Parameters(), &params);
   }
   return params;

@@ -6,6 +6,7 @@
 
 #include "doduo/nn/linear.h"
 #include "doduo/nn/tensor.h"
+#include "doduo/nn/workspace.h"
 #include "doduo/transformer/config.h"
 #include "doduo/util/rng.h"
 
@@ -23,6 +24,17 @@ using AttentionMask = nn::Tensor;
 inline constexpr float kAttentionMaskValue = -1e9f;
 
 /// Multi-head scaled-dot-product self-attention with explicit backward.
+///
+/// Q, K and V come from a single packed projection wqkv [d, 3d] (one GEMM
+/// instead of three); per-head work addresses column bands of the packed
+/// [seq, 3d] buffer through strided views, and scale+mask+softmax run as one
+/// fused kernel. A copy-based reference path (the pre-fusion kernels:
+/// ExtractHead/InsertHead plus unfused Scale → AddInPlace → SoftmaxRows) is
+/// retained behind set_use_fused(false) for parity tests and benchmarking;
+/// both paths produce bit-identical outputs and share the packed weights.
+/// Steady-state Forward/Backward on either path performs zero heap
+/// allocations: all scratch lives in a per-layer nn::Workspace (DESIGN.md
+/// §9). The DODUO_FUSED env var (default 1) sets the initial path.
 class MultiHeadSelfAttention {
  public:
   MultiHeadSelfAttention(const std::string& name,
@@ -33,34 +45,53 @@ class MultiHeadSelfAttention {
   const nn::Tensor& Forward(const nn::Tensor& x, const AttentionMask* mask);
 
   /// grad_out: [seq, d] → d(loss)/dx [seq, d]; accumulates projection
-  /// gradients.
+  /// gradients. Runs on the same path (fused or reference) as the preceding
+  /// Forward.
   const nn::Tensor& Backward(const nn::Tensor& grad_out);
 
   nn::ParameterList Parameters();
+
+  /// Selects the fused (strided-view) or reference (copy-based) kernels for
+  /// subsequent Forward calls.
+  void set_use_fused(bool fused) { use_fused_ = fused; }
+  bool use_fused() const { return use_fused_; }
 
   /// Post-softmax attention probabilities of the last Forward, one [seq,
   /// seq] tensor per head (used by the Figure 6 attention analysis).
   const std::vector<nn::Tensor>& attention_probs() const { return probs_; }
 
  private:
+  void ForwardFused(const nn::Tensor& qkv, const AttentionMask* mask,
+                    int64_t s);
+  void ForwardReference(const nn::Tensor& qkv, const AttentionMask* mask,
+                        int64_t s);
+  void BackwardFused(const nn::Tensor& grad_context, int64_t s);
+  void BackwardReference(const nn::Tensor& grad_context, int64_t s);
+
   int num_heads_;
   int head_dim_;
-  nn::Linear wq_;
-  nn::Linear wk_;
-  nn::Linear wv_;
+  bool use_fused_;
+  bool forward_was_fused_ = true;
+  nn::Linear wqkv_;  // packed [d, 3d]: Q | K | V column blocks
   nn::Linear wo_;
 
-  // Forward caches (per head where applicable).
-  std::vector<nn::Tensor> q_heads_;
-  std::vector<nn::Tensor> k_heads_;
-  std::vector<nn::Tensor> v_heads_;
-  std::vector<nn::Tensor> probs_;
-  nn::Tensor context_;  // concatenated head outputs [seq, d]
+  // Forward caches. The packed QKV activations live in wqkv_'s output until
+  // the next Forward, so only the derived buffers are owned here.
+  std::vector<nn::Tensor> probs_;  // per head [seq, seq]
+  nn::Tensor context_;             // concatenated head outputs [seq, d]
+  const nn::Tensor* qkv_ = nullptr;
   const nn::Tensor* output_ = nullptr;
 
-  // Backward scratch.
-  nn::Tensor grad_q_, grad_k_, grad_v_;
+  // Backward accumulator for the packed d(loss)/d(QKV) [seq, 3d]. The
+  // input gradient is summed per column band (dQ·Wqᵀ + dK·Wkᵀ + dV·Wvᵀ) to
+  // reproduce the split-projection FP order bit-for-bit.
+  nn::Tensor grad_qkv_;
   nn::Tensor grad_input_;
+
+  // Per-layer scratch arena (head extracts on the reference path, softmax
+  // gradient buffers on both); see Workspace for the zero-allocation
+  // contract.
+  nn::Workspace ws_;
 };
 
 }  // namespace doduo::transformer

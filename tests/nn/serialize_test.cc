@@ -32,6 +32,57 @@ TEST(SerializeTest, RoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(SerializeTest, LegacySplitQkvCheckpointLoadsIntoPackedModel) {
+  // Checkpoints written before the packed-QKV attention store separate
+  // wq/wk/wv projections; they must load into a model with one wqkv
+  // parameter, landing in the right column blocks.
+  util::Rng rng(2);
+  const int64_t d = 4;
+  Parameter wq("enc.attn.wq.w", {d, d});
+  Parameter wk("enc.attn.wk.w", {d, d});
+  Parameter wv("enc.attn.wv.w", {d, d});
+  Parameter bq("enc.attn.wq.b", {d});
+  Parameter bk("enc.attn.wk.b", {d});
+  Parameter bv("enc.attn.wv.b", {d});
+  for (Parameter* p : {&wq, &wk, &wv, &bq, &bk, &bv}) {
+    p->value.FillNormal(&rng, 1.0f);
+  }
+  const std::string path = TempPath("ckpt_legacy_qkv.bin");
+  ASSERT_TRUE(SaveParameters(path, {&wq, &wk, &wv, &bq, &bk, &bv}).ok());
+
+  Parameter wqkv("enc.attn.wqkv.w", {d, 3 * d});
+  Parameter bqkv("enc.attn.wqkv.b", {3 * d});
+  ASSERT_TRUE(LoadParameters(path, {&wqkv, &bqkv}).ok());
+  const Parameter* legacy_w[] = {&wq, &wk, &wv};
+  const Parameter* legacy_b[] = {&bq, &bk, &bv};
+  for (int part = 0; part < 3; ++part) {
+    for (int64_t i = 0; i < d; ++i) {
+      for (int64_t j = 0; j < d; ++j) {
+        EXPECT_FLOAT_EQ(wqkv.value.at(i, part * d + j),
+                        legacy_w[part]->value.at(i, j))
+            << "part=" << part << " i=" << i << " j=" << j;
+      }
+      EXPECT_FLOAT_EQ(bqkv.value.data()[part * d + i],
+                      legacy_b[part]->value.data()[i]);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, LegacyCheckpointMissingOnePartFails) {
+  util::Rng rng(3);
+  const int64_t d = 4;
+  Parameter wq("enc.attn.wq.w", {d, d});
+  Parameter wk("enc.attn.wk.w", {d, d});
+  wq.value.FillNormal(&rng, 1.0f);
+  wk.value.FillNormal(&rng, 1.0f);
+  const std::string path = TempPath("ckpt_legacy_partial.bin");
+  ASSERT_TRUE(SaveParameters(path, {&wq, &wk}).ok());
+  Parameter wqkv("enc.attn.wqkv.w", {d, 3 * d});
+  EXPECT_FALSE(LoadParameters(path, {&wqkv}).ok());
+  std::remove(path.c_str());
+}
+
 TEST(SerializeTest, NameMismatchFails) {
   Parameter a("correct", {2});
   const std::string path = TempPath("ckpt_name.bin");

@@ -1,0 +1,72 @@
+#include "doduo/nn/workspace.h"
+
+#include "gtest/gtest.h"
+
+namespace doduo::nn {
+namespace {
+
+TEST(WorkspaceTest, SlotsAreStableAndReused) {
+  Workspace ws;
+  Tensor& a = ws.Get(0, {4, 8});
+  const float* a_data = a.data();
+  a.Fill(1.0f);
+
+  // Adding later slots must not move earlier ones.
+  Tensor& b = ws.Get(5, {16});
+  EXPECT_EQ(&ws.Get(0, {4, 8}), &a);
+  EXPECT_EQ(a.data(), a_data);
+  EXPECT_NE(&a, &b);
+
+  // Same slot, same shape: the exact buffer comes back.
+  Tensor& a2 = ws.Get(0, {4, 8});
+  EXPECT_EQ(a2.data(), a_data);
+}
+
+TEST(WorkspaceTest, BuffersGrowToHighWaterMarkThenStopAllocating) {
+  Workspace ws;
+  ws.Get(0, {2, 2});
+  ws.Get(0, {8, 8});  // grow
+#ifdef DODUO_COUNT_ALLOCS
+  ResetTensorAllocCount();
+  ws.Get(0, {4, 4});  // shrink within capacity
+  ws.Get(0, {8, 8});  // back to high-water mark
+  EXPECT_EQ(TensorAllocCount(), 0u);
+#else
+  ws.Get(0, {4, 4});
+  ws.Get(0, {8, 8});
+#endif
+  EXPECT_EQ(ws.Get(0, {8, 8}).size(), 64);
+}
+
+TEST(WorkspaceTest, TotalFloatsSumsSlots) {
+  Workspace ws;
+  ws.Get(0, {4, 8});
+  ws.Get(1, {16});
+  EXPECT_EQ(ws.TotalFloats(), 4 * 8 + 16);
+}
+
+#ifdef DODUO_COUNT_ALLOCS
+TEST(AllocCountTest, CountsTensorBufferAllocations) {
+  ResetTensorAllocCount();
+  Tensor t({8, 8});
+  EXPECT_GE(TensorAllocCount(), 1u);
+
+  // Reuse within capacity is free.
+  ResetTensorAllocCount();
+  t.ResizeUninitialized({4, 4});
+  t.ResizeUninitialized({8, 8});
+  EXPECT_EQ(TensorAllocCount(), 0u);
+
+  // Copy-assign into a large-enough buffer is free; growth is counted.
+  Tensor small({2, 2});
+  ResetTensorAllocCount();
+  t = small;
+  EXPECT_EQ(TensorAllocCount(), 0u);
+  Tensor big({32, 32});
+  t = big;
+  EXPECT_GE(TensorAllocCount(), 1u);
+}
+#endif
+
+}  // namespace
+}  // namespace doduo::nn

@@ -113,19 +113,91 @@ TEST(AttentionTest, ParameterGradientCheck) {
   dy.FillNormal(&rng, 1.0f);
 
   nn::ParameterList params = attn.Parameters();
-  ASSERT_EQ(params.size(), 8u);  // 4 linears × (w, b)
+  ASSERT_EQ(params.size(), 4u);  // packed wqkv + wo, × (w, b)
   nn::ZeroAllGrads(params);
   attn.Forward(x, nullptr);
   attn.Backward(dy);
 
   auto loss = [&]() { return WeightedSum(attn.Forward(x, nullptr), dy); };
-  // Check one weight matrix and one bias to keep runtime modest.
-  nn::Tensor wq_grad = params[0]->grad;
-  testing::ExpectInputGradientsClose(&params[0]->value, loss, wq_grad, 1e-3,
+  // Check the packed projection weight and the output bias.
+  nn::Tensor wqkv_grad = params[0]->grad;
+  testing::ExpectInputGradientsClose(&params[0]->value, loss, wqkv_grad, 1e-3,
                                      3e-2, 3e-2);
-  nn::Tensor wo_bias_grad = params[7]->grad;
-  testing::ExpectInputGradientsClose(&params[7]->value, loss, wo_bias_grad,
+  nn::Tensor wo_bias_grad = params[3]->grad;
+  testing::ExpectInputGradientsClose(&params[3]->value, loss, wo_bias_grad,
                                      1e-3, 3e-2, 3e-2);
+}
+
+TEST(AttentionTest, ReferenceParameterGradientCheck) {
+  // Same check on the retained copy-based kernels.
+  util::Rng rng(6);
+  MultiHeadSelfAttention attn("a", SmallConfig(), &rng);
+  attn.set_use_fused(false);
+  nn::Tensor x({2, 8});
+  x.FillNormal(&rng, 0.5f);
+  nn::Tensor dy({2, 8});
+  dy.FillNormal(&rng, 1.0f);
+
+  nn::ParameterList params = attn.Parameters();
+  nn::ZeroAllGrads(params);
+  attn.Forward(x, nullptr);
+  attn.Backward(dy);
+
+  auto loss = [&]() { return WeightedSum(attn.Forward(x, nullptr), dy); };
+  nn::Tensor wqkv_grad = params[0]->grad;
+  testing::ExpectInputGradientsClose(&params[0]->value, loss, wqkv_grad, 1e-3,
+                                     3e-2, 3e-2);
+}
+
+TEST(AttentionTest, FusedMatchesReferenceBitwise) {
+  // The strided-view kernels must reproduce the copy-based path exactly —
+  // forward outputs, attention probabilities, input gradients, and
+  // parameter gradients are all required to be bit-identical.
+  util::Rng rng(8);
+  MultiHeadSelfAttention attn("a", SmallConfig(), &rng);
+  nn::Tensor x({5, 8});
+  x.FillNormal(&rng, 0.7f);
+  nn::Tensor dy({5, 8});
+  dy.FillNormal(&rng, 1.0f);
+  AttentionMask mask({5, 5});
+  mask.at(0, 3) = kAttentionMaskValue;
+  mask.at(4, 1) = kAttentionMaskValue;
+
+  nn::ParameterList params = attn.Parameters();
+
+  attn.set_use_fused(true);
+  nn::ZeroAllGrads(params);
+  nn::Tensor y_fused = attn.Forward(x, &mask);
+  std::vector<nn::Tensor> probs_fused = attn.attention_probs();
+  nn::Tensor dx_fused = attn.Backward(dy);
+  std::vector<nn::Tensor> grads_fused;
+  for (nn::Parameter* p : params) grads_fused.push_back(p->grad);
+
+  attn.set_use_fused(false);
+  nn::ZeroAllGrads(params);
+  nn::Tensor y_ref = attn.Forward(x, &mask);
+  std::vector<nn::Tensor> probs_ref = attn.attention_probs();
+  nn::Tensor dx_ref = attn.Backward(dy);
+
+  ASSERT_EQ(y_fused.size(), y_ref.size());
+  for (int64_t i = 0; i < y_ref.size(); ++i) {
+    ASSERT_EQ(y_fused.data()[i], y_ref.data()[i]) << "output elt " << i;
+  }
+  for (size_t h = 0; h < probs_ref.size(); ++h) {
+    for (int64_t i = 0; i < probs_ref[h].size(); ++i) {
+      ASSERT_EQ(probs_fused[h].data()[i], probs_ref[h].data()[i])
+          << "head " << h << " elt " << i;
+    }
+  }
+  for (int64_t i = 0; i < dx_ref.size(); ++i) {
+    ASSERT_EQ(dx_fused.data()[i], dx_ref.data()[i]) << "dx elt " << i;
+  }
+  for (size_t p = 0; p < params.size(); ++p) {
+    for (int64_t i = 0; i < params[p]->grad.size(); ++i) {
+      ASSERT_EQ(grads_fused[p].data()[i], params[p]->grad.data()[i])
+          << "param " << p << " elt " << i;
+    }
+  }
 }
 
 TEST(AttentionTest, ContextChangesOutput) {

@@ -51,8 +51,9 @@ TEST(BlockTest, ParameterListIsComplete) {
   util::Rng rng(2);
   TransformerConfig config = SmallConfig();
   TransformerBlock block("b", config, &rng);
-  // attn: 4×(w,b)=8, attn_norm: 2, ffn_in: 2, ffn_out: 2, ffn_norm: 2.
-  EXPECT_EQ(block.Parameters().size(), 16u);
+  // attn (packed wqkv + wo): 4, attn_norm: 2, ffn_in: 2, ffn_out: 2,
+  // ffn_norm: 2.
+  EXPECT_EQ(block.Parameters().size(), 12u);
 }
 
 TEST(BertTest, ForwardShapeAndDeterminism) {

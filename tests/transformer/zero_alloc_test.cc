@@ -1,0 +1,91 @@
+// Steady-state allocation contract (DESIGN.md §9): after one warm-up
+// iteration, encoder Forward — and Forward + Backward — must perform zero
+// Tensor heap allocations on both the fused and the reference kernel paths.
+// Requires the DODUO_COUNT_ALLOCS build (the default); without it these
+// tests compile to skips.
+
+#include "doduo/nn/ops.h"
+#include "doduo/transformer/encoder.h"
+#include "gtest/gtest.h"
+
+namespace doduo::transformer {
+namespace {
+
+TransformerConfig SmallConfig() {
+  TransformerConfig config;
+  config.vocab_size = 50;
+  config.hidden_dim = 16;
+  config.num_heads = 2;
+  config.ffn_dim = 32;
+  config.num_layers = 2;
+  config.dropout = 0.0f;
+  return config;
+}
+
+#ifndef DODUO_COUNT_ALLOCS
+
+TEST(ZeroAllocTest, RequiresCountAllocsBuild) {
+  GTEST_SKIP() << "built without DODUO_COUNT_ALLOCS";
+}
+
+#else
+
+class ZeroAllocTest : public ::testing::TestWithParam<bool> {};
+
+TEST_P(ZeroAllocTest, EncoderForwardIsAllocationFreeAtSteadyState) {
+  util::Rng rng(1);
+  Encoder encoder("enc", SmallConfig(), &rng);
+  encoder.set_use_fused(GetParam());
+  encoder.set_training(false);
+  nn::Tensor x({12, 16});
+  x.FillNormal(&rng, 1.0f);
+
+  encoder.Forward(x, nullptr);  // warm-up sizes every buffer
+  nn::ResetTensorAllocCount();
+  encoder.Forward(x, nullptr);
+  EXPECT_EQ(nn::TensorAllocCount(), 0u);
+}
+
+TEST_P(ZeroAllocTest, EncoderForwardBackwardIsAllocationFreeAtSteadyState) {
+  util::Rng rng(2);
+  Encoder encoder("enc", SmallConfig(), &rng);
+  encoder.set_use_fused(GetParam());
+  encoder.set_training(false);
+  nn::Tensor x({12, 16});
+  x.FillNormal(&rng, 1.0f);
+  nn::Tensor dy({12, 16});
+  dy.FillNormal(&rng, 1.0f);
+
+  encoder.Forward(x, nullptr);
+  encoder.Backward(dy);
+  nn::ResetTensorAllocCount();
+  encoder.Forward(x, nullptr);
+  encoder.Backward(dy);
+  EXPECT_EQ(nn::TensorAllocCount(), 0u);
+}
+
+TEST_P(ZeroAllocTest, MaskedForwardIsAllocationFreeAtSteadyState) {
+  util::Rng rng(3);
+  Encoder encoder("enc", SmallConfig(), &rng);
+  encoder.set_use_fused(GetParam());
+  encoder.set_training(false);
+  nn::Tensor x({8, 16});
+  x.FillNormal(&rng, 1.0f);
+  AttentionMask mask({8, 8});
+  mask.at(0, 5) = kAttentionMaskValue;
+
+  encoder.Forward(x, &mask);
+  nn::ResetTensorAllocCount();
+  encoder.Forward(x, &mask);
+  EXPECT_EQ(nn::TensorAllocCount(), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Paths, ZeroAllocTest, ::testing::Values(true, false),
+                         [](const ::testing::TestParamInfo<bool>& info) {
+                           return info.param ? "fused" : "reference";
+                         });
+
+#endif  // DODUO_COUNT_ALLOCS
+
+}  // namespace
+}  // namespace doduo::transformer

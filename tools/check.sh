@@ -1,0 +1,44 @@
+#!/usr/bin/env bash
+# Full pre-merge check: tier-1 tests (Release) plus the AddressSanitizer and
+# ThreadSanitizer configurations.
+#
+#   tools/check.sh            # tier-1 + ASan + TSan
+#   tools/check.sh --fast     # tier-1 only
+#
+# ASan covers the strided-view kernels and workspace arena reuse (out-of-
+# bounds writes through MutMatView would corrupt neighbouring column bands
+# silently); TSan covers the thread-pool sharded kernels. The sanitizer runs
+# restrict themselves to the nn and transformer suites, where all of the
+# kernel and threading code lives; tier-1 runs everything.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+sanitizer_filter='nn_test|transformer_test'
+
+echo "=== tier-1 (Release) ==="
+cmake -B build -S . >/dev/null
+cmake --build build -j "${jobs}"
+ctest --test-dir build --output-on-failure -j "${jobs}"
+
+if [[ "${1:-}" == "--fast" ]]; then
+  echo "=== skipped sanitizer configs (--fast) ==="
+  exit 0
+fi
+
+echo "=== AddressSanitizer ==="
+cmake -B build-asan -S . -DDODUO_ASAN=ON >/dev/null
+cmake --build build-asan -j "${jobs}" --target nn_test transformer_test
+(cd build-asan/tests &&
+ ./nn_test --gtest_brief=1 &&
+ ./transformer_test --gtest_brief=1)
+
+echo "=== ThreadSanitizer ==="
+cmake -B build-tsan -S . -DDODUO_TSAN=ON >/dev/null
+cmake --build build-tsan -j "${jobs}" --target nn_test transformer_test
+(cd build-tsan/tests &&
+ DODUO_NUM_THREADS=8 DODUO_PARALLEL_THRESHOLD=1 ./nn_test --gtest_brief=1 &&
+ DODUO_NUM_THREADS=8 DODUO_PARALLEL_THRESHOLD=1 ./transformer_test \
+   --gtest_brief=1)
+
+echo "=== all checks passed (${sanitizer_filter} under ASan/TSan) ==="
