@@ -4,6 +4,8 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+
 #include "doduo/baselines/sherlock_features.h"
 #include "doduo/cluster/kmeans.h"
 #include "doduo/core/annotator.h"
@@ -11,6 +13,8 @@
 #include "doduo/table/serializer.h"
 #include "doduo/text/wordpiece_trainer.h"
 #include "doduo/transformer/bert.h"
+#include "doduo/util/env.h"
+#include "doduo/util/metrics.h"
 #include "doduo/util/thread_pool.h"
 
 namespace {
@@ -234,7 +238,7 @@ void BM_SerializeTable(benchmark::State& state) {
     table.AddColumn(std::move(column));
   }
   for (auto _ : state) {
-    auto serialized = serializer.SerializeTable(table);
+    auto serialized = serializer.SerializeTable(table).value();
     benchmark::DoNotOptimize(serialized.token_ids.data());
   }
 }
@@ -311,7 +315,7 @@ void BM_AnnotateTypesBatch(benchmark::State& state) {
                                    fixture.serializer.get(), &fixture.types,
                                    nullptr);
   for (auto _ : state) {
-    auto results = annotator.AnnotateTypesBatch(fixture.tables);
+    auto results = annotator.AnnotateTypesBatch(fixture.tables).value();
     benchmark::DoNotOptimize(results.data());
   }
   state.SetItemsProcessed(state.iterations() *
@@ -337,4 +341,16 @@ BENCHMARK(BM_KMeans);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+// BENCHMARK_MAIN plus an optional pipeline-metrics dump: run with
+// DODUO_BENCH_METRICS=1 to get the per-stage latency histograms and
+// counters (DESIGN §10) as JSON on stderr after the benchmark table.
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  if (doduo::util::GetEnvInt("DODUO_BENCH_METRICS", 0) != 0) {
+    std::fprintf(stderr, "%s\n", doduo::util::MetricsToJson().c_str());
+  }
+  return 0;
+}

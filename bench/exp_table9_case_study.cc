@@ -61,7 +61,8 @@ int main() {
   doduo::nn::Tensor doduo_embeddings({n, hidden});
   int flat = 0;
   for (const auto& table : data.tables) {
-    const doduo::nn::Tensor embeddings = annotator.ColumnEmbeddings(table);
+    const doduo::nn::Tensor embeddings =
+        annotator.ColumnEmbeddings(table).value();
     for (int c = 0; c < table.num_columns(); ++c, ++flat) {
       std::copy(embeddings.row(c), embeddings.row(c) + hidden,
                 doduo_embeddings.row(flat));
@@ -71,7 +72,7 @@ int main() {
   // --- Doduo predicted types as cluster labels ---------------------------
   std::vector<int> predicted_type_clusters;
   for (const auto& table : data.tables) {
-    for (const auto& names : annotator.AnnotateTypes(table)) {
+    for (const auto& names : annotator.AnnotateTypes(table).value()) {
       predicted_type_clusters.push_back(
           env.dataset().type_vocab.Id(names[0]));
     }

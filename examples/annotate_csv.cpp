@@ -73,7 +73,15 @@ int main(int argc, char** argv) {
   doduo::core::Annotator annotator(run.model.get(), run.serializer.get(),
                                    &env.dataset().type_vocab,
                                    &env.dataset().relation_vocab);
-  const auto types = annotator.AnnotateTypes(table);
+  // The CSV came from the user, so surface annotation errors instead of
+  // unwrapping with .value().
+  auto types_result = annotator.AnnotateTypes(table);
+  if (!types_result.ok()) {
+    std::fprintf(stderr, "cannot annotate %s: %s\n", path.c_str(),
+                 types_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto types = std::move(types_result).value();
   std::printf("\npredicted column types:\n");
   for (int c = 0; c < table.num_columns(); ++c) {
     std::printf("  %-16s ->", table.column(c).name.c_str());
@@ -83,7 +91,7 @@ int main(int argc, char** argv) {
     std::printf("\n");
   }
   if (table.num_columns() > 1) {
-    const auto relations = annotator.AnnotateKeyRelations(table);
+    const auto relations = annotator.AnnotateKeyRelations(table).value();
     std::printf("predicted relations from column '%s':\n",
                 table.column(0).name.c_str());
     for (size_t c = 0; c < relations.size(); ++c) {

@@ -45,7 +45,7 @@ int main() {
   int flat = 0;
   for (const auto& table : data.tables) {
     const doduo::nn::Tensor column_embeddings =
-        annotator.ColumnEmbeddings(table);
+        annotator.ColumnEmbeddings(table).value();
     for (int c = 0; c < table.num_columns(); ++c, ++flat) {
       std::copy(column_embeddings.row(c), column_embeddings.row(c) + hidden,
                 embeddings.row(flat));

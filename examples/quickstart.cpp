@@ -44,8 +44,16 @@ int main() {
   doduo::core::Annotator annotator(run.model.get(), run.serializer.get(),
                                    &env.dataset().type_vocab,
                                    &env.dataset().relation_vocab);
-  const auto types = annotator.AnnotateTypes(table);
-  const auto relations = annotator.AnnotateKeyRelations(table);
+  // Annotator calls return util::Result: check .ok()/.status() on untrusted
+  // input, or .value() when the table is known-good (aborts on error).
+  auto types_result = annotator.AnnotateTypes(table);
+  if (!types_result.ok()) {
+    std::fprintf(stderr, "annotation failed: %s\n",
+                 types_result.status().ToString().c_str());
+    return 1;
+  }
+  const auto types = std::move(types_result).value();
+  const auto relations = annotator.AnnotateKeyRelations(table).value();
 
   std::printf("\ncolumn annotations:\n");
   for (size_t c = 0; c < types.size(); ++c) {
@@ -64,7 +72,7 @@ int main() {
   //    forward passes fan out across the compute pool (DODUO_NUM_THREADS).
   //    Results are identical to looping AnnotateTypes table by table.
   std::vector<doduo::table::Table> fleet(4, table);
-  const auto batch_types = annotator.AnnotateTypesBatch(fleet);
+  const auto batch_types = annotator.AnnotateTypesBatch(fleet).value();
   std::printf("batch of %zu tables annotated; first column of each:\n",
               fleet.size());
   for (size_t t = 0; t < batch_types.size(); ++t) {

@@ -27,7 +27,7 @@ InterColumnDependency AnalyzeInterColumnDependency(
     const int n = annotated.table.num_columns();
     if (n < 2) continue;  // a single column has no inter-column context
     const nn::Tensor attention = model->ColumnAttention(
-        serializer.SerializeTable(annotated.table));
+        serializer.SerializeTable(annotated.table).value());
     DODUO_CHECK_EQ(attention.rows(), n);
     const double uniform = 1.0 / static_cast<double>(n);
     for (int i = 0; i < n; ++i) {

@@ -10,6 +10,28 @@ namespace doduo::core {
 
 namespace {
 
+// Pipeline metrics (DESIGN §10). Resolved once per process; the annotate
+// hot path only pays relaxed atomic adds.
+struct AnnotatorMetrics {
+  util::Counter* tables = util::GetCounter("annotator.tables_total");
+  util::Counter* columns = util::GetCounter("annotator.columns_total");
+  util::Counter* errors = util::GetCounter("annotator.errors_total");
+  util::Counter* batches = util::GetCounter("annotator.batches_total");
+  util::Histogram* annotate_us =
+      util::GetHistogram("annotator.annotate_us");
+  util::Histogram* batch_us = util::GetHistogram("annotator.batch_us");
+};
+
+AnnotatorMetrics& Metrics() {
+  static AnnotatorMetrics metrics;
+  return metrics;
+}
+
+util::Status CountError(util::Status status) {
+  Metrics().errors->Increment();
+  return status;
+}
+
 // Shared by the scalar and batched type paths so both decode logits
 // identically.
 std::vector<std::vector<std::string>> DecodeTypeLogits(
@@ -61,26 +83,72 @@ Annotator::Annotator(DoduoModel* model,
   DODUO_CHECK(type_vocab != nullptr);
 }
 
-std::vector<std::vector<std::string>> Annotator::AnnotateTypes(
+util::Result<std::vector<std::vector<std::string>>> Annotator::AnnotateTypes(
     const table::Table& table) const {
+  util::ScopedTimer timer(Metrics().annotate_us, "annotator.annotate_types");
+  auto input = serializer_->SerializeTable(table);
+  if (!input.ok()) return CountError(input.status());
   model_->set_training(false);
-  const table::SerializedTable input = serializer_->SerializeTable(table);
-  const nn::Tensor& logits = model_->ForwardTypes(input);
+  const nn::Tensor& logits = model_->ForwardTypes(input.value());
+  Metrics().tables->Increment();
+  Metrics().columns->Increment(
+      static_cast<uint64_t>(table.num_columns()));
   return DecodeTypeLogits(logits, model_->config(), *type_vocab_);
 }
 
-void Annotator::ForEachTable(
+util::Status Annotator::ValidatePairs(
+    const table::Table& table,
+    const std::vector<std::pair<int, int>>& pairs) const {
+  const int n = table.num_columns();
+  for (size_t p = 0; p < pairs.size(); ++p) {
+    const auto [a, b] = pairs[p];
+    if (a < 0 || a >= n || b < 0 || b >= n) {
+      return util::Status::InvalidArgument(
+          "relation pair " + std::to_string(p) + " = (" + std::to_string(a) +
+          ", " + std::to_string(b) + ") is out of range for table '" +
+          table.id() + "' with " + std::to_string(n) + " columns");
+    }
+    // Pair lists are short (at most one per column pair of one table), so
+    // the quadratic duplicate scan costs nothing and allocates nothing.
+    for (size_t q = 0; q < p; ++q) {
+      if (pairs[q] == pairs[p]) {
+        return util::Status::InvalidArgument(
+            "duplicate relation pair (" + std::to_string(a) + ", " +
+            std::to_string(b) + ") at positions " + std::to_string(q) +
+            " and " + std::to_string(p) + " for table '" + table.id() + "'");
+      }
+    }
+  }
+  return util::Status::Ok();
+}
+
+util::Status Annotator::ForEachTable(
     std::span<const table::Table> tables,
     const std::function<void(DoduoModel*, size_t,
                              const table::SerializedTable&)>& fn) const {
+  util::ScopedTimer timer(Metrics().batch_us, "annotator.batch");
   model_->set_training(false);
 
   // Serialization is cheap relative to the encoder and shares the tokenizer,
-  // so it happens up front on the calling thread.
+  // so it happens up front on the calling thread — which also means every
+  // table is validated before the first forward pass runs.
   std::vector<table::SerializedTable> serialized;
   serialized.reserve(tables.size());
+  for (size_t t = 0; t < tables.size(); ++t) {
+    auto input = serializer_->SerializeTable(tables[t]);
+    if (!input.ok()) {
+      return CountError(util::Status(
+          input.status().code(),
+          "table " + std::to_string(t) + " of " +
+              std::to_string(tables.size()) + ": " +
+              input.status().message()));
+    }
+    serialized.push_back(std::move(input).value());
+  }
+  Metrics().batches->Increment();
+  Metrics().tables->Increment(tables.size());
   for (const table::Table& table : tables) {
-    serialized.push_back(serializer_->SerializeTable(table));
+    Metrics().columns->Increment(static_cast<uint64_t>(table.num_columns()));
   }
 
   util::ThreadPool* pool = util::ComputePool();
@@ -90,7 +158,7 @@ void Annotator::ForEachTable(
     for (size_t t = 0; t < tables.size(); ++t) {
       fn(model_, t, serialized[t]);
     }
-    return;
+    return util::Status::Ok();
   }
 
   // The forward pass caches state in the model, so concurrent tables need
@@ -121,38 +189,53 @@ void Annotator::ForEachTable(
           }
         }
       });
+  return util::Status::Ok();
 }
 
-std::vector<std::vector<std::vector<std::string>>>
+util::Result<std::vector<std::vector<std::vector<std::string>>>>
 Annotator::AnnotateTypesBatch(std::span<const table::Table> tables) const {
   std::vector<std::vector<std::vector<std::string>>> results(tables.size());
   const DoduoConfig& config = model_->config();
-  ForEachTable(tables, [&](DoduoModel* model, size_t index,
-                           const table::SerializedTable& input) {
-    results[index] =
-        DecodeTypeLogits(model->ForwardTypes(input), config, *type_vocab_);
-  });
+  util::Status status = ForEachTable(
+      tables, [&](DoduoModel* model, size_t index,
+                  const table::SerializedTable& input) {
+        results[index] =
+            DecodeTypeLogits(model->ForwardTypes(input), config, *type_vocab_);
+      });
+  if (!status.ok()) return status;
   return results;
 }
 
-std::vector<nn::Tensor> Annotator::ColumnEmbeddingsBatch(
+util::Result<std::vector<nn::Tensor>> Annotator::ColumnEmbeddingsBatch(
     std::span<const table::Table> tables) const {
   std::vector<nn::Tensor> results(tables.size());
-  ForEachTable(tables, [&](DoduoModel* model, size_t index,
-                           const table::SerializedTable& input) {
-    results[index] = model->ColumnEmbeddings(input);
-  });
+  util::Status status = ForEachTable(
+      tables, [&](DoduoModel* model, size_t index,
+                  const table::SerializedTable& input) {
+        results[index] = model->ColumnEmbeddings(input);
+      });
+  if (!status.ok()) return status;
   return results;
 }
 
-std::vector<std::string> Annotator::AnnotateRelations(
+util::Result<std::vector<std::string>> Annotator::AnnotateRelations(
     const table::Table& table,
     const std::vector<std::pair<int, int>>& pairs) const {
-  DODUO_CHECK(relation_vocab_ != nullptr)
-      << "model was built without a relation head";
+  util::ScopedTimer timer(Metrics().annotate_us,
+                          "annotator.annotate_relations");
+  if (relation_vocab_ == nullptr) {
+    return CountError(util::Status::FailedPrecondition(
+        "model was built without a relation head; AnnotateRelations is "
+        "unavailable"));
+  }
+  auto input = serializer_->SerializeTable(table);
+  if (!input.ok()) return CountError(input.status());
+  util::Status pair_status = ValidatePairs(table, pairs);
+  if (!pair_status.ok()) return CountError(std::move(pair_status));
+  if (pairs.empty()) return std::vector<std::string>{};
   model_->set_training(false);
-  const table::SerializedTable input = serializer_->SerializeTable(table);
-  const nn::Tensor& logits = model_->ForwardRelations(input, pairs);
+  const nn::Tensor& logits = model_->ForwardRelations(input.value(), pairs);
+  Metrics().tables->Increment();
   std::vector<std::string> annotations;
   annotations.reserve(static_cast<size_t>(logits.rows()));
   for (int64_t row = 0; row < logits.rows(); ++row) {
@@ -166,17 +249,30 @@ std::vector<std::string> Annotator::AnnotateRelations(
   return annotations;
 }
 
-std::vector<std::string> Annotator::AnnotateKeyRelations(
+util::Result<std::vector<std::string>> Annotator::AnnotateKeyRelations(
     const table::Table& table) const {
+  if (table.num_columns() == 0) {
+    return CountError(util::Status::InvalidArgument(
+        "table '" + table.id() + "' has no columns"));
+  }
   std::vector<std::pair<int, int>> pairs;
   for (int c = 1; c < table.num_columns(); ++c) pairs.emplace_back(0, c);
-  if (pairs.empty()) return {};
   return AnnotateRelations(table, pairs);
 }
 
-nn::Tensor Annotator::ColumnEmbeddings(const table::Table& table) const {
+util::Result<nn::Tensor> Annotator::ColumnEmbeddings(
+    const table::Table& table) const {
+  util::ScopedTimer timer(Metrics().annotate_us, "annotator.embed");
+  auto input = serializer_->SerializeTable(table);
+  if (!input.ok()) return CountError(input.status());
   model_->set_training(false);
-  return model_->ColumnEmbeddings(serializer_->SerializeTable(table));
+  Metrics().tables->Increment();
+  Metrics().columns->Increment(static_cast<uint64_t>(table.num_columns()));
+  return model_->ColumnEmbeddings(input.value());
+}
+
+util::MetricsSnapshot Annotator::StatsSnapshot() {
+  return util::SnapshotMetrics();
 }
 
 }  // namespace doduo::core

@@ -10,6 +10,8 @@
 #include "doduo/core/model.h"
 #include "doduo/table/dataset.h"
 #include "doduo/table/serializer.h"
+#include "doduo/util/metrics.h"
+#include "doduo/util/status.h"
 
 namespace doduo::core {
 
@@ -19,7 +21,15 @@ namespace doduo::core {
 ///
 ///   Annotator annotator(&model, &serializer, &types, &relations);
 ///   auto types = annotator.AnnotateTypes(my_table);
-///   auto embeddings = annotator.ColumnEmbeddings(my_table);
+///   if (!types.ok()) { /* surface types.status() */ }
+///
+/// Error contract (DESIGN §10): every entry point validates its input and
+/// returns a non-OK Status — naming the offending table, column index, or
+/// pair — instead of aborting the process. Malformed inputs covered:
+/// zero-column tables, tables whose column count exceeds the serializer's
+/// token budget, out-of-range or duplicate relation pairs, and relation
+/// calls on a model built without a relation head. Valid inputs produce
+/// exactly the same bytes as before the Status migration.
 class Annotator {
  public:
   /// All pointers must outlive the annotator. `relation_vocab` may be
@@ -30,47 +40,65 @@ class Annotator {
 
   /// Predicted semantic type names per column (one or more per column for
   /// multi-label models).
-  std::vector<std::vector<std::string>> AnnotateTypes(
+  util::Result<std::vector<std::vector<std::string>>> AnnotateTypes(
       const table::Table& table) const;
 
-  /// Predicted relation names between the given column pairs.
-  std::vector<std::string> AnnotateRelations(
+  /// Predicted relation names between the given column pairs. Pairs must be
+  /// in-range column indices and free of duplicates; an empty pair list
+  /// yields an empty result.
+  util::Result<std::vector<std::string>> AnnotateRelations(
       const table::Table& table,
       const std::vector<std::pair<int, int>>& pairs) const;
 
   /// Relations between the key column (0) and every other column.
-  std::vector<std::string> AnnotateKeyRelations(
+  util::Result<std::vector<std::string>> AnnotateKeyRelations(
       const table::Table& table) const;
 
   /// Contextualized column embeddings [num_columns, hidden_dim].
-  nn::Tensor ColumnEmbeddings(const table::Table& table) const;
+  util::Result<nn::Tensor> ColumnEmbeddings(const table::Table& table) const;
 
   // -- Batched inference ----------------------------------------------------
   //
-  // The bulk path: tables are serialized up front, then encoder forward
-  // passes for independent tables run concurrently on the global compute
-  // pool (util::ComputePool), one model replica per worker. Results are
-  // index-aligned with the input and identical to looping the scalar calls
-  // (replicas share the same weights and the kernels are bit-deterministic
-  // across thread counts). Falls back to a sequential loop when the pool
-  // has one thread or fewer than two tables are given.
+  // The bulk path: tables are validated and serialized up front, then
+  // encoder forward passes for independent tables run concurrently on the
+  // global compute pool (util::ComputePool), one model replica per worker.
+  // Results are index-aligned with the input and identical to looping the
+  // scalar calls (replicas share the same weights and the kernels are
+  // bit-deterministic across thread counts). Falls back to a sequential
+  // loop when the pool has one thread or fewer than two tables are given.
+  // A malformed table fails the whole batch before any forward pass runs;
+  // the error message names the failing table index.
 
   /// AnnotateTypes for every table: result[t][column] = type names.
-  std::vector<std::vector<std::vector<std::string>>> AnnotateTypesBatch(
-      std::span<const table::Table> tables) const;
+  util::Result<std::vector<std::vector<std::vector<std::string>>>>
+  AnnotateTypesBatch(std::span<const table::Table> tables) const;
 
   /// ColumnEmbeddings for every table: result[t] = [num_columns, hidden].
-  std::vector<nn::Tensor> ColumnEmbeddingsBatch(
+  util::Result<std::vector<nn::Tensor>> ColumnEmbeddingsBatch(
       std::span<const table::Table> tables) const;
 
+  // -- Observability --------------------------------------------------------
+
+  /// Snapshot of the process-wide pipeline metrics (serialize/forward/head
+  /// latencies, table and error counters; see util/metrics.h and
+  /// DESIGN §10). Also available as JSON via util::MetricsToJson().
+  static util::MetricsSnapshot StatsSnapshot();
+
  private:
-  /// Serializes `tables` and invokes `fn(model, table_index, serialized)`
-  /// once per table, fanning out across model replicas when profitable.
-  /// `fn` must only touch per-index output slots.
-  void ForEachTable(
+  /// Validates and serializes `tables`, then invokes
+  /// `fn(model, table_index, serialized)` once per table, fanning out
+  /// across model replicas when profitable. `fn` must only touch per-index
+  /// output slots. Fails without calling `fn` if any table is malformed.
+  util::Status ForEachTable(
       std::span<const table::Table> tables,
       const std::function<void(DoduoModel*, size_t,
                                const table::SerializedTable&)>& fn) const;
+
+  /// Non-OK when any pair index is out of range for `table` or the same
+  /// pair appears twice.
+  util::Status ValidatePairs(
+      const table::Table& table,
+      const std::vector<std::pair<int, int>>& pairs) const;
 
   DoduoModel* model_;
   const table::TableSerializer* serializer_;

@@ -3,8 +3,25 @@
 #include <algorithm>
 
 #include "doduo/nn/ops.h"
+#include "doduo/util/metrics.h"
 
 namespace doduo::core {
+
+namespace {
+
+// Per-stage latency metrics (DESIGN §10); pointers resolved once.
+struct ModelMetrics {
+  util::Histogram* encoder_forward_us =
+      util::GetHistogram("model.encoder_forward_us");
+  util::Histogram* heads_us = util::GetHistogram("model.heads_us");
+};
+
+ModelMetrics& Metrics() {
+  static ModelMetrics metrics;
+  return metrics;
+}
+
+}  // namespace
 
 MlpHead::MlpHead(const std::string& name, int64_t in_dim, int64_t hidden_dim,
                  int64_t out_dim, util::Rng* rng)
@@ -43,6 +60,8 @@ const nn::Tensor& DoduoModel::Encode(const table::SerializedTable& input) {
   DODUO_CHECK(!input.cls_positions.empty());
   cls_positions_ = input.cls_positions;
   sequence_length_ = static_cast<int64_t>(input.token_ids.size());
+  util::ScopedTimer timer(Metrics().encoder_forward_us,
+                          "model.encoder_forward");
   if (mask_builder_) {
     const transformer::AttentionMask mask = mask_builder_(input);
     return encoder_.Forward(input.token_ids, &mask);
@@ -60,6 +79,7 @@ const nn::Tensor& DoduoModel::ForwardTypes(
     const float* src = hidden.row(cls_positions_[static_cast<size_t>(i)]);
     std::copy(src, src + d, cls_embeddings_.row(i));
   }
+  util::ScopedTimer timer(Metrics().heads_us, "model.type_head");
   return type_head_.Forward(cls_embeddings_);
 }
 
@@ -83,6 +103,7 @@ const nn::Tensor& DoduoModel::ForwardRelations(
     std::copy(src_a, src_a + d, dst);
     std::copy(src_b, src_b + d, dst + d);
   }
+  util::ScopedTimer timer(Metrics().heads_us, "model.relation_head");
   return relation_head_->Forward(pair_embeddings_);
 }
 

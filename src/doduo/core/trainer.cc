@@ -53,13 +53,14 @@ std::vector<TypeExample> ExampleBuilder::BuildTypeExamples(
     const table::AnnotatedTable& annotated = dataset.tables[index];
     if (config_->input_mode == InputMode::kTableWise) {
       TypeExample example;
-      example.input = serializer_->SerializeTable(annotated.table);
+      example.input = serializer_->SerializeTable(annotated.table).value();
       example.labels = annotated.column_types;
       examples.push_back(std::move(example));
     } else {
       for (int c = 0; c < annotated.table.num_columns(); ++c) {
         TypeExample example;
-        example.input = serializer_->SerializeColumn(annotated.table, c);
+        example.input =
+            serializer_->SerializeColumn(annotated.table, c).value();
         example.labels = {annotated.column_types[static_cast<size_t>(c)]};
         examples.push_back(std::move(example));
       }
@@ -77,7 +78,7 @@ std::vector<RelationExample> ExampleBuilder::BuildRelationExamples(
     if (annotated.relations.empty()) continue;
     if (config_->input_mode == InputMode::kTableWise) {
       RelationExample example;
-      example.input = serializer_->SerializeTable(annotated.table);
+      example.input = serializer_->SerializeTable(annotated.table).value();
       for (const table::RelationAnnotation& rel : annotated.relations) {
         example.pairs.emplace_back(rel.column_a, rel.column_b);
         example.labels.push_back(rel.labels);
@@ -86,8 +87,10 @@ std::vector<RelationExample> ExampleBuilder::BuildRelationExamples(
     } else {
       for (const table::RelationAnnotation& rel : annotated.relations) {
         RelationExample example;
-        example.input = serializer_->SerializeColumnPair(
-            annotated.table, rel.column_a, rel.column_b);
+        example.input = serializer_
+                            ->SerializeColumnPair(annotated.table,
+                                                  rel.column_a, rel.column_b)
+                            .value();
         example.pairs = {{0, 1}};
         example.labels = {rel.labels};
         examples.push_back(std::move(example));

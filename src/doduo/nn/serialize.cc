@@ -12,6 +12,15 @@ namespace {
 constexpr uint32_t kMagic = 0x444F4455;  // "DODU"
 constexpr uint32_t kVersion = 1;
 
+// Plausibility caps for checkpoint headers. A corrupt or truncated file can
+// present arbitrary 64-bit lengths; without these caps a bad name length or
+// tensor shape turns into a multi-gigabyte allocation (or std::bad_alloc)
+// before the real read fails.
+constexpr uint64_t kMaxParameters = 1u << 20;
+constexpr uint64_t kMaxNameLength = 4096;
+constexpr uint32_t kMaxDims = 8;
+constexpr int64_t kMaxElements = int64_t{1} << 31;
+
 void WriteU32(std::ofstream& out, uint32_t value) {
   out.write(reinterpret_cast<const char*>(&value), sizeof(value));
 }
@@ -140,28 +149,49 @@ util::Status LoadParameters(const std::string& path,
     return util::Status::InvalidArgument("unsupported checkpoint version");
   }
   if (!ReadU64(in, &count)) {
-    return util::Status::IoError("truncated checkpoint");
+    return util::Status::IoError("truncated checkpoint " + path);
+  }
+  if (count > kMaxParameters) {
+    return util::Status::InvalidArgument(
+        "corrupt checkpoint " + path + ": implausible parameter count " +
+        std::to_string(count));
   }
   // Read every entry up front, indexed by name: loading is then insensitive
   // to parameter order and can re-pack legacy layouts.
   std::map<std::string, RawEntry> entries;
   for (uint64_t e = 0; e < count; ++e) {
+    const std::string where =
+        " (entry " + std::to_string(e) + " of " + std::to_string(count) + ")";
     uint64_t name_len = 0;
     if (!ReadU64(in, &name_len)) {
-      return util::Status::IoError("truncated checkpoint");
+      return util::Status::IoError("truncated checkpoint " + path + where);
+    }
+    if (name_len == 0 || name_len > kMaxNameLength) {
+      return util::Status::InvalidArgument(
+          "corrupt checkpoint " + path + ": implausible name length " +
+          std::to_string(name_len) + where);
     }
     std::string name(name_len, '\0');
     in.read(name.data(), static_cast<std::streamsize>(name_len));
     uint32_t ndim = 0;
     if (!in || !ReadU32(in, &ndim)) {
-      return util::Status::IoError("truncated checkpoint");
+      return util::Status::IoError("truncated checkpoint " + path + where);
+    }
+    if (ndim > kMaxDims) {
+      return util::Status::InvalidArgument(
+          "corrupt checkpoint " + path + ": parameter '" + name + "' claims " +
+          std::to_string(ndim) + " dimensions" + where);
     }
     RawEntry entry;
     int64_t volume = 1;
     for (uint32_t i = 0; i < ndim; ++i) {
       uint64_t extent = 0;
-      if (!ReadU64(in, &extent) || extent == 0) {
-        return util::Status::InvalidArgument("bad shape for " + name);
+      if (!ReadU64(in, &extent) || extent == 0 ||
+          extent > static_cast<uint64_t>(kMaxElements) ||
+          volume > kMaxElements / static_cast<int64_t>(extent)) {
+        return util::Status::InvalidArgument(
+            "corrupt checkpoint " + path + ": bad shape for '" + name + "'" +
+            where);
       }
       entry.shape.push_back(static_cast<int64_t>(extent));
       volume *= static_cast<int64_t>(extent);
@@ -169,9 +199,13 @@ util::Status LoadParameters(const std::string& path,
     entry.data.resize(static_cast<size_t>(volume));
     in.read(reinterpret_cast<char*>(entry.data.data()),
             static_cast<std::streamsize>(volume * sizeof(float)));
-    if (!in) return util::Status::IoError("truncated checkpoint data");
+    if (!in) {
+      return util::Status::IoError("truncated checkpoint data in " + path +
+                                   " for '" + name + "'" + where);
+    }
     if (!entries.emplace(std::move(name), std::move(entry)).second) {
-      return util::Status::InvalidArgument("duplicate checkpoint parameter");
+      return util::Status::InvalidArgument(
+          "duplicate checkpoint parameter in " + path + where);
     }
   }
   for (Parameter* p : params) {

@@ -1,8 +1,10 @@
 #include "doduo/table/serializer.h"
 
 #include <algorithm>
+#include <string>
 
 #include "doduo/util/check.h"
+#include "doduo/util/metrics.h"
 
 namespace doduo::table {
 
@@ -13,6 +15,25 @@ namespace {
 void Push(SerializedTable* out, int token_id, int row_id) {
   out->token_ids.push_back(token_id);
   out->row_ids.push_back(row_id);
+}
+
+// Stage metrics (DESIGN §10). Resolved once; recording is atomic adds only.
+struct SerializerMetrics {
+  util::Histogram* serialize_us = util::GetHistogram("serializer.serialize_us");
+  util::Counter* tables = util::GetCounter("serializer.tables_total");
+  util::Counter* tokens = util::GetCounter("serializer.tokens_total");
+};
+
+SerializerMetrics& Metrics() {
+  static SerializerMetrics metrics;
+  return metrics;
+}
+
+util::Status BadColumnIndex(const Table& table, int column) {
+  return util::Status::InvalidArgument(
+      "column index " + std::to_string(column) + " out of range for table '" +
+      table.id() + "' with " + std::to_string(table.num_columns()) +
+      " columns");
 }
 
 }  // namespace
@@ -45,14 +66,25 @@ void TableSerializer::AppendColumnTokens(const Column& column, int budget,
   }
 }
 
-SerializedTable TableSerializer::SerializeTable(const Table& table) const {
-  DODUO_CHECK_GT(table.num_columns(), 0);
+util::Result<SerializedTable> TableSerializer::SerializeTable(
+    const Table& table) const {
+  util::ScopedTimer timer(Metrics().serialize_us, "serializer.serialize");
   const int n = table.num_columns();
+  if (n <= 0) {
+    return util::Status::InvalidArgument("table '" + table.id() +
+                                         "' has no columns");
+  }
   // Budget per column under the total limit: n [CLS] markers + trailing
   // [SEP] are always kept.
   const int available = options_.max_total_tokens - n - 1;
-  DODUO_CHECK_GE(available, 0)
-      << "table has more columns than the token limit supports";
+  if (available < 0) {
+    return util::Status::InvalidArgument(
+        "table '" + table.id() + "' has " + std::to_string(n) +
+        " columns but max_total_tokens=" +
+        std::to_string(options_.max_total_tokens) + " fits at most " +
+        std::to_string(options_.max_total_tokens - 1) +
+        " column [CLS] markers plus the trailing [SEP]");
+  }
   const int budget =
       std::min(options_.max_tokens_per_column, std::max(0, available / n));
 
@@ -66,12 +98,17 @@ SerializedTable TableSerializer::SerializeTable(const Table& table) const {
     AppendColumnTokens(table.column(c), budget, &out);
   }
   Push(&out, Vocab::kSepId, -1);
+  Metrics().tables->Increment();
+  Metrics().tokens->Increment(out.token_ids.size());
   return out;
 }
 
-SerializedTable TableSerializer::SerializeColumn(const Table& table,
-                                                 int column) const {
-  DODUO_CHECK(column >= 0 && column < table.num_columns());
+util::Result<SerializedTable> TableSerializer::SerializeColumn(
+    const Table& table, int column) const {
+  util::ScopedTimer timer(Metrics().serialize_us, "serializer.serialize");
+  if (column < 0 || column >= table.num_columns()) {
+    return BadColumnIndex(table, column);
+  }
   const int budget = std::min(options_.max_tokens_per_column,
                               options_.max_total_tokens - 2);
   SerializedTable out;
@@ -79,14 +116,20 @@ SerializedTable TableSerializer::SerializeColumn(const Table& table,
   Push(&out, Vocab::kClsId, -1);
   AppendColumnTokens(table.column(column), budget, &out);
   Push(&out, Vocab::kSepId, -1);
+  Metrics().tables->Increment();
+  Metrics().tokens->Increment(out.token_ids.size());
   return out;
 }
 
-SerializedTable TableSerializer::SerializeColumnPair(const Table& table,
-                                                     int column_a,
-                                                     int column_b) const {
-  DODUO_CHECK(column_a >= 0 && column_a < table.num_columns());
-  DODUO_CHECK(column_b >= 0 && column_b < table.num_columns());
+util::Result<SerializedTable> TableSerializer::SerializeColumnPair(
+    const Table& table, int column_a, int column_b) const {
+  util::ScopedTimer timer(Metrics().serialize_us, "serializer.serialize");
+  if (column_a < 0 || column_a >= table.num_columns()) {
+    return BadColumnIndex(table, column_a);
+  }
+  if (column_b < 0 || column_b >= table.num_columns()) {
+    return BadColumnIndex(table, column_b);
+  }
   const int budget = std::min(options_.max_tokens_per_column,
                               std::max(1, (options_.max_total_tokens - 4) / 2));
   SerializedTable out;
@@ -97,6 +140,8 @@ SerializedTable TableSerializer::SerializeColumnPair(const Table& table,
     AppendColumnTokens(table.column(column), budget, &out);
     Push(&out, Vocab::kSepId, -1);
   }
+  Metrics().tables->Increment();
+  Metrics().tokens->Increment(out.token_ids.size());
   return out;
 }
 

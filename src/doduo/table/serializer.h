@@ -6,6 +6,7 @@
 
 #include "doduo/table/table.h"
 #include "doduo/text/wordpiece_tokenizer.h"
+#include "doduo/util/status.h"
 
 namespace doduo::table {
 
@@ -36,6 +37,12 @@ struct SerializerOptions {
 /// Table-wise (DODUO):    [CLS] col1-tokens [CLS] col2-tokens ... [SEP]
 /// Single-column:         [CLS] col-tokens [SEP]
 /// Column-pair:           [CLS] colA-tokens [SEP] [CLS] colB-tokens [SEP]
+///
+/// Every Serialize* entry point validates its input and returns an
+/// InvalidArgument Status (naming the table, column index, or token budget)
+/// instead of aborting: zero-column tables, out-of-range column indices,
+/// and tables with more columns than the token budget can carry all come
+/// back as errors the caller can surface (DESIGN §10).
 class TableSerializer {
  public:
   /// `tokenizer` must outlive the serializer.
@@ -43,15 +50,17 @@ class TableSerializer {
                   SerializerOptions options);
 
   /// DODUO's table-wise serialization: one [CLS] per column.
-  SerializedTable SerializeTable(const Table& table) const;
+  util::Result<SerializedTable> SerializeTable(const Table& table) const;
 
   /// Single-column serialization (the DOSOLO_SCol type model).
-  SerializedTable SerializeColumn(const Table& table, int column) const;
+  util::Result<SerializedTable> SerializeColumn(const Table& table,
+                                                int column) const;
 
   /// Column-pair serialization (the DOSOLO_SCol relation model); yields two
   /// [CLS] positions so the same relation head applies.
-  SerializedTable SerializeColumnPair(const Table& table, int column_a,
-                                      int column_b) const;
+  util::Result<SerializedTable> SerializeColumnPair(const Table& table,
+                                                    int column_a,
+                                                    int column_b) const;
 
   /// Largest column count a table may have so that every column keeps at
   /// least one value token under `options` (the "Max # of cols" column of

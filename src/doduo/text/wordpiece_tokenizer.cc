@@ -1,6 +1,7 @@
 #include "doduo/text/wordpiece_tokenizer.h"
 
 #include "doduo/util/check.h"
+#include "doduo/util/string_util.h"
 
 namespace doduo::text {
 
@@ -12,8 +13,11 @@ WordPieceTokenizer::WordPieceTokenizer(const Vocab* vocab,
 
 std::vector<int> WordPieceTokenizer::TokenizeWord(
     std::string_view word) const {
+  // BERT's length cap is in characters, not bytes: a word of multi-byte
+  // code points must not become [UNK] early just because UTF-8 inflates
+  // its byte count.
   if (word.empty() ||
-      word.size() > static_cast<size_t>(max_chars_per_word_)) {
+      util::Utf8Length(word) > static_cast<size_t>(max_chars_per_word_)) {
     return {Vocab::kUnkId};
   }
   std::vector<int> pieces;
@@ -53,7 +57,15 @@ std::vector<std::string> WordPieceTokenizer::Decode(
     const std::vector<int>& ids) const {
   std::vector<std::string> tokens;
   tokens.reserve(ids.size());
-  for (int id : ids) tokens.push_back(vocab_->Token(id));
+  for (int id : ids) {
+    // Ids can come from untrusted model output or corrupt files; map
+    // out-of-range values to [UNK] text instead of dying in Vocab::Token.
+    if (id < 0 || id >= vocab_->size()) {
+      tokens.emplace_back(Vocab::kUnkToken);
+    } else {
+      tokens.push_back(vocab_->Token(id));
+    }
+  }
   return tokens;
 }
 

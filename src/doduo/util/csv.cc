@@ -11,10 +11,13 @@ Result<CsvRows> ParseCsv(std::string_view text) {
   std::string cell;
   bool in_quotes = false;
   bool cell_started = false;  // True once the current row has any content.
+  bool quote_closed = false;  // A quoted cell just ended; only a delimiter
+                              // (comma, newline, EOF) may follow (RFC 4180).
 
   auto end_cell = [&]() {
     row.push_back(std::move(cell));
     cell.clear();
+    quote_closed = false;
   };
   auto end_row = [&]() {
     end_cell();
@@ -32,11 +35,18 @@ Result<CsvRows> ParseCsv(std::string_view text) {
           ++i;
         } else {
           in_quotes = false;
+          quote_closed = true;
         }
       } else {
         cell.push_back(c);
       }
       continue;
+    }
+    if (quote_closed && c != ',' && c != '\r' && c != '\n') {
+      return Status::InvalidArgument(
+          "text after closing quote in cell " + std::to_string(row.size()) +
+          " of row " + std::to_string(rows.size()) + " (offset " +
+          std::to_string(i) + ", char '" + std::string(1, c) + "')");
     }
     switch (c) {
       case '"':

@@ -1,7 +1,10 @@
 #include "doduo/util/env.h"
 
+#include <cerrno>
 #include <cstdint>
 #include <cstdlib>
+
+#include "doduo/util/logging.h"
 
 namespace doduo::util {
 
@@ -13,18 +16,32 @@ std::string GetEnvString(const char* name, const std::string& fallback) {
 double GetEnvDouble(const char* name, double fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr) return fallback;
+  errno = 0;
   char* end = nullptr;
   double parsed = std::strtod(value, &end);
-  if (end == value) return fallback;
+  // Require the whole string to parse: "4abc" is a configuration mistake,
+  // not a 4. ERANGE covers both overflow to ±HUGE_VAL and underflow to 0.
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    DODUO_LOG(Warning) << name << "='" << value
+                       << "' is not a valid number; using default "
+                       << fallback;
+    return fallback;
+  }
   return parsed;
 }
 
 int64_t GetEnvInt(const char* name, int64_t fallback) {
   const char* value = std::getenv(name);
   if (value == nullptr) return fallback;
+  errno = 0;
   char* end = nullptr;
   long long parsed = std::strtoll(value, &end, 10);
-  if (end == value) return fallback;
+  if (end == value || *end != '\0' || errno == ERANGE) {
+    DODUO_LOG(Warning) << name << "='" << value
+                       << "' is not a valid integer; using default "
+                       << fallback;
+    return fallback;
+  }
   return static_cast<int64_t>(parsed);
 }
 

@@ -1,0 +1,200 @@
+#include "doduo/util/metrics.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+#include "doduo/util/env.h"
+
+namespace doduo::util {
+
+namespace {
+
+// Function-local so the flag works from any static-initialization context.
+std::atomic<bool>& EnabledFlag() {
+  static std::atomic<bool> enabled{GetEnvInt("DODUO_METRICS", 1) != 0};
+  return enabled;
+}
+
+// Registered metrics live behind unique_ptr so the pointers handed out by
+// GetCounter/GetHistogram survive map rehashing and process teardown order.
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry& GetRegistry() {
+  static Registry* registry = new Registry();  // never destroyed
+  return *registry;
+}
+
+struct TraceState {
+  std::mutex mutex;
+  TraceHook hook;
+};
+
+std::atomic<bool> g_has_trace_hook{false};
+
+TraceState& GetTraceState() {
+  static TraceState* state = new TraceState();  // never destroyed
+  return *state;
+}
+
+void EmitTrace(const char* span, uint64_t micros) {
+  TraceState& state = GetTraceState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  if (state.hook) state.hook(span, micros);
+}
+
+void AppendJsonString(std::ostringstream* out, const std::string& text) {
+  *out << '"';
+  for (char c : text) {
+    if (c == '"' || c == '\\') *out << '\\';
+    *out << c;
+  }
+  *out << '"';
+}
+
+}  // namespace
+
+void Counter::Increment(uint64_t delta) {
+  if (!EnabledFlag().load(std::memory_order_relaxed)) return;
+  value_.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void Histogram::Record(uint64_t micros) {
+  if (!EnabledFlag().load(std::memory_order_relaxed)) return;
+  int bucket = 0;
+  while (bucket < kNumBuckets - 1 && BucketUpperMicros(bucket) < micros) {
+    ++bucket;
+  }
+  buckets_[bucket].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(micros, std::memory_order_relaxed);
+}
+
+void Histogram::Reset() {
+  for (auto& bucket : buckets_) bucket.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+bool MetricsEnabled() { return EnabledFlag().load(std::memory_order_relaxed); }
+
+void SetMetricsEnabled(bool enabled) {
+  EnabledFlag().store(enabled, std::memory_order_relaxed);
+}
+
+Counter* GetCounter(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.counters.find(name);
+  if (it == registry.counters.end()) {
+    it = registry.counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* GetHistogram(std::string_view name) {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  auto it = registry.histograms.find(name);
+  if (it == registry.histograms.end()) {
+    it = registry.histograms
+             .emplace(std::string(name), std::make_unique<Histogram>())
+             .first;
+  }
+  return it->second.get();
+}
+
+MetricsSnapshot SnapshotMetrics() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  MetricsSnapshot snapshot;
+  snapshot.counters.reserve(registry.counters.size());
+  for (const auto& [name, counter] : registry.counters) {
+    snapshot.counters.push_back({name, counter->value()});
+  }
+  snapshot.histograms.reserve(registry.histograms.size());
+  for (const auto& [name, histogram] : registry.histograms) {
+    HistogramSnapshot h;
+    h.name = name;
+    h.count = histogram->count();
+    h.sum_micros = histogram->sum_micros();
+    for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+      const uint64_t count = histogram->bucket_count(b);
+      if (count > 0) {
+        h.buckets.emplace_back(Histogram::BucketUpperMicros(b), count);
+      }
+    }
+    snapshot.histograms.push_back(std::move(h));
+  }
+  return snapshot;
+}
+
+std::string MetricsToJson() {
+  const MetricsSnapshot snapshot = SnapshotMetrics();
+  std::ostringstream out;
+  out << "{\"counters\":{";
+  for (size_t i = 0; i < snapshot.counters.size(); ++i) {
+    if (i > 0) out << ',';
+    AppendJsonString(&out, snapshot.counters[i].name);
+    out << ':' << snapshot.counters[i].value;
+  }
+  out << "},\"histograms\":{";
+  for (size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const HistogramSnapshot& h = snapshot.histograms[i];
+    if (i > 0) out << ',';
+    AppendJsonString(&out, h.name);
+    out << ":{\"count\":" << h.count << ",\"sum_us\":" << h.sum_micros
+        << ",\"buckets\":[";
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      if (b > 0) out << ',';
+      out << "[" << h.buckets[b].first << ',' << h.buckets[b].second << "]";
+    }
+    out << "]}";
+  }
+  out << "}}";
+  return out.str();
+}
+
+void ResetMetrics() {
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  for (auto& [name, counter] : registry.counters) counter->Reset();
+  for (auto& [name, histogram] : registry.histograms) histogram->Reset();
+}
+
+void SetTraceHook(TraceHook hook) {
+  TraceState& state = GetTraceState();
+  std::lock_guard<std::mutex> lock(state.mutex);
+  state.hook = std::move(hook);
+  g_has_trace_hook.store(static_cast<bool>(state.hook),
+                         std::memory_order_relaxed);
+}
+
+ScopedTimer::ScopedTimer(Histogram* histogram, const char* span)
+    : histogram_(histogram),
+      span_(span),
+      active_(MetricsEnabled() ||
+              g_has_trace_hook.load(std::memory_order_relaxed)) {
+  if (active_) start_ = std::chrono::steady_clock::now();
+}
+
+ScopedTimer::~ScopedTimer() {
+  if (!active_) return;
+  const auto elapsed = std::chrono::steady_clock::now() - start_;
+  const uint64_t micros = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(elapsed).count());
+  if (histogram_ != nullptr) histogram_->Record(micros);
+  if (g_has_trace_hook.load(std::memory_order_relaxed)) {
+    EmitTrace(span_, micros);
+  }
+}
+
+}  // namespace doduo::util

@@ -113,6 +113,14 @@ std::string FormatPercent(double fraction, int digits) {
   return FormatDouble(100.0 * fraction, digits);
 }
 
+size_t Utf8Length(std::string_view text) {
+  size_t count = 0;
+  for (char c : text) {
+    if ((static_cast<unsigned char>(c) & 0xC0) != 0x80) ++count;
+  }
+  return count;
+}
+
 size_t EditDistance(std::string_view a, std::string_view b) {
   const size_t n = a.size();
   const size_t m = b.size();

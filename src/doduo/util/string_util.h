@@ -39,6 +39,10 @@ std::string FormatDouble(double value, int digits);
 /// Formats a fraction as a percentage with `digits` decimals, e.g. "92.45".
 std::string FormatPercent(double fraction, int digits);
 
+/// Number of UTF-8 code points in `text` (counts non-continuation bytes, so
+/// each malformed byte counts as one code point rather than derailing).
+size_t Utf8Length(std::string_view text);
+
 /// Levenshtein edit distance between two strings.
 size_t EditDistance(std::string_view a, std::string_view b);
 

@@ -95,7 +95,7 @@ TEST_F(AttentionAnalysisTest, ColumnAttentionRowsAreSubStochastic) {
   // [CLS]→[CLS] attention is a sub-block of a stochastic matrix: entries
   // in [0,1], row sums ≤ 1.
   const auto serialized =
-      serializer_->SerializeTable(dataset_.tables[0].table);
+      serializer_->SerializeTable(dataset_.tables[0].table).value();
   const nn::Tensor attention = model_->ColumnAttention(serialized);
   for (int64_t i = 0; i < attention.rows(); ++i) {
     double row_sum = 0.0;

@@ -71,7 +71,7 @@ PipelineResult RunPipeline(uint64_t seed) {
   const Annotator annotator(&model, &serializer, &dataset.type_vocab,
                             &dataset.relation_vocab);
   result.annotations =
-      annotator.AnnotateTypes(dataset.tables[splits.test[0]].table);
+      annotator.AnnotateTypes(dataset.tables[splits.test[0]].table).value();
   return result;
 }
 

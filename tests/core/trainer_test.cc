@@ -151,7 +151,7 @@ TEST_F(TrainerEndToEndTest, AnnotatorProducesLabelNames) {
   Annotator annotator(&model, &serializer, &dataset_.type_vocab,
                       &dataset_.relation_vocab);
   const table::Table& sample = dataset_.tables[splits_.test[0]].table;
-  auto types = annotator.AnnotateTypes(sample);
+  auto types = annotator.AnnotateTypes(sample).value();
   EXPECT_EQ(types.size(), static_cast<size_t>(sample.num_columns()));
   for (const auto& names : types) {
     EXPECT_FALSE(names.empty());
@@ -160,11 +160,11 @@ TEST_F(TrainerEndToEndTest, AnnotatorProducesLabelNames) {
     }
   }
   if (sample.num_columns() > 1) {
-    auto relations = annotator.AnnotateKeyRelations(sample);
+    auto relations = annotator.AnnotateKeyRelations(sample).value();
     EXPECT_EQ(relations.size(),
               static_cast<size_t>(sample.num_columns() - 1));
   }
-  nn::Tensor embeddings = annotator.ColumnEmbeddings(sample);
+  nn::Tensor embeddings = annotator.ColumnEmbeddings(sample).value();
   EXPECT_EQ(embeddings.rows(), sample.num_columns());
   EXPECT_EQ(embeddings.cols(), config.encoder.hidden_dim);
 }

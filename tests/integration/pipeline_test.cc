@@ -60,7 +60,7 @@ TEST_F(PipelineTest, AnnotatorAgreesWithTrainerEvaluation) {
                             &env_->dataset().type_vocab,
                             &env_->dataset().relation_vocab);
   const auto& annotated = env_->dataset().tables[env_->splits().test[0]];
-  const auto names = annotator.AnnotateTypes(annotated.table);
+  const auto names = annotator.AnnotateTypes(annotated.table).value();
   ASSERT_EQ(names.size(),
             static_cast<size_t>(annotated.table.num_columns()));
   for (const auto& column_names : names) {
@@ -79,7 +79,8 @@ TEST_F(PipelineTest, EmbeddingsClusterCaseStudyAboveChance) {
   nn::Tensor embeddings({data.num_columns(), hidden});
   int flat = 0;
   for (const auto& table : data.tables) {
-    const nn::Tensor column_embeddings = annotator.ColumnEmbeddings(table);
+    const nn::Tensor column_embeddings =
+        annotator.ColumnEmbeddings(table).value();
     for (int c = 0; c < table.num_columns(); ++c, ++flat) {
       std::copy(column_embeddings.row(c), column_embeddings.row(c) + hidden,
                 embeddings.row(flat));
@@ -127,16 +128,18 @@ TEST_F(PipelineTest, BatchAnnotationMatchesSequentialLoop) {
   }
 
   util::SetComputeThreads(4);
-  const auto batch_types = annotator.AnnotateTypesBatch(tables);
-  const auto batch_embeddings = annotator.ColumnEmbeddingsBatch(tables);
+  const auto batch_types = annotator.AnnotateTypesBatch(tables).value();
+  const auto batch_embeddings =
+      annotator.ColumnEmbeddingsBatch(tables).value();
   util::SetComputeThreads(1);
 
   ASSERT_EQ(batch_types.size(), tables.size());
   ASSERT_EQ(batch_embeddings.size(), tables.size());
   for (size_t t = 0; t < tables.size(); ++t) {
-    EXPECT_EQ(batch_types[t], annotator.AnnotateTypes(tables[t]))
+    EXPECT_EQ(batch_types[t], annotator.AnnotateTypes(tables[t]).value())
         << "table " << t;
-    const nn::Tensor loop_embedding = annotator.ColumnEmbeddings(tables[t]);
+    const nn::Tensor loop_embedding =
+        annotator.ColumnEmbeddings(tables[t]).value();
     ASSERT_TRUE(nn::SameShape(batch_embeddings[t], loop_embedding));
     for (int64_t i = 0; i < loop_embedding.size(); ++i) {
       ASSERT_EQ(batch_embeddings[t].data()[i], loop_embedding.data()[i])
@@ -148,7 +151,7 @@ TEST_F(PipelineTest, BatchAnnotationMatchesSequentialLoop) {
 TEST_F(PipelineTest, ColumnAttentionMatchesColumnCount) {
   const auto& annotated = env_->dataset().tables[env_->splits().test[1]];
   const auto serialized =
-      run_->serializer->SerializeTable(annotated.table);
+      run_->serializer->SerializeTable(annotated.table).value();
   const nn::Tensor attention = run_->model->ColumnAttention(serialized);
   EXPECT_EQ(attention.rows(), annotated.table.num_columns());
   EXPECT_EQ(attention.cols(), annotated.table.num_columns());

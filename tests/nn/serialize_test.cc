@@ -1,6 +1,9 @@
 #include "doduo/nn/serialize.h"
 
+#include <cstdint>
 #include <cstdio>
+#include <fstream>
+#include <string>
 
 #include "gtest/gtest.h"
 
@@ -9,6 +12,35 @@ namespace {
 
 std::string TempPath(const char* name) {
   return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+void AppendU32(std::string* bytes, uint32_t value) {
+  bytes->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void AppendU64(std::string* bytes, uint64_t value) {
+  bytes->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+// A syntactically valid header (magic "DODU", version 1) claiming `count`
+// parameters, to which tests append corrupt entry bytes.
+std::string CheckpointHeader(uint64_t count) {
+  std::string bytes;
+  AppendU32(&bytes, 0x444F4455u);
+  AppendU32(&bytes, 1u);
+  AppendU64(&bytes, count);
+  return bytes;
 }
 
 TEST(SerializeTest, RoundTrip) {
@@ -115,6 +147,84 @@ TEST(SerializeTest, CountMismatchFails) {
 TEST(SerializeTest, MissingFileFails) {
   Parameter a("p", {2});
   EXPECT_FALSE(LoadParameters("/nonexistent/ckpt.bin", {&a}).ok());
+}
+
+TEST(SerializeTest, EveryTruncatedPrefixFailsCleanly) {
+  // Cutting a valid checkpoint at ANY byte must yield a clean error — never
+  // a crash, hang, or silent partial load.
+  util::Rng rng(4);
+  Parameter a("layer.w", {3, 2});
+  a.value.FillNormal(&rng, 1.0f);
+  const std::string path = TempPath("ckpt_trunc_src.bin");
+  ASSERT_TRUE(SaveParameters(path, {&a}).ok());
+  const std::string bytes = ReadFileBytes(path);
+  ASSERT_GT(bytes.size(), 0u);
+
+  const std::string truncated_path = TempPath("ckpt_trunc.bin");
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    WriteFileBytes(truncated_path, bytes.substr(0, cut));
+    Parameter fresh("layer.w", {3, 2});
+    const util::Status status = LoadParameters(truncated_path, {&fresh});
+    ASSERT_FALSE(status.ok()) << "prefix of " << cut << " bytes loaded";
+    ASSERT_FALSE(status.message().empty());
+  }
+  std::remove(path.c_str());
+  std::remove(truncated_path.c_str());
+}
+
+TEST(SerializeTest, ImplausibleParameterCountFails) {
+  const std::string path = TempPath("ckpt_huge_count.bin");
+  WriteFileBytes(path, CheckpointHeader(uint64_t{1} << 40));
+  Parameter a("p", {2});
+  const util::Status status = LoadParameters(path, {&a});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("parameter count"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ImplausibleNameLengthFails) {
+  // A corrupt name length must be rejected before any allocation attempt.
+  std::string bytes = CheckpointHeader(1);
+  AppendU64(&bytes, uint64_t{1} << 50);
+  const std::string path = TempPath("ckpt_huge_name.bin");
+  WriteFileBytes(path, bytes);
+  Parameter a("p", {2});
+  const util::Status status = LoadParameters(path, {&a});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("name length"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, ImplausibleDimCountFails) {
+  std::string bytes = CheckpointHeader(1);
+  AppendU64(&bytes, 1);
+  bytes.push_back('p');
+  AppendU32(&bytes, 1000u);  // ndim
+  const std::string path = TempPath("ckpt_huge_ndim.bin");
+  WriteFileBytes(path, bytes);
+  Parameter a("p", {2});
+  const util::Status status = LoadParameters(path, {&a});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("dimensions"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(SerializeTest, OverflowingShapeFails) {
+  // Two extents whose product overflows must be rejected by the volume
+  // check, not allocated.
+  std::string bytes = CheckpointHeader(1);
+  AppendU64(&bytes, 1);
+  bytes.push_back('p');
+  AppendU32(&bytes, 2u);
+  AppendU64(&bytes, uint64_t{1} << 30);
+  AppendU64(&bytes, uint64_t{1} << 30);
+  const std::string path = TempPath("ckpt_overflow_shape.bin");
+  WriteFileBytes(path, bytes);
+  Parameter a("p", {2});
+  const util::Status status = LoadParameters(path, {&a});
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("bad shape"), std::string::npos);
+  std::remove(path.c_str());
 }
 
 TEST(SerializeTest, GarbageFileFails) {

@@ -52,7 +52,7 @@ TEST_P(SerializerPropertyTest, InvariantsHoldForEveryTable) {
 
   for (const auto& annotated : dataset_.tables) {
     const Table& table = annotated.table;
-    const SerializedTable s = serializer.SerializeTable(table);
+    const SerializedTable s = serializer.SerializeTable(table).value();
 
     // Hard cap respected.
     ASSERT_LE(static_cast<int>(s.token_ids.size()), total);
@@ -93,12 +93,13 @@ TEST_P(SerializerPropertyTest, SingleColumnAndPairShareInvariants) {
 
   for (const auto& annotated : dataset_.tables) {
     const Table& table = annotated.table;
-    const SerializedTable single = serializer.SerializeColumn(table, 0);
+    const SerializedTable single =
+        serializer.SerializeColumn(table, 0).value();
     ASSERT_EQ(single.cls_positions.size(), 1u);
     ASSERT_LE(static_cast<int>(single.token_ids.size()), total);
     if (table.num_columns() >= 2) {
       const SerializedTable pair =
-          serializer.SerializeColumnPair(table, 0, 1);
+          serializer.SerializeColumnPair(table, 0, 1).value();
       ASSERT_EQ(pair.cls_positions.size(), 2u);
       ASSERT_LE(static_cast<int>(pair.token_ids.size()), total);
     }
@@ -119,8 +120,10 @@ TEST_P(SerializerPropertyTest, BudgetMonotonicity) {
 
   for (const auto& annotated : dataset_.tables) {
     ASSERT_GE(big_serializer.SerializeTable(annotated.table)
+                  .value()
                   .token_ids.size(),
               small_serializer.SerializeTable(annotated.table)
+                  .value()
                   .token_ids.size());
   }
   EXPECT_LE(big_serializer.MaxSupportedColumns(),

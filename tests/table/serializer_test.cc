@@ -33,7 +33,7 @@ class SerializerTest : public ::testing::Test {
 TEST_F(SerializerTest, TableWiseHasOneClsPerColumnAndTrailingSep) {
   text::WordPieceTokenizer tokenizer(&vocab_);
   TableSerializer serializer(&tokenizer, {});
-  SerializedTable s = serializer.SerializeTable(MakeTable());
+  SerializedTable s = serializer.SerializeTable(MakeTable()).value();
   ASSERT_EQ(s.cls_positions.size(), 3u);
   for (int64_t pos : s.cls_positions) {
     EXPECT_EQ(s.token_ids[static_cast<size_t>(pos)], Vocab::kClsId);
@@ -51,7 +51,7 @@ TEST_F(SerializerTest, TableWiseHasOneClsPerColumnAndTrailingSep) {
 TEST_F(SerializerTest, TableWiseContainsColumnValuesInOrder) {
   text::WordPieceTokenizer tokenizer(&vocab_);
   TableSerializer serializer(&tokenizer, {});
-  SerializedTable s = serializer.SerializeTable(MakeTable());
+  SerializedTable s = serializer.SerializeTable(MakeTable()).value();
   // Column 0 tokens appear between cls_positions[0] and cls_positions[1].
   std::vector<int> col0(s.token_ids.begin() + s.cls_positions[0] + 1,
                         s.token_ids.begin() + s.cls_positions[1]);
@@ -64,7 +64,7 @@ TEST_F(SerializerTest, MaxTokensPerColumnTruncates) {
   SerializerOptions options;
   options.max_tokens_per_column = 1;
   TableSerializer serializer(&tokenizer, options);
-  SerializedTable s = serializer.SerializeTable(MakeTable());
+  SerializedTable s = serializer.SerializeTable(MakeTable()).value();
   // 3 × ([CLS] + 1 token) + [SEP].
   EXPECT_EQ(s.token_ids.size(), 7u);
 }
@@ -75,7 +75,7 @@ TEST_F(SerializerTest, TotalBudgetShrinksPerColumnShare) {
   options.max_tokens_per_column = 100;
   options.max_total_tokens = 10;  // 3 cols: (10 - 3 - 1)/3 = 2 tokens each
   TableSerializer serializer(&tokenizer, options);
-  SerializedTable s = serializer.SerializeTable(MakeTable());
+  SerializedTable s = serializer.SerializeTable(MakeTable()).value();
   EXPECT_LE(s.token_ids.size(), 10u);
   ASSERT_EQ(s.cls_positions.size(), 3u);
   EXPECT_EQ(s.cls_positions[1] - s.cls_positions[0], 3);  // CLS + 2 tokens
@@ -86,7 +86,7 @@ TEST_F(SerializerTest, MetadataPrependsColumnName) {
   SerializerOptions options;
   options.include_metadata = true;
   TableSerializer serializer(&tokenizer, options);
-  SerializedTable s = serializer.SerializeTable(MakeTable());
+  SerializedTable s = serializer.SerializeTable(MakeTable()).value();
   EXPECT_EQ(s.token_ids[static_cast<size_t>(s.cls_positions[0]) + 1],
             vocab_.Id("film"));
   EXPECT_EQ(s.token_ids[static_cast<size_t>(s.cls_positions[1]) + 1],
@@ -96,7 +96,7 @@ TEST_F(SerializerTest, MetadataPrependsColumnName) {
 TEST_F(SerializerTest, SingleColumnSerialization) {
   text::WordPieceTokenizer tokenizer(&vocab_);
   TableSerializer serializer(&tokenizer, {});
-  SerializedTable s = serializer.SerializeColumn(MakeTable(), 1);
+  SerializedTable s = serializer.SerializeColumn(MakeTable(), 1).value();
   ASSERT_EQ(s.cls_positions.size(), 1u);
   EXPECT_EQ(s.token_ids.front(), Vocab::kClsId);
   EXPECT_EQ(s.token_ids.back(), Vocab::kSepId);
@@ -106,7 +106,7 @@ TEST_F(SerializerTest, SingleColumnSerialization) {
 TEST_F(SerializerTest, ColumnPairSerialization) {
   text::WordPieceTokenizer tokenizer(&vocab_);
   TableSerializer serializer(&tokenizer, {});
-  SerializedTable s = serializer.SerializeColumnPair(MakeTable(), 0, 2);
+  SerializedTable s = serializer.SerializeColumnPair(MakeTable(), 0, 2).value();
   ASSERT_EQ(s.cls_positions.size(), 2u);
   EXPECT_EQ(s.token_ids[static_cast<size_t>(s.cls_positions[0])],
             Vocab::kClsId);
@@ -138,7 +138,7 @@ TEST_F(SerializerTest, UnknownValuesBecomeUnk) {
   TableSerializer serializer(&tokenizer, {});
   Table t("t");
   t.AddColumn({"x", {"zzzunknownzzz"}});
-  SerializedTable s = serializer.SerializeTable(t);
+  SerializedTable s = serializer.SerializeTable(t).value();
   EXPECT_EQ(s.token_ids[1], Vocab::kUnkId);
 }
 
@@ -148,9 +148,51 @@ TEST_F(SerializerTest, EmptyColumnStillGetsCls) {
   Table t("t");
   t.AddColumn({"empty", {}});
   t.AddColumn({"film", {"Cars"}});
-  SerializedTable s = serializer.SerializeTable(t);
+  SerializedTable s = serializer.SerializeTable(t).value();
   ASSERT_EQ(s.cls_positions.size(), 2u);
   EXPECT_EQ(s.cls_positions[1] - s.cls_positions[0], 1);  // only the CLS
+}
+
+TEST_F(SerializerTest, ZeroColumnTableIsInvalidArgument) {
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  TableSerializer serializer(&tokenizer, {});
+  auto result = serializer.SerializeTable(Table("no_cols"));
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("no_cols"), std::string::npos);
+}
+
+TEST_F(SerializerTest, TooManyColumnsForBudgetIsInvalidArgument) {
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  SerializerOptions options;
+  options.max_total_tokens = 8;  // fits at most 7 CLS markers + SEP
+  TableSerializer serializer(&tokenizer, options);
+  Table t("too_wide");
+  for (int c = 0; c < 8; ++c) t.AddColumn({"x", {"usa"}});
+  auto result = serializer.SerializeTable(t);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().message().find("max_total_tokens"),
+            std::string::npos);
+  // One fewer column still fits (with a zero value budget).
+  Table ok_table("just_fits");
+  for (int c = 0; c < 7; ++c) ok_table.AddColumn({"x", {"usa"}});
+  EXPECT_TRUE(serializer.SerializeTable(ok_table).ok());
+}
+
+TEST_F(SerializerTest, BadColumnIndexIsInvalidArgument) {
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  TableSerializer serializer(&tokenizer, {});
+  const Table t = MakeTable();
+  for (int bad : {-1, 3, 100}) {
+    auto single = serializer.SerializeColumn(t, bad);
+    ASSERT_FALSE(single.ok()) << bad;
+    EXPECT_EQ(single.status().code(), util::StatusCode::kInvalidArgument);
+    EXPECT_NE(single.status().message().find(std::to_string(bad)),
+              std::string::npos);
+    EXPECT_FALSE(serializer.SerializeColumnPair(t, 0, bad).ok()) << bad;
+    EXPECT_FALSE(serializer.SerializeColumnPair(t, bad, 0).ok()) << bad;
+  }
 }
 
 }  // namespace

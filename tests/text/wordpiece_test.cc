@@ -42,6 +42,33 @@ TEST(WordPieceTokenizerTest, OverlongWordIsUnk) {
   EXPECT_EQ(tokenizer.TokenizeWord("aaaa").size(), 4u);
 }
 
+TEST(WordPieceTokenizerTest, WordLengthLimitCountsCodePointsNotBytes) {
+  // "héllo" is 5 code points but 6 bytes; with max_chars_per_word=5 it must
+  // still be tokenized, not dropped to [UNK] by a byte-length comparison.
+  Vocab vocab;
+  vocab.AddToken("h\xc3\xa9llo");
+  WordPieceTokenizer tokenizer(&vocab, /*max_chars_per_word=*/5);
+  const auto ids = tokenizer.TokenizeWord("h\xc3\xa9llo");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(vocab.Token(ids[0]), "h\xc3\xa9llo");
+  // Six code points (each two bytes) exceeds the limit regardless of
+  // encoding width.
+  EXPECT_EQ(tokenizer.TokenizeWord("\xc3\xa9\xc3\xa9\xc3\xa9"
+                                   "\xc3\xa9\xc3\xa9\xc3\xa9"),
+            (std::vector<int>{Vocab::kUnkId}));
+}
+
+TEST(WordPieceTokenizerTest, DecodeBoundsChecksIds) {
+  Vocab vocab;
+  vocab.AddToken("ok");
+  WordPieceTokenizer tokenizer(&vocab);
+  const int ok_id = vocab.Id("ok");
+  const auto tokens = tokenizer.Decode({ok_id, -1, vocab.size(), 1 << 20});
+  EXPECT_EQ(tokens, (std::vector<std::string>{"ok", Vocab::kUnkToken,
+                                              Vocab::kUnkToken,
+                                              Vocab::kUnkToken}));
+}
+
 TEST(WordPieceTokenizerTest, EncodeRunsFullPipeline) {
   Vocab vocab;
   vocab.AddToken("happy");

@@ -69,6 +69,24 @@ TEST(CsvParseTest, MidCellQuoteIsError) {
   EXPECT_FALSE(result.ok());
 }
 
+TEST(CsvParseTest, TextAfterClosingQuoteIsError) {
+  // RFC 4180: after the closing quote only a delimiter or end of record may
+  // follow. "ab"cd used to silently parse as "abcd".
+  auto result = ParseCsv("\"ab\"cd\n");
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  // The message pinpoints the offending character.
+  EXPECT_NE(result.status().message().find("closing quote"),
+            std::string::npos);
+
+  EXPECT_FALSE(ParseCsv("\"ab\" ,x\n").ok());        // space after quote
+  EXPECT_FALSE(ParseCsv("x,\"ab\"y\n").ok());        // non-first cell
+  EXPECT_TRUE(ParseCsv("\"ab\",cd\n").ok());         // delimiter is fine
+  EXPECT_TRUE(ParseCsv("\"ab\"\r\ncd\n").ok());      // CRLF is fine
+  EXPECT_TRUE(ParseCsv("\"ab\"").ok());              // EOF is fine
+  EXPECT_TRUE(ParseCsv("\"ab\"\"cd\"\n").ok());      // escaped quote is fine
+}
+
 TEST(CsvWriteTest, RoundTrip) {
   CsvRows rows = {{"plain", "with,comma", "with\"quote", "with\nnewline"},
                   {"", "x", "", ""}};

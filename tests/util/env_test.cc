@@ -18,7 +18,11 @@ TEST(EnvTest, ReadsSetValues) {
   setenv("DODUO_TEST_VAR", "3.5", 1);
   EXPECT_EQ(GetEnvString("DODUO_TEST_VAR", "fb"), "3.5");
   EXPECT_EQ(GetEnvDouble("DODUO_TEST_VAR", 1.0), 3.5);
-  EXPECT_EQ(GetEnvInt("DODUO_TEST_VAR", 1), 3);
+  setenv("DODUO_TEST_VAR", "42", 1);
+  EXPECT_EQ(GetEnvInt("DODUO_TEST_VAR", 1), 42);
+  EXPECT_EQ(GetEnvDouble("DODUO_TEST_VAR", 1.0), 42.0);
+  setenv("DODUO_TEST_VAR", "-8", 1);
+  EXPECT_EQ(GetEnvInt("DODUO_TEST_VAR", 1), -8);
   unsetenv("DODUO_TEST_VAR");
 }
 
@@ -26,6 +30,29 @@ TEST(EnvTest, UnparsableFallsBack) {
   setenv("DODUO_TEST_VAR", "not_a_number", 1);
   EXPECT_EQ(GetEnvDouble("DODUO_TEST_VAR", 9.0), 9.0);
   EXPECT_EQ(GetEnvInt("DODUO_TEST_VAR", 9), 9);
+  unsetenv("DODUO_TEST_VAR");
+}
+
+TEST(EnvTest, RejectsTrailingGarbage) {
+  // "4abc" used to parse as 4 via strtol's partial parse; the full string
+  // must now be numeric.
+  setenv("DODUO_TEST_VAR", "4abc", 1);
+  EXPECT_EQ(GetEnvInt("DODUO_TEST_VAR", 9), 9);
+  EXPECT_EQ(GetEnvDouble("DODUO_TEST_VAR", 9.0), 9.0);
+  // A fractional value is not a valid integer either.
+  setenv("DODUO_TEST_VAR", "3.5", 1);
+  EXPECT_EQ(GetEnvInt("DODUO_TEST_VAR", 9), 9);
+  setenv("DODUO_TEST_VAR", "", 1);
+  EXPECT_EQ(GetEnvInt("DODUO_TEST_VAR", 9), 9);
+  EXPECT_EQ(GetEnvDouble("DODUO_TEST_VAR", 9.0), 9.0);
+  unsetenv("DODUO_TEST_VAR");
+}
+
+TEST(EnvTest, RejectsOutOfRangeValues) {
+  setenv("DODUO_TEST_VAR", "99999999999999999999999999", 1);
+  EXPECT_EQ(GetEnvInt("DODUO_TEST_VAR", 9), 9);
+  setenv("DODUO_TEST_VAR", "1e999", 1);
+  EXPECT_EQ(GetEnvDouble("DODUO_TEST_VAR", 9.0), 9.0);
   unsetenv("DODUO_TEST_VAR");
 }
 

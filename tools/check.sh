@@ -2,14 +2,17 @@
 # Full pre-merge check: tier-1 tests (Release) plus the AddressSanitizer and
 # ThreadSanitizer configurations.
 #
-#   tools/check.sh            # tier-1 + ASan + TSan
+#   tools/check.sh            # tier-1 + ASan + TSan + UBSan
 #   tools/check.sh --fast     # tier-1 only
 #
 # ASan covers the strided-view kernels and workspace arena reuse (out-of-
 # bounds writes through MutMatView would corrupt neighbouring column bands
-# silently); TSan covers the thread-pool sharded kernels. The sanitizer runs
-# restrict themselves to the nn and transformer suites, where all of the
-# kernel and threading code lives; tier-1 runs everything.
+# silently); TSan covers the thread-pool sharded kernels. UBSan covers the
+# parsing/validation paths (env parsing, CSV, checkpoint decoding, tokenizer
+# bounds) where integer overflow or bad shifts would otherwise pass
+# silently. The ASan/TSan runs restrict themselves to the nn and transformer
+# suites, where all of the kernel and threading code lives; UBSan runs the
+# tier-1 suite; the Release tier-1 runs everything.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -41,4 +44,9 @@ cmake --build build-tsan -j "${jobs}" --target nn_test transformer_test
  DODUO_NUM_THREADS=8 DODUO_PARALLEL_THRESHOLD=1 ./transformer_test \
    --gtest_brief=1)
 
-echo "=== all checks passed (${sanitizer_filter} under ASan/TSan) ==="
+echo "=== UndefinedBehaviorSanitizer ==="
+cmake -B build-ubsan -S . -DDODUO_UBSAN=ON >/dev/null
+cmake --build build-ubsan -j "${jobs}"
+ctest --test-dir build-ubsan --output-on-failure -j "${jobs}"
+
+echo "=== all checks passed (${sanitizer_filter} under ASan/TSan; tier-1 under UBSan) ==="

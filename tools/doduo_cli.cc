@@ -15,7 +15,9 @@
 //       Prints the contextualized column embeddings as CSV.
 //
 // Every command accepts --threads N to size the compute pool (equivalent
-// to DODUO_NUM_THREADS=N; 1 disables parallelism).
+// to DODUO_NUM_THREADS=N; 1 disables parallelism) and --stats to dump the
+// pipeline metrics (per-stage latency histograms and counters, see
+// DESIGN §10) as JSON on stderr before exiting.
 
 #include <cstdio>
 #include <cstring>
@@ -30,6 +32,7 @@
 #include "doduo/nn/serialize.h"
 #include "doduo/util/csv.h"
 #include "doduo/util/env.h"
+#include "doduo/util/metrics.h"
 #include "doduo/util/string_util.h"
 #include "doduo/util/thread_pool.h"
 
@@ -235,21 +238,30 @@ int Annotate(const std::string& model_dir,
 
   std::vector<std::vector<std::vector<std::string>>> types;
   if (batch) {
-    types = annotator.AnnotateTypesBatch(tables);
+    auto result = annotator.AnnotateTypesBatch(tables);
+    if (!result.ok()) return Fail(result.status().ToString());
+    types = std::move(result).value();
   } else {
-    for (const auto& table : tables) {
-      types.push_back(annotator.AnnotateTypes(table));
+    for (size_t t = 0; t < tables.size(); ++t) {
+      auto result = annotator.AnnotateTypes(tables[t]);
+      if (!result.ok()) {
+        return Fail(csv_paths[t] + ": " + result.status().ToString());
+      }
+      types.push_back(std::move(result).value());
     }
   }
   for (size_t t = 0; t < tables.size(); ++t) {
     if (tables.size() > 1) std::printf("== %s ==\n", csv_paths[t].c_str());
     PrintTypes(tables[t], types[t]);
     if (m.config.num_relations > 0 && tables[t].num_columns() > 1) {
-      const auto relations = annotator.AnnotateKeyRelations(tables[t]);
-      for (size_t c = 0; c < relations.size(); ++c) {
+      auto relations = annotator.AnnotateKeyRelations(tables[t]);
+      if (!relations.ok()) {
+        return Fail(csv_paths[t] + ": " + relations.status().ToString());
+      }
+      for (size_t c = 0; c < relations.value().size(); ++c) {
         std::printf("(%s, %s): %s\n", tables[t].column(0).name.c_str(),
                     tables[t].column(static_cast<int>(c) + 1).name.c_str(),
-                    relations[c].c_str());
+                    relations.value()[c].c_str());
       }
     }
   }
@@ -266,8 +278,11 @@ int Embed(const std::string& model_dir, const std::string& csv_path) {
   doduo::core::Annotator annotator(
       m.model.get(), m.serializer.get(), &m.types,
       m.config.num_relations > 0 ? &m.relations : nullptr);
-  const doduo::nn::Tensor embeddings =
-      annotator.ColumnEmbeddings(table.value());
+  auto result = annotator.ColumnEmbeddings(table.value());
+  if (!result.ok()) {
+    return Fail(csv_path + ": " + result.status().ToString());
+  }
+  const doduo::nn::Tensor embeddings = std::move(result).value();
   for (int64_t c = 0; c < embeddings.rows(); ++c) {
     std::printf("%s", table.value().column(static_cast<int>(c)).name.c_str());
     for (int64_t j = 0; j < embeddings.cols(); ++j) {
@@ -281,9 +296,12 @@ int Embed(const std::string& model_dir, const std::string& csv_path) {
 const char* kUsage =
     "usage:\n"
     "  doduo_cli train --out <dir> [--mode wikitable|viznet] [--threads N]\n"
-    "  doduo_cli annotate --model <dir> [--batch] [--threads N]"
+    "  doduo_cli annotate --model <dir> [--batch] [--threads N] [--stats]"
     " <file.csv>...\n"
-    "  doduo_cli embed --model <dir> [--threads N] <file.csv>\n";
+    "  doduo_cli embed --model <dir> [--threads N] [--stats] <file.csv>\n"
+    "\n"
+    "  --stats dumps pipeline metrics (counters + latency histograms)\n"
+    "  as JSON on stderr before exiting.\n";
 
 }  // namespace
 
@@ -294,6 +312,7 @@ int main(int argc, char** argv) {
   std::string mode = "wikitable";
   std::vector<std::string> csv_paths;
   bool batch = false;
+  bool stats = false;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
@@ -306,18 +325,27 @@ int main(int argc, char** argv) {
           static_cast<int>(std::strtol(argv[++i], nullptr, 10)));
     } else if (std::strcmp(argv[i], "--batch") == 0) {
       batch = true;
+    } else if (std::strcmp(argv[i], "--stats") == 0) {
+      stats = true;
     } else {
       csv_paths.emplace_back(argv[i]);
     }
   }
 
-  if (command == "train" && !out_dir.empty()) return Train(out_dir, mode);
-  if (command == "annotate" && !model_dir.empty() && !csv_paths.empty()) {
-    return Annotate(model_dir, csv_paths, batch);
+  int exit_code = 2;
+  if (command == "train" && !out_dir.empty()) {
+    exit_code = Train(out_dir, mode);
+  } else if (command == "annotate" && !model_dir.empty() &&
+             !csv_paths.empty()) {
+    exit_code = Annotate(model_dir, csv_paths, batch);
+  } else if (command == "embed" && !model_dir.empty() && !csv_paths.empty()) {
+    exit_code = Embed(model_dir, csv_paths.front());
+  } else {
+    std::fputs(kUsage, stderr);
+    return 2;
   }
-  if (command == "embed" && !model_dir.empty() && !csv_paths.empty()) {
-    return Embed(model_dir, csv_paths.front());
+  if (stats) {
+    std::fprintf(stderr, "%s\n", doduo::util::MetricsToJson().c_str());
   }
-  std::fputs(kUsage, stderr);
-  return 2;
+  return exit_code;
 }
