@@ -40,22 +40,23 @@ class Annotator {
 
   /// Predicted semantic type names per column (one or more per column for
   /// multi-label models).
-  util::Result<std::vector<std::vector<std::string>>> AnnotateTypes(
+  [[nodiscard]] util::Result<std::vector<std::vector<std::string>>>
+  AnnotateTypes(
       const table::Table& table) const;
 
   /// Predicted relation names between the given column pairs. Pairs must be
   /// in-range column indices and free of duplicates; an empty pair list
   /// yields an empty result.
-  util::Result<std::vector<std::string>> AnnotateRelations(
+  [[nodiscard]] util::Result<std::vector<std::string>> AnnotateRelations(
       const table::Table& table,
       const std::vector<std::pair<int, int>>& pairs) const;
 
   /// Relations between the key column (0) and every other column.
-  util::Result<std::vector<std::string>> AnnotateKeyRelations(
+  [[nodiscard]] util::Result<std::vector<std::string>> AnnotateKeyRelations(
       const table::Table& table) const;
 
   /// Contextualized column embeddings [num_columns, hidden_dim].
-  util::Result<nn::Tensor> ColumnEmbeddings(const table::Table& table) const;
+  [[nodiscard]] util::Result<nn::Tensor> ColumnEmbeddings(const table::Table& table) const;
 
   // -- Batched inference ----------------------------------------------------
   //
@@ -70,11 +71,11 @@ class Annotator {
   // the error message names the failing table index.
 
   /// AnnotateTypes for every table: result[t][column] = type names.
-  util::Result<std::vector<std::vector<std::vector<std::string>>>>
+  [[nodiscard]] util::Result<std::vector<std::vector<std::vector<std::string>>>>
   AnnotateTypesBatch(std::span<const table::Table> tables) const;
 
   /// ColumnEmbeddings for every table: result[t] = [num_columns, hidden].
-  util::Result<std::vector<nn::Tensor>> ColumnEmbeddingsBatch(
+  [[nodiscard]] util::Result<std::vector<nn::Tensor>> ColumnEmbeddingsBatch(
       std::span<const table::Table> tables) const;
 
   // -- Observability --------------------------------------------------------
@@ -89,14 +90,14 @@ class Annotator {
   /// `fn(model, table_index, serialized)` once per table, fanning out
   /// across model replicas when profitable. `fn` must only touch per-index
   /// output slots. Fails without calling `fn` if any table is malformed.
-  util::Status ForEachTable(
+  [[nodiscard]] util::Status ForEachTable(
       std::span<const table::Table> tables,
       const std::function<void(DoduoModel*, size_t,
                                const table::SerializedTable&)>& fn) const;
 
   /// Non-OK when any pair index is out of range for `table` or the same
   /// pair appears twice.
-  util::Status ValidatePairs(
+  [[nodiscard]] util::Status ValidatePairs(
       const table::Table& table,
       const std::vector<std::pair<int, int>>& pairs) const;
 

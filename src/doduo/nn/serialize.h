@@ -11,7 +11,7 @@ namespace doduo::nn {
 /// Saves the parameters in list order to a binary checkpoint file. The
 /// format records each parameter's name and shape, so a load verifies that
 /// the target model has an identical structure.
-util::Status SaveParameters(const std::string& path,
+[[nodiscard]] util::Status SaveParameters(const std::string& path,
                             const ParameterList& params);
 
 /// Loads a checkpoint written by SaveParameters into `params`. Entries are
@@ -20,7 +20,7 @@ util::Status SaveParameters(const std::string& path,
 /// consumed. One legacy-layout shim applies: checkpoints from before the
 /// packed-QKV attention, which store separate "<attn>.wq/.wk/.wv"
 /// projections, are re-packed into the model's "<attn>.wqkv" parameter.
-util::Status LoadParameters(const std::string& path,
+[[nodiscard]] util::Status LoadParameters(const std::string& path,
                             const ParameterList& params);
 
 }  // namespace doduo::nn

@@ -50,15 +50,15 @@ class TableSerializer {
                   SerializerOptions options);
 
   /// DODUO's table-wise serialization: one [CLS] per column.
-  util::Result<SerializedTable> SerializeTable(const Table& table) const;
+  [[nodiscard]] util::Result<SerializedTable> SerializeTable(const Table& table) const;
 
   /// Single-column serialization (the DOSOLO_SCol type model).
-  util::Result<SerializedTable> SerializeColumn(const Table& table,
+  [[nodiscard]] util::Result<SerializedTable> SerializeColumn(const Table& table,
                                                 int column) const;
 
   /// Column-pair serialization (the DOSOLO_SCol relation model); yields two
   /// [CLS] positions so the same relation head applies.
-  util::Result<SerializedTable> SerializeColumnPair(const Table& table,
+  [[nodiscard]] util::Result<SerializedTable> SerializeColumnPair(const Table& table,
                                                     int column_a,
                                                     int column_b) const;
 

@@ -51,7 +51,7 @@ class Table {
 
 /// Builds a Table from parsed CSV rows; when `has_header` the first row
 /// provides column names. Fails on empty input or ragged header.
-util::Result<Table> TableFromCsvRows(
+[[nodiscard]] util::Result<Table> TableFromCsvRows(
     const std::vector<std::vector<std::string>>& rows, bool has_header,
     std::string id);
 

@@ -49,11 +49,11 @@ class Vocab {
   static bool IsSpecial(int id) { return id < kNumSpecialTokens; }
 
   /// Writes one token per line.
-  util::Status Save(const std::string& path) const;
+  [[nodiscard]] util::Status Save(const std::string& path) const;
 
   /// Reads a vocab written by Save; the first five lines must be the
   /// special tokens.
-  static util::Result<Vocab> Load(const std::string& path);
+  [[nodiscard]] static util::Result<Vocab> Load(const std::string& path);
 
  private:
   std::vector<std::string> tokens_;

@@ -16,17 +16,17 @@ using CsvRows = std::vector<std::vector<std::string>>;
 /// Parses RFC-4180-style CSV text: comma separated, double-quote quoting,
 /// doubled quotes inside quoted fields, LF or CRLF line endings. A trailing
 /// newline does not produce an empty final row.
-Result<CsvRows> ParseCsv(std::string_view text);
+[[nodiscard]] Result<CsvRows> ParseCsv(std::string_view text);
 
 /// Reads and parses a CSV file from disk.
-Result<CsvRows> ReadCsvFile(const std::string& path);
+[[nodiscard]] Result<CsvRows> ReadCsvFile(const std::string& path);
 
 /// Serializes rows to CSV text, quoting cells that contain commas, quotes,
 /// or newlines.
 std::string WriteCsvString(const CsvRows& rows);
 
 /// Writes rows to a CSV file on disk.
-Status WriteCsvFile(const std::string& path, const CsvRows& rows);
+[[nodiscard]] Status WriteCsvFile(const std::string& path, const CsvRows& rows);
 
 }  // namespace doduo::util
 

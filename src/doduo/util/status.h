@@ -24,7 +24,11 @@ const char* StatusCodeName(StatusCode code);
 
 /// A lightweight success-or-error value, used instead of exceptions for
 /// recoverable errors. Programmer errors use DODUO_CHECK instead.
-class Status {
+///
+/// [[nodiscard]] on the type makes every ignored Status-returning call a
+/// compile-time warning (an error under -DDODUO_WERROR=ON); doduo_lint's
+/// discarded-status rule backstops call sites the compiler cannot see.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() : code_(StatusCode::kOk) {}
@@ -63,7 +67,7 @@ class Status {
 /// Holds either a value of type T or an error Status. Accessing the value of
 /// an errored result is a fatal programmer error.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Implicit from value and from error status, mirroring absl::StatusOr.
   Result(T value) : state_(std::move(value)) {}  // NOLINT(runtime/explicit)
