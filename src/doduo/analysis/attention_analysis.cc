@@ -37,7 +37,7 @@ InterColumnDependency AnalyzeInterColumnDependency(
         const int type_j =
             annotated.column_types[static_cast<size_t>(j)][0];
         sums[static_cast<size_t>(type_i)][static_cast<size_t>(type_j)] +=
-            attention.at(i, j) - uniform;
+            static_cast<double>(attention.at(i, j)) - uniform;
         ++counts[static_cast<size_t>(type_i)][static_cast<size_t>(type_j)];
       }
     }

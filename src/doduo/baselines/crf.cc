@@ -30,7 +30,7 @@ void PairwiseCrf::ConditionalScores(const nn::Tensor& unaries,
     double score = unaries.at(static_cast<int64_t>(i), y);
     for (size_t j = 0; j < labels.size(); ++j) {
       if (j == i) continue;
-      score += PairwiseWeight(y, labels[j]);
+      score += static_cast<double>(PairwiseWeight(y, labels[j]));
     }
     (*scores)[static_cast<size_t>(y)] = score;
   }

@@ -12,7 +12,7 @@ namespace {
 double SquaredDistance(const float* a, const float* b, int64_t d) {
   double total = 0.0;
   for (int64_t j = 0; j < d; ++j) {
-    const double diff = static_cast<double>(a[j]) - b[j];
+    const double diff = static_cast<double>(a[j]) - static_cast<double>(b[j]);
     total += diff * diff;
   }
   return total;
@@ -27,7 +27,7 @@ void NormalizeRows(nn::Tensor* points) {
     float* row = points->row(i);
     double norm = 0.0;
     for (int64_t j = 0; j < d; ++j) {
-      norm += static_cast<double>(row[j]) * row[j];
+      norm += static_cast<double>(row[j]) * static_cast<double>(row[j]);
     }
     norm = std::sqrt(norm);
     if (norm < 1e-12) continue;

@@ -24,15 +24,16 @@ const Tensor& LayerNorm::Forward(const Tensor& x) {
   for (int64_t i = 0; i < m; ++i) {
     const float* in = x.row(i);
     double mean = 0.0;
-    for (int64_t j = 0; j < n; ++j) mean += in[j];
+    for (int64_t j = 0; j < n; ++j) mean += static_cast<double>(in[j]);
     mean /= static_cast<double>(n);
     double var = 0.0;
     for (int64_t j = 0; j < n; ++j) {
-      const double d = in[j] - mean;
+      const double d = static_cast<double>(in[j]) - mean;
       var += d * d;
     }
     var /= static_cast<double>(n);
-    const float rstd = static_cast<float>(1.0 / std::sqrt(var + epsilon_));
+    const float rstd =
+        static_cast<float>(1.0 / std::sqrt(var + static_cast<double>(epsilon_)));
     rstd_.at(i) = rstd;
     float* norm = normalized_.row(i);
     float* out = output_.row(i);
@@ -63,17 +64,18 @@ const Tensor& LayerNorm::Backward(const Tensor& grad_out) {
     for (int64_t j = 0; j < n; ++j) {
       g_grad[j] += dy[j] * xn[j];
       b_grad[j] += dy[j];
-      const double dxn = static_cast<double>(dy[j]) * g[j];
+      const double dxn = static_cast<double>(dy[j]) * static_cast<double>(g[j]);
       mean_dxn += dxn;
-      mean_dxnx += dxn * xn[j];
+      mean_dxnx += dxn * static_cast<double>(xn[j]);
     }
     mean_dxn /= static_cast<double>(n);
     mean_dxnx /= static_cast<double>(n);
     const float rstd = rstd_.at(i);
     for (int64_t j = 0; j < n; ++j) {
-      const double dxn = static_cast<double>(dy[j]) * g[j];
+      const double dxn = static_cast<double>(dy[j]) * static_cast<double>(g[j]);
       dx[j] = static_cast<float>(
-          rstd * (dxn - mean_dxn - xn[j] * mean_dxnx));
+          static_cast<double>(rstd) *
+          (dxn - mean_dxn - static_cast<double>(xn[j]) * mean_dxnx));
     }
   }
   return grad_input_;

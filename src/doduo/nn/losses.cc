@@ -27,7 +27,7 @@ LossResult SoftmaxCrossEntropy(const Tensor& logits,
     DODUO_CHECK_LT(label, c);
     ++valid;
     const float p = probs.at(i, label);
-    total_loss += -std::log(std::max(p, 1e-12f));
+    total_loss += -static_cast<double>(std::log(std::max(p, 1e-12f)));
   }
   if (valid == 0) return result;
 
@@ -69,8 +69,8 @@ LossResult BinaryCrossEntropyWithLogits(const Tensor& logits,
       // Stable BCE-with-logits: max(z,0) - z*t + log(1 + exp(-|z|)).
       const float zj = z[j];
       const float tj = t[j];
-      total_loss += std::max(zj, 0.0f) - zj * tj +
-                    std::log1p(std::exp(-std::fabs(zj)));
+      total_loss += static_cast<double>(std::max(zj, 0.0f) - zj * tj +
+                                        std::log1p(std::exp(-std::fabs(zj))));
     }
   }
   if (valid_rows == 0) return result;

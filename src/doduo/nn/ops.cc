@@ -3,13 +3,13 @@
 #include <algorithm>
 #include <cmath>
 
-#include "doduo/util/env.h"
-#include "doduo/util/thread_pool.h"
-
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #include <immintrin.h>
 #define DODUO_X86_SIMD 1
 #endif
+
+#include "doduo/util/env.h"
+#include "doduo/util/thread_pool.h"
 
 namespace doduo::nn {
 
@@ -625,7 +625,7 @@ void ScaleMaskSoftmaxRow(const float* in, const float* mask_row, float scale,
     float t = in[j] * scale;
     if (mask_row != nullptr) t += mask_row[j];
     out[j] = std::exp(t - max_logit);
-    total += out[j];
+    total += static_cast<double>(out[j]);
   }
   const float inv = static_cast<float>(1.0 / total);
   for (int64_t j = 0; j < n; ++j) out[j] *= inv;
@@ -677,7 +677,8 @@ void SoftmaxRowsBackward(const Tensor& probs, const Tensor& grad_out,
     const float* dy = grad_out.row(i);
     float* dx = grad_in->row(i);
     double inner = 0.0;
-    for (int64_t j = 0; j < n; ++j) inner += static_cast<double>(dy[j]) * p[j];
+    for (int64_t j = 0; j < n; ++j)
+      inner += static_cast<double>(dy[j]) * static_cast<double>(p[j]);
     const float inner_f = static_cast<float>(inner);
     for (int64_t j = 0; j < n; ++j) dx[j] = p[j] * (dy[j] - inner_f);
   }
@@ -693,7 +694,8 @@ void LogSoftmaxRows(const Tensor& logits, Tensor* log_probs) {
     float max_logit = in[0];
     for (int64_t j = 1; j < n; ++j) max_logit = std::max(max_logit, in[j]);
     double total = 0.0;
-    for (int64_t j = 0; j < n; ++j) total += std::exp(in[j] - max_logit);
+    for (int64_t j = 0; j < n; ++j)
+      total += static_cast<double>(std::exp(in[j] - max_logit));
     const float log_z = max_logit + static_cast<float>(std::log(total));
     for (int64_t j = 0; j < n; ++j) out[j] = in[j] - log_z;
   }

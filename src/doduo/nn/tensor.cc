@@ -104,13 +104,13 @@ Tensor Tensor::SliceRows(int64_t begin, int64_t end) const {
 
 double Tensor::Sum() const {
   double total = 0.0;
-  for (float v : data_) total += v;
+  for (float v : data_) total += static_cast<double>(v);
   return total;
 }
 
 double Tensor::L2Norm() const {
   double total = 0.0;
-  for (float v : data_) total += static_cast<double>(v) * v;
+  for (float v : data_) total += static_cast<double>(v) * static_cast<double>(v);
   return std::sqrt(total);
 }
 

@@ -102,7 +102,7 @@ TEST_F(AttentionAnalysisTest, ColumnAttentionRowsAreSubStochastic) {
     for (int64_t j = 0; j < attention.cols(); ++j) {
       EXPECT_GE(attention.at(i, j), 0.0f);
       EXPECT_LE(attention.at(i, j), 1.0f);
-      row_sum += attention.at(i, j);
+      row_sum += static_cast<double>(attention.at(i, j));
     }
     EXPECT_LE(row_sum, 1.0 + 1e-5);
   }

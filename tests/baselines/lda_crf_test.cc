@@ -57,7 +57,7 @@ TEST(LdaTest, TopicDistributionSumsToOne) {
   lda.Fit(documents);
   for (size_t d = 0; d < documents.size(); ++d) {
     double sum = 0.0;
-    for (float p : lda.DocumentTopics(d)) sum += p;
+    for (float p : lda.DocumentTopics(d)) sum += static_cast<double>(p);
     EXPECT_NEAR(sum, 1.0, 1e-5);
   }
 }

@@ -21,7 +21,8 @@ TEST(SherlockFeaturesTest, CharDistributionNormalized) {
   table::Column column{"c", {"abc", "abd"}};
   const auto features = ExtractSherlockFeatures(column);
   double sum = 0.0;
-  for (int i = 0; i < 40; ++i) sum += features[static_cast<size_t>(i)];
+  for (int i = 0; i < 40; ++i)
+    sum += static_cast<double>(features[static_cast<size_t>(i)]);
   EXPECT_NEAR(sum, 1.0, 1e-5);
 }
 
@@ -41,7 +42,8 @@ TEST(SherlockFeaturesTest, DistinguishesTypes) {
   const auto a = ExtractSherlockFeatures(years);
   const auto b = ExtractSherlockFeatures(names);
   double diff = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) diff += std::abs(a[i] - b[i]);
+  for (size_t i = 0; i < a.size(); ++i)
+    diff += static_cast<double>(std::abs(a[i] - b[i]));
   EXPECT_GT(diff, 0.5);
 }
 

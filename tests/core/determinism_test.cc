@@ -115,7 +115,8 @@ TEST(DeterminismTest, DifferentSeedsDifferentRuns) {
   double diff = 0.0;
   for (size_t i = 0;
        i < std::min(a.first_weights.size(), b.first_weights.size()); ++i) {
-    diff += std::abs(a.first_weights[i] - b.first_weights[i]);
+    diff += static_cast<double>(
+        std::abs(a.first_weights[i] - b.first_weights[i]));
   }
   EXPECT_GT(diff, 1e-3);
 }

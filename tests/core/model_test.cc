@@ -158,7 +158,7 @@ TEST(DoduoModelTest, MaskBuilderIsApplied) {
   const nn::Tensor masked = model.ForwardTypes(input);
   double diff = 0.0;
   for (int64_t i = 0; i < masked.size(); ++i) {
-    diff += std::abs(masked.data()[i] - unmasked.data()[i]);
+    diff += static_cast<double>(std::abs(masked.data()[i] - unmasked.data()[i]));
   }
   EXPECT_GT(diff, 1e-3);
 
@@ -185,7 +185,7 @@ TEST(DoduoModelTest, SnapshotRestoreRoundTrip) {
   const nn::Tensor perturbed = model.ForwardTypes(input);
   double diff = 0.0;
   for (int64_t i = 0; i < perturbed.size(); ++i) {
-    diff += std::abs(perturbed.data()[i] - before.data()[i]);
+    diff += static_cast<double>(std::abs(perturbed.data()[i] - before.data()[i]));
   }
   EXPECT_GT(diff, 1e-3);
 

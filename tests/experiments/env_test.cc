@@ -72,7 +72,8 @@ TEST(EnvTest, PretrainedInitializationCopiesWeights) {
   for (size_t i = 0; i < before.size(); ++i) {
     ASSERT_TRUE(nn::SameShape(before[i], after[i]));
     for (int64_t j = 0; j < before[i].size(); ++j) {
-      diff += std::abs(before[i].data()[j] - after[i].data()[j]);
+      diff += static_cast<double>(
+          std::abs(before[i].data()[j] - after[i].data()[j]));
     }
   }
   EXPECT_GT(diff, 1e-3);

@@ -17,7 +17,8 @@ namespace {
 double WeightedSum(const Tensor& out, const Tensor& weights) {
   double total = 0.0;
   for (int64_t i = 0; i < out.size(); ++i) {
-    total += static_cast<double>(out.data()[i]) * weights.data()[i];
+    total += static_cast<double>(out.data()[i]) *
+             static_cast<double>(weights.data()[i]);
   }
   return total;
 }
@@ -130,10 +131,11 @@ TEST(LayerNormTest, OutputIsNormalizedWithUnitGamma) {
   for (int64_t i = 0; i < 3; ++i) {
     double mean = 0.0;
     double var = 0.0;
-    for (int64_t j = 0; j < 8; ++j) mean += y.at(i, j);
+    for (int64_t j = 0; j < 8; ++j) mean += static_cast<double>(y.at(i, j));
     mean /= 8.0;
     for (int64_t j = 0; j < 8; ++j) {
-      var += (y.at(i, j) - mean) * (y.at(i, j) - mean);
+      var += (static_cast<double>(y.at(i, j)) - mean) *
+             (static_cast<double>(y.at(i, j)) - mean);
     }
     var /= 8.0;
     EXPECT_NEAR(mean, 0.0, 1e-4);

@@ -58,7 +58,8 @@ TEST(SoftmaxCrossEntropyTest, GradientRowsSumToZero) {
   LossResult r = SoftmaxCrossEntropy(logits, {1, 4});
   for (int64_t i = 0; i < 2; ++i) {
     double sum = 0.0;
-    for (int64_t j = 0; j < 5; ++j) sum += r.grad_logits.at(i, j);
+    for (int64_t j = 0; j < 5; ++j)
+      sum += static_cast<double>(r.grad_logits.at(i, j));
     EXPECT_NEAR(sum, 0.0, 1e-6);
   }
 }

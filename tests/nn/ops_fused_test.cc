@@ -255,8 +255,9 @@ TEST_P(OpsFusedTest, KernelsMatchScalarOpOrderBitForBit) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Threads, OpsFusedTest, ::testing::Values(1, 2, 8),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return std::to_string(info.param) + "threads";
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return std::to_string(param_info.param) +
+                                  "threads";
                          });
 
 }  // namespace

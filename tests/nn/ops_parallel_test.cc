@@ -164,7 +164,8 @@ TEST_P(OpsParallelTest, MatMulMatchesDoublePrecisionNaiveReference) {
         double expected = 0.0;
         for (int64_t l = 0; l < s.k; ++l) {
           expected +=
-              static_cast<double>(in.a.at(i, l)) * in.b.at(l, j);
+              static_cast<double>(in.a.at(i, l)) *
+              static_cast<double>(in.b.at(l, j));
         }
         ASSERT_NEAR(c.at(i, j), expected,
                     1e-3 * (1.0 + std::fabs(expected)))
@@ -177,8 +178,9 @@ TEST_P(OpsParallelTest, MatMulMatchesDoublePrecisionNaiveReference) {
 
 INSTANTIATE_TEST_SUITE_P(Threads, OpsParallelTest,
                          ::testing::Values(1, 2, 8),
-                         [](const ::testing::TestParamInfo<int>& info) {
-                           return std::to_string(info.param) + "threads";
+                         [](const ::testing::TestParamInfo<int>& param_info) {
+                           return std::to_string(param_info.param) +
+                                  "threads";
                          });
 
 }  // namespace

@@ -26,7 +26,8 @@ TEST_P(MatMulPropertyTest, MatchesNaiveTripleLoop) {
     for (int j = 0; j < n; ++j) {
       double expected = 0.0;
       for (int l = 0; l < k; ++l) {
-        expected += static_cast<double>(a.at(i, l)) * b.at(l, j);
+        expected += static_cast<double>(a.at(i, l)) *
+                    static_cast<double>(b.at(l, j));
       }
       ASSERT_NEAR(c.at(i, j), expected, 1e-3 * (1.0 + std::fabs(expected)))
           << i << "," << j;
@@ -54,7 +55,8 @@ TEST_P(MatMulPropertyTest, TransposedVariantsAgree) {
   MatMulTransposedB(a, b_transposed, &via_bt);
   for (int64_t i = 0; i < reference.size(); ++i) {
     ASSERT_NEAR(via_bt.data()[i], reference.data()[i],
-                1e-3 * (1.0 + std::fabs(reference.data()[i])));
+                1e-3 * (1.0 + static_cast<double>(
+                                  std::fabs(reference.data()[i]))));
   }
 
   // a · b == (aᵀ)ᵀ · b via MatMulTransposedA.
@@ -66,7 +68,8 @@ TEST_P(MatMulPropertyTest, TransposedVariantsAgree) {
   MatMulTransposedA(a_transposed, b, &via_at);
   for (int64_t i = 0; i < reference.size(); ++i) {
     ASSERT_NEAR(via_at.data()[i], reference.data()[i],
-                1e-3 * (1.0 + std::fabs(reference.data()[i])));
+                1e-3 * (1.0 + static_cast<double>(
+                                  std::fabs(reference.data()[i]))));
   }
 }
 
@@ -92,7 +95,7 @@ TEST_P(MatMulPropertyTest, DistributesOverAddition) {
 
   for (int64_t i = 0; i < lhs.size(); ++i) {
     ASSERT_NEAR(lhs.data()[i], rhs1.data()[i],
-                2e-3 * (1.0 + std::fabs(lhs.data()[i])));
+                2e-3 * (1.0 + static_cast<double>(std::fabs(lhs.data()[i]))));
   }
 }
 
@@ -126,7 +129,7 @@ TEST_P(SoftmaxPropertyTest, ShiftInvariantAndStochastic) {
     double sum = 0.0;
     for (int64_t j = 0; j < n; ++j) {
       ASSERT_GE(probs.at(i, j), 0.0f);
-      sum += probs.at(i, j);
+      sum += static_cast<double>(probs.at(i, j));
       // Invariance to a constant shift of the logits.
       ASSERT_NEAR(probs.at(i, j), shifted_probs.at(i, j), 1e-4);
     }

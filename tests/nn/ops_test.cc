@@ -100,7 +100,7 @@ TEST(SoftmaxTest, RowsSumToOne) {
     double sum = 0.0;
     for (int64_t j = 0; j < 3; ++j) {
       EXPECT_GT(probs.at(i, j), 0.0f);
-      sum += probs.at(i, j);
+      sum += static_cast<double>(probs.at(i, j));
     }
     EXPECT_NEAR(sum, 1.0, 1e-5);
   }

@@ -88,7 +88,8 @@ TEST(TensorTest, FillNormalRoughStddev) {
   Tensor t({10000});
   t.FillNormal(&rng, 0.02f);
   double sum_sq = 0.0;
-  for (int64_t i = 0; i < t.size(); ++i) sum_sq += t.at(i) * t.at(i);
+  for (int64_t i = 0; i < t.size(); ++i)
+    sum_sq += static_cast<double>(t.at(i)) * static_cast<double>(t.at(i));
   EXPECT_NEAR(sum_sq / static_cast<double>(t.size()), 0.02 * 0.02,
               0.02 * 0.02 * 0.2);
 }

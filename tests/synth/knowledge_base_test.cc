@@ -78,7 +78,9 @@ TEST(WikiTableKbTest, DeterministicAcrossBuilds) {
 TEST(WikiTableKbTest, TopicsReferenceValidIds) {
   KnowledgeBase kb = KnowledgeBase::BuildWikiTableKb(42);
   for (const Topic& topic : kb.topics()) {
-    if (topic.key_type >= 0) EXPECT_LT(topic.key_type, kb.num_types());
+    if (topic.key_type >= 0) {
+      EXPECT_LT(topic.key_type, kb.num_types());
+    }
     ASSERT_EQ(topic.other_types.size(), topic.relations.size())
         << topic.name;
     for (size_t i = 0; i < topic.other_types.size(); ++i) {

@@ -71,8 +71,12 @@ TEST(ShuffleAllRowsTest, LabelsUntouched) {
   for (size_t r = 0; r < 2; ++r) {
     const std::string& film = tables[0].table.column(0).values[r];
     const std::string& director = tables[0].table.column(1).values[r];
-    if (film == "Happy Feet") EXPECT_EQ(director, "George Miller");
-    if (film == "Cars") EXPECT_EQ(director, "John Lasseter");
+    if (film == "Happy Feet") {
+      EXPECT_EQ(director, "George Miller");
+    }
+    if (film == "Cars") {
+      EXPECT_EQ(director, "John Lasseter");
+    }
   }
 }
 
@@ -85,9 +89,15 @@ TEST(ShuffleAllColumnsTest, LabelsFollowColumns) {
     const std::string& name = t.table.column(c).name;
     const std::vector<int>& types =
         t.column_types[static_cast<size_t>(c)];
-    if (name == "film") EXPECT_EQ(types, (std::vector<int>{0}));
-    if (name == "director") EXPECT_EQ(types, (std::vector<int>{1, 2}));
-    if (name == "country") EXPECT_EQ(types, (std::vector<int>{3}));
+    if (name == "film") {
+      EXPECT_EQ(types, (std::vector<int>{0}));
+    }
+    if (name == "director") {
+      EXPECT_EQ(types, (std::vector<int>{1, 2}));
+    }
+    if (name == "country") {
+      EXPECT_EQ(types, (std::vector<int>{3}));
+    }
   }
   // Relations still connect film→director and film→country.
   for (const RelationAnnotation& rel : t.relations) {

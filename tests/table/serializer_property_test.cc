@@ -69,7 +69,9 @@ TEST_P(SerializerPropertyTest, InvariantsHoldForEveryTable) {
     for (size_t c = 0; c < s.cls_positions.size(); ++c) {
       ASSERT_EQ(s.token_ids[static_cast<size_t>(s.cls_positions[c])],
                 text::Vocab::kClsId);
-      if (c > 0) ASSERT_GT(s.cls_positions[c], s.cls_positions[c - 1]);
+      if (c > 0) {
+        ASSERT_GT(s.cls_positions[c], s.cls_positions[c - 1]);
+      }
     }
     // Trailing separator, and structural tokens carry row -1.
     ASSERT_EQ(s.token_ids.back(), text::Vocab::kSepId);

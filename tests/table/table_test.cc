@@ -40,9 +40,15 @@ TEST(TableTest, ShuffleRowsKeepsRowsAligned) {
     const std::string& film = t.column(0).values[static_cast<size_t>(r)];
     const std::string& director =
         t.column(1).values[static_cast<size_t>(r)];
-    if (film == "Happy Feet") EXPECT_EQ(director, "George Miller");
-    if (film == "Cars") EXPECT_EQ(director, "John Lasseter");
-    if (film == "Flushed Away") EXPECT_EQ(director, "David Bowers");
+    if (film == "Happy Feet") {
+      EXPECT_EQ(director, "George Miller");
+    }
+    if (film == "Cars") {
+      EXPECT_EQ(director, "John Lasseter");
+    }
+    if (film == "Flushed Away") {
+      EXPECT_EQ(director, "David Bowers");
+    }
   }
 }
 

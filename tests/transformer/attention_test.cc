@@ -23,7 +23,8 @@ TransformerConfig SmallConfig() {
 double WeightedSum(const nn::Tensor& out, const nn::Tensor& weights) {
   double total = 0.0;
   for (int64_t i = 0; i < out.size(); ++i) {
-    total += static_cast<double>(out.data()[i]) * weights.data()[i];
+    total += static_cast<double>(out.data()[i]) *
+             static_cast<double>(weights.data()[i]);
   }
   return total;
 }
@@ -50,7 +51,8 @@ TEST(AttentionTest, ProbabilitiesAreRowStochastic) {
     ASSERT_EQ(probs.cols(), 4);
     for (int64_t i = 0; i < 4; ++i) {
       double sum = 0.0;
-      for (int64_t j = 0; j < 4; ++j) sum += probs.at(i, j);
+      for (int64_t j = 0; j < 4; ++j)
+        sum += static_cast<double>(probs.at(i, j));
       EXPECT_NEAR(sum, 1.0, 1e-5);
     }
   }
@@ -215,7 +217,7 @@ TEST(AttentionTest, ContextChangesOutput) {
   nn::Tensor out_b = attn.Forward(context_b, nullptr);
   double diff = 0.0;
   for (int64_t j = 0; j < 8; ++j) {
-    diff += std::fabs(out_a.at(0, j) - out_b.at(0, j));
+    diff += static_cast<double>(std::fabs(out_a.at(0, j) - out_b.at(0, j)));
   }
   EXPECT_GT(diff, 1e-4);
 }

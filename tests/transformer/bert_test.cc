@@ -27,7 +27,8 @@ TransformerConfig SmallConfig() {
 double WeightedSum(const nn::Tensor& out, const nn::Tensor& weights) {
   double total = 0.0;
   for (int64_t i = 0; i < out.size(); ++i) {
-    total += static_cast<double>(out.data()[i]) * weights.data()[i];
+    total += static_cast<double>(out.data()[i]) *
+             static_cast<double>(weights.data()[i]);
   }
   return total;
 }
@@ -79,7 +80,7 @@ TEST(BertTest, PositionEmbeddingsBreakPermutationInvariance) {
   // The representation of token 7 differs across positions.
   double diff = 0.0;
   for (int64_t j = 0; j < 8; ++j) {
-    diff += std::fabs(out_ab.at(0, j) - out_ba.at(1, j));
+    diff += static_cast<double>(std::fabs(out_ab.at(0, j) - out_ba.at(1, j)));
   }
   EXPECT_GT(diff, 1e-4);
 }

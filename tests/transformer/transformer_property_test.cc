@@ -92,7 +92,7 @@ TEST_P(EncoderPropertyTest, GradientsAreFiniteAndNonTrivial) {
   for (const nn::Parameter* p : params) {
     for (int64_t i = 0; i < p->grad.size(); ++i) {
       ASSERT_TRUE(std::isfinite(p->grad.data()[i])) << p->name;
-      total += std::abs(p->grad.data()[i]);
+      total += static_cast<double>(std::abs(p->grad.data()[i]));
     }
   }
   EXPECT_GT(total, 1e-3);

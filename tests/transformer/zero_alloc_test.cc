@@ -81,8 +81,8 @@ TEST_P(ZeroAllocTest, MaskedForwardIsAllocationFreeAtSteadyState) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Paths, ZeroAllocTest, ::testing::Values(true, false),
-                         [](const ::testing::TestParamInfo<bool>& info) {
-                           return info.param ? "fused" : "reference";
+                         [](const ::testing::TestParamInfo<bool>& param_info) {
+                           return param_info.param ? "fused" : "reference";
                          });
 
 #endif  // DODUO_COUNT_ALLOCS

@@ -39,7 +39,7 @@ TEST(StopwatchTest, MeasuresForwardProgress) {
   EXPECT_GE(first, 0.0);
   // Busy-wait a tiny amount.
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += i;
+  for (int i = 0; i < 100000; ++i) sink = sink + i;
   const double second = stopwatch.ElapsedSeconds();
   EXPECT_GE(second, first);
   EXPECT_NEAR(stopwatch.ElapsedMillis(), second * 1000.0,

@@ -286,7 +286,7 @@ int Embed(const std::string& model_dir, const std::string& csv_path) {
   for (int64_t c = 0; c < embeddings.rows(); ++c) {
     std::printf("%s", table.value().column(static_cast<int>(c)).name.c_str());
     for (int64_t j = 0; j < embeddings.cols(); ++j) {
-      std::printf(",%.5f", embeddings.at(c, j));
+      std::printf(",%.5f", static_cast<double>(embeddings.at(c, j)));
     }
     std::printf("\n");
   }
