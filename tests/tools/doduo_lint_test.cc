@@ -1,0 +1,356 @@
+// The linter is correctness tooling, so it gets the same test discipline as
+// the kernels: every rule must fire on a crafted violating snippet, stay
+// quiet on the idiomatic form, and honor the `// NOLINT(rule-id)` escape
+// hatch (DESIGN §11).
+
+#include "lint/lint_engine.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace doduo::lint {
+namespace {
+
+std::vector<Violation> Lint(std::string_view path, std::string_view source,
+                           std::vector<std::string> status_functions = {}) {
+  LintOptions options;
+  for (std::string& name : status_functions) {
+    options.status_functions.insert(std::move(name));
+  }
+  return LintSource(path, source, options);
+}
+
+bool HasRule(const std::vector<Violation>& vs, std::string_view rule) {
+  for (const Violation& v : vs) {
+    if (v.rule == rule) return true;
+  }
+  return false;
+}
+
+// -- discarded-status -------------------------------------------------------
+
+TEST(DiscardedStatusTest, BareCallStatementFires) {
+  const auto vs = Lint("src/doduo/core/x.cc",
+                      "void f() {\n  LoadParameters(path, params);\n}\n",
+                      {"LoadParameters"});
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, kRuleDiscardedStatus);
+  EXPECT_EQ(vs[0].line, 2);
+  EXPECT_EQ(vs[0].file, "src/doduo/core/x.cc");
+}
+
+TEST(DiscardedStatusTest, MemberChainCallFires) {
+  const auto vs = Lint("src/doduo/core/x.cc",
+                      "void f() {\n  vocab.Save(path);\n}\n", {"Save"});
+  EXPECT_TRUE(HasRule(vs, kRuleDiscardedStatus));
+}
+
+TEST(DiscardedStatusTest, SingleStatementIfBodyFires) {
+  const auto vs = Lint("src/doduo/core/x.cc",
+                      "void f(bool c) {\n  if (c) Save(path);\n}\n", {"Save"});
+  EXPECT_TRUE(HasRule(vs, kRuleDiscardedStatus));
+}
+
+TEST(DiscardedStatusTest, CheckedAndConsumedCallsAreQuiet) {
+  const auto vs = Lint("src/doduo/core/x.cc",
+                      "util::Status g() {\n"
+                      "  auto s = Save(path);\n"
+                      "  if (!Save(path).ok()) return s;\n"
+                      "  return Save(path);\n"
+                      "}\n",
+                      {"Save"});
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(DiscardedStatusTest, VoidCastIsAnExplicitDiscard) {
+  const auto vs = Lint("src/doduo/core/x.cc",
+                      "void f() {\n  (void)Save(path);\n}\n", {"Save"});
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(DiscardedStatusTest, DeclarationIsNotACall) {
+  const auto vs = Lint("src/doduo/nn/serialize.h",
+                      "#pragma once\n"
+                      "util::Status SaveParameters(const std::string& path,\n"
+                      "                            const ParameterList& p);\n",
+                      {"SaveParameters"});
+  EXPECT_TRUE(vs.empty());
+}
+
+TEST(DiscardedStatusTest, NolintSuppresses) {
+  const auto vs =
+      Lint("src/doduo/core/x.cc",
+          "void f() {\n  Save(path);  // NOLINT(discarded-status)\n}\n",
+          {"Save"});
+  EXPECT_TRUE(vs.empty());
+}
+
+// -- no-abort ---------------------------------------------------------------
+
+TEST(NoAbortTest, AbortExitAssertFire) {
+  const auto vs = Lint("src/doduo/core/x.cc",
+                      "void f() {\n"
+                      "  std::abort();\n"
+                      "  exit(1);\n"
+                      "  assert(x > 0);\n"
+                      "}\n");
+  int count = 0;
+  for (const Violation& v : vs) {
+    if (v.rule == kRuleNoAbort) ++count;
+  }
+  EXPECT_EQ(count, 3);
+}
+
+TEST(NoAbortTest, UtilLoggingAndStatusAreExempt) {
+  const char* src = "void f() { std::abort(); }\n";
+  EXPECT_TRUE(Lint("src/doduo/util/logging.cc", src).empty());
+  EXPECT_TRUE(Lint("src/doduo/util/status.cc", src).empty());
+  EXPECT_TRUE(Lint("src/doduo/util/check.h",
+                  "#pragma once\nvoid f() { std::abort(); }\n")
+                  .empty());
+  EXPECT_FALSE(Lint("src/doduo/nn/ops.cc", src).empty());
+}
+
+TEST(NoAbortTest, MemberNamedExitIsQuiet) {
+  EXPECT_TRUE(
+      Lint("src/doduo/core/x.cc", "void f() { loop.exit(); }\n").empty());
+}
+
+TEST(NoAbortTest, StringAndCommentMentionsAreQuiet) {
+  EXPECT_TRUE(Lint("src/doduo/core/x.cc",
+                  "// call exit(1) here would be bad\n"
+                  "const char* k = \"abort() assert( exit(\";\n")
+                  .empty());
+}
+
+// -- no-raw-random ----------------------------------------------------------
+
+TEST(NoRawRandomTest, RandSrandTimeRandomDeviceFire) {
+  const auto vs = Lint("src/doduo/synth/x.cc",
+                      "void f() {\n"
+                      "  srand(time(nullptr));\n"
+                      "  int x = rand();\n"
+                      "  std::random_device rd;\n"
+                      "}\n");
+  int count = 0;
+  for (const Violation& v : vs) {
+    if (v.rule == kRuleNoRawRandom) ++count;
+  }
+  EXPECT_EQ(count, 4);  // srand, time, rand, random_device
+}
+
+TEST(NoRawRandomTest, UtilRngIsExempt) {
+  EXPECT_TRUE(
+      Lint("src/doduo/util/rng.cc", "void f() { srand(1); }\n").empty());
+}
+
+TEST(NoRawRandomTest, IdentifiersContainingTimeAreQuiet) {
+  EXPECT_TRUE(Lint("src/doduo/core/x.cc",
+                  "void f() {\n"
+                  "  auto t = clock.time_point();\n"
+                  "  double time = 0.0;\n"
+                  "  stopwatch.time();\n"
+                  "}\n")
+                  .empty());
+}
+
+// -- no-naked-new -----------------------------------------------------------
+
+TEST(NoNakedNewTest, NewDeleteMallocFireInKernelDirs) {
+  const auto vs = Lint("src/doduo/nn/x.cc",
+                      "void f() {\n"
+                      "  float* p = new float[8];\n"
+                      "  delete[] p;\n"
+                      "  void* q = malloc(8);\n"
+                      "  free(q);\n"
+                      "}\n");
+  int count = 0;
+  for (const Violation& v : vs) {
+    if (v.rule == kRuleNoNakedNew) ++count;
+  }
+  EXPECT_EQ(count, 4);
+}
+
+TEST(NoNakedNewTest, TransformerDirIsCovered) {
+  EXPECT_TRUE(HasRule(
+      Lint("src/doduo/transformer/x.cc", "void f() { int* p = new int; }\n"),
+      kRuleNoNakedNew));
+}
+
+TEST(NoNakedNewTest, OtherDirsAreOutOfScope) {
+  EXPECT_TRUE(
+      Lint("src/doduo/table/x.cc", "void f() { int* p = new int; }\n").empty());
+}
+
+TEST(NoNakedNewTest, DeletedFunctionsAreQuiet) {
+  EXPECT_TRUE(Lint("src/doduo/nn/workspace.h",
+                  "#pragma once\n"
+                  "struct W {\n"
+                  "  W(const W&) = delete;\n"
+                  "  W& operator=(const W&) = delete;\n"
+                  "};\n")
+                  .empty());
+}
+
+// -- header-guard -----------------------------------------------------------
+
+TEST(HeaderGuardTest, MissingGuardFires) {
+  const auto vs = Lint("src/doduo/nn/x.h", "void f();\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, kRuleHeaderGuard);
+}
+
+TEST(HeaderGuardTest, PragmaOnceAndIfndefGuardPass) {
+  EXPECT_TRUE(Lint("src/doduo/nn/x.h", "#pragma once\nvoid f();\n").empty());
+  EXPECT_TRUE(Lint("src/doduo/nn/x.h",
+                  "#ifndef DODUO_NN_X_H_\n#define DODUO_NN_X_H_\n"
+                  "void f();\n#endif\n")
+                  .empty());
+}
+
+TEST(HeaderGuardTest, LeadingCommentBlockIsSkipped) {
+  EXPECT_TRUE(Lint("src/doduo/nn/x.h",
+                  "// File comment.\n/* license */\n#pragma once\nvoid f();\n")
+                  .empty());
+}
+
+TEST(HeaderGuardTest, SourceFilesAreExempt) {
+  EXPECT_TRUE(Lint("src/doduo/nn/x.cc", "void f() {}\n").empty());
+}
+
+// -- include-order ----------------------------------------------------------
+
+TEST(IncludeOrderTest, SystemAfterProjectFires) {
+  const auto vs = Lint("src/doduo/nn/x.cc",
+                      "#include \"doduo/nn/x.h\"\n"
+                      "#include \"doduo/util/env.h\"\n"
+                      "#include <vector>\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, kRuleIncludeOrder);
+  EXPECT_EQ(vs[0].line, 3);
+}
+
+TEST(IncludeOrderTest, OwnHeaderFirstThenSystemThenProjectPasses) {
+  EXPECT_TRUE(Lint("src/doduo/nn/x.cc",
+                  "#include \"doduo/nn/x.h\"\n\n"
+                  "#include <cmath>\n#include <vector>\n\n"
+                  "#include \"doduo/util/env.h\"\n")
+                  .empty());
+}
+
+TEST(IncludeOrderTest, CommentedOutIncludeIsIgnored) {
+  EXPECT_TRUE(Lint("src/doduo/nn/x.cc",
+                  "#include \"doduo/nn/x.h\"\n"
+                  "// #include \"doduo/util/env.h\"\n"
+                  "#include <vector>\n")
+                  .empty());
+}
+
+TEST(IncludeOrderTest, NonMatchingFirstQuoteIncludeIsNotOwnHeader) {
+  EXPECT_TRUE(HasRule(Lint("src/doduo/nn/x.cc",
+                          "#include \"doduo/util/env.h\"\n"
+                          "#include <vector>\n"),
+                      kRuleIncludeOrder));
+}
+
+// -- metrics-in-loop --------------------------------------------------------
+
+TEST(MetricsInLoopTest, LookupInsideForLoopFires) {
+  const auto vs = Lint("src/doduo/core/x.cc",
+                      "void f() {\n"
+                      "  for (int i = 0; i < n; ++i) {\n"
+                      "    util::GetCounter(\"x\")->Increment();\n"
+                      "  }\n"
+                      "}\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, kRuleMetricsInLoop);
+  EXPECT_EQ(vs[0].line, 3);
+}
+
+TEST(MetricsInLoopTest, BracelessLoopBodyFires) {
+  EXPECT_TRUE(HasRule(
+      Lint("src/doduo/core/x.cc",
+          "void f() {\n"
+          "  while (busy()) util::GetHistogram(\"y\")->Record(1);\n"
+          "}\n"),
+      kRuleMetricsInLoop));
+}
+
+TEST(MetricsInLoopTest, CachedPointerPatternIsQuiet) {
+  EXPECT_TRUE(Lint("src/doduo/core/x.cc",
+                  "void f() {\n"
+                  "  static util::Counter* c = util::GetCounter(\"x\");\n"
+                  "  for (int i = 0; i < n; ++i) c->Increment();\n"
+                  "}\n")
+                  .empty());
+}
+
+TEST(MetricsInLoopTest, LookupAfterLoopIsQuiet) {
+  EXPECT_TRUE(Lint("src/doduo/core/x.cc",
+                  "void f() {\n"
+                  "  for (int i = 0; i < n; ++i) { work(i); }\n"
+                  "  util::GetCounter(\"x\")->Increment();\n"
+                  "}\n")
+                  .empty());
+}
+
+// -- NOLINT mechanics -------------------------------------------------------
+
+TEST(NolintTest, BareNolintSilencesEveryRuleOnTheLine) {
+  EXPECT_TRUE(Lint("src/doduo/nn/x.cc",
+                  "void f() { int* p = new int; }  // NOLINT\n")
+                  .empty());
+}
+
+TEST(NolintTest, ListedRuleSilencesOnlyThatRule) {
+  const auto vs = Lint("src/doduo/nn/x.cc",
+                      "void f() { int* p = new int; std::abort(); }"
+                      "  // NOLINT(no-naked-new)\n");
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, kRuleNoAbort);
+}
+
+TEST(NolintTest, MultipleRulesInOneAnnotation) {
+  EXPECT_TRUE(Lint("src/doduo/nn/x.cc",
+                  "void f() { int* p = new int; std::abort(); }"
+                  "  // NOLINT(no-naked-new, no-abort)\n")
+                  .empty());
+}
+
+// -- CollectStatusFunctions -------------------------------------------------
+
+TEST(CollectStatusFunctionsTest, FindsStatusAndResultDeclarations) {
+  std::set<std::string, std::less<>> names;
+  CollectStatusFunctions(
+      "util::Status SaveParameters(const std::string& path);\n"
+      "util::Result<std::vector<int>> Decode(std::string_view bytes);\n"
+      "[[nodiscard]] Result<Table> TableFromCsvRows(const CsvRows& rows);\n"
+      "void NotThisOne(int x);\n",
+      &names);
+  EXPECT_EQ(names.count("SaveParameters"), 1u);
+  EXPECT_EQ(names.count("Decode"), 1u);
+  EXPECT_EQ(names.count("TableFromCsvRows"), 1u);
+  EXPECT_EQ(names.count("NotThisOne"), 0u);
+}
+
+TEST(CollectStatusFunctionsTest, FindsQualifiedDefinitions) {
+  std::set<std::string, std::less<>> names;
+  CollectStatusFunctions(
+      "util::Status Annotator::ForEachTable(std::span<const Table> t) {\n"
+      "  return util::Status::Ok();\n"
+      "}\n",
+      &names);
+  EXPECT_EQ(names.count("ForEachTable"), 1u);
+}
+
+// -- Formatting -------------------------------------------------------------
+
+TEST(FormatViolationTest, MatchesFileLineRuleMessage) {
+  Violation v{"src/doduo/nn/x.cc", 7, "no-naked-new", "naked 'new'"};
+  EXPECT_EQ(FormatViolation(v), "src/doduo/nn/x.cc:7: no-naked-new naked 'new'");
+}
+
+}  // namespace
+}  // namespace doduo::lint

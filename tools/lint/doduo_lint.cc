@@ -1,0 +1,115 @@
+// doduo_lint: project-invariant static analysis (DESIGN §11).
+//
+//   doduo_lint [repo-root]
+//
+// Walks src/, tools/, bench/, and examples/ under the repo root (default:
+// the current directory), collects every Status/Result-returning function
+// name from the sources, then lints each file against the project rules:
+//
+//   discarded-status   ignored call to a Status/Result-returning function
+//   no-abort           abort/exit/assert outside util/logging|status
+//   no-raw-random      rand/srand/time/random_device outside util/rng
+//   no-naked-new       new/delete/malloc in nn/ and transformer/ kernels
+//   header-guard       headers open with #pragma once or an include guard
+//   include-order      own header, then <system>, then "project" includes
+//   metrics-in-loop    GetCounter/GetHistogram lookup inside a loop body
+//
+// Violations print as "file:line: rule-id message"; a `// NOLINT(rule-id)`
+// comment on the offending line suppresses them. Exit status is 0 when the
+// tree is clean, 1 when violations were found, 2 on usage/IO errors.
+
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "lint/lint_engine.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool HasExtension(const fs::path& p, std::string_view ext) {
+  return p.extension() == ext;
+}
+
+bool ReadFile(const fs::path& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  *out = buffer.str();
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc > 2) {
+    std::fprintf(stderr, "usage: doduo_lint [repo-root]\n");
+    return 2;
+  }
+  const fs::path root = argc == 2 ? fs::path(argv[1]) : fs::current_path();
+  const std::vector<fs::path> scopes = {"src", "tools", "bench", "examples"};
+
+  // Gather the files in a stable order so output is deterministic.
+  std::vector<fs::path> files;
+  for (const fs::path& scope : scopes) {
+    const fs::path dir = root / scope;
+    std::error_code ec;
+    if (!fs::is_directory(dir, ec)) continue;
+    for (auto it = fs::recursive_directory_iterator(dir, ec);
+         !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+      if (!it->is_regular_file()) continue;
+      const fs::path& p = it->path();
+      if (HasExtension(p, ".h") || HasExtension(p, ".cc") ||
+          HasExtension(p, ".cpp")) {
+        files.push_back(p);
+      }
+    }
+  }
+  std::sort(files.begin(), files.end());
+  if (files.empty()) {
+    std::fprintf(stderr, "doduo_lint: no sources found under %s\n",
+                 root.string().c_str());
+    return 2;
+  }
+
+  // Pass 1: learn which functions return util::Status / util::Result.
+  doduo::lint::LintOptions options;
+  std::vector<std::pair<std::string, std::string>> sources;  // (rel, text)
+  sources.reserve(files.size());
+  for (const fs::path& p : files) {
+    std::string text;
+    if (!ReadFile(p, &text)) {
+      std::fprintf(stderr, "doduo_lint: cannot read %s\n",
+                   p.string().c_str());
+      return 2;
+    }
+    doduo::lint::CollectStatusFunctions(text, &options.status_functions);
+    sources.emplace_back(fs::relative(p, root).generic_string(),
+                         std::move(text));
+  }
+
+  // Pass 2: lint.
+  size_t total = 0;
+  for (const auto& [rel, text] : sources) {
+    for (const doduo::lint::Violation& v :
+         doduo::lint::LintSource(rel, text, options)) {
+      std::printf("%s\n", doduo::lint::FormatViolation(v).c_str());
+      ++total;
+    }
+  }
+  if (total > 0) {
+    std::printf("doduo_lint: %zu violation(s) across %zu file(s)\n", total,
+                sources.size());
+    return 1;
+  }
+  std::printf("doduo_lint: %zu file(s) clean\n", sources.size());
+  return 0;
+}

@@ -1,0 +1,602 @@
+#include "lint/lint_engine.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <utility>
+
+namespace doduo::lint {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Source preparation: comment/string stripping and NOLINT extraction.
+// ---------------------------------------------------------------------------
+
+/// Per-line suppressions: line -> rule ids silenced there. An empty set
+/// means every rule is silenced on that line (bare `// NOLINT`).
+using Suppressions = std::map<int, std::set<std::string, std::less<>>>;
+
+/// Parses the body of one comment for NOLINT annotations and records them
+/// against `line` (the line the comment starts on, which is where the
+/// offending code sits by convention).
+void RecordNolint(std::string_view comment, int line, Suppressions* out) {
+  size_t pos = comment.find("NOLINT");
+  if (pos == std::string_view::npos) return;
+  size_t after = pos + 6;  // past "NOLINT"
+  if (after < comment.size() && comment[after] == '(') {
+    size_t close = comment.find(')', after);
+    std::string_view list = comment.substr(
+        after + 1,
+        close == std::string_view::npos ? comment.size() - after - 1
+                                        : close - after - 1);
+    auto& rules = (*out)[line];
+    size_t start = 0;
+    while (start <= list.size()) {
+      size_t comma = list.find(',', start);
+      std::string_view item = list.substr(
+          start, comma == std::string_view::npos ? list.size() - start
+                                                 : comma - start);
+      while (!item.empty() && std::isspace(static_cast<unsigned char>(
+                                  item.front()))) {
+        item.remove_prefix(1);
+      }
+      while (!item.empty() &&
+             std::isspace(static_cast<unsigned char>(item.back()))) {
+        item.remove_suffix(1);
+      }
+      if (!item.empty()) rules.emplace(item);
+      if (comma == std::string_view::npos) break;
+      start = comma + 1;
+    }
+  } else {
+    (*out)[line];  // bare NOLINT: empty set = silence everything
+  }
+}
+
+/// Replaces comment bodies and string/char-literal contents with spaces
+/// (newlines kept, so offsets and line numbers survive), collecting NOLINT
+/// annotations along the way. Handles //, /* */, "...", '...', and
+/// R"delim(...)delim" raw strings.
+std::string StripSource(std::string_view src, Suppressions* suppressions) {
+  std::string out(src);
+  int line = 1;
+  size_t i = 0;
+  const size_t n = src.size();
+  auto blank = [&out](size_t from, size_t to) {
+    for (size_t k = from; k < to; ++k) {
+      if (out[k] != '\n') out[k] = ' ';
+    }
+  };
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      size_t end = src.find('\n', i);
+      if (end == std::string_view::npos) end = n;
+      RecordNolint(src.substr(i, end - i), line, suppressions);
+      blank(i, end);
+      i = end;
+    } else if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      size_t end = src.find("*/", i + 2);
+      const int start_line = line;
+      end = (end == std::string_view::npos) ? n : end + 2;
+      RecordNolint(src.substr(i, end - i), start_line, suppressions);
+      line += static_cast<int>(
+          std::count(src.begin() + static_cast<long>(i),
+                     src.begin() + static_cast<long>(end), '\n'));
+      blank(i, end);
+      i = end;
+    } else if (c == 'R' && i + 1 < n && src[i + 1] == '"') {
+      // Raw string: R"delim( ... )delim"
+      size_t open = src.find('(', i + 2);
+      if (open == std::string_view::npos) {
+        ++i;
+        continue;
+      }
+      std::string closer = ")";
+      closer.append(src.substr(i + 2, open - i - 2));
+      closer.push_back('"');
+      size_t end = src.find(closer, open + 1);
+      end = (end == std::string_view::npos) ? n : end + closer.size();
+      line += static_cast<int>(
+          std::count(src.begin() + static_cast<long>(i),
+                     src.begin() + static_cast<long>(end), '\n'));
+      blank(i + 1, end);  // keep the leading R so tokens don't merge
+      i = end;
+    } else if (c == '"' || c == '\'') {
+      const char quote = c;
+      size_t j = i + 1;
+      while (j < n && src[j] != quote) {
+        if (src[j] == '\\' && j + 1 < n) ++j;
+        if (src[j] == '\n') ++line;  // unterminated literal; stay sane
+        ++j;
+      }
+      if (j < n) ++j;  // past closing quote
+      blank(i + 1, j > i + 1 ? j - 1 : j);
+      i = j;
+    } else {
+      ++i;
+    }
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Tokenizer.
+// ---------------------------------------------------------------------------
+
+enum class TokenKind { kIdent, kNumber, kPunct };
+
+struct Token {
+  std::string_view text;
+  TokenKind kind;
+  int line;
+};
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// Tokenizes stripped source. Preprocessor directive lines (and their
+/// backslash continuations) are excluded: directives are not statements,
+/// and the include rules parse them line-wise instead.
+std::vector<Token> Tokenize(std::string_view stripped) {
+  std::vector<Token> tokens;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = stripped.size();
+  bool at_line_start = true;
+  while (i < n) {
+    const char c = stripped[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      at_line_start = true;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      ++i;
+      continue;
+    }
+    if (at_line_start && c == '#') {
+      // Skip the directive, including continuation lines.
+      while (i < n) {
+        size_t end = stripped.find('\n', i);
+        if (end == std::string_view::npos) {
+          i = n;
+          break;
+        }
+        size_t last = end;
+        while (last > i &&
+               std::isspace(static_cast<unsigned char>(stripped[last - 1]))) {
+          --last;
+        }
+        const bool continued = last > i && stripped[last - 1] == '\\';
+        ++line;
+        i = end + 1;
+        if (!continued) break;
+      }
+      at_line_start = true;
+      continue;
+    }
+    at_line_start = false;
+    if (IsIdentStart(c)) {
+      size_t j = i + 1;
+      while (j < n && IsIdentChar(stripped[j])) ++j;
+      tokens.push_back({stripped.substr(i, j - i), TokenKind::kIdent, line});
+      i = j;
+    } else if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t j = i + 1;  // pp-number: digits, letters, dots, exponent signs
+      while (j < n && (IsIdentChar(stripped[j]) || stripped[j] == '.' ||
+                       ((stripped[j] == '+' || stripped[j] == '-') &&
+                        (stripped[j - 1] == 'e' || stripped[j - 1] == 'E' ||
+                         stripped[j - 1] == 'p' || stripped[j - 1] == 'P')))) {
+        ++j;
+      }
+      tokens.push_back({stripped.substr(i, j - i), TokenKind::kNumber, line});
+      i = j;
+    } else {
+      size_t len = 1;
+      if (i + 1 < n) {
+        const char d = stripped[i + 1];
+        if ((c == ':' && d == ':') || (c == '-' && d == '>')) len = 2;
+      }
+      tokens.push_back({stripped.substr(i, len), TokenKind::kPunct, line});
+      i += len;
+    }
+  }
+  return tokens;
+}
+
+/// Index of the token closing the paren opened at `open` (tokens[open] must
+/// be "("), or -1 when unbalanced.
+int MatchParen(const std::vector<Token>& toks, int open) {
+  int depth = 0;
+  for (int i = open; i < static_cast<int>(toks.size()); ++i) {
+    if (toks[i].text == "(") ++depth;
+    if (toks[i].text == ")" && --depth == 0) return i;
+  }
+  return -1;
+}
+
+bool PathContains(std::string_view path, std::string_view needle) {
+  return path.find(needle) != std::string_view::npos;
+}
+
+/// Stem of a path: "src/doduo/nn/ops.cc" -> "ops".
+std::string_view PathStem(std::string_view path) {
+  size_t slash = path.find_last_of('/');
+  std::string_view base =
+      slash == std::string_view::npos ? path : path.substr(slash + 1);
+  size_t dot = base.find_last_of('.');
+  return dot == std::string_view::npos ? base : base.substr(0, dot);
+}
+
+// ---------------------------------------------------------------------------
+// Rule engine.
+// ---------------------------------------------------------------------------
+
+class Linter {
+ public:
+  Linter(std::string_view path, std::string_view source,
+         const LintOptions& options)
+      : path_(path), source_(source), options_(options) {
+    stripped_ = StripSource(source, &suppressions_);
+    tokens_ = Tokenize(stripped_);
+  }
+
+  std::vector<Violation> Run() {
+    CheckCallTokens();
+    CheckMetricsInLoop();
+    CheckHeaderGuard();
+    CheckIncludeOrder();
+    std::sort(violations_.begin(), violations_.end(),
+              [](const Violation& a, const Violation& b) {
+                return std::pair(a.line, a.rule) < std::pair(b.line, b.rule);
+              });
+    return std::move(violations_);
+  }
+
+ private:
+  void Report(int line, std::string_view rule, std::string message) {
+    auto it = suppressions_.find(line);
+    if (it != suppressions_.end() &&
+        (it->second.empty() || it->second.count(rule) > 0)) {
+      return;
+    }
+    violations_.push_back(
+        {std::string(path_), line, std::string(rule), std::move(message)});
+  }
+
+  const Token* Prev(int i) const { return i > 0 ? &tokens_[i - 1] : nullptr; }
+
+  bool IsMemberAccess(int i) const {
+    const Token* p = Prev(i);
+    return p != nullptr && (p->text == "." || p->text == "->");
+  }
+
+  /// Walks a postfix chain (`a.b->c::Call`) backwards from the name at `i`
+  /// to the chain's first token. Returns -1 when the receiver is itself a
+  /// call or similarly complex (the caller then stays silent).
+  int ChainStart(int i) const {
+    int k = i;
+    while (k >= 1) {
+      const std::string_view sep = tokens_[k - 1].text;
+      if (sep != "." && sep != "->" && sep != "::") return k;
+      if (k < 2) return -1;
+      if (tokens_[k - 2].kind != TokenKind::kIdent) return -1;
+      k -= 2;
+    }
+    return k;
+  }
+
+  // discarded-status, no-abort, no-raw-random, no-naked-new: one pass over
+  // the token stream.
+  void CheckCallTokens() {
+    const bool abort_exempt = PathContains(path_, "util/logging") ||
+                              PathContains(path_, "util/status") ||
+                              PathContains(path_, "util/check");
+    const bool random_exempt = PathContains(path_, "util/rng") ||
+                               PathContains(path_, "util/logging");
+    const bool arena_scoped =
+        PathContains(path_, "nn/") || PathContains(path_, "transformer/");
+    const int n = static_cast<int>(tokens_.size());
+    for (int i = 0; i < n; ++i) {
+      const Token& t = tokens_[i];
+      if (t.kind != TokenKind::kIdent) continue;
+      const bool call = i + 1 < n && tokens_[i + 1].text == "(";
+
+      if (!abort_exempt && call && !IsMemberAccess(i) &&
+          (t.text == "abort" || t.text == "exit" || t.text == "_Exit" ||
+           t.text == "quick_exit" || t.text == "assert")) {
+        Report(t.line, kRuleNoAbort,
+               "call to '" + std::string(t.text) +
+                   "' outside util/logging|status; return util::Status or "
+                   "use DODUO_CHECK");
+      }
+
+      if (!random_exempt && !IsMemberAccess(i)) {
+        if ((call && (t.text == "rand" || t.text == "srand" ||
+                      t.text == "time")) ||
+            t.text == "random_device") {
+          Report(t.line, kRuleNoRawRandom,
+                 "'" + std::string(t.text) +
+                     "' breaks the determinism contract; use util::Rng "
+                     "(seeded) instead");
+        }
+      }
+
+      if (arena_scoped) {
+        if (t.text == "new") {
+          Report(t.line, kRuleNoNakedNew,
+                 "naked 'new' in kernel code; use nn::Workspace arenas or "
+                 "containers");
+        } else if (t.text == "delete") {
+          const Token* p = Prev(i);
+          if (p == nullptr || p->text != "=") {
+            Report(t.line, kRuleNoNakedNew,
+                   "naked 'delete' in kernel code; use nn::Workspace arenas "
+                   "or containers");
+          }
+        } else if (call && !IsMemberAccess(i) &&
+                   (t.text == "malloc" || t.text == "calloc" ||
+                    t.text == "realloc" || t.text == "free")) {
+          Report(t.line, kRuleNoNakedNew,
+                 "raw '" + std::string(t.text) +
+                     "' in kernel code; use nn::Workspace arenas or "
+                     "containers");
+        }
+      }
+
+      if (call && options_.status_functions.count(t.text) > 0) {
+        CheckDiscardedStatus(i);
+      }
+    }
+  }
+
+  /// tokens_[i] names a Status/Result-returning function and tokens_[i+1]
+  /// is "(": flags the call when it forms a whole expression statement.
+  void CheckDiscardedStatus(int i) {
+    const int close = MatchParen(tokens_, i + 1);
+    if (close < 0 || close + 1 >= static_cast<int>(tokens_.size())) return;
+    if (tokens_[close + 1].text != ";") return;
+    const int start = ChainStart(i);
+    if (start < 0) return;
+    if (start == 0) {
+      ReportDiscarded(tokens_[i]);
+      return;
+    }
+    const Token& prev = tokens_[start - 1];
+    const std::string_view p = prev.text;
+    if (p == ";" || p == "{" || p == "}" || p == ":" || p == "else" ||
+        p == "do") {
+      ReportDiscarded(tokens_[i]);
+    } else if (p == ")") {
+      // `(void)Call();` is an explicit discard; `if (...) Call();` is not.
+      const bool void_cast = start >= 3 && tokens_[start - 2].text == "void" &&
+                             tokens_[start - 3].text == "(";
+      if (!void_cast) ReportDiscarded(tokens_[i]);
+    }
+  }
+
+  void ReportDiscarded(const Token& name) {
+    Report(name.line, kRuleDiscardedStatus,
+           "result of Status-returning '" + std::string(name.text) +
+               "' is ignored; check .ok() or cast to (void) with a reason");
+  }
+
+  // metrics-in-loop: registry lookups (GetCounter/GetHistogram) must be
+  // hoisted out of loops into cached pointers (DESIGN §10).
+  void CheckMetricsInLoop() {
+    const int n = static_cast<int>(tokens_.size());
+    // Pass 1: find the brace token indices that open loop bodies, and the
+    // token ranges of brace-less loop body statements.
+    std::vector<bool> loop_brace(tokens_.size(), false);
+    std::vector<std::pair<int, int>> stmt_ranges;
+    for (int i = 0; i < n; ++i) {
+      const std::string_view t = tokens_[i].text;
+      if (tokens_[i].kind == TokenKind::kIdent && t == "do") {
+        if (i + 1 < n && tokens_[i + 1].text == "{") loop_brace[i + 1] = true;
+        continue;
+      }
+      if (tokens_[i].kind != TokenKind::kIdent || (t != "for" && t != "while"))
+        continue;
+      if (i + 1 >= n || tokens_[i + 1].text != "(") continue;
+      const int close = MatchParen(tokens_, i + 1);
+      if (close < 0 || close + 1 >= n) continue;
+      if (tokens_[close + 1].text == "{") {
+        loop_brace[close + 1] = true;
+      } else if (tokens_[close + 1].text != ";") {
+        // Brace-less body: runs to the next ';' at paren depth zero.
+        int depth = 0;
+        for (int j = close + 1; j < n; ++j) {
+          if (tokens_[j].text == "(") ++depth;
+          if (tokens_[j].text == ")") --depth;
+          if (tokens_[j].text == ";" && depth <= 0) {
+            stmt_ranges.emplace_back(close + 1, j);
+            break;
+          }
+        }
+      }
+    }
+    // Pass 2: walk with a loop-depth stack and flag lookups inside.
+    std::vector<int> loop_depths;
+    int depth = 0;
+    size_t range = 0;
+    for (int i = 0; i < n; ++i) {
+      const std::string_view t = tokens_[i].text;
+      if (t == "{") {
+        ++depth;
+        if (loop_brace[i]) loop_depths.push_back(depth);
+      } else if (t == "}") {
+        if (!loop_depths.empty() && loop_depths.back() == depth) {
+          loop_depths.pop_back();
+        }
+        --depth;
+      } else if (tokens_[i].kind == TokenKind::kIdent &&
+                 (t == "GetCounter" || t == "GetHistogram")) {
+        while (range < stmt_ranges.size() && stmt_ranges[range].second < i) {
+          ++range;
+        }
+        const bool in_stmt = range < stmt_ranges.size() &&
+                             stmt_ranges[range].first <= i &&
+                             i <= stmt_ranges[range].second;
+        if (!loop_depths.empty() || in_stmt) {
+          Report(tokens_[i].line, kRuleMetricsInLoop,
+                 "metrics registry lookup '" + std::string(t) +
+                     "' inside a loop; resolve the pointer once outside "
+                     "(cached-pointer pattern, DESIGN §10)");
+        }
+      }
+    }
+  }
+
+  void CheckHeaderGuard() {
+    if (path_.size() < 2 || path_.substr(path_.size() - 2) != ".h") return;
+    // First meaningful stripped line must be `#pragma once` or an
+    // `#ifndef` guard immediately followed by its `#define`.
+    std::vector<std::pair<int, std::string>> lines;  // (line number, text)
+    int line = 1;
+    size_t pos = 0;
+    while (pos <= stripped_.size() && lines.size() < 2) {
+      size_t end = stripped_.find('\n', pos);
+      if (end == std::string::npos) end = stripped_.size();
+      std::string text = stripped_.substr(pos, end - pos);
+      const bool blank =
+          std::all_of(text.begin(), text.end(), [](unsigned char c) {
+            return std::isspace(c);
+          });
+      if (!blank) lines.emplace_back(line, std::move(text));
+      if (end == stripped_.size()) break;
+      pos = end + 1;
+      ++line;
+    }
+    if (lines.empty()) return;  // empty header: nothing to guard
+    auto starts_with = [](const std::string& s, std::string_view prefix) {
+      size_t i = s.find_first_not_of(" \t");
+      return i != std::string::npos && s.compare(i, prefix.size(), prefix) == 0;
+    };
+    if (starts_with(lines[0].second, "#pragma once")) return;
+    if (starts_with(lines[0].second, "#ifndef") && lines.size() > 1 &&
+        starts_with(lines[1].second, "#define")) {
+      return;
+    }
+    Report(lines[0].first, kRuleHeaderGuard,
+           "header must open with '#pragma once' or an #ifndef/#define "
+           "include guard");
+  }
+
+  void CheckIncludeOrder() {
+    // Line-wise over the ORIGINAL text: the quote form's path is a string
+    // literal, which the stripper blanked. A line must start (modulo
+    // whitespace) with '#', so `// #include` commented-out includes cannot
+    // match.
+    const std::string_view stem = PathStem(path_);
+    int line = 1;
+    size_t pos = 0;
+    bool first_include = true;
+    bool seen_project_include = false;
+    while (pos <= source_.size()) {
+      size_t end = source_.find('\n', pos);
+      if (end == std::string_view::npos) end = source_.size();
+      std::string_view text = source_.substr(pos, end - pos);
+      size_t hash = text.find_first_not_of(" \t");
+      if (hash != std::string_view::npos && text[hash] == '#') {
+        size_t kw = text.find_first_not_of(" \t", hash + 1);
+        if (kw != std::string_view::npos &&
+            text.compare(kw, 7, "include") == 0) {
+          size_t open = text.find_first_not_of(" \t", kw + 7);
+          if (open != std::string_view::npos &&
+              (text[open] == '<' || text[open] == '"')) {
+            const bool system = text[open] == '<';
+            bool own_header = false;
+            if (first_include && !system) {
+              // The first include of a .cc/.cpp should be its own header;
+              // that include is exempt from group ordering.
+              const char close_ch = '"';
+              size_t close = text.find(close_ch, open + 1);
+              if (close != std::string_view::npos) {
+                own_header =
+                    PathStem(text.substr(open + 1, close - open - 1)) == stem;
+              }
+            }
+            if (!system && !own_header) seen_project_include = true;
+            if (system && seen_project_include) {
+              Report(line, kRuleIncludeOrder,
+                     "system include after a project include; order is: own "
+                     "header, <system>, then \"project\" headers");
+            }
+            first_include = false;
+          }
+        }
+      }
+      if (end == source_.size()) break;
+      pos = end + 1;
+      ++line;
+    }
+  }
+
+  std::string_view path_;
+  std::string_view source_;
+  const LintOptions& options_;
+  std::string stripped_;
+  Suppressions suppressions_;
+  std::vector<Token> tokens_;
+  std::vector<Violation> violations_;
+};
+
+}  // namespace
+
+void CollectStatusFunctions(std::string_view source,
+                            std::set<std::string, std::less<>>* out) {
+  Suppressions ignored;
+  const std::string stripped = StripSource(source, &ignored);
+  const std::vector<Token> toks = Tokenize(stripped);
+  const int n = static_cast<int>(toks.size());
+  for (int i = 0; i < n; ++i) {
+    if (toks[i].kind != TokenKind::kIdent) continue;
+    int j = -1;  // first token after the return type
+    if (toks[i].text == "Status") {
+      j = i + 1;
+    } else if (toks[i].text == "Result" && i + 1 < n &&
+               toks[i + 1].text == "<") {
+      int depth = 0;
+      for (int k = i + 1; k < n; ++k) {
+        if (toks[k].text == "<") ++depth;
+        if (toks[k].text == ">" && --depth == 0) {
+          j = k + 1;
+          break;
+        }
+      }
+    }
+    if (j < 0 || j >= n || toks[j].kind != TokenKind::kIdent) continue;
+    // Qualified-id: ident (:: ident)* then '('.
+    int name = j;
+    while (name + 2 < n && toks[name + 1].text == "::" &&
+           toks[name + 2].kind == TokenKind::kIdent) {
+      name += 2;
+    }
+    if (name + 1 < n && toks[name + 1].text == "(") {
+      out->emplace(toks[name].text);
+    }
+  }
+}
+
+std::vector<Violation> LintSource(std::string_view path,
+                                  std::string_view source,
+                                  const LintOptions& options) {
+  return Linter(path, source, options).Run();
+}
+
+std::string FormatViolation(const Violation& v) {
+  return v.file + ":" + std::to_string(v.line) + ": " + v.rule + " " +
+         v.message;
+}
+
+}  // namespace doduo::lint

@@ -1,0 +1,67 @@
+#ifndef DODUO_TOOLS_LINT_LINT_ENGINE_H_
+#define DODUO_TOOLS_LINT_LINT_ENGINE_H_
+
+#include <set>
+#include <string>
+#include <string_view>
+#include <vector>
+
+// The rule engine behind doduo_lint (DESIGN §11): a dependency-free,
+// token/line-based checker for project invariants that the compiler cannot
+// see (determinism contract, workspace-arena discipline, cached-metric
+// pattern) or that it only enforces with our help ([[nodiscard]] Status).
+// It is deliberately not a real C++ parser: every rule is written so that a
+// shallow token scan — comment- and string-literal-aware — has no false
+// positives on this codebase, and the `// NOLINT(rule-id)` escape hatch
+// covers the rest.
+//
+// The engine lives in its own small library (no doduo_util dependency) so
+// tests/tools/doduo_lint_test.cc can feed crafted snippets straight through
+// LintSource without touching the filesystem.
+
+namespace doduo::lint {
+
+/// One rule violation. `line` is 1-based.
+struct Violation {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+/// Engine configuration. `status_functions` is the set of function names
+/// known to return util::Status / util::Result<T>; the driver populates it
+/// by scanning every header with CollectStatusFunctions.
+struct LintOptions {
+  std::set<std::string, std::less<>> status_functions;
+};
+
+// Rule identifiers (the `rule-id` printed in diagnostics and accepted by
+// `// NOLINT(rule-id)`). See DESIGN §11 for each rule's rationale.
+inline constexpr char kRuleDiscardedStatus[] = "discarded-status";
+inline constexpr char kRuleNoAbort[] = "no-abort";
+inline constexpr char kRuleNoRawRandom[] = "no-raw-random";
+inline constexpr char kRuleNoNakedNew[] = "no-naked-new";
+inline constexpr char kRuleHeaderGuard[] = "header-guard";
+inline constexpr char kRuleIncludeOrder[] = "include-order";
+inline constexpr char kRuleMetricsInLoop[] = "metrics-in-loop";
+
+/// Scans C++ source (typically a header) for function declarations whose
+/// return type is util::Status or util::Result<T> and inserts their names
+/// into `out`.
+void CollectStatusFunctions(std::string_view source,
+                            std::set<std::string, std::less<>>* out);
+
+/// Lints one translation unit. `path` should be repo-relative (it is both
+/// the reported location and the input to path-scoped rules such as
+/// no-naked-new, which only applies under nn/ and transformer/).
+std::vector<Violation> LintSource(std::string_view path,
+                                  std::string_view source,
+                                  const LintOptions& options);
+
+/// Formats a violation as "file:line: rule-id message".
+std::string FormatViolation(const Violation& v);
+
+}  // namespace doduo::lint
+
+#endif  // DODUO_TOOLS_LINT_LINT_ENGINE_H_
