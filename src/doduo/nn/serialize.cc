@@ -137,8 +137,10 @@ util::Status LoadPackedQkv(const std::string& packed_name, Parameter* p,
 
 util::Status LoadParameters(const std::string& path,
                             const ParameterList& params) {
-  std::ifstream in(path, std::ios::binary);
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
   if (!in) return util::Status::IoError("cannot open " + path);
+  const int64_t file_size = static_cast<int64_t>(in.tellg());
+  in.seekg(0, std::ios::beg);
   uint32_t magic = 0;
   uint32_t version = 0;
   uint64_t count = 0;
@@ -195,6 +197,15 @@ util::Status LoadParameters(const std::string& path,
       }
       entry.shape.push_back(static_cast<int64_t>(extent));
       volume *= static_cast<int64_t>(extent);
+    }
+    // A corrupt extent can claim up to kMaxElements (8 GiB of floats) and
+    // previously caused a giant zero-filled allocation before the short read
+    // below failed. The payload cannot exceed what is left in the file, so
+    // bound the claim by the actual byte count before sizing any buffer.
+    const int64_t remaining = file_size - static_cast<int64_t>(in.tellg());
+    if (volume > remaining / static_cast<int64_t>(sizeof(float))) {
+      return util::Status::IoError("truncated checkpoint data in " + path +
+                                   " for '" + name + "'" + where);
     }
     entry.data.resize(static_cast<size_t>(volume));
     in.read(reinterpret_cast<char*>(entry.data.data()),

@@ -1,0 +1,159 @@
+// Checkpoint-loader fuzzing, in the style of csv_fuzz_test/
+// tokenizer_fuzz_test: seeded random byte mutations and truncations of a
+// valid checkpoint must always come back as a clean util::Status — never a
+// crash, hang, or blow-up allocation. Complements serialize_test's
+// exhaustive every-byte-prefix sweep (DESIGN §10) with randomized depth.
+
+#include "doduo/nn/serialize.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "doduo/nn/parameter.h"
+#include "doduo/util/rng.h"
+#include "gtest/gtest.h"
+
+namespace doduo::nn {
+namespace {
+
+std::string TempPath(const char* name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return std::string(std::istreambuf_iterator<char>(in),
+                     std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// A small but structurally interesting model: several named parameters of
+/// different ranks, so mutations can land in magic, counts, name bytes,
+/// shape dims, or float payload.
+std::vector<Parameter> MakeParams() {
+  std::vector<Parameter> params;
+  params.emplace_back("encoder.layer0.wqkv", std::vector<int64_t>{4, 12});
+  params.emplace_back("encoder.layer0.bias", std::vector<int64_t>{12});
+  params.emplace_back("head.types.w", std::vector<int64_t>{4, 3});
+  params.emplace_back("head.types.b", std::vector<int64_t>{3});
+  return params;
+}
+
+ParameterList AsList(std::vector<Parameter>& params) {
+  ParameterList list;
+  for (Parameter& p : params) list.push_back(&p);
+  return list;
+}
+
+std::string ValidCheckpointBytes(const char* name) {
+  util::Rng rng(7);
+  std::vector<Parameter> params = MakeParams();
+  for (Parameter& p : params) p.value.FillNormal(&rng, 1.0f);
+  const std::string path = TempPath(name);
+  const auto saved = SaveParameters(path, AsList(params));
+  EXPECT_TRUE(saved.ok()) << saved.ToString();
+  return ReadFileBytes(path);
+}
+
+class SerializeFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerializeFuzzTest, RandomByteMutationsNeverCrash) {
+  const std::string valid = ValidCheckpointBytes("fuzz_mutate.bin");
+  ASSERT_GT(valid.size(), 0u);
+  const std::string path = TempPath("fuzz_mutate_victim.bin");
+  util::Rng rng(GetParam());
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string bytes = valid;
+    const size_t flips = 1 + rng.NextUint64(8);
+    for (size_t f = 0; f < flips; ++f) {
+      const size_t pos = rng.NextUint64(bytes.size());
+      bytes[pos] = static_cast<char>(rng.NextUint64(256));
+    }
+    WriteFileBytes(path, bytes);
+    std::vector<Parameter> params = MakeParams();
+    // Either the mutation hit float payload (loads fine) or structure
+    // (clean, named error). Both are acceptable; crashing is not.
+    const util::Status status = LoadParameters(path, AsList(params));
+    if (!status.ok()) {
+      ASSERT_FALSE(status.message().empty()) << "trial " << trial;
+    }
+  }
+}
+
+TEST_P(SerializeFuzzTest, RandomTruncationsAlwaysFailCleanly) {
+  const std::string valid = ValidCheckpointBytes("fuzz_trunc.bin");
+  ASSERT_GT(valid.size(), 0u);
+  const std::string path = TempPath("fuzz_trunc_victim.bin");
+  util::Rng rng(GetParam() + 1);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t cut = rng.NextUint64(valid.size());  // strict prefix
+    WriteFileBytes(path, valid.substr(0, cut));
+    std::vector<Parameter> params = MakeParams();
+    const util::Status status = LoadParameters(path, AsList(params));
+    ASSERT_FALSE(status.ok()) << "prefix of " << cut << " bytes loaded";
+    ASSERT_FALSE(status.message().empty());
+  }
+}
+
+TEST_P(SerializeFuzzTest, MutatedTruncationsNeverCrash) {
+  const std::string valid = ValidCheckpointBytes("fuzz_both.bin");
+  ASSERT_GT(valid.size(), 0u);
+  const std::string path = TempPath("fuzz_both_victim.bin");
+  util::Rng rng(GetParam() + 2);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string bytes = valid.substr(0, rng.NextUint64(valid.size() + 1));
+    for (size_t f = 0, flips = rng.NextUint64(6); f < flips; ++f) {
+      if (bytes.empty()) break;
+      bytes[rng.NextUint64(bytes.size())] =
+          static_cast<char>(rng.NextUint64(256));
+    }
+    WriteFileBytes(path, bytes);
+    std::vector<Parameter> params = MakeParams();
+    const util::Status status = LoadParameters(path, AsList(params));
+    if (!status.ok()) {
+      ASSERT_FALSE(status.message().empty()) << "trial " << trial;
+    }
+  }
+}
+
+#ifdef DODUO_COUNT_ALLOCS
+// A mutated size field must not translate into a giant allocation: the
+// loader's plausibility caps reject implausible counts/dims BEFORE any
+// buffer is sized (DESIGN §10). Allocation growth across a whole fuzzing
+// sweep stays within what the small valid model itself needs.
+TEST_P(SerializeFuzzTest, MutationsNeverOverAllocate) {
+  const std::string valid = ValidCheckpointBytes("fuzz_alloc.bin");
+  const std::string path = TempPath("fuzz_alloc_victim.bin");
+  util::Rng rng(GetParam() + 3);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::string bytes = valid;
+    // Target the structural prefix (header + first entry descriptor),
+    // where size fields live.
+    const size_t window = std::min<size_t>(bytes.size(), 64);
+    bytes[rng.NextUint64(window)] = static_cast<char>(rng.NextUint64(256));
+    WriteFileBytes(path, bytes);
+    std::vector<Parameter> params = MakeParams();
+    const uint64_t before = TensorAllocCount();
+    const util::Status status = LoadParameters(path, AsList(params));
+    const uint64_t grown = TensorAllocCount() - before;
+    // The legacy-QKV gather shim may allocate a few pack buffers; a
+    // runaway (implausible-dim) allocation would be orders of magnitude
+    // more. Keep a loose per-trial cap.
+    ASSERT_LE(grown, 64u) << "trial " << trial << ": "
+                          << (status.ok() ? "ok" : status.ToString());
+  }
+}
+#endif  // DODUO_COUNT_ALLOCS
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeFuzzTest,
+                         ::testing::Values(1u, 42u, 777u, 31337u));
+
+}  // namespace
+}  // namespace doduo::nn
