@@ -2,8 +2,8 @@
 # Full pre-merge check: tier-1 tests (Release) plus the AddressSanitizer and
 # ThreadSanitizer configurations.
 #
-#   tools/check.sh            # tier-1 + ASan + TSan + UBSan
-#   tools/check.sh --fast     # tier-1 only
+#   tools/check.sh            # lint + tier-1 + -Werror + ASan + TSan + UBSan
+#   tools/check.sh --fast     # lint + tier-1 only
 #
 # ASan covers the strided-view kernels and workspace arena reuse (out-of-
 # bounds writes through MutMatView would corrupt neighbouring column bands
@@ -19,15 +19,26 @@ cd "$(dirname "$0")/.."
 jobs="$(nproc 2>/dev/null || echo 2)"
 sanitizer_filter='nn_test|transformer_test'
 
-echo "=== tier-1 (Release) ==="
+echo "=== doduo_lint (project invariants) ==="
+# The linter is cheap and catches discarded Status values, stray abort/rand
+# calls, and include hygiene before any compile finishes, so it runs first
+# and is never skipped — not even under --fast (DESIGN §11).
 cmake -B build -S . >/dev/null
+cmake --build build -j "${jobs}" --target doduo_lint
+./build/tools/doduo_lint .
+
+echo "=== tier-1 (Release) ==="
 cmake --build build -j "${jobs}"
 ctest --test-dir build --output-on-failure -j "${jobs}"
 
 if [[ "${1:-}" == "--fast" ]]; then
-  echo "=== skipped sanitizer configs (--fast) ==="
+  echo "=== skipped -Werror + sanitizer configs (--fast) ==="
   exit 0
 fi
+
+echo "=== warning wall (-Werror, Release) ==="
+cmake -B build-werror -S . -DDODUO_WERROR=ON >/dev/null
+cmake --build build-werror -j "${jobs}"
 
 echo "=== AddressSanitizer ==="
 cmake -B build-asan -S . -DDODUO_ASAN=ON >/dev/null
@@ -49,4 +60,4 @@ cmake -B build-ubsan -S . -DDODUO_UBSAN=ON >/dev/null
 cmake --build build-ubsan -j "${jobs}"
 ctest --test-dir build-ubsan --output-on-failure -j "${jobs}"
 
-echo "=== all checks passed (${sanitizer_filter} under ASan/TSan; tier-1 under UBSan) ==="
+echo "=== all checks passed (lint + -Werror; ${sanitizer_filter} under ASan/TSan; tier-1 under UBSan) ==="
