@@ -4,6 +4,8 @@
 #include <cmath>
 #include <memory>
 
+#include "doduo/core/replica_pool.h"
+#include "doduo/util/logging.h"
 #include "doduo/util/thread_pool.h"
 
 namespace doduo::core {
@@ -152,8 +154,12 @@ util::Status Annotator::ForEachTable(
   }
 
   util::ThreadPool* pool = util::ComputePool();
-  const size_t replicas_wanted = std::min<size_t>(
+  size_t replicas_wanted = std::min<size_t>(
       static_cast<size_t>(pool->num_threads()), tables.size());
+  if (max_batch_replicas_ > 0) {
+    replicas_wanted = std::min<size_t>(
+        replicas_wanted, static_cast<size_t>(max_batch_replicas_));
+  }
   if (replicas_wanted <= 1 || util::ThreadPool::InWorker()) {
     for (size_t t = 0; t < tables.size(); ++t) {
       fn(model_, t, serialized[t]);
@@ -162,27 +168,19 @@ util::Status Annotator::ForEachTable(
   }
 
   // The forward pass caches state in the model, so concurrent tables need
-  // separate replicas: same config, weights copied in, shared mask builder.
-  // Replica 0 is the primary model itself (the caller's ParallelFor chunk).
-  const std::vector<nn::Tensor> weights = model_->SnapshotWeights();
-  std::vector<std::unique_ptr<DoduoModel>> replicas;
-  replicas.reserve(replicas_wanted - 1);
-  for (size_t r = 1; r < replicas_wanted; ++r) {
-    util::Rng rng(1);  // initializer values are immediately overwritten
-    auto replica = std::make_unique<DoduoModel>(model_->config(), &rng);
-    replica->RestoreWeights(weights);
-    replica->set_mask_builder(model_->mask_builder());
-    replica->set_training(false);
-    replicas.push_back(std::move(replica));
-  }
+  // separate replicas. ReplicaPool snapshots the weights once into an
+  // immutable shared copy and materializes the replicas from it; replica 0
+  // is the primary model itself (the caller's ParallelFor chunk).
+  const ReplicaPool replicas(model_, serializer_, type_vocab_,
+                             relation_vocab_,
+                             static_cast<int>(replicas_wanted));
 
   const size_t stride = replicas_wanted;
   pool->ParallelFor(
       0, static_cast<int64_t>(replicas_wanted), /*grain=*/1,
       [&](int64_t replica_begin, int64_t replica_end) {
         for (int64_t r = replica_begin; r < replica_end; ++r) {
-          DoduoModel* model =
-              r == 0 ? model_ : replicas[static_cast<size_t>(r - 1)].get();
+          DoduoModel* model = replicas.model(static_cast<int>(r));
           for (size_t t = static_cast<size_t>(r); t < tables.size();
                t += stride) {
             fn(model, t, serialized[t]);
@@ -190,6 +188,18 @@ util::Status Annotator::ForEachTable(
         }
       });
   return util::Status::Ok();
+}
+
+bool WarnIfBatchClampedToTableCount(size_t num_tables, int pool_threads) {
+  if (num_tables == 0 || pool_threads <= 0 ||
+      static_cast<size_t>(pool_threads) <= num_tables) {
+    return false;
+  }
+  DODUO_LOG(Warning) << "batch of " << num_tables << " table(s) cannot use "
+                     << pool_threads
+                     << " compute threads; batch fan-out is clamped to the "
+                        "table count and the extra threads stay idle";
+  return true;
 }
 
 util::Result<std::vector<std::vector<std::vector<std::string>>>>

@@ -78,6 +78,13 @@ class Annotator {
   [[nodiscard]] util::Result<std::vector<nn::Tensor>> ColumnEmbeddingsBatch(
       std::span<const table::Table> tables) const;
 
+  /// Caps how many model replicas a batch call may fan out across
+  /// (0 = no cap, use the compute pool size; 1 = always sequential).
+  /// core::ReplicaPool sets 1 on its per-replica annotators so a serving
+  /// worker that already owns a replica never builds nested replicas.
+  void set_max_batch_replicas(int cap) { max_batch_replicas_ = cap; }
+  int max_batch_replicas() const { return max_batch_replicas_; }
+
   // -- Observability --------------------------------------------------------
 
   /// Snapshot of the process-wide pipeline metrics (serialize/forward/head
@@ -105,7 +112,15 @@ class Annotator {
   const table::TableSerializer* serializer_;
   const table::LabelVocab* type_vocab_;
   const table::LabelVocab* relation_vocab_;
+  int max_batch_replicas_ = 0;
 };
+
+/// True when a batch of `num_tables` cannot occupy all `pool_threads`
+/// compute-pool replicas — the batch fan-out clamps to the table count —
+/// in which case a util::logging warning naming both numbers is emitted.
+/// `doduo_cli annotate --batch` calls this so a user who asked for more
+/// threads than they gave tables learns why the extra threads sit idle.
+bool WarnIfBatchClampedToTableCount(size_t num_tables, int pool_threads);
 
 }  // namespace doduo::core
 

@@ -1,0 +1,59 @@
+#include "doduo/core/replica_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "doduo/util/check.h"
+#include "doduo/util/rng.h"
+
+namespace doduo::core {
+
+ReplicaPool::ReplicaPool(DoduoModel* primary,
+                         const table::TableSerializer* serializer,
+                         const table::LabelVocab* type_vocab,
+                         const table::LabelVocab* relation_vocab,
+                         int num_replicas) {
+  DODUO_CHECK(primary != nullptr);
+  DODUO_CHECK(serializer != nullptr);
+  DODUO_CHECK(type_vocab != nullptr);
+  num_replicas = std::max(1, num_replicas);
+  primary->set_training(false);
+
+  // The one immutable weight copy every replica is built from. Snapshot
+  // once, no matter how many replicas follow.
+  weights_ = std::make_shared<const std::vector<nn::Tensor>>(
+      primary->SnapshotWeights());
+
+  models_.reserve(static_cast<size_t>(num_replicas));
+  models_.push_back(primary);
+  owned_models_.reserve(static_cast<size_t>(num_replicas - 1));
+  for (int r = 1; r < num_replicas; ++r) {
+    util::Rng rng(1);  // initializer values are immediately overwritten
+    auto replica = std::make_unique<DoduoModel>(primary->config(), &rng);
+    replica->RestoreWeights(*weights_);
+    replica->set_mask_builder(primary->mask_builder());
+    replica->set_training(false);
+    models_.push_back(replica.get());
+    owned_models_.push_back(std::move(replica));
+  }
+
+  annotators_.reserve(models_.size());
+  for (DoduoModel* model : models_) {
+    auto annotator = std::make_unique<Annotator>(model, serializer,
+                                                 type_vocab, relation_vocab);
+    annotator->set_max_batch_replicas(1);
+    annotators_.push_back(std::move(annotator));
+  }
+}
+
+DoduoModel* ReplicaPool::model(int r) const {
+  DODUO_CHECK(r >= 0 && r < num_replicas());
+  return models_[static_cast<size_t>(r)];
+}
+
+Annotator* ReplicaPool::annotator(int r) const {
+  DODUO_CHECK(r >= 0 && r < num_replicas());
+  return annotators_[static_cast<size_t>(r)].get();
+}
+
+}  // namespace doduo::core

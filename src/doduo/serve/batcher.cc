@@ -1,0 +1,228 @@
+#include "doduo/serve/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+#include <span>
+#include <utility>
+
+namespace doduo::serve {
+
+namespace {
+
+using util::Status;
+
+int64_t SteadyNowUs() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+// -- BatchQueue ---------------------------------------------------------------
+
+BatchQueue::BatchQueue(int max_batch_size, int64_t max_wait_us,
+                       int max_queue_depth)
+    : max_batch_size_(std::max(1, max_batch_size)),
+      max_wait_us_(std::max<int64_t>(0, max_wait_us)),
+      max_queue_depth_(std::max(1, max_queue_depth)) {}
+
+util::Status BatchQueue::Enqueue(PendingRequest&& request, int64_t now_us) {
+  if (queue_.size() >= static_cast<size_t>(max_queue_depth_)) {
+    return Status::ResourceExhausted(
+        "annotation queue full (" + std::to_string(queue_.size()) +
+        " pending, depth limit " + std::to_string(max_queue_depth_) +
+        "); retry later");
+  }
+  request.enqueue_us = now_us;
+  queue_.push_back(std::move(request));
+  return Status::Ok();
+}
+
+bool BatchQueue::Ready(int64_t now_us) const {
+  if (queue_.empty()) return false;
+  if (queue_.size() >= static_cast<size_t>(max_batch_size_)) return true;
+  return now_us >= queue_.front().enqueue_us + max_wait_us_;
+}
+
+std::vector<PendingRequest> BatchQueue::CutBatch(int64_t now_us, bool force) {
+  std::vector<PendingRequest> batch;
+  if (queue_.empty() || (!force && !Ready(now_us))) return batch;
+  const size_t n =
+      std::min(queue_.size(), static_cast<size_t>(max_batch_size_));
+  batch.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    batch.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+int64_t BatchQueue::NextDeadlineUs() const {
+  if (queue_.empty()) return -1;
+  return queue_.front().enqueue_us + max_wait_us_;
+}
+
+// -- DynamicBatcher -----------------------------------------------------------
+
+DynamicBatcher::DynamicBatcher(core::ReplicaPool* replicas,
+                               BatcherOptions options)
+    : replicas_(replicas),
+      options_(std::move(options)),
+      queue_(options_.max_batch_size, options_.max_wait_us,
+             options_.max_queue_depth),
+      queue_wait_us_(util::GetHistogram("serve.queue_wait_us")),
+      batch_assembly_us_(util::GetHistogram("serve.batch_assembly_us")),
+      inference_us_(util::GetHistogram("serve.inference_us")),
+      batch_size_(util::GetHistogram("serve.batch_size")),
+      requests_total_(util::GetCounter("serve.requests_total")),
+      requests_rejected_(util::GetCounter("serve.requests_rejected")),
+      batches_total_(util::GetCounter("serve.batches_total")),
+      batch_fallbacks_(util::GetCounter("serve.batch_fallbacks")) {
+  if (options_.manual_drain) return;
+  const int workers = std::max(
+      1, std::min(options_.num_workers, replicas_->num_replicas()));
+  workers_.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back([this, w] { WorkerLoop(w); });
+  }
+}
+
+DynamicBatcher::~DynamicBatcher() { Stop(); }
+
+int64_t DynamicBatcher::NowUs() const {
+  return options_.clock_us ? options_.clock_us() : SteadyNowUs();
+}
+
+void DynamicBatcher::Submit(uint64_t id, table::Table table,
+                            AnnotateCallback callback) {
+  requests_total_->Increment();
+  PendingRequest request;
+  request.id = id;
+  request.table = std::move(table);
+  request.callback = std::move(callback);
+  Status pushed = Status::Ok();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) {
+      pushed = Status::ResourceExhausted("batcher is shutting down");
+    } else {
+      // Enqueue only moves from `request` on success, so a rejected request
+      // still owns its callback here.
+      pushed = queue_.Enqueue(std::move(request), NowUs());
+    }
+  }
+  if (!pushed.ok()) {
+    // Backpressure: reject synchronously, exactly one callback either way.
+    requests_rejected_->Increment();
+    request.callback(std::move(pushed));
+    return;
+  }
+  cv_.notify_one();
+}
+
+size_t DynamicBatcher::DrainOnce(bool force) {
+  std::vector<PendingRequest> batch;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    batch = queue_.CutBatch(NowUs(), force);
+  }
+  const size_t n = batch.size();
+  if (n > 0) RunBatch(std::move(batch), 0);
+  return n;
+}
+
+void DynamicBatcher::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // Manual mode (and a zero-worker edge) drains here; threaded workers
+  // already drained before exiting.
+  while (DrainOnce(/*force=*/true) > 0) {
+  }
+}
+
+size_t DynamicBatcher::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+void DynamicBatcher::WorkerLoop(int replica_index) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    // Wait until a flush trigger fires or we are told to stop. The timed
+    // wait targets the front request's deadline so flush-on-deadline never
+    // depends on more traffic arriving.
+    for (;;) {
+      if (stopping_ || queue_.Ready(NowUs())) break;
+      const int64_t deadline = queue_.NextDeadlineUs();
+      if (deadline < 0) {
+        cv_.wait(lock);
+      } else {
+        const int64_t wait_us = std::max<int64_t>(1, deadline - NowUs());
+        cv_.wait_for(lock, std::chrono::microseconds(wait_us));
+      }
+    }
+    std::vector<PendingRequest> batch =
+        queue_.CutBatch(NowUs(), /*force=*/stopping_);
+    if (batch.empty()) {
+      if (stopping_) return;
+      continue;
+    }
+    lock.unlock();
+    RunBatch(std::move(batch), replica_index);
+    // More work may be ready (e.g. a burst deeper than one batch); let a
+    // sibling grab it while this worker re-acquires the lock.
+    cv_.notify_one();
+    lock.lock();
+  }
+}
+
+void DynamicBatcher::RunBatch(std::vector<PendingRequest> batch,
+                              int replica_index) {
+  const int64_t cut_us = NowUs();
+  int64_t oldest_us = cut_us;
+  std::vector<table::Table> tables;
+  tables.reserve(batch.size());
+  for (const PendingRequest& request : batch) {
+    queue_wait_us_->Record(
+        static_cast<uint64_t>(std::max<int64_t>(0, cut_us - request.enqueue_us)));
+    oldest_us = std::min(oldest_us, request.enqueue_us);
+    tables.push_back(request.table);
+  }
+  // Assembly latency: how long the batch took to fill from its first
+  // request to the cut.
+  batch_assembly_us_->Record(
+      static_cast<uint64_t>(std::max<int64_t>(0, cut_us - oldest_us)));
+  batch_size_->Record(batch.size());
+  batches_total_->Increment();
+
+  const core::Annotator* annotator = replicas_->annotator(replica_index);
+  auto result = [&] {
+    util::ScopedTimer timer(inference_us_, "serve.inference");
+    return annotator->AnnotateTypesBatch(
+        std::span<const table::Table>(tables));
+  }();
+  if (result.ok()) {
+    std::vector<std::vector<std::vector<std::string>>> all =
+        std::move(result).value();
+    for (size_t i = 0; i < batch.size(); ++i) {
+      batch[i].callback(std::move(all[i]));
+    }
+    return;
+  }
+  // A batch call fails as a unit ("table N of M ..."), which would punish
+  // every co-batched request for one bad table. Retry each request alone so
+  // only the actual offender sees its error.
+  batch_fallbacks_->Increment();
+  for (PendingRequest& request : batch) {
+    request.callback(annotator->AnnotateTypes(request.table));
+  }
+}
+
+}  // namespace doduo::serve

@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "OutOfRange";
     case StatusCode::kFailedPrecondition:
       return "FailedPrecondition";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
   }
   return "Unknown";
 }

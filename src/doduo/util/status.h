@@ -17,6 +17,7 @@ enum class StatusCode {
   kIoError,
   kOutOfRange,
   kFailedPrecondition,
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name of `code` ("OK", "IoError", ...).
@@ -50,6 +51,9 @@ class [[nodiscard]] Status {
   }
   static Status FailedPrecondition(std::string msg) {
     return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

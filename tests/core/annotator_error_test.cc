@@ -222,5 +222,20 @@ TEST_F(AnnotatorErrorTest, ErrorsDoNotDisturbSubsequentAnnotations) {
   EXPECT_EQ(before.value(), after.value());
 }
 
+TEST(BatchClampWarningTest, FiresOnlyWhenThreadsExceedTables) {
+  // `doduo_cli annotate --batch` regression: the batch fan-out silently
+  // clamps to min(pool threads, table count); the CLI must warn when the
+  // clamp bites so idle threads are explained, and stay quiet otherwise.
+  EXPECT_TRUE(WarnIfBatchClampedToTableCount(/*num_tables=*/2,
+                                             /*pool_threads=*/8));
+  EXPECT_FALSE(WarnIfBatchClampedToTableCount(8, 8));
+  EXPECT_FALSE(WarnIfBatchClampedToTableCount(9, 8));
+  EXPECT_FALSE(WarnIfBatchClampedToTableCount(8, 2));
+  // Degenerate inputs never warn: nothing useful to say about an empty
+  // batch or an unsized pool.
+  EXPECT_FALSE(WarnIfBatchClampedToTableCount(0, 8));
+  EXPECT_FALSE(WarnIfBatchClampedToTableCount(2, 0));
+}
+
 }  // namespace
 }  // namespace doduo::core

@@ -296,6 +296,57 @@ TEST(MetricsInLoopTest, LookupAfterLoopIsQuiet) {
                   .empty());
 }
 
+// -- serve-raw-io -----------------------------------------------------------
+
+TEST(ServeRawIoTest, RawPosixCallFiresInServeTree) {
+  const auto vs = Lint("src/doduo/serve/server.cc",
+                      "void f(int fd) {\n"
+                      "  char buf[64];\n"
+                      "  recv(fd, buf, sizeof(buf), 0);\n"
+                      "}\n");
+  ASSERT_TRUE(HasRule(vs, kRuleServeRawIo));
+}
+
+TEST(ServeRawIoTest, GloballyQualifiedCallFires) {
+  const auto vs = Lint("src/doduo/serve/client.cc",
+                      "void f(int fd) {\n  ::close(fd);\n}\n");
+  EXPECT_TRUE(HasRule(vs, kRuleServeRawIo));
+}
+
+TEST(ServeRawIoTest, SocketIoWrapperFileIsExempt) {
+  EXPECT_FALSE(HasRule(Lint("src/doduo/serve/socket_io.cc",
+                           "void f(int fd) {\n"
+                           "  char buf[64];\n"
+                           "  recv(fd, buf, sizeof(buf), 0);\n"
+                           "  close(fd);\n"
+                           "}\n"),
+                       kRuleServeRawIo));
+}
+
+TEST(ServeRawIoTest, OtherTreesAreOutOfScope) {
+  EXPECT_FALSE(HasRule(Lint("src/doduo/core/trainer.cc",
+                           "void f(int fd) {\n  close(fd);\n}\n"),
+                       kRuleServeRawIo));
+}
+
+TEST(ServeRawIoTest, MemberFunctionsAndNonCallsAreQuiet) {
+  EXPECT_FALSE(HasRule(Lint("src/doduo/serve/batcher.cc",
+                           "void f(Conn& c) {\n"
+                           "  c.close();\n"
+                           "  conn->send(frame);\n"
+                           "  int poll = 3;\n"
+                           "}\n"),
+                       kRuleServeRawIo));
+}
+
+TEST(ServeRawIoTest, NolintSuppresses) {
+  EXPECT_FALSE(HasRule(Lint("src/doduo/serve/server.cc",
+                           "void f(int fd) {\n"
+                           "  close(fd);  // NOLINT(serve-raw-io)\n"
+                           "}\n"),
+                       kRuleServeRawIo));
+}
+
 // -- NOLINT mechanics -------------------------------------------------------
 
 TEST(NolintTest, BareNolintSilencesEveryRuleOnTheLine) {

@@ -10,14 +10,17 @@
 # silently); TSan covers the thread-pool sharded kernels. UBSan covers the
 # parsing/validation paths (env parsing, CSV, checkpoint decoding, tokenizer
 # bounds) where integer overflow or bad shifts would otherwise pass
-# silently. The ASan/TSan runs restrict themselves to the nn and transformer
-# suites, where all of the kernel and threading code lives; UBSan runs the
-# tier-1 suite; the Release tier-1 runs everything.
+# silently. The ASan/TSan runs restrict themselves to the suites where the
+# kernel and threading code lives: nn and transformer for both, plus serve
+# under TSan (the dynamic batcher and server are the most concurrency-dense
+# code in the tree — DESIGN §12 requires the loopback stress suite to be
+# TSan-clean). UBSan runs the tier-1 suite; the Release tier-1 runs
+# everything.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 jobs="$(nproc 2>/dev/null || echo 2)"
-sanitizer_filter='nn_test|transformer_test'
+sanitizer_filter='nn_test|transformer_test (+serve_test under TSan)'
 
 echo "=== doduo_lint (project invariants) ==="
 # The linter is cheap and catches discarded Status values, stray abort/rand
@@ -49,10 +52,13 @@ cmake --build build-asan -j "${jobs}" --target nn_test transformer_test
 
 echo "=== ThreadSanitizer ==="
 cmake -B build-tsan -S . -DDODUO_TSAN=ON >/dev/null
-cmake --build build-tsan -j "${jobs}" --target nn_test transformer_test
+cmake --build build-tsan -j "${jobs}" --target nn_test transformer_test \
+  serve_test
 (cd build-tsan/tests &&
  DODUO_NUM_THREADS=8 DODUO_PARALLEL_THRESHOLD=1 ./nn_test --gtest_brief=1 &&
  DODUO_NUM_THREADS=8 DODUO_PARALLEL_THRESHOLD=1 ./transformer_test \
+   --gtest_brief=1 &&
+ DODUO_NUM_THREADS=8 DODUO_PARALLEL_THRESHOLD=1 ./serve_test \
    --gtest_brief=1)
 
 echo "=== UndefinedBehaviorSanitizer ==="

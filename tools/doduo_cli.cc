@@ -9,27 +9,34 @@
 //       Loads a saved model and prints per-column semantic types (and
 //       key-column relations when the model has a relation head). With
 //       --batch, all given CSVs are annotated in one AnnotateTypesBatch
-//       call that fans out across the compute pool.
+//       call that fans out across the compute pool (warning when the batch
+//       is smaller than the pool — the fan-out clamps to the table count).
+//
+//   doduo_cli annotate --server <host:port> <file.csv>...
+//       Client mode: sends each CSV to a running doduo_serve daemon over
+//       the binary frame protocol instead of loading a model locally.
 //
 //   doduo_cli embed --model <dir> <file.csv>
 //       Prints the contextualized column embeddings as CSV.
 //
+//   doduo_cli stats --server <host:port>
+//       Prints a running daemon's metrics (counters + latency histograms,
+//       including the serve.* batching stages) as JSON.
+//
 // Every command accepts --threads N to size the compute pool (equivalent
 // to DODUO_NUM_THREADS=N; 1 disables parallelism) and --stats to dump the
-// pipeline metrics (per-stage latency histograms and counters, see
+// local pipeline metrics (per-stage latency histograms and counters, see
 // DESIGN §10) as JSON on stderr before exiting.
 
 #include <cstdio>
 #include <cstring>
-#include <filesystem>
-#include <fstream>
 #include <string>
-
 #include <vector>
 
 #include "doduo/core/annotator.h"
+#include "doduo/core/model_io.h"
 #include "doduo/experiments/runners.h"
-#include "doduo/nn/serialize.h"
+#include "doduo/serve/client.h"
 #include "doduo/util/csv.h"
 #include "doduo/util/env.h"
 #include "doduo/util/metrics.h"
@@ -45,134 +52,25 @@ int Fail(const std::string& message) {
   return 1;
 }
 
-// ---------------------------------------------------------------------------
-// Model directory format: model.ckpt + vocab.txt + types.txt +
-// relations.txt + config.txt (key=value).
-// ---------------------------------------------------------------------------
-
-Status SaveLabels(const std::string& path,
-                  const doduo::table::LabelVocab& vocab) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path);
-  for (int i = 0; i < vocab.size(); ++i) out << vocab.Name(i) << "\n";
-  return Status::Ok();
-}
-
-doduo::util::Result<doduo::table::LabelVocab> LoadLabels(
-    const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
-  doduo::table::LabelVocab vocab;
-  std::string line;
-  while (std::getline(in, line)) {
-    if (!line.empty()) vocab.AddLabel(line);
-  }
-  return vocab;
-}
-
-Status SaveConfig(const std::string& path,
-                  const doduo::core::DoduoConfig& config) {
-  std::ofstream out(path);
-  if (!out) return Status::IoError("cannot open " + path);
-  out << "vocab_size=" << config.encoder.vocab_size << "\n"
-      << "max_positions=" << config.encoder.max_positions << "\n"
-      << "hidden_dim=" << config.encoder.hidden_dim << "\n"
-      << "num_layers=" << config.encoder.num_layers << "\n"
-      << "num_heads=" << config.encoder.num_heads << "\n"
-      << "ffn_dim=" << config.encoder.ffn_dim << "\n"
-      << "num_types=" << config.num_types << "\n"
-      << "num_relations=" << config.num_relations << "\n"
-      << "multi_label=" << (config.multi_label ? 1 : 0) << "\n"
-      << "max_tokens_per_column=" << config.serializer.max_tokens_per_column
-      << "\n"
-      << "max_total_tokens=" << config.serializer.max_total_tokens << "\n";
-  return Status::Ok();
-}
-
-doduo::util::Result<doduo::core::DoduoConfig> LoadConfig(
-    const std::string& path) {
-  std::ifstream in(path);
-  if (!in) return Status::IoError("cannot open " + path);
-  doduo::core::DoduoConfig config;
-  config.encoder.dropout = 0.0f;  // inference only
-  std::string line;
-  while (std::getline(in, line)) {
-    const auto eq = line.find('=');
-    if (eq == std::string::npos) continue;
-    const std::string key = line.substr(0, eq);
-    const long value = std::strtol(line.c_str() + eq + 1, nullptr, 10);
-    if (key == "vocab_size") config.encoder.vocab_size = value;
-    else if (key == "max_positions") config.encoder.max_positions = value;
-    else if (key == "hidden_dim") config.encoder.hidden_dim = value;
-    else if (key == "num_layers") config.encoder.num_layers = value;
-    else if (key == "num_heads") config.encoder.num_heads = value;
-    else if (key == "ffn_dim") config.encoder.ffn_dim = value;
-    else if (key == "num_types") config.num_types = value;
-    else if (key == "num_relations") config.num_relations = value;
-    else if (key == "multi_label") config.multi_label = value != 0;
-    else if (key == "max_tokens_per_column")
-      config.serializer.max_tokens_per_column = value;
-    else if (key == "max_total_tokens")
-      config.serializer.max_total_tokens = value;
-  }
-  if (config.num_relations == 0) {
-    config.tasks = doduo::core::TaskSet::kTypesOnly;
-  }
-  return config;
-}
-
-// Everything a loaded model needs, with stable addresses.
-struct LoadedModel {
-  doduo::core::DoduoConfig config;
-  doduo::text::Vocab vocab;
-  doduo::table::LabelVocab types;
-  doduo::table::LabelVocab relations;
-  std::unique_ptr<doduo::text::WordPieceTokenizer> tokenizer;
-  std::unique_ptr<doduo::core::DoduoModel> model;
-  std::unique_ptr<doduo::table::TableSerializer> serializer;
-};
-
-doduo::util::Result<std::unique_ptr<LoadedModel>> LoadModelDir(
-    const std::string& dir) {
-  auto loaded = std::make_unique<LoadedModel>();
-  auto config = LoadConfig(dir + "/config.txt");
-  if (!config.ok()) return config.status();
-  loaded->config = config.value();
-
-  auto vocab = doduo::text::Vocab::Load(dir + "/vocab.txt");
-  if (!vocab.ok()) return vocab.status();
-  loaded->vocab = std::move(vocab).value();
-
-  auto types = LoadLabels(dir + "/types.txt");
-  if (!types.ok()) return types.status();
-  loaded->types = std::move(types).value();
-  if (loaded->config.num_relations > 0) {
-    auto relations = LoadLabels(dir + "/relations.txt");
-    if (!relations.ok()) return relations.status();
-    loaded->relations = std::move(relations).value();
-  }
-
-  doduo::util::Rng rng(1);
-  loaded->model = std::make_unique<doduo::core::DoduoModel>(loaded->config,
-                                                            &rng);
-  const Status status =
-      doduo::nn::LoadParameters(dir + "/model.ckpt",
-                                loaded->model->Parameters());
-  if (!status.ok()) return status;
-  loaded->model->set_training(false);
-  loaded->tokenizer = std::make_unique<doduo::text::WordPieceTokenizer>(
-      &loaded->vocab);
-  loaded->serializer = std::make_unique<doduo::table::TableSerializer>(
-      loaded->tokenizer.get(), loaded->config.serializer);
-  return loaded;
-}
-
 doduo::util::Result<doduo::table::Table> LoadCsvTable(
     const std::string& path) {
   auto rows = doduo::util::ReadCsvFile(path);
   if (!rows.ok()) return rows.status();
   return doduo::table::TableFromCsvRows(rows.value(), /*has_header=*/true,
                                         path);
+}
+
+/// Parses "host:port" (or ":port" / bare "port" for localhost).
+bool ParseEndpoint(const std::string& endpoint, std::string* host,
+                   int* port) {
+  const auto colon = endpoint.rfind(':');
+  const std::string port_text =
+      colon == std::string::npos ? endpoint : endpoint.substr(colon + 1);
+  *host = colon == std::string::npos || colon == 0
+              ? "127.0.0.1"
+              : endpoint.substr(0, colon);
+  *port = static_cast<int>(std::strtol(port_text.c_str(), nullptr, 10));
+  return *port > 0 && *port < 65536;
 }
 
 // ---------------------------------------------------------------------------
@@ -196,17 +94,10 @@ int Train(const std::string& out_dir, const std::string& mode) {
   }
   std::printf("\n");
 
-  std::filesystem::create_directories(out_dir);
-  for (const Status& status :
-       {doduo::nn::SaveParameters(out_dir + "/model.ckpt",
-                                  run.model->Parameters()),
-        env.vocab().Save(out_dir + "/vocab.txt"),
-        SaveLabels(out_dir + "/types.txt", env.dataset().type_vocab),
-        SaveLabels(out_dir + "/relations.txt",
-                   env.dataset().relation_vocab),
-        SaveConfig(out_dir + "/config.txt", run.model->config())}) {
-    if (!status.ok()) return Fail(status.ToString());
-  }
+  const Status saved = doduo::core::SaveModelDir(
+      out_dir, run.model.get(), env.vocab(), env.dataset().type_vocab,
+      env.dataset().relation_vocab);
+  if (!saved.ok()) return Fail(saved.ToString());
   std::printf("saved model directory: %s\n", out_dir.c_str());
   return 0;
 }
@@ -220,9 +111,30 @@ void PrintTypes(const doduo::table::Table& table,
   }
 }
 
+/// Client mode: annotate each CSV through a doduo_serve endpoint.
+int AnnotateRemote(const std::string& endpoint,
+                   const std::vector<std::string>& csv_paths) {
+  std::string host;
+  int port = 0;
+  if (!ParseEndpoint(endpoint, &host, &port)) {
+    return Fail("cannot parse --server endpoint: " + endpoint);
+  }
+  auto client = doduo::serve::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status().ToString());
+  for (const std::string& path : csv_paths) {
+    auto table = LoadCsvTable(path);
+    if (!table.ok()) return Fail(table.status().ToString());
+    auto types = client.value().AnnotateTypes(table.value());
+    if (!types.ok()) return Fail(path + ": " + types.status().ToString());
+    if (csv_paths.size() > 1) std::printf("== %s ==\n", path.c_str());
+    PrintTypes(table.value(), types.value());
+  }
+  return 0;
+}
+
 int Annotate(const std::string& model_dir,
              const std::vector<std::string>& csv_paths, bool batch) {
-  auto loaded = LoadModelDir(model_dir);
+  auto loaded = doduo::core::LoadModelDir(model_dir);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
   std::vector<doduo::table::Table> tables;
   for (const std::string& path : csv_paths) {
@@ -231,13 +143,13 @@ int Annotate(const std::string& model_dir,
     tables.push_back(std::move(table).value());
   }
 
-  LoadedModel& m = *loaded.value();
-  doduo::core::Annotator annotator(
-      m.model.get(), m.serializer.get(), &m.types,
-      m.config.num_relations > 0 ? &m.relations : nullptr);
+  doduo::core::LoadedModel& m = *loaded.value();
+  doduo::core::Annotator annotator = m.MakeAnnotator();
 
   std::vector<std::vector<std::vector<std::string>>> types;
   if (batch) {
+    doduo::core::WarnIfBatchClampedToTableCount(
+        tables.size(), doduo::util::ComputePool()->num_threads());
     auto result = annotator.AnnotateTypesBatch(tables);
     if (!result.ok()) return Fail(result.status().ToString());
     types = std::move(result).value();
@@ -269,15 +181,12 @@ int Annotate(const std::string& model_dir,
 }
 
 int Embed(const std::string& model_dir, const std::string& csv_path) {
-  auto loaded = LoadModelDir(model_dir);
+  auto loaded = doduo::core::LoadModelDir(model_dir);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
   auto table = LoadCsvTable(csv_path);
   if (!table.ok()) return Fail(table.status().ToString());
 
-  LoadedModel& m = *loaded.value();
-  doduo::core::Annotator annotator(
-      m.model.get(), m.serializer.get(), &m.types,
-      m.config.num_relations > 0 ? &m.relations : nullptr);
+  doduo::core::Annotator annotator = loaded.value()->MakeAnnotator();
   auto result = annotator.ColumnEmbeddings(table.value());
   if (!result.ok()) {
     return Fail(csv_path + ": " + result.status().ToString());
@@ -293,15 +202,32 @@ int Embed(const std::string& model_dir, const std::string& csv_path) {
   return 0;
 }
 
+int RemoteStats(const std::string& endpoint) {
+  std::string host;
+  int port = 0;
+  if (!ParseEndpoint(endpoint, &host, &port)) {
+    return Fail("cannot parse --server endpoint: " + endpoint);
+  }
+  auto client = doduo::serve::Client::Connect(host, port);
+  if (!client.ok()) return Fail(client.status().ToString());
+  auto stats = client.value().Stats();
+  if (!stats.ok()) return Fail(stats.status().ToString());
+  std::printf("%s\n", stats.value().c_str());
+  return 0;
+}
+
 const char* kUsage =
     "usage:\n"
     "  doduo_cli train --out <dir> [--mode wikitable|viznet] [--threads N]\n"
     "  doduo_cli annotate --model <dir> [--batch] [--threads N] [--stats]"
     " <file.csv>...\n"
+    "  doduo_cli annotate --server <host:port> <file.csv>...\n"
     "  doduo_cli embed --model <dir> [--threads N] [--stats] <file.csv>\n"
+    "  doduo_cli stats --server <host:port>\n"
     "\n"
-    "  --stats dumps pipeline metrics (counters + latency histograms)\n"
-    "  as JSON on stderr before exiting.\n";
+    "  --server talks to a running doduo_serve daemon instead of loading\n"
+    "  a model locally; --stats dumps local pipeline metrics (counters +\n"
+    "  latency histograms) as JSON on stderr before exiting.\n";
 
 }  // namespace
 
@@ -309,6 +235,7 @@ int main(int argc, char** argv) {
   std::string command = argc > 1 ? argv[1] : "";
   std::string out_dir;
   std::string model_dir;
+  std::string server;
   std::string mode = "wikitable";
   std::vector<std::string> csv_paths;
   bool batch = false;
@@ -318,6 +245,8 @@ int main(int argc, char** argv) {
       out_dir = argv[++i];
     } else if (std::strcmp(argv[i], "--model") == 0 && i + 1 < argc) {
       model_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--server") == 0 && i + 1 < argc) {
+      server = argv[++i];
     } else if (std::strcmp(argv[i], "--mode") == 0 && i + 1 < argc) {
       mode = argv[++i];
     } else if (std::strcmp(argv[i], "--threads") == 0 && i + 1 < argc) {
@@ -335,11 +264,15 @@ int main(int argc, char** argv) {
   int exit_code = 2;
   if (command == "train" && !out_dir.empty()) {
     exit_code = Train(out_dir, mode);
+  } else if (command == "annotate" && !server.empty() && !csv_paths.empty()) {
+    exit_code = AnnotateRemote(server, csv_paths);
   } else if (command == "annotate" && !model_dir.empty() &&
              !csv_paths.empty()) {
     exit_code = Annotate(model_dir, csv_paths, batch);
   } else if (command == "embed" && !model_dir.empty() && !csv_paths.empty()) {
     exit_code = Embed(model_dir, csv_paths.front());
+  } else if (command == "stats" && !server.empty()) {
+    exit_code = RemoteStats(server);
   } else {
     std::fputs(kUsage, stderr);
     return 2;

@@ -13,6 +13,7 @@
 //   header-guard       headers open with #pragma once or an include guard
 //   include-order      own header, then <system>, then "project" includes
 //   metrics-in-loop    GetCounter/GetHistogram lookup inside a loop body
+//   serve-raw-io       raw POSIX socket/IO call in serve/ outside socket_io
 //
 // Violations print as "file:line: rule-id message"; a `// NOLINT(rule-id)`
 // comment on the offending line suppresses them. Exit status is 0 when the

@@ -306,6 +306,18 @@ class Linter {
                                PathContains(path_, "util/logging");
     const bool arena_scoped =
         PathContains(path_, "nn/") || PathContains(path_, "transformer/");
+    // serve-raw-io: raw POSIX socket/fd calls are confined to
+    // serve/socket_io.{h,cc}, whose [[nodiscard]] wrappers carry the
+    // Status contract (and whose names CollectStatusFunctions picks up, so
+    // discarded-status covers their call sites automatically).
+    const bool serve_scoped = PathContains(path_, "serve/") &&
+                              !PathContains(path_, "serve/socket_io");
+    static constexpr std::string_view kRawIoNames[] = {
+        "socket",  "bind",     "listen",   "accept",      "accept4",
+        "connect", "send",     "recv",     "sendto",      "recvfrom",
+        "read",    "write",    "close",    "shutdown",    "setsockopt",
+        "getsockopt",          "getsockname",             "getpeername",
+        "poll",    "select",   "epoll_wait"};
     const int n = static_cast<int>(tokens_.size());
     for (int i = 0; i < n; ++i) {
       const Token& t = tokens_[i];
@@ -351,6 +363,18 @@ class Linter {
                  "raw '" + std::string(t.text) +
                      "' in kernel code; use nn::Workspace arenas or "
                      "containers");
+        }
+      }
+
+      if (serve_scoped && call && !IsMemberAccess(i)) {
+        for (const std::string_view raw : kRawIoNames) {
+          if (t.text == raw) {
+            Report(t.line, kRuleServeRawIo,
+                   "raw POSIX I/O call '" + std::string(t.text) +
+                       "' outside serve/socket_io; use the Status-returning "
+                       "wrappers in serve/socket_io.h");
+            break;
+          }
         }
       }
 

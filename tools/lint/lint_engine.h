@@ -45,6 +45,7 @@ inline constexpr char kRuleNoNakedNew[] = "no-naked-new";
 inline constexpr char kRuleHeaderGuard[] = "header-guard";
 inline constexpr char kRuleIncludeOrder[] = "include-order";
 inline constexpr char kRuleMetricsInLoop[] = "metrics-in-loop";
+inline constexpr char kRuleServeRawIo[] = "serve-raw-io";
 
 /// Scans C++ source (typically a header) for function declarations whose
 /// return type is util::Status or util::Result<T> and inserts their names
