@@ -44,6 +44,23 @@ ReplicaPool::ReplicaPool(DoduoModel* primary,
     annotator->set_max_batch_replicas(1);
     annotators_.push_back(std::move(annotator));
   }
+  in_use_.assign(models_.size(), false);
+}
+
+ReplicaPool::ScopedUse::ScopedUse(ReplicaPool* pool, int r)
+    : pool_(pool), r_(r) {
+  DODUO_CHECK(pool != nullptr);
+  DODUO_CHECK(r >= 0 && r < pool->num_replicas());
+  util::MutexLock lock(&pool->mu_);
+  DODUO_CHECK(!pool->in_use_[static_cast<size_t>(r)])
+      << "replica" << r << "is already in use by another thread "
+      << "(one thread per replica; see DESIGN §13)";
+  pool->in_use_[static_cast<size_t>(r)] = true;
+}
+
+ReplicaPool::ScopedUse::~ScopedUse() {
+  util::MutexLock lock(&pool_->mu_);
+  pool_->in_use_[static_cast<size_t>(r_)] = false;
 }
 
 DoduoModel* ReplicaPool::model(int r) const {

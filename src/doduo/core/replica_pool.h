@@ -7,6 +7,8 @@
 #include "doduo/core/annotator.h"
 #include "doduo/core/model.h"
 #include "doduo/nn/tensor.h"
+#include "doduo/util/mutex.h"
+#include "doduo/util/thread_annotations.h"
 
 namespace doduo::core {
 
@@ -61,11 +63,37 @@ class ReplicaPool {
     return weights_;
   }
 
+  /// RAII enforcement of the one-thread-per-replica contract: holds replica
+  /// `r` exclusively for the scope's lifetime and aborts (DODUO_CHECK) if
+  /// the replica is already in use — two batcher workers sharing an index,
+  /// or a caller fanning one replica out across the compute pool, is a
+  /// protocol bug that would silently corrupt per-request forward state.
+  /// The guard costs one uncontended mutex acquisition per batch, nothing
+  /// per table.
+  class ScopedUse {
+   public:
+    ScopedUse(ReplicaPool* pool, int r);
+    ~ScopedUse();
+
+    ScopedUse(const ScopedUse&) = delete;
+    ScopedUse& operator=(const ScopedUse&) = delete;
+
+   private:
+    ReplicaPool* const pool_;
+    const int r_;
+  };
+
  private:
   std::shared_ptr<const std::vector<nn::Tensor>> weights_;
   std::vector<DoduoModel*> models_;  // [0] = primary; rest own_models_
   std::vector<std::unique_ptr<DoduoModel>> owned_models_;
   std::vector<std::unique_ptr<Annotator>> annotators_;
+
+  // Everything above is immutable after construction (replica state lives
+  // inside the models, one thread per replica); the in-use ledger is the
+  // pool's only mutable shared state.
+  mutable util::Mutex mu_{"core.replica_pool"};
+  std::vector<bool> in_use_ DODUO_GUARDED_BY(mu_);
 };
 
 }  // namespace doduo::core

@@ -103,7 +103,7 @@ void DynamicBatcher::Submit(uint64_t id, table::Table table,
   request.callback = std::move(callback);
   Status pushed = Status::Ok();
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (stopping_) {
       pushed = Status::ResourceExhausted("batcher is shutting down");
     } else {
@@ -118,13 +118,13 @@ void DynamicBatcher::Submit(uint64_t id, table::Table table,
     request.callback(std::move(pushed));
     return;
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 size_t DynamicBatcher::DrainOnce(bool force) {
   std::vector<PendingRequest> batch;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     batch = queue_.CutBatch(NowUs(), force);
   }
   const size_t n = batch.size();
@@ -134,11 +134,11 @@ size_t DynamicBatcher::DrainOnce(bool force) {
 
 void DynamicBatcher::Stop() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    util::MutexLock lock(&mu_);
     if (stopping_) return;
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
   workers_.clear();
   // Manual mode (and a zero-worker edge) drains here; threaded workers
@@ -148,43 +148,48 @@ void DynamicBatcher::Stop() {
 }
 
 size_t DynamicBatcher::queue_depth() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  util::MutexLock lock(&mu_);
   return queue_.size();
 }
 
 void DynamicBatcher::WorkerLoop(int replica_index) {
-  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    // Wait until a flush trigger fires or we are told to stop. The timed
-    // wait targets the front request's deadline so flush-on-deadline never
-    // depends on more traffic arriving.
-    for (;;) {
-      if (stopping_ || queue_.Ready(NowUs())) break;
-      const int64_t deadline = queue_.NextDeadlineUs();
-      if (deadline < 0) {
-        cv_.wait(lock);
-      } else {
-        const int64_t wait_us = std::max<int64_t>(1, deadline - NowUs());
-        cv_.wait_for(lock, std::chrono::microseconds(wait_us));
+    std::vector<PendingRequest> batch;
+    {
+      util::MutexLock lock(&mu_);
+      // Wait until a flush trigger fires or we are told to stop. The timed
+      // wait targets the front request's deadline so flush-on-deadline
+      // never depends on more traffic arriving.
+      for (;;) {
+        if (stopping_ || queue_.Ready(NowUs())) break;
+        const int64_t deadline = queue_.NextDeadlineUs();
+        if (deadline < 0) {
+          cv_.Wait(&mu_);
+        } else {
+          const int64_t wait_us = std::max<int64_t>(1, deadline - NowUs());
+          (void)cv_.WaitFor(&mu_, wait_us);
+        }
+      }
+      batch = queue_.CutBatch(NowUs(), /*force=*/stopping_);
+      if (batch.empty()) {
+        if (stopping_) return;
+        continue;
       }
     }
-    std::vector<PendingRequest> batch =
-        queue_.CutBatch(NowUs(), /*force=*/stopping_);
-    if (batch.empty()) {
-      if (stopping_) return;
-      continue;
-    }
-    lock.unlock();
+    // Inference runs with mu_ released so Submit never waits on a forward
+    // pass.
     RunBatch(std::move(batch), replica_index);
     // More work may be ready (e.g. a burst deeper than one batch); let a
-    // sibling grab it while this worker re-acquires the lock.
-    cv_.notify_one();
-    lock.lock();
+    // sibling grab it while this worker loops back to the queue.
+    cv_.NotifyOne();
   }
 }
 
 void DynamicBatcher::RunBatch(std::vector<PendingRequest> batch,
                               int replica_index) {
+  // Debug guard: worker w is the sole user of replica w while this batch
+  // runs; two workers sharing an index is a protocol bug and aborts.
+  core::ReplicaPool::ScopedUse replica_use(replicas_, replica_index);
   const int64_t cut_us = NowUs();
   int64_t oldest_us = cut_us;
   std::vector<table::Table> tables;

@@ -1,18 +1,18 @@
 #ifndef DODUO_SERVE_BATCHER_H_
 #define DODUO_SERVE_BATCHER_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "doduo/core/replica_pool.h"
 #include "doduo/table/table.h"
 #include "doduo/util/metrics.h"
+#include "doduo/util/mutex.h"
 #include "doduo/util/status.h"
+#include "doduo/util/thread_annotations.h"
 
 namespace doduo::serve {
 
@@ -124,18 +124,20 @@ class DynamicBatcher {
 
  private:
   void WorkerLoop(int replica_index);
-  /// Runs one cut batch on `replica_index` and fires its callbacks.
-  void RunBatch(std::vector<PendingRequest> batch, int replica_index);
+  /// Runs one cut batch on `replica_index` and fires its callbacks. Called
+  /// with mu_ released: inference must never serialize against Submit.
+  void RunBatch(std::vector<PendingRequest> batch, int replica_index)
+      DODUO_EXCLUDES(mu_);
   int64_t NowUs() const;
 
   core::ReplicaPool* replicas_;
   BatcherOptions options_;
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  BatchQueue queue_;
-  bool stopping_ = false;
-  std::vector<std::thread> workers_;
+  mutable util::Mutex mu_{"serve.batcher"};
+  util::CondVar cv_;
+  BatchQueue queue_ DODUO_GUARDED_BY(mu_);
+  bool stopping_ DODUO_GUARDED_BY(mu_) = false;
+  std::vector<std::thread> workers_;  // written by ctor and Stop only
 
   // Cached metric handles (DESIGN §10: look up once, record in loops).
   util::Histogram* queue_wait_us_;

@@ -6,6 +6,7 @@
 
 #include "doduo/serve/protocol.h"
 #include "doduo/util/logging.h"
+#include "doduo/util/mutex.h"
 
 namespace doduo::serve {
 
@@ -39,7 +40,7 @@ struct Server::Connection {
                          << s.ToString();
       return;
     }
-    std::lock_guard<std::mutex> lock(write_mu);
+    util::MutexLock lock(&write_mu);
     if (Status s = SendAll(fd.get(), wire.data(), wire.size()); !s.ok()) {
       // The peer hung up mid-conversation; its reader loop will see the
       // close too, so just note it.
@@ -47,8 +48,8 @@ struct Server::Connection {
     }
   }
 
-  UniqueFd fd;
-  std::mutex write_mu;
+  UniqueFd fd;  // never reassigned after construction; safe to read
+  util::Mutex write_mu{"serve.connection.write"};
 };
 
 Server::Server(core::ReplicaPool* replicas, ServerOptions options)
@@ -74,13 +75,12 @@ util::Status Server::Start() {
 void Server::Stop() {
   if (stopping_.exchange(true)) {
     // Already stopped (or stopping on another thread); just wait it out.
-    std::unique_lock<std::mutex> lock(stop_mu_);
-    stop_cv_.wait(lock, [this] { return stopped_; });
+    Wait();
     return;
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   {
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    util::MutexLock lock(&conn_mu_);
     for (std::thread& t : connection_threads_) t.join();
     connection_threads_.clear();
   }
@@ -88,15 +88,21 @@ void Server::Stop() {
   // their Connection references, so the drained responses reach the wire.
   batcher_.Stop();
   {
-    std::lock_guard<std::mutex> lock(stop_mu_);
+    util::MutexLock lock(&stop_mu_);
     stopped_ = true;
   }
-  stop_cv_.notify_all();
+  stop_cv_.NotifyAll();
 }
 
 void Server::Wait() {
-  std::unique_lock<std::mutex> lock(stop_mu_);
-  stop_cv_.wait(lock, [this] { return stopped_; });
+  util::MutexLock lock(&stop_mu_);
+  while (!stopped_) stop_cv_.Wait(&stop_mu_);
+}
+
+bool Server::WaitFor(int64_t timeout_us) {
+  util::MutexLock lock(&stop_mu_);
+  if (!stopped_) (void)stop_cv_.WaitFor(&stop_mu_, timeout_us);
+  return stopped_;
 }
 
 void Server::AcceptLoop() {
@@ -109,7 +115,7 @@ void Server::AcceptLoop() {
     if (!accepted.value().valid()) continue;  // timeout tick
     connections_accepted_.fetch_add(1, std::memory_order_relaxed);
     auto conn = std::make_shared<Connection>(std::move(accepted).value());
-    std::lock_guard<std::mutex> lock(conn_mu_);
+    util::MutexLock lock(&conn_mu_);
     connection_threads_.emplace_back(
         [this, conn = std::move(conn)]() mutable {
           ConnectionLoop(std::move(conn));

@@ -2,9 +2,8 @@
 #define DODUO_SERVE_SERVER_H_
 
 #include <atomic>
-#include <condition_variable>
+#include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
@@ -14,7 +13,9 @@
 #include "doduo/serve/protocol.h"
 #include "doduo/serve/socket_io.h"
 #include "doduo/util/metrics.h"
+#include "doduo/util/mutex.h"
 #include "doduo/util/status.h"
+#include "doduo/util/thread_annotations.h"
 
 namespace doduo::serve {
 
@@ -63,6 +64,12 @@ class Server {
   /// Blocks until Stop() is called (daemon main threads park here).
   void Wait();
 
+  /// Waits at most `timeout_us` for Stop() to complete; returns true once
+  /// stopped. The daemon main loop polls this between checks of its
+  /// async-signal shutdown flag (signal handlers must not call Stop(),
+  /// which locks).
+  bool WaitFor(int64_t timeout_us);
+
   /// Connections accepted over the server's lifetime.
   uint64_t connections_accepted() const {
     return connections_accepted_.load(std::memory_order_relaxed);
@@ -85,11 +92,11 @@ class Server {
   std::atomic<bool> stopping_{false};
   std::atomic<uint64_t> connections_accepted_{0};
   std::thread accept_thread_;
-  std::mutex conn_mu_;
-  std::vector<std::thread> connection_threads_;
-  std::mutex stop_mu_;
-  std::condition_variable stop_cv_;
-  bool stopped_ = false;
+  util::Mutex conn_mu_{"serve.server.conn"};
+  std::vector<std::thread> connection_threads_ DODUO_GUARDED_BY(conn_mu_);
+  util::Mutex stop_mu_{"serve.server.stop"};
+  util::CondVar stop_cv_;
+  bool stopped_ DODUO_GUARDED_BY(stop_mu_) = false;
 
   util::Histogram* e2e_us_;
   util::Counter* protocol_errors_;

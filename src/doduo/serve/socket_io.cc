@@ -16,7 +16,13 @@ namespace {
 using util::Status;
 
 Status Errno(const char* what) {
-  return Status::IoError(std::string(what) + ": " + std::strerror(errno));
+  // strerror() hands back a static buffer shared across threads; the GNU
+  // strerror_r either fills `buf` or returns an immutable static string,
+  // both safe to read concurrently (connection threads all come through
+  // here on I/O errors).
+  char buf[128];
+  return Status::IoError(std::string(what) + ": " +
+                         strerror_r(errno, buf, sizeof(buf)));
 }
 
 /// Parses host as a dotted quad; "localhost" maps to 127.0.0.1. No DNS —

@@ -8,12 +8,17 @@
 
 namespace doduo::util {
 
+// The three NOLINTNEXTLINE(concurrency-mt-unsafe) below: getenv races only
+// with env *mutation* (setenv/putenv), which nothing in the process does.
+
 std::string GetEnvString(const char* name, const std::string& fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* value = std::getenv(name);
   return value != nullptr ? std::string(value) : fallback;
 }
 
 double GetEnvDouble(const char* name, double fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* value = std::getenv(name);
   if (value == nullptr) return fallback;
   errno = 0;
@@ -31,6 +36,7 @@ double GetEnvDouble(const char* name, double fallback) {
 }
 
 int64_t GetEnvInt(const char* name, int64_t fallback) {
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* value = std::getenv(name);
   if (value == nullptr) return fallback;
   errno = 0;

@@ -11,6 +11,9 @@ namespace doduo::util {
 namespace {
 
 LogLevel InitialLevel() {
+  // getenv races only with env *mutation*, and nothing in the process
+  // calls setenv/putenv.
+  // NOLINTNEXTLINE(concurrency-mt-unsafe)
   const char* env = std::getenv("DODUO_LOG_LEVEL");
   if (env == nullptr) return LogLevel::kInfo;
   if (std::strcmp(env, "debug") == 0) return LogLevel::kDebug;

@@ -4,10 +4,11 @@
 #include <cmath>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <sstream>
 
 #include "doduo/util/env.h"
+#include "doduo/util/mutex.h"
+#include "doduo/util/thread_annotations.h"
 
 namespace doduo::util {
 
@@ -22,9 +23,11 @@ std::atomic<bool>& EnabledFlag() {
 // Registered metrics live behind unique_ptr so the pointers handed out by
 // GetCounter/GetHistogram survive map rehashing and process teardown order.
 struct Registry {
-  std::mutex mutex;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+  Mutex mutex{"metrics.registry"};
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters
+      DODUO_GUARDED_BY(mutex);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms
+      DODUO_GUARDED_BY(mutex);
 };
 
 Registry& GetRegistry() {
@@ -33,8 +36,8 @@ Registry& GetRegistry() {
 }
 
 struct TraceState {
-  std::mutex mutex;
-  TraceHook hook;
+  Mutex mutex{"metrics.trace"};
+  TraceHook hook DODUO_GUARDED_BY(mutex);
 };
 
 std::atomic<bool> g_has_trace_hook{false};
@@ -46,7 +49,7 @@ TraceState& GetTraceState() {
 
 void EmitTrace(const char* span, uint64_t micros) {
   TraceState& state = GetTraceState();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&state.mutex);
   if (state.hook) state.hook(span, micros);
 }
 
@@ -91,7 +94,7 @@ void SetMetricsEnabled(bool enabled) {
 
 Counter* GetCounter(std::string_view name) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&registry.mutex);
   auto it = registry.counters.find(name);
   if (it == registry.counters.end()) {
     it = registry.counters
@@ -103,7 +106,7 @@ Counter* GetCounter(std::string_view name) {
 
 Histogram* GetHistogram(std::string_view name) {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&registry.mutex);
   auto it = registry.histograms.find(name);
   if (it == registry.histograms.end()) {
     it = registry.histograms
@@ -115,7 +118,7 @@ Histogram* GetHistogram(std::string_view name) {
 
 MetricsSnapshot SnapshotMetrics() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&registry.mutex);
   MetricsSnapshot snapshot;
   snapshot.counters.reserve(registry.counters.size());
   for (const auto& [name, counter] : registry.counters) {
@@ -195,14 +198,14 @@ std::string MetricsToJson() {
 
 void ResetMetrics() {
   Registry& registry = GetRegistry();
-  std::lock_guard<std::mutex> lock(registry.mutex);
+  MutexLock lock(&registry.mutex);
   for (auto& [name, counter] : registry.counters) counter->Reset();
   for (auto& [name, histogram] : registry.histograms) histogram->Reset();
 }
 
 void SetTraceHook(TraceHook hook) {
   TraceState& state = GetTraceState();
-  std::lock_guard<std::mutex> lock(state.mutex);
+  MutexLock lock(&state.mutex);
   state.hook = std::move(hook);
   g_has_trace_hook.store(static_cast<bool>(state.hook),
                          std::memory_order_relaxed);

@@ -1,0 +1,256 @@
+#include "doduo/util/mutex.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "doduo/util/env.h"
+
+namespace doduo::util {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Lock-order deadlock detector (DESIGN §13).
+//
+// Model: a directed graph over live-and-dead Mutex instances where an edge
+// A -> B records "some thread held A while acquiring B". A consistent lock
+// hierarchy keeps this graph acyclic forever; the first acquisition that
+// would close a cycle is a lock-order inversion — two threads taking the
+// same locks in opposite orders can deadlock under the right interleaving —
+// and aborts immediately with the cycle, even though *this* run did not
+// block. TSan only reports such deadlocks when the interleaving actually
+// bites; this detector turns any single-threaded traversal of both orders
+// into a deterministic failure.
+//
+// Cost model: when disabled (the default in release trees) every operation
+// is one relaxed atomic load. When enabled, each acquisition pushes onto a
+// thread-local held stack; the process-wide graph (std::mutex-protected —
+// the detector cannot use util::Mutex for its own bookkeeping) is consulted
+// only while at least one other lock is held, and a full edge insert with
+// cycle check happens only the first time a given (held, acquired) pair is
+// seen. Nodes are never garbage-collected: ids are unique per Mutex
+// instance for the process lifetime, so a recycled address cannot alias an
+// old node, and only mutexes that participate in nested acquisition ever
+// reach the graph.
+// ---------------------------------------------------------------------------
+
+struct HeldLock {
+  uint32_t id;
+  const char* name;  // borrowed from the live Mutex; copied on edge record
+};
+
+thread_local std::vector<HeldLock> t_held;
+
+struct EdgeContext {
+  // Names of every lock the recording thread held when the edge was first
+  // observed (the "previous" stack in inversion reports).
+  std::vector<std::string> held_names;
+};
+
+struct LockGraph {
+  std::mutex mu;
+  std::map<uint32_t, std::vector<uint32_t>> adjacency;
+  std::map<std::pair<uint32_t, uint32_t>, EdgeContext> edges;
+  std::map<uint32_t, std::string> names;
+};
+
+LockGraph& GetLockGraph() {
+  static LockGraph* graph = new LockGraph();  // never destroyed
+  return *graph;
+}
+
+std::atomic<bool>& DeadlockFlag() {
+#ifdef DODUO_DEADLOCK_CHECK
+  constexpr int64_t kDefault = 1;
+#else
+  constexpr int64_t kDefault = 0;
+#endif
+  static std::atomic<bool> enabled{GetEnvInt("DODUO_DEADLOCK_CHECK",
+                                             kDefault) != 0};
+  return enabled;
+}
+
+/// DFS: does a path `from` => `to` exist? On success `path` holds the node
+/// sequence from `from` to `to` inclusive.
+bool FindPath(const LockGraph& graph, uint32_t from, uint32_t to,
+              std::vector<uint32_t>* path) {
+  path->push_back(from);
+  if (from == to) return true;
+  auto it = graph.adjacency.find(from);
+  if (it != graph.adjacency.end()) {
+    for (uint32_t next : it->second) {
+      // The graph is acyclic by construction (cycles abort before insert),
+      // so plain DFS terminates without a visited set.
+      if (FindPath(graph, next, to, path)) return true;
+    }
+  }
+  path->pop_back();
+  return false;
+}
+
+void AppendQuoted(std::ostringstream* out, const std::string& name) {
+  *out << '"' << name << '"';
+}
+
+/// Builds the inversion report and aborts. `graph.mu` must be held by the
+/// caller (we never return).
+[[noreturn]] void DieOnCycle(const LockGraph& graph, const HeldLock& acquiring,
+                             const HeldLock& held,
+                             const std::vector<uint32_t>& path) {
+  auto name_of = [&graph](uint32_t id) -> std::string {
+    auto it = graph.names.find(id);
+    return it != graph.names.end() ? it->second : "<unnamed>";
+  };
+  std::ostringstream out;
+  // First line carries the whole cycle so a single-line matcher sees every
+  // lock involved (tests/util/mutex_test.cc pins this).
+  out << "doduo deadlock check: lock-order inversion (potential deadlock): "
+         "cycle ";
+  AppendQuoted(&out, acquiring.name);
+  for (size_t i = 1; i < path.size(); ++i) {
+    out << " -> ";
+    AppendQuoted(&out, name_of(path[i]));
+  }
+  out << " -> ";
+  AppendQuoted(&out, acquiring.name);
+  out << "\n  this thread is acquiring ";
+  AppendQuoted(&out, acquiring.name);
+  out << " while holding [";
+  for (size_t i = 0; i < t_held.size(); ++i) {
+    if (i > 0) out << ", ";
+    AppendQuoted(&out, t_held[i].name);
+  }
+  out << "]\n";
+  for (size_t i = 0; i + 1 < path.size(); ++i) {
+    auto edge = graph.edges.find({path[i], path[i + 1]});
+    out << "  previously ";
+    AppendQuoted(&out, name_of(path[i + 1]));
+    out << " was acquired while holding [";
+    if (edge != graph.edges.end()) {
+      const std::vector<std::string>& names = edge->second.held_names;
+      for (size_t k = 0; k < names.size(); ++k) {
+        if (k > 0) out << ", ";
+        AppendQuoted(&out, names[k]);
+      }
+    }
+    out << "]\n";
+  }
+  (void)held;
+  std::fputs(out.str().c_str(), stderr);
+  std::fflush(stderr);
+  std::abort();
+}
+
+/// Runs the order check for blocking acquisition of (id, name) BEFORE the
+/// underlying mutex blocks, so an inversion is reported even on the run
+/// where the deadlock would actually bite.
+void CheckOrder(uint32_t id, const char* name) {
+  if (t_held.empty()) return;
+  const HeldLock acquiring{id, name};
+  for (const HeldLock& held : t_held) {
+    if (held.id == id) {
+      std::fprintf(stderr,
+                   "doduo deadlock check: recursive acquisition of mutex "
+                   "\"%s\" (already held by this thread)\n",
+                   name);
+      std::fflush(stderr);
+      std::abort();
+    }
+  }
+  LockGraph& graph = GetLockGraph();
+  std::lock_guard<std::mutex> lock(graph.mu);
+  for (const HeldLock& held : t_held) {
+    const std::pair<uint32_t, uint32_t> key{held.id, id};
+    if (graph.edges.count(key) > 0) continue;  // already proven consistent
+    std::vector<uint32_t> path;
+    if (FindPath(graph, id, held.id, &path)) {
+      DieOnCycle(graph, acquiring, held, path);
+    }
+    graph.adjacency[held.id].push_back(id);
+    EdgeContext& context = graph.edges[key];
+    context.held_names.reserve(t_held.size());
+    for (const HeldLock& h : t_held) context.held_names.emplace_back(h.name);
+    graph.names.emplace(held.id, held.name);
+    graph.names.emplace(id, name);
+  }
+}
+
+void PushHeld(uint32_t id, const char* name) {
+  t_held.push_back({id, name});
+}
+
+void PopHeld(uint32_t id) {
+  // Usually the top; search backwards so out-of-order unlocks (legal, if
+  // rare) and locks taken before the detector was enabled both work.
+  for (size_t i = t_held.size(); i > 0; --i) {
+    if (t_held[i - 1].id == id) {
+      t_held.erase(t_held.begin() + static_cast<int64_t>(i) - 1);
+      return;
+    }
+  }
+}
+
+uint32_t NextMutexId() {
+  static std::atomic<uint32_t> next{1};
+  return next.fetch_add(1, std::memory_order_relaxed);
+}
+
+}  // namespace
+
+bool DeadlockCheckEnabled() {
+  return DeadlockFlag().load(std::memory_order_relaxed);
+}
+
+void SetDeadlockCheckEnabled(bool enabled) {
+  DeadlockFlag().store(enabled, std::memory_order_relaxed);
+}
+
+Mutex::Mutex(const char* name) : name_(name), id_(NextMutexId()) {}
+
+void Mutex::Lock() {
+  if (DeadlockCheckEnabled()) {
+    CheckOrder(id_, name_);
+    mu_.lock();
+    PushHeld(id_, name_);
+    return;
+  }
+  mu_.lock();
+}
+
+void Mutex::Unlock() {
+  if (DeadlockCheckEnabled()) PopHeld(id_);
+  mu_.unlock();
+}
+
+bool Mutex::TryLock() {
+  if (!mu_.try_lock()) return false;
+  // A try-acquire cannot block, so it adds no ordering constraint — record
+  // it as held (later blocking acquisitions order against it) but add no
+  // graph edge for the acquisition itself.
+  if (DeadlockCheckEnabled()) PushHeld(id_, name_);
+  return true;
+}
+
+void CondVar::Wait(Mutex* mu) {
+  // condition_variable_any waits through Mutex's BasicLockable interface,
+  // so the held-stack bookkeeping tracks the release/reacquire exactly.
+  cv_.wait(*mu);
+}
+
+bool CondVar::WaitFor(Mutex* mu, int64_t timeout_us) {
+  return cv_.wait_for(*mu, std::chrono::microseconds(timeout_us)) ==
+         std::cv_status::no_timeout;
+}
+
+void CondVar::NotifyOne() { cv_.notify_one(); }
+
+void CondVar::NotifyAll() { cv_.notify_all(); }
+
+}  // namespace doduo::util

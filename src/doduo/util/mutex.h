@@ -1,0 +1,111 @@
+#ifndef DODUO_UTIL_MUTEX_H_
+#define DODUO_UTIL_MUTEX_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+
+#include "doduo/util/thread_annotations.h"
+
+namespace doduo::util {
+
+/// The project mutex (DESIGN §13). A thin wrapper over std::mutex that adds
+/// the two things raw std::mutex cannot give us:
+///
+///   1. Clang thread-safety annotations: Mutex is a DODUO_CAPABILITY, so
+///      fields declared DODUO_GUARDED_BY(mu_) are statically checked to be
+///      touched only while mu_ is held (-Wthread-safety, DODUO_THREAD_SAFETY
+///      build).
+///   2. A runtime lock-order deadlock detector: every Mutex carries a name,
+///      and when the detector is enabled (DODUO_DEADLOCK_CHECK build option
+///      or DODUO_DEADLOCK_CHECK=1 in the environment) each thread tracks the
+///      stack of locks it holds while a process-wide acquisition graph
+///      records every "held A while acquiring B" edge. The first acquisition
+///      that would close a cycle — a lock-order inversion that could
+///      deadlock under the right interleaving, whether or not it did this
+///      run — aborts with the full cycle and both acquisition contexts.
+///
+/// Outside src/doduo/util/, std::mutex / std::lock_guard /
+/// std::condition_variable are banned by the `raw-mutex` lint rule; use
+/// Mutex + MutexLock + CondVar so every lock in the tree participates in
+/// both analyses.
+class DODUO_CAPABILITY("mutex") Mutex {
+ public:
+  /// `name` must outlive the mutex (a string literal in practice). Names
+  /// identify locks in deadlock reports and in DESIGN §13's lock table;
+  /// instances of the same class share one name.
+  explicit Mutex(const char* name);
+
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void Lock() DODUO_ACQUIRE();
+  void Unlock() DODUO_RELEASE();
+  /// Never blocks, so it never deadlocks: try-acquisitions are recorded as
+  /// held but add no ordering edges to the acquisition graph.
+  [[nodiscard]] bool TryLock() DODUO_TRY_ACQUIRE(true);
+
+  // BasicLockable spelling, so Mutex works with std facilities (CondVar's
+  // std::condition_variable_any waits via these).
+  void lock() DODUO_ACQUIRE() { Lock(); }
+  void unlock() DODUO_RELEASE() { Unlock(); }
+
+  const char* name() const { return name_; }
+
+ private:
+  std::mutex mu_;
+  const char* name_;
+  const uint32_t id_;  // acquisition-graph node, unique per instance
+};
+
+/// RAII lock for a util::Mutex — the only way code outside util/ should
+/// hold one (DESIGN §13).
+class DODUO_SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex* mu) DODUO_ACQUIRE(mu) : mu_(mu) { mu_->Lock(); }
+  ~MutexLock() DODUO_RELEASE() { mu_->Unlock(); }
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+ private:
+  Mutex* const mu_;
+};
+
+/// Condition variable paired with util::Mutex. Waits release and reacquire
+/// the mutex through its instrumented lock operations, so a thread that
+/// waits and wakes keeps its deadlock-detector bookkeeping exact.
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Blocks until notified (or spuriously woken — always wait in a
+  /// predicate loop). `mu` must be held.
+  void Wait(Mutex* mu) DODUO_REQUIRES(mu);
+
+  /// Waits at most `timeout_us`. Returns false on timeout, true when
+  /// notified. `mu` must be held.
+  bool WaitFor(Mutex* mu, int64_t timeout_us) DODUO_REQUIRES(mu);
+
+  void NotifyOne();
+  void NotifyAll();
+
+ private:
+  std::condition_variable_any cv_;
+};
+
+/// True when the lock-order detector is recording. Initialized from the
+/// DODUO_DEADLOCK_CHECK environment variable; its default is on when the
+/// tree was built with -DDODUO_DEADLOCK_CHECK=ON and off otherwise.
+bool DeadlockCheckEnabled();
+
+/// Flips the detector at runtime (tests). Locks acquired while the detector
+/// was off are invisible to it, so enable before taking the locks under
+/// test.
+void SetDeadlockCheckEnabled(bool enabled);
+
+}  // namespace doduo::util
+
+#endif  // DODUO_UTIL_MUTEX_H_

@@ -1,0 +1,83 @@
+#ifndef DODUO_UTIL_THREAD_ANNOTATIONS_H_
+#define DODUO_UTIL_THREAD_ANNOTATIONS_H_
+
+// Clang thread-safety-analysis attribute macros (DESIGN §13).
+//
+// These annotations bind shared state to the lock that guards it, so the
+// locking protocol of the concurrent subsystems (util::ThreadPool, the
+// metrics registry, serve::DynamicBatcher, serve::Server,
+// core::ReplicaPool) is checked at compile time by Clang's
+// -Wthread-safety analysis instead of by code review. Build with
+//   cmake -B build-ts -S . -DCMAKE_CXX_COMPILER=clang++ -DDODUO_THREAD_SAFETY=ON
+// to turn analysis findings into errors (tools/check.sh runs this as its
+// own stage when a clang++ is available). Under GCC — which has no such
+// analysis — every macro expands to nothing, so the annotations are pure
+// documentation there and the tree builds identically.
+//
+// Vocabulary (mirrors the Clang documentation and Abseil's macros):
+//   DODUO_GUARDED_BY(mu)     field may only be read/written while mu is held
+//   DODUO_PT_GUARDED_BY(mu)  pointee of a pointer field is guarded by mu
+//   DODUO_REQUIRES(mu)       caller must hold mu across the call
+//   DODUO_ACQUIRE(mu)        function acquires mu and does not release it
+//   DODUO_RELEASE(mu)        function releases mu held on entry
+//   DODUO_TRY_ACQUIRE(b, mu) acquires mu iff the function returns b
+//   DODUO_EXCLUDES(mu)       caller must NOT hold mu (deadlock guard)
+//   DODUO_CAPABILITY(name)   class is a lockable capability (util::Mutex)
+//   DODUO_SCOPED_CAPABILITY  RAII class that acquires in its constructor
+//   DODUO_NO_THREAD_SAFETY_ANALYSIS
+//                            opt one function body out of the analysis.
+//                            Escape policy (DESIGN §13): only on functions
+//                            that *implement* a synchronization primitive,
+//                            never to silence a finding in ordinary code,
+//                            and always with a one-line justification
+//                            comment at the use site.
+
+#if defined(__clang__)
+#define DODUO_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define DODUO_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op off Clang
+#endif
+
+#define DODUO_CAPABILITY(x) \
+  DODUO_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+#define DODUO_SCOPED_CAPABILITY \
+  DODUO_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+#define DODUO_GUARDED_BY(x) \
+  DODUO_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+#define DODUO_PT_GUARDED_BY(x) \
+  DODUO_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+#define DODUO_ACQUIRED_BEFORE(...) \
+  DODUO_THREAD_ANNOTATION_ATTRIBUTE_(acquired_before(__VA_ARGS__))
+
+#define DODUO_ACQUIRED_AFTER(...) \
+  DODUO_THREAD_ANNOTATION_ATTRIBUTE_(acquired_after(__VA_ARGS__))
+
+#define DODUO_REQUIRES(...) \
+  DODUO_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+#define DODUO_ACQUIRE(...) \
+  DODUO_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+#define DODUO_RELEASE(...) \
+  DODUO_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+#define DODUO_TRY_ACQUIRE(...) \
+  DODUO_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+#define DODUO_EXCLUDES(...) \
+  DODUO_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+#define DODUO_ASSERT_CAPABILITY(x) \
+  DODUO_THREAD_ANNOTATION_ATTRIBUTE_(assert_capability(x))
+
+#define DODUO_RETURN_CAPABILITY(x) \
+  DODUO_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+#define DODUO_NO_THREAD_SAFETY_ANALYSIS \
+  DODUO_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // DODUO_UTIL_THREAD_ANNOTATIONS_H_

@@ -28,10 +28,10 @@ ThreadPool::ThreadPool(int num_threads) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     shutdown_ = true;
   }
-  work_available_.notify_all();
+  work_available_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
@@ -40,13 +40,13 @@ bool ThreadPool::InWorker() { return t_in_worker; }
 void ThreadPool::Submit(std::function<void()> fn) {
   DODUO_CHECK(fn != nullptr);
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(&mutex_);
     // No shutdown check: tasks may legally submit follow-up work while the
     // destructor drains, and the submitting worker's own loop (still alive
     // by definition) picks it up before exiting.
     queue_.push_back(std::move(fn));
   }
-  work_available_.notify_one();
+  work_available_.NotifyOne();
 }
 
 void ThreadPool::WorkerLoop() {
@@ -54,9 +54,8 @@ void ThreadPool::WorkerLoop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      work_available_.wait(lock,
-                           [this] { return shutdown_ || !queue_.empty(); });
+      MutexLock lock(&mutex_);
+      while (!shutdown_ && queue_.empty()) work_available_.Wait(&mutex_);
       // Drain everything that was submitted before shutdown; exit only once
       // the queue is empty, so no accepted task is ever dropped.
       if (queue_.empty()) return;
@@ -86,18 +85,21 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
   const int64_t remainder = range % num_chunks;
 
   struct Sync {
-    std::mutex mutex;
-    std::condition_variable all_done;
-    int64_t pending;
-    std::exception_ptr first_error;
+    Mutex mutex{"thread_pool.parallel_for"};
+    CondVar all_done;
+    int64_t pending DODUO_GUARDED_BY(mutex);
+    std::exception_ptr first_error DODUO_GUARDED_BY(mutex);
   } sync;
-  sync.pending = num_chunks - 1;
+  {
+    MutexLock lock(&sync.mutex);
+    sync.pending = num_chunks - 1;
+  }
 
   auto run_chunk = [&fn, &sync](int64_t chunk_begin, int64_t chunk_end) {
     try {
       fn(chunk_begin, chunk_end);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(sync.mutex);
+      MutexLock lock(&sync.mutex);
       if (!sync.first_error) sync.first_error = std::current_exception();
     }
   };
@@ -118,22 +120,35 @@ void ThreadPool::ParallelFor(int64_t begin, int64_t end, int64_t grain,
     }
     Submit([&sync, &run_chunk, chunk_begin, chunk_end] {
       run_chunk(chunk_begin, chunk_end);
-      std::lock_guard<std::mutex> lock(sync.mutex);
-      if (--sync.pending == 0) sync.all_done.notify_one();
+      // Notify while holding the lock: the waiter cannot return (and
+      // destroy sync) until this thread releases it, so the condvar is
+      // alive for the whole NotifyOne call.
+      MutexLock lock(&sync.mutex);
+      if (--sync.pending == 0) sync.all_done.NotifyOne();
     });
   }
   DODUO_CHECK_EQ(cursor, end);
   run_chunk(caller_begin, caller_end);
 
-  std::unique_lock<std::mutex> lock(sync.mutex);
-  sync.all_done.wait(lock, [&sync] { return sync.pending == 0; });
+  MutexLock lock(&sync.mutex);
+  while (sync.pending != 0) sync.all_done.Wait(&sync.mutex);
   if (sync.first_error) std::rethrow_exception(sync.first_error);
 }
 
 namespace {
 
-std::mutex g_pool_mutex;
-std::unique_ptr<ThreadPool> g_pool;
+// Function-local and leaked so the annotated mutex (whose constructor is
+// not constexpr) cannot be touched before it is initialized, whatever the
+// cross-TU static-init order.
+struct GlobalPool {
+  Mutex mutex{"thread_pool.global"};
+  std::unique_ptr<ThreadPool> pool DODUO_GUARDED_BY(mutex);
+};
+
+GlobalPool& GetGlobalPool() {
+  static GlobalPool* global = new GlobalPool();  // never destroyed
+  return *global;
+}
 
 int DefaultComputeThreads() {
   int64_t n = GetEnvInt("DODUO_NUM_THREADS", 0);
@@ -147,11 +162,12 @@ int DefaultComputeThreads() {
 }  // namespace
 
 ThreadPool* ComputePool() {
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
-  if (g_pool == nullptr) {
-    g_pool = std::make_unique<ThreadPool>(DefaultComputeThreads());
+  GlobalPool& global = GetGlobalPool();
+  MutexLock lock(&global.mutex);
+  if (global.pool == nullptr) {
+    global.pool = std::make_unique<ThreadPool>(DefaultComputeThreads());
   }
-  return g_pool.get();
+  return global.pool.get();
 }
 
 int ComputeThreads() { return ComputePool()->num_threads(); }
@@ -159,8 +175,15 @@ int ComputeThreads() { return ComputePool()->num_threads(); }
 void SetComputeThreads(int num_threads) {
   std::unique_ptr<ThreadPool> replacement =
       std::make_unique<ThreadPool>(std::max(1, num_threads));
-  std::lock_guard<std::mutex> lock(g_pool_mutex);
-  g_pool = std::move(replacement);
+  GlobalPool& global = GetGlobalPool();
+  {
+    MutexLock lock(&global.mutex);
+    global.pool.swap(replacement);
+  }
+  // `replacement` now owns the outgoing pool; letting it die here joins
+  // its workers (~ThreadPool takes thread_pool.queue) with
+  // thread_pool.global already released, keeping the lock hierarchy flat
+  // (DESIGN §13: no lock is held while acquiring another).
 }
 
 }  // namespace doduo::util

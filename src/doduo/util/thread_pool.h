@@ -1,13 +1,14 @@
 #ifndef DODUO_UTIL_THREAD_POOL_H_
 #define DODUO_UTIL_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "doduo/util/mutex.h"
+#include "doduo/util/thread_annotations.h"
 
 namespace doduo::util {
 
@@ -56,11 +57,11 @@ class ThreadPool {
  private:
   void WorkerLoop();
 
-  std::mutex mutex_;
-  std::condition_variable work_available_;
-  std::deque<std::function<void()>> queue_;
-  bool shutdown_ = false;
-  std::vector<std::thread> workers_;
+  Mutex mutex_{"thread_pool.queue"};
+  CondVar work_available_;
+  std::deque<std::function<void()>> queue_ DODUO_GUARDED_BY(mutex_);
+  bool shutdown_ DODUO_GUARDED_BY(mutex_) = false;
+  std::vector<std::thread> workers_;  // written only by the constructor
 };
 
 /// The process-wide compute pool used by the parallel kernels and the

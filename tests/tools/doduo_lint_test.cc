@@ -255,6 +255,16 @@ TEST(IncludeOrderTest, NonMatchingFirstQuoteIncludeIsNotOwnHeader) {
                       kRuleIncludeOrder));
 }
 
+TEST(IncludeOrderTest, TestFileHeaderUnderTestCountsAsOwnHeader) {
+  // tests/foo_test.cc opens with the header under test, whose stem does
+  // not match the test file's; under tests/ that first include is exempt.
+  EXPECT_TRUE(Lint("tests/util/csv_test.cc",
+                  "#include \"doduo/util/csv.h\"\n"
+                  "#include <cstdio>\n"
+                  "#include \"gtest/gtest.h\"\n")
+                  .empty());
+}
+
 // -- metrics-in-loop --------------------------------------------------------
 
 TEST(MetricsInLoopTest, LookupInsideForLoopFires) {
@@ -345,6 +355,111 @@ TEST(ServeRawIoTest, NolintSuppresses) {
                            "  close(fd);  // NOLINT(serve-raw-io)\n"
                            "}\n"),
                        kRuleServeRawIo));
+}
+
+// -- raw-mutex --------------------------------------------------------------
+
+TEST(RawMutexTest, StdMutexLockGuardCondVarFire) {
+  const auto vs = Lint("src/doduo/serve/batcher.cc",
+                      "std::mutex mu;\n"
+                      "std::condition_variable cv;\n"
+                      "void f() {\n"
+                      "  std::lock_guard<std::mutex> lock(mu);\n"
+                      "  std::unique_lock<std::mutex> ul(mu);\n"
+                      "}\n");
+  int raw_mutex = 0;
+  for (const Violation& v : vs) {
+    if (v.rule == kRuleRawMutex) ++raw_mutex;
+  }
+  // mutex decl, cv decl, lock_guard + its arg, unique_lock + its arg.
+  EXPECT_EQ(raw_mutex, 6);
+}
+
+TEST(RawMutexTest, DoduoUtilIsExempt) {
+  EXPECT_FALSE(HasRule(Lint("src/doduo/util/mutex.cc",
+                           "std::mutex mu;\n"
+                           "void f() { std::lock_guard<std::mutex> l(mu); }\n"),
+                       kRuleRawMutex));
+}
+
+TEST(RawMutexTest, UtilMutexWrappersAndUnqualifiedNamesAreQuiet) {
+  EXPECT_FALSE(HasRule(Lint("src/doduo/serve/batcher.cc",
+                           "util::Mutex mu{\"serve.batcher\"};\n"
+                           "void f() {\n"
+                           "  util::MutexLock lock(&mu);\n"
+                           "  int mutex = 0;  // plain identifier, not std::\n"
+                           "}\n"),
+                       kRuleRawMutex));
+}
+
+TEST(RawMutexTest, NolintSuppresses) {
+  EXPECT_FALSE(HasRule(Lint("src/doduo/core/x.cc",
+                           "std::mutex mu;  // NOLINT(raw-mutex)\n"),
+                       kRuleRawMutex));
+}
+
+// -- detached-thread --------------------------------------------------------
+
+TEST(DetachedThreadTest, DetachCallFires) {
+  EXPECT_TRUE(HasRule(Lint("tools/doduo_serve.cc",
+                          "void f() {\n"
+                          "  std::thread t([] {});\n"
+                          "  t.detach();\n"
+                          "}\n"),
+                      kRuleDetachedThread));
+  EXPECT_TRUE(HasRule(Lint("src/doduo/serve/server.cc",
+                          "void f(std::thread* t) { t->detach(); }\n"),
+                      kRuleDetachedThread));
+}
+
+TEST(DetachedThreadTest, JoinAndNonMemberDetachAreQuiet) {
+  EXPECT_FALSE(HasRule(Lint("src/doduo/serve/server.cc",
+                           "void detach(int);\n"
+                           "void f(std::thread& t) {\n"
+                           "  t.join();\n"
+                           "  detach(3);\n"
+                           "}\n"),
+                       kRuleDetachedThread));
+}
+
+TEST(DetachedThreadTest, NolintSuppresses) {
+  EXPECT_FALSE(HasRule(Lint("tools/x.cc",
+                           "void f(std::thread& t) {\n"
+                           "  t.detach();  // NOLINT(detached-thread)\n"
+                           "}\n"),
+                       kRuleDetachedThread));
+}
+
+// -- sleep-sync -------------------------------------------------------------
+
+TEST(SleepSyncTest, SleepForInServeTestsFires) {
+  EXPECT_TRUE(HasRule(
+      Lint("tests/serve/server_test.cc",
+          "void f() {\n"
+          "  std::this_thread::sleep_for(std::chrono::milliseconds(50));\n"
+          "}\n"),
+      kRuleSleepSync));
+  EXPECT_TRUE(HasRule(Lint("tests/serve/batcher_test.cc",
+                          "void f(auto t) { std::this_thread::sleep_until(t); }\n"),
+                      kRuleSleepSync));
+}
+
+TEST(SleepSyncTest, OutsideServeTestsIsOutOfScope) {
+  EXPECT_FALSE(HasRule(
+      Lint("tests/util/thread_pool_test.cc",
+          "void f() {\n"
+          "  std::this_thread::sleep_for(std::chrono::milliseconds(1));\n"
+          "}\n"),
+      kRuleSleepSync));
+}
+
+TEST(SleepSyncTest, NolintSuppresses) {
+  EXPECT_FALSE(HasRule(
+      Lint("tests/serve/server_test.cc",
+          "void f() {\n"
+          "  std::this_thread::sleep_for(delay);  // NOLINT(sleep-sync)\n"
+          "}\n"),
+      kRuleSleepSync));
 }
 
 // -- NOLINT mechanics -------------------------------------------------------

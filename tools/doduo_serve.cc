@@ -19,7 +19,6 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
-#include <thread>
 
 #include "doduo/core/model_io.h"
 #include "doduo/core/replica_pool.h"
@@ -29,18 +28,13 @@
 
 namespace {
 
-std::atomic<doduo::serve::Server*> g_server{nullptr};
+// Polled by the main loop between Server::WaitFor ticks. The handler only
+// stores a flag: Server::Stop() locks, and taking a lock (or spawning a
+// thread) in async-signal context is undefined behavior — the main thread
+// runs the actual shutdown.
+std::atomic<bool> g_shutdown{false};
 
-void HandleSignal(int /*signum*/) {
-  // Async-signal context: only flag the server; Stop() runs on the main
-  // thread once Wait() returns.
-  if (doduo::serve::Server* server = g_server.load()) {
-    g_server.store(nullptr);
-    // Server::Stop locks; run it on a detached thread instead of the
-    // signal handler itself.
-    std::thread([server] { server->Stop(); }).detach();
-  }
-}
+void HandleSignal(int /*signum*/) { g_shutdown.store(true); }
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "error: %s\n", message.c_str());
@@ -105,7 +99,6 @@ int main(int argc, char** argv) {
   if (doduo::util::Status started = server.Start(); !started.ok()) {
     return Fail(started.ToString());
   }
-  g_server.store(&server);
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
 
@@ -115,8 +108,11 @@ int main(int argc, char** argv) {
   std::printf("listening on %s:%d\n", options.host.c_str(), server.port());
   std::fflush(stdout);
 
-  server.Wait();
-  g_server.store(nullptr);
+  // Park until a signal arrives or someone else stopped the server. The
+  // 200ms tick is the signal-to-shutdown latency bound.
+  while (!g_shutdown.load() && !server.WaitFor(/*timeout_us=*/200 * 1000)) {
+  }
+  server.Stop();
   std::printf("doduo_serve: drained, exiting\n");
   return 0;
 }

@@ -2,18 +2,23 @@
 //
 //   doduo_lint [repo-root]
 //
-// Walks src/, tools/, bench/, and examples/ under the repo root (default:
-// the current directory), collects every Status/Result-returning function
-// name from the sources, then lints each file against the project rules:
+// Walks src/, tools/, bench/, examples/, and tests/ under the repo root
+// (default: the current directory), collects every Status/Result-returning
+// function name from the sources, then lints each file against the rules:
 //
 //   discarded-status   ignored call to a Status/Result-returning function
-//   no-abort           abort/exit/assert outside util/logging|status
+//   no-abort           abort/exit/assert outside util/logging|status|mutex
 //   no-raw-random      rand/srand/time/random_device outside util/rng
 //   no-naked-new       new/delete/malloc in nn/ and transformer/ kernels
 //   header-guard       headers open with #pragma once or an include guard
 //   include-order      own header, then <system>, then "project" includes
 //   metrics-in-loop    GetCounter/GetHistogram lookup inside a loop body
 //   serve-raw-io       raw POSIX socket/IO call in serve/ outside socket_io
+//   raw-mutex          std::mutex/lock_guard/condition_variable/... outside
+//                      doduo/util; use util::Mutex/MutexLock/CondVar
+//   detached-thread    std::thread::detach() anywhere in the tree
+//   sleep-sync         sleep_for/sleep_until as synchronization in serve
+//                      tests; wait on the observable condition instead
 //
 // Violations print as "file:line: rule-id message"; a `// NOLINT(rule-id)`
 // comment on the offending line suppresses them. Exit status is 0 when the
@@ -56,7 +61,8 @@ int main(int argc, char** argv) {
     return 2;
   }
   const fs::path root = argc == 2 ? fs::path(argv[1]) : fs::current_path();
-  const std::vector<fs::path> scopes = {"src", "tools", "bench", "examples"};
+  const std::vector<fs::path> scopes = {"src", "tools", "bench", "examples",
+                                        "tests"};
 
   // Gather the files in a stable order so output is deterministic.
   std::vector<fs::path> files;

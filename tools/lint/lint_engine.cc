@@ -296,12 +296,15 @@ class Linter {
     return k;
   }
 
-  // discarded-status, no-abort, no-raw-random, no-naked-new: one pass over
-  // the token stream.
+  // discarded-status, no-abort, no-raw-random, no-naked-new, raw-mutex,
+  // detached-thread, sleep-sync: one pass over the token stream.
   void CheckCallTokens() {
+    // util/mutex joins the exempt set: the lock-order deadlock detector is
+    // itself a fatal-assertion site (it aborts with the inversion cycle).
     const bool abort_exempt = PathContains(path_, "util/logging") ||
                               PathContains(path_, "util/status") ||
-                              PathContains(path_, "util/check");
+                              PathContains(path_, "util/check") ||
+                              PathContains(path_, "util/mutex");
     const bool random_exempt = PathContains(path_, "util/rng") ||
                                PathContains(path_, "util/logging");
     const bool arena_scoped =
@@ -312,6 +315,22 @@ class Linter {
     // discarded-status covers their call sites automatically).
     const bool serve_scoped = PathContains(path_, "serve/") &&
                               !PathContains(path_, "serve/socket_io");
+    // raw-mutex: std synchronization primitives are confined to
+    // doduo/util/ (mutex.{h,cc} wrap them with thread-safety annotations
+    // and the deadlock detector; thread_pool predates Mutex's CondVar).
+    // Everything else must use util::Mutex/MutexLock/CondVar so locks are
+    // named, annotated, and order-checked (DESIGN §13).
+    const bool mutex_exempt = PathContains(path_, "doduo/util/");
+    static constexpr std::string_view kRawMutexNames[] = {
+        "mutex",         "timed_mutex",        "recursive_mutex",
+        "recursive_timed_mutex",               "shared_mutex",
+        "shared_timed_mutex",                  "lock_guard",
+        "unique_lock",   "scoped_lock",        "shared_lock",
+        "condition_variable",                  "condition_variable_any"};
+    // sleep-sync: in serve tests, sleeping is never synchronization — it
+    // trades flake for latency. Wait on the observable condition instead
+    // (client reply, metrics snapshot, Server::WaitFor).
+    const bool sleep_scoped = PathContains(path_, "tests/serve");
     static constexpr std::string_view kRawIoNames[] = {
         "socket",  "bind",     "listen",   "accept",      "accept4",
         "connect", "send",     "recv",     "sendto",      "recvfrom",
@@ -376,6 +395,35 @@ class Linter {
             break;
           }
         }
+      }
+
+      if (!mutex_exempt && i >= 2 && tokens_[i - 1].text == "::" &&
+          tokens_[i - 2].text == "std") {
+        for (const std::string_view name : kRawMutexNames) {
+          if (t.text == name) {
+            Report(t.line, kRuleRawMutex,
+                   "raw 'std::" + std::string(t.text) +
+                       "' outside doduo/util; use util::Mutex / "
+                       "util::MutexLock / util::CondVar (annotated + "
+                       "deadlock-checked, DESIGN §13)");
+            break;
+          }
+        }
+      }
+
+      if (call && IsMemberAccess(i) && t.text == "detach") {
+        Report(t.line, kRuleDetachedThread,
+               "detached thread outlives its owner and skips shutdown "
+               "ordering; keep a handle and join() it");
+      }
+
+      if (sleep_scoped && call &&
+          (t.text == "sleep_for" || t.text == "sleep_until")) {
+        Report(t.line, kRuleSleepSync,
+               "'" + std::string(t.text) +
+                   "' as synchronization in a serve test is a race hidden "
+                   "behind a timer; wait on the observable condition "
+                   "instead");
       }
 
       if (call && options_.status_functions.count(t.text) > 0) {
@@ -522,6 +570,10 @@ class Linter {
     // whitespace) with '#', so `// #include` commented-out includes cannot
     // match.
     const std::string_view stem = PathStem(path_);
+    // Test files open with the header under test (whose stem is the
+    // test's minus "_test", or an unrelated fixture header), so under
+    // tests/ any first quoted include counts as the own header.
+    const bool test_file = path_.size() >= 6 && path_.substr(0, 6) == "tests/";
     int line = 1;
     size_t pos = 0;
     bool first_include = true;
@@ -547,6 +599,7 @@ class Linter {
               size_t close = text.find(close_ch, open + 1);
               if (close != std::string_view::npos) {
                 own_header =
+                    test_file ||
                     PathStem(text.substr(open + 1, close - open - 1)) == stem;
               }
             }

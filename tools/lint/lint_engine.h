@@ -46,6 +46,9 @@ inline constexpr char kRuleHeaderGuard[] = "header-guard";
 inline constexpr char kRuleIncludeOrder[] = "include-order";
 inline constexpr char kRuleMetricsInLoop[] = "metrics-in-loop";
 inline constexpr char kRuleServeRawIo[] = "serve-raw-io";
+inline constexpr char kRuleRawMutex[] = "raw-mutex";
+inline constexpr char kRuleDetachedThread[] = "detached-thread";
+inline constexpr char kRuleSleepSync[] = "sleep-sync";
 
 /// Scans C++ source (typically a header) for function declarations whose
 /// return type is util::Status or util::Result<T> and inserts their names
