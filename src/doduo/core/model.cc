@@ -195,6 +195,30 @@ void DoduoModel::RestoreWeights(const std::vector<nn::Tensor>& snapshot) {
   for (size_t i = 0; i < params.size(); ++i) {
     DODUO_CHECK(nn::SameShape(params[i]->value, snapshot[i]));
     params[i]->value = snapshot[i];
+    params[i]->BumpRevision();
+  }
+}
+
+void DoduoModel::AdoptWeights(
+    std::shared_ptr<const std::vector<nn::Tensor>> snapshot) {
+  DODUO_CHECK(snapshot != nullptr);
+  nn::ParameterList params = Parameters();
+  DODUO_CHECK_EQ(snapshot->size(), params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const nn::Tensor& src = (*snapshot)[i];
+    DODUO_CHECK(nn::SameShape(params[i]->value, src));
+    if (src.borrowed()) {
+      // The snapshot entry already aliases shared storage (an mmap-ed v2
+      // checkpoint); copying the tensor shares that borrow.
+      params[i]->value = src;
+    } else {
+      // Borrow the snapshot's own buffer; the aliasing shared_ptr pins the
+      // whole snapshot vector for as long as any adopter lives.
+      params[i]->value = nn::Tensor::Borrowed(
+          src.shape(), src.data(),
+          std::shared_ptr<const void>(snapshot, snapshot.get()));
+    }
+    params[i]->BumpRevision();
   }
 }
 

@@ -92,8 +92,17 @@ class DoduoModel {
   const AttentionMaskBuilder& mask_builder() const { return mask_builder_; }
 
   /// Snapshots / restores all parameter values (best-checkpoint selection).
+  /// Restoring copies the snapshot into owned storage, so the model stays
+  /// trainable afterwards.
   std::vector<nn::Tensor> SnapshotWeights();
   void RestoreWeights(const std::vector<nn::Tensor>& snapshot);
+
+  /// Points this model's parameters at `snapshot` without copying any
+  /// floats (nn::Tensor::Borrowed): the model becomes an inference-only
+  /// replica sharing the snapshot's physical storage — the zero-copy half
+  /// of DESIGN §14. The snapshot is pinned by each adopted parameter, so it
+  /// may outlive the caller's reference.
+  void AdoptWeights(std::shared_ptr<const std::vector<nn::Tensor>> snapshot);
 
  private:
   const nn::Tensor& Encode(const table::SerializedTable& input);

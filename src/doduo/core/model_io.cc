@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "doduo/nn/serialize.h"
+#include "doduo/util/metrics.h"
 #include "doduo/util/rng.h"
 
 namespace doduo::core {
@@ -105,8 +106,14 @@ util::Result<std::unique_ptr<LoadedModel>> LoadModelDir(
 
   util::Rng rng(1);
   loaded->model = std::make_unique<DoduoModel>(loaded->config, &rng);
-  const Status status =
-      nn::LoadParameters(dir + "/model.ckpt", loaded->model->Parameters());
+  static util::Histogram* const checkpoint_us =
+      util::GetHistogram("load.checkpoint_us");
+  Status status;
+  {
+    util::ScopedTimer timer(checkpoint_us, "load.checkpoint_us");
+    status =
+        nn::LoadParameters(dir + "/model.ckpt", loaded->model->Parameters());
+  }
   if (!status.ok()) return status;
   loaded->model->set_training(false);
   loaded->tokenizer =
@@ -119,15 +126,31 @@ util::Result<std::unique_ptr<LoadedModel>> LoadModelDir(
 util::Status SaveModelDir(const std::string& dir, DoduoModel* model,
                           const text::Vocab& vocab,
                           const table::LabelVocab& types,
-                          const table::LabelVocab& relations) {
+                          const table::LabelVocab& relations,
+                          const SaveModelOptions& options) {
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
     return Status::IoError("cannot create " + dir + ": " + ec.message());
   }
+  if (options.checkpoint_version != 1 && options.checkpoint_version != 2) {
+    return Status::InvalidArgument("unsupported checkpoint_version " +
+                                   std::to_string(options.checkpoint_version));
+  }
+  if (options.quant_int8 && options.checkpoint_version != 2) {
+    return Status::InvalidArgument("int8 storage requires checkpoint v2");
+  }
+  const std::string ckpt = dir + "/model.ckpt";
+  Status ckpt_status;
+  if (options.checkpoint_version == 2) {
+    ckpt_status = nn::SaveParametersV2(ckpt, model->Parameters(),
+                                       {.quant_int8 = options.quant_int8});
+  } else {
+    ckpt_status = nn::SaveParameters(ckpt, model->Parameters());
+  }
   for (const Status& status :
-       {nn::SaveParameters(dir + "/model.ckpt", model->Parameters()),
-        vocab.Save(dir + "/vocab.txt"), SaveLabels(dir + "/types.txt", types),
+       {ckpt_status, vocab.Save(dir + "/vocab.txt"),
+        SaveLabels(dir + "/types.txt", types),
         SaveLabels(dir + "/relations.txt", relations),
         SaveConfig(dir + "/config.txt", model->config())}) {
     if (!status.ok()) return status;

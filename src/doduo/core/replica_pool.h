@@ -21,8 +21,13 @@ namespace doduo::core {
 /// exactly once into one immutable, shared copy
 /// (`std::shared_ptr<const std::vector<nn::Tensor>>`), then materializes
 /// `num_replicas` models from it. Replica 0 aliases the primary model
-/// itself (no copy); replicas 1..n-1 are fresh models restored from the
-/// shared snapshot. Every replica carries its own per-request workspace
+/// itself (no copy); replicas 1..n-1 are fresh models that *borrow* the
+/// shared snapshot (DoduoModel::AdoptWeights) — no per-replica weight copy
+/// exists, and when the primary was itself loaded from an mmap-ed v2
+/// checkpoint the snapshot aliases the mapping, so every replica in every
+/// worker process reads the same physical pages (DESIGN §14). Any
+/// precomputed int8 weight tables ride along by shared_ptr the same way.
+/// Every replica carries its own per-request workspace
 /// (encoder arenas, forward caches), so replica r is safe to use from one
 /// thread at a time, and different replicas are safe to use concurrently.
 ///

@@ -1,6 +1,7 @@
 #include "doduo/nn/embedding.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace doduo::nn {
 
@@ -17,7 +18,7 @@ const Tensor& Embedding::Forward(const std::vector<int>& ids) {
   output_.ResizeUninitialized({static_cast<int64_t>(ids.size()), d});
   for (size_t i = 0; i < ids.size(); ++i) {
     DODUO_DCHECK(ids[i] >= 0 && ids[i] < vocab_size());
-    const float* src = table_.value.row(ids[i]);
+    const float* src = std::as_const(table_.value).row(ids[i]);
     std::copy(src, src + d, output_.row(static_cast<int64_t>(i)));
   }
   return output_;
@@ -37,7 +38,7 @@ void Embedding::Backward(const Tensor& grad_out) {
 
 const float* Embedding::Row(int id) const {
   DODUO_CHECK(id >= 0 && id < vocab_size());
-  return table_.value.row(id);
+  return std::as_const(table_.value).row(id);
 }
 
 }  // namespace doduo::nn

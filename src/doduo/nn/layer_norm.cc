@@ -1,6 +1,7 @@
 #include "doduo/nn/layer_norm.h"
 
 #include <cmath>
+#include <utility>
 
 namespace doduo::nn {
 
@@ -19,8 +20,8 @@ const Tensor& LayerNorm::Forward(const Tensor& x) {
   normalized_.ResizeUninitialized({m, n});
   rstd_.ResizeUninitialized({m});
   output_.ResizeUninitialized({m, n});
-  const float* g = gamma_.value.data();
-  const float* b = beta_.value.data();
+  const float* g = std::as_const(gamma_.value).data();
+  const float* b = std::as_const(beta_.value).data();
   for (int64_t i = 0; i < m; ++i) {
     const float* in = x.row(i);
     double mean = 0.0;
@@ -51,7 +52,7 @@ const Tensor& LayerNorm::Backward(const Tensor& grad_out) {
   const int64_t m = grad_out.rows();
   const int64_t n = grad_out.cols();
   grad_input_.ResizeUninitialized({m, n});
-  const float* g = gamma_.value.data();
+  const float* g = std::as_const(gamma_.value).data();
   float* g_grad = gamma_.grad.data();
   float* b_grad = beta_.grad.data();
   for (int64_t i = 0; i < m; ++i) {

@@ -1,0 +1,243 @@
+#include "doduo/nn/quant.h"
+
+#include <atomic>
+#include <cmath>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#include <immintrin.h>
+#define DODUO_X86_SIMD 1
+#endif
+
+#include "doduo/util/check.h"
+#include "doduo/util/env.h"
+#include "doduo/util/thread_pool.h"
+
+namespace doduo::nn {
+
+namespace {
+
+std::atomic<int> g_quant_enabled{-1};  // -1: read DODUO_QUANT on first use
+
+// Same parallel gate as the fp32 GEMM family (ops.cc): shard output rows
+// only above a volume where fork/join cost is amortized, overridable via
+// DODUO_PARALLEL_THRESHOLD.
+int64_t ParallelVolumeThreshold() {
+  static const int64_t threshold =
+      util::GetEnvInt("DODUO_PARALLEL_THRESHOLD", 64 * 64 * 64);
+  return threshold;
+}
+
+bool ShouldParallelize(int64_t m, int64_t k, int64_t n) {
+  return m > 1 && m * k * n >= ParallelVolumeThreshold() &&
+         util::ComputeThreads() > 1;
+}
+
+// The int32 accumulator is exact while k · 127² stays below 2³¹; every
+// model dimension is orders of magnitude under this.
+constexpr int64_t kMaxInt8DotK = int64_t{1} << 20;
+
+// --- int8 inner kernels ---------------------------------------------------
+//
+// Naming contract (enforced by the quant-no-float-in-int8-kernel lint
+// rule): functions matching *Int8*Kernel* are the integer-only core — int8
+// operands, int32 accumulation, no fp32 math. The dequant epilogue lives in
+// the differently-named callers below. All kernels compute the same exact
+// int32 sum, so they are interchangeable bit-for-bit.
+
+int32_t Int8DotKernelScalar(const int8_t* a, const int8_t* b, int64_t k) {
+  int32_t acc = 0;
+  for (int64_t i = 0; i < k; ++i) {
+    acc += int32_t{a[i]} * int32_t{b[i]};
+  }
+  return acc;
+}
+
+#if defined(DODUO_X86_SIMD)
+
+// SSE2 is baseline x86-64, so no target attribute is needed: sign-extend
+// int8→int16 with unpack + arithmetic shift (no SSE4.1 cvtepi8), then
+// pmaddwd multiplies int16 pairs and sums adjacent products into int32
+// lanes — exact, since |a·b| ≤ 127² per product.
+int32_t Int8DotKernelSse2(const int8_t* a, const int8_t* b, int64_t k) {
+  const __m128i zero = _mm_setzero_si128();
+  __m128i acc = _mm_setzero_si128();
+  int64_t i = 0;
+  for (; i + 16 <= k; i += 16) {
+    const __m128i va =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i));
+    const __m128i vb =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i));
+    const __m128i va_lo = _mm_srai_epi16(_mm_unpacklo_epi8(zero, va), 8);
+    const __m128i va_hi = _mm_srai_epi16(_mm_unpackhi_epi8(zero, va), 8);
+    const __m128i vb_lo = _mm_srai_epi16(_mm_unpacklo_epi8(zero, vb), 8);
+    const __m128i vb_hi = _mm_srai_epi16(_mm_unpackhi_epi8(zero, vb), 8);
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(va_lo, vb_lo));
+    acc = _mm_add_epi32(acc, _mm_madd_epi16(va_hi, vb_hi));
+  }
+  __m128i s = _mm_add_epi32(acc, _mm_shuffle_epi32(acc, 0x4E));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xB1));
+  int32_t total = _mm_cvtsi128_si32(s);
+  for (; i < k; ++i) total += int32_t{a[i]} * int32_t{b[i]};
+  return total;
+}
+
+__attribute__((target("avx2"))) int32_t Int8DotKernelAvx2(const int8_t* a,
+                                                          const int8_t* b,
+                                                          int64_t k) {
+  __m256i acc = _mm256_setzero_si256();
+  int64_t i = 0;
+  for (; i + 16 <= k; i += 16) {
+    const __m256i va = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(a + i)));
+    const __m256i vb = _mm256_cvtepi8_epi16(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(b + i)));
+    acc = _mm256_add_epi32(acc, _mm256_madd_epi16(va, vb));
+  }
+  __m128i s = _mm_add_epi32(_mm256_castsi256_si128(acc),
+                            _mm256_extracti128_si256(acc, 1));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0x4E));
+  s = _mm_add_epi32(s, _mm_shuffle_epi32(s, 0xB1));
+  int32_t total = _mm_cvtsi128_si32(s);
+  for (; i < k; ++i) total += int32_t{a[i]} * int32_t{b[i]};
+  return total;
+}
+
+#endif  // DODUO_X86_SIMD
+
+using Int8DotFn = int32_t (*)(const int8_t*, const int8_t*, int64_t);
+
+// Runtime dispatch, same pattern as ops.cc: pick the widest kernel the CPU
+// supports, DODUO_SIMD=0 forces scalar; cached per process.
+struct Int8DotChoice {
+  const char* name;
+  Int8DotFn fn;
+};
+
+Int8DotChoice PickInt8Dot() {
+  static const Int8DotChoice choice = [] {
+#if defined(DODUO_X86_SIMD)
+    if (util::GetEnvInt("DODUO_SIMD", 1) != 0) {
+      if (__builtin_cpu_supports("avx2") != 0) {
+        return Int8DotChoice{"avx2", &Int8DotKernelAvx2};
+      }
+      return Int8DotChoice{"sse2", &Int8DotKernelSse2};
+    }
+#endif
+    return Int8DotChoice{"scalar", &Int8DotKernelScalar};
+  }();
+  return choice;
+}
+
+// Quantizes one activation row: scale = max|x| / 127 (1.0 for an all-zero
+// row, so the dequant multiply stays finite), round-to-nearest, clamped to
+// [-127, 127].
+float QuantizeRow(const float* x, int64_t k, int8_t* q) {
+  float max_abs = 0.0f;
+  for (int64_t i = 0; i < k; ++i) {
+    const float a = std::fabs(x[i]);
+    if (a > max_abs) max_abs = a;
+  }
+  const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+  const float inv = 1.0f / scale;
+  for (int64_t i = 0; i < k; ++i) {
+    const long r = std::lrintf(x[i] * inv);
+    q[i] = static_cast<int8_t>(r < -127 ? -127 : (r > 127 ? 127 : r));
+  }
+  return scale;
+}
+
+}  // namespace
+
+bool QuantEnabled() {
+  int v = g_quant_enabled.load(std::memory_order_relaxed);
+  if (v < 0) {
+    v = util::GetEnvInt("DODUO_QUANT", 0) != 0 ? 1 : 0;
+    g_quant_enabled.store(v, std::memory_order_relaxed);
+  }
+  return v != 0;
+}
+
+void SetQuantEnabled(bool enabled) {
+  g_quant_enabled.store(enabled ? 1 : 0, std::memory_order_relaxed);
+}
+
+const char* Int8KernelName() { return PickInt8Dot().name; }
+
+std::vector<Int8DotKernelEntry> Int8DotKernels() {
+  std::vector<Int8DotKernelEntry> kernels;
+  kernels.push_back({"scalar", &Int8DotKernelScalar});
+#if defined(DODUO_X86_SIMD)
+  kernels.push_back({"sse2", &Int8DotKernelSse2});
+  if (__builtin_cpu_supports("avx2") != 0) {
+    kernels.push_back({"avx2", &Int8DotKernelAvx2});
+  }
+#endif
+  return kernels;
+}
+
+void QuantizeWeight(const Tensor& w, QuantizedWeight* out) {
+  DODUO_CHECK_EQ(w.ndim(), 2);
+  const int64_t in = w.rows();
+  const int64_t out_channels = w.cols();
+  out->in = in;
+  out->out = out_channels;
+  out->q.resize(static_cast<size_t>(in * out_channels));
+  out->scale.resize(static_cast<size_t>(out_channels));
+  const float* wd = w.data();
+  for (int64_t j = 0; j < out_channels; ++j) {
+    float max_abs = 0.0f;
+    for (int64_t i = 0; i < in; ++i) {
+      const float a = std::fabs(wd[i * out_channels + j]);
+      if (a > max_abs) max_abs = a;
+    }
+    const float scale = max_abs > 0.0f ? max_abs / 127.0f : 1.0f;
+    out->scale[static_cast<size_t>(j)] = scale;
+    const float inv = 1.0f / scale;
+    int8_t* qrow = out->q.data() + j * in;
+    for (int64_t i = 0; i < in; ++i) {
+      const long r = std::lrintf(wd[i * out_channels + j] * inv);
+      qrow[i] = static_cast<int8_t>(r < -127 ? -127 : (r > 127 ? 127 : r));
+    }
+  }
+}
+
+void Int8Linear(const Tensor& x, const Int8WeightView& w, const float* bias,
+                Tensor* y) {
+  DODUO_CHECK_EQ(x.ndim(), 2);
+  DODUO_CHECK(w.q != nullptr && w.scale != nullptr);
+  DODUO_CHECK_EQ(x.cols(), w.in);
+  DODUO_CHECK_LE(w.in, kMaxInt8DotK);
+  const int64_t m = x.rows();
+  const int64_t k = w.in;
+  const int64_t n = w.out;
+  y->ResizeUninitialized({m, n});
+
+  // Dynamic per-row activation quantization. Scratch is per call; the quant
+  // path trades the zero-alloc contract for int8 bandwidth.
+  std::vector<int8_t> qx(static_cast<size_t>(m * k));
+  std::vector<float> sx(static_cast<size_t>(m));
+  for (int64_t i = 0; i < m; ++i) {
+    sx[static_cast<size_t>(i)] = QuantizeRow(x.row(i), k, qx.data() + i * k);
+  }
+
+  const Int8DotFn dot = PickInt8Dot().fn;
+  auto rows = [&](int64_t row_begin, int64_t row_end) {
+    for (int64_t i = row_begin; i < row_end; ++i) {
+      const int8_t* xi = qx.data() + i * k;
+      const float sa = sx[static_cast<size_t>(i)];
+      float* yi = y->row(i);
+      for (int64_t j = 0; j < n; ++j) {
+        const int32_t acc = dot(xi, w.q + j * k, k);
+        const float v = sa * w.scale[j] * static_cast<float>(acc);
+        yi[j] = bias != nullptr ? v + bias[j] : v;
+      }
+    }
+  };
+  if (ShouldParallelize(m, k, n)) {
+    util::ComputePool()->ParallelFor(0, m, /*grain=*/1, rows);
+  } else {
+    rows(0, m);
+  }
+}
+
+}  // namespace doduo::nn

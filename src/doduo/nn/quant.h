@@ -1,0 +1,86 @@
+#ifndef DODUO_NN_QUANT_H_
+#define DODUO_NN_QUANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "doduo/nn/parameter.h"
+#include "doduo/nn/tensor.h"
+
+namespace doduo::nn {
+
+// Int8 quantized inference path (DESIGN §14). Weights are quantized
+// symmetrically per output channel (scale[j] = max|w[:, j]| / 127) into a
+// transposed [out, in] int8 layout; activations are quantized dynamically
+// per row (scale[i] = max|x[i, :]| / 127). The GEMM accumulates in int32 —
+// exactly, so the result is bit-identical across the scalar/SSE2/AVX2
+// kernels and at any thread count — and a fused epilogue dequantizes and
+// adds the bias in fp32:
+//
+//   y[i, j] = sa[i] · sw[j] · Σ_l qx[i, l] · qw[j, l]  (+ bias[j])
+//
+// The path is opt-in at runtime (DODUO_QUANT=1, default off) and changes
+// numerics only within the quantization error bound; the Table 3/4 parity
+// tests pin its F1 to the fp32 path.
+
+/// True when the int8 inference path is enabled. Initialized from
+/// DODUO_QUANT (default off) on first use.
+bool QuantEnabled();
+
+/// Runtime override of the DODUO_QUANT switch (tests and tools).
+void SetQuantEnabled(bool enabled);
+
+/// Owned int8 rendering of one [in, out] fp32 weight in the kernel layout
+/// described above. Built by QuantizeWeight (Linear's lazy cache) or read
+/// straight out of a v2 int8 checkpoint (Parameter::prequant).
+struct QuantizedWeight {
+  std::vector<int8_t> q;     // [out * in]; row j = output channel j
+  std::vector<float> scale;  // [out]
+  int64_t out = 0;
+  int64_t in = 0;
+};
+
+/// Borrowed view over either storage flavor; what the kernels consume.
+struct Int8WeightView {
+  const int8_t* q = nullptr;
+  const float* scale = nullptr;
+  int64_t out = 0;
+  int64_t in = 0;
+};
+
+inline Int8WeightView View(const QuantizedWeight& w) {
+  return {w.q.data(), w.scale.data(), w.out, w.in};
+}
+inline Int8WeightView View(const PrequantizedWeight& w) {
+  return {w.q, w.scale, w.out, w.in};
+}
+
+/// Quantizes a 2-D [in, out] fp32 weight per output channel into the
+/// transposed int8 layout. Deterministic (round-to-nearest-even).
+void QuantizeWeight(const Tensor& w, QuantizedWeight* out);
+
+/// Quantized linear layer: x [m, in] fp32 → y [m, out] fp32 through the
+/// int8 GEMM with fused dequant(+bias) epilogue. `bias` ([out]) may be
+/// nullptr (the fused bias/GELU epilogue adds it later). Shards output rows
+/// across the compute pool above the same volume threshold as the fp32
+/// kernels. Unlike the fp32 path this allocates per call (the quantized
+/// activation scratch), so it is not part of the zero-alloc contract.
+void Int8Linear(const Tensor& x, const Int8WeightView& w, const float* bias,
+                Tensor* y);
+
+/// Name of the int8 dot kernel the dispatcher selected for this process
+/// ("avx2", "sse2", or "scalar") — for startup logs and bench output.
+const char* Int8KernelName();
+
+/// Every int8 dot kernel this binary can run (scalar always; SSE2/AVX2 when
+/// the CPU supports them), for the cross-ISA bit-equality tests and the
+/// per-kernel benches. Each computes Σ a[i]·b[i] in int32.
+struct Int8DotKernelEntry {
+  const char* name;
+  int32_t (*fn)(const int8_t* a, const int8_t* b, int64_t k);
+};
+std::vector<Int8DotKernelEntry> Int8DotKernels();
+
+}  // namespace doduo::nn
+
+#endif  // DODUO_NN_QUANT_H_

@@ -66,15 +66,36 @@ Tensor Tensor::FromVector(std::vector<int64_t> shape,
   return t;
 }
 
+Tensor Tensor::Borrowed(std::vector<int64_t> shape, const float* data,
+                        std::shared_ptr<const void> keepalive) {
+  DODUO_CHECK(data != nullptr);
+  Tensor t;
+  t.view_size_ = ShapeVolume(shape);
+  t.shape_ = std::move(shape);
+  t.view_ = data;
+  t.owner_ = std::move(keepalive);
+  return t;
+}
+
+Tensor Tensor::MaterializeOwned() const {
+  Tensor t;
+  t.shape_ = shape_;
+  t.data_.assign(data(), data() + static_cast<size_t>(size()));
+  return t;
+}
+
 void Tensor::FillUniform(util::Rng* rng, float limit) {
+  DODUO_CHECK(!borrowed()) << "FillUniform on a borrowed tensor";
   for (float& v : data_) v = rng->UniformFloat(-limit, limit);
 }
 
 void Tensor::FillNormal(util::Rng* rng, float stddev) {
+  DODUO_CHECK(!borrowed()) << "FillNormal on a borrowed tensor";
   for (float& v : data_) v = static_cast<float>(rng->Normal(0.0, stddev));
 }
 
 void Tensor::Fill(float value) {
+  DODUO_CHECK(!borrowed()) << "Fill on a borrowed tensor";
   for (float& v : data_) v = value;
 }
 
@@ -84,6 +105,7 @@ void Tensor::Reshape(std::vector<int64_t> shape) {
 }
 
 void Tensor::ResizeUninitialized(std::vector<int64_t> shape) {
+  DODUO_CHECK(!borrowed()) << "ResizeUninitialized on a borrowed tensor";
   const int64_t volume = ShapeVolume(shape);
   shape_ = std::move(shape);
   data_.resize(static_cast<size_t>(volume));
@@ -104,13 +126,19 @@ Tensor Tensor::SliceRows(int64_t begin, int64_t end) const {
 
 double Tensor::Sum() const {
   double total = 0.0;
-  for (float v : data_) total += static_cast<double>(v);
+  const float* p = data();
+  const int64_t n = size();
+  for (int64_t i = 0; i < n; ++i) total += static_cast<double>(p[i]);
   return total;
 }
 
 double Tensor::L2Norm() const {
   double total = 0.0;
-  for (float v : data_) total += static_cast<double>(v) * static_cast<double>(v);
+  const float* p = data();
+  const int64_t n = size();
+  for (int64_t i = 0; i < n; ++i) {
+    total += static_cast<double>(p[i]) * static_cast<double>(p[i]);
+  }
   return std::sqrt(total);
 }
 

@@ -56,6 +56,16 @@ using FloatBuffer = std::vector<float>;
 /// Tensor is a value type: copying copies the buffer. Most hot paths pass
 /// `const Tensor&` and write into preallocated outputs via the free
 /// functions in ops.h.
+///
+/// A tensor can alternatively *borrow* read-only storage it does not own
+/// (Borrowed): the data pointer aliases an external buffer — an mmap-ed v2
+/// checkpoint section, or another replica's weight snapshot — kept alive by
+/// a type-erased shared_ptr. Copying a borrowed tensor shares the borrow
+/// instead of duplicating the floats, which is what lets N serving replicas
+/// reference one physical weight copy (DESIGN §14). Borrowed tensors are
+/// immutable: every mutating accessor (non-const data()/at()/row(), the
+/// Fill family, ResizeUninitialized) CHECK-fails on them; callers that need
+/// a writable copy take MaterializeOwned() first.
 class Tensor {
  public:
   /// An empty tensor with no elements and no shape.
@@ -73,6 +83,18 @@ class Tensor {
   /// the shape volume.
   static Tensor FromVector(std::vector<int64_t> shape,
                            std::vector<float> data);
+
+  /// Builds a read-only tensor over external storage: `data` must stay
+  /// valid (and unmodified) for as long as `keepalive` is held. No floats
+  /// are copied — the tensor aliases the caller's buffer.
+  static Tensor Borrowed(std::vector<int64_t> shape, const float* data,
+                         std::shared_ptr<const void> keepalive);
+
+  /// True when this tensor aliases external read-only storage.
+  bool borrowed() const { return view_ != nullptr; }
+
+  /// A deep, owned (writable) copy of this tensor's contents.
+  Tensor MaterializeOwned() const;
 
   /// Fills with Uniform(-limit, limit).
   void FillUniform(util::Rng* rng, float limit);
@@ -98,9 +120,11 @@ class Tensor {
   const std::vector<int64_t>& shape() const { return shape_; }
 
   /// Total number of elements.
-  int64_t size() const { return static_cast<int64_t>(data_.size()); }
+  int64_t size() const {
+    return view_ != nullptr ? view_size_ : static_cast<int64_t>(data_.size());
+  }
 
-  bool empty() const { return data_.empty(); }
+  bool empty() const { return size() == 0; }
 
   /// Rows/cols accessors for 2-D tensors.
   int64_t rows() const {
@@ -112,25 +136,38 @@ class Tensor {
     return shape_[1];
   }
 
-  float* data() { return data_.data(); }
-  const float* data() const { return data_.data(); }
+  float* data() {
+    DODUO_CHECK(view_ == nullptr)
+        << "mutable access to a borrowed tensor (MaterializeOwned first)";
+    return data_.data();
+  }
+  const float* data() const {
+    return view_ != nullptr ? view_ : data_.data();
+  }
 
   /// Element accessors with debug bounds checks.
   float& at(int64_t i) {
     DODUO_DCHECK_EQ(ndim(), 1);
     DODUO_DCHECK(i >= 0 && i < shape_[0]);
-    return data_[static_cast<size_t>(i)];
+    return data()[static_cast<size_t>(i)];
   }
-  float at(int64_t i) const { return const_cast<Tensor*>(this)->at(i); }
+  float at(int64_t i) const {
+    DODUO_DCHECK_EQ(ndim(), 1);
+    DODUO_DCHECK(i >= 0 && i < shape_[0]);
+    return data()[static_cast<size_t>(i)];
+  }
 
   float& at(int64_t i, int64_t j) {
     DODUO_DCHECK_EQ(ndim(), 2);
     DODUO_DCHECK(i >= 0 && i < shape_[0]);
     DODUO_DCHECK(j >= 0 && j < shape_[1]);
-    return data_[static_cast<size_t>(i * shape_[1] + j)];
+    return data()[static_cast<size_t>(i * shape_[1] + j)];
   }
   float at(int64_t i, int64_t j) const {
-    return const_cast<Tensor*>(this)->at(i, j);
+    DODUO_DCHECK_EQ(ndim(), 2);
+    DODUO_DCHECK(i >= 0 && i < shape_[0]);
+    DODUO_DCHECK(j >= 0 && j < shape_[1]);
+    return data()[static_cast<size_t>(i * shape_[1] + j)];
   }
 
   float& at(int64_t i, int64_t j, int64_t k) {
@@ -138,20 +175,26 @@ class Tensor {
     DODUO_DCHECK(i >= 0 && i < shape_[0]);
     DODUO_DCHECK(j >= 0 && j < shape_[1]);
     DODUO_DCHECK(k >= 0 && k < shape_[2]);
-    return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+    return data()[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
   }
   float at(int64_t i, int64_t j, int64_t k) const {
-    return const_cast<Tensor*>(this)->at(i, j, k);
+    DODUO_DCHECK_EQ(ndim(), 3);
+    DODUO_DCHECK(i >= 0 && i < shape_[0]);
+    DODUO_DCHECK(j >= 0 && j < shape_[1]);
+    DODUO_DCHECK(k >= 0 && k < shape_[2]);
+    return data()[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
   }
 
   /// Pointer to the start of 2-D row `i`.
   float* row(int64_t i) {
     DODUO_DCHECK_EQ(ndim(), 2);
     DODUO_DCHECK(i >= 0 && i < shape_[0]);
-    return data_.data() + static_cast<size_t>(i * shape_[1]);
+    return data() + static_cast<size_t>(i * shape_[1]);
   }
   const float* row(int64_t i) const {
-    return const_cast<Tensor*>(this)->row(i);
+    DODUO_DCHECK_EQ(ndim(), 2);
+    DODUO_DCHECK(i >= 0 && i < shape_[0]);
+    return data() + static_cast<size_t>(i * shape_[1]);
   }
 
   /// Reinterprets the buffer with a new shape of the same volume.
@@ -175,7 +218,14 @@ class Tensor {
 
  private:
   std::vector<int64_t> shape_;
-  FloatBuffer data_;
+  FloatBuffer data_;  // owned storage; empty when borrowing
+
+  // Borrowed storage: `view_` aliases `view_size_` floats owned elsewhere,
+  // pinned by `owner_`. Copying a Tensor copies these three members, so
+  // copies of a borrowed tensor share the underlying buffer.
+  const float* view_ = nullptr;
+  int64_t view_size_ = 0;
+  std::shared_ptr<const void> owner_;
 };
 
 /// Volume of a shape. Dies on non-positive extents.

@@ -1,0 +1,94 @@
+#include "doduo/util/mmap_file.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <utility>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define DODUO_HAVE_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define DODUO_HAVE_MMAP 0
+#endif
+
+#include "doduo/util/env.h"
+
+namespace doduo::util {
+
+namespace {
+
+// The fallback is also the escape hatch for filesystems where mmap is slow
+// or unreliable (network mounts): DODUO_MMAP=0 forces it. Read per Open so
+// tests can toggle both paths in one process.
+bool MmapAllowed() { return GetEnvInt("DODUO_MMAP", 1) != 0; }
+
+Status ReadWholeFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::ifstream in(path, std::ios::binary | std::ios::ate);
+  if (!in) return Status::IoError("cannot open " + path);
+  const std::streamoff size = in.tellg();
+  in.seekg(0, std::ios::beg);
+  out->resize(static_cast<size_t>(size));
+  if (size > 0) {
+    in.read(reinterpret_cast<char*>(out->data()),
+            static_cast<std::streamsize>(size));
+  }
+  if (!in) return Status::IoError("failed reading " + path);
+  return Status::Ok();
+}
+
+}  // namespace
+
+MmapFile::~MmapFile() {
+#if DODUO_HAVE_MMAP
+  if (mapped_ && data_ != nullptr) {
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  }
+#endif
+}
+
+Result<std::shared_ptr<MmapFile>> MmapFile::Open(const std::string& path) {
+  // make_shared needs a public constructor, so allocate via new-in-shared_ptr.
+  std::shared_ptr<MmapFile> file(new MmapFile());
+#if DODUO_HAVE_MMAP
+  if (MmapAllowed()) {
+    const int fd = ::open(path.c_str(), O_RDONLY);
+    if (fd < 0) {
+      return Status::IoError("cannot open " + path + ": " +
+                             std::strerror(errno));
+    }
+    struct stat st;
+    if (::fstat(fd, &st) != 0) {
+      const std::string err = std::strerror(errno);
+      ::close(fd);
+      return Status::IoError("cannot stat " + path + ": " + err);
+    }
+    const size_t size = static_cast<size_t>(st.st_size);
+    if (size == 0) {
+      ::close(fd);
+      return file;  // empty file: data() == nullptr, size() == 0
+    }
+    void* map = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+    ::close(fd);  // the mapping keeps its own reference to the file
+    if (map == MAP_FAILED) {
+      return Status::IoError("cannot mmap " + path + ": " +
+                             std::strerror(errno));
+    }
+    file->data_ = static_cast<const uint8_t*>(map);
+    file->size_ = size;
+    file->mapped_ = true;
+    return file;
+  }
+#endif
+  if (Status read = ReadWholeFile(path, &file->fallback_); !read.ok()) {
+    return read;
+  }
+  file->data_ = file->fallback_.data();
+  file->size_ = file->fallback_.size();
+  return file;
+}
+
+}  // namespace doduo::util

@@ -1,0 +1,55 @@
+#ifndef DODUO_UTIL_MMAP_FILE_H_
+#define DODUO_UTIL_MMAP_FILE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "doduo/util/status.h"
+
+namespace doduo::util {
+
+/// Read-only view of a whole file, mmap-ed when the platform allows it.
+///
+/// The mapping is `mmap(MAP_SHARED | PROT_READ)` (DESIGN §14): pages are
+/// backed by the kernel page cache, so N processes (or N ReplicaPool
+/// replicas in one process) mapping the same checkpoint share one physical
+/// copy of the bytes, and "loading" costs page faults instead of a
+/// parse-and-copy. Set DODUO_MMAP=0 to force the portable fallback, which
+/// reads the file into a private heap buffer — same interface, no sharing.
+///
+/// MmapFile is handed around as shared_ptr and used as the type-erased
+/// keepalive of tensors borrowed from the mapping, so the map outlives
+/// every view into it by construction.
+class MmapFile {
+ public:
+  /// Maps (or reads) `path`. Fails with a clean Status on a missing or
+  /// unreadable file; an empty file is valid and yields size() == 0.
+  static Result<std::shared_ptr<MmapFile>> Open(const std::string& path);
+
+  ~MmapFile();
+
+  MmapFile(const MmapFile&) = delete;
+  MmapFile& operator=(const MmapFile&) = delete;
+
+  const uint8_t* data() const { return data_; }
+  size_t size() const { return size_; }
+
+  /// True when the bytes come from a live mmap (shared page cache), false
+  /// when the fallback copied them to the heap.
+  bool mapped() const { return mapped_; }
+
+ private:
+  MmapFile() = default;
+
+  const uint8_t* data_ = nullptr;
+  size_t size_ = 0;
+  bool mapped_ = false;
+  std::vector<uint8_t> fallback_;  // owns the bytes when !mapped_
+};
+
+}  // namespace doduo::util
+
+#endif  // DODUO_UTIL_MMAP_FILE_H_

@@ -1,0 +1,68 @@
+// Accuracy-parity contract for the int8 inference path (DESIGN §14): on
+// both paper benchmarks (WikiTable / Table 3 and VizNet / Table 4 scale
+// models), evaluating a trained model with DODUO_QUANT on must land within
+// half an F1 point of the fp32 path. This is the lock that lets the int8
+// GEMM family evolve freely — any quantization bug that moves accuracy
+// shows up here as a hard failure.
+
+#include <cmath>
+
+#include "doduo/experiments/runners.h"
+#include "doduo/nn/quant.h"
+#include "gtest/gtest.h"
+
+namespace doduo::experiments {
+namespace {
+
+// Train once in fp32, then evaluate the SAME trained model twice — fp32 vs
+// int8 — so the delta isolates inference quantization error (training is
+// never quantized).
+void ExpectQuantParity(BenchmarkMode mode, uint64_t seed, double min_f1) {
+  EnvOptions options;
+  options.mode = mode;
+  options.num_tables = 250;
+  options.vocab_size = 900;
+  options.hidden_dim = 32;
+  options.num_layers = 1;
+  options.num_heads = 2;
+  options.ffn_dim = 64;
+  options.max_positions = 96;
+  options.pretrain_epochs = 3;
+  options.corpus_fact_mentions = 1;
+  options.corpus_list_mentions = 10;
+  options.use_cache = false;
+  options.seed = seed;
+  Env env(options);
+
+  DoduoVariant variant;
+  variant.epochs = 15;
+  DoduoRun run = RunDoduo(&env, variant);
+
+  nn::SetQuantEnabled(false);
+  const double fp32_f1 =
+      run.trainer->EvaluateTypes(env.dataset(), env.splits().test).micro.f1;
+  // Anti-degenerate guard only (per-mode: the miniature encoder plateaus
+  // lower on numeric-heavy VizNet — see env.cc's tokens/col note). The
+  // acceptance criterion is the parity bound below, not absolute F1.
+  ASSERT_GT(fp32_f1, min_f1) << "model failed to train at all";
+
+  nn::SetQuantEnabled(true);
+  const double int8_f1 =
+      run.trainer->EvaluateTypes(env.dataset(), env.splits().test).micro.f1;
+  nn::SetQuantEnabled(false);
+
+  // The acceptance bound: |ΔF1| ≤ 0.5 points (0.005 absolute).
+  EXPECT_LE(std::fabs(int8_f1 - fp32_f1), 0.005)
+      << "fp32 F1=" << fp32_f1 << " int8 F1=" << int8_f1;
+}
+
+TEST(QuantParityTest, WikiTableInt8MatchesFp32) {
+  ExpectQuantParity(BenchmarkMode::kWikiTable, 21, 0.30);
+}
+
+TEST(QuantParityTest, VizNetInt8MatchesFp32) {
+  ExpectQuantParity(BenchmarkMode::kVizNet, 22, 0.10);
+}
+
+}  // namespace
+}  // namespace doduo::experiments

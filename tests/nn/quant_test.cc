@@ -1,0 +1,234 @@
+#include "doduo/nn/quant.h"
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "doduo/nn/linear.h"
+#include "doduo/nn/ops.h"
+#include "doduo/nn/tensor.h"
+#include "doduo/util/rng.h"
+#include "gtest/gtest.h"
+
+namespace doduo::nn {
+namespace {
+
+// Every test leaves the process-wide switch where it found it (off by
+// default) so unrelated suites in this binary never see the int8 path.
+class QuantTest : public ::testing::Test {
+ protected:
+  void TearDown() override { SetQuantEnabled(false); }
+};
+
+std::vector<int8_t> RandomInt8(util::Rng* rng, int64_t n) {
+  std::vector<int8_t> v(static_cast<size_t>(n));
+  for (auto& x : v) x = static_cast<int8_t>(rng->UniformInt(-127, 127));
+  return v;
+}
+
+TEST_F(QuantTest, KernelsAreBitIdenticalAcrossIsas) {
+  // The int32 accumulator is exact, so every dispatched kernel must return
+  // the very same integer — this is what makes DODUO_SIMD a pure speed
+  // knob on the quant path.
+  const std::vector<Int8DotKernelEntry> kernels = Int8DotKernels();
+  ASSERT_GE(kernels.size(), 1u);
+  EXPECT_STREQ(kernels[0].name, "scalar");
+  util::Rng rng(7);
+  // Lengths straddling every SIMD width and tail case.
+  for (const int64_t k : {0, 1, 7, 15, 16, 17, 31, 32, 33, 64, 100, 257}) {
+    const std::vector<int8_t> a = RandomInt8(&rng, k);
+    const std::vector<int8_t> b = RandomInt8(&rng, k);
+    const int32_t want = kernels[0].fn(a.data(), b.data(), k);
+    for (const Int8DotKernelEntry& kernel : kernels) {
+      EXPECT_EQ(kernel.fn(a.data(), b.data(), k), want)
+          << kernel.name << " k=" << k;
+    }
+  }
+}
+
+TEST_F(QuantTest, KernelsSaturateTheWorstCase) {
+  // k * 127^2 for the largest supported k must not overflow int32 in any
+  // kernel's partial sums: all-(-127) times all-127 is the adversarial
+  // input.
+  const int64_t k = 4096;
+  const std::vector<int8_t> a(static_cast<size_t>(k), int8_t{-127});
+  const std::vector<int8_t> b(static_cast<size_t>(k), int8_t{127});
+  const int32_t want = static_cast<int32_t>(k) * (-127 * 127);
+  for (const Int8DotKernelEntry& kernel : Int8DotKernels()) {
+    EXPECT_EQ(kernel.fn(a.data(), b.data(), k), want) << kernel.name;
+  }
+}
+
+TEST_F(QuantTest, QuantizeWeightRoundTripWithinHalfStep) {
+  util::Rng rng(11);
+  Tensor w({24, 10});
+  w.FillNormal(&rng, 0.3f);
+  QuantizedWeight qw;
+  QuantizeWeight(w, &qw);
+  ASSERT_EQ(qw.in, 24);
+  ASSERT_EQ(qw.out, 10);
+  for (int64_t j = 0; j < qw.out; ++j) {
+    const float scale = qw.scale[static_cast<size_t>(j)];
+    ASSERT_GT(scale, 0.0f);
+    for (int64_t i = 0; i < qw.in; ++i) {
+      const float back =
+          scale * static_cast<float>(qw.q[static_cast<size_t>(j * qw.in + i)]);
+      // Round-to-nearest: dequantized value within half a quantization step.
+      EXPECT_NEAR(back, w.at(i, j), scale * 0.5f + 1e-6f)
+          << "i=" << i << " j=" << j;
+    }
+  }
+}
+
+TEST_F(QuantTest, ZeroChannelGetsUnitScale) {
+  Tensor w({4, 2});
+  w.Fill(0.0f);
+  QuantizedWeight qw;
+  QuantizeWeight(w, &qw);
+  for (const float s : qw.scale) EXPECT_EQ(s, 1.0f);
+  for (const int8_t q : qw.q) EXPECT_EQ(q, 0);
+}
+
+TEST_F(QuantTest, Int8LinearTracksFp32MatMul) {
+  util::Rng rng(13);
+  const int64_t m = 9, k = 64, n = 17;
+  Tensor x({m, k}), w({k, n});
+  x.FillNormal(&rng, 1.0f);
+  w.FillNormal(&rng, 0.5f);
+  std::vector<float> bias(static_cast<size_t>(n));
+  for (auto& b : bias) b = rng.UniformFloat(-0.5f, 0.5f);
+
+  Tensor want;
+  MatMul(x, w, &want);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      want.at(i, j) += bias[static_cast<size_t>(j)];
+    }
+  }
+
+  QuantizedWeight qw;
+  QuantizeWeight(w, &qw);
+  Tensor got;
+  Int8Linear(x, View(qw), bias.data(), &got);
+  ASSERT_EQ(got.rows(), m);
+  ASSERT_EQ(got.cols(), n);
+
+  // Error model (DESIGN §14): per product the quantization error is at most
+  // half a step on each operand, so relative Frobenius error stays in the
+  // low single digits of a percent for well-scaled inputs.
+  double err2 = 0.0, ref2 = 0.0;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      const double d = got.at(i, j) - want.at(i, j);
+      const double r = want.at(i, j);
+      err2 += d * d;
+      ref2 += r * r;
+    }
+  }
+  EXPECT_LT(std::sqrt(err2 / ref2), 0.02);
+}
+
+TEST_F(QuantTest, Int8LinearNullBias) {
+  util::Rng rng(17);
+  Tensor x({3, 16}), w({16, 5});
+  x.FillNormal(&rng, 1.0f);
+  w.FillNormal(&rng, 1.0f);
+  QuantizedWeight qw;
+  QuantizeWeight(w, &qw);
+  Tensor with_zero_bias, without_bias;
+  std::vector<float> zeros(5, 0.0f);
+  Int8Linear(x, View(qw), zeros.data(), &with_zero_bias);
+  Int8Linear(x, View(qw), nullptr, &without_bias);
+  for (int64_t i = 0; i < 3; ++i) {
+    for (int64_t j = 0; j < 5; ++j) {
+      EXPECT_FLOAT_EQ(without_bias.at(i, j), with_zero_bias.at(i, j));
+    }
+  }
+}
+
+TEST_F(QuantTest, LinearForwardSwitchesPathsWithQuantFlag) {
+  util::Rng rng(19);
+  Linear layer("q.test", 32, 8, &rng);
+  Tensor x({4, 32});
+  x.FillNormal(&rng, 1.0f);
+
+  SetQuantEnabled(false);
+  const Tensor fp32 = layer.Forward(x);
+  SetQuantEnabled(true);
+  const Tensor& quant = layer.Forward(x);
+
+  double max_ref = 0.0, max_diff = 0.0;
+  for (int64_t i = 0; i < fp32.rows(); ++i) {
+    for (int64_t j = 0; j < fp32.cols(); ++j) {
+      max_ref = std::max(max_ref, std::fabs(double{fp32.at(i, j)}));
+      max_diff =
+          std::max(max_diff, std::fabs(double{fp32.at(i, j) - quant.at(i, j)}));
+    }
+  }
+  EXPECT_GT(max_diff, 0.0) << "quant path did not engage";
+  EXPECT_LT(max_diff, 0.05 * max_ref + 1e-3);
+}
+
+TEST_F(QuantTest, LinearQuantCacheFollowsWeightRevision) {
+  util::Rng rng(23);
+  Linear layer("q.cache", 8, 4, &rng);
+  Tensor x({1, 8});
+  x.Fill(1.0f);
+
+  SetQuantEnabled(true);
+  Tensor before;
+  layer.ForwardInto(x, &before);
+  // Mutate the weight the way every writer does: new values + revision
+  // bump. A stale int8 cache would keep producing the old output.
+  layer.weight().value.Fill(0.25f);
+  layer.weight().BumpRevision();
+  Tensor after;
+  layer.ForwardInto(x, &after);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(after.at(0, j), 8 * 0.25f, 0.05f);
+    EXPECT_NE(after.at(0, j), before.at(0, j));
+  }
+}
+
+TEST_F(QuantTest, PrequantizedViewWinsOverLazyCache) {
+  util::Rng rng(29);
+  Linear layer("q.pre", 8, 4, &rng);
+  Tensor x({1, 8});
+  x.Fill(1.0f);
+
+  // Attach a prequantized table that encodes a DIFFERENT weight (all 0.5):
+  // the layer must serve it while it is current, proving checkpoints can
+  // bypass the lazy cache.
+  auto pre = std::make_shared<PrequantizedWeight>();
+  auto storage = std::make_shared<QuantizedWeight>();
+  Tensor w_alt({8, 4});
+  w_alt.Fill(0.5f);
+  QuantizeWeight(w_alt, storage.get());
+  pre->q = storage->q.data();
+  pre->scale = storage->scale.data();
+  pre->out = storage->out;
+  pre->in = storage->in;
+  pre->keepalive = storage;
+  layer.weight().AttachPrequant(pre);
+
+  SetQuantEnabled(true);
+  Tensor got;
+  layer.ForwardInto(x, &got);
+  for (int64_t j = 0; j < 4; ++j) {
+    EXPECT_NEAR(got.at(0, j), 8 * 0.5f, 0.05f);
+  }
+
+  // A revision bump invalidates the attached table; the layer must fall
+  // back to quantizing its own (random) weight, not keep serving 0.5s.
+  layer.weight().BumpRevision();
+  Tensor after;
+  layer.ForwardInto(x, &after);
+  bool differs = false;
+  for (int64_t j = 0; j < 4; ++j) {
+    if (std::fabs(after.at(0, j) - 8 * 0.5f) > 0.05f) differs = true;
+  }
+  EXPECT_TRUE(differs);
+}
+
+}  // namespace
+}  // namespace doduo::nn

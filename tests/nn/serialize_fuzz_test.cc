@@ -6,6 +6,8 @@
 
 #include "doduo/nn/serialize.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <cstdint>
 #include <fstream>
@@ -19,8 +21,12 @@
 namespace doduo::nn {
 namespace {
 
+// Pid-suffixed: ctest runs the four seed instances of each fuzz test as
+// concurrent processes, and a shared victim path would let one process
+// truncate a file another has mmapped (SIGBUS), which is a harness
+// artifact, not a loader bug.
 std::string TempPath(const char* name) {
-  return ::testing::TempDir() + "/" + name;
+  return ::testing::TempDir() + "/" + name + "." + std::to_string(getpid());
 }
 
 std::string ReadFileBytes(const std::string& path) {
@@ -58,6 +64,19 @@ std::string ValidCheckpointBytes(const char* name) {
   for (Parameter& p : params) p.value.FillNormal(&rng, 1.0f);
   const std::string path = TempPath(name);
   const auto saved = SaveParameters(path, AsList(params));
+  EXPECT_TRUE(saved.ok()) << saved.ToString();
+  return ReadFileBytes(path);
+}
+
+/// v2 corpus: same model, mmap-able format, int8 on so mutations can also
+/// land in dtype bytes, scale tables, and the section offset fields.
+std::string ValidV2CheckpointBytes(const char* name) {
+  util::Rng rng(7);
+  std::vector<Parameter> params = MakeParams();
+  for (Parameter& p : params) p.value.FillNormal(&rng, 1.0f);
+  const std::string path = TempPath(name);
+  const auto saved =
+      SaveParametersV2(path, AsList(params), {.quant_int8 = true});
   EXPECT_TRUE(saved.ok()) << saved.ToString();
   return ReadFileBytes(path);
 }
@@ -153,6 +172,103 @@ TEST_P(SerializeFuzzTest, MutationsNeverOverAllocate) {
 #endif  // DODUO_COUNT_ALLOCS
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SerializeFuzzTest,
+                         ::testing::Values(1u, 42u, 777u, 31337u));
+
+// --- v2 (mmap) format ------------------------------------------------------
+//
+// The v2 loader validates every TOC extent against the fstat size before it
+// dereferences the mapping, so the same properties must hold: any mutation,
+// truncation, or misalignment yields a clean Status — including offsets that
+// point outside the file or scale tables that overlap the end.
+
+class SerializeV2FuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SerializeV2FuzzTest, RandomByteMutationsNeverCrash) {
+  const std::string valid = ValidV2CheckpointBytes("fuzz_v2_mutate.bin");
+  ASSERT_GT(valid.size(), 0u);
+  const std::string path = TempPath("fuzz_v2_mutate_victim.bin");
+  util::Rng rng(GetParam() + 10);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string bytes = valid;
+    const size_t flips = 1 + rng.NextUint64(8);
+    for (size_t f = 0; f < flips; ++f) {
+      bytes[rng.NextUint64(bytes.size())] =
+          static_cast<char>(rng.NextUint64(256));
+    }
+    WriteFileBytes(path, bytes);
+    std::vector<Parameter> params = MakeParams();
+    const util::Status status = LoadParameters(path, AsList(params));
+    if (!status.ok()) {
+      ASSERT_FALSE(status.message().empty()) << "trial " << trial;
+    }
+  }
+}
+
+TEST_P(SerializeV2FuzzTest, StructuralMutationsNeverCrash) {
+  // Concentrate every flip on the header + TOC region, where offsets, byte
+  // counts, dims, and dtypes live — the fields an attacker-controlled file
+  // would use to walk the loader out of bounds or misalign a section.
+  const std::string valid = ValidV2CheckpointBytes("fuzz_v2_struct.bin");
+  ASSERT_GT(valid.size(), 0u);
+  const std::string path = TempPath("fuzz_v2_struct_victim.bin");
+  const size_t toc_end = std::min<size_t>(valid.size(), 64 + 4 * 136);
+  util::Rng rng(GetParam() + 11);
+  for (int trial = 0; trial < 300; ++trial) {
+    std::string bytes = valid;
+    const size_t flips = 1 + rng.NextUint64(12);
+    for (size_t f = 0; f < flips; ++f) {
+      bytes[rng.NextUint64(toc_end)] = static_cast<char>(rng.NextUint64(256));
+    }
+    WriteFileBytes(path, bytes);
+    std::vector<Parameter> params = MakeParams();
+    const util::Status status = LoadParameters(path, AsList(params));
+    if (!status.ok()) {
+      ASSERT_FALSE(status.message().empty()) << "trial " << trial;
+    }
+  }
+}
+
+TEST_P(SerializeV2FuzzTest, RandomTruncationsAlwaysFailCleanly) {
+  // v2 records its own file size, so EVERY strict prefix must be rejected —
+  // there is no "lucky" truncation that still parses.
+  const std::string valid = ValidV2CheckpointBytes("fuzz_v2_trunc.bin");
+  ASSERT_GT(valid.size(), 0u);
+  const std::string path = TempPath("fuzz_v2_trunc_victim.bin");
+  util::Rng rng(GetParam() + 12);
+  for (int trial = 0; trial < 100; ++trial) {
+    const size_t cut = rng.NextUint64(valid.size());  // strict prefix
+    WriteFileBytes(path, valid.substr(0, cut));
+    std::vector<Parameter> params = MakeParams();
+    const util::Status status = LoadParameters(path, AsList(params));
+    ASSERT_FALSE(status.ok()) << "prefix of " << cut << " bytes loaded";
+    ASSERT_FALSE(status.message().empty());
+  }
+}
+
+#ifdef DODUO_COUNT_ALLOCS
+TEST_P(SerializeV2FuzzTest, StructuralMutationsNeverOverAllocate) {
+  // A corrupt dim or byte count must be rejected by the overflow-safe
+  // extent checks BEFORE the dequant buffer (the only sized allocation on
+  // this path) is created.
+  const std::string valid = ValidV2CheckpointBytes("fuzz_v2_alloc.bin");
+  const std::string path = TempPath("fuzz_v2_alloc_victim.bin");
+  const size_t toc_end = std::min<size_t>(valid.size(), 64 + 4 * 136);
+  util::Rng rng(GetParam() + 13);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string bytes = valid;
+    bytes[rng.NextUint64(toc_end)] = static_cast<char>(rng.NextUint64(256));
+    WriteFileBytes(path, bytes);
+    std::vector<Parameter> params = MakeParams();
+    const uint64_t before = TensorAllocCount();
+    const util::Status status = LoadParameters(path, AsList(params));
+    const uint64_t grown = TensorAllocCount() - before;
+    ASSERT_LE(grown, 64u) << "trial " << trial << ": "
+                          << (status.ok() ? "ok" : status.ToString());
+  }
+}
+#endif  // DODUO_COUNT_ALLOCS
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SerializeV2FuzzTest,
                          ::testing::Values(1u, 42u, 777u, 31337u));
 
 }  // namespace

@@ -462,6 +462,83 @@ TEST(SleepSyncTest, NolintSuppresses) {
       kRuleSleepSync));
 }
 
+// -- quant-no-float-in-int8-kernel ------------------------------------------
+
+TEST(QuantNoFloatTest, FloatTypeInsideInt8KernelFires) {
+  EXPECT_TRUE(HasRule(
+      Lint("src/doduo/nn/quant.cc",
+          "int32_t Int8DotKernelScalar(const int8_t* a, const int8_t* b,\n"
+          "                            int64_t k) {\n"
+          "  float acc = 0;\n"
+          "  return static_cast<int32_t>(acc);\n"
+          "}\n"),
+      kRuleQuantNoFloat));
+}
+
+TEST(QuantNoFloatTest, FloatLiteralInsideInt8KernelFires) {
+  EXPECT_TRUE(HasRule(
+      Lint("src/doduo/nn/quant.cc",
+          "int32_t Int8DotKernelSse2(const int8_t* a, const int8_t* b,\n"
+          "                          int64_t k) {\n"
+          "  int32_t acc = static_cast<int32_t>(k * 1.5);\n"
+          "  return acc;\n"
+          "}\n"),
+      kRuleQuantNoFloat));
+}
+
+TEST(QuantNoFloatTest, PackedFloatIntrinsicFires) {
+  EXPECT_TRUE(HasRule(
+      Lint("src/doduo/nn/quant.cc",
+          "int32_t Int8DotKernelAvx2(const int8_t* a, const int8_t* b,\n"
+          "                          int64_t k) {\n"
+          "  __m128 v = _mm_setzero_ps();\n"
+          "  return _mm_cvtss_si32(v);\n"
+          "}\n"),
+      kRuleQuantNoFloat));
+}
+
+TEST(QuantNoFloatTest, IntegerOnlyKernelIsClean) {
+  EXPECT_FALSE(HasRule(
+      Lint("src/doduo/nn/quant.cc",
+          "int32_t Int8DotKernelScalar(const int8_t* a, const int8_t* b,\n"
+          "                            int64_t k) {\n"
+          "  int32_t acc = 0;\n"
+          "  for (int64_t i = 0; i < k; ++i) acc += a[i] * b[i];\n"
+          "  return acc;\n"
+          "}\n"),
+      kRuleQuantNoFloat));
+}
+
+TEST(QuantNoFloatTest, DequantEpilogueOutsideKernelIsOutOfScope) {
+  // Float math in the differently-named caller is the designed split.
+  EXPECT_FALSE(HasRule(
+      Lint("src/doduo/nn/quant.cc",
+          "void Int8Linear(const float* sx, float* y, int64_t n) {\n"
+          "  for (int64_t j = 0; j < n; ++j) y[j] = sx[j] * 0.5f;\n"
+          "}\n"),
+      kRuleQuantNoFloat));
+}
+
+TEST(QuantNoFloatTest, DeclarationWithoutBodyIsOutOfScope) {
+  EXPECT_FALSE(HasRule(
+      Lint("src/doduo/nn/quant.h",
+          "int32_t Int8DotKernelScalar(const int8_t* a, const int8_t* b,\n"
+          "                            int64_t k);\n"
+          "double Unrelated(double x);\n"),
+      kRuleQuantNoFloat));
+}
+
+TEST(QuantNoFloatTest, NolintSuppresses) {
+  EXPECT_FALSE(HasRule(
+      Lint("src/doduo/nn/quant.cc",
+          "int32_t Int8DotKernelScalar(const int8_t* a, const int8_t* b,\n"
+          "                            int64_t k) {\n"
+          "  float acc = 0;  // NOLINT(quant-no-float-in-int8-kernel)\n"
+          "  return static_cast<int32_t>(acc);\n"
+          "}\n"),
+      kRuleQuantNoFloat));
+}
+
 // -- NOLINT mechanics -------------------------------------------------------
 
 TEST(NolintTest, BareNolintSilencesEveryRuleOnTheLine) {

@@ -49,6 +49,7 @@ inline constexpr char kRuleServeRawIo[] = "serve-raw-io";
 inline constexpr char kRuleRawMutex[] = "raw-mutex";
 inline constexpr char kRuleDetachedThread[] = "detached-thread";
 inline constexpr char kRuleSleepSync[] = "sleep-sync";
+inline constexpr char kRuleQuantNoFloat[] = "quant-no-float-in-int8-kernel";
 
 /// Scans C++ source (typically a header) for function declarations whose
 /// return type is util::Status or util::Result<T> and inserts their names
