@@ -4,6 +4,7 @@
 #include <cmath>
 #include <memory>
 
+#include "doduo/core/calibration.h"
 #include "doduo/core/replica_pool.h"
 #include "doduo/util/logging.h"
 #include "doduo/util/thread_pool.h"
@@ -19,6 +20,8 @@ struct AnnotatorMetrics {
   util::Counter* columns = util::GetCounter("annotator.columns_total");
   util::Counter* errors = util::GetCounter("annotator.errors_total");
   util::Counter* batches = util::GetCounter("annotator.batches_total");
+  util::Counter* abstained = util::GetCounter("annotate.abstained");
+  util::Counter* skipped_cols = util::GetCounter("annotate.skipped_cols");
   util::Histogram* annotate_us =
       util::GetHistogram("annotator.annotate_us");
   util::Histogram* batch_us = util::GetHistogram("annotator.batch_us");
@@ -71,6 +74,15 @@ std::vector<std::vector<std::string>> DecodeTypeLogits(
 }
 
 }  // namespace
+
+void ApplyAbstention(ColumnOutcome* outcome, double abstain_below) {
+  if (abstain_below <= 0.0 || !outcome->annotated()) return;
+  if (outcome->confidence < abstain_below) {
+    outcome->labels.clear();
+    outcome->abstained = true;
+    Metrics().abstained->Increment();
+  }
+}
 
 Annotator::Annotator(DoduoModel* model,
                      const table::TableSerializer* serializer,
@@ -153,18 +165,26 @@ util::Status Annotator::ForEachTable(
     Metrics().columns->Increment(static_cast<uint64_t>(table.num_columns()));
   }
 
+  FanOut(tables.size(), [&](DoduoModel* model, size_t t) {
+    fn(model, t, serialized[t]);
+  });
+  return util::Status::Ok();
+}
+
+void Annotator::FanOut(
+    size_t count, const std::function<void(DoduoModel*, size_t)>& fn) const {
   util::ThreadPool* pool = util::ComputePool();
-  size_t replicas_wanted = std::min<size_t>(
-      static_cast<size_t>(pool->num_threads()), tables.size());
+  size_t replicas_wanted =
+      std::min<size_t>(static_cast<size_t>(pool->num_threads()), count);
   if (max_batch_replicas_ > 0) {
     replicas_wanted = std::min<size_t>(
         replicas_wanted, static_cast<size_t>(max_batch_replicas_));
   }
   if (replicas_wanted <= 1 || util::ThreadPool::InWorker()) {
-    for (size_t t = 0; t < tables.size(); ++t) {
-      fn(model_, t, serialized[t]);
+    for (size_t t = 0; t < count; ++t) {
+      fn(model_, t);
     }
-    return util::Status::Ok();
+    return;
   }
 
   // The forward pass caches state in the model, so concurrent tables need
@@ -181,13 +201,11 @@ util::Status Annotator::ForEachTable(
       [&](int64_t replica_begin, int64_t replica_end) {
         for (int64_t r = replica_begin; r < replica_end; ++r) {
           DoduoModel* model = replicas.model(static_cast<int>(r));
-          for (size_t t = static_cast<size_t>(r); t < tables.size();
-               t += stride) {
-            fn(model, t, serialized[t]);
+          for (size_t t = static_cast<size_t>(r); t < count; t += stride) {
+            fn(model, t);
           }
         }
       });
-  return util::Status::Ok();
 }
 
 bool WarnIfBatchClampedToTableCount(size_t num_tables, int pool_threads) {
@@ -213,6 +231,118 @@ Annotator::AnnotateTypesBatch(std::span<const table::Table> tables) const {
             DecodeTypeLogits(model->ForwardTypes(input), config, *type_vocab_);
       });
   if (!status.ok()) return status;
+  return results;
+}
+
+std::vector<ColumnOutcome> Annotator::RobustOutcomes(
+    DoduoModel* model, const table::Table& table,
+    const AnnotateOptions& options) const {
+  const int n = table.num_columns();
+  std::vector<ColumnOutcome> outcomes(static_cast<size_t>(n));
+  if (n == 0) return outcomes;
+
+  // Classify columns and clean the annotatable ones. On clean input the
+  // sanitizer reports no modification and the original table flows through
+  // untouched, which keeps labels byte-identical to AnnotateTypes.
+  const table::Table* effective = &table;
+  table::SanitizeResult sanitized;
+  if (options.sanitize) {
+    sanitized = table::ColumnSanitizer(options.sanitizer).Sanitize(table);
+    if (sanitized.any_modified) effective = &sanitized.table;
+    for (int c = 0; c < n; ++c) {
+      const table::SkipReason skip =
+          sanitized.columns[static_cast<size_t>(c)].skip;
+      if (skip != table::SkipReason::kNone) {
+        outcomes[static_cast<size_t>(c)].skipped_reason =
+            table::SkipReasonName(skip);
+        Metrics().skipped_cols->Increment();
+      }
+    }
+  }
+
+  std::vector<int> annotatable;
+  annotatable.reserve(static_cast<size_t>(n));
+  for (int c = 0; c < n; ++c) {
+    if (outcomes[static_cast<size_t>(c)].skipped_reason.empty()) {
+      annotatable.push_back(c);
+    }
+  }
+
+  // Tables wider than the token budget are annotated in column chunks
+  // instead of failing: capping a chunk at (max_total_tokens - 1) / 2
+  // leaves every column its [CLS] plus at least one value token.
+  const size_t chunk_cap = static_cast<size_t>(
+      std::max(1, (serializer_->options().max_total_tokens - 1) / 2));
+
+  const DoduoConfig& config = model->config();
+  for (size_t begin = 0; begin < annotatable.size(); begin += chunk_cap) {
+    const size_t end = std::min(annotatable.size(), begin + chunk_cap);
+    // The common case — every column annotatable, one chunk — serializes
+    // the table itself; only wide or partially skipped tables pay for a
+    // column-subset copy.
+    table::Table subset;
+    const table::Table* chunk = effective;
+    if (end - begin != static_cast<size_t>(effective->num_columns())) {
+      subset.set_id(effective->id());
+      for (size_t i = begin; i < end; ++i) {
+        subset.AddColumn(effective->column(annotatable[i]));
+      }
+      chunk = &subset;
+    }
+    auto input = serializer_->SerializeTable(*chunk);
+    if (!input.ok()) {
+      // Unreachable for chunks within the cap, but the robust contract is
+      // that no column ever loses its outcome: record it as a skip.
+      (void)CountError(input.status());
+      for (size_t i = begin; i < end; ++i) {
+        ColumnOutcome& outcome = outcomes[static_cast<size_t>(
+            annotatable[i])];
+        outcome.skipped_reason = "serialize_error";
+        Metrics().skipped_cols->Increment();
+      }
+      continue;
+    }
+    const nn::Tensor& logits = model->ForwardTypes(input.value());
+    std::vector<std::vector<std::string>> labels =
+        DecodeTypeLogits(logits, config, *type_vocab_);
+    for (size_t i = begin; i < end; ++i) {
+      ColumnOutcome& outcome =
+          outcomes[static_cast<size_t>(annotatable[i])];
+      const int64_t row = static_cast<int64_t>(i - begin);
+      outcome.labels = std::move(labels[static_cast<size_t>(row)]);
+      outcome.confidence = CalibratedConfidence(
+          logits.row(row), logits.cols(), config.calibration_temperature,
+          config.multi_label);
+      ApplyAbstention(&outcome, options.abstain_below);
+    }
+  }
+  return outcomes;
+}
+
+std::vector<ColumnOutcome> Annotator::AnnotateTypesRobust(
+    const table::Table& table, const AnnotateOptions& options) const {
+  util::ScopedTimer timer(Metrics().annotate_us,
+                          "annotator.annotate_robust");
+  model_->set_training(false);
+  Metrics().tables->Increment();
+  Metrics().columns->Increment(static_cast<uint64_t>(table.num_columns()));
+  return RobustOutcomes(model_, table, options);
+}
+
+std::vector<std::vector<ColumnOutcome>> Annotator::AnnotateTypesRobustBatch(
+    std::span<const table::Table> tables,
+    const AnnotateOptions& options) const {
+  util::ScopedTimer timer(Metrics().batch_us, "annotator.batch");
+  model_->set_training(false);
+  Metrics().batches->Increment();
+  Metrics().tables->Increment(tables.size());
+  for (const table::Table& table : tables) {
+    Metrics().columns->Increment(static_cast<uint64_t>(table.num_columns()));
+  }
+  std::vector<std::vector<ColumnOutcome>> results(tables.size());
+  FanOut(tables.size(), [&](DoduoModel* model, size_t index) {
+    results[index] = RobustOutcomes(model, tables[index], options);
+  });
   return results;
 }
 

@@ -9,11 +9,46 @@
 
 #include "doduo/core/model.h"
 #include "doduo/table/dataset.h"
+#include "doduo/table/sanitizer.h"
 #include "doduo/table/serializer.h"
 #include "doduo/util/metrics.h"
 #include "doduo/util/status.h"
 
 namespace doduo::core {
+
+/// Per-column result of the robust (dirty-input) annotation path. Exactly
+/// one of three shapes:
+///  - annotated: labels non-empty, confidence set, skipped_reason empty;
+///  - abstained: labels empty, abstained true, confidence set (it was
+///    measured, and fell below the threshold);
+///  - skipped:   labels empty, skipped_reason a stable token from
+///    table::SkipReasonName ("empty_column", "mostly_null", ...).
+struct ColumnOutcome {
+  std::vector<std::string> labels;
+  double confidence = 0.0;  // calibrated top-1 confidence in [0, 1]
+  std::string skipped_reason;
+  bool abstained = false;
+
+  bool annotated() const { return !labels.empty(); }
+};
+
+/// Knobs of the robust annotation path.
+struct AnnotateOptions {
+  /// Run the table::ColumnSanitizer pass (per-column skip classification +
+  /// UTF-8 repair + cell clamping). Off: every column is annotated as-is.
+  bool sanitize = true;
+  /// Columns whose calibrated confidence falls below this threshold return
+  /// an abstained outcome instead of labels (0 = never abstain).
+  double abstain_below = 0.0;
+  table::SanitizerOptions sanitizer;
+};
+
+/// Applies `abstain_below` to an annotated outcome in place: below the
+/// threshold the labels are dropped and `abstained` is set. Bumps the
+/// "annotate.abstained" counter; idempotent on skipped or already
+/// abstained outcomes. doduo_serve uses it to apply per-request thresholds
+/// to outcomes computed once per batch.
+void ApplyAbstention(ColumnOutcome* outcome, double abstain_below);
 
 /// The toolbox-style public API (the "few lines of Python" interface the
 /// paper releases, in C++): hand it a table, get column types, column
@@ -43,6 +78,23 @@ class Annotator {
   [[nodiscard]] util::Result<std::vector<std::vector<std::string>>>
   AnnotateTypes(
       const table::Table& table) const;
+
+  /// The dirty-input entry point: never fails a whole table. Every column
+  /// of `table` gets exactly one ColumnOutcome — a label set with a
+  /// calibrated confidence, an abstention, or a machine-readable skip
+  /// reason from the sanitizer pass. Tables wider than the serializer's
+  /// token budget are annotated in column chunks instead of erroring; a
+  /// zero-column table yields an empty vector. On clean input with
+  /// default options the labels are byte-identical to AnnotateTypes.
+  std::vector<ColumnOutcome> AnnotateTypesRobust(
+      const table::Table& table, const AnnotateOptions& options = {}) const;
+
+  /// AnnotateTypesRobust for every table, fanning independent tables
+  /// across model replicas like AnnotateTypesBatch. Index-aligned with the
+  /// input; never fails.
+  std::vector<std::vector<ColumnOutcome>> AnnotateTypesRobustBatch(
+      std::span<const table::Table> tables,
+      const AnnotateOptions& options = {}) const;
 
   /// Predicted relation names between the given column pairs. Pairs must be
   /// in-range column indices and free of duplicates; an empty pair list
@@ -101,6 +153,19 @@ class Annotator {
       std::span<const table::Table> tables,
       const std::function<void(DoduoModel*, size_t,
                                const table::SerializedTable&)>& fn) const;
+
+  /// Replica fan-out skeleton shared by ForEachTable and the robust batch:
+  /// invokes `fn(model, index)` for every index in [0, count), striding
+  /// indices across replicas (sequential when only one replica is
+  /// profitable or the caller is already a pool worker).
+  void FanOut(size_t count,
+              const std::function<void(DoduoModel*, size_t)>& fn) const;
+
+  /// The per-table robust pipeline (sanitize, chunk, forward, decode) run
+  /// on one model replica.
+  std::vector<ColumnOutcome> RobustOutcomes(
+      DoduoModel* model, const table::Table& table,
+      const AnnotateOptions& options) const;
 
   /// Non-OK when any pair index is out of range for `table` or the same
   /// pair appears twice.

@@ -46,6 +46,11 @@ struct DoduoConfig {
   /// exceeds it, the argmax class is predicted.
   float multi_label_threshold = 0.5f;
 
+  /// Temperature-scaling parameter for calibrated confidences (fit on the
+  /// validation split after training; see core/calibration.h). 1.0 means
+  /// uncalibrated. Never changes which class is predicted.
+  double calibration_temperature = 1.0;
+
   /// Dies if inconsistent (encoder.vocab_size and num_types must be set,
   /// relation task requires num_relations, ...).
   void Validate() const;

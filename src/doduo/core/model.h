@@ -82,6 +82,12 @@ class DoduoModel {
   nn::ParameterList Parameters();
   void set_training(bool training) { encoder_.set_training(training); }
   const DoduoConfig& config() const { return config_; }
+
+  /// Installs the temperature fit by core/calibration.h (> 0). Stored on
+  /// the config so SaveModelDir persists it with the checkpoint.
+  void set_calibration_temperature(double temperature) {
+    config_.calibration_temperature = temperature;
+  }
   transformer::BertModel* encoder() { return &encoder_; }
 
   /// Installs a visibility-mask builder (TURL baseline); nullptr restores

@@ -3,6 +3,8 @@
 #include <cstdlib>
 #include <filesystem>
 #include <fstream>
+#include <iomanip>
+#include <limits>
 #include <utility>
 
 #include "doduo/nn/serialize.h"
@@ -47,7 +49,12 @@ Status SaveConfig(const std::string& path, const DoduoConfig& config) {
       << "multi_label=" << (config.multi_label ? 1 : 0) << "\n"
       << "max_tokens_per_column=" << config.serializer.max_tokens_per_column
       << "\n"
-      << "max_total_tokens=" << config.serializer.max_total_tokens << "\n";
+      << "max_total_tokens=" << config.serializer.max_total_tokens << "\n"
+      << "calibration_temperature="
+      // max_digits10 so the fitted temperature round-trips bit-exact
+      // through the text config.
+      << std::setprecision(std::numeric_limits<double>::max_digits10)
+      << config.calibration_temperature << "\n";
   return Status::Ok();
 }
 
@@ -75,6 +82,11 @@ util::Result<DoduoConfig> LoadConfig(const std::string& path) {
       config.serializer.max_tokens_per_column = value;
     else if (key == "max_total_tokens")
       config.serializer.max_total_tokens = value;
+    else if (key == "calibration_temperature") {
+      // The one non-integer config entry; strtol would floor it to 1.
+      const double temperature = std::strtod(line.c_str() + eq + 1, nullptr);
+      if (temperature > 0.0) config.calibration_temperature = temperature;
+    }
   }
   if (config.num_relations == 0) {
     config.tasks = TaskSet::kTypesOnly;

@@ -1,6 +1,7 @@
 #include "doduo/experiments/runners.h"
 
 #include "doduo/baselines/turl.h"
+#include "doduo/core/calibration.h"
 #include "doduo/util/env.h"
 #include "doduo/util/logging.h"
 #include "doduo/util/stopwatch.h"
@@ -58,6 +59,13 @@ DoduoRun RunDoduoOn(Env* env,
   }
   run.trainer->RestoreBestTypeCheckpoint();
   run.types = run.trainer->EvaluateTypes(dataset, splits.test);
+  // Fit the confidence temperature on the validation split at the type
+  // checkpoint that ships, so saved models carry calibrated confidences.
+  const double temperature = core::FitTemperature(
+      core::CollectTypeCalibration(run.model.get(), run.serializer.get(),
+                                   dataset, splits.valid),
+      config.multi_label);
+  run.model->set_calibration_temperature(temperature);
   DODUO_LOG(Info) << "fine-tuned variant in " << stopwatch.ElapsedSeconds()
                   << "s: type F1 " << run.types.micro.f1
                   << (run.has_relations

@@ -7,6 +7,7 @@
 #include <thread>
 #include <vector>
 
+#include "doduo/core/annotator.h"
 #include "doduo/core/replica_pool.h"
 #include "doduo/table/table.h"
 #include "doduo/util/metrics.h"
@@ -25,10 +26,24 @@ using TypePrediction = std::vector<std::vector<std::string>>;
 /// draining). Must not call back into the batcher.
 using AnnotateCallback = std::function<void(util::Result<TypePrediction>)>;
 
+/// Per-column outcomes for one table on the dirty-input path — the payload
+/// of a kAnnotateRobustResponse.
+using RobustPrediction = std::vector<core::ColumnOutcome>;
+
+/// Same delivery contract as AnnotateCallback. The Result is non-OK only
+/// for batcher-level rejections (queue full, shutting down); the robust
+/// annotation path itself never fails a table.
+using RobustCallback = std::function<void(util::Result<RobustPrediction>)>;
+
 struct PendingRequest {
   uint64_t id = 0;
   table::Table table;
+  /// Exactly one of `callback` / `robust_callback` is set; it decides
+  /// which annotation path the request takes when its batch runs.
   AnnotateCallback callback;
+  RobustCallback robust_callback;
+  bool sanitize = true;         // robust requests only
+  double abstain_below = 0.0;   // robust requests only
   int64_t enqueue_us = 0;  // stamped by BatchQueue::Enqueue
 };
 
@@ -112,6 +127,15 @@ class DynamicBatcher {
   /// the annotation result otherwise.
   void Submit(uint64_t id, table::Table table, AnnotateCallback callback);
 
+  /// Enqueues one table on the dirty-input path. Robust and plain requests
+  /// share the queue and flush triggers; when a mixed batch runs, robust
+  /// requests are grouped by their sanitize flag so each group makes one
+  /// AnnotateTypesRobustBatch call, and the abstention threshold is applied
+  /// per request afterwards (core::ApplyAbstention), so co-batched clients
+  /// with different thresholds never contaminate each other.
+  void SubmitRobust(uint64_t id, table::Table table, bool sanitize,
+                    double abstain_below, RobustCallback callback);
+
   /// manual_drain mode: cuts at most one batch (force = flush even if
   /// neither trigger fired) and runs it synchronously on replica 0.
   /// Returns how many requests were completed.
@@ -128,6 +152,20 @@ class DynamicBatcher {
   /// with mu_ released: inference must never serialize against Submit.
   void RunBatch(std::vector<PendingRequest> batch, int replica_index)
       DODUO_EXCLUDES(mu_);
+  /// Shared Submit/SubmitRobust tail: enqueue-or-reject `request`, firing
+  /// whichever callback it carries synchronously on rejection.
+  void PushRequest(PendingRequest request);
+  /// Runs the plain requests of a batch (indices into `batch`) through one
+  /// AnnotateTypesBatch call, with the per-request fallback on failure.
+  void RunPlainGroup(const core::Annotator* annotator,
+                     std::vector<PendingRequest>& batch,
+                     const std::vector<size_t>& indices);
+  /// Runs one sanitize-homogeneous robust group through a single
+  /// AnnotateTypesRobustBatch call, then applies each request's own
+  /// abstention threshold.
+  void RunRobustGroup(const core::Annotator* annotator,
+                      std::vector<PendingRequest>& batch,
+                      const std::vector<size_t>& indices, bool sanitize);
   int64_t NowUs() const;
 
   core::ReplicaPool* replicas_;
@@ -145,6 +183,7 @@ class DynamicBatcher {
   util::Histogram* inference_us_;
   util::Histogram* batch_size_;
   util::Counter* requests_total_;
+  util::Counter* robust_requests_total_;
   util::Counter* requests_rejected_;
   util::Counter* batches_total_;
   util::Counter* batch_fallbacks_;

@@ -60,6 +60,18 @@ util::Result<std::vector<std::vector<std::string>>> Client::AnnotateTypes(
   return DecodeTypesPayload(response.value().payload);
 }
 
+util::Result<std::vector<core::ColumnOutcome>> Client::AnnotateTypesRobust(
+    const table::Table& table, bool sanitize, double abstain_below) {
+  Frame request;
+  request.type = FrameType::kAnnotateRobustRequest;
+  EncodeRobustRequestPayload(table, sanitize, abstain_below,
+                             &request.payload);
+  auto response =
+      RoundTrip(std::move(request), FrameType::kAnnotateRobustResponse);
+  if (!response.ok()) return response.status();
+  return DecodeOutcomesPayload(response.value().payload);
+}
+
 util::Result<std::string> Client::Stats() {
   Frame request;
   request.type = FrameType::kStatsRequest;

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "doduo/core/annotator.h"
 #include "doduo/serve/protocol.h"
 #include "doduo/serve/socket_io.h"
 #include "doduo/table/table.h"
@@ -29,6 +30,14 @@ class Client {
   /// A server-side kErrorResponse comes back as its Status.
   [[nodiscard]] util::Result<std::vector<std::vector<std::string>>>
   AnnotateTypes(const table::Table& table);
+
+  /// Round-trips one table on the dirty-input path: every column comes
+  /// back as a ColumnOutcome (labels + calibrated confidence, abstention
+  /// below `abstain_below`, or a machine-readable skip reason). Only
+  /// transport or backpressure failures produce a non-OK Result.
+  [[nodiscard]] util::Result<std::vector<core::ColumnOutcome>>
+  AnnotateTypesRobust(const table::Table& table, bool sanitize = true,
+                      double abstain_below = 0.0);
 
   /// Fetches the server's util::MetricsToJson() dump.
   [[nodiscard]] util::Result<std::string> Stats();

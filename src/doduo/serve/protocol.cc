@@ -1,5 +1,6 @@
 #include "doduo/serve/protocol.h"
 
+#include <cmath>
 #include <cstring>
 #include <utility>
 
@@ -41,6 +42,14 @@ void AppendLengthPrefixed(std::string_view bytes, std::string* out) {
   out->append(bytes);
 }
 
+/// Doubles travel as their IEEE-754 bit pattern in a LE u64; decoders
+/// re-validate range, so a hostile bit pattern is just a rejected value.
+void AppendF64(double v, std::string* out) {
+  uint64_t bits = 0;
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(bits, out);
+}
+
 /// Bounds-checked cursor over a payload. Every read validates against the
 /// remaining bytes before touching (or sizing anything by) them.
 class PayloadReader {
@@ -56,6 +65,23 @@ class PayloadReader {
     }
     *out = ReadU32(data_.data() + pos_);
     pos_ += 4;
+    return Status::Ok();
+  }
+
+  /// Reads an IEEE-754 double (u64 LE bit pattern); any non-finite value —
+  /// NaN, ±inf, or hostile bit soup — is rejected here, so downstream code
+  /// only ever sees real numbers.
+  [[nodiscard]] Status ReadF64Field(const char* what, double* out) {
+    if (remaining() < 8) {
+      return Status::InvalidArgument(
+          std::string("payload truncated reading ") + what);
+    }
+    const uint64_t bits = ReadU64(data_.data() + pos_);
+    pos_ += 8;
+    std::memcpy(out, &bits, sizeof(*out));
+    if (!std::isfinite(*out)) {
+      return Status::InvalidArgument(std::string(what) + " is not finite");
+    }
     return Status::Ok();
   }
 
@@ -97,6 +123,9 @@ class PayloadReader {
     return Status::Ok();
   }
 
+  /// The unconsumed tail, for handing off to a nested payload decoder.
+  std::string_view rest() const { return data_.substr(pos_); }
+
  private:
   std::string_view data_;
   size_t pos_ = 0;
@@ -109,7 +138,7 @@ constexpr uint8_t kMaxStatusCode =
 
 bool IsKnownFrameType(uint8_t type) {
   return type >= static_cast<uint8_t>(FrameType::kAnnotateRequest) &&
-         type <= static_cast<uint8_t>(FrameType::kErrorResponse);
+         type <= static_cast<uint8_t>(FrameType::kAnnotateRobustResponse);
 }
 
 util::Status EncodeFrame(const Frame& frame, std::string* out) {
@@ -284,6 +313,114 @@ util::Result<std::vector<std::vector<std::string>>> DecodeTypesPayload(
   }
   if (Status s = reader.ExpectEnd("types payload"); !s.ok()) return s;
   return types;
+}
+
+namespace {
+
+// Wire flag bits. Unknown bits are rejected on decode so they stay
+// available for future meanings instead of being silently shipped.
+constexpr uint32_t kRobustFlagSanitize = 1u << 0;
+constexpr uint32_t kOutcomeFlagAbstained = 1u << 0;
+
+}  // namespace
+
+void EncodeRobustRequestPayload(const table::Table& table, bool sanitize,
+                                double abstain_below, std::string* out) {
+  AppendU32(sanitize ? kRobustFlagSanitize : 0u, out);
+  AppendF64(abstain_below, out);
+  EncodeTablePayload(table, out);
+}
+
+util::Result<RobustRequest> DecodeRobustRequestPayload(
+    std::string_view payload) {
+  PayloadReader reader(payload);
+  uint32_t flags = 0;
+  if (Status s = reader.ReadU32Field("robust flags", &flags); !s.ok()) {
+    return s;
+  }
+  if ((flags & ~kRobustFlagSanitize) != 0) {
+    return Status::InvalidArgument("unknown robust request flag bits");
+  }
+  RobustRequest request;
+  request.sanitize = (flags & kRobustFlagSanitize) != 0;
+  if (Status s = reader.ReadF64Field("abstain threshold",
+                                     &request.abstain_below);
+      !s.ok()) {
+    return s;
+  }
+  if (request.abstain_below < 0.0) {
+    return Status::InvalidArgument("abstain threshold is negative");
+  }
+  // The table decoder owns the tail, including the trailing-bytes check.
+  auto table = DecodeTablePayload(reader.rest());
+  if (!table.ok()) return table.status();
+  request.table = std::move(table).value();
+  return request;
+}
+
+void EncodeOutcomesPayload(const std::vector<core::ColumnOutcome>& outcomes,
+                           std::string* out) {
+  AppendU32(static_cast<uint32_t>(outcomes.size()), out);
+  for (const core::ColumnOutcome& outcome : outcomes) {
+    AppendU32(static_cast<uint32_t>(outcome.labels.size()), out);
+    for (const std::string& label : outcome.labels) {
+      AppendLengthPrefixed(label, out);
+    }
+    AppendF64(outcome.confidence, out);
+    AppendLengthPrefixed(outcome.skipped_reason, out);
+    AppendU32(outcome.abstained ? kOutcomeFlagAbstained : 0u, out);
+  }
+}
+
+util::Result<std::vector<core::ColumnOutcome>> DecodeOutcomesPayload(
+    std::string_view payload) {
+  PayloadReader reader(payload);
+  uint32_t num_columns = 0;
+  // Each outcome encodes at least num_labels + confidence + reason_len +
+  // flags = 20 bytes.
+  if (Status s = reader.ReadCount("outcome count", 20, &num_columns);
+      !s.ok()) {
+    return s;
+  }
+  std::vector<core::ColumnOutcome> outcomes;
+  outcomes.reserve(num_columns);
+  for (uint32_t c = 0; c < num_columns; ++c) {
+    core::ColumnOutcome outcome;
+    uint32_t num_labels = 0;
+    if (Status s = reader.ReadCount("label count", 4, &num_labels); !s.ok()) {
+      return s;
+    }
+    outcome.labels.reserve(num_labels);
+    for (uint32_t l = 0; l < num_labels; ++l) {
+      std::string label;
+      if (Status s = reader.ReadString("outcome label", &label); !s.ok()) {
+        return s;
+      }
+      outcome.labels.push_back(std::move(label));
+    }
+    if (Status s = reader.ReadF64Field("confidence", &outcome.confidence);
+        !s.ok()) {
+      return s;
+    }
+    if (outcome.confidence < 0.0 || outcome.confidence > 1.0) {
+      return Status::InvalidArgument("confidence outside [0, 1]");
+    }
+    if (Status s = reader.ReadString("skip reason", &outcome.skipped_reason);
+        !s.ok()) {
+      return s;
+    }
+    uint32_t flags = 0;
+    if (Status s = reader.ReadU32Field("outcome flags", &flags); !s.ok()) {
+      return s;
+    }
+    if ((flags & ~kOutcomeFlagAbstained) != 0) {
+      return Status::InvalidArgument("unknown outcome flag bits");
+    }
+    outcome.abstained = (flags & kOutcomeFlagAbstained) != 0;
+    outcomes.push_back(std::move(outcome));
+  }
+  if (Status s = reader.ExpectEnd("outcomes payload"); !s.ok()) return s;
+  return outcomes;
 }
 
 }  // namespace doduo::serve

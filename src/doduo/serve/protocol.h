@@ -6,6 +6,7 @@
 #include <string_view>
 #include <vector>
 
+#include "doduo/core/annotator.h"
 #include "doduo/table/table.h"
 #include "doduo/util/status.h"
 
@@ -50,6 +51,11 @@ enum class FrameType : uint8_t {
   kPingRequest = 5,       // payload: echoed back verbatim
   kPingResponse = 6,
   kErrorResponse = 7,  // status = the error code; payload: message text
+  // The dirty-input path (DESIGN §15), added without a version bump: new
+  // frame types are ignored-by-old-servers additive, and every other frame
+  // is unchanged byte for byte.
+  kAnnotateRobustRequest = 8,   // payload: robust options + encoded table
+  kAnnotateRobustResponse = 9,  // payload: encoded per-column outcomes
 };
 
 /// True for the FrameType values a well-formed peer may send.
@@ -91,11 +97,19 @@ class FrameDecoder {
 
 // -- Payload codecs ---------------------------------------------------------
 //
-// Table:  id_len u32, id bytes, num_columns u32, then per column:
-//         name_len u32, name bytes, num_values u32, then per value:
-//         value_len u32, value bytes.
-// Types:  num_columns u32, then per column: num_labels u32, then per label:
-//         label_len u32, label bytes.
+// Table:    id_len u32, id bytes, num_columns u32, then per column:
+//           name_len u32, name bytes, num_values u32, then per value:
+//           value_len u32, value bytes.
+// Types:    num_columns u32, then per column: num_labels u32, then per
+//           label: label_len u32, label bytes.
+// Robust request:
+//           flags u32 (bit 0 = run the sanitizer pass; other bits must be
+//           zero), abstain_below f64 (IEEE-754 bits as u64 LE; must be
+//           finite and >= 0), then a Table payload.
+// Outcomes: num_columns u32, then per column: num_labels u32, per label
+//           label_len u32 + label bytes, confidence f64 (finite, in
+//           [0, 1]), reason_len u32 + reason bytes, flags u32 (bit 0 =
+//           abstained; other bits must be zero).
 //
 // Decoders validate every count and length against the remaining payload
 // before allocating, so a mutated count cannot trigger a runaway
@@ -109,6 +123,24 @@ void EncodeTypesPayload(const std::vector<std::vector<std::string>>& types,
                         std::string* out);
 [[nodiscard]] util::Result<std::vector<std::vector<std::string>>>
 DecodeTypesPayload(std::string_view payload);
+
+/// A decoded kAnnotateRobustRequest: the table plus the two dirty-input
+/// knobs that travel on the wire. Sanitizer thresholds stay server-side.
+struct RobustRequest {
+  table::Table table;
+  bool sanitize = true;
+  double abstain_below = 0.0;
+};
+
+void EncodeRobustRequestPayload(const table::Table& table, bool sanitize,
+                                double abstain_below, std::string* out);
+[[nodiscard]] util::Result<RobustRequest> DecodeRobustRequestPayload(
+    std::string_view payload);
+
+void EncodeOutcomesPayload(const std::vector<core::ColumnOutcome>& outcomes,
+                           std::string* out);
+[[nodiscard]] util::Result<std::vector<core::ColumnOutcome>>
+DecodeOutcomesPayload(std::string_view payload);
 
 }  // namespace doduo::serve
 

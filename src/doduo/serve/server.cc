@@ -211,6 +211,44 @@ bool Server::HandleFrame(const std::shared_ptr<Connection>& conn,
           });
       return true;
     }
+    case FrameType::kAnnotateRobustRequest: {
+      auto decoded = DecodeRobustRequestPayload(frame.payload);
+      if (!decoded.ok()) {
+        Frame reply;
+        reply.type = FrameType::kErrorResponse;
+        reply.status = decoded.status().code();
+        reply.request_id = frame.request_id;
+        reply.payload = decoded.status().message();
+        conn->WriteFrame(reply);
+        return true;
+      }
+      RobustRequest request = std::move(decoded).value();
+      const int64_t start_us = SteadyNowUs();
+      const uint64_t request_id = frame.request_id;
+      util::Histogram* e2e_us = e2e_us_;
+      batcher_.SubmitRobust(
+          request_id, std::move(request.table), request.sanitize,
+          request.abstain_below,
+          [conn, request_id, start_us,
+           e2e_us](util::Result<RobustPrediction> result) {
+            Frame reply;
+            reply.request_id = request_id;
+            if (result.ok()) {
+              reply.type = FrameType::kAnnotateRobustResponse;
+              EncodeOutcomesPayload(result.value(), &reply.payload);
+            } else {
+              // Only batcher-level backpressure lands here; the robust
+              // annotation path itself never fails a table.
+              reply.type = FrameType::kErrorResponse;
+              reply.status = result.status().code();
+              reply.payload = result.status().message();
+            }
+            conn->WriteFrame(reply);
+            e2e_us->Record(static_cast<uint64_t>(
+                std::max<int64_t>(0, SteadyNowUs() - start_us)));
+          });
+      return true;
+    }
     default: {
       // A client must not send response-typed frames; treat as a protocol
       // violation and close.

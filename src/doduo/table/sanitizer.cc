@@ -1,0 +1,162 @@
+#include "doduo/table/sanitizer.h"
+
+#include <array>
+
+#include "doduo/util/metrics.h"
+#include "doduo/util/string_util.h"
+
+namespace doduo::table {
+namespace {
+
+struct SanitizerMetrics {
+  util::Counter* cells_repaired = util::GetCounter("sanitizer.cells_repaired");
+  util::Counter* cells_clamped = util::GetCounter("sanitizer.cells_clamped");
+  util::Counter* cols_skipped = util::GetCounter("sanitizer.cols_skipped");
+  util::Counter* tables = util::GetCounter("sanitizer.tables");
+};
+
+SanitizerMetrics& Metrics() {
+  static SanitizerMetrics metrics;
+  return metrics;
+}
+
+/// Repairs `*cell` in place when ill-formed, then clamps it to
+/// `max_bytes`. Returns flags for what happened.
+struct CellFix {
+  bool repaired = false;
+  bool clamped = false;
+};
+
+CellFix FixCell(std::string* cell, const SanitizerOptions& options) {
+  CellFix fix;
+  if (options.repair_utf8 && !util::Utf8IsValid(*cell)) {
+    *cell = util::Utf8Repair(*cell);
+    fix.repaired = true;
+  }
+  if (options.max_cell_bytes > 0 && cell->size() > options.max_cell_bytes) {
+    *cell = std::string(util::Utf8ClampBytes(*cell, options.max_cell_bytes));
+    fix.clamped = true;
+  }
+  return fix;
+}
+
+}  // namespace
+
+const char* SkipReasonName(SkipReason reason) {
+  switch (reason) {
+    case SkipReason::kNone:
+      return "";
+    case SkipReason::kEmptyColumn:
+      return "empty_column";
+    case SkipReason::kMostlyNull:
+      return "mostly_null";
+    case SkipReason::kHeaderLike:
+      return "header_like";
+  }
+  return "unknown";
+}
+
+bool IsNullMarker(const std::string& value) {
+  const std::string t = util::ToLower(util::Trim(value));
+  if (t.empty()) return true;
+  static constexpr std::array<const char*, 8> kMarkers = {
+      "null", "none", "n/a", "na", "nan", "nil", "-", "?"};
+  for (const char* marker : kMarkers) {
+    if (t == marker) return true;
+  }
+  return false;
+}
+
+ColumnSanitizer::ColumnSanitizer(SanitizerOptions options)
+    : options_(options) {}
+
+SkipReason ColumnSanitizer::Classify(const Column& column) const {
+  if (column.values.empty()) return SkipReason::kEmptyColumn;
+  size_t nulls = 0;
+  size_t header_echoes = 0;
+  const std::string header = util::ToLower(util::Trim(column.name));
+  for (const std::string& value : column.values) {
+    if (IsNullMarker(value)) {
+      ++nulls;
+    } else if (!header.empty() &&
+               util::ToLower(util::Trim(value)) == header) {
+      ++header_echoes;
+    }
+  }
+  const size_t total = column.values.size();
+  if (static_cast<double>(nulls) >
+      options_.max_null_ratio * static_cast<double>(total)) {
+    return SkipReason::kMostlyNull;
+  }
+  const size_t non_null = total - nulls;
+  if (non_null > 0 &&
+      static_cast<double>(header_echoes) >=
+          options_.header_like_ratio * static_cast<double>(non_null)) {
+    return SkipReason::kHeaderLike;
+  }
+  return SkipReason::kNone;
+}
+
+SanitizeResult ColumnSanitizer::Sanitize(const Table& table) const {
+  Metrics().tables->Increment();
+  SanitizeResult result;
+  result.columns.resize(static_cast<size_t>(table.num_columns()));
+
+  // First pass: classify and find out whether anything needs rewriting, so
+  // a clean table costs no copy at all.
+  for (int i = 0; i < table.num_columns(); ++i) {
+    const Column& column = table.column(i);
+    ColumnReport& report = result.columns[static_cast<size_t>(i)];
+    report.skip = Classify(column);
+    if (report.skip != SkipReason::kNone) {
+      Metrics().cols_skipped->Increment();
+      continue;  // skipped columns are left byte-for-byte as they came in
+    }
+    if (options_.repair_utf8 && !util::Utf8IsValid(column.name)) {
+      report.name_repaired = true;
+    }
+    for (const std::string& value : column.values) {
+      if (options_.repair_utf8 && !util::Utf8IsValid(value)) {
+        ++report.cells_repaired;
+      } else if (options_.max_cell_bytes > 0 &&
+                 value.size() > options_.max_cell_bytes) {
+        ++report.cells_clamped;
+      }
+    }
+    // A repaired cell can also need clamping; the counts above only decide
+    // whether a rewrite happens, the rewrite below recounts exactly.
+    if (report.modified()) result.any_modified = true;
+  }
+  if (!result.any_modified) return result;
+
+  // Second pass: rewrite only the columns that need it.
+  result.table = table;
+  for (int i = 0; i < table.num_columns(); ++i) {
+    ColumnReport& report = result.columns[static_cast<size_t>(i)];
+    if (report.skip != SkipReason::kNone || !report.modified()) continue;
+    Column& column = result.table.mutable_column(i);
+    report = ColumnReport{};  // recount precisely during the rewrite
+    if (options_.repair_utf8 && !util::Utf8IsValid(column.name)) {
+      column.name = util::Utf8Repair(column.name);
+      report.name_repaired = true;
+    }
+    for (std::string& value : column.values) {
+      const CellFix fix = FixCell(&value, options_);
+      if (fix.repaired) ++report.cells_repaired;
+      if (fix.clamped) ++report.cells_clamped;
+    }
+    Metrics().cells_repaired->Increment(report.cells_repaired);
+    Metrics().cells_clamped->Increment(report.cells_clamped);
+  }
+  return result;
+}
+
+size_t SanitizeResult::num_skipped() const {
+  size_t count = 0;
+  for (const ColumnReport& report : columns) {
+    if (report.skip != SkipReason::kNone) ++count;
+  }
+  return count;
+}
+
+}  // namespace doduo::table

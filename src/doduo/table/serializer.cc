@@ -22,6 +22,8 @@ struct SerializerMetrics {
   util::Histogram* serialize_us = util::GetHistogram("serializer.serialize_us");
   util::Counter* tables = util::GetCounter("serializer.tables_total");
   util::Counter* tokens = util::GetCounter("serializer.tokens_total");
+  util::Counter* spans_truncated =
+      util::GetCounter("serializer.spans_truncated_total");
 };
 
 SerializerMetrics& Metrics() {
@@ -49,20 +51,26 @@ TableSerializer::TableSerializer(const text::WordPieceTokenizer* tokenizer,
 void TableSerializer::AppendColumnTokens(const Column& column, int budget,
                                          SerializedTable* out) const {
   int used = 0;
-  if (options_.include_metadata && !column.name.empty()) {
-    for (int id : tokenizer_->Encode(column.name)) {
-      if (used >= budget) return;
-      Push(out, id, -1);
+  // Tokenization stops at the remaining budget: a single enormous header
+  // or cell must not be WordPiece'd in full just to throw the tail away.
+  // EncodeBudgeted returns an exact prefix of Encode, so output sequences
+  // are unchanged; a cut span only shows up in the truncation counter.
+  const auto append_span = [&](const std::string& text, int row_id) {
+    if (used >= budget) return false;
+    bool truncated = false;
+    for (int id : tokenizer_->EncodeBudgeted(
+             text, static_cast<size_t>(budget - used), &truncated)) {
+      Push(out, id, row_id);
       ++used;
     }
+    if (truncated) Metrics().spans_truncated->Increment();
+    return used < budget;
+  };
+  if (options_.include_metadata && !column.name.empty()) {
+    if (!append_span(column.name, -1)) return;
   }
   for (size_t row = 0; row < column.values.size(); ++row) {
-    if (used >= budget) break;
-    for (int id : tokenizer_->Encode(column.values[row])) {
-      if (used >= budget) break;
-      Push(out, id, static_cast<int>(row));
-      ++used;
-    }
+    if (!append_span(column.values[row], static_cast<int>(row))) break;
   }
 }
 

@@ -13,6 +13,15 @@ WordPieceTokenizer::WordPieceTokenizer(const Vocab* vocab,
 
 std::vector<int> WordPieceTokenizer::TokenizeWord(
     std::string_view word) const {
+  // Ill-formed UTF-8 (truncated multi-byte cells, binary junk in dirty
+  // tables) is repaired to U+FFFD up front. After this point every byte
+  // position arithmetic below operates on well-formed sequences, and
+  // Utf8Length counts real code points rather than garbage lead bytes.
+  std::string repaired;
+  if (!util::Utf8IsValid(word)) {
+    repaired = util::Utf8Repair(word);
+    word = repaired;
+  }
   // BERT's length cap is in characters, not bytes: a word of multi-byte
   // code points must not become [UNK] early just because UTF-8 inflates
   // its byte count.
@@ -26,7 +35,8 @@ std::vector<int> WordPieceTokenizer::TokenizeWord(
     size_t end = word.size();
     int match = -1;
     // Longest match first, with the "##" continuation prefix after the
-    // first piece.
+    // first piece. Candidates shrink a code point at a time so no piece
+    // boundary ever lands inside a multi-byte sequence.
     while (end > start) {
       std::string candidate;
       if (start > 0) candidate = "##";
@@ -35,7 +45,10 @@ std::vector<int> WordPieceTokenizer::TokenizeWord(
         match = vocab_->Id(candidate);
         break;
       }
-      --end;
+      do {
+        --end;
+      } while (end > start &&
+               (static_cast<unsigned char>(word[end]) & 0xC0) == 0x80);
     }
     if (match < 0) return {Vocab::kUnkId};
     pieces.push_back(match);
@@ -49,6 +62,27 @@ std::vector<int> WordPieceTokenizer::Encode(std::string_view text) const {
   for (const std::string& word : basic_.Tokenize(text)) {
     const std::vector<int> pieces = TokenizeWord(word);
     ids.insert(ids.end(), pieces.begin(), pieces.end());
+  }
+  return ids;
+}
+
+std::vector<int> WordPieceTokenizer::EncodeBudgeted(std::string_view text,
+                                                    size_t max_tokens,
+                                                    bool* truncated) const {
+  if (truncated) *truncated = false;
+  std::vector<int> ids;
+  for (const std::string& word : basic_.Tokenize(text)) {
+    if (ids.size() >= max_tokens) {
+      // Every remaining word would emit at least one piece.
+      if (truncated) *truncated = true;
+      break;
+    }
+    const std::vector<int> pieces = TokenizeWord(word);
+    ids.insert(ids.end(), pieces.begin(), pieces.end());
+  }
+  if (ids.size() > max_tokens) {
+    ids.resize(max_tokens);
+    if (truncated) *truncated = true;
   }
   return ids;
 }

@@ -19,12 +19,22 @@ class WordPieceTokenizer {
                               int max_chars_per_word = 64);
 
   /// Splits one pre-tokenized word into piece ids; emits [UNK] when the
-  /// word cannot be decomposed (or exceeds max_chars_per_word).
+  /// word cannot be decomposed (or exceeds max_chars_per_word). Ill-formed
+  /// UTF-8 in the word is repaired to U+FFFD first, so the greedy matcher
+  /// never slices a multi-byte sequence and the length cap counts real
+  /// code points; well-formed words tokenize exactly as before.
   std::vector<int> TokenizeWord(std::string_view word) const;
 
   /// Full pipeline: basic tokenize then WordPiece each word. No special
   /// tokens are added; serializers do that.
   std::vector<int> Encode(std::string_view text) const;
+
+  /// Like Encode but stops once `max_tokens` ids have been produced,
+  /// skipping the WordPiece work for the rest of the text. The result is
+  /// always an exact prefix of Encode(text). Sets `*truncated` (when
+  /// non-null) if any ids were dropped.
+  std::vector<int> EncodeBudgeted(std::string_view text, size_t max_tokens,
+                                  bool* truncated = nullptr) const;
 
   /// Converts ids back to piece strings (debugging and probing).
   std::vector<std::string> Decode(const std::vector<int>& ids) const;

@@ -6,6 +6,13 @@
 namespace doduo::util {
 
 Result<CsvRows> ParseCsv(std::string_view text) {
+  // Strip a leading UTF-8 byte-order mark: spreadsheet exports routinely
+  // prepend one, and without this the BOM bytes would be glued onto the
+  // first header name (corrupting every lookup of that column).
+  if (text.size() >= 3 && text[0] == '\xEF' && text[1] == '\xBB' &&
+      text[2] == '\xBF') {
+    text.remove_prefix(3);
+  }
   CsvRows rows;
   std::vector<std::string> row;
   std::string cell;

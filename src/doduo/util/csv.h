@@ -14,8 +14,10 @@ namespace doduo::util {
 using CsvRows = std::vector<std::vector<std::string>>;
 
 /// Parses RFC-4180-style CSV text: comma separated, double-quote quoting,
-/// doubled quotes inside quoted fields, LF or CRLF line endings. A trailing
-/// newline does not produce an empty final row.
+/// doubled quotes inside quoted fields, LF / CRLF / bare-CR line endings
+/// (CR and LF inside a quoted field are cell content, not row breaks). A
+/// leading UTF-8 BOM is stripped so it never corrupts the first header
+/// name. A trailing newline does not produce an empty final row.
 [[nodiscard]] Result<CsvRows> ParseCsv(std::string_view text);
 
 /// Reads and parses a CSV file from disk.

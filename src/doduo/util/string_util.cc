@@ -121,6 +121,90 @@ size_t Utf8Length(std::string_view text) {
   return count;
 }
 
+namespace {
+
+/// Length of the well-formed UTF-8 sequence starting at `text[pos]`, or 0
+/// when the bytes there are ill-formed (truncated, overlong, a surrogate,
+/// or above U+10FFFF). Follows the Unicode 15 table of valid byte ranges.
+size_t Utf8SequenceLength(std::string_view text, size_t pos) {
+  const auto byte = [&](size_t i) {
+    return static_cast<unsigned char>(text[i]);
+  };
+  const unsigned char lead = byte(pos);
+  if (lead < 0x80) return 1;
+  if (lead < 0xC2) return 0;  // continuation byte or overlong C0/C1 lead
+  size_t need = 0;
+  unsigned char lo = 0x80;
+  unsigned char hi = 0xBF;
+  if (lead < 0xE0) {
+    need = 2;
+  } else if (lead < 0xF0) {
+    need = 3;
+    if (lead == 0xE0) lo = 0xA0;        // reject overlong 3-byte forms
+    if (lead == 0xED) hi = 0x9F;        // reject UTF-16 surrogates
+  } else if (lead < 0xF5) {
+    need = 4;
+    if (lead == 0xF0) lo = 0x90;        // reject overlong 4-byte forms
+    if (lead == 0xF4) hi = 0x8F;        // reject > U+10FFFF
+  } else {
+    return 0;  // F5..FF never appear in well-formed UTF-8
+  }
+  if (pos + need > text.size()) return 0;  // truncated at end of text
+  if (byte(pos + 1) < lo || byte(pos + 1) > hi) return 0;
+  for (size_t i = 2; i < need; ++i) {
+    if ((byte(pos + i) & 0xC0) != 0x80) return 0;
+  }
+  return need;
+}
+
+}  // namespace
+
+bool Utf8IsValid(std::string_view text) {
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t len = Utf8SequenceLength(text, pos);
+    if (len == 0) return false;
+    pos += len;
+  }
+  return true;
+}
+
+std::string Utf8Repair(std::string_view text) {
+  static constexpr char kReplacement[] = "\xEF\xBF\xBD";  // U+FFFD
+  std::string out;
+  out.reserve(text.size());
+  size_t pos = 0;
+  while (pos < text.size()) {
+    const size_t len = Utf8SequenceLength(text, pos);
+    if (len > 0) {
+      out.append(text.substr(pos, len));
+      pos += len;
+      continue;
+    }
+    // One replacement per maximal invalid subsequence: skip the bad lead
+    // byte plus any continuation bytes dangling behind it.
+    out.append(kReplacement);
+    ++pos;
+    while (pos < text.size() &&
+           (static_cast<unsigned char>(text[pos]) & 0xC0) == 0x80) {
+      ++pos;
+    }
+  }
+  return out;
+}
+
+std::string_view Utf8ClampBytes(std::string_view text, size_t max_bytes) {
+  if (text.size() <= max_bytes) return text;
+  size_t end = max_bytes;
+  // Back off over continuation bytes so a multi-byte sequence is dropped
+  // whole rather than split (at most 3 steps).
+  while (end > 0 &&
+         (static_cast<unsigned char>(text[end]) & 0xC0) == 0x80) {
+    --end;
+  }
+  return text.substr(0, end);
+}
+
 size_t EditDistance(std::string_view a, std::string_view b) {
   const size_t n = a.size();
   const size_t m = b.size();

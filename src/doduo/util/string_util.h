@@ -43,6 +43,21 @@ std::string FormatPercent(double fraction, int digits);
 /// each malformed byte counts as one code point rather than derailing).
 size_t Utf8Length(std::string_view text);
 
+/// True when `text` is well-formed UTF-8: no truncated or overlong
+/// sequences, no surrogate code points, nothing above U+10FFFF.
+bool Utf8IsValid(std::string_view text);
+
+/// Copy of `text` with every ill-formed UTF-8 sequence replaced by U+FFFD
+/// (one replacement per maximal invalid subsequence, the W3C/WHATWG
+/// policy): truncated sequences, stray continuation bytes, overlong
+/// encodings, surrogates, and out-of-range code points all repair instead
+/// of flowing byte-sliced into downstream tokenization.
+std::string Utf8Repair(std::string_view text);
+
+/// Longest prefix of `text` of at most `max_bytes` bytes that does not end
+/// mid-code-point (well-formed input is never split inside a sequence).
+std::string_view Utf8ClampBytes(std::string_view text, size_t max_bytes);
+
 /// Levenshtein edit distance between two strings.
 size_t EditDistance(std::string_view a, std::string_view b);
 

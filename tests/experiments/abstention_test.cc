@@ -1,0 +1,133 @@
+// End-to-end dirty-input regression (DESIGN §15): train on clean tables,
+// corrupt the test split, and verify that (a) the calibrated-confidence
+// abstention knob trades coverage for precision monotonically at fixed
+// abstention rates {0%, 5%, 10%}, and (b) the fitted calibration
+// temperature survives a SaveModelDir/LoadModelDir round trip.
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "doduo/core/annotator.h"
+#include "doduo/core/model_io.h"
+#include "doduo/experiments/runners.h"
+#include "doduo/synth/corruption.h"
+#include "gtest/gtest.h"
+
+namespace doduo::experiments {
+namespace {
+
+/// One scored prediction: its calibrated confidence and whether the top
+/// predicted label is among the column's gold types.
+struct Scored {
+  double confidence = 0.0;
+  bool correct = false;
+};
+
+double Precision(const std::vector<Scored>& kept) {
+  if (kept.empty()) return 0.0;
+  size_t correct = 0;
+  for (const Scored& s : kept) correct += s.correct ? 1u : 0u;
+  return static_cast<double>(correct) / static_cast<double>(kept.size());
+}
+
+TEST(AbstentionTest, CoverageTradesForPrecisionAndTemperaturePersists) {
+  EnvOptions options;
+  options.mode = BenchmarkMode::kWikiTable;
+  options.num_tables = 250;
+  options.vocab_size = 900;
+  options.hidden_dim = 32;
+  options.num_layers = 1;
+  options.num_heads = 2;
+  options.ffn_dim = 64;
+  options.max_positions = 96;
+  options.pretrain_epochs = 3;
+  options.corpus_fact_mentions = 1;
+  options.corpus_list_mentions = 10;
+  options.use_cache = false;
+  options.seed = 17;
+  Env env(options);
+
+  DoduoVariant variant;
+  variant.epochs = 15;
+  DoduoRun run = RunDoduo(&env, variant);
+  ASSERT_GT(run.types.micro.f1, 0.30) << "model failed to train at all";
+
+  // RunDoduo fits temperature scaling on the validation split; the result
+  // must be a usable positive temperature inside the search bracket.
+  const double temperature = run.model->config().calibration_temperature;
+  EXPECT_GT(temperature, 0.05);
+  EXPECT_LT(temperature, 20.0);
+
+  // The temperature is part of the model directory contract: save, load,
+  // and read the exact same value back.
+  const std::string dir = ::testing::TempDir() + "/abstention_model";
+  const auto saved = core::SaveModelDir(dir, run.model.get(), env.vocab(),
+                                        env.dataset().type_vocab,
+                                        env.dataset().relation_vocab);
+  ASSERT_TRUE(saved.ok()) << saved.ToString();
+  auto loaded = core::LoadModelDir(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_DOUBLE_EQ(loaded.value()->config.calibration_temperature,
+                   temperature);
+
+  // Corrupt the test split and score every robustly-annotated column.
+  util::Rng rng(24);
+  synth::CorruptionOptions corruption;
+  corruption.missing_prob = 0.15;
+  corruption.typo_prob = 0.10;
+  const auto dirty = synth::CorruptDataset(env.dataset(), corruption, &rng);
+  core::Annotator annotator(run.model.get(), run.serializer.get(),
+                            &env.dataset().type_vocab,
+                            /*relation_vocab=*/nullptr);
+  std::vector<Scored> scored;
+  for (const size_t t : env.splits().test) {
+    const table::AnnotatedTable& gold = dirty.tables[t];
+    const auto outcomes = annotator.AnnotateTypesRobust(gold.table);
+    ASSERT_EQ(outcomes.size(), gold.column_types.size());
+    for (size_t c = 0; c < outcomes.size(); ++c) {
+      if (!outcomes[c].annotated()) continue;  // sanitizer-skipped column
+      Scored s;
+      s.confidence = outcomes[c].confidence;
+      for (const int type_id : gold.column_types[c]) {
+        if (outcomes[c].labels.front() ==
+            env.dataset().type_vocab.Name(type_id)) {
+          s.correct = true;
+          break;
+        }
+      }
+      scored.push_back(s);
+    }
+  }
+  ASSERT_GE(scored.size(), 50u) << "too few annotated columns to measure";
+
+  // Precision at fixed abstention rates: drop the lowest-confidence k% of
+  // predictions and measure precision of what remains. The regression
+  // claim is the trade itself — abstaining on low-confidence predictions
+  // must never buy NEGATIVE precision (beyond statistical jitter), and
+  // coverage must shrink by exactly the abstained fraction.
+  std::sort(scored.begin(), scored.end(),
+            [](const Scored& a, const Scored& b) {
+              return a.confidence < b.confidence;
+            });
+  std::vector<double> precisions;
+  for (const double rate : {0.0, 0.05, 0.10}) {
+    const size_t drop = static_cast<size_t>(
+        std::floor(rate * static_cast<double>(scored.size())));
+    const std::vector<Scored> kept(scored.begin() +
+                                       static_cast<ptrdiff_t>(drop),
+                                   scored.end());
+    EXPECT_EQ(kept.size(), scored.size() - drop);
+    precisions.push_back(Precision(kept));
+  }
+  // Monotone trade with a small jitter allowance: each extra 5% of
+  // abstention may not cost more than 2 points of precision, and 10%
+  // abstention must not land below the 0% baseline.
+  EXPECT_GE(precisions[1], precisions[0] - 0.02);
+  EXPECT_GE(precisions[2], precisions[1] - 0.02);
+  EXPECT_GE(precisions[2], precisions[0]);
+}
+
+}  // namespace
+}  // namespace doduo::experiments

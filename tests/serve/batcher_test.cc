@@ -5,8 +5,10 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "doduo/serve/batcher.h"
@@ -231,6 +233,94 @@ TEST_F(DynamicBatcherTest, StopDrainsEveryAcceptedRequest) {
                              util::StatusCode::kResourceExhausted);
                  });
   EXPECT_EQ(late_status_ok, 0);
+}
+
+TEST_F(DynamicBatcherTest, MixedBatchRoutesPlainAndRobustRequests) {
+  // One batch carrying every request kind: plain, robust sanitized, robust
+  // unsanitized, and robust with a per-request abstention threshold. Each
+  // must match its own scalar-path ground truth — co-batching changes
+  // nothing.
+  DynamicBatcher batcher(pool_.get(), Options(8, 1000, 16));
+  table::Table dirty("dirty");
+  dirty.AddColumn({"void", {"", "null", "-"}});
+  dirty.AddColumn({"a", {"alpha", "beta"}});
+
+  util::Result<TypePrediction> plain_result =
+      util::Status::FailedPrecondition("callback never fired");
+  // Keyed by request id: groups fire in (plain, sanitized, raw) order, not
+  // submission order, and this test is about routing, not ordering.
+  std::map<uint64_t, util::Result<RobustPrediction>> robust_results;
+  batcher.Submit(0, testing::MakeTable(0),
+                 [&](util::Result<TypePrediction> result) {
+                   plain_result = std::move(result);
+                 });
+  auto record = [&](uint64_t id) {
+    return [&, id](util::Result<RobustPrediction> result) {
+      robust_results.emplace(id, std::move(result));
+    };
+  };
+  batcher.SubmitRobust(1, dirty, /*sanitize=*/true, /*abstain_below=*/0.0,
+                       record(1));
+  batcher.SubmitRobust(2, dirty, /*sanitize=*/false, /*abstain_below=*/0.0,
+                       record(2));
+  batcher.SubmitRobust(3, testing::MakeTable(0), /*sanitize=*/true,
+                       /*abstain_below=*/1.01, record(3));
+  EXPECT_EQ(batcher.DrainOnce(/*force=*/true), 4u);
+
+  core::Annotator annotator = model_.MakeAnnotator();
+  auto expected_plain = annotator.AnnotateTypes(testing::MakeTable(0));
+  ASSERT_TRUE(expected_plain.ok());
+  ASSERT_TRUE(plain_result.ok()) << plain_result.status().ToString();
+  EXPECT_EQ(plain_result.value(), expected_plain.value());
+
+  ASSERT_EQ(robust_results.size(), 3u);
+  for (const auto& [id, result] : robust_results) {
+    ASSERT_TRUE(result.ok()) << "id " << id << ": "
+                             << result.status().ToString();
+  }
+  // Sanitized: the mostly-null column is skipped, the clean one annotated.
+  ASSERT_EQ(robust_results.at(1).value().size(), 2u);
+  EXPECT_EQ(robust_results.at(1).value()[0].skipped_reason, "mostly_null");
+  EXPECT_TRUE(robust_results.at(1).value()[1].annotated());
+  // Unsanitized: no skip classification, both columns annotated as-is.
+  ASSERT_EQ(robust_results.at(2).value().size(), 2u);
+  EXPECT_TRUE(robust_results.at(2).value()[0].annotated());
+  EXPECT_TRUE(robust_results.at(2).value()[1].annotated());
+  // Threshold above 1.0: every annotatable column abstains, and the
+  // threshold applied to THIS request did not leak onto its co-batched
+  // neighbours (checked above: their columns stayed annotated).
+  for (const core::ColumnOutcome& outcome : robust_results.at(3).value()) {
+    EXPECT_TRUE(outcome.abstained);
+    EXPECT_TRUE(outcome.labels.empty());
+  }
+  // Scalar ground truth for the sanitized request.
+  const auto scalar = annotator.AnnotateTypesRobust(dirty);
+  ASSERT_EQ(scalar.size(), 2u);
+  EXPECT_EQ(robust_results.at(1).value()[1].labels, scalar[1].labels);
+  EXPECT_EQ(robust_results.at(1).value()[1].confidence,
+            scalar[1].confidence);
+}
+
+TEST_F(DynamicBatcherTest, RobustRequestsSeeBackpressureAndStopDrain) {
+  DynamicBatcher batcher(pool_.get(), Options(8, 1000000, /*depth=*/2));
+  int completions = 0;
+  int rejections = 0;
+  for (uint64_t id = 0; id < 4; ++id) {
+    batcher.SubmitRobust(id, testing::MakeTable(static_cast<int>(id)),
+                         /*sanitize=*/true, /*abstain_below=*/0.0,
+                         [&](util::Result<RobustPrediction> result) {
+                           if (result.ok()) {
+                             ++completions;
+                           } else {
+                             EXPECT_EQ(result.status().code(),
+                                       util::StatusCode::kResourceExhausted);
+                             ++rejections;
+                           }
+                         });
+  }
+  EXPECT_EQ(rejections, 2);  // synchronous backpressure past depth 2
+  batcher.Stop();            // drains the two accepted requests
+  EXPECT_EQ(completions, 2);
 }
 
 TEST_F(DynamicBatcherTest, ThreadedWorkersDrainWithRealClock) {

@@ -6,6 +6,8 @@
 // fuzz discipline of tests/nn/serialize_fuzz_test.cc.
 
 #include <cstdint>
+#include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
@@ -91,6 +93,92 @@ TEST(ProtocolTest, TypesPayloadRoundTrips) {
   EXPECT_EQ(decoded.value(), types);
 }
 
+/// One of each outcome shape: annotated, abstained, skipped.
+std::vector<core::ColumnOutcome> MakeOutcomes() {
+  std::vector<core::ColumnOutcome> outcomes(3);
+  outcomes[0].labels = {"type1", "type3"};
+  outcomes[0].confidence = 0.875;
+  outcomes[1].confidence = 0.25;
+  outcomes[1].abstained = true;
+  outcomes[2].skipped_reason = "mostly_null";
+  return outcomes;
+}
+
+TEST(ProtocolTest, RobustRequestPayloadRoundTrips) {
+  const table::Table table = testing::MakeTable(2);
+  for (const bool sanitize : {true, false}) {
+    std::string payload;
+    EncodeRobustRequestPayload(table, sanitize, 0.75, &payload);
+    auto decoded = DecodeRobustRequestPayload(payload);
+    ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+    EXPECT_EQ(decoded.value().sanitize, sanitize);
+    EXPECT_EQ(decoded.value().abstain_below, 0.75);
+    EXPECT_EQ(decoded.value().table.id(), table.id());
+    ASSERT_EQ(decoded.value().table.num_columns(), table.num_columns());
+    for (int c = 0; c < table.num_columns(); ++c) {
+      EXPECT_EQ(decoded.value().table.column(c).values,
+                table.column(c).values);
+    }
+  }
+}
+
+TEST(ProtocolTest, OutcomesPayloadRoundTrips) {
+  const std::vector<core::ColumnOutcome> outcomes = MakeOutcomes();
+  std::string payload;
+  EncodeOutcomesPayload(outcomes, &payload);
+  auto decoded = DecodeOutcomesPayload(payload);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded.value().size(), outcomes.size());
+  for (size_t c = 0; c < outcomes.size(); ++c) {
+    EXPECT_EQ(decoded.value()[c].labels, outcomes[c].labels);
+    EXPECT_EQ(decoded.value()[c].confidence, outcomes[c].confidence);
+    EXPECT_EQ(decoded.value()[c].skipped_reason, outcomes[c].skipped_reason);
+    EXPECT_EQ(decoded.value()[c].abstained, outcomes[c].abstained);
+  }
+}
+
+TEST(ProtocolTest, RobustRequestRejectsBadFlagsAndThresholds) {
+  std::string payload;
+  EncodeRobustRequestPayload(testing::MakeTable(0), true, 0.5, &payload);
+  // Unknown flag bit (bit 1).
+  std::string bad_flags = payload;
+  bad_flags[0] = static_cast<char>(
+      static_cast<uint8_t>(bad_flags[0]) | 0x02);
+  EXPECT_FALSE(DecodeRobustRequestPayload(bad_flags).ok());
+  // Negative and non-finite thresholds (the f64 sits at bytes [4, 12)).
+  for (const double bad : {-0.5, std::numeric_limits<double>::quiet_NaN(),
+                           std::numeric_limits<double>::infinity()}) {
+    std::string mutated = payload;
+    uint64_t bits = 0;
+    std::memcpy(&bits, &bad, sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      mutated[4 + b] = static_cast<char>((bits >> (8 * b)) & 0xFF);
+    }
+    EXPECT_FALSE(DecodeRobustRequestPayload(mutated).ok()) << bad;
+  }
+}
+
+TEST(ProtocolTest, OutcomesRejectOutOfRangeConfidence) {
+  std::vector<core::ColumnOutcome> outcomes(1);
+  outcomes[0].labels = {"type0"};
+  outcomes[0].confidence = 0.5;
+  std::string payload;
+  EncodeOutcomesPayload(outcomes, &payload);
+  // The confidence f64 sits after outcome count, label count, and the one
+  // length-prefixed 5-byte label: offset 4 + 4 + (4 + 5) = 17.
+  const size_t offset = 17;
+  for (const double bad : {-0.25, 1.5,
+                           std::numeric_limits<double>::quiet_NaN()}) {
+    std::string mutated = payload;
+    uint64_t bits = 0;
+    std::memcpy(&bits, &bad, sizeof(bits));
+    for (int b = 0; b < 8; ++b) {
+      mutated[offset + b] = static_cast<char>((bits >> (8 * b)) & 0xFF);
+    }
+    EXPECT_FALSE(DecodeOutcomesPayload(mutated).ok()) << bad;
+  }
+}
+
 // -- Truncation ---------------------------------------------------------------
 
 TEST(ProtocolFuzzTest, EveryFramePrefixIsIncompleteNotAnError) {
@@ -122,6 +210,21 @@ TEST(ProtocolFuzzTest, EveryTablePayloadPrefixFailsCleanly) {
   for (size_t cut = 0; cut + 4 < payload.size(); ++cut) {
     auto decoded = DecodeTypesPayload(payload.substr(0, cut));
     (void)decoded.ok();  // arbitrary bytes: any Status, just no crash
+  }
+}
+
+TEST(ProtocolFuzzTest, EveryRobustPayloadPrefixFailsCleanly) {
+  std::string request;
+  EncodeRobustRequestPayload(testing::MakeTable(3), true, 0.5, &request);
+  for (size_t cut = 0; cut < request.size(); ++cut) {
+    EXPECT_FALSE(DecodeRobustRequestPayload(request.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+  std::string outcomes;
+  EncodeOutcomesPayload(MakeOutcomes(), &outcomes);
+  for (size_t cut = 0; cut < outcomes.size(); ++cut) {
+    EXPECT_FALSE(DecodeOutcomesPayload(outcomes.substr(0, cut)).ok())
+        << "cut at " << cut;
   }
 }
 
@@ -239,14 +342,14 @@ TEST_P(ProtocolGarbageFuzzTest, RandomBytesNeverCrashTheDecoder) {
 
 TEST_P(ProtocolGarbageFuzzTest, RandomPayloadMutationsNeverCrashCodecs) {
   util::Rng rng(GetParam());
-  std::string table_payload;
-  EncodeTablePayload(testing::MakeTable(1), &table_payload);
+  std::vector<std::string> payloads(4);
+  EncodeTablePayload(testing::MakeTable(1), &payloads[0]);
   std::vector<std::vector<std::string>> types = {{"a", "b"}, {"c"}};
-  std::string types_payload;
-  EncodeTypesPayload(types, &types_payload);
+  EncodeTypesPayload(types, &payloads[1]);
+  EncodeRobustRequestPayload(testing::MakeTable(1), true, 0.5, &payloads[2]);
+  EncodeOutcomesPayload(MakeOutcomes(), &payloads[3]);
   for (int round = 0; round < 500; ++round) {
-    std::string mutated =
-        (round & 1) != 0 ? table_payload : types_payload;
+    std::string mutated = payloads[static_cast<size_t>(round & 3)];
     const int flips = 1 + static_cast<int>(rng.NextUint64(4));
     for (int f = 0; f < flips; ++f) {
       const size_t pos = static_cast<size_t>(rng.NextUint64(
@@ -257,6 +360,8 @@ TEST_P(ProtocolGarbageFuzzTest, RandomPayloadMutationsNeverCrashCodecs) {
     // allocations are the only wrong answers.
     (void)DecodeTablePayload(mutated).ok();
     (void)DecodeTypesPayload(mutated).ok();
+    (void)DecodeRobustRequestPayload(mutated).ok();
+    (void)DecodeOutcomesPayload(mutated).ok();
   }
 }
 

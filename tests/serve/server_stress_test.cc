@@ -78,6 +78,49 @@ TEST_F(ServerTest, PingStatsAndAnnotateOverOneConnection) {
   EXPECT_NE(stats.value().find("serve.e2e_us"), std::string::npos);
 }
 
+TEST_F(ServerTest, RobustAnnotateRoundTripsOutcomesAndThreshold) {
+  BatcherOptions batcher;
+  batcher.max_batch_size = 4;
+  batcher.max_wait_us = 500;
+  StartServer(/*replicas=*/1, batcher);
+  auto client = Client::Connect("127.0.0.1", server_->port());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+
+  // A dirty table annotates per column over the wire: skip reason for the
+  // null column, labels + confidence for the clean one, matching the local
+  // robust path byte for byte.
+  table::Table dirty("dirty");
+  dirty.AddColumn({"void", {"", "null", "-"}});
+  dirty.AddColumn({"a", {"alpha", "beta"}});
+  core::Annotator annotator = model_.MakeAnnotator();
+  const auto expected = annotator.AnnotateTypesRobust(dirty);
+  auto outcomes = client.value().AnnotateTypesRobust(dirty);
+  ASSERT_TRUE(outcomes.ok()) << outcomes.status().ToString();
+  ASSERT_EQ(outcomes.value().size(), expected.size());
+  for (size_t c = 0; c < expected.size(); ++c) {
+    EXPECT_EQ(outcomes.value()[c].labels, expected[c].labels);
+    EXPECT_EQ(outcomes.value()[c].confidence, expected[c].confidence);
+    EXPECT_EQ(outcomes.value()[c].skipped_reason, expected[c].skipped_reason);
+  }
+
+  // The abstention threshold travels on the wire: above 1.0 every
+  // annotatable column must come back abstained.
+  auto abstained = client.value().AnnotateTypesRobust(
+      testing::MakeTable(0), /*sanitize=*/true, /*abstain_below=*/1.01);
+  ASSERT_TRUE(abstained.ok()) << abstained.status().ToString();
+  ASSERT_FALSE(abstained.value().empty());
+  for (const core::ColumnOutcome& outcome : abstained.value()) {
+    EXPECT_TRUE(outcome.abstained);
+    EXPECT_TRUE(outcome.labels.empty());
+  }
+
+  // A zero-column table is a request-level annotate error on the plain
+  // path; the robust path answers with zero outcomes instead.
+  auto empty = client.value().AnnotateTypesRobust(testing::MakeBadTable());
+  ASSERT_TRUE(empty.ok()) << empty.status().ToString();
+  EXPECT_TRUE(empty.value().empty());
+}
+
 TEST_F(ServerTest, MalformedTableGetsErrorAndConnectionStaysUsable) {
   BatcherOptions batcher;
   batcher.max_wait_us = 200;

@@ -1,0 +1,82 @@
+// Golden skip reasons for the checked-in malformed-CSV corpus
+// (tests/data/dirty): each fixture exercises one layer of the dirty-input
+// pipeline — BOM stripping and bare-CR parsing in util::ParseCsv, UTF-8
+// repair and null/header heuristics in table::ColumnSanitizer — and every
+// column's classification is pinned here. tools/check.sh runs this suite
+// under UBSan so the raw fixture bytes also double as a sanitizer workload.
+
+#include <string>
+#include <vector>
+
+#include "doduo/table/sanitizer.h"
+#include "doduo/table/table.h"
+#include "doduo/util/csv.h"
+#include "doduo/util/string_util.h"
+#include "gtest/gtest.h"
+
+namespace doduo::table {
+namespace {
+
+Table LoadFixture(const std::string& name) {
+  const std::string path =
+      std::string(DODUO_TEST_DATA_DIR) + "/dirty/" + name;
+  auto rows = util::ReadCsvFile(path);
+  EXPECT_TRUE(rows.ok()) << path << ": " << rows.status().ToString();
+  auto table = TableFromCsvRows(rows.value(), /*has_header=*/true, name);
+  EXPECT_TRUE(table.ok()) << path << ": " << table.status().ToString();
+  return std::move(table).value();
+}
+
+std::vector<std::string> Reasons(const SanitizeResult& result) {
+  std::vector<std::string> reasons;
+  reasons.reserve(result.columns.size());
+  for (const ColumnReport& report : result.columns) {
+    reasons.emplace_back(SkipReasonName(report.skip));
+  }
+  return reasons;
+}
+
+TEST(DirtyFixturesTest, CatalogGetsBomStrippedAndNullHeaderColumnsSkipped) {
+  const Table table = LoadFixture("catalog.csv");
+  ASSERT_EQ(table.num_columns(), 4);
+  // The UTF-8 BOM must not leak into the first header.
+  EXPECT_EQ(table.column(0).name, "product");
+  const auto result = ColumnSanitizer().Sanitize(table);
+  EXPECT_EQ(Reasons(result),
+            (std::vector<std::string>{"", "", "mostly_null", "header_like"}));
+  EXPECT_EQ(result.num_skipped(), 2u);
+}
+
+TEST(DirtyFixturesTest, MojibakeParsesBareCrAndRepairsAllColumns) {
+  const Table table = LoadFixture("mojibake.csv");
+  ASSERT_EQ(table.num_columns(), 2);
+  // Bare-CR line endings: two data rows, not one glued line.
+  ASSERT_EQ(table.column(0).values.size(), 2u);
+  EXPECT_EQ(table.column(1).values,
+            (std::vector<std::string>{"paris", "lyon"}));
+  const auto result = ColumnSanitizer().Sanitize(table);
+  // Nothing is skipped — the invalid bytes are repaired, not fatal.
+  EXPECT_EQ(Reasons(result), (std::vector<std::string>{"", ""}));
+  ASSERT_TRUE(result.any_modified);
+  EXPECT_TRUE(result.columns[0].name_repaired);   // latin-1 "café" header
+  EXPECT_EQ(result.columns[0].cells_repaired, 1u);  // stray 0x80 in a cell
+  for (const Column& column : result.table.columns()) {
+    EXPECT_TRUE(util::Utf8IsValid(column.name));
+    for (const std::string& value : column.values) {
+      EXPECT_TRUE(util::Utf8IsValid(value));
+    }
+  }
+}
+
+TEST(DirtyFixturesTest, GhostHeaderOnlyFileSkipsEveryColumnAsEmpty) {
+  const Table table = LoadFixture("ghost.csv");
+  ASSERT_EQ(table.num_columns(), 3);
+  const auto result = ColumnSanitizer().Sanitize(table);
+  EXPECT_EQ(Reasons(result),
+            (std::vector<std::string>{"empty_column", "empty_column",
+                                      "empty_column"}));
+  EXPECT_EQ(result.num_skipped(), 3u);
+}
+
+}  // namespace
+}  // namespace doduo::table

@@ -1,0 +1,168 @@
+#include "doduo/table/sanitizer.h"
+
+#include <string>
+#include <vector>
+
+#include "doduo/util/string_util.h"
+#include "gtest/gtest.h"
+
+namespace doduo::table {
+namespace {
+
+Column MakeColumn(std::string name, std::vector<std::string> values) {
+  Column column;
+  column.name = std::move(name);
+  column.values = std::move(values);
+  return column;
+}
+
+TEST(SkipReasonTest, NamesAreStable) {
+  EXPECT_STREQ(SkipReasonName(SkipReason::kNone), "");
+  EXPECT_STREQ(SkipReasonName(SkipReason::kEmptyColumn), "empty_column");
+  EXPECT_STREQ(SkipReasonName(SkipReason::kMostlyNull), "mostly_null");
+  EXPECT_STREQ(SkipReasonName(SkipReason::kHeaderLike), "header_like");
+}
+
+TEST(NullMarkerTest, RecognizesConventionalMarkers) {
+  EXPECT_TRUE(IsNullMarker(""));
+  EXPECT_TRUE(IsNullMarker("   "));
+  EXPECT_TRUE(IsNullMarker("NULL"));
+  EXPECT_TRUE(IsNullMarker("n/a"));
+  EXPECT_TRUE(IsNullMarker(" NaN "));
+  EXPECT_TRUE(IsNullMarker("-"));
+  EXPECT_FALSE(IsNullMarker("0"));
+  EXPECT_FALSE(IsNullMarker("nope"));
+  EXPECT_FALSE(IsNullMarker("--"));
+}
+
+TEST(ColumnSanitizerTest, CleanColumnIsAnnotatable) {
+  ColumnSanitizer sanitizer;
+  EXPECT_EQ(sanitizer.Classify(
+                MakeColumn("city", {"oslo", "bergen", "tromso"})),
+            SkipReason::kNone);
+}
+
+TEST(ColumnSanitizerTest, EmptyColumnIsSkipped) {
+  ColumnSanitizer sanitizer;
+  EXPECT_EQ(sanitizer.Classify(MakeColumn("ghost", {})),
+            SkipReason::kEmptyColumn);
+}
+
+TEST(ColumnSanitizerTest, MostlyNullColumnIsSkipped) {
+  ColumnSanitizer sanitizer({.max_null_ratio = 0.5});
+  EXPECT_EQ(sanitizer.Classify(
+                MakeColumn("sparse", {"", "null", "N/A", "x"})),
+            SkipReason::kMostlyNull);
+  // Exactly at the ratio is allowed; the skip needs a strict majority.
+  EXPECT_EQ(sanitizer.Classify(MakeColumn("half", {"", "x"})),
+            SkipReason::kNone);
+}
+
+TEST(ColumnSanitizerTest, AllNullColumnIsSkippedAtDefaultRatio) {
+  ColumnSanitizer sanitizer;
+  EXPECT_EQ(sanitizer.Classify(
+                MakeColumn("void", {"", "null", "-", "n/a"})),
+            SkipReason::kMostlyNull);
+}
+
+TEST(ColumnSanitizerTest, HeaderEchoColumnIsSkipped) {
+  ColumnSanitizer sanitizer;
+  // Concatenated exports repeat the header row inside the data region.
+  EXPECT_EQ(sanitizer.Classify(
+                MakeColumn("City", {"city", "CITY ", "oslo"})),
+            SkipReason::kHeaderLike);
+  // Headerless columns can never be header-like.
+  EXPECT_EQ(sanitizer.Classify(MakeColumn("", {"", "x", "y"})),
+            SkipReason::kNone);
+}
+
+TEST(ColumnSanitizerTest, CleanTableIsNotCopied) {
+  Table table("t1");
+  table.AddColumn(MakeColumn("name", {"alice", "bob"}));
+  table.AddColumn(MakeColumn("age", {"3", "5"}));
+  ColumnSanitizer sanitizer;
+  const SanitizeResult result = sanitizer.Sanitize(table);
+  EXPECT_FALSE(result.any_modified);
+  EXPECT_EQ(result.num_skipped(), 0u);
+  ASSERT_EQ(result.columns.size(), 2u);
+  for (const ColumnReport& report : result.columns) {
+    EXPECT_EQ(report.skip, SkipReason::kNone);
+    EXPECT_FALSE(report.modified());
+  }
+  // The sanitized table is only populated on modification.
+  EXPECT_EQ(result.table.num_columns(), 0);
+}
+
+TEST(ColumnSanitizerTest, InvalidUtf8CellsAreRepaired) {
+  Table table("t2");
+  table.AddColumn(MakeColumn("name", {"ok", "bad\xC3", "caf\xC3\xA9"}));
+  ColumnSanitizer sanitizer;
+  const SanitizeResult result = sanitizer.Sanitize(table);
+  ASSERT_TRUE(result.any_modified);
+  EXPECT_EQ(result.columns[0].cells_repaired, 1u);
+  const Column& fixed = result.table.column(0);
+  EXPECT_EQ(fixed.values[1], "bad\xEF\xBF\xBD");
+  EXPECT_EQ(fixed.values[2], "caf\xC3\xA9");  // valid cell untouched
+  EXPECT_TRUE(util::Utf8IsValid(fixed.values[1]));
+}
+
+TEST(ColumnSanitizerTest, InvalidHeaderIsRepaired) {
+  Table table("t3");
+  table.AddColumn(MakeColumn("hdr\xFF", {"a", "b"}));
+  ColumnSanitizer sanitizer;
+  const SanitizeResult result = sanitizer.Sanitize(table);
+  ASSERT_TRUE(result.any_modified);
+  EXPECT_TRUE(result.columns[0].name_repaired);
+  EXPECT_EQ(result.table.column(0).name, "hdr\xEF\xBF\xBD");
+}
+
+TEST(ColumnSanitizerTest, OversizedCellsAreClampedOnCodePointBoundary) {
+  Table table("t4");
+  // 8-byte budget; the second cell is 9 bytes ending in a 2-byte sequence
+  // that straddles the cut.
+  table.AddColumn(MakeColumn("c", {"short", "1234567\xC3\xA9"}));
+  ColumnSanitizer sanitizer({.max_cell_bytes = 8});
+  const SanitizeResult result = sanitizer.Sanitize(table);
+  ASSERT_TRUE(result.any_modified);
+  EXPECT_EQ(result.columns[0].cells_clamped, 1u);
+  EXPECT_EQ(result.table.column(0).values[1], "1234567");
+  EXPECT_EQ(result.table.column(0).values[0], "short");
+}
+
+TEST(ColumnSanitizerTest, RepairedCellThatGrowsPastBudgetIsAlsoClamped) {
+  Table table("t5");
+  // Six invalid bytes repair to six U+FFFD (18 bytes), over an 8-byte cap.
+  table.AddColumn(MakeColumn("c", {std::string(6, '\xFF'), "x"}));
+  ColumnSanitizer sanitizer({.max_cell_bytes = 8});
+  const SanitizeResult result = sanitizer.Sanitize(table);
+  ASSERT_TRUE(result.any_modified);
+  EXPECT_EQ(result.columns[0].cells_repaired, 1u);
+  EXPECT_EQ(result.columns[0].cells_clamped, 1u);
+  EXPECT_EQ(result.table.column(0).values[0], "\xEF\xBF\xBD\xEF\xBF\xBD");
+}
+
+TEST(ColumnSanitizerTest, SkippedColumnsAreLeftAsIs) {
+  Table table("t6");
+  table.AddColumn(MakeColumn("junk\xFF", {"", "null", "-"}));  // mostly null
+  table.AddColumn(MakeColumn("name", {"bad\xC3", "ok"}));
+  ColumnSanitizer sanitizer;
+  const SanitizeResult result = sanitizer.Sanitize(table);
+  ASSERT_TRUE(result.any_modified);
+  EXPECT_EQ(result.columns[0].skip, SkipReason::kMostlyNull);
+  EXPECT_FALSE(result.columns[0].modified());
+  // The skipped column (including its bad header) is byte-for-byte intact.
+  EXPECT_EQ(result.table.column(0).name, "junk\xFF");
+  EXPECT_EQ(result.columns[1].cells_repaired, 1u);
+  EXPECT_EQ(result.num_skipped(), 1u);
+}
+
+TEST(ColumnSanitizerTest, RepairCanBeDisabled) {
+  Table table("t7");
+  table.AddColumn(MakeColumn("c", {"bad\xC3"}));
+  ColumnSanitizer sanitizer({.repair_utf8 = false});
+  const SanitizeResult result = sanitizer.Sanitize(table);
+  EXPECT_FALSE(result.any_modified);
+}
+
+}  // namespace
+}  // namespace doduo::table

@@ -1,7 +1,9 @@
 #include "doduo/table/serializer.h"
 
 #include <algorithm>
+#include <string>
 
+#include "doduo/util/metrics.h"
 #include "gtest/gtest.h"
 
 namespace doduo::table {
@@ -46,6 +48,59 @@ TEST_F(SerializerTest, TableWiseHasOneClsPerColumnAndTrailingSep) {
   EXPECT_EQ(std::count(s.token_ids.begin(), s.token_ids.end(),
                        Vocab::kSepId),
             1);
+}
+
+TEST_F(SerializerTest, OversizedSingleCellIsTruncatedWithMetricBump) {
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  // Budget: max_total_tokens=8, one column -> 6 content tokens.
+  TableSerializer serializer(&tokenizer,
+                             {.max_tokens_per_column = 32,
+                              .max_total_tokens = 8});
+  Table t("big");
+  // One cell holding far more words than the whole budget.
+  std::string huge;
+  for (int i = 0; i < 50; ++i) huge += "happy feet ";
+  t.AddColumn({"film", {huge}});
+  auto* truncations =
+      util::GetCounter("serializer.spans_truncated_total");
+  const uint64_t before = truncations->value();
+  SerializedTable s = serializer.SerializeTable(t).value();
+  // [CLS] + 6 content tokens + [SEP]: the giant cell is cut, not an error.
+  ASSERT_EQ(s.token_ids.size(), 8u);
+  EXPECT_EQ(s.token_ids.front(), Vocab::kClsId);
+  EXPECT_EQ(s.token_ids.back(), Vocab::kSepId);
+  EXPECT_EQ(s.token_ids[1], vocab_.Id("happy"));
+  EXPECT_EQ(truncations->value(), before + 1);
+}
+
+TEST_F(SerializerTest, BudgetedTokenizationMatchesFullTokenization) {
+  // The budget-aware path must be byte-identical to tokenize-then-cut.
+  text::WordPieceTokenizer tokenizer(&vocab_);
+  Table t = MakeTable();
+  for (int budget : {8, 12, 20, 160}) {
+    TableSerializer serializer(&tokenizer,
+                               {.max_total_tokens = budget});
+    SerializedTable s = serializer.SerializeTable(t).value();
+    // Reference: full per-cell encode, cut at the per-column budget.
+    const int per_column = std::min(
+        32, (budget - t.num_columns() - 1) / t.num_columns());
+    std::vector<int> want;
+    for (const Column& column : t.columns()) {
+      want.push_back(Vocab::kClsId);
+      std::vector<int> content;
+      for (const std::string& value : column.values) {
+        const auto ids = tokenizer.Encode(value);
+        content.insert(content.end(), ids.begin(), ids.end());
+        if (content.size() >= static_cast<size_t>(per_column)) break;
+      }
+      if (content.size() > static_cast<size_t>(per_column)) {
+        content.resize(static_cast<size_t>(per_column));
+      }
+      want.insert(want.end(), content.begin(), content.end());
+    }
+    want.push_back(Vocab::kSepId);
+    EXPECT_EQ(s.token_ids, want) << "budget=" << budget;
+  }
 }
 
 TEST_F(SerializerTest, TableWiseContainsColumnValuesInOrder) {

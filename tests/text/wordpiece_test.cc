@@ -58,6 +58,87 @@ TEST(WordPieceTokenizerTest, WordLengthLimitCountsCodePointsNotBytes) {
             (std::vector<int>{Vocab::kUnkId}));
 }
 
+TEST(WordPieceTokenizerTest, InvalidUtf8IsRepairedNotSliced) {
+  Vocab vocab;
+  vocab.AddToken("ab");
+  vocab.AddToken("##cd");
+  vocab.AddToken("\xEF\xBF\xBD");    // U+FFFD
+  vocab.AddToken("##\xEF\xBF\xBD");  // continuation form
+  WordPieceTokenizer tokenizer(&vocab);
+  // A truncated 3-byte sequence between two matchable chunks becomes one
+  // replacement char, and the surrounding pieces still match.
+  const auto ids = tokenizer.TokenizeWord("ab\xE4\xB8");
+  ASSERT_EQ(ids.size(), 2u);
+  EXPECT_EQ(vocab.Token(ids[0]), "ab");
+  EXPECT_EQ(vocab.Token(ids[1]), "##\xEF\xBF\xBD");
+  // A lone invalid lead byte is a single replacement char, never [UNK]
+  // caused by byte-slicing through it.
+  const auto lone = tokenizer.TokenizeWord("\xFF");
+  ASSERT_EQ(lone.size(), 1u);
+  EXPECT_EQ(vocab.Token(lone[0]), "\xEF\xBF\xBD");
+}
+
+TEST(WordPieceTokenizerTest, InvalidUtf8LengthCapCountsRepairedCodePoints) {
+  Vocab vocab;
+  vocab.AddToken("\xEF\xBF\xBD");
+  vocab.AddToken("##\xEF\xBF\xBD");
+  WordPieceTokenizer tokenizer(&vocab, /*max_chars_per_word=*/4);
+  // Four invalid lead bytes repair to four code points: at the cap, fine.
+  EXPECT_EQ(tokenizer.TokenizeWord("\xFF\xFF\xFF\xFF").size(), 4u);
+  // Five exceed it.
+  EXPECT_EQ(tokenizer.TokenizeWord("\xFF\xFF\xFF\xFF\xFF"),
+            (std::vector<int>{Vocab::kUnkId}));
+}
+
+TEST(WordPieceTokenizerTest, ValidMultiByteNeverMatchesMidSequence) {
+  Vocab vocab;
+  // Vocab deliberately holds a fragment equal to the emoji's first byte;
+  // the matcher must not consider it because candidates shrink by whole
+  // code points.
+  vocab.AddToken(std::string(1, '\xF0'));
+  vocab.AddToken("\xF0\x9F\x98\x80");
+  WordPieceTokenizer tokenizer(&vocab);
+  const auto ids = tokenizer.TokenizeWord("\xF0\x9F\x98\x80");
+  ASSERT_EQ(ids.size(), 1u);
+  EXPECT_EQ(vocab.Token(ids[0]), "\xF0\x9F\x98\x80");
+}
+
+TEST(WordPieceTokenizerTest, EncodeBudgetedIsPrefixOfEncode) {
+  Vocab vocab;
+  vocab.AddToken("happy");
+  vocab.AddToken("feet");
+  vocab.AddToken("mad");
+  vocab.AddToken("max");
+  WordPieceTokenizer tokenizer(&vocab);
+  const std::string text = "happy feet mad max";
+  const auto full = tokenizer.Encode(text);
+  ASSERT_EQ(full.size(), 4u);
+  for (size_t budget = 0; budget <= full.size() + 1; ++budget) {
+    bool truncated = false;
+    const auto got = tokenizer.EncodeBudgeted(text, budget, &truncated);
+    const size_t want = std::min(budget, full.size());
+    ASSERT_EQ(got.size(), want) << "budget=" << budget;
+    EXPECT_TRUE(
+        std::equal(got.begin(), got.end(), full.begin()));
+    EXPECT_EQ(truncated, budget < full.size()) << "budget=" << budget;
+  }
+}
+
+TEST(WordPieceTokenizerTest, EncodeBudgetedCutsInsideAWord) {
+  Vocab vocab;
+  vocab.AddToken("un");
+  vocab.AddToken("##aff");
+  vocab.AddToken("##able");
+  WordPieceTokenizer tokenizer(&vocab);
+  // "unaffable unaffable" is 6 pieces; a budget of 4 cuts mid-word.
+  bool truncated = false;
+  const auto ids =
+      tokenizer.EncodeBudgeted("unaffable unaffable", 4, &truncated);
+  ASSERT_EQ(ids.size(), 4u);
+  EXPECT_TRUE(truncated);
+  EXPECT_EQ(vocab.Token(ids[3]), "un");
+}
+
 TEST(WordPieceTokenizerTest, DecodeBoundsChecksIds) {
   Vocab vocab;
   vocab.AddToken("ok");

@@ -87,6 +87,56 @@ TEST(CsvParseTest, TextAfterClosingQuoteIsError) {
   EXPECT_TRUE(ParseCsv("\"ab\"\"cd\"\n").ok());      // escaped quote is fine
 }
 
+TEST(CsvParseTest, LeadingUtf8BomIsStripped) {
+  auto rows = ParseCsv("\xEF\xBB\xBFname,age\nalice,3\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  // Without the strip the BOM bytes would corrupt the first header name.
+  EXPECT_EQ(rows.value()[0][0], "name");
+  EXPECT_EQ(rows.value()[0], (std::vector<std::string>{"name", "age"}));
+}
+
+TEST(CsvParseTest, BomOnlyInFirstPositionIsStripped) {
+  // A BOM mid-file is data, not a marker.
+  auto rows = ParseCsv("a,\xEF\xBB\xBF\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value()[0][1], "\xEF\xBB\xBF");
+}
+
+TEST(CsvParseTest, BareCrLineEndings) {
+  // Classic-Mac exports end rows with a lone CR.
+  auto rows = ParseCsv("h1,h2\ra,b\rc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 3u);
+  EXPECT_EQ(rows.value()[1], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows.value()[2], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvParseTest, CrlfInsideQuotedFieldIsCellContent) {
+  // A quoted cell may span lines; the CRLF belongs to the cell and must
+  // not split it into two rows.
+  auto rows = ParseCsv("h1,h2\r\n\"line1\r\nline2\",x\r\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  ASSERT_EQ(rows.value()[1].size(), 2u);
+  EXPECT_EQ(rows.value()[1][0], "line1\r\nline2");
+  EXPECT_EQ(rows.value()[1][1], "x");
+}
+
+TEST(CsvParseTest, BareCrInsideQuotedFieldIsCellContent) {
+  auto rows = ParseCsv("\"a\rb\",c\r\"d\",e");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows.value().size(), 2u);
+  EXPECT_EQ(rows.value()[0][0], "a\rb");
+  EXPECT_EQ(rows.value()[1][0], "d");
+}
+
+TEST(CsvParseTest, BomThenQuotedHeader) {
+  auto rows = ParseCsv("\xEF\xBB\xBF\"name\",\"city\"\r\nbob,oslo\r\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ(rows.value()[0], (std::vector<std::string>{"name", "city"}));
+}
+
 TEST(CsvWriteTest, RoundTrip) {
   CsvRows rows = {{"plain", "with,comma", "with\"quote", "with\nnewline"},
                   {"", "x", "", ""}};

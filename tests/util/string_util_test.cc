@@ -85,6 +85,61 @@ TEST(EditDistanceTest, KnownValues) {
   EXPECT_EQ(EditDistance("ab", "ba"), 2u);
 }
 
+TEST(Utf8ValidityTest, RecognizesWellAndIllFormedSequences) {
+  EXPECT_TRUE(Utf8IsValid(""));
+  EXPECT_TRUE(Utf8IsValid("plain ascii"));
+  EXPECT_TRUE(Utf8IsValid("caf\xC3\xA9"));              // U+00E9
+  EXPECT_TRUE(Utf8IsValid("\xE4\xB8\xAD\xE6\x96\x87"));  // 中文
+  EXPECT_TRUE(Utf8IsValid("\xF0\x9F\x98\x80"));          // U+1F600
+  EXPECT_FALSE(Utf8IsValid("\xC3"));              // truncated 2-byte
+  EXPECT_FALSE(Utf8IsValid("abc\xE4\xB8"));       // truncated 3-byte
+  EXPECT_FALSE(Utf8IsValid("\x80"));              // stray continuation
+  EXPECT_FALSE(Utf8IsValid("\xC0\xAF"));          // overlong '/'
+  EXPECT_FALSE(Utf8IsValid("\xE0\x80\xAF"));      // overlong 3-byte
+  EXPECT_FALSE(Utf8IsValid("\xED\xA0\x80"));      // UTF-16 surrogate
+  EXPECT_FALSE(Utf8IsValid("\xF4\x90\x80\x80"));  // above U+10FFFF
+  EXPECT_FALSE(Utf8IsValid("\xFF"));              // invalid lead byte
+}
+
+TEST(Utf8RepairTest, ValidTextIsUntouched) {
+  EXPECT_EQ(Utf8Repair("plain"), "plain");
+  EXPECT_EQ(Utf8Repair("caf\xC3\xA9"), "caf\xC3\xA9");
+  EXPECT_EQ(Utf8Repair(""), "");
+}
+
+TEST(Utf8RepairTest, InvalidSequencesBecomeReplacementChar) {
+  const std::string fffd = "\xEF\xBF\xBD";
+  EXPECT_EQ(Utf8Repair("\xC3"), fffd);                   // truncated at end
+  EXPECT_EQ(Utf8Repair("a\xC3z"), "a" + fffd + "z");     // truncated mid-text
+  EXPECT_EQ(Utf8Repair("\xC0\xAF"), fffd);               // overlong, one FFFD
+  EXPECT_EQ(Utf8Repair("\x80\x80x"), fffd + "x");        // stray continuations
+  EXPECT_EQ(Utf8Repair("\xED\xA0\x80!"), fffd + "!");    // surrogate
+  EXPECT_TRUE(Utf8IsValid(Utf8Repair("\xF5\x9F\x98\x80\xE4\xB8")));
+}
+
+TEST(Utf8RepairTest, RepairedTextAlwaysValidates) {
+  // Every 2-byte combination repairs to well-formed UTF-8.
+  for (int a = 0; a < 256; a += 7) {
+    for (int b = 0; b < 256; b += 11) {
+      const char bytes[2] = {static_cast<char>(a), static_cast<char>(b)};
+      EXPECT_TRUE(Utf8IsValid(Utf8Repair(std::string_view(bytes, 2))));
+    }
+  }
+}
+
+TEST(Utf8ClampBytesTest, NeverSplitsASequence) {
+  EXPECT_EQ(Utf8ClampBytes("abcdef", 3), "abc");
+  EXPECT_EQ(Utf8ClampBytes("ab", 10), "ab");
+  // "caf\xC3\xA9" clamped to 4 bytes must drop the whole 2-byte sequence.
+  EXPECT_EQ(Utf8ClampBytes("caf\xC3\xA9", 4), "caf");
+  EXPECT_EQ(Utf8ClampBytes("caf\xC3\xA9", 5), "caf\xC3\xA9");
+  // 4-byte emoji: any cut inside it backs off to its start.
+  const std::string emoji = "x\xF0\x9F\x98\x80";
+  for (size_t cut = 1; cut < 5; ++cut) {
+    EXPECT_EQ(Utf8ClampBytes(emoji, cut), "x") << "cut=" << cut;
+  }
+}
+
 TEST(CharNgramsTest, PaddedAndUnpadded) {
   auto grams = CharNgrams("ab", 2, /*pad=*/true);  // "^ab$"
   EXPECT_EQ(grams, (std::vector<std::string>{"^a", "ab", "b$"}));

@@ -106,6 +106,14 @@ cmake --build build-tsan -j "${jobs}" --target nn_test transformer_test \
 echo "=== UndefinedBehaviorSanitizer ==="
 cmake -B build-ubsan -S . -DDODUO_UBSAN=ON >/dev/null
 cmake --build build-ubsan -j "${jobs}"
+echo "--- dirty-input suite (DESIGN §15: raw fixture bytes + sanitizer + robust path) ---"
+# Focused gate before the full run: the malformed-CSV fixture corpus, the
+# column sanitizer heuristics, confidence calibration, and the robust
+# annotation path — the code that chews untrusted bytes — must be clean
+# under UBSan on their own, so a regression here is named, not buried in
+# the tier-1 wall of output.
+ctest --test-dir build-ubsan --output-on-failure -j "${jobs}" \
+  -R 'DirtyFixtures|ColumnSanitizer|NullMarker|SkipReason|CalibratedConfidence|FitTemperature|AnnotatorRobust'
 ctest --test-dir build-ubsan --output-on-failure -j "${jobs}"
 
 echo "=== all checks passed (lint + quant gate + -Werror + thread-safety; ${sanitizer_filter} under ASan/TSan; tier-1 under UBSan) ==="

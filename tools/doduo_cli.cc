@@ -12,9 +12,17 @@
 //       call that fans out across the compute pool (warning when the batch
 //       is smaller than the pool — the fan-out clamps to the table count).
 //
+//       Dirty-input flags (DESIGN §15): --outcomes switches to the robust
+//       path, printing a calibrated confidence, an abstention, or a
+//       machine-readable skip reason per column instead of failing the
+//       table; --abstain-below T drops predictions whose calibrated
+//       confidence is below T; --no-sanitize disables the column sanitizer
+//       pass. The latter two imply --outcomes.
+//
 //   doduo_cli annotate --server <host:port> <file.csv>...
 //       Client mode: sends each CSV to a running doduo_serve daemon over
 //       the binary frame protocol instead of loading a model locally.
+//       Accepts the same dirty-input flags.
 //
 //   doduo_cli embed --model <dir> <file.csv>
 //       Prints the contextualized column embeddings as CSV.
@@ -111,9 +119,37 @@ void PrintTypes(const doduo::table::Table& table,
   }
 }
 
+void PrintOutcomes(const doduo::table::Table& table,
+                   const std::vector<doduo::core::ColumnOutcome>& outcomes) {
+  for (int c = 0; c < table.num_columns(); ++c) {
+    const doduo::core::ColumnOutcome& outcome =
+        outcomes[static_cast<size_t>(c)];
+    const char* name = table.column(c).name.c_str();
+    if (!outcome.skipped_reason.empty()) {
+      std::printf("%s: [skipped: %s]\n", name,
+                  outcome.skipped_reason.c_str());
+    } else if (outcome.abstained) {
+      std::printf("%s: [abstained, confidence=%.3f]\n", name,
+                  outcome.confidence);
+    } else {
+      std::printf("%s: %s (confidence=%.3f)\n", name,
+                  doduo::util::Join(outcome.labels, ", ").c_str(),
+                  outcome.confidence);
+    }
+  }
+}
+
+/// Options of the dirty-input annotation mode (`--outcomes` and friends).
+struct OutcomeFlags {
+  bool enabled = false;
+  bool sanitize = true;
+  double abstain_below = 0.0;
+};
+
 /// Client mode: annotate each CSV through a doduo_serve endpoint.
 int AnnotateRemote(const std::string& endpoint,
-                   const std::vector<std::string>& csv_paths) {
+                   const std::vector<std::string>& csv_paths,
+                   const OutcomeFlags& outcome_flags) {
   std::string host;
   int port = 0;
   if (!ParseEndpoint(endpoint, &host, &port)) {
@@ -124,16 +160,27 @@ int AnnotateRemote(const std::string& endpoint,
   for (const std::string& path : csv_paths) {
     auto table = LoadCsvTable(path);
     if (!table.ok()) return Fail(table.status().ToString());
+    if (csv_paths.size() > 1) std::printf("== %s ==\n", path.c_str());
+    if (outcome_flags.enabled) {
+      auto outcomes = client.value().AnnotateTypesRobust(
+          table.value(), outcome_flags.sanitize,
+          outcome_flags.abstain_below);
+      if (!outcomes.ok()) {
+        return Fail(path + ": " + outcomes.status().ToString());
+      }
+      PrintOutcomes(table.value(), outcomes.value());
+      continue;
+    }
     auto types = client.value().AnnotateTypes(table.value());
     if (!types.ok()) return Fail(path + ": " + types.status().ToString());
-    if (csv_paths.size() > 1) std::printf("== %s ==\n", path.c_str());
     PrintTypes(table.value(), types.value());
   }
   return 0;
 }
 
 int Annotate(const std::string& model_dir,
-             const std::vector<std::string>& csv_paths, bool batch) {
+             const std::vector<std::string>& csv_paths, bool batch,
+             const OutcomeFlags& outcome_flags) {
   auto loaded = doduo::core::LoadModelDir(model_dir);
   if (!loaded.ok()) return Fail(loaded.status().ToString());
   std::vector<doduo::table::Table> tables;
@@ -145,6 +192,27 @@ int Annotate(const std::string& model_dir,
 
   doduo::core::LoadedModel& m = *loaded.value();
   doduo::core::Annotator annotator = m.MakeAnnotator();
+
+  if (outcome_flags.enabled) {
+    doduo::core::AnnotateOptions options;
+    options.sanitize = outcome_flags.sanitize;
+    options.abstain_below = outcome_flags.abstain_below;
+    std::vector<std::vector<doduo::core::ColumnOutcome>> outcomes;
+    if (batch) {
+      doduo::core::WarnIfBatchClampedToTableCount(
+          tables.size(), doduo::util::ComputePool()->num_threads());
+      outcomes = annotator.AnnotateTypesRobustBatch(tables, options);
+    } else {
+      for (const doduo::table::Table& table : tables) {
+        outcomes.push_back(annotator.AnnotateTypesRobust(table, options));
+      }
+    }
+    for (size_t t = 0; t < tables.size(); ++t) {
+      if (tables.size() > 1) std::printf("== %s ==\n", csv_paths[t].c_str());
+      PrintOutcomes(tables[t], outcomes[t]);
+    }
+    return 0;
+  }
 
   std::vector<std::vector<std::vector<std::string>>> types;
   if (batch) {
@@ -219,15 +287,22 @@ int RemoteStats(const std::string& endpoint) {
 const char* kUsage =
     "usage:\n"
     "  doduo_cli train --out <dir> [--mode wikitable|viznet] [--threads N]\n"
-    "  doduo_cli annotate --model <dir> [--batch] [--threads N] [--stats]"
-    " <file.csv>...\n"
-    "  doduo_cli annotate --server <host:port> <file.csv>...\n"
+    "  doduo_cli annotate --model <dir> [--batch] [--threads N] [--stats]\n"
+    "      [--outcomes] [--abstain-below T] [--no-sanitize] <file.csv>...\n"
+    "  doduo_cli annotate --server <host:port> [--outcomes]"
+    " [--abstain-below T]\n"
+    "      [--no-sanitize] <file.csv>...\n"
     "  doduo_cli embed --model <dir> [--threads N] [--stats] <file.csv>\n"
     "  doduo_cli stats --server <host:port>\n"
     "\n"
     "  --server talks to a running doduo_serve daemon instead of loading\n"
     "  a model locally; --stats dumps local pipeline metrics (counters +\n"
-    "  latency histograms) as JSON on stderr before exiting.\n";
+    "  latency histograms) as JSON on stderr before exiting.\n"
+    "  --outcomes uses the dirty-input path: per column, labels with a\n"
+    "  calibrated confidence, an abstention, or a machine-readable skip\n"
+    "  reason. --abstain-below T abstains on predictions whose confidence\n"
+    "  falls below T; --no-sanitize skips the column sanitizer pass. Both\n"
+    "  imply --outcomes.\n";
 
 }  // namespace
 
@@ -240,6 +315,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> csv_paths;
   bool batch = false;
   bool stats = false;
+  OutcomeFlags outcome_flags;
   for (int i = 2; i < argc; ++i) {
     if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
       out_dir = argv[++i];
@@ -256,6 +332,14 @@ int main(int argc, char** argv) {
       batch = true;
     } else if (std::strcmp(argv[i], "--stats") == 0) {
       stats = true;
+    } else if (std::strcmp(argv[i], "--outcomes") == 0) {
+      outcome_flags.enabled = true;
+    } else if (std::strcmp(argv[i], "--abstain-below") == 0 && i + 1 < argc) {
+      outcome_flags.abstain_below = std::strtod(argv[++i], nullptr);
+      outcome_flags.enabled = true;
+    } else if (std::strcmp(argv[i], "--no-sanitize") == 0) {
+      outcome_flags.sanitize = false;
+      outcome_flags.enabled = true;
     } else {
       csv_paths.emplace_back(argv[i]);
     }
@@ -265,10 +349,10 @@ int main(int argc, char** argv) {
   if (command == "train" && !out_dir.empty()) {
     exit_code = Train(out_dir, mode);
   } else if (command == "annotate" && !server.empty() && !csv_paths.empty()) {
-    exit_code = AnnotateRemote(server, csv_paths);
+    exit_code = AnnotateRemote(server, csv_paths, outcome_flags);
   } else if (command == "annotate" && !model_dir.empty() &&
              !csv_paths.empty()) {
-    exit_code = Annotate(model_dir, csv_paths, batch);
+    exit_code = Annotate(model_dir, csv_paths, batch, outcome_flags);
   } else if (command == "embed" && !model_dir.empty() && !csv_paths.empty()) {
     exit_code = Embed(model_dir, csv_paths.front());
   } else if (command == "stats" && !server.empty()) {
