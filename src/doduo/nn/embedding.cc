@@ -13,13 +13,20 @@ Embedding::Embedding(std::string name, int64_t vocab_size, int64_t dim,
 
 const Tensor& Embedding::Forward(const std::vector<int>& ids) {
   DODUO_CHECK(!ids.empty());
-  cached_ids_ = ids;
+  return Forward(ids.data(), static_cast<int64_t>(ids.size()));
+}
+
+const Tensor& Embedding::Forward(const int* ids, int64_t count) {
+  DODUO_CHECK(ids != nullptr && count > 0);
+  // Id cache for Backward. Capacity is reused after warm-up, so the
+  // steady-state forward performs no allocation.
+  cached_ids_.assign(ids, ids + count);  // NOLINT(hot-path-alloc)
   const int64_t d = dim();
-  output_.ResizeUninitialized({static_cast<int64_t>(ids.size()), d});
-  for (size_t i = 0; i < ids.size(); ++i) {
+  output_.ResizeUninitialized({count, d});
+  for (int64_t i = 0; i < count; ++i) {
     DODUO_DCHECK(ids[i] >= 0 && ids[i] < vocab_size());
     const float* src = std::as_const(table_.value).row(ids[i]);
-    std::copy(src, src + d, output_.row(static_cast<int64_t>(i)));
+    std::copy(src, src + d, output_.row(i));
   }
   return output_;
 }

@@ -20,6 +20,11 @@ class Embedding {
   /// ids (each in [0, vocab)) → [ids.size(), dim].
   const Tensor& Forward(const std::vector<int>& ids);
 
+  /// Pointer form for callers that keep a precomputed id buffer (e.g. the
+  /// position ids 0..max_positions-1 a BertModel fills once): embeds the
+  /// first `count` ids without touching the caller's container.
+  const Tensor& Forward(const int* ids, int64_t count);
+
   /// Accumulates grad_out [len, dim] into the rows selected by the cached
   /// ids of the last Forward call.
   void Backward(const Tensor& grad_out);

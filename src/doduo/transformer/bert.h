@@ -62,7 +62,7 @@ class BertModel {
   nn::Dropout embedding_dropout_;
   Encoder encoder_;
   nn::Tensor embedded_;
-  std::vector<int> position_ids_;
+  std::vector<int> position_ids_;  // 0..max_positions-1, filled in the ctor
 };
 
 }  // namespace doduo::transformer

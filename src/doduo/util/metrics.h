@@ -9,6 +9,8 @@
 #include <string_view>
 #include <vector>
 
+#include "doduo/util/metric_names.h"
+
 namespace doduo::util {
 
 // Process-wide counters and latency histograms for the annotation pipeline

@@ -138,7 +138,8 @@ TEST(NoRawRandomTest, RandSrandTimeRandomDeviceFire) {
   for (const Violation& v : vs) {
     if (v.rule == kRuleNoRawRandom) ++count;
   }
-  EXPECT_EQ(count, 4);  // srand, time, rand, random_device
+  // srand+time share a line (one finding), then rand, then random_device.
+  EXPECT_EQ(count, 3);
 }
 
 TEST(NoRawRandomTest, UtilRngIsExempt) {
@@ -371,8 +372,9 @@ TEST(RawMutexTest, StdMutexLockGuardCondVarFire) {
   for (const Violation& v : vs) {
     if (v.rule == kRuleRawMutex) ++raw_mutex;
   }
-  // mutex decl, cv decl, lock_guard + its arg, unique_lock + its arg.
-  EXPECT_EQ(raw_mutex, 6);
+  // One finding per line: mutex decl, cv decl, lock_guard line,
+  // unique_lock line (the template argument is the same finding).
+  EXPECT_EQ(raw_mutex, 4);
 }
 
 TEST(RawMutexTest, DoduoUtilIsExempt) {
@@ -586,6 +588,54 @@ TEST(CollectStatusFunctionsTest, FindsQualifiedDefinitions) {
       "}\n",
       &names);
   EXPECT_EQ(names.count("ForEachTable"), 1u);
+}
+
+TEST(NolintTest, MultiLineStatementAcceptsNolintOnAnyOfItsLines) {
+  // The call spans three lines; the escape sits on the last one, where the
+  // offending argument actually is. The report anchors to the first line,
+  // but the whole statement span honors the annotation.
+  const auto vs = Lint("src/doduo/core/x.cc",
+                       "void f() {\n"
+                       "  Save(\n"
+                       "      very_long_path,\n"
+                       "      options);  // NOLINT(discarded-status)\n"
+                       "}\n",
+                       {"Save"});
+  EXPECT_FALSE(HasRule(vs, kRuleDiscardedStatus));
+}
+
+TEST(NolintTest, MultiLineStatementWithoutNolintStillFires) {
+  const auto vs = Lint("src/doduo/core/x.cc",
+                       "void f() {\n"
+                       "  Save(\n"
+                       "      very_long_path,\n"
+                       "      options);\n"
+                       "}\n",
+                       {"Save"});
+  ASSERT_TRUE(HasRule(vs, kRuleDiscardedStatus));
+  EXPECT_EQ(vs[0].line, 2);  // anchored where the call starts
+}
+
+// -- Deduplication ----------------------------------------------------------
+
+TEST(DedupeTest, TwoOffendersOnOneLineAreOneFinding) {
+  const auto vs = Lint("src/doduo/core/x.cc",
+                       "void f() { Save(a); Save(b); }\n", {"Save"});
+  ASSERT_EQ(vs.size(), 1u);
+  EXPECT_EQ(vs[0].rule, kRuleDiscardedStatus);
+}
+
+TEST(DedupeTest, DistinctRulesOnOneLineBothSurvive) {
+  const auto vs = Lint("src/doduo/nn/x.cc",
+                       "void f() { int* p = new int; std::abort(); }\n");
+  EXPECT_TRUE(HasRule(vs, kRuleNoNakedNew));
+  EXPECT_TRUE(HasRule(vs, kRuleNoAbort));
+}
+
+TEST(DedupeTest, SameRuleOnDistinctLinesBothSurvive) {
+  const auto vs = Lint("src/doduo/core/x.cc",
+                       "void f() {\n  Save(a);\n  Save(b);\n}\n", {"Save"});
+  EXPECT_EQ(vs.size(), 2u);
 }
 
 // -- Formatting -------------------------------------------------------------

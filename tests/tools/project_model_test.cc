@@ -1,0 +1,96 @@
+// The ProjectModel is the IR every whole-program pass trusts (DESIGN §16):
+// if module classification, include parsing, or include resolution is
+// wrong, every graph rule silently checks the wrong graph.
+
+#include "lint/project_model.h"
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace doduo::lint {
+namespace {
+
+TEST(ModuleForPathTest, ClassifiesEveryScope) {
+  EXPECT_EQ(ModuleForPath("src/doduo/util/status.h"), "util");
+  EXPECT_EQ(ModuleForPath("src/doduo/serve/protocol.h"), "serve");
+  EXPECT_EQ(ModuleForPath("src/doduo/doduo.h"), "src");
+  EXPECT_EQ(ModuleForPath("tools/lint/lint_engine.cc"), "tools");
+  EXPECT_EQ(ModuleForPath("tests/nn/tensor_test.cc"), "tests");
+  EXPECT_EQ(ModuleForPath("bench/bench_kernels.cc"), "bench");
+  EXPECT_EQ(ModuleForPath("examples/annotate.cc"), "examples");
+  EXPECT_EQ(ModuleForPath("third_party/x/y.h"), "other");
+}
+
+TEST(DefaultLayerRanksTest, RanksFormTheDocumentedDag) {
+  const auto ranks = DefaultLayerRanks();
+  // Spot-check the ordering the DAG depends on.
+  EXPECT_LT(ranks.at("util"), ranks.at("text"));
+  EXPECT_LT(ranks.at("text"), ranks.at("table"));
+  EXPECT_LT(ranks.at("table"), ranks.at("nn"));
+  EXPECT_LT(ranks.at("nn"), ranks.at("transformer"));
+  EXPECT_LT(ranks.at("transformer"), ranks.at("core"));
+  EXPECT_LT(ranks.at("core"), ranks.at("serve"));
+  EXPECT_LT(ranks.at("serve"), ranks.at("experiments"));
+  // Sibling modules share a rank: neither may include the other.
+  EXPECT_EQ(ranks.at("nn"), ranks.at("eval"));
+  EXPECT_EQ(ranks.at("serve"), ranks.at("analysis"));
+  // Top-of-stack scopes are unconstrained consumers.
+  EXPECT_EQ(ranks.at("tools"), kUnconstrainedRank);
+  EXPECT_EQ(ranks.at("tests"), kUnconstrainedRank);
+}
+
+TEST(ProjectModelTest, ParsesAndResolvesIncludes) {
+  auto model = ProjectModel::Build({
+      {"src/doduo/util/status.h", "#ifndef A\n#define A\n#endif\n"},
+      {"src/doduo/nn/tensor.h",
+       "#include <vector>\n"
+       "#include \"doduo/util/status.h\"\n"
+       "#include \"doduo/util/missing.h\"\n"},
+  });
+  ASSERT_EQ(model.files.size(), 2u);
+  const FileModel& tensor = model.files[1];
+  ASSERT_EQ(tensor.includes.size(), 3u);
+  EXPECT_TRUE(tensor.includes[0].system);
+  EXPECT_EQ(tensor.includes[0].path, "vector");
+  EXPECT_EQ(tensor.includes[0].target, -1);
+  EXPECT_FALSE(tensor.includes[1].system);
+  EXPECT_EQ(tensor.includes[1].line, 2);
+  // Quote includes resolve against the src/ root...
+  EXPECT_EQ(tensor.includes[1].target, 0);
+  // ...and an unresolvable project header stays external.
+  EXPECT_EQ(tensor.includes[2].target, -1);
+}
+
+TEST(ProjectModelTest, ResolvesToolsRootAndFindsBySuffix) {
+  auto model = ProjectModel::Build({
+      {"tools/lint/lint_engine.h", ""},
+      {"tools/lint/doduo_lint.cc", "#include \"lint/lint_engine.h\"\n"},
+  });
+  EXPECT_EQ(model.files[1].includes[0].target, 0);
+  EXPECT_EQ(model.FindFileBySuffix("lint/lint_engine.h"), 0);
+  EXPECT_EQ(model.FindFileBySuffix("no/such/file.h"), -1);
+}
+
+TEST(ProjectModelTest, TokensLiteralsAndSuppressionsAreFiled) {
+  auto model = ProjectModel::Build({
+      {"src/doduo/core/x.cc",
+       "void f() {\n"
+       "  g(\"lit\");  // NOLINT(some-rule)\n"
+       "}\n"},
+  });
+  const FileModel& f = model.files[0];
+  ASSERT_EQ(f.literals.size(), 1u);
+  EXPECT_EQ(f.literals[0].text, "lit");
+  EXPECT_EQ(f.literals[0].line, 2);
+  EXPECT_TRUE(IsSuppressed(f.suppressions, 2, "some-rule"));
+  EXPECT_FALSE(IsSuppressed(f.suppressions, 1, "some-rule"));
+  bool saw_g = false;
+  for (const Token& t : f.tokens) saw_g |= t.text == "g";
+  EXPECT_TRUE(saw_g);
+}
+
+}  // namespace
+}  // namespace doduo::lint

@@ -1,10 +1,12 @@
-// doduo_lint: project-invariant static analysis (DESIGN §11).
+// doduo_lint: project-invariant static analysis (DESIGN §11, §16).
 //
-//   doduo_lint [repo-root]
+//   doduo_lint [--all] [--fix] [--format=text|json]
+//              [--baseline=FILE] [--write-baseline=FILE] [repo-root]
 //
 // Walks src/, tools/, bench/, examples/, and tests/ under the repo root
 // (default: the current directory), collects every Status/Result-returning
-// function name from the sources, then lints each file against the rules:
+// function name from the sources, then lints each file against the
+// per-file rules:
 //
 //   discarded-status   ignored call to a Status/Result-returning function
 //   no-abort           abort/exit/assert outside util/logging|status|mutex
@@ -20,21 +22,40 @@
 //   sleep-sync         sleep_for/sleep_until as synchronization in serve
 //                      tests; wait on the observable condition instead
 //
+// With --all, the whole-program passes (graph_rules.h) run on top:
+//
+//   layering           module include DAG (util → text → table → … → serve)
+//   include-cycle      file-level include graph is acyclic
+//   frame-symmetry     serve FrameType ids dense + paired + wired + fuzzed
+//   metrics-registry   metric names match util/metric_names.h exactly
+//   hot-path-alloc     no alloc reachable from the encoder forward path
+//
+// --fix rewrites files in place for the mechanical rules (include-order,
+// header-guard); the result is idempotent. --format=json emits a
+// SARIF-lite report on stdout for CI artifacts. --baseline=FILE suppresses
+// known violations ("rule path" per line, '#' comments); when the flag is
+// absent, tools/lint/lint_baseline.txt under the repo root is used if it
+// exists. --write-baseline=FILE snapshots current violations and exits 0.
+//
 // Violations print as "file:line: rule-id message"; a `// NOLINT(rule-id)`
 // comment on the offending line suppresses them. Exit status is 0 when the
-// tree is clean, 1 when violations were found, 2 on usage/IO errors.
+// tree is clean, 1 when violations were found, 2 on usage/IO errors —
+// scripts can tell "dirty tree" from "broken invocation".
 
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <utility>
 #include <vector>
 
+#include "lint/graph_rules.h"
 #include "lint/lint_engine.h"
+#include "lint/project_model.h"
 
 namespace {
 
@@ -53,31 +74,137 @@ bool ReadFile(const fs::path& path, std::string* out) {
   return true;
 }
 
+bool WriteFile(const fs::path& path, std::string_view text) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out.write(text.data(), static_cast<std::streamsize>(text.size()));
+  return out.good();
+}
+
+/// Baseline: accepted (rule, repo-relative path) pairs.
+using Baseline = std::set<std::pair<std::string, std::string>>;
+
+bool LoadBaseline(const fs::path& path, Baseline* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string rule, file;
+    if (fields >> rule >> file) out->emplace(rule, file);
+  }
+  return true;
+}
+
+void JsonEscape(std::string_view s, std::string* out) {
+  for (char c : s) {
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
+
+/// SARIF-lite: the subset of SARIF that CI annotators actually read —
+/// one result per violation with ruleId, level, message, and location.
+std::string FormatJson(const std::vector<doduo::lint::Violation>& violations,
+                       size_t files_scanned, size_t baselined) {
+  std::string out = "{\n  \"tool\": \"doduo_lint\",\n  \"results\": [";
+  bool first = true;
+  for (const doduo::lint::Violation& v : violations) {
+    if (!first) out += ',';
+    first = false;
+    out += "\n    {\"ruleId\": \"";
+    JsonEscape(v.rule, &out);
+    out += "\", \"level\": \"error\", \"message\": \"";
+    JsonEscape(v.message, &out);
+    out += "\", \"location\": {\"file\": \"";
+    JsonEscape(v.file, &out);
+    out += "\", \"line\": " + std::to_string(v.line) + "}}";
+  }
+  out += violations.empty() ? "],\n" : "\n  ],\n";
+  out += "  \"summary\": {\"files\": " + std::to_string(files_scanned) +
+         ", \"violations\": " + std::to_string(violations.size()) +
+         ", \"baselined\": " + std::to_string(baselined) + "}\n}\n";
+  return out;
+}
+
+int Usage() {
+  std::fprintf(stderr,
+               "usage: doduo_lint [--all] [--fix] [--format=text|json]\n"
+               "                  [--baseline=FILE] [--write-baseline=FILE]\n"
+               "                  [repo-root]\n");
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc > 2) {
-    std::fprintf(stderr, "usage: doduo_lint [repo-root]\n");
-    return 2;
+  bool all = false;
+  bool fix = false;
+  std::string format = "text";
+  std::string baseline_flag;
+  std::string write_baseline;
+  fs::path root;
+  for (int i = 1; i < argc; ++i) {
+    const std::string_view arg = argv[i];
+    if (arg == "--all") {
+      all = true;
+    } else if (arg == "--fix") {
+      fix = true;
+    } else if (arg.rfind("--format=", 0) == 0) {
+      format = arg.substr(9);
+      if (format != "text" && format != "json") return Usage();
+    } else if (arg.rfind("--baseline=", 0) == 0) {
+      baseline_flag = arg.substr(11);
+    } else if (arg.rfind("--write-baseline=", 0) == 0) {
+      write_baseline = arg.substr(17);
+    } else if (!arg.empty() && arg[0] == '-') {
+      return Usage();
+    } else if (root.empty()) {
+      root = fs::path(arg);
+    } else {
+      return Usage();
+    }
   }
-  const fs::path root = argc == 2 ? fs::path(argv[1]) : fs::current_path();
+  if (root.empty()) root = fs::current_path();
+
+  // Gather the files in a stable order so output is deterministic. A
+  // directory that exists but cannot be walked is an I/O error, not a
+  // clean subtree.
   const std::vector<fs::path> scopes = {"src", "tools", "bench", "examples",
                                         "tests"};
-
-  // Gather the files in a stable order so output is deterministic.
   std::vector<fs::path> files;
   for (const fs::path& scope : scopes) {
     const fs::path dir = root / scope;
     std::error_code ec;
     if (!fs::is_directory(dir, ec)) continue;
-    for (auto it = fs::recursive_directory_iterator(dir, ec);
-         !ec && it != fs::recursive_directory_iterator(); it.increment(ec)) {
+    auto it = fs::recursive_directory_iterator(dir, ec);
+    for (; !ec && it != fs::recursive_directory_iterator();
+         it.increment(ec)) {
       if (!it->is_regular_file()) continue;
       const fs::path& p = it->path();
       if (HasExtension(p, ".h") || HasExtension(p, ".cc") ||
           HasExtension(p, ".cpp")) {
         files.push_back(p);
       }
+    }
+    if (ec) {
+      std::fprintf(stderr, "doduo_lint: error walking %s: %s\n",
+                   dir.string().c_str(), ec.message().c_str());
+      return 2;
     }
   }
   std::sort(files.begin(), files.end());
@@ -87,9 +214,10 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  // Pass 1: learn which functions return util::Status / util::Result.
+  // Load every file up front: the status-function scan, --fix, and the
+  // whole-program model all want (repo-relative path, text) pairs.
   doduo::lint::LintOptions options;
-  std::vector<std::pair<std::string, std::string>> sources;  // (rel, text)
+  std::vector<std::pair<std::string, std::string>> sources;
   sources.reserve(files.size());
   for (const fs::path& p : files) {
     std::string text;
@@ -98,25 +226,132 @@ int main(int argc, char** argv) {
                    p.string().c_str());
       return 2;
     }
-    doduo::lint::CollectStatusFunctions(text, &options.status_functions);
     sources.emplace_back(fs::relative(p, root).generic_string(),
                          std::move(text));
   }
 
-  // Pass 2: lint.
-  size_t total = 0;
+  if (fix) {
+    size_t files_fixed = 0;
+    int total_fixes = 0;
+    for (size_t i = 0; i < sources.size(); ++i) {
+      int applied = 0;
+      std::string fixed = doduo::lint::ApplyFixes(sources[i].first,
+                                                  sources[i].second, &applied);
+      if (applied == 0) continue;
+      if (!WriteFile(files[i], fixed)) {
+        std::fprintf(stderr, "doduo_lint: cannot write %s\n",
+                     files[i].string().c_str());
+        return 2;
+      }
+      std::fprintf(stderr, "doduo_lint: fixed %s (%d fix(es))\n",
+                   sources[i].first.c_str(), applied);
+      sources[i].second = std::move(fixed);
+      ++files_fixed;
+      total_fixes += applied;
+    }
+    std::fprintf(stderr, "doduo_lint: --fix applied %d fix(es) in %zu file(s)\n",
+                 total_fixes, files_fixed);
+  }
+
   for (const auto& [rel, text] : sources) {
-    for (const doduo::lint::Violation& v :
+    doduo::lint::CollectStatusFunctions(text, &options.status_functions);
+  }
+
+  std::vector<doduo::lint::Violation> violations;
+  for (const auto& [rel, text] : sources) {
+    for (doduo::lint::Violation& v :
          doduo::lint::LintSource(rel, text, options)) {
-      std::printf("%s\n", doduo::lint::FormatViolation(v).c_str());
-      ++total;
+      violations.push_back(std::move(v));
     }
   }
-  if (total > 0) {
-    std::printf("doduo_lint: %zu violation(s) across %zu file(s)\n", total,
-                sources.size());
+  size_t files_scanned = sources.size();
+  if (all) {
+    doduo::lint::ProjectModel model =
+        doduo::lint::ProjectModel::Build(std::move(sources));
+    for (doduo::lint::Violation& v :
+         doduo::lint::RunGraphRules(model, doduo::lint::GraphRuleOptions{})) {
+      violations.push_back(std::move(v));
+    }
+  }
+  std::sort(violations.begin(), violations.end(),
+            [](const doduo::lint::Violation& a,
+               const doduo::lint::Violation& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  violations.erase(
+      std::unique(violations.begin(), violations.end(),
+                  [](const doduo::lint::Violation& a,
+                     const doduo::lint::Violation& b) {
+                    return a.file == b.file && a.line == b.line &&
+                           a.rule == b.rule;
+                  }),
+      violations.end());
+
+  if (!write_baseline.empty()) {
+    std::string text =
+        "# doduo_lint baseline: accepted pre-existing violations.\n"
+        "# One \"rule path\" pair per line; '#' starts a comment.\n";
+    Baseline pairs;
+    for (const doduo::lint::Violation& v : violations) {
+      pairs.emplace(v.rule, v.file);
+    }
+    for (const auto& [rule, file] : pairs) {
+      text += rule + " " + file + "\n";
+    }
+    if (!WriteFile(write_baseline, text)) {
+      std::fprintf(stderr, "doduo_lint: cannot write %s\n",
+                   write_baseline.c_str());
+      return 2;
+    }
+    std::fprintf(stderr, "doduo_lint: wrote %zu baseline entrie(s) to %s\n",
+                 pairs.size(), write_baseline.c_str());
+    return 0;
+  }
+
+  // Baseline: an explicit --baseline=FILE must exist; the implicit
+  // tools/lint/lint_baseline.txt is optional.
+  Baseline baseline;
+  if (!baseline_flag.empty()) {
+    if (!LoadBaseline(baseline_flag, &baseline)) {
+      std::fprintf(stderr, "doduo_lint: cannot read baseline %s\n",
+                   baseline_flag.c_str());
+      return 2;
+    }
+  } else {
+    LoadBaseline(root / "tools/lint/lint_baseline.txt", &baseline);
+  }
+  size_t baselined = 0;
+  if (!baseline.empty()) {
+    auto keep = std::remove_if(
+        violations.begin(), violations.end(),
+        [&](const doduo::lint::Violation& v) {
+          return baseline.count({v.rule, v.file}) > 0;
+        });
+    baselined = static_cast<size_t>(violations.end() - keep);
+    violations.erase(keep, violations.end());
+  }
+
+  if (format == "json") {
+    std::fputs(FormatJson(violations, files_scanned, baselined).c_str(),
+               stdout);
+    return violations.empty() ? 0 : 1;
+  }
+  for (const doduo::lint::Violation& v : violations) {
+    std::printf("%s\n", doduo::lint::FormatViolation(v).c_str());
+  }
+  if (!violations.empty()) {
+    std::printf("doduo_lint: %zu violation(s) across %zu file(s)%s\n",
+                violations.size(), files_scanned,
+                baselined > 0
+                    ? (" (" + std::to_string(baselined) + " baselined)")
+                          .c_str()
+                    : "");
     return 1;
   }
-  std::printf("doduo_lint: %zu file(s) clean\n", sources.size());
+  std::printf("doduo_lint: %zu file(s) clean%s\n", files_scanned,
+              baselined > 0
+                  ? (" (" + std::to_string(baselined) + " baselined)").c_str()
+                  : "");
   return 0;
 }

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <cctype>
-#include <map>
 #include <utility>
 
 namespace doduo::lint {
@@ -12,10 +11,6 @@ namespace {
 // ---------------------------------------------------------------------------
 // Source preparation: comment/string stripping and NOLINT extraction.
 // ---------------------------------------------------------------------------
-
-/// Per-line suppressions: line -> rule ids silenced there. An empty set
-/// means every rule is silenced on that line (bare `// NOLINT`).
-using Suppressions = std::map<int, std::set<std::string, std::less<>>>;
 
 /// Parses the body of one comment for NOLINT annotations and records them
 /// against `line` (the line the comment starts on, which is where the
@@ -54,10 +49,28 @@ void RecordNolint(std::string_view comment, int line, Suppressions* out) {
   }
 }
 
-/// Replaces comment bodies and string/char-literal contents with spaces
-/// (newlines kept, so offsets and line numbers survive), collecting NOLINT
-/// annotations along the way. Handles //, /* */, "...", '...', and
-/// R"delim(...)delim" raw strings.
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool PathContains(std::string_view path, std::string_view needle) {
+  return path.find(needle) != std::string_view::npos;
+}
+
+/// Stem of a path: "src/doduo/nn/ops.cc" -> "ops".
+std::string_view PathStem(std::string_view path) {
+  size_t slash = path.find_last_of('/');
+  std::string_view base =
+      slash == std::string_view::npos ? path : path.substr(slash + 1);
+  size_t dot = base.find_last_of('.');
+  return dot == std::string_view::npos ? base : base.substr(0, dot);
+}
+
+}  // namespace
+
 std::string StripSource(std::string_view src, Suppressions* suppressions) {
   std::string out(src);
   int line = 1;
@@ -124,28 +137,13 @@ std::string StripSource(std::string_view src, Suppressions* suppressions) {
   return out;
 }
 
-// ---------------------------------------------------------------------------
-// Tokenizer.
-// ---------------------------------------------------------------------------
-
-enum class TokenKind { kIdent, kNumber, kPunct };
-
-struct Token {
-  std::string_view text;
-  TokenKind kind;
-  int line;
-};
-
-bool IsIdentStart(char c) {
-  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
-}
-bool IsIdentChar(char c) {
-  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+bool IsSuppressed(const Suppressions& suppressions, int line,
+                  std::string_view rule) {
+  auto it = suppressions.find(line);
+  return it != suppressions.end() &&
+         (it->second.empty() || it->second.count(rule) > 0);
 }
 
-/// Tokenizes stripped source. Preprocessor directive lines (and their
-/// backslash continuations) are excluded: directives are not statements,
-/// and the include rules parse them line-wise instead.
 std::vector<Token> Tokenize(std::string_view stripped) {
   std::vector<Token> tokens;
   int line = 1;
@@ -189,7 +187,8 @@ std::vector<Token> Tokenize(std::string_view stripped) {
     if (IsIdentStart(c)) {
       size_t j = i + 1;
       while (j < n && IsIdentChar(stripped[j])) ++j;
-      tokens.push_back({stripped.substr(i, j - i), TokenKind::kIdent, line});
+      tokens.push_back(
+          {stripped.substr(i, j - i), TokenKind::kIdent, line, i});
       i = j;
     } else if (std::isdigit(static_cast<unsigned char>(c))) {
       size_t j = i + 1;  // pp-number: digits, letters, dots, exponent signs
@@ -199,7 +198,8 @@ std::vector<Token> Tokenize(std::string_view stripped) {
                          stripped[j - 1] == 'p' || stripped[j - 1] == 'P')))) {
         ++j;
       }
-      tokens.push_back({stripped.substr(i, j - i), TokenKind::kNumber, line});
+      tokens.push_back(
+          {stripped.substr(i, j - i), TokenKind::kNumber, line, i});
       i = j;
     } else {
       size_t len = 1;
@@ -207,15 +207,13 @@ std::vector<Token> Tokenize(std::string_view stripped) {
         const char d = stripped[i + 1];
         if ((c == ':' && d == ':') || (c == '-' && d == '>')) len = 2;
       }
-      tokens.push_back({stripped.substr(i, len), TokenKind::kPunct, line});
+      tokens.push_back({stripped.substr(i, len), TokenKind::kPunct, line, i});
       i += len;
     }
   }
   return tokens;
 }
 
-/// Index of the token closing the paren opened at `open` (tokens[open] must
-/// be "("), or -1 when unbalanced.
 int MatchParen(const std::vector<Token>& toks, int open) {
   int depth = 0;
   for (int i = open; i < static_cast<int>(toks.size()); ++i) {
@@ -225,18 +223,78 @@ int MatchParen(const std::vector<Token>& toks, int open) {
   return -1;
 }
 
-bool PathContains(std::string_view path, std::string_view needle) {
-  return path.find(needle) != std::string_view::npos;
+std::vector<StringLiteral> CollectStringLiterals(std::string_view source) {
+  std::vector<StringLiteral> literals;
+  int line = 1;
+  size_t i = 0;
+  const size_t n = source.size();
+  while (i < n) {
+    const char c = source[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+    } else if (c == '/' && i + 1 < n && source[i + 1] == '/') {
+      size_t end = source.find('\n', i);
+      i = (end == std::string_view::npos) ? n : end;
+    } else if (c == '/' && i + 1 < n && source[i + 1] == '*') {
+      size_t end = source.find("*/", i + 2);
+      end = (end == std::string_view::npos) ? n : end + 2;
+      line += static_cast<int>(
+          std::count(source.begin() + static_cast<long>(i),
+                     source.begin() + static_cast<long>(end), '\n'));
+      i = end;
+    } else if (c == 'R' && i + 1 < n && source[i + 1] == '"') {
+      size_t open = source.find('(', i + 2);
+      if (open == std::string_view::npos) {
+        ++i;
+        continue;
+      }
+      std::string closer = ")";
+      closer.append(source.substr(i + 2, open - i - 2));
+      closer.push_back('"');
+      size_t end = source.find(closer, open + 1);
+      const size_t body_end = (end == std::string_view::npos) ? n : end;
+      literals.push_back({std::string(source.substr(open + 1,
+                                                    body_end - open - 1)),
+                          line, i});
+      end = (end == std::string_view::npos) ? n : end + closer.size();
+      line += static_cast<int>(
+          std::count(source.begin() + static_cast<long>(i),
+                     source.begin() + static_cast<long>(end), '\n'));
+      i = end;
+    } else if (c == '"') {
+      const size_t start = i;
+      const int start_line = line;
+      std::string text;
+      size_t j = i + 1;
+      while (j < n && source[j] != '"') {
+        if (source[j] == '\\' && j + 1 < n) {
+          text.push_back(source[j]);
+          ++j;
+        }
+        if (source[j] == '\n') ++line;
+        text.push_back(source[j]);
+        ++j;
+      }
+      if (j < n) ++j;
+      literals.push_back({std::move(text), start_line, start});
+      i = j;
+    } else if (c == '\'') {
+      size_t j = i + 1;
+      while (j < n && source[j] != '\'') {
+        if (source[j] == '\\' && j + 1 < n) ++j;
+        if (source[j] == '\n') ++line;
+        ++j;
+      }
+      i = (j < n) ? j + 1 : j;
+    } else {
+      ++i;
+    }
+  }
+  return literals;
 }
 
-/// Stem of a path: "src/doduo/nn/ops.cc" -> "ops".
-std::string_view PathStem(std::string_view path) {
-  size_t slash = path.find_last_of('/');
-  std::string_view base =
-      slash == std::string_view::npos ? path : path.substr(slash + 1);
-  size_t dot = base.find_last_of('.');
-  return dot == std::string_view::npos ? base : base.substr(0, dot);
-}
+namespace {
 
 // ---------------------------------------------------------------------------
 // Rule engine.
@@ -261,18 +319,43 @@ class Linter {
               [](const Violation& a, const Violation& b) {
                 return std::pair(a.line, a.rule) < std::pair(b.line, b.rule);
               });
+    // One report per (file, line, rule): a line with two offending tokens
+    // is one finding, not two identical diagnostics.
+    violations_.erase(
+        std::unique(violations_.begin(), violations_.end(),
+                    [](const Violation& a, const Violation& b) {
+                      return a.line == b.line && a.rule == b.rule;
+                    }),
+        violations_.end());
     return std::move(violations_);
   }
 
  private:
-  void Report(int line, std::string_view rule, std::string message) {
-    auto it = suppressions_.find(line);
-    if (it != suppressions_.end() &&
-        (it->second.empty() || it->second.count(rule) > 0)) {
-      return;
+  /// Reports at `line` unless a NOLINT on any line of [line, end_line]
+  /// covers the rule — statements that span lines accept the escape hatch
+  /// wherever the statement's text actually is (typically its last line).
+  void ReportSpan(int line, int end_line, std::string_view rule,
+                  std::string message) {
+    for (int l = line; l <= std::max(line, end_line); ++l) {
+      if (IsSuppressed(suppressions_, l, rule)) return;
     }
     violations_.push_back(
         {std::string(path_), line, std::string(rule), std::move(message)});
+  }
+
+  void Report(int line, std::string_view rule, std::string message) {
+    ReportSpan(line, line, rule, std::move(message));
+  }
+
+  /// Last line of the call whose name token sits at `i` (the line of the
+  /// matching close paren), or the name's own line when unbalanced.
+  int CallEndLine(int i) const {
+    if (i + 1 < static_cast<int>(tokens_.size()) &&
+        tokens_[i + 1].text == "(") {
+      const int close = MatchParen(tokens_, i + 1);
+      if (close >= 0) return tokens_[close].line;
+    }
+    return tokens_[i].line;
   }
 
   const Token* Prev(int i) const { return i > 0 ? &tokens_[i - 1] : nullptr; }
@@ -347,20 +430,20 @@ class Linter {
       if (!abort_exempt && call && !IsMemberAccess(i) &&
           (t.text == "abort" || t.text == "exit" || t.text == "_Exit" ||
            t.text == "quick_exit" || t.text == "assert")) {
-        Report(t.line, kRuleNoAbort,
-               "call to '" + std::string(t.text) +
-                   "' outside util/logging|status; return util::Status or "
-                   "use DODUO_CHECK");
+        ReportSpan(t.line, CallEndLine(i), kRuleNoAbort,
+                   "call to '" + std::string(t.text) +
+                       "' outside util/logging|status; return util::Status "
+                       "or use DODUO_CHECK");
       }
 
       if (!random_exempt && !IsMemberAccess(i)) {
         if ((call && (t.text == "rand" || t.text == "srand" ||
                       t.text == "time")) ||
             t.text == "random_device") {
-          Report(t.line, kRuleNoRawRandom,
-                 "'" + std::string(t.text) +
-                     "' breaks the determinism contract; use util::Rng "
-                     "(seeded) instead");
+          ReportSpan(t.line, CallEndLine(i), kRuleNoRawRandom,
+                     "'" + std::string(t.text) +
+                         "' breaks the determinism contract; use util::Rng "
+                         "(seeded) instead");
         }
       }
 
@@ -389,10 +472,10 @@ class Linter {
       if (serve_scoped && call && !IsMemberAccess(i)) {
         for (const std::string_view raw : kRawIoNames) {
           if (t.text == raw) {
-            Report(t.line, kRuleServeRawIo,
-                   "raw POSIX I/O call '" + std::string(t.text) +
-                       "' outside serve/socket_io; use the Status-returning "
-                       "wrappers in serve/socket_io.h");
+            ReportSpan(t.line, CallEndLine(i), kRuleServeRawIo,
+                       "raw POSIX I/O call '" + std::string(t.text) +
+                           "' outside serve/socket_io; use the "
+                           "Status-returning wrappers in serve/socket_io.h");
             break;
           }
         }
@@ -420,11 +503,11 @@ class Linter {
 
       if (sleep_scoped && call &&
           (t.text == "sleep_for" || t.text == "sleep_until")) {
-        Report(t.line, kRuleSleepSync,
-               "'" + std::string(t.text) +
-                   "' as synchronization in a serve test is a race hidden "
-                   "behind a timer; wait on the observable condition "
-                   "instead");
+        ReportSpan(t.line, CallEndLine(i), kRuleSleepSync,
+                   "'" + std::string(t.text) +
+                       "' as synchronization in a serve test is a race "
+                       "hidden behind a timer; wait on the observable "
+                       "condition instead");
       }
 
       if (call && options_.status_functions.count(t.text) > 0) {
@@ -441,27 +524,31 @@ class Linter {
     if (tokens_[close + 1].text != ";") return;
     const int start = ChainStart(i);
     if (start < 0) return;
+    // The statement's NOLINT may sit on any of its lines (multi-line calls
+    // conventionally carry it after the closing paren).
+    const int end_line = tokens_[close + 1].line;
     if (start == 0) {
-      ReportDiscarded(tokens_[i]);
+      ReportDiscarded(tokens_[i], end_line);
       return;
     }
     const Token& prev = tokens_[start - 1];
     const std::string_view p = prev.text;
     if (p == ";" || p == "{" || p == "}" || p == ":" || p == "else" ||
         p == "do") {
-      ReportDiscarded(tokens_[i]);
+      ReportDiscarded(tokens_[i], end_line);
     } else if (p == ")") {
       // `(void)Call();` is an explicit discard; `if (...) Call();` is not.
       const bool void_cast = start >= 3 && tokens_[start - 2].text == "void" &&
                              tokens_[start - 3].text == "(";
-      if (!void_cast) ReportDiscarded(tokens_[i]);
+      if (!void_cast) ReportDiscarded(tokens_[i], end_line);
     }
   }
 
-  void ReportDiscarded(const Token& name) {
-    Report(name.line, kRuleDiscardedStatus,
-           "result of Status-returning '" + std::string(name.text) +
-               "' is ignored; check .ok() or cast to (void) with a reason");
+  void ReportDiscarded(const Token& name, int end_line) {
+    ReportSpan(name.line, end_line, kRuleDiscardedStatus,
+               "result of Status-returning '" + std::string(name.text) +
+                   "' is ignored; check .ok() or cast to (void) with a "
+                   "reason");
   }
 
   // metrics-in-loop: registry lookups (GetCounter/GetHistogram) must be
@@ -521,10 +608,10 @@ class Linter {
                              stmt_ranges[range].first <= i &&
                              i <= stmt_ranges[range].second;
         if (!loop_depths.empty() || in_stmt) {
-          Report(tokens_[i].line, kRuleMetricsInLoop,
-                 "metrics registry lookup '" + std::string(t) +
-                     "' inside a loop; resolve the pointer once outside "
-                     "(cached-pointer pattern, DESIGN §10)");
+          ReportSpan(tokens_[i].line, CallEndLine(i), kRuleMetricsInLoop,
+                     "metrics registry lookup '" + std::string(t) +
+                         "' inside a loop; resolve the pointer once outside "
+                         "(cached-pointer pattern, DESIGN §10)");
         }
       }
     }
@@ -684,6 +771,165 @@ class Linter {
   std::vector<Violation> violations_;
 };
 
+// ---------------------------------------------------------------------------
+// Mechanical fixes.
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> SplitLines(std::string_view source) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos <= source.size()) {
+    size_t end = source.find('\n', pos);
+    if (end == std::string_view::npos) {
+      if (pos < source.size()) lines.emplace_back(source.substr(pos));
+      break;
+    }
+    lines.emplace_back(source.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return lines;
+}
+
+std::string JoinLines(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& l : lines) {
+    out += l;
+    out += '\n';
+  }
+  return out;
+}
+
+bool IsBlankLine(std::string_view line) {
+  return line.find_first_not_of(" \t\r") == std::string_view::npos;
+}
+
+/// True when the line is an #include directive; sets `*system` and the
+/// included path.
+bool ParseIncludeLine(std::string_view line, bool* system,
+                      std::string* inc_path) {
+  size_t hash = line.find_first_not_of(" \t");
+  if (hash == std::string_view::npos || line[hash] != '#') return false;
+  size_t kw = line.find_first_not_of(" \t", hash + 1);
+  if (kw == std::string_view::npos || line.compare(kw, 7, "include") != 0) {
+    return false;
+  }
+  size_t open = line.find_first_not_of(" \t", kw + 7);
+  if (open == std::string_view::npos ||
+      (line[open] != '<' && line[open] != '"')) {
+    return false;
+  }
+  *system = line[open] == '<';
+  const char close_ch = *system ? '>' : '"';
+  size_t close = line.find(close_ch, open + 1);
+  if (close == std::string_view::npos) return false;
+  *inc_path = std::string(line.substr(open + 1, close - open - 1));
+  return true;
+}
+
+/// Regroups the contiguous include block into own header / <system> /
+/// "project", preserving relative order within each group. Returns false
+/// (leaving `lines` untouched) when the block is interleaved with code,
+/// comments, or conditional compilation — that reordering needs a human.
+bool FixIncludeOrder(std::string_view path, std::vector<std::string>* lines) {
+  const bool test_file = path.size() >= 6 && path.substr(0, 6) == "tests/";
+  const std::string_view stem = PathStem(path);
+  int first = -1, last = -1;
+  for (int i = 0; i < static_cast<int>(lines->size()); ++i) {
+    bool system = false;
+    std::string inc;
+    if (ParseIncludeLine((*lines)[i], &system, &inc)) {
+      if (first < 0) first = i;
+      last = i;
+    }
+  }
+  if (first < 0) return false;
+  std::vector<std::string> own, systems, projects;
+  bool first_include = true;
+  for (int i = first; i <= last; ++i) {
+    const std::string& line = (*lines)[i];
+    bool system = false;
+    std::string inc;
+    if (ParseIncludeLine(line, &system, &inc)) {
+      bool is_own = false;
+      if (first_include && !system) {
+        is_own = test_file || PathStem(inc) == stem;
+      } else if (!system && own.empty() && !test_file &&
+                 PathStem(inc) == stem) {
+        // Own header buried mid-block: hoist it to the front.
+        is_own = true;
+      }
+      first_include = false;
+      (is_own ? own : system ? systems : projects).push_back(line);
+    } else if (!IsBlankLine(line)) {
+      return false;  // code, a comment, or an #if inside the block
+    }
+  }
+  std::vector<std::string> block;
+  auto append_group = [&block](const std::vector<std::string>& group) {
+    if (group.empty()) return;
+    if (!block.empty()) block.emplace_back();
+    block.insert(block.end(), group.begin(), group.end());
+  };
+  append_group(own);
+  append_group(systems);
+  append_group(projects);
+  std::vector<std::string> out(lines->begin(), lines->begin() + first);
+  out.insert(out.end(), block.begin(), block.end());
+  out.insert(out.end(), lines->begin() + last + 1, lines->end());
+  *lines = std::move(out);
+  return true;
+}
+
+/// DODUO_-style guard name: "src/doduo/nn/ops.h" -> DODUO_NN_OPS_H_,
+/// "tools/lint/lint_engine.h" -> DODUO_TOOLS_LINT_LINT_ENGINE_H_.
+std::string GuardNameForPath(std::string_view path) {
+  std::string_view p = path;
+  if (p.substr(0, 10) == "src/doduo/") p.remove_prefix(10);
+  std::string guard = "DODUO_";
+  for (char c : p) {
+    guard.push_back(std::isalnum(static_cast<unsigned char>(c))
+                        ? static_cast<char>(
+                              std::toupper(static_cast<unsigned char>(c)))
+                        : '_');
+  }
+  guard.push_back('_');
+  return guard;
+}
+
+/// Inserts an #ifndef/#define/#endif guard after any leading comment
+/// block.
+void FixHeaderGuard(std::string_view path, std::vector<std::string>* lines) {
+  const std::string guard = GuardNameForPath(path);
+  int insert_at = 0;
+  bool in_block_comment = false;
+  for (int i = 0; i < static_cast<int>(lines->size()); ++i) {
+    const std::string& line = (*lines)[i];
+    const size_t start = line.find_first_not_of(" \t");
+    if (in_block_comment) {
+      insert_at = i + 1;
+      if (line.find("*/") != std::string::npos) in_block_comment = false;
+      continue;
+    }
+    if (start == std::string::npos) {
+      insert_at = i + 1;  // blank
+    } else if (line.compare(start, 2, "//") == 0) {
+      insert_at = i + 1;
+    } else if (line.compare(start, 2, "/*") == 0) {
+      insert_at = i + 1;
+      if (line.find("*/", start + 2) == std::string::npos) {
+        in_block_comment = true;
+      }
+    } else {
+      break;
+    }
+  }
+  lines->insert(lines->begin() + insert_at,
+                {"#ifndef " + guard, "#define " + guard, ""});
+  while (!lines->empty() && IsBlankLine(lines->back())) lines->pop_back();
+  lines->push_back("");
+  lines->push_back("#endif  // " + guard);
+}
+
 }  // namespace
 
 void CollectStatusFunctions(std::string_view source,
@@ -730,6 +976,27 @@ std::vector<Violation> LintSource(std::string_view path,
 std::string FormatViolation(const Violation& v) {
   return v.file + ":" + std::to_string(v.line) + ": " + v.rule + " " +
          v.message;
+}
+
+std::string ApplyFixes(std::string_view path, std::string_view source,
+                       int* fixes_applied) {
+  int applied = 0;
+  std::string text(source);
+  const LintOptions no_options;
+  bool needs_include_fix = false;
+  bool needs_guard_fix = false;
+  for (const Violation& v : LintSource(path, text, no_options)) {
+    if (v.rule == kRuleIncludeOrder) needs_include_fix = true;
+    if (v.rule == kRuleHeaderGuard) needs_guard_fix = true;
+  }
+  std::vector<std::string> lines = SplitLines(text);
+  if (needs_include_fix && FixIncludeOrder(path, &lines)) ++applied;
+  if (needs_guard_fix) {
+    FixHeaderGuard(path, &lines);
+    ++applied;
+  }
+  if (fixes_applied != nullptr) *fixes_applied = applied;
+  return applied > 0 ? JoinLines(lines) : text;
 }
 
 }  // namespace doduo::lint

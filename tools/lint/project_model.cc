@@ -1,0 +1,135 @@
+#include "lint/project_model.h"
+
+#include <utility>
+
+namespace doduo::lint {
+
+namespace {
+
+/// Parses the #include directives of `source` line-wise over the ORIGINAL
+/// text (the stripper blanks the quote form's path).
+std::vector<IncludeEdge> ParseIncludes(std::string_view source) {
+  std::vector<IncludeEdge> includes;
+  int line = 1;
+  size_t pos = 0;
+  while (pos <= source.size()) {
+    size_t end = source.find('\n', pos);
+    if (end == std::string_view::npos) end = source.size();
+    std::string_view text = source.substr(pos, end - pos);
+    size_t hash = text.find_first_not_of(" \t");
+    if (hash != std::string_view::npos && text[hash] == '#') {
+      size_t kw = text.find_first_not_of(" \t", hash + 1);
+      if (kw != std::string_view::npos &&
+          text.compare(kw, 7, "include") == 0) {
+        size_t open = text.find_first_not_of(" \t", kw + 7);
+        if (open != std::string_view::npos &&
+            (text[open] == '<' || text[open] == '"')) {
+          const bool system = text[open] == '<';
+          const char close_ch = system ? '>' : '"';
+          size_t close = text.find(close_ch, open + 1);
+          if (close != std::string_view::npos) {
+            includes.push_back(
+                {line, std::string(text.substr(open + 1, close - open - 1)),
+                 system, -1});
+          }
+        }
+      }
+    }
+    if (end == source.size()) break;
+    pos = end + 1;
+    ++line;
+  }
+  return includes;
+}
+
+}  // namespace
+
+std::string ModuleForPath(std::string_view path) {
+  constexpr std::string_view kSrcPrefix = "src/doduo/";
+  if (path.substr(0, kSrcPrefix.size()) == kSrcPrefix) {
+    std::string_view rest = path.substr(kSrcPrefix.size());
+    size_t slash = rest.find('/');
+    if (slash != std::string_view::npos) {
+      return std::string(rest.substr(0, slash));
+    }
+    return "src";  // a file directly under src/doduo/
+  }
+  size_t slash = path.find('/');
+  std::string_view scope =
+      slash == std::string_view::npos ? path : path.substr(0, slash);
+  if (scope == "tools" || scope == "tests" || scope == "bench" ||
+      scope == "examples") {
+    return std::string(scope);
+  }
+  return "other";
+}
+
+std::map<std::string, int, std::less<>> DefaultLayerRanks() {
+  // The doduo layer DAG (DESIGN §16). Within a rank, cross-module includes
+  // are forbidden — only strictly-lower ranks are visible — so two modules
+  // share a rank only when neither may see the other.
+  return {
+      {"util", 0},
+      {"text", 1},
+      {"table", 2},
+      {"nn", 3},   {"eval", 3},      {"synth", 3},
+      {"transformer", 4},            {"cluster", 4},
+      {"core", 5},
+      {"analysis", 6}, {"baselines", 6}, {"probe", 6}, {"serve", 6},
+      {"experiments", 7},
+      {"tools", kUnconstrainedRank},
+      {"tests", kUnconstrainedRank},
+      {"bench", kUnconstrainedRank},
+      {"examples", kUnconstrainedRank},
+  };
+}
+
+ProjectModel ProjectModel::Build(
+    std::vector<std::pair<std::string, std::string>> sources) {
+  ProjectModel model;
+  model.files.reserve(sources.size());
+  for (auto& [path, content] : sources) {
+    FileModel file;
+    file.path = path;
+    file.module = ModuleForPath(path);
+    file.source = std::move(content);
+    file.stripped = StripSource(file.source, &file.suppressions);
+    file.tokens = Tokenize(file.stripped);
+    file.literals = CollectStringLiterals(file.source);
+    file.includes = ParseIncludes(file.source);
+    model.index_by_path.emplace(file.path,
+                                static_cast<int>(model.files.size()));
+    model.files.push_back(std::move(file));
+  }
+  // Resolve quote-form includes against the model. Project headers are
+  // written relative to one of the include roots (src/ for doduo/...,
+  // tools/ for lint/..., tests/ for fixtures), so try each root.
+  for (FileModel& file : model.files) {
+    for (IncludeEdge& inc : file.includes) {
+      if (inc.system) continue;
+      for (const std::string_view root :
+           {std::string_view(""), std::string_view("src/"),
+            std::string_view("tools/"), std::string_view("tests/")}) {
+        auto it = model.index_by_path.find(std::string(root) + inc.path);
+        if (it != model.index_by_path.end()) {
+          inc.target = it->second;
+          break;
+        }
+      }
+    }
+  }
+  return model;
+}
+
+int ProjectModel::FindFileBySuffix(std::string_view suffix) const {
+  for (int i = 0; i < static_cast<int>(files.size()); ++i) {
+    const std::string& p = files[i].path;
+    if (p.size() >= suffix.size() &&
+        std::string_view(p).substr(p.size() - suffix.size()) == suffix) {
+      return i;
+    }
+  }
+  return -1;
+}
+
+}  // namespace doduo::lint
